@@ -1,0 +1,46 @@
+      PROGRAM MAIN
+      DOUBLE PRECISION PP(64,64,15), PHIT(64,64), TM1(64,64)
+      COMMON /SIZES/ NP, NE
+      COMMON /MATS/ PP, PHIT, TM1
+      NP = 64
+      NE = 4
+      DO K = 1, 15
+        DO J = 1, 64
+          DO I = 1, 64
+            PP(I,J,K) = I + 2*J + 3*K
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, 64
+        DO I = 1, 64
+          PHIT(I,J) = I - J
+        ENDDO
+      ENDDO
+      DO KS = 1, 15
+        IF (KS .GT. 1) THEN
+          CALL MATMLT(PP(1,1,KS-1), PHIT, TM1, NE, NE, NE)
+        ENDIF
+      ENDDO
+      S = 0.0
+      DO J = 1, 4
+        DO I = 1, 4
+          S = S + TM1(I,J)*I*J
+        ENDDO
+      ENDDO
+      WRITE(6,*) S
+      END
+
+      SUBROUTINE MATMLT(M1, M2, M3, L, M, N)
+      DOUBLE PRECISION M1(*), M2(*), M3(*)
+      DO 10 JN = 1, N
+        DO 10 JL = 1, L
+          M3(JL + L*(JN-1)) = 0.0
+ 10   CONTINUE
+      DO 20 JN = 1, N
+        DO 20 JM = 1, M
+          DO 20 JL = 1, L
+            M3(JL + L*(JN-1)) = M3(JL + L*(JN-1))
+     &        + M1(JL + L*(JM-1)) * M2(JM + M*(JN-1))
+ 20   CONTINUE
+      RETURN
+      END
