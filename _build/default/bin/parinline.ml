@@ -1,0 +1,145 @@
+(* parinline -- command-line driver for the enhanced-inlining pipeline.
+
+   Usage:
+     parinline compile  FILE.f [--annot FILE.annot] [--mode MODE] [-o OUT]
+     parinline report   FILE.f [--annot FILE.annot]
+     parinline run      FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
+
+   MODE is one of: none | conventional | annotation (default: annotation). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let mode_of_string = function
+  | "none" | "no-inlining" -> Core.Pipeline.No_inlining
+  | "conventional" -> Core.Pipeline.Conventional
+  | "annotation" | "annotation-based" -> Core.Pipeline.Annotation_based
+  | m -> failwith ("unknown mode: " ^ m)
+
+let load source_file annot_file =
+  let source = read_file source_file in
+  let annot_source =
+    match annot_file with Some f -> read_file f | None -> ""
+  in
+  (source, annot_source)
+
+let compile_run source_file annot_file mode out =
+  let source, annot_source = load source_file annot_file in
+  let r =
+    Core.Pipeline.run_source ~mode:(mode_of_string mode) ~annot_source source
+  in
+  let text = Frontend.Pretty.program_to_string r.res_program in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+  | None -> print_string text);
+  Printf.eprintf "parallel loops: %d, code size: %d lines\n"
+    (List.length r.res_marked) r.res_code_size
+
+let report_run source_file annot_file =
+  let source, annot_source = load source_file annot_file in
+  (* parse once so loop ids are comparable across configurations *)
+  let program = Frontend.Resolve.parse source in
+  let annots =
+    if String.trim annot_source = "" then []
+    else Core.Annot_parser.parse_annotations annot_source
+  in
+  let base =
+    Core.Pipeline.run ~mode:Core.Pipeline.No_inlining ~annots program
+  in
+  List.iter
+    (fun mode ->
+      let r = Core.Pipeline.run ~mode ~annots program in
+      let par, loss, extra = Core.Pipeline.table2_counts ~baseline:base r in
+      Printf.printf "%-18s #par-loops=%3d  #par-loss=%3d  #par-extra=%3d  size=%5d\n"
+        (Core.Pipeline.mode_name mode) par loss extra r.res_code_size;
+      List.iter
+        (fun (rep : Parallelizer.Parallelize.loop_report) ->
+          Printf.printf "  [%s] loop %d (DO %s): %s%s\n" rep.rep_unit
+            rep.rep_loop_id rep.rep_index
+            (if rep.rep_marked then "PARALLEL"
+             else if rep.rep_safe then "safe (not profitable)"
+             else "sequential: " ^ rep.rep_reason)
+            (if rep.rep_private <> [] then
+               " private(" ^ String.concat "," rep.rep_private ^ ")"
+             else ""))
+        r.res_reports)
+    [ Core.Pipeline.No_inlining; Core.Pipeline.Conventional;
+      Core.Pipeline.Annotation_based ]
+
+let exec_run source_file annot_file mode threads =
+  let source, annot_source = load source_file annot_file in
+  let r =
+    Core.Pipeline.run_source ~mode:(mode_of_string mode) ~annot_source source
+  in
+  let t0 = Unix.gettimeofday () in
+  let output = Runtime.Interp.run_program ~threads r.res_program in
+  let dt = Unix.gettimeofday () -. t0 in
+  print_string output;
+  Printf.eprintf "elapsed: %.3fs (threads=%d)\n" dt threads
+
+(* ---- cmdliner plumbing ---- *)
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.f")
+
+let annot_arg =
+  Arg.(value & opt (some file) None & info [ "annot" ] ~docv:"FILE.annot")
+
+let mode_arg =
+  Arg.(value & opt string "annotation" & info [ "mode" ] ~docv:"MODE")
+
+let out_arg = Arg.(value & opt (some string) None & info [ "o"; "output" ])
+let threads_arg = Arg.(value & opt int 4 & info [ "threads" ])
+
+let compile_cmd =
+  Cmd.v (Cmd.info "compile" ~doc:"Optimize a program and print the result")
+    Term.(const compile_run $ source_arg $ annot_arg $ mode_arg $ out_arg)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Compare the three inlining configurations")
+    Term.(const report_run $ source_arg $ annot_arg)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Optimize then execute a program")
+    Term.(const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg)
+
+let bench_run name threads =
+  match Perfect.Suite.find name with
+  | None ->
+      Printf.eprintf "unknown benchmark %s\n" name;
+      exit 1
+  | Some b ->
+      let row = Perfect.Experiment.table2_row b in
+      Printf.printf "%s: %s\n" b.name b.description;
+      let show label (c : Perfect.Experiment.mode_cells) =
+        Printf.printf "  %-16s par=%3d loss=%3d extra=%3d size=%5d\n" label
+          c.m_par c.m_loss c.m_extra c.m_size
+      in
+      show "no-inlining" row.t2_no_inline;
+      show "conventional" row.t2_conventional;
+      show "annotation" row.t2_annotation;
+      let f = Perfect.Experiment.fig20_row ~threads b in
+      Printf.printf
+        "  fig20 (threads=%d): seq=%.3fs  speedups: none=%.2f conv=%.2f annot=%.2f\n"
+        threads f.f_seq f.f_no_inline f.f_conventional f.f_annotation
+
+let bench_name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+
+let bench_cmd =
+  Cmd.v (Cmd.info "bench" ~doc:"Run one PERFECT benchmark's experiments")
+    Term.(const bench_run $ bench_name_arg $ threads_arg)
+
+let () =
+  let info = Cmd.info "parinline" ~doc:"Annotation-based inlining for interprocedural parallelization" in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; report_cmd; run_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/assem_unique.ml: Core Frontend List Parallelizer Printf Runtime String

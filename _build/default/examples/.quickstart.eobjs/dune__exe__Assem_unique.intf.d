@@ -1,0 +1,1 @@
+examples/assem_unique.mli:

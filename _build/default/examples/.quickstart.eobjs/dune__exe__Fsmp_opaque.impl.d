@@ -1,0 +1,1 @@
+examples/fsmp_opaque.ml: Core Frontend List Parallelizer Printf Runtime String

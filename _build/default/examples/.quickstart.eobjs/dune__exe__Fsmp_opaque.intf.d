@@ -1,0 +1,1 @@
+examples/fsmp_opaque.mli:

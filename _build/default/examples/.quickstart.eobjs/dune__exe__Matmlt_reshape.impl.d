@@ -1,0 +1,1 @@
+examples/matmlt_reshape.ml: Core Frontend List Parallelizer Printf Runtime String

@@ -1,0 +1,1 @@
+examples/matmlt_reshape.mli:

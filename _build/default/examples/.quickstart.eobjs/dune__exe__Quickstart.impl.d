@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Frontend List Parallelizer Printf Runtime String

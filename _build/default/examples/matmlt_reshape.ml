@@ -1,0 +1,141 @@
+(* The MATMLT walk-through of the paper (Figs. 4-5 and 16-19).
+
+   A matrix-multiply kernel declares its parameters as flat 1-D arrays;
+   the caller passes 3-D array slices.  This example shows each phase of
+   the enhanced-inlining pipeline:
+
+   1. the annotation (declaring the formals' logical 2-D shapes) is
+      substituted at the call site -- references map dimension-by-
+      dimension onto PP/PHIT/TM1 instead of being linearized (Fig. 18);
+   2. the parallelizer puts OpenMP directives on the provably independent
+      loops of the inlined region (Fig. 17);
+   3. reverse inlining restores the original CALL, keeping directives
+      outside the region (Fig. 19);
+
+   and contrasts the loop counts with conventional inlining.
+
+   Run with:  dune exec examples/matmlt_reshape.exe *)
+
+let source =
+  {fort|
+      PROGRAM ARC
+      COMMON /SIZES/ NP, NE
+      DOUBLE PRECISION PP(64,64,15), PHIT(64,64), TM1(64,64)
+      COMMON /MATS/ PP, PHIT, TM1
+      CALL SETUP
+      DO KS = 1, 15
+        IF (KS .GT. 1) THEN
+          CALL MATMLT(PP(1,1,KS-1), PHIT, TM1, NE, NE, NE)
+        ENDIF
+      ENDDO
+      S = 0.0
+      DO J = 1, 4
+        DO I = 1, 4
+          S = S + TM1(I,J) * I * J
+        ENDDO
+      ENDDO
+      WRITE(6,*) S
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NP, NE
+      DOUBLE PRECISION PP(64,64,15), PHIT(64,64), TM1(64,64)
+      COMMON /MATS/ PP, PHIT, TM1
+      NP = 64
+      NE = 4
+      DO K = 1, 15
+        DO J = 1, 64
+          DO I = 1, 64
+            PP(I,J,K) = I + 2*J + 3*K
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, 64
+        DO I = 1, 64
+          PHIT(I,J) = I - J
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE MATMLT(M1, M2, M3, L, M, N)
+      DOUBLE PRECISION M1(*), M2(*), M3(*)
+      DO 10 JN = 1, N
+        DO 10 JL = 1, L
+          M3(JL + L*(JN-1)) = 0.0
+ 10   CONTINUE
+      DO 20 JN = 1, N
+        DO 20 JM = 1, M
+          DO 20 JL = 1, L
+            M3(JL + L*(JN-1)) = M3(JL + L*(JN-1))
+     &        + M1(JL + L*(JM-1)) * M2(JM + M*(JN-1))
+ 20   CONTINUE
+      RETURN
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine MATMLT(M1, M2, M3, L, M, N) {
+  dimension M1[L,M], M2[M,N], M3[L,N];
+  do (JN = 1:N)
+    do (JL = 1:L)
+      M3[JL,JN] = 0.0;
+  do (JN = 1:N)
+    do (JM = 1:M)
+      do (JL = 1:L)
+        M3[JL,JN] = M3[JL,JN] + M1[JL,JM] * M2[JM,JN];
+}
+|annot}
+
+let banner s =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') s (String.make 72 '=')
+
+let main_unit p = Frontend.Ast.find_unit_exn p "ARC"
+
+let () =
+  let program = Frontend.Resolve.parse source in
+  let annots = Core.Annot_parser.parse_annotations annotations in
+
+  banner "PHASE 1: annotation-based inlining (cf. Fig. 18)";
+  let inlined, _ = Core.Annot_inline.run ~annots program in
+  print_string
+    (Frontend.Pretty.program_to_string
+       { Frontend.Ast.p_units = [ main_unit inlined ] });
+
+  banner "PHASE 2: automatic parallelization (cf. Fig. 17)";
+  let normalized = Core.Pipeline.normalize inlined in
+  let parallelized, _ = Parallelizer.Parallelize.run normalized in
+  print_string
+    (Frontend.Pretty.program_to_string
+       { Frontend.Ast.p_units = [ main_unit parallelized ] });
+
+  banner "PHASE 3: reverse inlining (cf. Fig. 19)";
+  let restored, stats =
+    Core.Reverse.run ~cfg:Core.Annot_inline.default_config ~annots parallelized
+  in
+  print_string
+    (Frontend.Pretty.program_to_string
+       { Frontend.Ast.p_units = [ main_unit restored ] });
+  Printf.printf "regions matched: %d, fallbacks: %d\n" stats.matched
+    (List.length stats.fallback);
+
+  banner
+    "COMPARISON: conventional inlining bloats the caller; annotation-based\n\
+     inlining restores the original code (directives aside)";
+  let base = Core.Pipeline.run ~mode:Core.Pipeline.No_inlining program in
+  List.iter
+    (fun mode ->
+      let r = Core.Pipeline.run ~annots ~mode program in
+      let par, loss, extra = Core.Pipeline.table2_counts ~baseline:base r in
+      Printf.printf "  %-18s par=%d loss=%d extra=%d size=%d\n"
+        (Core.Pipeline.mode_name mode) par loss extra r.res_code_size)
+    Core.Pipeline.[ No_inlining; Conventional; Annotation_based ];
+
+  banner "EXECUTION";
+  let r =
+    Core.Pipeline.run ~annots ~mode:Core.Pipeline.Annotation_based program
+  in
+  let seq = Runtime.Interp.run_program ~threads:1 program in
+  let par = Runtime.Interp.run_program ~threads:4 r.res_program in
+  Printf.printf "sequential: %sparallel:   %sagree: %b\n" seq par
+    (String.equal seq par)

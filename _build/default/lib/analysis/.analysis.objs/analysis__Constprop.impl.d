@@ -1,0 +1,1 @@
+lib/analysis/constprop.ml: Ast Frontend List Map Set Simplify String Usedef

@@ -1,0 +1,1 @@
+lib/analysis/forward_subst.ml: Ast Frontend Intrinsics Invariance List Option Set Simplify String Usedef

@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Ast Frontend Invariance List Simplify String Usedef

@@ -1,0 +1,1 @@
+lib/analysis/invariance.ml: Ast Frontend List Set String Usedef

@@ -1,0 +1,1 @@
+lib/analysis/poly.ml: Ast Fmt Frontend Hashtbl List Option Pretty String

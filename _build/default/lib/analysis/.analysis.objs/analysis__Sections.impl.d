@@ -1,0 +1,1 @@
+lib/analysis/sections.ml: Ast Frontend List Option Printf

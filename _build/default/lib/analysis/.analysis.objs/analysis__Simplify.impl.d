@@ -1,0 +1,1 @@
+lib/analysis/simplify.ml: Ast Frontend List Option Poly Typing

@@ -1,0 +1,1 @@
+lib/analysis/typing.ml: Ast Frontend List

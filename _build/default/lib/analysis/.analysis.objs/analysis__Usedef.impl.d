@@ -1,0 +1,1 @@
+lib/analysis/usedef.ml: Ast Frontend Intrinsics List Set String

@@ -1,0 +1,153 @@
+(** Induction-variable substitution.
+
+    Recognizes scalars updated as [v = v + c] (with [c] loop-invariant)
+    exactly once per iteration at the top level of a loop body, rewrites
+    all uses of [v] into a closed form over the loop index, removes the
+    update, and materializes the final value after the loop:
+
+      I = I0                          I = I0
+      DO J = 1, N                     DO J = 1, N
+        I = I + 1          ==>          X(I0 + J) = ...
+        X(I) = ...                    ENDDO
+      ENDDO                           I = I0 + MAX(0, N)
+
+    Inner loops are processed first so that an inner loop's accumulated
+    increment (a single invariant post-loop update) becomes a candidate
+    increment for the enclosing loop -- which is how the PCINIT nest of
+    Fig. 2 of the paper becomes fully affine.
+
+    Since uses are rewritten in terms of the value of [v] at loop entry, we
+    only substitute when [v] is not read before the update within the
+    iteration in a position we cannot see; we require the update to be a
+    top-level statement and rewrite uses positionally (before/after it). *)
+
+open Frontend
+
+(* Find candidate (position, var, increment) updates: top-level statements
+   of the body of form [v = v + c] / [v = c + v]. *)
+let candidates (l : Ast.do_loop) =
+  List.filteri (fun _ _ -> true) l.body
+  |> List.mapi (fun i s -> (i, s))
+  |> List.filter_map (fun (i, (s : Ast.stmt)) ->
+         match s.node with
+         | Ast.Assign (Ast.Lvar v, Ast.Binop (Ast.Add, Ast.Var v', c))
+           when String.equal v v' ->
+             Some (i, v, c)
+         | Ast.Assign (Ast.Lvar v, Ast.Binop (Ast.Add, c, Ast.Var v'))
+           when String.equal v v' ->
+             Some (i, v, c)
+         | Ast.Assign (Ast.Lvar v, Ast.Binop (Ast.Sub, Ast.Var v', c))
+           when String.equal v v' ->
+             Some (i, v, Ast.Unop (Ast.Neg, c))
+         | _ -> None)
+
+(* number of completed iterations before the one where index = idx *)
+let iterations_before (l : Ast.do_loop) =
+  (* (idx - lo) / step, exact for the values idx takes *)
+  let open Ast in
+  match l.step with
+  | Int_const 1 -> Binop (Sub, Var l.index, l.lo)
+  | step -> Binop (Div, Binop (Sub, Var l.index, l.lo), step)
+
+(* Total trip count.  Polaris guards or versions loops that might execute
+   zero times; we instead assume counted loops have a non-negative trip
+   count (true of the PERFECT-style codes this targets), because wrapping
+   the expression in MAX(0, .) would hide it from the symbolic range test
+   that later needs to cancel it against the loop bounds. *)
+let trip_count (l : Ast.do_loop) =
+  let open Ast in
+  match l.step with
+  | Int_const 1 -> Binop (Add, Binop (Sub, l.hi, l.lo), Int_const 1)
+  | step -> Binop (Div, Binop (Add, Binop (Sub, l.hi, l.lo), step), step)
+
+let subst_var v replacement stmts =
+  Ast.map_exprs_in_stmts
+    (function Ast.Var x when String.equal x v -> replacement | e -> e)
+    stmts
+
+(** Substitute induction variables in [l]; returns the transformed loop
+    plus statements to place immediately after it (final values). *)
+let substitute_in_loop u (l : Ast.do_loop) : Ast.do_loop * Ast.stmt list =
+  let writes = Invariance.loop_writes l in
+  let cands = candidates l in
+  let chosen =
+    List.filter
+      (fun (pos, v, c) ->
+        (* c invariant in the loop *)
+        Invariance.expr_invariant writes c
+        (* v written nowhere else in the body *)
+        && (let other_writes =
+              List.filter
+                (fun a -> a.Usedef.acc_write && String.equal a.Usedef.acc_name v)
+                (Usedef.accesses_of_stmts l.body)
+            in
+            List.length other_writes = 1)
+        (* v is an integer scalar *)
+        && Ast.type_of_var u v = Ast.Integer
+        && not (Ast.is_array u v)
+        (* the update must not sit inside an IF: top-level position check *)
+        && pos >= 0)
+      cands
+  in
+  (* Apply each chosen substitution in turn. *)
+  List.fold_left
+    (fun ((l : Ast.do_loop), finals) (_, v, c) ->
+      (* Recompute position in the *current* body. *)
+      let pos =
+        let found = ref (-1) in
+        List.iteri
+          (fun i (s : Ast.stmt) ->
+            if !found < 0 then
+              match s.node with
+              | Ast.Assign (Ast.Lvar v', _) when String.equal v v' -> found := i
+              | _ -> ())
+          l.body;
+        !found
+      in
+      if pos < 0 then (l, finals)
+      else
+        let open Ast in
+        let k = iterations_before l in
+        let before_val =
+          Simplify.simplify u (Binop (Add, Var v, Binop (Mul, k, c)))
+        in
+        let after_val =
+          Simplify.simplify u
+            (Binop (Add, Var v, Binop (Mul, Binop (Add, k, Int_const 1), c)))
+        in
+        let body_before = List.filteri (fun i _ -> i < pos) l.body in
+        let body_after = List.filteri (fun i _ -> i > pos) l.body in
+        (* uses of v in the loop bounds refer to the entry value: fine *)
+        let body_before = subst_var v before_val body_before in
+        let body_after = subst_var v after_val body_after in
+        let l = { l with body = body_before @ body_after } in
+        let final =
+          mk
+            (Assign
+               ( Lvar v,
+                 Simplify.simplify u
+                   (Binop (Add, Var v, Binop (Mul, trip_count l, c))) ))
+        in
+        (l, finals @ [ final ]))
+    (l, []) chosen
+
+(** Run induction substitution over a statement list, innermost loops
+    first. *)
+let rec run_stmts u stmts =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      match s.node with
+      | Ast.Do_loop l ->
+          let body = run_stmts u l.body in
+          let l = { l with body } in
+          let l', finals = substitute_in_loop u l in
+          { s with node = Ast.Do_loop l' } :: finals
+      | Ast.If (c, t, e) ->
+          [ { s with node = Ast.If (c, run_stmts u t, run_stmts u e) } ]
+      | Ast.Tagged (tag, body) ->
+          [ { s with node = Ast.Tagged (tag, run_stmts u body) } ]
+      | _ -> [ s ])
+    stmts
+
+let run_unit (u : Ast.program_unit) = { u with u_body = run_stmts u u.u_body }
+let run (p : Ast.program) = { Ast.p_units = List.map run_unit p.p_units }

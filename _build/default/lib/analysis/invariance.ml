@@ -1,0 +1,29 @@
+(** Loop-invariance: whether an expression's value is unchanged across the
+    iterations of a loop body. *)
+
+open Frontend
+module S = Set.Make (String)
+
+(** Is [e] invariant w.r.t. a region whose write set is [w]?  An expression
+    is invariant when none of the variables it reads (array base names
+    included: a write anywhere into an array kills invariance of its
+    elements) are written. *)
+let expr_invariant (w : Usedef.write_set) (e : Ast.expr) =
+  match w with
+  | Usedef.All -> (
+      (* only literals survive a call with unknown effects *)
+      match e with
+      | Ast.Int_const _ | Ast.Real_const _ | Ast.Str_const _
+      | Ast.Logical_const _ ->
+          true
+      | _ -> false)
+  | Usedef.Vars vars -> List.for_all (fun v -> not (S.mem v vars)) (Ast.expr_vars e)
+
+(** Writes performed by the body of [loop] (its own index included). *)
+let loop_writes ?callee_writes (loop : Ast.do_loop) =
+  Usedef.union
+    (Usedef.written ?callee_writes loop.body)
+    (Usedef.Vars (S.singleton loop.index))
+
+let invariant_in_loop ?callee_writes (loop : Ast.do_loop) e =
+  expr_invariant (loop_writes ?callee_writes loop) e

@@ -1,0 +1,246 @@
+(** Polynomial normal form for integer-valued expressions.
+
+    An expression is flattened into a sum of monomials; each monomial is an
+    integer coefficient times a sorted product of *atoms*.  An atom is any
+    sub-expression the polynomial algebra cannot look into: a variable, an
+    array reference, a function call, an integer division, etc.  The normal
+    form gives us:
+
+    - canonical symbolic equality (used by the reverse-inline matcher to
+      tolerate constant propagation and expression reordering);
+    - extraction of affine subscript forms for dependence testing, where
+      cancellation of identical opaque atoms (e.g. [IX(7)]) falls out of the
+      algebra for free. *)
+
+open Frontend
+
+(* A monomial: sorted list of atoms (the product), using the derived total
+   order on expressions. *)
+type mono = Ast.expr list
+
+type t = (mono * int) list
+(** Sorted association list of monomials to non-zero coefficients.
+    The empty monomial [[]] holds the constant term. *)
+
+let compare_mono (a : mono) (b : mono) =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs', y :: ys' ->
+        let c = Ast.compare_expr x y in
+        if c <> 0 then c else go xs' ys'
+  in
+  let c = compare (List.length a) (List.length b) in
+  if c <> 0 then c else go a b
+
+let zero : t = []
+let const c : t = if c = 0 then [] else [ ([], c) ]
+let is_zero (p : t) = p = []
+
+let to_const (p : t) =
+  match p with
+  | [] -> Some 0
+  | [ ([], c) ] -> Some c
+  | _ -> None
+
+let normalize (terms : (mono * int) list) : t =
+  let sorted =
+    List.sort (fun (m1, _) (m2, _) -> compare_mono m1 m2) terms
+  in
+  let rec merge = function
+    | [] -> []
+    | (m, c) :: rest ->
+        let same, rest' =
+          List.partition (fun (m', _) -> compare_mono m m' = 0) rest
+        in
+        let total = List.fold_left (fun acc (_, c') -> acc + c') c same in
+        if total = 0 then merge rest' else (m, total) :: merge rest'
+  in
+  merge sorted
+
+let add (p : t) (q : t) : t = normalize (p @ q)
+let neg (p : t) : t = List.map (fun (m, c) -> (m, -c)) p
+let sub p q = add p (neg q)
+
+let mul (p : t) (q : t) : t =
+  normalize
+    (List.concat_map
+       (fun (m1, c1) ->
+         List.map
+           (fun (m2, c2) -> (List.sort Ast.compare_expr (m1 @ m2), c1 * c2))
+           q)
+       p)
+
+let scale k (p : t) : t =
+  if k = 0 then [] else List.map (fun (m, c) -> (m, k * c)) p
+
+let atom (e : Ast.expr) : t = [ ([ e ], 1) ]
+
+let equal (p : t) (q : t) = is_zero (sub p q)
+
+(** Convert an expression to polynomial normal form.  [atomize] is applied
+    to sub-expressions the algebra cannot decompose; it may recursively
+    normalize inside them (e.g. normalize array subscripts). *)
+let rec of_expr ?(atomize = fun e -> e) (e : Ast.expr) : t =
+  let recur = of_expr ~atomize in
+  match e with
+  | Ast.Int_const n -> const n
+  | Ast.Binop (Ast.Add, a, b) -> add (recur a) (recur b)
+  | Ast.Binop (Ast.Sub, a, b) -> sub (recur a) (recur b)
+  | Ast.Binop (Ast.Mul, a, b) -> mul (recur a) (recur b)
+  | Ast.Unop (Ast.Neg, a) -> neg (recur a)
+  | Ast.Binop (Ast.Pow, a, Ast.Int_const k) when k >= 0 && k <= 4 ->
+      let pa = recur a in
+      let rec pow acc i = if i = 0 then acc else pow (mul acc pa) (i - 1) in
+      pow (const 1) k
+  | Ast.Binop (Ast.Div, a, b) -> (
+      (* Exact constant division only; otherwise opaque. *)
+      let pa = recur a and pb = recur b in
+      match to_const pb with
+      | Some d when d <> 0 && List.for_all (fun (_, c) -> c mod d = 0) pa ->
+          List.map (fun (m, c) -> (m, c / d)) pa
+      | _ -> atom (atomize e))
+  | _ -> atom (atomize e)
+
+(** Rebuild an expression from the normal form (deterministic order). *)
+let to_expr (p : t) : Ast.expr =
+  let mono_expr (m, c) =
+    let base =
+      match m with
+      | [] -> None
+      | e :: rest ->
+          Some
+            (List.fold_left (fun acc x -> Ast.Binop (Ast.Mul, acc, x)) e rest)
+    in
+    match (base, c) with
+    | None, c -> Ast.Int_const c
+    | Some b, 1 -> b
+    | Some b, -1 -> Ast.Unop (Ast.Neg, b)
+    | Some b, c -> Ast.Binop (Ast.Mul, Ast.Int_const c, b)
+  in
+  match p with
+  | [] -> Ast.Int_const 0
+  | t0 :: rest ->
+      List.fold_left
+        (fun acc term ->
+          let e = mono_expr term in
+          match e with
+          | Ast.Unop (Ast.Neg, e') -> Ast.Binop (Ast.Sub, acc, e')
+          | Ast.Int_const n when n < 0 ->
+              Ast.Binop (Ast.Sub, acc, Ast.Int_const (-n))
+          | Ast.Binop (Ast.Mul, Ast.Int_const n, b) when n < 0 ->
+              Ast.Binop (Ast.Sub, acc, Ast.Binop (Ast.Mul, Ast.Int_const (-n), b))
+          | _ -> Ast.Binop (Ast.Add, acc, e))
+        (mono_expr t0) rest
+
+(** All atoms mentioned anywhere in the polynomial. *)
+let atoms (p : t) : Ast.expr list =
+  List.sort_uniq Ast.compare_expr (List.concat_map fst p)
+
+(** Degree of the polynomial in the given variable set: for each monomial,
+    count atoms that are [Var v] with [v] in [vars], plus atoms *containing*
+    such a variable anywhere (those make the monomial non-affine). *)
+let mono_degree_in ~vars (m : mono) =
+  List.fold_left
+    (fun (deg, opaque_varying) a ->
+      match a with
+      | Ast.Var v when List.mem v vars -> (deg + 1, opaque_varying)
+      | _ ->
+          let mentioned =
+            List.exists (fun v -> List.mem v vars) (Ast.expr_vars a)
+          in
+          (deg, opaque_varying || mentioned))
+    (0, false) m
+
+(** Decompose a polynomial as an affine form over [vars]:
+    [Some (coeffs, rest)] where [coeffs] maps each variable to its constant
+    integer coefficient and [rest] is the part free of [vars]; [None] if the
+    polynomial is not affine in [vars] (degree >= 2, a variable under an
+    opaque atom, or a symbolic coefficient on a variable). *)
+let affine_in ~vars (p : t) : ((string * int) list * t) option =
+  let exception Not_affine in
+  try
+    let coeffs = Hashtbl.create 4 in
+    let rest = ref [] in
+    List.iter
+      (fun (m, c) ->
+        let deg, opaque = mono_degree_in ~vars m in
+        if opaque then raise Not_affine
+        else if deg = 0 then rest := (m, c) :: !rest
+        else if deg = 1 && List.length m = 1 then
+          match m with
+          | [ Ast.Var v ] ->
+              Hashtbl.replace coeffs v
+                (c + Option.value ~default:0 (Hashtbl.find_opt coeffs v))
+          | _ -> raise Not_affine
+        else raise Not_affine)
+      p;
+    let cs =
+      Hashtbl.fold (fun v c acc -> if c = 0 then acc else (v, c) :: acc) coeffs []
+    in
+    Some (List.sort compare cs, normalize !rest)
+  with Not_affine -> None
+
+(** Like [affine_in] but allowing symbolic coefficients: returns for each
+    variable in [vars] the polynomial coefficient, plus the var-free rest.
+    [None] if any monomial has degree >= 2 in [vars] or hides a variable
+    inside an opaque atom. *)
+let sym_affine_in ~vars (p : t) : ((string * t) list * t) option =
+  let exception Not_affine in
+  try
+    let coeffs : (string, t ref) Hashtbl.t = Hashtbl.create 4 in
+    let rest = ref [] in
+    List.iter
+      (fun (m, c) ->
+        let deg, opaque = mono_degree_in ~vars m in
+        if opaque then raise Not_affine
+        else if deg = 0 then rest := (m, c) :: !rest
+        else if deg = 1 then begin
+          let v =
+            List.find_map
+              (function Ast.Var v when List.mem v vars -> Some v | _ -> None)
+              m
+            |> Option.get
+          in
+          let others =
+            List.filter
+              (function Ast.Var v' when String.equal v' v -> false | _ -> true)
+              m
+          in
+          let r =
+            match Hashtbl.find_opt coeffs v with
+            | Some r -> r
+            | None ->
+                let r = ref zero in
+                Hashtbl.add coeffs v r;
+                r
+          in
+          r := add !r [ (others, c) ]
+        end
+        else raise Not_affine)
+      p;
+    let cs =
+      Hashtbl.fold
+        (fun v r acc -> if is_zero !r then acc else (v, !r) :: acc)
+        coeffs []
+    in
+    Some (List.sort (fun (a, _) (b, _) -> compare a b) cs, normalize !rest)
+  with Not_affine -> None
+
+let pp fmt (p : t) = Fmt.string fmt (Pretty.expr_str (to_expr p))
+
+(** Substitute polynomial [q] for every atom equal to [a] in [p]. *)
+let subst_atom (a : Ast.expr) (q : t) (p : t) : t =
+  List.fold_left
+    (fun acc (m, c) ->
+      let replaced, kept =
+        List.partition (fun x -> Ast.compare_expr x a = 0) m
+      in
+      let term = List.fold_left (fun t _ -> mul t q) [ (kept, c) ] replaced in
+      add acc term)
+    zero p
+
+(** Substitute polynomial [q] for the variable [v]. *)
+let subst_var (v : string) (q : t) (p : t) : t = subst_atom (Ast.Var v) q p

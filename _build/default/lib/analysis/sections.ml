@@ -1,0 +1,151 @@
+(** Lowering of Fortran-90 array sections to explicit DO loops.
+
+    Annotations use sections ([FE(1:NSFE, ID) = ...]) for brevity; the
+    dependence framework wants element-wise loops.  This pass rewrites
+
+      A(l1:h1, e) = rhs     ==>    DO it = l1, h1
+                                     A(it, e) = rhs[sections -> it]
+                                   ENDDO
+
+    matching the k-th sectioned dimension of the left-hand side with the
+    k-th sectioned dimension of every section on the right.  Whole-array
+    assignments ([A = expr] where [A] is declared with known dimensions)
+    are expanded the same way. *)
+
+open Frontend
+
+let counter = ref 0
+
+let fresh_index () =
+  incr counter;
+  (* leading I gives implicit INTEGER typing *)
+  Printf.sprintf "ITSEC%d" !counter
+
+(* Replace the sections of an expression with element references driven by
+   [idx_of k], the index expression for the k-th sectioned dimension. *)
+let elementize idx_of e =
+  Ast.map_expr
+    (function
+      | Ast.Section (a, bounds) ->
+          let k = ref (-1) in
+          let args =
+            List.map
+              (fun (lo, hi, _step) ->
+                match (lo, hi) with
+                | Some l, Some h when Ast.equal_expr l h -> l (* plain index *)
+                | _ ->
+                    incr k;
+                    idx_of !k)
+              bounds
+          in
+          Ast.Array_ref (a, args)
+      | e -> e)
+    e
+
+let rec lower_assignment (u : Ast.program_unit) (s : Ast.stmt) : Ast.stmt list =
+  match s.node with
+  | Ast.Assign (Ast.Lsection (a, bounds), rhs) ->
+      (* one loop per sectioned dim, innermost = first dim (column major
+         order is irrelevant for semantics; go left to right, outer last) *)
+      let sectioned =
+        List.filteri
+          (fun _ (lo, hi, _) ->
+            match (lo, hi) with
+            | Some l, Some h when Ast.equal_expr l h -> false
+            | _ -> true)
+          bounds
+      in
+      let idx_names = List.map (fun _ -> fresh_index ()) sectioned in
+      let idx_of k = Ast.Var (List.nth idx_names k) in
+      let k = ref (-1) in
+      let lhs_args =
+        List.map
+          (fun (lo, hi, _) ->
+            match (lo, hi) with
+            | Some l, Some h when Ast.equal_expr l h -> l
+            | _ ->
+                incr k;
+                idx_of !k)
+          bounds
+      in
+      let body_stmt =
+        Ast.mk (Ast.Assign (Ast.Larray (a, lhs_args), elementize idx_of rhs))
+      in
+      let default_bounds dim_pos =
+        (* declared bounds for missing section endpoints *)
+        match Ast.find_decl u a with
+        | Some d when List.length d.d_dims > dim_pos -> (
+            match List.nth d.d_dims dim_pos with
+            | Ast.Dim_expr e -> (Ast.Int_const 1, e)
+            | Ast.Dim_star -> (Ast.Int_const 1, Ast.Int_const 1))
+        | _ -> (Ast.Int_const 1, Ast.Int_const 1)
+      in
+      let loops =
+        List.mapi
+          (fun k (lo, hi, step) ->
+            let dim_pos =
+              (* position of the k-th sectioned dim in bounds *)
+              let seen = ref (-1) in
+              let res = ref 0 in
+              List.iteri
+                (fun i (l, h, _) ->
+                  let is_sec =
+                    match (l, h) with
+                    | Some a', Some b' when Ast.equal_expr a' b' -> false
+                    | _ -> true
+                  in
+                  if is_sec then begin
+                    incr seen;
+                    if !seen = k then res := i
+                  end)
+                bounds;
+              !res
+            in
+            let dlo, dhi = default_bounds dim_pos in
+            ( List.nth idx_names k,
+              Option.value ~default:dlo lo,
+              Option.value ~default:dhi hi,
+              Option.value ~default:(Ast.Int_const 1) step ))
+          sectioned
+      in
+      (* innermost loop is the first sectioned dimension *)
+      let nest =
+        List.fold_left
+          (fun inner (iv, lo, hi, step) -> [ Ast.mk_loop iv lo hi step inner ])
+          [ body_stmt ]
+          loops
+      in
+      nest
+  | Ast.Assign (Ast.Lvar a, rhs) when Ast.is_array u a ->
+      (* whole-array broadcast: A = rhs with A's declared dims *)
+      let dims =
+        match Ast.find_decl u a with Some d -> d.d_dims | None -> []
+      in
+      if
+        dims = []
+        || List.exists (function Ast.Dim_star -> true | _ -> false) dims
+      then [ s ]
+      else
+        let bounds =
+          List.map
+            (fun d ->
+              match d with
+              | Ast.Dim_expr e -> (None, Some e, None)
+              | Ast.Dim_star -> assert false)
+            dims
+        in
+        lower_assignment u
+          { s with node = Ast.Assign (Ast.Lsection (a, bounds), rhs) }
+  | _ -> [ s ]
+
+(** Lower all sections in a statement list. *)
+let lower_stmts u stmts =
+  Ast.map_stmts
+    (fun s ->
+      match s.node with
+      | Ast.Assign ((Ast.Lsection _ | Ast.Lvar _), _) -> lower_assignment u s
+      | _ -> [ s ])
+    stmts
+
+let run_unit u = { u with Ast.u_body = lower_stmts u u.Ast.u_body }
+let run (p : Ast.program) = { Ast.p_units = List.map run_unit p.p_units }

@@ -1,0 +1,119 @@
+(** Expression simplification.
+
+    Integer-valued (sub-)expressions are canonicalized through the
+    polynomial normal form of {!Poly}; everything else gets constant
+    folding and unit-element elimination.  The result is deterministic, so
+    two expressions equal modulo associativity/commutativity/constant
+    arithmetic print identically -- which the reverse-inline matcher and
+    the dependence tests both rely on. *)
+
+open Frontend
+
+let fold_int_binop op a b =
+  match op with
+  | Ast.Add -> Some (a + b)
+  | Ast.Sub -> Some (a - b)
+  | Ast.Mul -> Some (a * b)
+  | Ast.Div -> if b = 0 then None else Some (a / b)
+  | Ast.Pow ->
+      if b < 0 || b > 30 then None
+      else
+        let rec pw acc i = if i = 0 then acc else pw (acc * a) (i - 1) in
+        Some (pw 1 b)
+  | _ -> None
+
+let fold_real_binop op a b =
+  match op with
+  | Ast.Add -> Some (a +. b)
+  | Ast.Sub -> Some (a -. b)
+  | Ast.Mul -> Some (a *. b)
+  | Ast.Div -> if b = 0.0 then None else Some (a /. b)
+  | Ast.Pow -> Some (a ** b)
+  | _ -> None
+
+let rec basic_simplify (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Binop (op, a, b) -> (
+      let a = basic_simplify a and b = basic_simplify b in
+      match (op, a, b) with
+      | _, Ast.Int_const x, Ast.Int_const y -> (
+          match fold_int_binop op x y with
+          | Some v -> Ast.Int_const v
+          | None -> Ast.Binop (op, a, b))
+      | _, Ast.Real_const x, Ast.Real_const y -> (
+          match fold_real_binop op x y with
+          | Some v -> Ast.Real_const v
+          | None -> Ast.Binop (op, a, b))
+      | Ast.Add, x, Ast.Int_const 0 | Ast.Add, Ast.Int_const 0, x -> x
+      | Ast.Add, x, Ast.Real_const 0.0 | Ast.Add, Ast.Real_const 0.0, x -> x
+      | Ast.Sub, x, Ast.Int_const 0 -> x
+      | Ast.Sub, x, Ast.Real_const 0.0 -> x
+      | Ast.Mul, x, Ast.Int_const 1 | Ast.Mul, Ast.Int_const 1, x -> x
+      | Ast.Mul, x, Ast.Real_const 1.0 | Ast.Mul, Ast.Real_const 1.0, x -> x
+      | Ast.Mul, _, Ast.Int_const 0 | Ast.Mul, Ast.Int_const 0, _ ->
+          Ast.Int_const 0
+      | Ast.Div, x, Ast.Int_const 1 -> x
+      | Ast.Div, x, Ast.Real_const 1.0 -> x
+      | Ast.Pow, x, Ast.Int_const 1 -> x
+      | _ -> Ast.Binop (op, a, b))
+  | Ast.Unop (Ast.Neg, a) -> (
+      match basic_simplify a with
+      | Ast.Int_const n -> Ast.Int_const (-n)
+      | Ast.Real_const r -> Ast.Real_const (-.r)
+      | a -> Ast.Unop (Ast.Neg, a))
+  | Ast.Unop (Ast.Not, a) -> (
+      match basic_simplify a with
+      | Ast.Logical_const b -> Ast.Logical_const (not b)
+      | a -> Ast.Unop (Ast.Not, a))
+  | Ast.Array_ref (n, args) -> Ast.Array_ref (n, List.map basic_simplify args)
+  | Ast.Func_call (n, args) -> (
+      let args = List.map basic_simplify args in
+      match (n, args) with
+      | "MAX", [ Ast.Int_const a; Ast.Int_const b ] -> Ast.Int_const (max a b)
+      | "MIN", [ Ast.Int_const a; Ast.Int_const b ] -> Ast.Int_const (min a b)
+      | ("ABS" | "IABS"), [ Ast.Int_const a ] -> Ast.Int_const (abs a)
+      | "MOD", [ Ast.Int_const a; Ast.Int_const b ] when b <> 0 ->
+          Ast.Int_const (a mod b)
+      | _ -> Ast.Func_call (n, args))
+  | Ast.Section (n, bounds) ->
+      Ast.Section
+        ( n,
+          List.map
+            (fun (a, b, c) ->
+              let g = Option.map basic_simplify in
+              (g a, g b, g c))
+            bounds )
+  | _ -> e
+
+(** Canonicalize [e] in the context of unit [u]: integer sub-expressions go
+    through the polynomial normal form (after simplifying their own
+    subscripts), others are const-folded. *)
+let rec simplify (u : Ast.program_unit) (e : Ast.expr) : Ast.expr =
+  let e = basic_simplify e in
+  if Typing.is_int u e then
+    let atomize sub =
+      (* normalize inside opaque atoms too *)
+      match sub with
+      | Ast.Array_ref (n, args) -> Ast.Array_ref (n, List.map (simplify u) args)
+      | Ast.Func_call (n, args) -> Ast.Func_call (n, List.map (simplify u) args)
+      | other -> basic_simplify other
+    in
+    basic_simplify (Poly.to_expr (Poly.of_expr ~atomize e))
+  else
+    match e with
+    | Ast.Binop (op, a, b) -> basic_simplify (Ast.Binop (op, simplify u a, simplify u b))
+    | Ast.Unop (op, a) -> basic_simplify (Ast.Unop (op, simplify u a))
+    | Ast.Array_ref (n, args) -> Ast.Array_ref (n, List.map (simplify u) args)
+    | Ast.Func_call (n, args) -> Ast.Func_call (n, List.map (simplify u) args)
+    | _ -> e
+
+(** Structural equality modulo simplification. *)
+let equal_mod_simplify u a b =
+  Ast.equal_expr (simplify u a) (simplify u b)
+  ||
+  (* integer expressions: compare polynomials of the difference *)
+  (Typing.is_int u a && Typing.is_int u b
+  && Poly.equal (Poly.of_expr (simplify u a)) (Poly.of_expr (simplify u b)))
+
+(** Simplify every expression in a statement list. *)
+let simplify_stmts u stmts = Ast.map_exprs_in_stmts (simplify u) stmts

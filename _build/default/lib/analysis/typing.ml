@@ -1,0 +1,33 @@
+(** Expression typing: enough of the Fortran rules to decide whether an
+    expression is integer-valued (integer expressions get the polynomial
+    treatment; real expressions are only const-folded). *)
+
+open Frontend
+
+let int_intrinsics = [ "INT"; "NINT"; "IABS"; "MAX0"; "MIN0"; "ISIGN" ]
+let real_intrinsics =
+  [
+    "SQRT"; "DSQRT"; "SIN"; "DSIN"; "COS"; "DCOS"; "TAN"; "EXP"; "DEXP";
+    "LOG"; "DLOG"; "ALOG"; "DBLE"; "REAL"; "FLOAT"; "AMAX1"; "AMIN1";
+    "DMAX1"; "DMIN1"; "ATAN"; "DATAN"; "ATAN2"; "DABS";
+  ]
+
+(** [is_int u e] is true when [e] is integer-valued in unit [u]. *)
+let rec is_int (u : Ast.program_unit) (e : Ast.expr) =
+  match e with
+  | Ast.Int_const _ -> true
+  | Ast.Real_const _ | Ast.Str_const _ | Ast.Logical_const _ -> false
+  | Ast.Var v -> Ast.type_of_var u v = Ast.Integer
+  | Ast.Array_ref (a, _) -> Ast.type_of_var u a = Ast.Integer
+  | Ast.Func_call (f, args) ->
+      if List.mem f int_intrinsics then true
+      else if List.mem f real_intrinsics then false
+      else if List.mem f [ "ABS"; "MAX"; "MIN"; "MOD"; "SIGN"; "DMOD" ] then
+        List.for_all (is_int u) args
+      else Ast.implicit_type f = Ast.Integer
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow), a, b) ->
+      is_int u a && is_int u b
+  | Ast.Binop (_, _, _) -> false (* relational / logical *)
+  | Ast.Unop (Ast.Neg, a) -> is_int u a
+  | Ast.Unop (Ast.Not, _) -> false
+  | Ast.Section (a, _) -> Ast.type_of_var u a = Ast.Integer

@@ -1,0 +1,178 @@
+(** Use/def collection: every memory access in a statement tree, in source
+    order, with read/write disposition -- the raw material for dependence
+    testing, privatization and invariance checks. *)
+
+open Frontend
+module S = Set.Make (String)
+
+type access = {
+  acc_name : string;
+  acc_index : Ast.expr list;  (** [[]] for scalars *)
+  acc_write : bool;
+  acc_sid : int;  (** id of the enclosing statement *)
+}
+
+(* Reads performed by an expression. *)
+let rec expr_reads sid (e : Ast.expr) acc =
+  match e with
+  | Ast.Int_const _ | Ast.Real_const _ | Ast.Str_const _ | Ast.Logical_const _
+    ->
+      acc
+  | Ast.Var v ->
+      { acc_name = v; acc_index = []; acc_write = false; acc_sid = sid } :: acc
+  | Ast.Array_ref (a, idx) ->
+      let acc = List.fold_left (fun acc e -> expr_reads sid e acc) acc idx in
+      { acc_name = a; acc_index = idx; acc_write = false; acc_sid = sid } :: acc
+  | Ast.Func_call (_, args) ->
+      List.fold_left (fun acc e -> expr_reads sid e acc) acc args
+  | Ast.Binop (_, a, b) -> expr_reads sid b (expr_reads sid a acc)
+  | Ast.Unop (_, a) -> expr_reads sid a acc
+  | Ast.Section (a, bounds) ->
+      let acc =
+        List.fold_left
+          (fun acc (x, y, z) ->
+            List.fold_left
+              (fun acc o ->
+                match o with Some e -> expr_reads sid e acc | None -> acc)
+              acc [ x; y; z ])
+          acc bounds
+      in
+      (* whole-section read: index unknown *)
+      { acc_name = a; acc_index = []; acc_write = false; acc_sid = sid } :: acc
+
+let lvalue_accesses sid (lv : Ast.lvalue) acc =
+  match lv with
+  | Ast.Lvar v ->
+      { acc_name = v; acc_index = []; acc_write = true; acc_sid = sid } :: acc
+  | Ast.Larray (a, idx) ->
+      let acc = List.fold_left (fun acc e -> expr_reads sid e acc) acc idx in
+      { acc_name = a; acc_index = idx; acc_write = true; acc_sid = sid } :: acc
+  | Ast.Lsection (a, bounds) ->
+      let acc =
+        List.fold_left
+          (fun acc (x, y, z) ->
+            List.fold_left
+              (fun acc o ->
+                match o with Some e -> expr_reads sid e acc | None -> acc)
+              acc [ x; y; z ])
+          acc bounds
+      in
+      { acc_name = a; acc_index = []; acc_write = true; acc_sid = sid } :: acc
+
+(** Every access in the statement list, source order.  CALL argument
+    expressions are recorded as reads; the (possible) writes through
+    by-reference arguments are the caller's problem -- loops containing
+    calls are never parallelized directly, and the inliners substitute the
+    call away before analysis. *)
+let accesses_of_stmts stmts : access list =
+  let rec stmt acc (s : Ast.stmt) =
+    match s.node with
+    | Ast.Assign (lv, e) -> lvalue_accesses s.sid lv (expr_reads s.sid e acc)
+    | Ast.Do_loop l ->
+        let acc = expr_reads s.sid l.lo acc in
+        let acc = expr_reads s.sid l.hi acc in
+        let acc = expr_reads s.sid l.step acc in
+        let acc =
+          { acc_name = l.index; acc_index = []; acc_write = true; acc_sid = s.sid }
+          :: acc
+        in
+        List.fold_left stmt acc l.body
+    | Ast.If (c, t, e) ->
+        let acc = expr_reads s.sid c acc in
+        let acc = List.fold_left stmt acc t in
+        List.fold_left stmt acc e
+    | Ast.Call (_, args) ->
+        List.fold_left (fun acc e -> expr_reads s.sid e acc) acc args
+    | Ast.Print es ->
+        List.fold_left (fun acc e -> expr_reads s.sid e acc) acc es
+    | Ast.Tagged (_, body) -> List.fold_left stmt acc body
+    | Ast.Return | Ast.Stop _ | Ast.Continue -> acc
+  in
+  List.rev (List.fold_left stmt [] stmts)
+
+(** Variables definitely or possibly written by the statements.  [All]
+    means "anything" (a CALL whose side effects we cannot see). *)
+type write_set = Vars of S.t | All
+
+let union a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Vars x, Vars y -> Vars (S.union x y)
+
+let mem name = function All -> true | Vars s -> S.mem name s
+
+(** Names written by statements.  [callee_writes name] gives the write set
+    of a CALLed subroutine if known ([None] -> assume everything). *)
+let rec written ?(callee_writes = fun _ -> None) stmts : write_set =
+  List.fold_left
+    (fun acc (s : Ast.stmt) ->
+      let w =
+        match s.node with
+        | Ast.Assign (lv, _) -> Vars (S.singleton (Ast.lvalue_name lv))
+        | Ast.Do_loop l ->
+            union
+              (Vars (S.singleton l.index))
+              (written ~callee_writes l.body)
+        | Ast.If (_, t, e) ->
+            union (written ~callee_writes t) (written ~callee_writes e)
+        | Ast.Call (name, args) -> (
+            match callee_writes name with
+            | Some vars ->
+                (* writes to by-reference actual arguments: conservatively
+                   add every actual's base variable *)
+                let bases =
+                  List.filter_map
+                    (function
+                      | Ast.Var v -> Some v
+                      | Ast.Array_ref (a, _) -> Some a
+                      | _ -> None)
+                    args
+                in
+                Vars (S.union vars (S.of_list bases))
+            | None -> All)
+        | Ast.Tagged (_, body) -> written ~callee_writes body
+        | Ast.Return | Ast.Stop _ | Ast.Print _ | Ast.Continue -> Vars S.empty
+      in
+      union acc w)
+    (Vars S.empty) stmts
+
+(** Does the statement tree contain I/O, STOP or RETURN?  Such statements
+    keep a loop sequential (the paper's "debugging and error checking"
+    obstacle). *)
+let has_side_exit stmts =
+  Ast.fold_stmts
+    (fun acc s ->
+      acc
+      || match s.node with Ast.Print _ | Ast.Stop _ | Ast.Return -> true | _ -> false)
+    false stmts
+
+(** Does the statement tree contain I/O or STOP (RETURN excluded)?  Used
+    by purity analysis, where a trailing RETURN is legitimate. *)
+let has_io stmts =
+  Ast.fold_stmts
+    (fun acc s ->
+      acc
+      || match s.node with Ast.Print _ | Ast.Stop _ -> true | _ -> false)
+    false stmts
+
+(** All CALL statements in the tree. *)
+let calls stmts =
+  List.rev
+    (Ast.fold_stmts
+       (fun acc s ->
+         match s.node with Ast.Call (n, args) -> (n, args) :: acc | _ -> acc)
+       [] stmts)
+
+(** User-function invocations appearing in expressions. *)
+let func_calls stmts =
+  let found = ref [] in
+  ignore
+    (Ast.map_exprs_in_stmts
+       (fun e ->
+         (match e with
+         | Ast.Func_call (n, _) when not (Intrinsics.is_intrinsic n) ->
+             found := n :: !found
+         | _ -> ());
+         e)
+       stmts);
+  List.sort_uniq compare !found

@@ -1,0 +1,1 @@
+lib/core/annot_ast.ml: Frontend List

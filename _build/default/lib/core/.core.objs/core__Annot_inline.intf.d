@@ -1,0 +1,1 @@
+lib/core/annot_inline.mli: Annot_ast Frontend

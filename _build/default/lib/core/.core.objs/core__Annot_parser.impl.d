@@ -1,0 +1,1 @@
+lib/core/annot_parser.ml: Annot_ast Frontend List Printf String

@@ -1,0 +1,1 @@
+lib/core/annot_parser.mli: Annot_ast

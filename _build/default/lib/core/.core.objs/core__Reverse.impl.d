@@ -1,0 +1,1 @@
+lib/core/reverse.ml: Analysis Annot_ast Annot_inline Array Ast Frontend List Map String

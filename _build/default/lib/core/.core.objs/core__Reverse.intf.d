@@ -1,0 +1,1 @@
+lib/core/reverse.mli: Annot_ast Annot_inline Frontend

@@ -1,0 +1,66 @@
+(** Abstract syntax of the annotation language (Fig. 12 of the paper).
+
+    Annotations are small summary programs: assignments, conditionals,
+    counted [do] loops, declarations, and the two summary operators
+    [unknown(...)] and [unique(...)].  Array references use brackets
+    ([XYG[1, ICOND[1, ID]]]) and support Fortran-90-style sections
+    ([FE[1:NSFE, ID]]). *)
+
+type aexpr =
+  | AInt of int
+  | AReal of float
+  | AVar of string
+  | AIndex of string * aexpr list
+  | ASection of string * (aexpr option * aexpr option) list
+      (** [a[lo:hi, e]]; a plain index [e] is [(Some e, Some e)] *)
+  | ABinop of Frontend.Ast.binop * aexpr * aexpr
+  | AUnop of Frontend.Ast.unop * aexpr
+  | ACall of string * aexpr list  (** intrinsic invocation *)
+  | AUnknown of aexpr list
+  | AUnique of aexpr list
+
+type atarget =
+  | TVar of string
+  | TIndex of string * aexpr list
+  | TSection of string * (aexpr option * aexpr option) list
+
+type astmt =
+  | ABlock of astmt list
+  | AAssign of atarget list * aexpr
+      (** multiple targets allowed for [unknown]: [(NDX,NDY) = unknown(..)] *)
+  | AIf of aexpr * astmt * astmt option
+  | ADo of { av : string; alo : aexpr; ahi : aexpr; astep : aexpr option; abody : astmt }
+  | ADecl of Frontend.Ast.dtype option * (string * aexpr list) list
+      (** [dimension M1[L,M], M2[M,N]] or [integer K1, K2] *)
+  | AReturn of aexpr option
+
+type annotation = {
+  an_name : string;  (** subroutine summarized *)
+  an_params : string list;
+  an_body : astmt list;
+}
+
+(** Dimension declarations collected from the annotation body. *)
+let declared_dims (a : annotation) : (string * aexpr list) list =
+  let rec walk acc = function
+    | ABlock b -> List.fold_left walk acc b
+    | ADecl (_, items) ->
+        List.fold_left
+          (fun acc (n, dims) -> if dims <> [] then (n, dims) :: acc else acc)
+          acc items
+    | AIf (_, t, e) -> (
+        let acc = walk acc t in
+        match e with Some e -> walk acc e | None -> acc)
+    | ADo d -> walk acc d.abody
+    | AAssign _ | AReturn _ -> acc
+  in
+  List.fold_left walk [] a.an_body
+
+(** Number of [do] statements, pre-order — used to map annotation loops to
+    the real callee's loops for provenance. *)
+let rec count_dos = function
+  | ABlock b -> List.fold_left (fun n s -> n + count_dos s) 0 b
+  | ADo d -> 1 + count_dos d.abody
+  | AIf (_, t, e) ->
+      count_dos t + (match e with Some e -> count_dos e | None -> 0)
+  | AAssign _ | ADecl _ | AReturn _ -> 0

@@ -1,0 +1,628 @@
+(** Annotation-based inlining (Section III of the paper).
+
+    A CALL to an annotated subroutine is replaced by the *annotation* body
+    translated to Fortran, bracketed by a [Tagged] region:
+
+    - scalar formals are substituted by the actual expressions;
+    - array formals map dimension-by-dimension onto the actual argument's
+      array -- [M1[i,j]] with actual [PP(1,1,KS-1)] becomes
+      [PP(i, j, KS-1)] -- which is precisely how the paper avoids the
+      linearization pathology of conventional inlining;
+    - [y = unknown(x1..xn)] lowers to stores of the operands into a fresh
+      uninitialized array followed by a read of that array (the paper's
+      translation), so dependence analysis sees "reads x1..xn, writes y,
+      arbitrary relation";
+    - [unique(x1..xn)] lowers to the injective linear combination
+      [x1 + R*x2 + R^2*x3 + ...] for a radix [R] exceeding the value
+      ranges, giving the dependence tests an affine handle;
+    - [do] loops and F90-style sections become counted DO loops whose
+      [loop_id]s are mapped onto the real callee's loops (pre-order), so
+      Table II can attribute parallelized annotation loops to the original
+      source loops.
+
+    The same translation runs in [`Match] mode with formals bound to
+    ["?NAME"] marker variables; the reverse inliner unifies that template
+    against the optimized region to recover actual parameters. *)
+
+open Frontend
+open Annot_ast
+module S = Set.Make (String)
+
+type config = {
+  unique_radix : int;
+  only_in_loops : bool;  (** substitute only call sites inside a loop *)
+}
+
+let default_config = { unique_radix = 1024; only_in_loops = true }
+
+type stats = {
+  mutable sites : (string * string * int) list;
+      (** (caller, callee, tag_id) *)
+  mutable skipped : (string * string * string) list;
+}
+
+let new_stats () = { sites = []; skipped = [] }
+
+exception Skip of string
+
+let skip fmt = Printf.ksprintf (fun s -> raise (Skip s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation environment                                            *)
+(* ------------------------------------------------------------------ *)
+
+type abind =
+  | Scalar of Ast.expr
+  | Array_base of { base : string; base_idx : Ast.expr list }
+
+(* Generated names are unique program-wide so that distinct inlined
+   regions never share temporaries (a collision would make them look
+   live across regions).  The reverse-inline matcher treats these names
+   as wildcard classes, so renumbering between the inline-time and
+   match-time instantiations is harmless. *)
+let global_ian = ref 0
+let global_unk = ref 0
+
+type env = {
+  cfg : config;
+  annot : annotation;
+  bind : (string * abind) list;
+  renames : (string * string) list;  (** do-index renaming *)
+  loop_ids : int list;  (** callee loop ids, pre-order *)
+  next_do : int ref;  (** ordinal of the next [do] encountered *)
+  new_decls : Ast.decl list ref;
+}
+
+let fresh_ian _env =
+  incr global_ian;
+  Printf.sprintf "IAN%d" !global_ian
+
+let fresh_unk env k =
+  incr global_unk;
+  let name = Printf.sprintf "UNKANN%d" !global_unk in
+  env.new_decls :=
+    { Ast.d_name = name; d_type = Ast.Real; d_dims = [ Ast.Dim_expr (Ast.Int_const (max 1 k)) ] }
+    :: !(env.new_decls);
+  name
+
+let take_loop_id env =
+  let ord = !(env.next_do) in
+  incr env.next_do;
+  match List.nth_opt env.loop_ids ord with
+  | Some id -> id
+  | None -> Ast.fresh_loop_id ()
+
+(* Map an indexed reference to a formal array onto the actual: leading
+   annotation dims add to the actual's base indices, trailing dims keep the
+   base values. *)
+let map_onto_base ~base_idx (idx : Ast.expr list) : Ast.expr list =
+  let m = List.length idx and n = List.length base_idx in
+  if m > n then skip "annotation rank exceeds actual array rank";
+  List.mapi
+    (fun k b ->
+      if k < m then
+        let i = List.nth idx k in
+        match b with
+        | Ast.Int_const 1 -> i
+        | _ ->
+            Ast.Binop (Ast.Add, b, Ast.Binop (Ast.Sub, i, Ast.Int_const 1))
+      else b)
+    base_idx
+
+(* ------------------------------------------------------------------ *)
+(* Expression translation.  Returns pre-statements (from [unknown]) plus
+   the translated expression. *)
+(* ------------------------------------------------------------------ *)
+
+let rec tr_expr env (e : aexpr) : Ast.stmt list * Ast.expr =
+  match e with
+  | AInt n -> ([], Ast.Int_const n)
+  | AReal r -> ([], Ast.Real_const r)
+  | AVar v -> ([], tr_name env v)
+  | AIndex (a, idx) ->
+      let pres, idx' = tr_exprs env idx in
+      (pres, tr_indexed env a idx')
+  | ASection (a, _) ->
+      skip "array section for %s outside a section assignment" a
+  | ABinop (op, x, y) ->
+      let p1, x' = tr_expr env x in
+      let p2, y' = tr_expr env y in
+      (p1 @ p2, Ast.Binop (op, x', y'))
+  | AUnop (op, x) ->
+      let p, x' = tr_expr env x in
+      (p, Ast.Unop (op, x'))
+  | ACall (f, args) ->
+      let pres, args' = tr_exprs env args in
+      (pres, Ast.Func_call (f, args'))
+  | AUnique args ->
+      let pres, args' = tr_exprs env args in
+      let r = env.cfg.unique_radix in
+      let combined =
+        match args' with
+        | [] -> skip "unique() needs at least one operand"
+        | x :: rest ->
+            List.fold_left
+              (fun (acc, stride) a ->
+                ( Ast.Binop
+                    (Ast.Add, acc, Ast.Binop (Ast.Mul, Ast.Int_const stride, a)),
+                  stride * r ))
+              (x, r) rest
+            |> fst
+      in
+      (pres, combined)
+  | AUnknown args ->
+      let pres, args' = tr_exprs env args in
+      let unk = fresh_unk env (List.length args') in
+      let stores =
+        List.mapi
+          (fun i a ->
+            Ast.mk
+              (Ast.Assign (Ast.Larray (unk, [ Ast.Int_const (i + 1) ]), a)))
+          args'
+      in
+      (pres @ stores, Ast.Array_ref (unk, [ Ast.Int_const 1 ]))
+
+and tr_exprs env es =
+  List.fold_left
+    (fun (pres, acc) e ->
+      let p, e' = tr_expr env e in
+      (pres @ p, acc @ [ e' ]))
+    ([], []) es
+
+and tr_name env v : Ast.expr =
+  match List.assoc_opt v env.bind with
+  | Some (Scalar e) -> e
+  | Some (Array_base { base; base_idx = [] }) -> Ast.Var base
+  | Some (Array_base { base; base_idx }) ->
+      if List.for_all (fun b -> b = Ast.Int_const 1) base_idx then
+        Ast.Var base
+      else skip "whole-array use of offset actual %s" base
+  | None -> (
+      match List.assoc_opt v env.renames with
+      | Some v' -> Ast.Var v'
+      | None -> Ast.Var v)
+
+and tr_indexed env a (idx : Ast.expr list) : Ast.expr =
+  match List.assoc_opt a env.bind with
+  | Some (Scalar _) -> skip "scalar formal %s used with subscripts" a
+  | Some (Array_base { base; base_idx = [] }) ->
+      (* pattern mode: keep subscripts as written *)
+      Ast.Array_ref (base, idx)
+  | Some (Array_base { base; base_idx }) ->
+      Ast.Array_ref (base, map_onto_base ~base_idx idx)
+  | None -> Ast.Array_ref (a, idx)
+
+(* ------------------------------------------------------------------ *)
+(* Targets and statements                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tr_target env (t : atarget) : Ast.lvalue =
+  match t with
+  | TVar v -> (
+      match List.assoc_opt v env.bind with
+      | Some (Scalar (Ast.Var v')) -> Ast.Lvar v'
+      | Some (Scalar _) -> skip "formal %s written but bound to an expression" v
+      | Some (Array_base { base; base_idx = [] }) -> Ast.Lvar base
+      | Some (Array_base { base; base_idx }) ->
+          if List.for_all (fun b -> b = Ast.Int_const 1) base_idx then
+            Ast.Lvar base
+          else skip "whole-array write through offset actual %s" base
+      | None -> (
+          match List.assoc_opt v env.renames with
+          | Some v' -> Ast.Lvar v'
+          | None -> Ast.Lvar v))
+  | TIndex (a, idx) -> (
+      let pres, idx' = tr_exprs env idx in
+      if pres <> [] then skip "unknown() inside a target subscript";
+      match tr_indexed env a idx' with
+      | Ast.Array_ref (b, i) -> Ast.Larray (b, i)
+      | _ -> assert false)
+  | TSection _ -> invalid_arg "tr_target: sections handled by tr_assign"
+
+(* Expand [TSection] assignments into loops, elementizing matching
+   sections on the right-hand side positionally. *)
+let rec tr_assign env (targets : atarget list) (rhs : aexpr) : Ast.stmt list =
+  match targets with
+  | [ TSection (a, bounds) ] ->
+      (* loop per sectioned dim *)
+      let sectioned =
+        List.filter
+          (function Some x, Some y when x = y -> false | _ -> true)
+          bounds
+      in
+      let idxs = List.map (fun _ -> fresh_ian env) sectioned in
+      (* rewrite target to TIndex with loop indices *)
+      let k = ref (-1) in
+      let tgt_idx =
+        List.map
+          (fun (lo, hi) ->
+            match (lo, hi) with
+            | Some x, Some y when x = y -> x
+            | _ ->
+                incr k;
+                AVar (List.nth idxs !k))
+          bounds
+      in
+      (* elementize rhs sections positionally with the same indices *)
+      let rec elem e =
+        match e with
+        | ASection (b, bbounds) ->
+            let k = ref (-1) in
+            AIndex
+              ( b,
+                List.map
+                  (fun (lo, hi) ->
+                    match (lo, hi) with
+                    | Some x, Some y when x = y -> x
+                    | _ ->
+                        incr k;
+                        AVar (List.nth idxs !k))
+                  bbounds )
+        | ABinop (op, x, y) -> ABinop (op, elem x, elem y)
+        | AUnop (op, x) -> AUnop (op, elem x)
+        | ACall (f, args) -> ACall (f, List.map elem args)
+        | AUnknown args -> AUnknown (List.map elem args)
+        | AUnique args -> AUnique (List.map elem args)
+        | AInt _ | AReal _ | AVar _ | AIndex _ -> e
+      in
+      let inner = tr_assign env [ TIndex (a, tgt_idx) ] (elem rhs) in
+      (* wrap loops: first sectioned dim innermost *)
+      let with_bounds =
+        List.map2
+          (fun iv (lo, hi) ->
+            let lo = Option.value ~default:(AInt 1) lo in
+            let hi = Option.value ~default:(AInt 1) hi in
+            (iv, lo, hi))
+          idxs sectioned
+      in
+      List.fold_left
+        (fun body (iv, lo, hi) ->
+          let p1, lo' = tr_expr env lo in
+          let p2, hi' = tr_expr env hi in
+          if p1 <> [] || p2 <> [] then skip "unknown() in section bounds";
+          let l =
+            {
+              Ast.index = iv;
+              lo = lo';
+              hi = hi';
+              step = Ast.Int_const 1;
+              body;
+              do_label = None;
+              parallel = None;
+              loop_id = Ast.fresh_loop_id ();
+            }
+          in
+          [ Ast.mk (Ast.Do_loop l) ])
+        inner with_bounds
+  | [ t ] -> (
+      match rhs with
+      | AUnknown _ | _ ->
+          let pres, e = tr_expr env rhs in
+          pres @ [ Ast.mk (Ast.Assign (tr_target env t, e)) ])
+  | ts -> (
+      (* multiple targets: only meaningful with unknown() *)
+      match rhs with
+      | AUnknown args ->
+          let pres, args' = tr_exprs env args in
+          let k = List.length args' in
+          let unk = fresh_unk env k in
+          let stores =
+            List.mapi
+              (fun i a ->
+                Ast.mk
+                  (Ast.Assign (Ast.Larray (unk, [ Ast.Int_const (i + 1) ]), a)))
+              args'
+          in
+          let assigns =
+            List.concat
+              (List.mapi
+                 (fun j t ->
+                   let src =
+                     Ast.Array_ref
+                       (unk, [ Ast.Int_const ((j mod max 1 k) + 1) ])
+                   in
+                   match t with
+                   | TSection _ ->
+                       (* reuse the section machinery with a scalar rhs *)
+                       tr_assign env [ t ]
+                         (AIndex (unk, [ AInt ((j mod max 1 k) + 1) ]))
+                   | _ -> [ Ast.mk (Ast.Assign (tr_target env t, src)) ])
+                 ts)
+          in
+          pres @ stores @ assigns
+      | _ -> skip "multiple targets require unknown()")
+
+let rec tr_stmt env (s : astmt) : Ast.stmt list =
+  match s with
+  | ABlock b -> List.concat_map (tr_stmt env) b
+  | ADecl _ -> []
+  | AReturn _ -> []
+  | AAssign (targets, rhs) -> tr_assign env targets rhs
+  | AIf (c, t, e) ->
+      let pres, c' = tr_expr env c in
+      let t' = tr_stmt env t in
+      let e' = match e with Some e -> tr_stmt env e | None -> [] in
+      pres @ [ Ast.mk (Ast.If (c', t', e')) ]
+  | ADo d ->
+      let loop_id = take_loop_id env in
+      let iv = fresh_ian env in
+      let env' = { env with renames = (d.av, iv) :: env.renames } in
+      let p1, lo = tr_expr env d.alo in
+      let p2, hi = tr_expr env d.ahi in
+      let p3, step =
+        match d.astep with
+        | Some e -> tr_expr env e
+        | None -> ([], Ast.Int_const 1)
+      in
+      let body = tr_stmt env' d.abody in
+      p1 @ p2 @ p3
+      @ [
+          Ast.mk
+            (Ast.Do_loop
+               {
+                 index = iv;
+                 lo;
+                 hi;
+                 step;
+                 body;
+                 do_label = None;
+                 parallel = None;
+                 loop_id;
+               });
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Binding construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Is formal [f] used as an array in the annotation? *)
+let formal_is_array (a : annotation) f =
+  List.mem_assoc f (declared_dims a)
+  ||
+  let found = ref false in
+  let rec we = function
+    | AIndex (n, args) ->
+        if String.equal n f then found := true;
+        List.iter we args
+    | ASection (n, bounds) ->
+        if String.equal n f then found := true;
+        List.iter
+          (fun (x, y) ->
+            Option.iter we x;
+            Option.iter we y)
+          bounds
+    | ABinop (_, x, y) ->
+        we x;
+        we y
+    | AUnop (_, x) -> we x
+    | ACall (_, args) | AUnknown args | AUnique args -> List.iter we args
+    | AInt _ | AReal _ | AVar _ -> ()
+  in
+  let rec ws = function
+    | ABlock b -> List.iter ws b
+    | AAssign (ts, rhs) ->
+        List.iter
+          (function
+            | TVar _ -> ()
+            | TIndex (n, args) ->
+                if String.equal n f then found := true;
+                List.iter we args
+            | TSection (n, bounds) ->
+                if String.equal n f then found := true;
+                List.iter
+                  (fun (x, y) ->
+                    Option.iter we x;
+                    Option.iter we y)
+                  bounds)
+          ts;
+        we rhs
+    | AIf (c, t, e) ->
+        we c;
+        ws t;
+        Option.iter ws e
+    | ADo d ->
+        we d.alo;
+        we d.ahi;
+        Option.iter we d.astep;
+        ws d.abody
+    | ADecl _ | AReturn _ -> ()
+  in
+  List.iter ws a.an_body;
+  !found
+
+(** Build formal bindings for inline mode. *)
+let bindings_for ~(caller : Ast.program_unit) (a : annotation)
+    (actuals : Ast.expr list) : (string * abind) list =
+  if List.length actuals <> List.length a.an_params then
+    skip "arity mismatch for %s" a.an_name;
+  List.map2
+    (fun f actual ->
+      if formal_is_array a f then
+        match actual with
+        | Ast.Var arr ->
+            let rank =
+              match Ast.find_decl caller arr with
+              | Some d when d.d_dims <> [] -> List.length d.d_dims
+              | _ -> skip "actual %s for array formal %s is not an array" arr f
+            in
+            ( f,
+              Array_base
+                {
+                  base = arr;
+                  base_idx = List.init rank (fun _ -> Ast.Int_const 1);
+                } )
+        | Ast.Array_ref (arr, idx) ->
+            (f, Array_base { base = arr; base_idx = idx })
+        | _ -> skip "array formal %s bound to a non-array expression" f
+      else (f, Scalar actual))
+    a.an_params actuals
+
+(** Marker bindings for [`Match] mode: scalars become ["?F"] variables,
+    arrays become pattern bases ["?F"] with no base index. *)
+let pattern_bindings (a : annotation) : (string * abind) list =
+  List.map
+    (fun f ->
+      if formal_is_array a f then
+        (f, Array_base { base = "?" ^ f; base_idx = [] })
+      else (f, Scalar (Ast.Var ("?" ^ f))))
+    a.an_params
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* loop ids of the real callee, pre-order *)
+let callee_loop_ids program name =
+  match Ast.find_unit program name with
+  | None -> []
+  | Some u -> List.map (fun (l : Ast.do_loop) -> l.loop_id) (Ast.collect_loops u.u_body)
+
+(** Instantiate an annotation.  Returns translated statements and the
+    declarations to add to the enclosing unit. *)
+let instantiate ~(cfg : config) ~(program : Ast.program)
+    ~(caller : Ast.program_unit) ~(annot : annotation)
+    ~(mode : [ `Inline of Ast.expr list | `Match ]) :
+    Ast.stmt list * Ast.decl list =
+  let bind =
+    match mode with
+    | `Inline actuals -> bindings_for ~caller annot actuals
+    | `Match -> pattern_bindings annot
+  in
+  let env =
+    {
+      cfg;
+      annot;
+      bind;
+      renames = [];
+      loop_ids = callee_loop_ids program annot.an_name;
+      next_do = ref 0;
+      new_decls = ref [];
+    }
+  in
+  let stmts = List.concat_map (tr_stmt env) annot.an_body in
+  (stmts, List.rev !(env.new_decls))
+
+(* COMMON blocks needed by names the instantiated body references but the
+   caller does not declare: imported (with member declarations) from
+   whichever unit declares them. *)
+let import_commons program (caller : Ast.program_unit) stmts :
+    Ast.decl list * (string * string list) list =
+  let referenced =
+    List.fold_left
+      (fun acc (a : Analysis.Usedef.access) -> S.add a.acc_name acc)
+      S.empty
+      (Analysis.Usedef.accesses_of_stmts stmts)
+  in
+  let caller_names =
+    S.union
+      (S.of_list (List.map (fun d -> d.Ast.d_name) caller.u_decls))
+      (S.union
+         (S.of_list caller.u_params)
+         (S.of_list (List.concat_map snd caller.u_commons)))
+  in
+  let missing = S.diff referenced caller_names in
+  let new_blocks = ref [] in
+  let new_decls = ref [] in
+  S.iter
+    (fun name ->
+      (* find a unit whose COMMON contains [name] *)
+      let found =
+        List.find_opt
+          (fun u ->
+            List.exists (fun (_, ms) -> List.mem name ms) u.Ast.u_commons)
+          program.Ast.p_units
+      in
+      match found with
+      | None -> ()
+      | Some u ->
+          let blk, members =
+            List.find (fun (_, ms) -> List.mem name ms) u.u_commons
+          in
+          if
+            (not (List.mem_assoc blk caller.u_commons))
+            && not (List.mem_assoc blk !new_blocks)
+          then begin
+            new_blocks := (blk, members) :: !new_blocks;
+            List.iter
+              (fun m ->
+                if
+                  (not (S.mem m caller_names))
+                  && not
+                       (List.exists
+                          (fun d -> String.equal d.Ast.d_name m)
+                          !new_decls)
+                then
+                  match Ast.find_decl u m with
+                  | Some d -> new_decls := d :: !new_decls
+                  | None ->
+                      new_decls :=
+                        {
+                          Ast.d_name = m;
+                          d_type = Ast.implicit_type m;
+                          d_dims = [];
+                        }
+                        :: !new_decls)
+              members
+          end)
+    missing;
+  (List.rev !new_decls, List.rev !new_blocks)
+
+(** Apply annotation-based inlining over the whole program. *)
+let run ?(config = default_config) ~(annots : annotation list)
+    (program : Ast.program) : Ast.program * stats =
+  let stats = new_stats () in
+  let find_annot name =
+    List.find_opt (fun a -> String.equal a.an_name name) annots
+  in
+  let process_unit (u : Ast.program_unit) =
+    let extra_decls = ref [] in
+    let extra_commons = ref [] in
+    let rec walk depth stmts =
+      List.concat_map
+        (fun (s : Ast.stmt) ->
+          match s.Ast.node with
+          | Ast.Do_loop l ->
+              [
+                {
+                  s with
+                  node = Ast.Do_loop { l with body = walk (depth + 1) l.body };
+                };
+              ]
+          | Ast.If (c, t, e) ->
+              [ { s with node = Ast.If (c, walk depth t, walk depth e) } ]
+          | Ast.Call (name, args)
+            when (depth > 0 || not config.only_in_loops)
+                 && find_annot name <> None -> (
+              let annot = Option.get (find_annot name) in
+              try
+                let body, decls =
+                  instantiate ~cfg:config ~program ~caller:u ~annot
+                    ~mode:(`Inline args)
+                in
+                let cdecls, cblocks = import_commons program u body in
+                extra_decls := !extra_decls @ decls @ cdecls;
+                extra_commons := !extra_commons @ cblocks;
+                let tag =
+                  {
+                    Ast.tag_id = Ast.fresh_tag_id ();
+                    tag_callee = name;
+                    tag_actuals = args;
+                  }
+                in
+                stats.sites <- (u.u_name, name, tag.tag_id) :: stats.sites;
+                [ Ast.mk (Ast.Tagged (tag, body)) ]
+              with Skip why ->
+                stats.skipped <- (u.u_name, name, why) :: stats.skipped;
+                [ s ])
+          | _ -> [ s ])
+        stmts
+    in
+    let body = walk 0 u.u_body in
+    {
+      u with
+      u_body = body;
+      u_decls = u.u_decls @ !extra_decls;
+      u_commons = u.u_commons @ !extra_commons;
+    }
+  in
+  ({ Ast.p_units = List.map process_unit program.p_units }, stats)

@@ -1,0 +1,56 @@
+(** Annotation-based inlining (paper Section III): substitute CALLs to
+    annotated subroutines with their annotation bodies translated to
+    Fortran, bracketed in [Tagged] regions for later reverse inlining.
+
+    Key translations:
+    - scalar formals are replaced by the actual expressions;
+    - array formals map dimension-by-dimension onto the actual's array
+      ([M1[i,j]] with actual [PP(1,1,KS-1)] gives [PP(i,j,KS-1)]),
+      avoiding the linearization pathology of conventional inlining;
+    - [y = unknown(x1..xn)] becomes stores of the operands into a fresh
+      uninitialized array plus a read of it;
+    - [unique(x1..xn)] becomes [x1 + R*x2 + R^2*x3 + ...];
+    - [do] loops and sections become counted DO loops whose loop ids map
+      onto the real callee's loops (pre-order), for Table II accounting. *)
+
+type config = {
+  unique_radix : int;  (** the injectivity radix [R]; must exceed operand
+                           ranges (developer obligation, as in the paper) *)
+  only_in_loops : bool;  (** substitute only call sites inside a loop *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable sites : (string * string * int) list;
+      (** inlined call sites as (caller, callee, tag id) *)
+  mutable skipped : (string * string * string) list;
+      (** skipped sites as (caller, callee, reason) *)
+}
+
+exception Skip of string
+
+(** Map annotation-rank subscripts onto an actual's base indices (exposed
+    for the reverse inliner's unification). *)
+val map_onto_base :
+  base_idx:Frontend.Ast.expr list ->
+  Frontend.Ast.expr list ->
+  Frontend.Ast.expr list
+
+(** Instantiate one annotation at a call site ([`Inline actuals]) or as a
+    unification template with ["?F"] markers ([`Match]).  Returns the
+    translated statements and the declarations to add to the caller. *)
+val instantiate :
+  cfg:config ->
+  program:Frontend.Ast.program ->
+  caller:Frontend.Ast.program_unit ->
+  annot:Annot_ast.annotation ->
+  mode:[ `Inline of Frontend.Ast.expr list | `Match ] ->
+  Frontend.Ast.stmt list * Frontend.Ast.decl list
+
+(** Apply annotation-based inlining over the whole program. *)
+val run :
+  ?config:config ->
+  annots:Annot_ast.annotation list ->
+  Frontend.Ast.program ->
+  Frontend.Ast.program * stats

@@ -1,0 +1,444 @@
+(** Parser for the annotation language of Fig. 12.
+
+    Syntax (C-flavoured):
+
+    {v
+    subroutine FSMP(ID, IDE) {
+      XY = unknown(XYG[1, ICOND[1, ID]], NSYMM);
+      IRECT = IEGEOM[ID];
+      if (IDEDON[IDE] == 0) {
+        IDEDON[IDE] = 1;
+        FE[1:NSFE, IDE] = unknown(WTDET, NQD, NSFE);
+      }
+      do (JN = 1:N) do (JM = 1:M) M3[JN,JM] = 0.0;
+      dimension M1[L,M], M2[M,N];
+      integer K1, K2;
+      (NDX, NDY, WTDET) = unknown(IRECT, XY);
+      return E;
+    }
+    v} *)
+
+open Annot_ast
+
+exception Annot_parse_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Annot_parse_error s)) fmt
+
+(* ---------------- lexer ---------------- *)
+
+type tok =
+  | I of int
+  | R of float
+  | ID of string
+  | LP | RP | LB | RB | LC | RC
+  | COMMA | SEMI | COLON
+  | PLUS | MINUS | STAR | SLASH | POW
+  | ASSIGN | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+
+let lex (src : string) : tok list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && (is_digit src.[!j]) do incr j done;
+      if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+        incr j;
+        while !j < n && is_digit src.[!j] do incr j done;
+        (if !j < n && (src.[!j] = 'e' || src.[!j] = 'E' || src.[!j] = 'd' || src.[!j] = 'D')
+         then begin
+           incr j;
+           if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+           while !j < n && is_digit src.[!j] do incr j done
+         end);
+        let text = String.map (function 'd' | 'D' -> 'e' | ch -> ch)
+            (String.sub src !i (!j - !i)) in
+        push (R (float_of_string text));
+        i := !j
+      end
+      else begin
+        push (I (int_of_string (String.sub src !i (!j - !i))));
+        i := !j
+      end
+    end
+    else if is_alpha c then begin
+      let j = ref !i in
+      while !j < n && (is_alpha src.[!j] || is_digit src.[!j]) do incr j done;
+      push (ID (String.uppercase_ascii (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "==" -> push EQ; i := !i + 2
+      | "!=" -> push NE; i := !i + 2
+      | "<=" -> push LE; i := !i + 2
+      | ">=" -> push GE; i := !i + 2
+      | "&&" -> push ANDAND; i := !i + 2
+      | "||" -> push OROR; i := !i + 2
+      | "**" -> push POW; i := !i + 2
+      | _ ->
+          (match c with
+          | '(' -> push LP | ')' -> push RP
+          | '[' -> push LB | ']' -> push RB
+          | '{' -> push LC | '}' -> push RC
+          | ',' -> push COMMA | ';' -> push SEMI | ':' -> push COLON
+          | '+' -> push PLUS | '-' -> push MINUS
+          | '*' -> push STAR | '/' -> push SLASH
+          | '=' -> push ASSIGN
+          | '<' -> push LT | '>' -> push GT
+          | '!' -> push BANG
+          | _ -> perr "annotation lexer: unexpected character %C" c);
+          incr i
+    end
+  done;
+  List.rev !toks
+
+(* ---------------- parser ---------------- *)
+
+type st = { mutable toks : tok list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.toks with
+  | [] -> perr "annotation parser: unexpected end of input"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t =
+  let got = next st in
+  if got <> t then perr "annotation parser: unexpected token"
+
+let accept st t =
+  match peek st with
+  | Some t' when t' = t ->
+      ignore (next st);
+      true
+  | _ -> false
+
+let rec p_expr st = p_or st
+
+and p_or st =
+  let l = p_and st in
+  if accept st OROR then ABinop (Frontend.Ast.Or, l, p_or st) else l
+
+and p_and st =
+  let l = p_not st in
+  if accept st ANDAND then ABinop (Frontend.Ast.And, l, p_and st) else l
+
+and p_not st =
+  if accept st BANG then AUnop (Frontend.Ast.Not, p_not st) else p_rel st
+
+and p_rel st =
+  let l = p_add st in
+  let op =
+    match peek st with
+    | Some EQ -> Some Frontend.Ast.Eq
+    | Some NE -> Some Frontend.Ast.Ne
+    | Some LT -> Some Frontend.Ast.Lt
+    | Some LE -> Some Frontend.Ast.Le
+    | Some GT -> Some Frontend.Ast.Gt
+    | Some GE -> Some Frontend.Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> l
+  | Some op ->
+      ignore (next st);
+      ABinop (op, l, p_add st)
+
+and p_add st =
+  let rec loop l =
+    if accept st PLUS then loop (ABinop (Frontend.Ast.Add, l, p_mul st))
+    else if accept st MINUS then loop (ABinop (Frontend.Ast.Sub, l, p_mul st))
+    else l
+  in
+  loop (p_mul st)
+
+and p_mul st =
+  let rec loop l =
+    if accept st STAR then loop (ABinop (Frontend.Ast.Mul, l, p_unary st))
+    else if accept st SLASH then loop (ABinop (Frontend.Ast.Div, l, p_unary st))
+    else l
+  in
+  loop (p_unary st)
+
+and p_unary st =
+  if accept st MINUS then AUnop (Frontend.Ast.Neg, p_unary st)
+  else if accept st PLUS then p_unary st
+  else p_pow st
+
+and p_pow st =
+  let b = p_primary st in
+  if accept st POW then ABinop (Frontend.Ast.Pow, b, p_unary st) else b
+
+and p_primary st =
+  match next st with
+  | I n -> AInt n
+  | R r -> AReal r
+  | LP ->
+      let e = p_expr st in
+      expect st RP;
+      e
+  | ID "UNKNOWN" ->
+      expect st LP;
+      let args = p_args st RP in
+      AUnknown args
+  | ID "UNIQUE" ->
+      expect st LP;
+      let args = p_args st RP in
+      AUnique args
+  | ID name ->
+      if accept st LB then begin
+        let idx = p_index_list st in
+        expect st RB;
+        if
+          List.for_all
+            (function Some a, Some b when a = b -> true | _ -> false)
+            idx
+        then AIndex (name, List.map (function Some a, _ -> a | _ -> assert false) idx)
+        else ASection (name, idx)
+      end
+      else if accept st LP then begin
+        let args = p_args st RP in
+        ACall (name, args)
+      end
+      else AVar name
+  | _ -> perr "annotation parser: unexpected token in expression"
+
+and p_args st closer =
+  if accept st closer then []
+  else
+    let rec loop acc =
+      let e = p_expr st in
+      if accept st COMMA then loop (e :: acc)
+      else begin
+        expect st closer;
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+(* Index element: expr or [lo]:[hi] section bound. *)
+and p_index_list st =
+  let one () =
+    let lo =
+      match peek st with
+      | Some (COLON | COMMA | RB) -> None
+      | _ -> Some (p_expr st)
+    in
+    if accept st COLON then
+      let hi =
+        match peek st with
+        | Some (COMMA | RB) -> None
+        | _ -> Some (p_expr st)
+      in
+      (lo, hi)
+    else
+      match lo with
+      | Some e -> (Some e, Some e)
+      | None -> perr "annotation parser: empty index"
+  in
+  let rec loop acc =
+    let b = one () in
+    if accept st COMMA then loop (b :: acc) else List.rev (b :: acc)
+  in
+  loop []
+
+let p_target st =
+  match next st with
+  | ID name ->
+      if accept st LB then begin
+        let idx = p_index_list st in
+        expect st RB;
+        if
+          List.for_all
+            (function Some a, Some b when a = b -> true | _ -> false)
+            idx
+        then
+          TIndex (name, List.map (function Some a, _ -> a | _ -> assert false) idx)
+        else TSection (name, idx)
+      end
+      else TVar name
+  | _ -> perr "annotation parser: expected assignment target"
+
+let dtype_of_kw = function
+  | "INTEGER" -> Some Frontend.Ast.Integer
+  | "REAL" -> Some Frontend.Ast.Real
+  | "DOUBLE" -> Some Frontend.Ast.Double
+  | "LOGICAL" -> Some Frontend.Ast.Logical
+  | _ -> None
+
+let rec p_stmt st : astmt =
+  match peek st with
+  | Some LC ->
+      ignore (next st);
+      let rec loop acc =
+        if accept st RC then ABlock (List.rev acc) else loop (p_stmt st :: acc)
+      in
+      loop []
+  | Some (ID "IF") ->
+      ignore (next st);
+      expect st LP;
+      let c = p_expr st in
+      expect st RP;
+      let t = p_stmt st in
+      let e = if accept st (ID "ELSE") then Some (p_stmt st) else None in
+      AIf (c, t, e)
+  | Some (ID "DO") ->
+      ignore (next st);
+      expect st LP;
+      let v = match next st with ID v -> v | _ -> perr "do: expected index" in
+      expect st ASSIGN;
+      let lo = p_expr st in
+      expect st COLON;
+      let hi = p_expr st in
+      let step = if accept st COLON then Some (p_expr st) else None in
+      expect st RP;
+      let body = p_stmt st in
+      ADo { av = v; alo = lo; ahi = hi; astep = step; abody = body }
+  | Some (ID "RETURN") ->
+      ignore (next st);
+      if accept st SEMI then AReturn None
+      else begin
+        let e = p_expr st in
+        expect st SEMI;
+        AReturn (Some e)
+      end
+  | Some (ID "DIMENSION") ->
+      ignore (next st);
+      let items = p_decl_items st in
+      expect st SEMI;
+      ADecl (None, items)
+  | Some (ID kw) when dtype_of_kw kw <> None -> (
+      (* possible type declaration: TYPE name [, name]* ; -- but an
+         assignment could also start with an identifier.  Disambiguate by
+         lookahead: declarations are "TYPE ID (, ID)* ;" with no '='. *)
+      match st.toks with
+      | ID _ :: ID _ :: _ ->
+          ignore (next st);
+          let items = p_decl_items st in
+          expect st SEMI;
+          ADecl (dtype_of_kw kw, items)
+      | _ -> p_assign st)
+  | Some LP | Some (ID _) -> p_assign st
+  | _ -> perr "annotation parser: expected statement"
+
+and p_decl_items st =
+  let one () =
+    match next st with
+    | ID name ->
+        if accept st LB then begin
+          let idx = p_index_list st in
+          expect st RB;
+          ( name,
+            List.map
+              (function
+                | Some a, Some b when a = b -> a
+                | None, Some h -> h
+                | _ -> perr "declaration dims must be plain expressions")
+              idx )
+        end
+        else (name, [])
+    | _ -> perr "annotation parser: expected declared name"
+  in
+  let rec loop acc =
+    let it = one () in
+    if accept st COMMA then loop (it :: acc) else List.rev (it :: acc)
+  in
+  loop []
+
+and p_assign st =
+  let targets =
+    if accept st LP then begin
+      let rec loop acc =
+        let t = p_target st in
+        if accept st COMMA then loop (t :: acc)
+        else begin
+          expect st RP;
+          List.rev (t :: acc)
+        end
+      in
+      loop []
+    end
+    else [ p_target st ]
+  in
+  expect st ASSIGN;
+  let rhs = p_expr st in
+  expect st SEMI;
+  AAssign (targets, rhs)
+
+(** Parse one annotation:
+    [subroutine NAME(P1, ..., Pn) { stmts }]. *)
+let parse_annotation (src : string) : annotation =
+  let st = { toks = lex src } in
+  (match next st with
+  | ID "SUBROUTINE" -> ()
+  | _ -> perr "annotation must start with 'subroutine'");
+  let name = match next st with ID n -> n | _ -> perr "expected name" in
+  let params =
+    if accept st LP then
+      if accept st RP then []
+      else
+        let rec loop acc =
+          match next st with
+          | ID p ->
+              if accept st COMMA then loop (p :: acc)
+              else begin
+                expect st RP;
+                List.rev (p :: acc)
+              end
+          | _ -> perr "expected parameter name"
+        in
+        loop []
+    else []
+  in
+  let body =
+    match p_stmt st with ABlock b -> b | s -> [ s ]
+  in
+  if st.toks <> [] then perr "trailing tokens after annotation";
+  { an_name = name; an_params = params; an_body = body }
+
+(** Parse a file of several annotations. *)
+let parse_annotations (src : string) : annotation list =
+  let st = { toks = lex src } in
+  let rec loop acc =
+    match peek st with
+    | None -> List.rev acc
+    | Some (ID "SUBROUTINE") ->
+        ignore (next st);
+        let name = match next st with ID n -> n | _ -> perr "expected name" in
+        let params =
+          if accept st LP then
+            if accept st RP then []
+            else
+              let rec ploop acc =
+                match next st with
+                | ID p ->
+                    if accept st COMMA then ploop (p :: acc)
+                    else begin
+                      expect st RP;
+                      List.rev (p :: acc)
+                    end
+                | _ -> perr "expected parameter name"
+              in
+              ploop []
+          else []
+        in
+        let body = match p_stmt st with ABlock b -> b | s -> [ s ] in
+        loop ({ an_name = name; an_params = params; an_body = body } :: acc)
+    | Some _ -> perr "expected 'subroutine' at top level of annotation file"
+  in
+  loop []

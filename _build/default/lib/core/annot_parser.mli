@@ -1,0 +1,16 @@
+(** Parser for the annotation language of the paper's Fig. 12.
+
+    Top level is a sequence of [subroutine NAME(P1, ..., Pn) { stmts }];
+    statements are C-flavoured assignments (possibly with multiple
+    parenthesized targets fed by one [unknown]), [if]/[else], counted
+    [do (i = lo:hi[:step]) stmt], [dimension]/type declarations and
+    [return].  Array references use brackets and accept Fortran-90-style
+    section bounds ([FE[1:NSFE, ID]]). *)
+
+exception Annot_parse_error of string
+
+(** Parse one [subroutine ... { ... }] annotation. *)
+val parse_annotation : string -> Annot_ast.annotation
+
+(** Parse a file containing any number of annotations. *)
+val parse_annotations : string -> Annot_ast.annotation list

@@ -1,0 +1,141 @@
+(** The three compilation pipelines compared in the paper's evaluation:
+
+    - [No_inlining]      : normalize, parallelize.
+    - [Conventional]     : Polaris-default inlining, normalize, parallelize.
+    - [Annotation_based] : annotation-based inlining, normalize,
+                           parallelize, reverse inlining (Fig. 15).
+
+    Normalization = constant propagation, induction-variable substitution,
+    forward substitution, and a final constant-propagation sweep -- the
+    transformations the reverse-inline matcher is built to tolerate. *)
+
+open Frontend
+
+type mode = No_inlining | Conventional | Annotation_based
+
+let mode_name = function
+  | No_inlining -> "no-inlining"
+  | Conventional -> "conventional"
+  | Annotation_based -> "annotation-based"
+
+type result = {
+  res_mode : mode;
+  res_program : Ast.program;  (** final optimized source *)
+  res_reports : Parallelizer.Parallelize.loop_report list;
+  res_marked : int list;  (** loop ids carrying a directive, deduplicated *)
+  res_code_size : int;  (** non-comment line count of the output *)
+  res_original_loops : int list;  (** loop ids present in the input *)
+  res_inline_stats : Inliner.Inline.stats option;
+  res_annot_stats : Annot_inline.stats option;
+  res_reverse_stats : Reverse.stats option;
+}
+
+let normalize (p : Ast.program) : Ast.program =
+  p |> Analysis.Constprop.run |> Analysis.Induction.run
+  |> Analysis.Forward_subst.run |> Analysis.Constprop.run
+
+let original_loop_ids (p : Ast.program) =
+  List.concat_map
+    (fun u -> List.map (fun (l : Ast.do_loop) -> l.loop_id)
+        (Ast.collect_loops u.Ast.u_body))
+    p.Ast.p_units
+
+(* Units reachable from MAIN through calls and function references:
+   standalone bodies of fully-inlined subroutines never execute, and the
+   paper's loop accounting follows the executed code. *)
+let reachable_units (p : Ast.program) =
+  let module S = Set.Make (String) in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.replace tbl u.Ast.u_name u) p.Ast.p_units;
+  let rec visit seen name =
+    if S.mem name seen then seen
+    else
+      match Hashtbl.find_opt tbl name with
+      | None -> seen
+      | Some u ->
+          let seen = S.add name seen in
+          let callees =
+            List.map fst (Analysis.Usedef.calls u.Ast.u_body)
+            @ Analysis.Usedef.func_calls u.Ast.u_body
+          in
+          List.fold_left visit seen callees
+  in
+  let mains =
+    List.filter_map
+      (fun u -> if u.Ast.u_kind = Ast.Main then Some u.Ast.u_name else None)
+      p.Ast.p_units
+  in
+  List.fold_left visit S.empty mains
+
+let marked_ids program reports =
+  let module S = Set.Make (String) in
+  let live = reachable_units program in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (r : Parallelizer.Parallelize.loop_report) ->
+         if r.rep_marked && S.mem r.rep_unit live then Some r.rep_loop_id
+         else None)
+       reports)
+
+(** Run one pipeline configuration. *)
+let run ?(par_config = Parallelizer.Parallelize.default_config)
+    ?(inline_config = Inliner.Inline.default_config)
+    ?(annot_config = Annot_inline.default_config)
+    ?(annots : Annot_ast.annotation list = []) ~(mode : mode)
+    (program : Ast.program) : result =
+  let original_loops = original_loop_ids program in
+  let program, inline_stats, annot_stats =
+    match mode with
+    | No_inlining -> (program, None, None)
+    | Conventional ->
+        let p, st = Inliner.Inline.run ~config:inline_config program in
+        (p, Some st, None)
+    | Annotation_based ->
+        let p, st = Annot_inline.run ~config:annot_config ~annots program in
+        (p, None, Some st)
+  in
+  let program = normalize program in
+  let program, reports =
+    Parallelizer.Parallelize.run ~config:par_config program
+  in
+  let program, reverse_stats =
+    match mode with
+    | Annotation_based ->
+        let p, st = Reverse.run ~cfg:annot_config ~annots program in
+        (p, Some st)
+    | No_inlining | Conventional -> (program, None)
+  in
+  {
+    res_mode = mode;
+    res_program = program;
+    res_reports = reports;
+    res_marked = marked_ids program reports;
+    res_code_size = Pretty.code_size program;
+    res_original_loops = List.sort_uniq compare original_loops;
+    res_inline_stats = inline_stats;
+    res_annot_stats = annot_stats;
+    res_reverse_stats = reverse_stats;
+  }
+
+(** Parse + resolve source and annotations, then run. *)
+let run_source ?par_config ?inline_config ?annot_config ~mode
+    ?(annot_source = "") (source : string) : result =
+  let program = Resolve.parse source in
+  let annots =
+    if String.trim annot_source = "" then []
+    else Annot_parser.parse_annotations annot_source
+  in
+  run ?par_config ?inline_config ?annot_config ~annots ~mode program
+
+(** Parallel-loop accounting for Table II: given a baseline (no-inlining)
+    result and a mode result, compute (#par, #loss, #extra) counting only
+    loops of the original program, a loop counting as parallelized when any
+    surviving copy carries a directive. *)
+let table2_counts ~(baseline : result) (r : result) : int * int * int =
+  let original = baseline.res_original_loops in
+  let in_original ids = List.filter (fun i -> List.mem i original) ids in
+  let base = in_original baseline.res_marked in
+  let mine = in_original r.res_marked in
+  let loss = List.filter (fun i -> not (List.mem i mine)) base in
+  let extra = List.filter (fun i -> not (List.mem i base)) mine in
+  (List.length mine, List.length loss, List.length extra)

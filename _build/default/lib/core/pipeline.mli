@@ -1,0 +1,57 @@
+(** The three compilation pipelines compared in the paper's evaluation. *)
+
+open Frontend
+
+(** Inlining configuration: none, Polaris-default conventional inlining, or
+    the paper's annotation-based inlining (with reverse inlining). *)
+type mode = No_inlining | Conventional | Annotation_based
+
+val mode_name : mode -> string
+
+type result = {
+  res_mode : mode;
+  res_program : Ast.program;  (** final optimized source *)
+  res_reports : Parallelizer.Parallelize.loop_report list;
+      (** one report per analyzed loop (copies share loop ids) *)
+  res_marked : int list;
+      (** ids of loops carrying a directive in code reachable from MAIN *)
+  res_code_size : int;  (** non-comment line count of the output *)
+  res_original_loops : int list;  (** loop ids present in the input *)
+  res_inline_stats : Inliner.Inline.stats option;  (** [Conventional] only *)
+  res_annot_stats : Annot_inline.stats option;  (** [Annotation_based] only *)
+  res_reverse_stats : Reverse.stats option;  (** [Annotation_based] only *)
+}
+
+(** The normalization sequence applied before dependence analysis (and,
+    symmetrically, to reverse-inline templates): constant propagation,
+    induction-variable substitution, forward substitution, constant
+    propagation. *)
+val normalize : Ast.program -> Ast.program
+
+(** Units reachable from MAIN through calls and function references. *)
+val reachable_units : Ast.program -> Set.Make(String).t
+
+(** Run one pipeline configuration over a parsed program. *)
+val run :
+  ?par_config:Parallelizer.Parallelize.config ->
+  ?inline_config:Inliner.Inline.config ->
+  ?annot_config:Annot_inline.config ->
+  ?annots:Annot_ast.annotation list ->
+  mode:mode ->
+  Ast.program ->
+  result
+
+(** Parse source (and annotation source) and run. *)
+val run_source :
+  ?par_config:Parallelizer.Parallelize.config ->
+  ?inline_config:Inliner.Inline.config ->
+  ?annot_config:Annot_inline.config ->
+  mode:mode ->
+  ?annot_source:string ->
+  string ->
+  result
+
+(** Table II accounting: [(par, loss, extra)] of a configuration against
+    the no-inlining baseline, counting only loops of the original program;
+    a loop counts as parallelized when any reachable copy is marked. *)
+val table2_counts : baseline:result -> result -> int * int * int

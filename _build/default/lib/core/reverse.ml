@@ -1,0 +1,445 @@
+(** Reverse inlining (Section III-C.3 of the paper).
+
+    After parallelization, every [Tagged] region is pattern-matched against
+    the [`Match]-mode instantiation of its annotation -- a template whose
+    formals appear as ["?F"] marker variables -- and replaced by a CALL to
+    the original subroutine with the actual parameters *extracted by
+    unification*.  The matcher tolerates the normalizations the optimizer
+    applies inside the region:
+
+    - OpenMP directives on loops (ignored);
+    - constant propagation and forward substitution (ground sub-terms are
+      compared by polynomial equality, and a formal bound to a substituted
+      expression stays consistent across all its occurrences);
+    - compiler-generated names ([UNKANN*], [IAN*]) which unify by prefix
+      class rather than by spelling;
+    - statement reordering (a greedy multiset match is attempted when the
+      ordered match fails);
+    - loop peeling (each copy of the region carries its own tag and is
+      reversed independently).
+
+    If matching fails the region is still replaced by a call built from
+    the actuals recorded in the tag -- our optimizer only inserts
+    directives inside regions, so this fallback is semantics-preserving --
+    but the failure is reported, mirroring the paper's caveat that drastic
+    transformations would defeat reverse inlining. *)
+
+open Frontend
+open Annot_ast
+module M = Map.Make (String)
+
+type stats = {
+  mutable matched : int;
+  mutable fallback : (string * string) list;  (** (callee, reason) *)
+  mutable extracted_mismatch : int;
+      (** actuals recovered by unification that differ from the recorded
+          ones (after normalization) -- should be 0 *)
+}
+
+let new_stats () = { matched = 0; fallback = []; extracted_mismatch = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Unification state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type binding = {
+  scalars : Ast.expr M.t;  (** "?F" -> bound expression *)
+  arrays : (string * Ast.expr list) M.t;  (** "?F" -> (base, base_idx) *)
+  gen : string M.t;  (** template generated name -> region name *)
+}
+
+let empty_binding = { scalars = M.empty; arrays = M.empty; gen = M.empty }
+
+let is_marker name = String.length name > 0 && name.[0] = '?'
+
+let gen_class name =
+  let pfx p = String.length name >= String.length p
+              && String.sub name 0 (String.length p) = p in
+  if pfx "UNKANN" then Some "UNKANN"
+  else if pfx "IAN" then Some "IAN"
+  else if pfx "ITSEC" then Some "ITSEC"
+  else None
+
+exception No_match
+
+(* Substitute current bindings into a template expression; raises
+   [Not_found] when an unbound marker or generated name remains. *)
+let rec subst_template b (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var v when is_marker v -> M.find v b.scalars
+  | Ast.Var v -> (
+      match gen_class v with
+      | Some _ -> Ast.Var (M.find v b.gen)
+      | None -> e)
+  | Ast.Array_ref (a, idx) when is_marker a ->
+      let base, base_idx = M.find a b.arrays in
+      let idx' = List.map (subst_template b) idx in
+      Ast.Array_ref (base, Annot_inline.map_onto_base ~base_idx idx')
+  | Ast.Array_ref (a, idx) ->
+      let a' =
+        match gen_class a with Some _ -> M.find a b.gen | None -> a
+      in
+      Ast.Array_ref (a', List.map (subst_template b) idx)
+  | Ast.Func_call (f, args) ->
+      Ast.Func_call (f, List.map (subst_template b) args)
+  | Ast.Binop (op, x, y) ->
+      Ast.Binop (op, subst_template b x, subst_template b y)
+  | Ast.Unop (op, x) -> Ast.Unop (op, subst_template b x)
+  | _ -> e
+
+let ground b e = match subst_template b e with e' -> Some e' | exception Not_found -> None
+
+let poly_eq u a b' =
+  Analysis.Simplify.equal_mod_simplify u a b'
+
+(* ------------------------------------------------------------------ *)
+(* Expression matching                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec match_expr u (b : binding) (t : Ast.expr) (r : Ast.expr) : binding =
+  match (t, r) with
+  | Ast.Var v, _ when is_marker v -> (
+      match M.find_opt v b.scalars with
+      | Some bound -> if poly_eq u bound r then b else raise No_match
+      | None -> { b with scalars = M.add v r b.scalars })
+  | Ast.Var v, Ast.Var rv when gen_class v <> None -> (
+      if gen_class v <> gen_class rv then raise No_match
+      else
+        match M.find_opt v b.gen with
+        | Some bound -> if String.equal bound rv then b else raise No_match
+        | None -> { b with gen = M.add v rv b.gen })
+  | Ast.Array_ref (a, tidx), Ast.Array_ref (base, ridx) when is_marker a ->
+      match_marker_array u b a tidx base ridx
+  | Ast.Array_ref (a, tidx), Ast.Array_ref (ra, ridx)
+    when gen_class a <> None ->
+      if gen_class a <> gen_class ra then raise No_match
+      else
+        let b =
+          match M.find_opt a b.gen with
+          | Some bound ->
+              if String.equal bound ra then b else raise No_match
+          | None -> { b with gen = M.add a ra b.gen }
+        in
+        match_list u b tidx ridx
+  | Ast.Array_ref (a, tidx), Ast.Array_ref (ra, ridx) when String.equal a ra
+    ->
+      match_list u b tidx ridx
+  | Ast.Func_call (f, targs), Ast.Func_call (rf, rargs)
+    when String.equal f rf ->
+      match_list u b targs rargs
+  | Ast.Binop (op, x, y), Ast.Binop (rop, rx, ry) when op = rop -> (
+      try match_expr u (match_expr u b x rx) y ry
+      with No_match -> fallback_ground u b t r)
+  | Ast.Unop (op, x), Ast.Unop (rop, rx) when op = rop -> match_expr u b x rx
+  | Ast.Int_const a, Ast.Int_const c when a = c -> b
+  | Ast.Real_const a, Ast.Real_const c when a = c -> b
+  | Ast.Str_const a, Ast.Str_const c when String.equal a c -> b
+  | Ast.Logical_const a, Ast.Logical_const c when a = c -> b
+  | Ast.Var a, Ast.Var c when String.equal a c -> b
+  | _ -> fallback_ground u b t r
+
+(* When structure diverges (the optimizer rewrote the region expression),
+   compare modulo polynomial normalization.  A fully bound template must be
+   polynomially equal; a template with exactly one unbound scalar marker in
+   an affine position is *solved* for -- this is how actual parameters
+   buried in arithmetic (FX(3*M - 3 + K)) are extracted. *)
+and fallback_ground u b t r =
+  match ground b t with
+  | Some t' -> if poly_eq u t' r then b else raise No_match
+  | None -> solve_marker u b t r
+
+and solve_marker u (b : binding) t r =
+  (* collect unbound scalar markers of t *)
+  let unbound = ref M.empty in
+  ignore
+    (Ast.fold_expr
+       (fun () e ->
+         match e with
+         | Ast.Var v when is_marker v && not (M.mem v b.scalars) ->
+             unbound := M.add v () !unbound
+         | Ast.Array_ref (a, _) when is_marker a && not (M.mem a b.arrays) ->
+             (* array markers cannot be solved algebraically *)
+             raise No_match
+         | _ -> ())
+       () t);
+  match M.bindings !unbound with
+  | [ (m, ()) ] -> (
+      let t_partial =
+        match
+          subst_template { b with scalars = M.add m (Ast.Var m) b.scalars } t
+        with
+        | t' -> t'
+        | exception Not_found -> raise No_match
+      in
+      if not (Analysis.Typing.is_int u t_partial && Analysis.Typing.is_int u r)
+      then raise No_match
+      else
+        let pt = Analysis.Poly.of_expr (Analysis.Simplify.simplify u t_partial) in
+        let pr = Analysis.Poly.of_expr (Analysis.Simplify.simplify u r) in
+        match Analysis.Poly.affine_in ~vars:[ m ] pt with
+        | Some ([ (_, c) ], rest) when c <> 0 ->
+            let diff = Analysis.Poly.sub pr rest in
+            if List.for_all (fun (_, k) -> k mod c = 0) diff then
+              let solved =
+                Analysis.Simplify.simplify u
+                  (Analysis.Poly.to_expr
+                     (List.map (fun (mn, k) -> (mn, k / c)) diff))
+              in
+              { b with scalars = M.add m solved b.scalars }
+            else raise No_match
+        | _ -> raise No_match)
+  | _ -> raise No_match
+
+and match_list u b ts rs =
+  if List.length ts <> List.length rs then raise No_match
+  else List.fold_left2 (match_expr u) b ts rs
+
+and match_marker_array u b a tidx base ridx =
+  match M.find_opt a b.arrays with
+  | Some (base', base_idx) ->
+      if not (String.equal base base') then raise No_match
+      else if List.length ridx <> List.length base_idx then raise No_match
+      else
+        let m = List.length tidx in
+        List.fold_left
+          (fun b (k, bk) ->
+            let rk = List.nth ridx k in
+            if k < m then
+              let tk = List.nth tidx k in
+              match bk with
+              | Ast.Int_const 1 -> match_expr u b tk rk
+              | _ -> (
+                  (* expect rk = bk + tk - 1 *)
+                  match ground b tk with
+                  | Some tk' ->
+                      let expected =
+                        Analysis.Simplify.simplify u
+                          (Ast.Binop
+                             ( Ast.Add,
+                               bk,
+                               Ast.Binop (Ast.Sub, tk', Ast.Int_const 1) ))
+                      in
+                      if poly_eq u expected rk then b else raise No_match
+                  | None ->
+                      let candidate =
+                        Analysis.Simplify.simplify u
+                          (Ast.Binop
+                             ( Ast.Sub,
+                               rk,
+                               Ast.Binop (Ast.Sub, bk, Ast.Int_const 1) ))
+                      in
+                      match_expr u b tk candidate)
+            else if poly_eq u bk rk then b
+            else raise No_match)
+          b
+          (List.mapi (fun k bk -> (k, bk)) base_idx)
+  | None ->
+      (* infer the base index: leading dims assumed 1-based, trailing dims
+         taken from the region reference *)
+      let m = List.length tidx and n = List.length ridx in
+      if m > n then raise No_match
+      else
+        let base_idx =
+          List.mapi
+            (fun k rk -> if k < m then Ast.Int_const 1 else rk)
+            ridx
+        in
+        let b = { b with arrays = M.add a (base, base_idx) b.arrays } in
+        match_marker_array u b a tidx base ridx
+
+(* ------------------------------------------------------------------ *)
+(* Statement matching                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let strip stmts =
+  List.filter
+    (fun (s : Ast.stmt) ->
+      match s.node with Ast.Continue -> false | _ -> true)
+    stmts
+
+let match_lvalue u b (t : Ast.lvalue) (r : Ast.lvalue) : binding =
+  match (t, r) with
+  | Ast.Lvar v, _ when is_marker v -> (
+      let r_expr =
+        match r with
+        | Ast.Lvar rv -> Ast.Var rv
+        | Ast.Larray (ra, ridx) -> Ast.Array_ref (ra, ridx)
+        | Ast.Lsection _ -> raise No_match
+      in
+      match M.find_opt v b.scalars with
+      | Some bound -> if poly_eq u bound r_expr then b else raise No_match
+      | None -> { b with scalars = M.add v r_expr b.scalars })
+  | Ast.Lvar v, Ast.Lvar rv -> (
+      match gen_class v with
+      | Some _ ->
+          if gen_class v <> gen_class rv then raise No_match
+          else (
+            match M.find_opt v b.gen with
+            | Some bound ->
+                if String.equal bound rv then b else raise No_match
+            | None -> { b with gen = M.add v rv b.gen })
+      | None -> if String.equal v rv then b else raise No_match)
+  | Ast.Larray (a, tidx), Ast.Larray (ra, ridx) ->
+      match_expr u b (Ast.Array_ref (a, tidx)) (Ast.Array_ref (ra, ridx))
+  | _ -> raise No_match
+
+let rec match_stmt u (b : binding) (t : Ast.stmt) (r : Ast.stmt) : binding =
+  match (t.node, r.node) with
+  | Ast.Assign (tlv, te), Ast.Assign (rlv, re) ->
+      let b = match_lvalue u b tlv rlv in
+      match_expr u b te re
+  | Ast.Do_loop tl, Ast.Do_loop rl ->
+      let b = match_expr u b (Ast.Var tl.index) (Ast.Var rl.index) in
+      let b = match_expr u b tl.lo rl.lo in
+      let b = match_expr u b tl.hi rl.hi in
+      let b = match_expr u b tl.step rl.step in
+      match_body u b tl.body rl.body
+  | Ast.If (tc, tt, te), Ast.If (rc, rt, re) ->
+      let b = match_expr u b tc rc in
+      let b = match_body u b tt rt in
+      match_body u b te re
+  | Ast.Call (tn, targs), Ast.Call (rn, rargs) when String.equal tn rn ->
+      match_list u b targs rargs
+  | Ast.Print tes, Ast.Print res -> match_list u b tes res
+  | Ast.Stop tm, Ast.Stop rm when tm = rm -> b
+  | Ast.Return, Ast.Return -> b
+  | _ -> raise No_match
+
+and match_body u b ts rs : binding =
+  let ts = strip ts and rs = strip rs in
+  if List.length ts <> List.length rs then raise No_match
+  else
+    (* ordered first; greedy multiset on failure (tolerates reordering) *)
+    try List.fold_left2 (match_stmt u) b ts rs
+    with No_match ->
+      let used = Array.make (List.length rs) false in
+      let rs = Array.of_list rs in
+      List.fold_left
+        (fun b t ->
+          let rec try_at i =
+            if i >= Array.length rs then raise No_match
+            else if used.(i) then try_at (i + 1)
+            else
+              match match_stmt u b t rs.(i) with
+              | b' ->
+                  used.(i) <- true;
+                  b'
+              | exception No_match -> try_at (i + 1)
+          in
+          try_at 0)
+        b ts
+
+(* ------------------------------------------------------------------ *)
+(* Region reversal                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Recover the actual argument expressions from a successful match. *)
+let extract_actuals (caller : Ast.program_unit) (annot : annotation)
+    (b : binding) ~(recorded : Ast.expr list) : Ast.expr list =
+  List.map2
+    (fun f recorded_actual ->
+      let marker = "?" ^ f in
+      match M.find_opt marker b.scalars with
+      | Some e -> e
+      | None -> (
+          match M.find_opt marker b.arrays with
+          | Some (base, base_idx) ->
+              let all_ones =
+                List.for_all (fun e -> e = Ast.Int_const 1) base_idx
+              in
+              let caller_rank =
+                match Ast.find_decl caller base with
+                | Some d -> List.length d.d_dims
+                | None -> List.length base_idx
+              in
+              if all_ones && caller_rank = List.length base_idx then
+                Ast.Var base
+              else Ast.Array_ref (base, base_idx)
+          | None -> recorded_actual))
+    annot.an_params recorded
+
+(* Apply the pipeline's normalization sequence to a template body. *)
+let normalize_template (u : Ast.program_unit) (stmts : Ast.stmt list) :
+    Ast.stmt list =
+  let env0 = Analysis.Constprop.parameter_env u in
+  stmts
+  |> Analysis.Constprop.propagate_stmts u env0
+  |> Analysis.Induction.run_stmts u
+  |> Analysis.Forward_subst.process_block u []
+  |> Analysis.Constprop.propagate_stmts u env0
+
+(** Reverse all tagged regions in the program. *)
+let run ~(cfg : Annot_inline.config) ~(annots : annotation list)
+    (program : Ast.program) : Ast.program * stats =
+  let stats = new_stats () in
+  let process_unit (u : Ast.program_unit) =
+    let rec walk stmts =
+      List.concat_map
+        (fun (s : Ast.stmt) ->
+          match s.Ast.node with
+          | Ast.Do_loop l ->
+              [ { s with node = Ast.Do_loop { l with body = walk l.body } } ]
+          | Ast.If (c, t, e) -> [ { s with node = Ast.If (c, walk t, walk e) } ]
+          | Ast.Tagged (tag, region) -> (
+              let region = walk region in
+              match
+                List.find_opt
+                  (fun a -> String.equal a.an_name tag.tag_callee)
+                  annots
+              with
+              | None ->
+                  stats.fallback <-
+                    (tag.tag_callee, "no annotation registered")
+                    :: stats.fallback;
+                  [ Ast.mk (Ast.Call (tag.tag_callee, tag.tag_actuals)) ]
+              | Some annot -> (
+                  (* instantiate the template and push it through the SAME
+                     normalizations the optimizer applied to the region, so
+                     matching only has to bridge the unification markers *)
+                  let template, _ =
+                    Annot_inline.instantiate ~cfg ~program ~caller:u ~annot
+                      ~mode:`Match
+                  in
+                  let template = normalize_template u template in
+                  match match_body u empty_binding template region with
+                  | b ->
+                      stats.matched <- stats.matched + 1;
+                      let actuals =
+                        extract_actuals u annot b ~recorded:tag.tag_actuals
+                      in
+                      List.iter2
+                        (fun e1 e2 ->
+                          if not (Analysis.Simplify.equal_mod_simplify u e1 e2)
+                          then
+                            stats.extracted_mismatch <-
+                              stats.extracted_mismatch + 1)
+                        actuals tag.tag_actuals;
+                      [ Ast.mk (Ast.Call (tag.tag_callee, actuals)) ]
+                  | exception No_match ->
+                      stats.fallback <-
+                        (tag.tag_callee, "pattern match failed")
+                        :: stats.fallback;
+                      [ Ast.mk (Ast.Call (tag.tag_callee, tag.tag_actuals)) ]))
+          | _ -> [ s ])
+        stmts
+    in
+    let body = walk u.u_body in
+    (* drop now-unreferenced compiler-generated declarations *)
+    let referenced =
+      List.fold_left
+        (fun acc (a : Analysis.Usedef.access) ->
+          Analysis.Usedef.S.add a.acc_name acc)
+        Analysis.Usedef.S.empty
+        (Analysis.Usedef.accesses_of_stmts body)
+    in
+    let decls =
+      List.filter
+        (fun d ->
+          match gen_class d.Ast.d_name with
+          | Some _ -> Analysis.Usedef.S.mem d.Ast.d_name referenced
+          | None -> true)
+        u.u_decls
+    in
+    { u with u_body = body; u_decls = decls }
+  in
+  ({ Ast.p_units = List.map process_unit program.p_units }, stats)

@@ -1,0 +1,23 @@
+(** Reverse inlining (paper Section III-C.3): replace every [Tagged]
+    region produced by {!Annot_inline} with a CALL to the original
+    subroutine, extracting the actual parameters by unification of the
+    optimized region against a marker-instantiated template. *)
+
+type stats = {
+  mutable matched : int;  (** regions restored through pattern matching *)
+  mutable fallback : (string * string) list;
+      (** regions restored from the recorded actuals instead, as
+          (callee, reason); should be empty in healthy pipelines *)
+  mutable extracted_mismatch : int;
+      (** unification-extracted actuals that differ (modulo
+          normalization) from the recorded ones; should be 0 *)
+}
+
+(** Reverse every tagged region of the program.  [cfg] must be the same
+    configuration used at inline time (it determines the [unique] radix
+    and therefore the template's lowering). *)
+val run :
+  cfg:Annot_inline.config ->
+  annots:Annot_ast.annotation list ->
+  Frontend.Ast.program ->
+  Frontend.Ast.program * stats

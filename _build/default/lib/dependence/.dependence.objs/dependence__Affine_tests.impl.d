@@ -1,0 +1,1 @@
+lib/dependence/affine_tests.ml: List

@@ -1,0 +1,1 @@
+lib/dependence/ctx.ml: Analysis Ast Frontend List Poly Set String

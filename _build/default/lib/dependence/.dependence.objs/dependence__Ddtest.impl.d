@@ -1,0 +1,1 @@
+lib/dependence/ddtest.ml: Affine_tests Analysis Ast Ctx Fourier_motzkin Frontend List Option Poly Range_test Simplify String

@@ -1,0 +1,1 @@
+lib/dependence/direction.ml: Analysis Ast Fourier_motzkin Frontend List Poly Printf Rational Simplify String

@@ -1,0 +1,1 @@
+lib/dependence/fourier_motzkin.ml: Hashtbl List Rational

@@ -1,0 +1,1 @@
+lib/dependence/range_test.ml: Analysis Ast Ctx Frontend Poly

@@ -1,0 +1,1 @@
+lib/dependence/rational.ml: Format

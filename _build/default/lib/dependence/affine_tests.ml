@@ -1,0 +1,53 @@
+(** Classic dependence tests on affine difference equations.
+
+    The driver reduces a per-dimension dependence problem to the question
+    "can  sum_i c_i * x_i + c0 = 0  with each x_i in a (possibly
+    half-open) integer box?".  [gcd_test] and [banerjee_test] answer it
+    conservatively: [true] means *proven independent*. *)
+
+type ext = Neg_inf | Fin of int | Pos_inf
+
+let ext_add a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (x + y)
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> invalid_arg "ext_add: inf - inf"
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+
+(* c * [lo, hi] *)
+let scale_interval c (lo, hi) =
+  if c = 0 then (Fin 0, Fin 0)
+  else
+    let mul = function
+      | Fin x -> Fin (c * x)
+      | Neg_inf -> if c > 0 then Neg_inf else Pos_inf
+      | Pos_inf -> if c > 0 then Pos_inf else Neg_inf
+    in
+    if c > 0 then (mul lo, mul hi) else (mul hi, mul lo)
+
+(** GCD test: [coeffs] are the integer coefficients, [c0] the constant.
+    Independent when gcd(coeffs) does not divide [-c0]. *)
+let gcd_test ~coeffs ~c0 =
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  match coeffs with
+  | [] -> c0 <> 0
+  | _ ->
+      let g = List.fold_left (fun acc c -> gcd acc (abs c)) 0 coeffs in
+      g <> 0 && c0 mod g <> 0
+
+(** Banerjee bounds: independent when the reachable interval of the
+    difference expression excludes zero.  [terms] pairs each coefficient
+    with its variable's bounds. *)
+let banerjee_test ~(terms : (int * (ext * ext)) list) ~c0 =
+  try
+    let lo, hi =
+      List.fold_left
+        (fun (alo, ahi) (c, bounds) ->
+          let tlo, thi = scale_interval c bounds in
+          (ext_add alo tlo, ext_add ahi thi))
+        (Fin c0, Fin c0) terms
+    in
+    (* independent iff 0 outside [lo, hi] *)
+    (match lo with Fin l when l > 0 -> true | Pos_inf -> true | _ -> false)
+    || match hi with Fin h when h < 0 -> true | Neg_inf -> true | _ -> false
+  with Invalid_argument _ -> false

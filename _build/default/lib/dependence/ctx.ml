@@ -1,0 +1,80 @@
+(** Dependence-analysis context: the candidate loop, its surroundings, and
+    the facts symbolic reasoning is allowed to assume. *)
+
+open Frontend
+open Analysis
+module S = Set.Make (String)
+
+type t = {
+  cunit : Ast.program_unit;
+  outer : Ast.do_loop list;  (** loops enclosing the candidate, outermost first *)
+  candidate : Ast.do_loop;
+  positive : S.t;
+      (** integer scalars assumed >= 1: array-dimension symbols, integer
+          formal parameters used as sizes, and loop indices with constant
+          lower bound >= 1.  Polaris makes the analogous assumptions when
+          its range test compares symbolic bounds. *)
+}
+
+(* Integer scalars appearing in array dimension declarations. *)
+let dim_symbols (u : Ast.program_unit) =
+  List.fold_left
+    (fun acc (d : Ast.decl) ->
+      List.fold_left
+        (fun acc dim ->
+          match dim with
+          | Ast.Dim_star -> acc
+          | Ast.Dim_expr e -> S.union acc (S.of_list (Ast.expr_vars e)))
+        acc d.d_dims)
+    S.empty u.u_decls
+
+let positive_set (u : Ast.program_unit) loops =
+  let dims = dim_symbols u in
+  let formals =
+    List.filter (fun p -> Ast.type_of_var u p = Ast.Integer) u.u_params
+  in
+  let indices =
+    List.filter_map
+      (fun (l : Ast.do_loop) ->
+        match (l.lo, l.step) with
+        | Ast.Int_const lo, Ast.Int_const st when lo >= 1 && st >= 1 ->
+            Some l.index
+        | _ -> None)
+      loops
+  in
+  S.union dims (S.union (S.of_list formals) (S.of_list indices))
+
+let make ~cunit ~outer ~candidate ~inner_loops =
+  {
+    cunit;
+    outer;
+    candidate;
+    positive = positive_set cunit ((candidate :: outer) @ inner_loops);
+  }
+
+(** Prove [p >= k] under the context's positivity assumptions: every
+    non-constant monomial must have a non-negative coefficient and consist
+    solely of variables assumed positive; then
+    [p >= const + sum of other coefficients]. *)
+let prove_ge ctx (p : Poly.t) k =
+  let ok = ref true in
+  let lower = ref 0 in
+  List.iter
+    (fun (m, c) ->
+      match m with
+      | [] -> lower := !lower + c
+      | atoms ->
+          let all_positive =
+            List.for_all
+              (function
+                | Ast.Var v -> S.mem v ctx.positive
+                | Ast.Int_const n -> n >= 1
+                | _ -> false)
+              atoms
+          in
+          if c >= 0 && all_positive then lower := !lower + c else ok := false)
+    p;
+  !ok && !lower >= k
+
+(** Prove [p <> 0]: either [p >= 1] or [-p >= 1]. *)
+let prove_nonzero ctx p = prove_ge ctx p 1 || prove_ge ctx (Poly.neg p) 1

@@ -1,0 +1,267 @@
+(** Per-pair dependence driver.
+
+    [may_carry ctx ra rb] decides whether a dependence between the two
+    array references can be *carried by the candidate loop* of [ctx].
+    [false] means proven independent (or at most loop-independent, which
+    does not prevent parallelization); [true] is the conservative answer.
+
+    Reduction to an equation: rename the candidate index [I] on the second
+    reference to [I + step*D] with [D >= 1], rename the second reference's
+    inner-loop indices apart, and test whether the per-dimension subscript
+    differences can all be zero.  Proving *any* dimension non-zero proves
+    independence.  Tests tried in order: ZIV (symbolic), GCD, Banerjee
+    bounds, then the symbolic range test. *)
+
+open Frontend
+open Analysis
+
+let delta_var = "$D"
+let rename_inner v = v ^ "$2"
+
+type aref = {
+  ar_index : Ast.expr list;  (** subscripts, [] = unknown/whole array *)
+  ar_inner : (string * Ast.expr * Ast.expr) list;
+      (** inner loops enclosing the ref, as (index, lo, hi), outermost first *)
+}
+
+let const_of u e = Poly.to_const (Poly.of_expr (Simplify.simplify u e))
+
+(* Bounds of a variable as extended intervals, for Banerjee. *)
+let bound_of u (lo, hi) =
+  let f e =
+    match const_of u e with
+    | Some c -> Affine_tests.Fin c
+    | None -> Affine_tests.Pos_inf
+  in
+  let g e =
+    match const_of u e with
+    | Some c -> Affine_tests.Fin c
+    | None -> Affine_tests.Neg_inf
+  in
+  (g lo, f hi)
+
+(* Candidate trip count if constant. *)
+let trip_count u (l : Ast.do_loop) =
+  match (const_of u l.lo, const_of u l.hi, const_of u l.step) with
+  | Some lo, Some hi, Some st when st <> 0 ->
+      let n = ((hi - lo) / st) + 1 in
+      Some (max 0 n)
+  | _ -> None
+
+let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
+    sub_b : bool =
+  let u = ctx.cunit in
+  let index = ctx.candidate.index in
+  let pa = Poly.of_expr (Simplify.simplify u sub_a) in
+  let pb0 = Poly.of_expr (Simplify.simplify u sub_b) in
+  (* Soundness guard: an opaque atom that *contains* the candidate index
+     (a subscripted subscript like IDBEGS(ISS)) varies between the two
+     iterations but would cancel syntactically between the two sides.  No
+     independence can be concluded from such subscripts. *)
+  let has_varying_atom p =
+    List.exists
+      (fun a ->
+        match a with
+        | Ast.Var v when String.equal v index -> false
+        | a -> List.mem index (Ast.expr_vars a))
+      (Poly.atoms p)
+  in
+  if has_varying_atom pa || has_varying_atom pb0 then false
+  else
+  (* rename candidate index and inner indices on the B side *)
+  let pb =
+    let p =
+      Poly.subst_var index
+        (Poly.add (Poly.atom (Ast.Var index))
+           (Poly.scale step (Poly.atom (Ast.Var delta_var))))
+        pb0
+    in
+    List.fold_left
+      (fun p (iv, _, _) ->
+        Poly.subst_var iv (Poly.atom (Ast.Var (rename_inner iv))) p)
+      p rb.ar_inner
+  in
+  let delta = Poly.sub pa pb in
+  let inner_a = List.map (fun (iv, lo, hi) -> (iv, lo, hi)) ra.ar_inner in
+  let inner_b =
+    List.map (fun (iv, lo, hi) -> (rename_inner iv, lo, hi)) rb.ar_inner
+  in
+  let vars =
+    (delta_var :: List.map (fun (v, _, _) -> v) inner_a)
+    @ List.map (fun (v, _, _) -> v) inner_b
+    @ [ index ]
+  in
+  let affine_result =
+    match Poly.affine_in ~vars delta with
+    | None -> None
+    | Some (coeffs, rest) -> (
+        match Poly.to_const rest with
+        | Some c0 ->
+            if coeffs = [] then Some (c0 <> 0) (* ZIV *)
+            else if Affine_tests.gcd_test ~coeffs:(List.map snd coeffs) ~c0
+            then Some true
+            else
+              (* Banerjee *)
+              let bound_for v =
+                if String.equal v delta_var then
+                  let hi =
+                    match trip_count u ctx.candidate with
+                    | Some n -> Affine_tests.Fin (max 0 (n - 1))
+                    | None -> Affine_tests.Pos_inf
+                  in
+                  (Affine_tests.Fin 1, hi)
+                else if String.equal v index then
+                  bound_of u (ctx.candidate.lo, ctx.candidate.hi)
+                else
+                  match
+                    List.find_opt
+                      (fun (iv, _, _) -> String.equal iv v)
+                      (inner_a @ inner_b)
+                  with
+                  | Some (_, lo, hi) -> bound_of u (lo, hi)
+                  | None -> (Affine_tests.Neg_inf, Affine_tests.Pos_inf)
+              in
+              let terms =
+                List.map (fun (v, c) -> (c, bound_for v)) coeffs
+              in
+              if Affine_tests.banerjee_test ~terms ~c0 then Some true
+              else
+                (* Generalized GCD on the iteration distance: writing the
+                   equation as cD*D + sum(ci*xi) + c0 = 0, a solution needs
+                   cD*D + c0 = 0 (mod gcd ci).  With the radix coefficients
+                   produced by lowering [unique], no admissible D
+                   qualifies, proving independence (the ASSEM pattern). *)
+                let cd =
+                  Option.value ~default:0 (List.assoc_opt delta_var coeffs)
+                in
+                let others =
+                  List.filter_map
+                    (fun (v, c) ->
+                      if String.equal v delta_var then None else Some c)
+                    coeffs
+                in
+                let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+                let g = List.fold_left (fun acc c -> gcd acc (abs c)) 0 others in
+                let gen_gcd_independent =
+                  if cd = 0 || g <= 1 then false
+                  else
+                    let gg = gcd (abs cd) g in
+                    if c0 mod gg <> 0 then true
+                    else
+                      let dmax =
+                        match trip_count u ctx.candidate with
+                        | Some n -> Some (max 0 (n - 1))
+                        | None -> None
+                      in
+                      let solvable =
+                        match dmax with
+                        | Some dmax when dmax < g ->
+                            (* residues are periodic in D; with few
+                               iterations just try each *)
+                            let rec try_d d =
+                              d <= dmax
+                              && ((((cd * d) + c0) mod g + g) mod g = 0
+                                 || try_d (d + 1))
+                            in
+                            try_d 1
+                        | _ -> true
+                      in
+                      not solvable
+                in
+                if gen_gcd_independent then Some true
+                else begin
+                  (* last exact resort: Fourier-Motzkin on the full
+                     conjunction of the equation and every known bound *)
+                  let bound_list v =
+                    if String.equal v delta_var then
+                      Fourier_motzkin.Lower 1
+                      ::
+                      (match trip_count u ctx.candidate with
+                      | Some n -> [ Fourier_motzkin.Upper (max 0 (n - 1)) ]
+                      | None -> [])
+                    else
+                      let lo, hi =
+                        if String.equal v index then
+                          bound_of u (ctx.candidate.lo, ctx.candidate.hi)
+                        else
+                          match
+                            List.find_opt
+                              (fun (iv, _, _) -> String.equal iv v)
+                              (inner_a @ inner_b)
+                          with
+                          | Some (_, lo, hi) -> bound_of u (lo, hi)
+                          | None -> (Affine_tests.Neg_inf, Affine_tests.Pos_inf)
+                      in
+                      (match lo with
+                      | Affine_tests.Fin l -> [ Fourier_motzkin.Lower l ]
+                      | _ -> [])
+                      @
+                      (match hi with
+                      | Affine_tests.Fin h -> [ Fourier_motzkin.Upper h ]
+                      | _ -> [])
+                  in
+                  let bounds = List.map (fun (v, _) -> (v, bound_list v)) coeffs in
+                  match
+                    Fourier_motzkin.equation_feasible ~coeffs ~c0 ~bounds
+                  with
+                  | Fourier_motzkin.Infeasible -> Some true
+                  | Fourier_motzkin.Maybe_feasible -> Some false
+                end
+        | None ->
+            if coeffs = [] then
+              (* symbolic ZIV: constant-per-iteration-pair difference *)
+              Some (Ctx.prove_nonzero ctx rest)
+            else None)
+  in
+  match affine_result with
+  | Some true -> true
+  | Some false | None ->
+      (* affine tests inconclusive (or inapplicable): try the range test.
+         A [Some false] only means the affine machinery could not exclude
+         a solution -- e.g. when inner-loop bounds are symbolic functions
+         of the candidate index, which is precisely the range test's
+         territory.  The two
+         sides are examined with their *original* inner-loop names: the
+         extremes are taken independently per side, so no renaming is
+         needed. *)
+      let mk_inners l =
+        List.map
+          (fun (iv, lo, hi) -> { Range_test.iv; ilo = lo; ihi = hi })
+          l
+      in
+      Range_test.disjoint_ranges ctx ~index ~step
+        ~inners_a:(mk_inners ra.ar_inner) ~inners_b:(mk_inners rb.ar_inner)
+        pa pb0
+
+(** May a dependence between references [ra] and [rb] (same base array) be
+    carried by the candidate loop? *)
+let may_carry (ctx : Ctx.t) (ra : aref) (rb : aref) : bool =
+  let u = ctx.cunit in
+  match trip_count u ctx.candidate with
+  | Some n when n <= 1 -> false (* at most one iteration: nothing carried *)
+  | _ -> (
+      match const_of u ctx.candidate.step with
+      | None | Some 0 -> true (* symbolic step: give up *)
+      | Some step ->
+          if
+            ra.ar_index = [] || rb.ar_index = []
+            || List.length ra.ar_index <> List.length rb.ar_index
+          then true
+          else
+            (* A dimension proves independence only when the collision
+               equation is infeasible in BOTH directions: [ra] at the
+               earlier iteration with [rb] later, and vice versa (the
+               classic source-sink asymmetry: WK1(I-1) reading what a
+               previous iteration wrote is only visible with rb earlier). *)
+            let proven_independent =
+              List.exists2
+                (fun sa sb ->
+                  test_dimension ctx ~step ra rb sa sb
+                  && test_dimension ctx ~step rb ra sb sa)
+                ra.ar_index rb.ar_index
+            in
+            not proven_independent)
+
+(** Convenience wrapper returning [true] when the pair is PROVEN free of
+    carried dependence. *)
+let independent ctx ra rb = not (may_carry ctx ra rb)

@@ -1,0 +1,157 @@
+(** Direction vectors for a dependence between two references under a
+    common loop nest.
+
+    For loops [L1..Ln] enclosing both references, a direction vector
+    assigns each loop one of [<], [=], [>]: the source iteration is
+    earlier, equal or later than the sink in that loop.  The classic use
+    is reporting and loop-interchange legality; the parallelizer itself
+    only needs "is a dependence carried here", but the vectors make the
+    analysis inspectable and are exercised by the test-suite.
+
+    Implementation: per dimension, the subscript difference is expressed
+    over per-loop distance variables [D_k] (sink index minus source
+    index); a candidate vector constrains each [D_k] to [>= 1], [= 0] or
+    [<= -1], and the conjunction of all dimensions' equations plus the
+    constraints goes to the Fourier-Motzkin eliminator.  Non-affine
+    dimensions are ignored (conservatively allowing any direction). *)
+
+open Frontend
+open Analysis
+
+type dir = Lt | Eq | Gt
+
+let dir_str = function Lt -> "<" | Eq -> "=" | Gt -> ">"
+let vector_str v = "(" ^ String.concat "," (List.map dir_str v) ^ ")"
+
+type nest_loop = { nindex : string; nlo : Ast.expr; nhi : Ast.expr }
+
+let dist_var k = Printf.sprintf "$D%d" k
+
+(* Affine difference equation of one dimension over the distance
+   variables, or None when not affine. *)
+let dimension_equation u (nest : nest_loop list) sub_a sub_b :
+    ((string * int) list * int) option =
+  let pa = Poly.of_expr (Simplify.simplify u sub_a) in
+  let pb = Poly.of_expr (Simplify.simplify u sub_b) in
+  (* sink index = source index + D_k *)
+  let pb =
+    List.fold_left
+      (fun p (k, { nindex; _ }) ->
+        Poly.subst_var nindex
+          (Poly.add (Poly.atom (Ast.Var nindex)) (Poly.atom (Ast.Var (dist_var k))))
+          p)
+      pb
+      (List.mapi (fun k l -> (k, l)) nest)
+  in
+  let delta = Poly.sub pa pb in
+  let vars = List.mapi (fun k _ -> dist_var k) nest in
+  match Poly.affine_in ~vars delta with
+  | Some (coeffs, rest) -> (
+      match Poly.to_const rest with
+      | Some c0 -> Some (coeffs, c0)
+      | None -> None)
+  | None -> None
+
+(* All |dirs|^n combinations. *)
+let rec combos n =
+  if n = 0 then [ [] ]
+  else
+    let rest = combos (n - 1) in
+    List.concat_map (fun d -> List.map (fun v -> d :: v) rest) [ Lt; Eq; Gt ]
+
+(** Feasible direction vectors for the dependence between [sub_a] (source)
+    and [sub_b] (sink) under [nest].  Dimensions whose difference is not
+    affine contribute no constraints (any direction allowed). *)
+let vectors (u : Ast.program_unit) (nest : nest_loop list)
+    ~(subs_a : Ast.expr list) ~(subs_b : Ast.expr list) : dir list list =
+  let n = List.length nest in
+  let equations =
+    List.filter_map
+      (fun (sa, sb) -> dimension_equation u nest sa sb)
+      (List.combine subs_a subs_b)
+  in
+  let trip_bound k (l : nest_loop) =
+    (* |D_k| <= trip - 1 when the trip count is constant *)
+    match
+      ( Poly.to_const (Poly.of_expr (Simplify.simplify u l.nlo)),
+        Poly.to_const (Poly.of_expr (Simplify.simplify u l.nhi)) )
+    with
+    | Some lo, Some hi when hi >= lo ->
+        let t = hi - lo in
+        [
+          Fourier_motzkin.make_constr
+            [ (dist_var k, Rational.one) ]
+            (Rational.of_int t);
+          Fourier_motzkin.make_constr
+            [ (dist_var k, Rational.neg Rational.one) ]
+            (Rational.of_int t);
+        ]
+    | _ -> []
+  in
+  let feasible vec =
+    let dir_constrs =
+      List.concat
+        (List.mapi
+           (fun k d ->
+             match d with
+             | Lt ->
+                 [
+                   (* D_k >= 1 *)
+                   Fourier_motzkin.make_constr
+                     [ (dist_var k, Rational.one) ]
+                     (Rational.of_int (-1));
+                 ]
+             | Eq ->
+                 [
+                   Fourier_motzkin.make_constr
+                     [ (dist_var k, Rational.one) ]
+                     Rational.zero;
+                   Fourier_motzkin.make_constr
+                     [ (dist_var k, Rational.neg Rational.one) ]
+                     Rational.zero;
+                 ]
+             | Gt ->
+                 [
+                   (* D_k <= -1 *)
+                   Fourier_motzkin.make_constr
+                     [ (dist_var k, Rational.neg Rational.one) ]
+                     (Rational.of_int (-1));
+                 ])
+           vec)
+    in
+    let eq_constrs =
+      List.concat_map
+        (fun (coeffs, c0) ->
+          let qc =
+            List.map (fun (v, c) -> (v, Rational.of_int c)) coeffs
+          in
+          [
+            Fourier_motzkin.make_constr qc (Rational.of_int c0);
+            Fourier_motzkin.make_constr
+              (List.map (fun (v, c) -> (v, Rational.of_int (-c))) coeffs)
+              (Rational.of_int (-c0));
+          ])
+        equations
+    in
+    let trip_constrs =
+      List.concat (List.mapi trip_bound nest)
+    in
+    match Fourier_motzkin.solve (dir_constrs @ eq_constrs @ trip_constrs) with
+    | Fourier_motzkin.Infeasible -> false
+    | Fourier_motzkin.Maybe_feasible -> true
+  in
+  List.filter feasible (combos n)
+
+(** A dependence is carried by loop [k] (0-based, outermost first) when
+    some feasible vector has [=] in positions [0..k-1] and [<] at [k]. *)
+let carried_at k vecs =
+  List.exists
+    (fun v ->
+      let rec check i = function
+        | [] -> false
+        | d :: rest ->
+            if i < k then d = Eq && check (i + 1) rest
+            else d = Lt
+      in
+      check 0 v)
+    vecs

@@ -1,0 +1,132 @@
+(** Fourier-Motzkin elimination over the rationals.
+
+    The dependence driver reduces a per-dimension problem to "is the
+    system  { delta = 0,  bounds on the variables }  feasible?".  ZIV,
+    GCD and Banerjee each look at one relaxation; this eliminator decides
+    the *conjunction* of all the affine constraints exactly over the
+    rationals.  Rational feasibility over-approximates integer
+    feasibility, so [Infeasible] soundly proves independence while
+    [Maybe_feasible] stays conservative.
+
+    Constraints are [sum_i c_i * x_i + c0 >= 0].  Variables are eliminated
+    one at a time: constraints where [x] has positive coefficient give
+    lower bounds, negative give upper bounds; every (lower, upper) pair
+    combines into a new [x]-free constraint.  The system is tiny (at most
+    a few loop indices), so the classic doubly-exponential blowup is
+    irrelevant; a [max_constraints] fuse guards pathological inputs. *)
+
+module Q = Rational
+
+type constr = { coeffs : (string * Q.t) list; const : Q.t }
+(** [sum coeffs + const >= 0]; coefficient lists are sorted and free of
+    zeros. *)
+
+type verdict = Infeasible | Maybe_feasible
+
+let max_constraints = 512
+
+let norm coeffs =
+  List.filter (fun (_, c) -> not (Q.is_zero c)) coeffs
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let make_constr coeffs const = { coeffs = norm coeffs; const }
+
+let coeff_of v (c : constr) =
+  match List.assoc_opt v c.coeffs with Some q -> q | None -> Q.zero
+
+let drop_var v (c : constr) =
+  { c with coeffs = List.filter (fun (x, _) -> x <> v) c.coeffs }
+
+(* c1 has x with coefficient a > 0 (lower bound), c2 has coefficient b < 0
+   (upper bound).  Combine to eliminate x:  (-b)*c1 + a*c2. *)
+let combine v (c1 : constr) (c2 : constr) : constr =
+  let a = coeff_of v c1 and b = coeff_of v c2 in
+  let m1 = Q.neg b and m2 = a in
+  let scale m (c : constr) =
+    {
+      coeffs = List.map (fun (x, q) -> (x, Q.mul m q)) c.coeffs;
+      const = Q.mul m c.const;
+    }
+  in
+  let s1 = scale m1 c1 and s2 = scale m2 c2 in
+  let merged =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (x, q) ->
+        let cur = try Hashtbl.find tbl x with Not_found -> Q.zero in
+        Hashtbl.replace tbl x (Q.add cur q))
+      (s1.coeffs @ s2.coeffs);
+    Hashtbl.fold (fun x q acc -> (x, q) :: acc) tbl []
+  in
+  make_constr (List.filter (fun (x, _) -> x <> v) merged) (Q.add s1.const s2.const)
+
+let variables (cs : constr list) =
+  List.sort_uniq compare (List.concat_map (fun c -> List.map fst c.coeffs) cs)
+
+(** Decide feasibility of the conjunction of [cs] over the rationals. *)
+let solve (cs : constr list) : verdict =
+  let rec eliminate cs =
+    if List.length cs > max_constraints then Maybe_feasible
+    else
+      match variables cs with
+      | [] ->
+          if List.for_all (fun c -> Q.sign c.const >= 0) cs then
+            Maybe_feasible
+          else Infeasible
+      | v :: _ ->
+          let lowers, rest =
+            List.partition (fun c -> Q.sign (coeff_of v c) > 0) cs
+          in
+          let uppers, free =
+            List.partition (fun c -> Q.sign (coeff_of v c) < 0) rest
+          in
+          let combined =
+            List.concat_map
+              (fun lo -> List.map (fun up -> combine v lo up) uppers)
+              lowers
+          in
+          (* constraints not mentioning v carry over; one-sided bounds on v
+             are always satisfiable and disappear *)
+          let next =
+            free
+            @ List.filter (fun c -> c.coeffs <> []) combined
+            @ List.filter
+                (fun c -> c.coeffs = [] && Q.sign c.const < 0)
+                combined
+          in
+          let next = List.map (fun c -> drop_var v c) next in
+          eliminate next
+  in
+  eliminate cs
+
+(* ------------------------------------------------------------------ *)
+(* Convenient integer-coefficient layer for the dependence driver       *)
+(* ------------------------------------------------------------------ *)
+
+type bound = Lower of int | Upper of int
+
+(** Feasibility of  { sum coeffs + c0 = 0 } /\ bounds.
+    [coeffs] are integer coefficients per variable; [bounds] associates a
+    variable with available integer bounds. *)
+let equation_feasible ~(coeffs : (string * int) list) ~(c0 : int)
+    ~(bounds : (string * bound list) list) : verdict =
+  let qc = List.map (fun (v, c) -> (v, Q.of_int c)) coeffs in
+  let eq_ge = make_constr qc (Q.of_int c0) in
+  let eq_le =
+    make_constr (List.map (fun (v, c) -> (v, Q.neg c)) qc) (Q.of_int (-c0))
+  in
+  let bound_constrs =
+    List.concat_map
+      (fun (v, bs) ->
+        List.map
+          (function
+            | Lower lo ->
+                (* v >= lo  <=>  v - lo >= 0 *)
+                make_constr [ (v, Q.one) ] (Q.of_int (-lo))
+            | Upper hi ->
+                (* v <= hi  <=>  -v + hi >= 0 *)
+                make_constr [ (v, Q.neg Q.one) ] (Q.of_int hi))
+          bs)
+      bounds
+  in
+  solve (eq_ge :: eq_le :: bound_constrs)

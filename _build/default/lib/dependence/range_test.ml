@@ -1,0 +1,80 @@
+(** Symbolic range test (after Blume & Eigenmann), used when subscripts are
+    affine in the loop indices only up to *symbolic* coefficients -- e.g.
+    the linearized [M1(JL + L*(JM-1))] of Fig. 4 of the paper.
+
+    For a candidate loop index [I], we prove that the set of addresses
+    touched at iteration [I] lies strictly below the set touched at
+    iteration [I+1] (or strictly above, for decreasing layouts), for both
+    access functions.  Extremes over inner-loop indices are taken by
+    substituting a bound chosen by the provable sign of the coefficient. *)
+
+open Frontend
+open Analysis
+
+type inner = { iv : string; ilo : Ast.expr; ihi : Ast.expr }
+
+(* Substitute each inner variable with the bound that yields the requested
+   extreme.  Returns None if some coefficient's sign cannot be proven. *)
+let extreme ctx ~(inners : inner list) ~(maximize : bool) (p : Poly.t) :
+    Poly.t option =
+  let rec go p = function
+    | [] -> Some p
+    | { iv; ilo; ihi } :: rest -> (
+        match Poly.sym_affine_in ~vars:[ iv ] p with
+        | None -> None
+        | Some ([], _) -> go p rest
+        | Some ([ (_, coeff) ], _) ->
+            let lo_p = Poly.of_expr ilo and hi_p = Poly.of_expr ihi in
+            let pick_hi =
+              if Ctx.prove_ge ctx coeff 0 then Some maximize
+              else if Ctx.prove_ge ctx (Poly.neg coeff) 0 then
+                Some (not maximize)
+              else None
+            in
+            (match pick_hi with
+            | None -> None
+            | Some true -> go (Poly.subst_var iv hi_p p) rest
+            | Some false -> go (Poly.subst_var iv lo_p p) rest)
+        | Some (_, _) -> None)
+  in
+  go p inners
+
+(** Does iteration [I] of the candidate touch (via [pa]) addresses provably
+    disjoint from those touched via [pb] at iterations > I?  [step] is the
+    candidate's constant step. *)
+let disjoint_ranges ctx ~(index : string) ~(step : int)
+    ~(inners_a : inner list) ~(inners_b : inner list) (pa : Poly.t)
+    (pb : Poly.t) : bool =
+  let next p =
+    (* I -> I + step: the closest later iteration *)
+    Poly.subst_var index
+      (Poly.add (Poly.atom (Ast.Var index)) (Poly.const step))
+      p
+  in
+  let check_increasing () =
+    match
+      ( extreme ctx ~inners:inners_a ~maximize:true pa,
+        extreme ctx ~inners:inners_b ~maximize:false pb,
+        extreme ctx ~inners:inners_b ~maximize:true pb,
+        extreme ctx ~inners:inners_a ~maximize:false pa )
+    with
+    | Some max_a, Some min_b, Some max_b, Some min_a ->
+        (* monotonically increasing in I: the minimum at I+step clears the
+           maximum at I, in both directions (a then b, b then a) *)
+        Ctx.prove_ge ctx (Poly.sub (next min_b) max_a) 1
+        && Ctx.prove_ge ctx (Poly.sub (next min_a) max_b) 1
+    | _ -> false
+  in
+  let check_decreasing () =
+    match
+      ( extreme ctx ~inners:inners_a ~maximize:false pa,
+        extreme ctx ~inners:inners_b ~maximize:true pb,
+        extreme ctx ~inners:inners_b ~maximize:false pb,
+        extreme ctx ~inners:inners_a ~maximize:true pa )
+    with
+    | Some min_a, Some max_b, Some min_b, Some max_a ->
+        Ctx.prove_ge ctx (Poly.sub min_a (next max_b)) 1
+        && Ctx.prove_ge ctx (Poly.sub min_b (next max_a)) 1
+    | _ -> false
+  in
+  step <> 0 && (check_increasing () || check_decreasing ())

@@ -1,0 +1,40 @@
+(** Small exact rational arithmetic for the Fourier-Motzkin eliminator.
+
+    Values are normalized fractions of OCaml [int]s.  The dependence
+    systems this library builds are tiny (a handful of variables with
+    coefficients bounded by array strides), so native ints never approach
+    overflow in practice; [make] still normalizes by the gcd at every
+    step to keep magnitudes minimal. *)
+
+type t = { num : int; den : int }  (** den > 0, gcd(|num|, den) = 1 *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then invalid_arg "Rational.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = max 1 (gcd num den) in
+  { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then invalid_arg "Rational.div: by zero";
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let sign a = compare a.num 0
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let is_zero a = a.num = 0
+let to_float a = float_of_int a.num /. float_of_int a.den
+let pp fmt a =
+  if a.den = 1 then Format.fprintf fmt "%d" a.num
+  else Format.fprintf fmt "%d/%d" a.num a.den

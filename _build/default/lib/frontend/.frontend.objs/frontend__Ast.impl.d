@@ -1,0 +1,1 @@
+lib/frontend/ast.pp.ml: List Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/frontend/intrinsics.pp.ml: List String

@@ -1,0 +1,1 @@
+lib/frontend/lexer.pp.ml: Buffer List Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/frontend/parser.pp.ml: Array Ast Hashtbl Lexer List Printf String

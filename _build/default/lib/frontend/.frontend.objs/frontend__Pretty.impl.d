@@ -1,0 +1,1 @@
+lib/frontend/pretty.pp.ml: Ast Buffer List Printf String

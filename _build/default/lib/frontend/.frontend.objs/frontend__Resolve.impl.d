@@ -1,0 +1,1 @@
+lib/frontend/resolve.pp.ml: Ast Intrinsics List Parser

@@ -1,0 +1,1 @@
+lib/frontend/validate.pp.ml: Ast Format Hashtbl Intrinsics List Option Printf String

@@ -1,0 +1,369 @@
+(** Abstract syntax for the Fortran-77 subset consumed by the parallelizer.
+
+    The subset covers everything the PERFECT-style benchmarks of the paper
+    need: subroutines and functions, COMMON blocks, PARAMETER constants,
+    multi-dimensional arrays (including assumed-size array parameters),
+    labeled and block [DO] loops, logical and block [IF], [CALL], [RETURN],
+    [STOP], and list-directed output.  Two extensions support the paper's
+    machinery: OpenMP metadata attached to loops by the parallelizer, and
+    [Tagged] regions bracketing code produced by annotation-based inlining. *)
+
+type dtype =
+  | Integer
+  | Real
+  | Double
+  | Logical
+  | Character
+[@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq, ord]
+
+(** One bound of a Fortran-90-style array section; [None] means the
+    declared bound.  Sections appear only in annotation-derived code and are
+    lowered to loops before dependence analysis. *)
+type section_bound = expr option * expr option * expr option
+
+and expr =
+  | Int_const of int
+  | Real_const of float
+  | Str_const of string
+  | Logical_const of bool
+  | Var of string
+  | Array_ref of string * expr list
+  | Func_call of string * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Section of string * section_bound list
+[@@deriving show { with_path = false }, eq, ord]
+
+type lvalue =
+  | Lvar of string
+  | Larray of string * expr list
+  | Lsection of string * section_bound list
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Reduction operators recognized by the parallelizer. *)
+type red_op = Rsum | Rprod | Rmax | Rmin
+[@@deriving show { with_path = false }, eq, ord]
+
+(** OpenMP clauses the parallelizer attaches to a [DO] loop. *)
+type omp = {
+  omp_private : string list;
+  omp_reductions : (red_op * string) list;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Provenance tag for a region produced by annotation-based inlining.
+    [tag_callee] and [tag_actuals] record the original call so the reverse
+    inliner can restore it even if pattern matching were to fail. *)
+type tag = { tag_id : int; tag_callee : string; tag_actuals : expr list }
+[@@deriving show { with_path = false }, eq]
+
+type stmt = { sid : int; node : stmt_node }
+
+and stmt_node =
+  | Assign of lvalue * expr
+  | Do_loop of do_loop
+  | If of expr * stmt list * stmt list
+  | Call of string * expr list
+  | Return
+  | Stop of string option
+  | Print of expr list
+  | Continue
+  | Tagged of tag * stmt list
+
+and do_loop = {
+  index : string;
+  lo : expr;
+  hi : expr;
+  step : expr;
+  body : stmt list;
+  do_label : int option;
+  parallel : omp option;
+  loop_id : int;  (** stable across inlining copies; used for Table II *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type dim = Dim_star | Dim_expr of expr
+[@@deriving show { with_path = false }, eq]
+
+type decl = { d_name : string; d_type : dtype; d_dims : dim list }
+[@@deriving show { with_path = false }, eq]
+
+type unit_kind = Main | Subroutine | Function of dtype
+[@@deriving show { with_path = false }, eq]
+
+type program_unit = {
+  u_name : string;
+  u_kind : unit_kind;
+  u_params : string list;
+  u_decls : decl list;
+  u_commons : (string * string list) list;
+  u_params_const : (string * expr) list;  (** PARAMETER (name = expr) *)
+  u_body : stmt list;
+}
+
+type program = { p_units : program_unit list }
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and id management                                      *)
+(* ------------------------------------------------------------------ *)
+
+let stmt_counter = ref 0
+let loop_counter = ref 0
+let tag_counter = ref 0
+
+let fresh_sid () =
+  incr stmt_counter;
+  !stmt_counter
+
+let fresh_loop_id () =
+  incr loop_counter;
+  !loop_counter
+
+let fresh_tag_id () =
+  incr tag_counter;
+  !tag_counter
+
+(** Reset all id counters; used by tests for reproducible ids. *)
+let reset_ids () =
+  stmt_counter := 0;
+  loop_counter := 0;
+  tag_counter := 0
+
+let mk node = { sid = fresh_sid (); node }
+
+let mk_loop ?(label = None) ?(parallel = None) index lo hi step body =
+  mk
+    (Do_loop
+       {
+         index;
+         lo;
+         hi;
+         step;
+         body;
+         do_label = label;
+         parallel;
+         loop_id = fresh_loop_id ();
+       })
+
+let int_ n = Int_const n
+let var v = Var v
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Generic traversals                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold over every sub-expression of [e], innermost last. *)
+let rec fold_expr f acc e =
+  let acc =
+    match e with
+    | Int_const _ | Real_const _ | Str_const _ | Logical_const _ | Var _ -> acc
+    | Array_ref (_, args) | Func_call (_, args) ->
+        List.fold_left (fold_expr f) acc args
+    | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+    | Unop (_, a) -> fold_expr f acc a
+    | Section (_, bounds) ->
+        List.fold_left
+          (fun acc (a, b, c) ->
+            let g acc = function Some e -> fold_expr f acc e | None -> acc in
+            g (g (g acc a) b) c)
+          acc bounds
+  in
+  f acc e
+
+(** Rewrite an expression bottom-up with [f]. *)
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Int_const _ | Real_const _ | Str_const _ | Logical_const _ | Var _ -> e
+    | Array_ref (a, args) -> Array_ref (a, List.map (map_expr f) args)
+    | Func_call (a, args) -> Func_call (a, List.map (map_expr f) args)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Section (a, bounds) ->
+        Section
+          ( a,
+            List.map
+              (fun (x, y, z) ->
+                let g = Option.map (map_expr f) in
+                (g x, g y, g z))
+              bounds )
+  in
+  f e'
+
+let map_lvalue f = function
+  | Lvar v -> (
+      (* allow f to rename the variable via a Var round-trip *)
+      match f (Var v) with Var v' -> Lvar v' | _ -> Lvar v)
+  | Larray (a, args) -> Larray (a, List.map (map_expr f) args)
+  | Lsection (a, bounds) ->
+      Lsection
+        ( a,
+          List.map
+            (fun (x, y, z) ->
+              let g = Option.map (map_expr f) in
+              (g x, g y, g z))
+            bounds )
+
+(** Map over every statement bottom-up, preserving [sid]s. *)
+let rec map_stmts f stmts = List.concat_map (map_stmt f) stmts
+
+and map_stmt f s =
+  let node =
+    match s.node with
+    | Do_loop l -> Do_loop { l with body = map_stmts f l.body }
+    | If (c, t, e) -> If (c, map_stmts f t, map_stmts f e)
+    | Tagged (tag, body) -> Tagged (tag, map_stmts f body)
+    | n -> n
+  in
+  f { s with node }
+
+(** Fold over every statement, pre-order. *)
+let rec fold_stmts f acc stmts = List.fold_left (fold_stmt f) acc stmts
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s.node with
+  | Do_loop l -> fold_stmts f acc l.body
+  | If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+  | Tagged (_, body) -> fold_stmts f acc body
+  | Assign _ | Call _ | Return | Stop _ | Print _ | Continue -> acc
+
+(** Rewrite every expression appearing in a statement list. *)
+let map_exprs_in_stmts f stmts =
+  let fe = map_expr f in
+  map_stmts
+    (fun s ->
+      let node =
+        match s.node with
+        | Assign (lv, e) -> Assign (map_lvalue f lv, fe e)
+        | Do_loop l ->
+            Do_loop { l with lo = fe l.lo; hi = fe l.hi; step = fe l.step }
+        | If (c, t, e) -> If (fe c, t, e)
+        | Call (n, args) -> Call (n, List.map fe args)
+        | Print es -> Print (List.map fe es)
+        | Tagged (tag, body) ->
+            Tagged ({ tag with tag_actuals = List.map fe tag.tag_actuals }, body)
+        | (Return | Stop _ | Continue) as n -> n
+      in
+      [ { s with node } ])
+    stmts
+
+(** All loops in a statement list, pre-order. *)
+let collect_loops stmts =
+  List.rev
+    (fold_stmts
+       (fun acc s ->
+         match s.node with Do_loop l -> l :: acc | _ -> acc)
+       [] stmts)
+
+(** Variables read by an expression (array names included). *)
+let expr_vars e =
+  fold_expr
+    (fun acc e ->
+      match e with
+      | Var v -> v :: acc
+      | Array_ref (a, _) | Func_call (a, _) | Section (a, _) -> a :: acc
+      | _ -> acc)
+    [] e
+
+let lvalue_name = function
+  | Lvar v | Larray (v, _) | Lsection (v, _) -> v
+
+let lvalue_indices = function
+  | Lvar _ -> []
+  | Larray (_, idx) -> idx
+  | Lsection (_, _) -> []
+
+(** Structural equality on statements ignoring [sid]s and loop ids. *)
+let rec equal_stmt_structure s1 s2 = equal_node s1.node s2.node
+
+and equal_node n1 n2 =
+  match (n1, n2) with
+  | Assign (l1, e1), Assign (l2, e2) -> equal_lvalue l1 l2 && equal_expr e1 e2
+  | Do_loop l1, Do_loop l2 ->
+      String.equal l1.index l2.index && equal_expr l1.lo l2.lo
+      && equal_expr l1.hi l2.hi && equal_expr l1.step l2.step
+      && equal_body l1.body l2.body
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+      equal_expr c1 c2 && equal_body t1 t2 && equal_body e1 e2
+  | Call (n1, a1), Call (n2, a2) ->
+      String.equal n1 n2 && List.length a1 = List.length a2
+      && List.for_all2 equal_expr a1 a2
+  | Return, Return | Continue, Continue -> true
+  | Stop m1, Stop m2 -> Option.equal String.equal m1 m2
+  | Print e1, Print e2 ->
+      List.length e1 = List.length e2 && List.for_all2 equal_expr e1 e2
+  | Tagged (t1, b1), Tagged (t2, b2) ->
+      String.equal t1.tag_callee t2.tag_callee && equal_body b1 b2
+  | _ -> false
+
+and equal_body b1 b2 =
+  List.length b1 = List.length b2 && List.for_all2 equal_stmt_structure b1 b2
+
+let find_unit program name =
+  List.find_opt
+    (fun u -> String.equal u.u_name name)
+    program.p_units
+
+let find_unit_exn program name =
+  match find_unit program name with
+  | Some u -> u
+  | None -> invalid_arg (Printf.sprintf "find_unit_exn: no unit %s" name)
+
+(** Replace a unit (by name) in a program. *)
+let replace_unit program u =
+  {
+    p_units =
+      List.map
+        (fun u' -> if String.equal u'.u_name u.u_name then u else u')
+        program.p_units;
+  }
+
+let find_decl u name =
+  List.find_opt (fun d -> String.equal d.d_name name) u.u_decls
+
+(** Fortran implicit typing: names starting with I..N are INTEGER.  A
+    leading '?' (reverse-inliner unification marker for a formal) is
+    skipped so markers type like the formal they stand for. *)
+let implicit_type name =
+  let name =
+    if String.length name > 0 && name.[0] = '?' then
+      String.sub name 1 (String.length name - 1)
+    else name
+  in
+  if String.length name = 0 then Real
+  else
+    match name.[0] with 'I' .. 'N' | 'i' .. 'n' -> Integer | _ -> Real
+
+let type_of_var u name =
+  match find_decl u name with
+  | Some d -> d.d_type
+  | None -> implicit_type name
+
+let is_array u name =
+  match find_decl u name with Some d -> d.d_dims <> [] | None -> false
+
+(** Names of all units in the program, used to resolve Array_ref vs call. *)
+let unit_names program = List.map (fun u -> u.u_name) program.p_units

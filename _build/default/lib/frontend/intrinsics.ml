@@ -1,0 +1,15 @@
+(** Fortran intrinsic functions recognized by the frontend and runtime. *)
+
+let table =
+  [
+    "ABS"; "IABS"; "DABS"; "MAX"; "MAX0"; "AMAX1"; "DMAX1"; "MIN"; "MIN0";
+    "AMIN1"; "DMIN1"; "MOD"; "DMOD"; "SQRT"; "DSQRT"; "SIN"; "DSIN"; "COS";
+    "DCOS"; "TAN"; "EXP"; "DEXP"; "LOG"; "DLOG"; "ALOG"; "INT"; "NINT";
+    "DBLE"; "REAL"; "FLOAT"; "SIGN"; "ISIGN"; "ATAN"; "DATAN"; "ATAN2";
+  ]
+
+let is_intrinsic name = List.mem (String.uppercase_ascii name) table
+
+(** Intrinsics whose result is uniquely determined by their arguments and
+    that are safe to reorder (all of ours: no side effects). *)
+let is_pure = is_intrinsic

@@ -1,0 +1,271 @@
+(** Line-oriented lexer for the Fortran-77 subset.
+
+    The source is free-form-ish: one statement per logical line, [!]
+    comments, [&] line continuation at end of line, optional numeric
+    statement labels, and [*] comment lines.  Keywords are recognized by the
+    parser; the lexer just produces tokens with identifiers uppercased
+    (Fortran is case-insensitive). *)
+
+type token =
+  | TINT of int
+  | TREAL of float
+  | TSTR of string
+  | TID of string
+  | TLP
+  | TRP
+  | TCOMMA
+  | TCOLON
+  | TPLUS
+  | TMINUS
+  | TSTAR
+  | TSLASH
+  | TPOW
+  | TASSIGN  (** = *)
+  | TEQ      (** .EQ. or == *)
+  | TNE
+  | TLT
+  | TLE
+  | TGT
+  | TGE
+  | TAND
+  | TOR
+  | TNOT
+  | TTRUE
+  | TFALSE
+[@@deriving show { with_path = false }, eq]
+
+exception Lex_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Lex_error s)) fmt
+
+(** A logical source line: optional label, tokens, original line number. *)
+type line = { label : int option; tokens : token list; lineno : int }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident c = is_alpha c || is_digit c || c = '_'
+
+(* Dot-delimited operator words, e.g. [.EQ.]. *)
+let dot_word = function
+  | "EQ" -> Some TEQ
+  | "NE" -> Some TNE
+  | "LT" -> Some TLT
+  | "LE" -> Some TLE
+  | "GT" -> Some TGT
+  | "GE" -> Some TGE
+  | "AND" -> Some TAND
+  | "OR" -> Some TOR
+  | "NOT" -> Some TNOT
+  | "TRUE" -> Some TTRUE
+  | "FALSE" -> Some TFALSE
+  | _ -> None
+
+(* Try to read a dot-operator starting at s.[i] (which is '.').  Returns
+   (token, next position) if the letters between the dots form an operator
+   word. *)
+let try_dot_op s i =
+  let n = String.length s in
+  let j = ref (i + 1) in
+  while !j < n && is_alpha s.[!j] do
+    incr j
+  done;
+  if !j < n && s.[!j] = '.' && !j > i + 1 then
+    let word = String.uppercase_ascii (String.sub s (i + 1) (!j - i - 1)) in
+    match dot_word word with Some t -> Some (t, !j + 1) | None -> None
+  else None
+
+(* Lex a numeric literal starting at position [i]; the first char is a digit
+   or a '.' followed by a digit. *)
+let lex_number s i =
+  let n = String.length s in
+  let j = ref i in
+  let buf = Buffer.create 16 in
+  let is_real = ref false in
+  while !j < n && is_digit s.[!j] do
+    Buffer.add_char buf s.[!j];
+    incr j
+  done;
+  (* Fractional part, unless the dot starts an operator word like .EQ. *)
+  (if !j < n && s.[!j] = '.' then
+     match try_dot_op s !j with
+     | Some _ -> ()
+     | None ->
+         is_real := true;
+         Buffer.add_char buf '.';
+         incr j;
+         while !j < n && is_digit s.[!j] do
+           Buffer.add_char buf s.[!j];
+           incr j
+         done);
+  (* Exponent: E or D (double) forms. *)
+  (if
+     !j < n
+     && (s.[!j] = 'e' || s.[!j] = 'E' || s.[!j] = 'd' || s.[!j] = 'D')
+     && !j + 1 < n
+     && (is_digit s.[!j + 1]
+        || ((s.[!j + 1] = '+' || s.[!j + 1] = '-')
+           && !j + 2 < n
+           && is_digit s.[!j + 2]))
+   then begin
+     is_real := true;
+     Buffer.add_char buf 'e';
+     incr j;
+     if s.[!j] = '+' || s.[!j] = '-' then begin
+       Buffer.add_char buf s.[!j];
+       incr j
+     end;
+     while !j < n && is_digit s.[!j] do
+       Buffer.add_char buf s.[!j];
+       incr j
+     done
+   end);
+  let text = Buffer.contents buf in
+  let tok =
+    if !is_real then TREAL (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some v -> TINT v
+      | None -> error "invalid integer literal %S" text
+  in
+  (tok, !j)
+
+(** Tokenize one logical line (comments already stripped). *)
+let tokenize_line lineno s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
+      else if is_digit c then
+        let tok, j = lex_number s i in
+        go j (tok :: acc)
+      else if c = '.' && i + 1 < n && is_digit s.[i + 1] then
+        let tok, j = lex_number s i in
+        go j (tok :: acc)
+      else if c = '.' then (
+        match try_dot_op s i with
+        | Some (t, j) -> go j (t :: acc)
+        | None -> error "line %d: stray '.' in %S" lineno s)
+      else if is_alpha c || c = '_' then begin
+        let j = ref i in
+        while !j < n && is_ident s.[!j] do
+          incr j
+        done;
+        let id = String.uppercase_ascii (String.sub s i (!j - i)) in
+        go !j (TID id :: acc)
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let j = ref (i + 1) in
+        let fin = ref None in
+        while !fin = None do
+          if !j >= n then error "line %d: unterminated string" lineno
+          else if s.[!j] = '\'' then
+            if !j + 1 < n && s.[!j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              j := !j + 2
+            end
+            else fin := Some (!j + 1)
+          else begin
+            Buffer.add_char buf s.[!j];
+            incr j
+          end
+        done;
+        go (Option.get !fin) (TSTR (Buffer.contents buf) :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | "**" -> go (i + 2) (TPOW :: acc)
+        | "==" -> go (i + 2) (TEQ :: acc)
+        | "/=" -> go (i + 2) (TNE :: acc)
+        | "<=" -> go (i + 2) (TLE :: acc)
+        | ">=" -> go (i + 2) (TGE :: acc)
+        | ".N" | ".A" | ".O" | ".T" | ".F" | ".E" | ".L" | ".G" ->
+            error "line %d: bad dot operator in %S" lineno s
+        | _ -> (
+            match c with
+            | '(' -> go (i + 1) (TLP :: acc)
+            | ')' -> go (i + 1) (TRP :: acc)
+            | ',' -> go (i + 1) (TCOMMA :: acc)
+            | ':' -> go (i + 1) (TCOLON :: acc)
+            | '+' -> go (i + 1) (TPLUS :: acc)
+            | '-' -> go (i + 1) (TMINUS :: acc)
+            | '*' -> go (i + 1) (TSTAR :: acc)
+            | '/' -> go (i + 1) (TSLASH :: acc)
+            | '=' -> go (i + 1) (TASSIGN :: acc)
+            | '<' -> go (i + 1) (TLT :: acc)
+            | '>' -> go (i + 1) (TGT :: acc)
+            | _ -> error "line %d: unexpected character %C" lineno c)
+  in
+  go 0 []
+
+(* Strip a '!' comment, respecting string literals. *)
+let strip_comment s =
+  let n = String.length s in
+  let rec go i in_str =
+    if i >= n then s
+    else if in_str then go (i + 1) (s.[i] <> '\'')
+    else if s.[i] = '\'' then go (i + 1) true
+    else if s.[i] = '!' then String.sub s 0 i
+    else go (i + 1) false
+  in
+  go 0 false
+
+let is_comment_line s =
+  let t = String.trim s in
+  String.length t = 0 || t.[0] = '*' || t.[0] = '!'
+
+(** Split a source string into labeled, tokenized logical lines. *)
+let logical_lines source =
+  let raw = String.split_on_char '\n' source in
+  (* Join continuations: a line ending in '&' continues on the next. *)
+  let rec join lineno acc = function
+    | [] -> List.rev acc
+    | l :: rest ->
+        if is_comment_line l then join (lineno + 1) acc rest
+        else
+          let l = strip_comment l in
+          let rec absorb l consumed rest =
+            let t = String.trim l in
+            (* trailing '&' continues onto the next line *)
+            if String.length t > 0 && t.[String.length t - 1] = '&' then
+              match rest with
+              | [] -> error "line %d: dangling continuation" lineno
+              | next :: rest' ->
+                  let next =
+                    if is_comment_line next then "" else strip_comment next
+                  in
+                  absorb
+                    (String.sub t 0 (String.length t - 1) ^ " " ^ next)
+                    (consumed + 1) rest'
+            else
+              (* a next line beginning with '&' continues this one *)
+              match rest with
+              | next :: rest' when not (is_comment_line next) -> (
+                  let nt = String.trim (strip_comment next) in
+                  match nt with
+                  | "" -> (l, consumed, rest)
+                  | _ when nt.[0] = '&' ->
+                      absorb
+                        (t ^ " " ^ String.sub nt 1 (String.length nt - 1))
+                        (consumed + 1) rest'
+                  | _ -> (l, consumed, rest))
+              | _ -> (l, consumed, rest)
+          in
+          let merged, consumed, rest = absorb l 0 rest in
+          join (lineno + 1 + consumed) ((lineno, merged) :: acc) rest
+  in
+  let lines = join 1 [] raw in
+  List.filter_map
+    (fun (lineno, text) ->
+      if String.trim text = "" then None
+      else
+        let toks = tokenize_line lineno text in
+        match toks with
+        | [] -> None
+        | TINT label :: rest when rest <> [] ->
+            Some { label = Some label; tokens = rest; lineno }
+        | _ -> Some { label = None; tokens = toks; lineno })
+    lines

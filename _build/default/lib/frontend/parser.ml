@@ -1,0 +1,674 @@
+(** Recursive-descent parser for the Fortran-77 subset.
+
+    Grammar notes:
+    - One statement per logical line (the lexer already merged continuations).
+    - Labeled [DO n ... n CONTINUE] and block [DO ... ENDDO] are supported,
+      including nested loops sharing one terminal label (Fig. 2 of the paper).
+    - [IF (e) stmt], [IF (e) THEN ... ELSE IF ... ELSE ... ENDIF].
+    - Declarations: type statements, [DIMENSION], [COMMON], [PARAMETER],
+      [IMPLICIT NONE] (accepted and ignored: implicit I-N typing is always
+      applied to undeclared names). *)
+
+open Lexer
+
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expression parsing over one line's token list                       *)
+(* ------------------------------------------------------------------ *)
+
+type estate = { mutable toks : token list; lineno : int }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with
+  | [] -> perr "line %d: unexpected end of line" st.lineno
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st tok =
+  let t = advance st in
+  if not (Lexer.equal_token t tok) then
+    perr "line %d: expected %s, found %s" st.lineno (Lexer.show_token tok)
+      (Lexer.show_token t)
+
+let accept st tok =
+  match peek st with
+  | Some t when Lexer.equal_token t tok ->
+      ignore (advance st);
+      true
+  | _ -> false
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st TOR then Ast.Binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept st TAND then Ast.Binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept st TNOT then Ast.Unop (Ast.Not, parse_not st) else parse_rel st
+
+and parse_rel st =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | Some TEQ -> Some Ast.Eq
+    | Some TNE -> Some Ast.Ne
+    | Some TLT -> Some Ast.Lt
+    | Some TLE -> Some Ast.Le
+    | Some TGT -> Some Ast.Gt
+    | Some TGE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      ignore (advance st);
+      Ast.Binop (op, lhs, parse_additive st)
+
+and parse_additive st =
+  let rec loop lhs =
+    if accept st TPLUS then loop (Ast.Binop (Ast.Add, lhs, parse_term st))
+    else if accept st TMINUS then
+      loop (Ast.Binop (Ast.Sub, lhs, parse_term st))
+    else lhs
+  in
+  loop (parse_term st)
+
+and parse_term st =
+  let rec loop lhs =
+    if accept st TSTAR then loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    else if accept st TSLASH then
+      loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    else lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept st TMINUS then Ast.Unop (Ast.Neg, parse_unary st)
+  else if accept st TPLUS then parse_unary st
+  else parse_power st
+
+and parse_power st =
+  let base = parse_primary st in
+  if accept st TPOW then Ast.Binop (Ast.Pow, base, parse_unary st) else base
+
+and parse_primary st =
+  match advance st with
+  | TINT n -> Ast.Int_const n
+  | TREAL r -> Ast.Real_const r
+  | TSTR s -> Ast.Str_const s
+  | TTRUE -> Ast.Logical_const true
+  | TFALSE -> Ast.Logical_const false
+  | TLP ->
+      let e = parse_expr st in
+      expect st TRP;
+      e
+  | TID name ->
+      if accept st TLP then begin
+        let args, has_section = parse_arg_list st in
+        expect st TRP;
+        if has_section then
+          Ast.Section
+            ( name,
+              List.map
+                (function
+                  | `Expr e -> (Some e, Some e, None)
+                  | `Section b -> b)
+                args )
+        else
+          Ast.Array_ref
+            ( name,
+              List.map
+                (function `Expr e -> e | `Section _ -> assert false)
+                args )
+      end
+      else Ast.Var name
+  | t -> perr "line %d: unexpected token %s" st.lineno (Lexer.show_token t)
+
+(* Argument: expr, or a section bound [lo]:[hi][:step].  An empty bound is
+   allowed on either side of ':'. *)
+and parse_arg_list st =
+  let has_section = ref false in
+  let parse_arg () =
+    let lo =
+      match peek st with
+      | Some (TCOLON | TCOMMA | TRP) -> None
+      | _ -> Some (parse_expr st)
+    in
+    if accept st TCOLON then begin
+      has_section := true;
+      let hi =
+        match peek st with
+        | Some (TCOLON | TCOMMA | TRP) -> None
+        | _ -> Some (parse_expr st)
+      in
+      let step = if accept st TCOLON then Some (parse_expr st) else None in
+      `Section (lo, hi, step)
+    end
+    else
+      match lo with
+      | Some e -> `Expr e
+      | None -> perr "line %d: empty argument" st.lineno
+  in
+  let rec loop acc =
+    let a = parse_arg () in
+    if accept st TCOMMA then loop (a :: acc) else List.rev (a :: acc)
+  in
+  match peek st with
+  | Some TRP -> ([], false)
+  | _ ->
+      let args = loop [] in
+      (args, !has_section)
+
+let parse_expr_of_tokens lineno toks =
+  let st = { toks; lineno } in
+  let e = parse_expr st in
+  if st.toks <> [] then perr "line %d: trailing tokens after expression" lineno;
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Statement / unit parsing over the line stream                       *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { lines : Lexer.line array; mutable pos : int }
+
+let cur ps = if ps.pos < Array.length ps.lines then Some ps.lines.(ps.pos) else None
+
+let next_line ps =
+  match cur ps with
+  | None -> perr "unexpected end of file"
+  | Some l ->
+      ps.pos <- ps.pos + 1;
+      l
+
+let starts_with line ids =
+  let rec go toks ids =
+    match (toks, ids) with
+    | _, [] -> true
+    | TID t :: toks', id :: ids' when String.equal t id -> go toks' ids'
+    | _ -> false
+  in
+  go line.tokens ids
+
+(* END of a program unit: END alone, or END SUBROUTINE/FUNCTION/PROGRAM. *)
+let is_unit_end line =
+  match line.tokens with
+  | [ TID "END" ] -> true
+  | TID "END" :: TID ("SUBROUTINE" | "FUNCTION" | "PROGRAM") :: _ -> true
+  | _ -> false
+
+let is_enddo line =
+  starts_with line [ "ENDDO" ] || starts_with line [ "END"; "DO" ]
+
+let is_endif line =
+  starts_with line [ "ENDIF" ] || starts_with line [ "END"; "IF" ]
+
+let is_else line =
+  match line.tokens with TID "ELSE" :: _ -> true | _ -> false
+
+(* ---- declarations ---- *)
+
+type decl_acc = {
+  mutable types : (string * Ast.dtype) list;
+  mutable dims : (string * Ast.dim list) list;
+  mutable commons : (string * string list) list;
+  mutable params : (string * Ast.expr) list;
+}
+
+let parse_decl_items st =
+  (* NAME [ (dims) ] {, NAME [ (dims) ]} *)
+  let parse_dims () =
+    let rec loop acc =
+      let d =
+        if accept st TSTAR then Ast.Dim_star else Ast.Dim_expr (parse_expr st)
+      in
+      if accept st TCOMMA then loop (d :: acc) else List.rev (d :: acc)
+    in
+    let dims = loop [] in
+    expect st TRP;
+    dims
+  in
+  let rec loop acc =
+    match advance st with
+    | TID name ->
+        let dims = if accept st TLP then parse_dims () else [] in
+        let acc = (name, dims) :: acc in
+        if accept st TCOMMA then loop acc else List.rev acc
+    | t -> perr "line %d: expected name in declaration, found %s" st.lineno
+             (Lexer.show_token t)
+  in
+  loop []
+
+(* Recognize a type keyword prefix; returns remaining tokens. *)
+let type_prefix tokens =
+  match tokens with
+  | TID "INTEGER" :: rest -> Some (Ast.Integer, rest)
+  | TID "LOGICAL" :: rest -> Some (Ast.Logical, rest)
+  | TID "CHARACTER" :: rest -> Some (Ast.Character, rest)
+  | TID "DOUBLE" :: TID "PRECISION" :: rest -> Some (Ast.Double, rest)
+  | TID "DOUBLEPRECISION" :: rest -> Some (Ast.Double, rest)
+  | TID "REAL" :: TSTAR :: TINT 8 :: rest -> Some (Ast.Double, rest)
+  | TID "REAL" :: TSTAR :: TINT 4 :: rest -> Some (Ast.Real, rest)
+  | TID "REAL" :: rest -> Some (Ast.Real, rest)
+  | _ -> None
+
+(* Is this line a declaration?  (A type keyword followed by FUNCTION is a
+   unit header, not a declaration.) *)
+let is_decl_line line =
+  match type_prefix line.tokens with
+  | Some (_, TID "FUNCTION" :: _) -> false
+  | Some _ -> true
+  | None ->
+      starts_with line [ "DIMENSION" ]
+      || starts_with line [ "COMMON" ]
+      || starts_with line [ "PARAMETER" ]
+      || starts_with line [ "IMPLICIT" ]
+
+let parse_decl_line acc line =
+  match type_prefix line.tokens with
+  | Some (ty, rest) ->
+      let st = { toks = rest; lineno = line.lineno } in
+      let items = parse_decl_items st in
+      List.iter
+        (fun (name, dims) ->
+          acc.types <- (name, ty) :: acc.types;
+          if dims <> [] then acc.dims <- (name, dims) :: acc.dims)
+        items
+  | None ->
+      let st = { toks = List.tl line.tokens; lineno = line.lineno } in
+      if starts_with line [ "DIMENSION" ] then
+        List.iter
+          (fun (name, dims) ->
+            if dims = [] then
+              perr "line %d: DIMENSION item %s has no dims" line.lineno name;
+            acc.dims <- (name, dims) :: acc.dims)
+          (parse_decl_items st)
+      else if starts_with line [ "COMMON" ] then begin
+        (* COMMON /BLK/ a, b(10) *)
+        expect st TSLASH;
+        let blk =
+          match advance st with
+          | TID b -> b
+          | t ->
+              perr "line %d: expected common block name, found %s" line.lineno
+                (Lexer.show_token t)
+        in
+        expect st TSLASH;
+        let items = parse_decl_items st in
+        List.iter
+          (fun (name, dims) ->
+            if dims <> [] then acc.dims <- (name, dims) :: acc.dims)
+          items;
+        acc.commons <- (blk, List.map fst items) :: acc.commons
+      end
+      else if starts_with line [ "PARAMETER" ] then begin
+        expect st TLP;
+        let rec loop () =
+          let name =
+            match advance st with
+            | TID n -> n
+            | t ->
+                perr "line %d: expected parameter name, found %s" line.lineno
+                  (Lexer.show_token t)
+          in
+          expect st TASSIGN;
+          let e = parse_expr st in
+          acc.params <- (name, e) :: acc.params;
+          if accept st TCOMMA then loop ()
+        in
+        loop ();
+        expect st TRP
+      end
+      else if starts_with line [ "IMPLICIT" ] then () (* IMPLICIT NONE: noop *)
+      else perr "line %d: unrecognized declaration" line.lineno
+
+(* ---- statements ---- *)
+
+(* Count of nested DO loops currently waiting on each terminal label, so
+   that nested loops sharing one label (DO 200 ... DO 200 ... 200 CONTINUE)
+   attach the terminal statement to the outermost loop only. *)
+let pending_labels : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* Parse a statement from the tokens of one line; block constructs continue
+   consuming lines from [ps]. *)
+let rec parse_stmt ps (line : Lexer.line) : Ast.stmt =
+  match line.tokens with
+  | TID "DO" :: TINT label :: rest -> parse_do ps line (Some label) rest
+  | TID "DO" :: rest -> parse_do ps line None rest
+  | TID "IF" :: _ -> parse_if ps line
+  | TID "CALL" :: TID name :: rest ->
+      let args =
+        match rest with
+        | [] -> []
+        | TLP :: _ ->
+            let st = { toks = rest; lineno = line.lineno } in
+            expect st TLP;
+            let args, has_section = parse_arg_list st in
+            expect st TRP;
+            if st.toks <> [] then
+              perr "line %d: trailing tokens after CALL" line.lineno;
+            if has_section then
+              perr "line %d: array section in CALL argument" line.lineno;
+            List.map (function `Expr e -> e | `Section _ -> assert false) args
+        | _ -> perr "line %d: malformed CALL" line.lineno
+      in
+      Ast.mk (Ast.Call (name, args))
+  | [ TID "RETURN" ] -> Ast.mk Ast.Return
+  | [ TID "STOP" ] -> Ast.mk (Ast.Stop None)
+  | [ TID "STOP"; TSTR msg ] -> Ast.mk (Ast.Stop (Some msg))
+  | [ TID "CONTINUE" ] -> Ast.mk Ast.Continue
+  | TID "WRITE" :: rest -> parse_write line rest
+  | TID "PRINT" :: TSTAR :: rest ->
+      let exprs =
+        match rest with
+        | [] -> []
+        | TCOMMA :: rest' -> parse_expr_list line.lineno rest'
+        | _ -> perr "line %d: malformed PRINT" line.lineno
+      in
+      Ast.mk (Ast.Print exprs)
+  | TID "GOTO" :: _ | TID "GO" :: TID "TO" :: _ ->
+      perr "line %d: GOTO is not supported by this subset" line.lineno
+  | _ -> parse_assignment line
+
+and parse_expr_list lineno toks =
+  let st = { toks; lineno } in
+  let rec loop acc =
+    let e = parse_expr st in
+    if accept st TCOMMA then loop (e :: acc) else List.rev (e :: acc)
+  in
+  if toks = [] then []
+  else begin
+    let es = loop [] in
+    if st.toks <> [] then perr "line %d: trailing tokens in list" lineno;
+    es
+  end
+
+and parse_write line rest =
+  (* List-directed WRITE: unit is an integer or a star, format is a star. *)
+  let st = { toks = rest; lineno = line.lineno } in
+  expect st TLP;
+  (match advance st with
+  | TINT _ | TSTAR -> ()
+  | t ->
+      perr "line %d: expected WRITE unit, found %s" line.lineno
+        (Lexer.show_token t));
+  expect st TCOMMA;
+  expect st TSTAR;
+  expect st TRP;
+  let exprs = parse_expr_list line.lineno st.toks in
+  Ast.mk (Ast.Print exprs)
+
+and parse_assignment line =
+  (* lvalue = expr.  The lvalue is ID or ID(args) followed by '='. *)
+  let st = { toks = line.tokens; lineno = line.lineno } in
+  let name =
+    match advance st with
+    | TID n -> n
+    | t ->
+        perr "line %d: expected statement, found %s" line.lineno
+          (Lexer.show_token t)
+  in
+  let lv =
+    if accept st TLP then begin
+      let args, has_section = parse_arg_list st in
+      expect st TRP;
+      if has_section then
+        Ast.Lsection
+          ( name,
+            List.map
+              (function `Expr e -> (Some e, Some e, None) | `Section b -> b)
+              args )
+      else
+        Ast.Larray
+          (name, List.map (function `Expr e -> e | `Section _ -> assert false) args)
+    end
+    else Ast.Lvar name
+  in
+  expect st TASSIGN;
+  let e = parse_expr st in
+  if st.toks <> [] then perr "line %d: trailing tokens after assignment" line.lineno;
+  Ast.mk (Ast.Assign (lv, e))
+
+and parse_do ps line label rest =
+  (* DO [label] ID = e1, e2 [, e3] *)
+  let st = { toks = rest; lineno = line.lineno } in
+  let index =
+    match advance st with
+    | TID n -> n
+    | t ->
+        perr "line %d: expected DO index, found %s" line.lineno
+          (Lexer.show_token t)
+  in
+  expect st TASSIGN;
+  let lo = parse_expr st in
+  expect st TCOMMA;
+  let hi = parse_expr st in
+  let step = if accept st TCOMMA then parse_expr st else Ast.Int_const 1 in
+  if st.toks <> [] then perr "line %d: trailing tokens in DO" line.lineno;
+  let body =
+    match label with
+    | Some l -> parse_block_until_label ps l
+    | None -> parse_block_until_enddo ps
+  in
+  Ast.mk_loop ~label index lo hi step body
+
+and parse_block_until_enddo ps =
+  let rec loop acc =
+    match cur ps with
+    | None -> perr "unexpected end of file inside DO"
+    | Some line when is_enddo line ->
+        ps.pos <- ps.pos + 1;
+        List.rev acc
+    | Some line ->
+        ps.pos <- ps.pos + 1;
+        loop (parse_stmt ps line :: acc)
+  in
+  loop []
+
+(* Parse statements until reaching the line bearing [label].  The labeled
+   line itself is consumed by the *outermost* loop waiting on the label:
+   we detect sharing by peeking whether the labeled statement would also
+   terminate us after an inner loop stopped before it. *)
+and parse_block_until_label ps label =
+  let rec loop acc =
+    match cur ps with
+    | None -> perr "unexpected end of file inside labeled DO %d" label
+    | Some line when line.label = Some label ->
+        (* Terminal statement: usually CONTINUE.  Nested DOs sharing this
+           label each stop here; only the outermost consumes the line.  We
+           implement that by leaving the line in place and letting the
+           caller consume it; to know whether *we* are outermost we peek at
+           a marker the caller manages.  Simpler: consume it here, and make
+           inner loops not consume by checking a shared-seen set. *)
+        if Hashtbl.mem pending_labels label && Hashtbl.find pending_labels label > 1
+        then begin
+          (* inner loop: leave the labeled line for the enclosing DO *)
+          Hashtbl.replace pending_labels label
+            (Hashtbl.find pending_labels label - 1);
+          List.rev acc
+        end
+        else begin
+          Hashtbl.remove pending_labels label;
+          ps.pos <- ps.pos + 1;
+          let term = parse_stmt ps line in
+          List.rev (term :: acc)
+        end
+    | Some line ->
+        ps.pos <- ps.pos + 1;
+        loop (parse_stmt ps line :: acc)
+  in
+  Hashtbl.replace pending_labels label
+    (1 + (try Hashtbl.find pending_labels label with Not_found -> 0));
+  loop []
+
+and parse_if ps line =
+  let st = { toks = List.tl line.tokens; lineno = line.lineno } in
+  expect st TLP;
+  let cond = parse_expr st in
+  expect st TRP;
+  match st.toks with
+  | [ TID "THEN" ] ->
+      let then_b, else_b = parse_if_blocks ps line.lineno in
+      Ast.mk (Ast.If (cond, then_b, else_b))
+  | [] -> perr "line %d: IF with empty body" line.lineno
+  | rest ->
+      (* logical IF: the rest of the line is a single simple statement *)
+      let inner = parse_stmt ps { line with tokens = rest; label = None } in
+      Ast.mk (Ast.If (cond, [ inner ], []))
+
+and parse_if_blocks ps lineno =
+  let rec loop acc =
+    match cur ps with
+    | None -> perr "line %d: unexpected end of file inside IF" lineno
+    | Some line when is_endif line ->
+        ps.pos <- ps.pos + 1;
+        (List.rev acc, [])
+    | Some line when is_else line -> begin
+        ps.pos <- ps.pos + 1;
+        match line.tokens with
+        | [ TID "ELSE" ] ->
+            let rec else_loop acc2 =
+              match cur ps with
+              | None -> perr "line %d: unexpected end of file inside ELSE" lineno
+              | Some l when is_endif l ->
+                  ps.pos <- ps.pos + 1;
+                  List.rev acc2
+              | Some l ->
+                  ps.pos <- ps.pos + 1;
+                  else_loop (parse_stmt ps l :: acc2)
+            in
+            (List.rev acc, else_loop [])
+        | TID "ELSE" :: TID "IF" :: rest | TID "ELSEIF" :: rest ->
+            let st = { toks = rest; lineno = line.lineno } in
+            expect st TLP;
+            let cond = parse_expr st in
+            expect st TRP;
+            (match st.toks with
+            | [ TID "THEN" ] -> ()
+            | _ -> perr "line %d: ELSE IF requires THEN" line.lineno);
+            let then_b, else_b = parse_if_blocks ps line.lineno in
+            (List.rev acc, [ Ast.mk (Ast.If (cond, then_b, else_b)) ])
+        | _ -> perr "line %d: malformed ELSE" line.lineno
+      end
+    | Some line ->
+        ps.pos <- ps.pos + 1;
+        loop (parse_stmt ps line :: acc)
+  in
+  loop []
+
+(* ---- program units ---- *)
+
+let parse_param_names (line : Lexer.line) st =
+  if accept st TLP then begin
+    if accept st TRP then []
+    else
+      let rec loop acc =
+        match advance st with
+        | TID n -> if accept st TCOMMA then loop (n :: acc) else List.rev (n :: acc)
+        | t ->
+            perr "line %d: expected parameter name, found %s" line.lineno
+              (Lexer.show_token t)
+      in
+      let ps = loop [] in
+      expect st TRP;
+      ps
+  end
+  else []
+
+let parse_unit ps : Ast.program_unit =
+  let header = next_line ps in
+  let kind, name, params =
+    match header.tokens with
+    | TID "PROGRAM" :: TID n :: [] -> (Ast.Main, n, [])
+    | TID "SUBROUTINE" :: TID n :: rest ->
+        let st = { toks = rest; lineno = header.lineno } in
+        let params = parse_param_names header st in
+        (Ast.Subroutine, n, params)
+    | _ -> (
+        match type_prefix header.tokens with
+        | Some (ty, TID "FUNCTION" :: TID n :: rest) ->
+            let st = { toks = rest; lineno = header.lineno } in
+            let params = parse_param_names header st in
+            (Ast.Function ty, n, params)
+        | _ -> (
+            match header.tokens with
+            | TID "FUNCTION" :: TID n :: rest ->
+                let st = { toks = rest; lineno = header.lineno } in
+                let params = parse_param_names header st in
+                (Ast.Function (Ast.implicit_type n), n, params)
+            | _ -> perr "line %d: expected unit header" header.lineno))
+  in
+  (* declarations *)
+  let acc = { types = []; dims = []; commons = []; params = [] } in
+  let rec decl_loop () =
+    match cur ps with
+    | Some line when is_decl_line line ->
+        ps.pos <- ps.pos + 1;
+        parse_decl_line acc line;
+        decl_loop ()
+    | _ -> ()
+  in
+  decl_loop ();
+  (* body *)
+  let rec body_loop stmts =
+    match cur ps with
+    | None -> perr "unexpected end of file in unit %s" name
+    | Some line when is_unit_end line ->
+        ps.pos <- ps.pos + 1;
+        List.rev stmts
+    | Some line ->
+        ps.pos <- ps.pos + 1;
+        body_loop (parse_stmt ps line :: stmts)
+  in
+  let body = body_loop [] in
+  (* assemble declarations: types first, then dims merge *)
+  let tbl : (string, Ast.decl) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (n, ty) ->
+      let prev =
+        try Hashtbl.find tbl n
+        with Not_found -> { Ast.d_name = n; d_type = ty; d_dims = [] }
+      in
+      Hashtbl.replace tbl n { prev with Ast.d_type = ty })
+    (List.rev acc.types);
+  List.iter
+    (fun (n, dims) ->
+      let prev =
+        try Hashtbl.find tbl n
+        with Not_found ->
+          { Ast.d_name = n; d_type = Ast.implicit_type n; d_dims = [] }
+      in
+      Hashtbl.replace tbl n { prev with Ast.d_dims = dims })
+    (List.rev acc.dims);
+  let decls = Hashtbl.fold (fun _ d l -> d :: l) tbl [] in
+  let decls = List.sort (fun a b -> compare a.Ast.d_name b.Ast.d_name) decls in
+  {
+    u_name = name;
+    u_kind = kind;
+    u_params = params;
+    u_decls = decls;
+    u_commons = List.rev acc.commons;
+    u_params_const = List.rev acc.params;
+    u_body = body;
+  }
+
+(** Parse a whole source file into a program. *)
+let parse_program source : Ast.program =
+  Hashtbl.reset pending_labels;
+  let lines = Array.of_list (Lexer.logical_lines source) in
+  let ps = { lines; pos = 0 } in
+  let rec loop units =
+    match cur ps with
+    | None -> List.rev units
+    | Some _ -> loop (parse_unit ps :: units)
+  in
+  { p_units = loop [] }

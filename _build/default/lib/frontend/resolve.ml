@@ -1,0 +1,32 @@
+(** Post-parse resolution: the parser cannot distinguish [F(X)] as an array
+    reference from a function call, so it produces [Array_ref] everywhere.
+    This pass rewrites references whose name is an intrinsic or a FUNCTION
+    unit -- and not a locally declared array -- into [Func_call]. *)
+
+open Ast
+
+let function_names program =
+  List.filter_map
+    (fun u ->
+      match u.u_kind with Function _ -> Some u.u_name | _ -> None)
+    program.p_units
+
+let resolve_unit ~functions (u : program_unit) =
+  let is_local_array name = is_array u name in
+  let is_function name =
+    (not (is_local_array name))
+    && (Intrinsics.is_intrinsic name || List.mem name functions)
+  in
+  let fix e =
+    match e with
+    | Array_ref (name, args) when is_function name -> Func_call (name, args)
+    | e -> e
+  in
+  { u with u_body = map_exprs_in_stmts fix u.u_body }
+
+let resolve_program (p : program) =
+  let functions = function_names p in
+  { p_units = List.map (resolve_unit ~functions) p.p_units }
+
+(** Parse and resolve in one step -- the usual entry point. *)
+let parse source = resolve_program (Parser.parse_program source)

@@ -1,0 +1,128 @@
+(** Static sanity checks applied after parsing/resolution:
+    - every CALL targets a defined SUBROUTINE with matching arity;
+    - every non-intrinsic Func_call targets a defined FUNCTION with
+      matching arity;
+    - COMMON blocks have a consistent member list across units (this subset
+      requires identical names and shapes, which our benchmarks satisfy);
+    - array references use the declared rank (or rank 1 for assumed-size). *)
+
+open Ast
+
+type issue = { unit_name : string; message : string }
+
+let pp_issue fmt i = Format.fprintf fmt "[%s] %s" i.unit_name i.message
+
+let check_calls program u =
+  let issues = ref [] in
+  let add fmt =
+    Printf.ksprintf
+      (fun m -> issues := { unit_name = u.u_name; message = m } :: !issues)
+      fmt
+  in
+  let check_target kind name nargs =
+    match find_unit program name with
+    | None -> add "%s %s is not defined" kind name
+    | Some callee ->
+        (match (kind, callee.u_kind) with
+        | "CALL", Subroutine | "function", Function _ -> ()
+        | _ -> add "%s %s resolves to the wrong kind of unit" kind name);
+        let np = List.length callee.u_params in
+        if np <> nargs then
+          add "%s %s expects %d arguments, got %d" kind name np nargs
+  in
+  let rec walk_expr e =
+    (match e with
+    | Func_call (name, args) when not (Intrinsics.is_intrinsic name) ->
+        check_target "function" name (List.length args)
+    | Array_ref (name, args) -> (
+        match find_decl u name with
+        | Some d when d.d_dims <> [] ->
+            if List.length d.d_dims <> List.length args then
+              add "array %s has rank %d but is referenced with %d subscripts"
+                name (List.length d.d_dims) (List.length args)
+        | Some _ | None ->
+            if not (List.mem name u.u_params) then
+              add "reference %s(...) is neither a declared array nor a function"
+                name)
+    | _ -> ());
+    match e with
+    | Array_ref (_, args) | Func_call (_, args) -> List.iter walk_expr args
+    | Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Unop (_, a) -> walk_expr a
+    | Section (_, bounds) ->
+        List.iter
+          (fun (a, b, c) ->
+            List.iter (Option.iter walk_expr) [ a; b; c ])
+          bounds
+    | _ -> ()
+  in
+  let walk_lvalue = function
+    | Lvar _ -> ()
+    | Larray (_, idx) -> List.iter walk_expr idx
+    | Lsection (_, bounds) ->
+        List.iter
+          (fun (a, b, c) -> List.iter (Option.iter walk_expr) [ a; b; c ])
+          bounds
+  in
+  ignore
+    (fold_stmts
+       (fun () s ->
+         match s.node with
+         | Call (name, args) ->
+             check_target "CALL" name (List.length args);
+             List.iter walk_expr args
+         | Assign (lv, e) ->
+             walk_lvalue lv;
+             walk_expr e
+         | Do_loop l ->
+             walk_expr l.lo;
+             walk_expr l.hi;
+             walk_expr l.step
+         | If (c, _, _) -> walk_expr c
+         | Print es -> List.iter walk_expr es
+         | Return | Stop _ | Continue | Tagged _ -> ())
+       () u.u_body);
+  !issues
+
+let check_commons program =
+  let blocks : (string, string * string list) Hashtbl.t = Hashtbl.create 8 in
+  let issues = ref [] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (blk, members) ->
+          match Hashtbl.find_opt blocks blk with
+          | None -> Hashtbl.add blocks blk (u.u_name, members)
+          | Some (first_unit, members0) ->
+              if members0 <> members then
+                issues :=
+                  {
+                    unit_name = u.u_name;
+                    message =
+                      Printf.sprintf
+                        "COMMON /%s/ member list differs from unit %s" blk
+                        first_unit;
+                  }
+                  :: !issues)
+        u.u_commons)
+    program.p_units;
+  !issues
+
+(** All issues found in a program; empty means the program is well-formed. *)
+let check (program : program) : issue list =
+  check_commons program
+  @ List.concat_map (check_calls program) program.p_units
+
+let check_exn program =
+  match check program with
+  | [] -> ()
+  | issues ->
+      let msg =
+        String.concat "; "
+          (List.map
+             (fun i -> Printf.sprintf "[%s] %s" i.unit_name i.message)
+             issues)
+      in
+      invalid_arg ("Validate.check_exn: " ^ msg)

@@ -1,0 +1,1 @@
+lib/inliner/inline.ml: Analysis Ast Frontend Linearize List Parallelizer Peel Printf Set String Usedef

@@ -1,0 +1,1 @@
+lib/inliner/linearize.ml: Analysis Ast Frontend List String

@@ -1,0 +1,408 @@
+(** Conventional inlining with the Polaris default heuristics (Section II
+    of the paper): a CALL is inlined when the call sits inside a loop nest
+    and the callee is a leaf subroutine with no I/O and at most
+    [max_stmts] statements.
+
+    The two loss mechanisms of Section II-A are reproduced faithfully:
+
+    - an actual argument that is an array *element* turns the formal's
+      references into base-offset references ([X2(I)] becomes
+      [T(IX(7) + I - 1)]), creating subscripted subscripts;
+    - an actual whose declared shape differs from the formal's triggers
+      linearization of the caller's array (all its references, program
+      text wide in that unit), destroying dimension-by-dimension
+      analyzability. *)
+
+open Frontend
+open Analysis
+open Parallelizer
+module S = Set.Make (String)
+
+type config = { max_stmts : int }
+
+let default_config = { max_stmts = 150 }
+
+type stats = {
+  mutable inlined_calls : (string * string) list;  (** (caller, callee) *)
+  mutable linearized : (string * string) list;  (** (unit, array) *)
+  mutable skipped : (string * string * string) list;
+      (** (caller, callee, reason) *)
+  mutable removed_units : string list;
+}
+
+let new_stats () =
+  { inlined_calls = []; linearized = []; skipped = []; removed_units = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Eligibility                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stmt_count stmts = Ast.fold_stmts (fun n _ -> n + 1) 0 stmts
+
+let has_print stmts =
+  Ast.fold_stmts
+    (fun acc s -> acc || match s.Ast.node with Ast.Print _ -> true | _ -> false)
+    false stmts
+
+let has_early_return stmts =
+  (* RETURN anywhere except as the final top-level statement *)
+  let count_returns stmts =
+    Ast.fold_stmts
+      (fun n s -> match s.Ast.node with Ast.Return -> n + 1 | _ -> n)
+      0 stmts
+  in
+  let total = count_returns stmts in
+  match List.rev stmts with
+  | { Ast.node = Ast.Return; _ } :: _ -> total > 1
+  | _ -> total > 0
+
+let eligibility cfg (callee : Ast.program_unit) : string option =
+  if callee.u_kind <> Ast.Subroutine then Some "not a subroutine"
+  else if stmt_count callee.u_body > cfg.max_stmts then Some "too many statements"
+  else if has_print callee.u_body then Some "contains I/O"
+  else if Usedef.calls callee.u_body <> [] then Some "calls other subroutines"
+  else if has_early_return callee.u_body then Some "early RETURN"
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Parameter binding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let inline_counter = ref 0
+
+exception Skip of string
+
+(* substitution entry for a formal array *)
+type array_binding =
+  | Rename of string  (** formal maps 1:1 to the caller array *)
+  | Flatten of {
+      base : string;  (** caller array *)
+      offset : Ast.expr;  (** 0-based element offset of the actual *)
+      callee_dims : Ast.expr list;  (** instantiated formal shape *)
+    }
+
+let writes_var (callee : Ast.program_unit) v =
+  match Usedef.written callee.u_body with
+  | Usedef.All -> true
+  | Usedef.Vars w -> S.mem v w
+
+(* Substitute scalar formals (and PARAMETER constants) in an expression. *)
+let subst_scalars (bindings : (string * Ast.expr) list) e =
+  Ast.map_expr
+    (function
+      | Ast.Var v as e -> (
+          match List.assoc_opt v bindings with Some a -> a | None -> e)
+      | e -> e)
+    e
+
+(** Inline one call; returns replacement statements plus caller updates. *)
+let inline_call cfg stats (caller : Ast.program_unit)
+    (callee : Ast.program_unit) (args : Ast.expr list) :
+    Ast.stmt list * Ast.decl list * (string * string list) list * string list
+    =
+  ignore cfg;
+  incr inline_counter;
+  let tagn = !inline_counter in
+  if List.length args <> List.length callee.u_params then
+    raise (Skip "arity mismatch");
+  (* PARAMETER constants of the callee become scalar bindings. *)
+  let param_consts = callee.u_params_const in
+  (* scalar formal bindings, checked for writability *)
+  let scalar_bindings =
+    List.filter_map
+      (fun (f, a) ->
+        if Ast.is_array callee f then None
+        else begin
+          (match a with
+          | Ast.Var _ -> ()
+          | _ ->
+              if writes_var callee f then
+                raise (Skip ("written scalar formal " ^ f ^ " bound to expression")));
+          Some (f, a)
+        end)
+      (List.combine callee.u_params args)
+  in
+  let scalar_bindings = scalar_bindings @ param_consts in
+  let inst e = subst_scalars scalar_bindings e in
+  (* array formal bindings *)
+  let caller_dims name =
+    match Ast.find_decl caller name with
+    | Some d -> Linearize.dims_exprs d
+    | None -> raise (Skip ("actual " ^ name ^ " is not a declared array"))
+  in
+  let array_bindings =
+    List.filter_map
+      (fun (f, a) ->
+        if not (Ast.is_array callee f) then None
+        else
+          let fdims =
+            match Ast.find_decl callee f with
+            | Some d -> List.map inst (Linearize.dims_exprs d)
+            | None -> assert false
+          in
+          let fdims_raw =
+            match Ast.find_decl callee f with
+            | Some d -> d.Ast.d_dims
+            | None -> assert false
+          in
+          let is_star =
+            List.exists (function Ast.Dim_star -> true | _ -> false) fdims_raw
+          in
+          match a with
+          | Ast.Var arr ->
+              let adims = caller_dims arr in
+              let same_shape =
+                (not is_star)
+                && List.length adims = List.length fdims
+                && List.for_all2 Ast.equal_expr adims fdims
+              in
+              if same_shape then Some (f, Rename arr)
+              else
+                Some
+                  (f, Flatten { base = arr; offset = Ast.Int_const 0; callee_dims = fdims })
+          | Ast.Array_ref (arr, eidx) ->
+              let adims = caller_dims arr in
+              let offset =
+                Ast.Binop
+                  ( Ast.Sub,
+                    Linearize.linear_index adims eidx,
+                    Ast.Int_const 1 )
+              in
+              Some (f, Flatten { base = arr; offset; callee_dims = fdims })
+          | _ -> raise (Skip ("array formal " ^ f ^ " bound to expression")))
+      (List.combine callee.u_params args)
+  in
+  (* local renaming *)
+  let commons_members = List.concat_map snd callee.u_commons in
+  let is_local v =
+    (not (List.mem v callee.u_params))
+    && (not (List.mem v commons_members))
+    && not (List.mem_assoc v param_consts)
+  in
+  let locals =
+    let names = ref S.empty in
+    List.iter
+      (fun (a : Usedef.access) ->
+        if is_local a.acc_name then names := S.add a.acc_name !names)
+      (Usedef.accesses_of_stmts callee.u_body);
+    (* also declared-but-unused locals are irrelevant *)
+    S.elements !names
+  in
+  let rename v = Printf.sprintf "%s_IL%d" v tagn in
+  let local_map = List.map (fun v -> (v, rename v)) locals in
+  (* new declarations for renamed locals *)
+  let new_decls =
+    List.filter_map
+      (fun (v, v') ->
+        let ty = Ast.type_of_var callee v in
+        let dims =
+          match Ast.find_decl callee v with
+          | Some d ->
+              List.map
+                (function
+                  | Ast.Dim_star -> Ast.Dim_star
+                  | Ast.Dim_expr e -> Ast.Dim_expr (inst e))
+                d.Ast.d_dims
+          | None -> []
+        in
+        Some { Ast.d_name = v'; d_type = ty; d_dims = dims })
+      local_map
+  in
+  (* COMMON blocks the caller lacks *)
+  let new_commons =
+    List.filter
+      (fun (blk, _) -> not (List.mem_assoc blk caller.u_commons))
+      callee.u_commons
+  in
+  let new_common_decls =
+    List.concat_map
+      (fun (_, members) ->
+        List.filter_map
+          (fun m ->
+            match Ast.find_decl callee m with
+            | Some d when Ast.find_decl caller m = None -> Some d
+            | Some _ -> None
+            | None ->
+                if Ast.find_decl caller m = None then
+                  Some
+                    { Ast.d_name = m; d_type = Ast.implicit_type m; d_dims = [] }
+                else None)
+          members)
+      new_commons
+  in
+  (* expression rewriting: scalars, locals, array formals *)
+  let rewrite e =
+    match e with
+    | Ast.Var v -> (
+        match List.assoc_opt v scalar_bindings with
+        | Some a -> a
+        | None -> (
+            match List.assoc_opt v local_map with
+            | Some v' -> Ast.Var v'
+            | None -> e))
+    | Ast.Array_ref (v, idx) -> (
+        match List.assoc_opt v array_bindings with
+        | Some (Rename arr) -> Ast.Array_ref (arr, idx)
+        | Some (Flatten { base; offset; callee_dims }) ->
+            Ast.Array_ref
+              ( base,
+                [
+                  Ast.Binop
+                    (Ast.Add, offset, Linearize.linear_index callee_dims idx);
+                ] )
+        | None -> (
+            match List.assoc_opt v local_map with
+            | Some v' -> Ast.Array_ref (v', idx)
+            | None -> e))
+    | e -> e
+  in
+  (* instantiate the body *)
+  let body = Peel.copy_stmts callee.u_body in
+  let body =
+    match List.rev body with
+    | { Ast.node = Ast.Return; _ } :: rest -> List.rev rest
+    | _ -> body
+  in
+  let body = Ast.map_exprs_in_stmts rewrite body in
+  (* rewrite left-hand sides (array formals and renamed local arrays) and
+     DO indices, which are local scalars *)
+  let body =
+    Ast.map_stmts
+      (fun s ->
+        match s.Ast.node with
+        | Ast.Do_loop l -> (
+            match List.assoc_opt l.index local_map with
+            | Some idx' -> [ { s with node = Ast.Do_loop { l with index = idx' } } ]
+            | None -> [ s ])
+        | Ast.Assign (Ast.Larray (v, idx), e) ->
+            let lv =
+              match List.assoc_opt v array_bindings with
+              | Some (Rename arr) -> Ast.Larray (arr, idx)
+              | Some (Flatten { base; offset; callee_dims }) ->
+                  Ast.Larray
+                    ( base,
+                      [
+                        Ast.Binop
+                          ( Ast.Add,
+                            offset,
+                            Linearize.linear_index callee_dims idx );
+                      ] )
+              | None -> (
+                  match List.assoc_opt v local_map with
+                  | Some v' -> Ast.Larray (v', idx)
+                  | None -> Ast.Larray (v, idx))
+            in
+            [ { s with node = Ast.Assign (lv, e) } ]
+        | Ast.Assign (Ast.Lvar v, e) ->
+            let lv =
+              match List.assoc_opt v local_map with
+              | Some v' -> Ast.Lvar v'
+              | None -> (
+                  match List.assoc_opt v scalar_bindings with
+                  | Some (Ast.Var v') -> Ast.Lvar v'
+                  | _ -> Ast.Lvar v)
+            in
+            [ { s with node = Ast.Assign (lv, e) } ]
+        | _ -> [ s ])
+      body
+  in
+  (* record linearizations needed in the caller *)
+  let to_linearize =
+    List.filter_map
+      (fun (_, b) ->
+        match b with
+        | Flatten { base; _ } -> Some base
+        | Rename _ -> None)
+      array_bindings
+  in
+  List.iter
+    (fun arr ->
+      if not (List.mem (caller.u_name, arr) stats.linearized) then
+        stats.linearized <- (caller.u_name, arr) :: stats.linearized)
+    to_linearize;
+  (body, new_decls @ new_common_decls, new_commons, to_linearize)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) (program : Ast.program) :
+    Ast.program * stats =
+  let stats = new_stats () in
+  let process_unit (u : Ast.program_unit) =
+    let extra_decls = ref [] in
+    let extra_commons = ref [] in
+    let linearize_marks = ref S.empty in
+    let rec walk depth stmts =
+      List.concat_map
+        (fun (s : Ast.stmt) ->
+          match s.Ast.node with
+          | Ast.Do_loop l ->
+              [ { s with node = Ast.Do_loop { l with body = walk (depth + 1) l.body } } ]
+          | Ast.If (c, t, e) ->
+              [ { s with node = Ast.If (c, walk depth t, walk depth e) } ]
+          | Ast.Call (name, args) when depth > 0 -> (
+              match Ast.find_unit program name with
+              | None -> [ s ]
+              | Some callee -> (
+                  match eligibility config callee with
+                  | Some why ->
+                      stats.skipped <- (u.u_name, name, why) :: stats.skipped;
+                      [ s ]
+                  | None -> (
+                      try
+                        let body, decls, commons, lins =
+                          inline_call config stats u callee args
+                        in
+                        stats.inlined_calls <-
+                          (u.u_name, name) :: stats.inlined_calls;
+                        extra_decls := !extra_decls @ decls;
+                        extra_commons := !extra_commons @ commons;
+                        List.iter
+                          (fun a -> linearize_marks := S.add a !linearize_marks)
+                          lins;
+                        body
+                      with Skip why ->
+                        stats.skipped <-
+                          (u.u_name, name, why) :: stats.skipped;
+                        [ s ])))
+          | _ -> [ s ])
+        stmts
+    in
+    let body = walk 0 u.u_body in
+    let u =
+      {
+        u with
+        u_body = body;
+        u_decls = u.u_decls @ !extra_decls;
+        u_commons = u.u_commons @ !extra_commons;
+      }
+    in
+    S.fold (fun arr u -> Linearize.linearize_array u arr) !linearize_marks u
+  in
+  let units = List.map process_unit program.p_units in
+  (* Polaris keeps inlined subroutines in the emitted source (they still
+     contribute to the code-size metric); record which became uncalled so
+     the loop accounting can ignore their now-dead standalone bodies. *)
+  let called =
+    List.fold_left
+      (fun acc u ->
+        let acc =
+          List.fold_left
+            (fun acc (n, _) -> S.add n acc)
+            acc
+            (Usedef.calls u.Ast.u_body)
+        in
+        List.fold_left (fun acc f -> S.add f acc) acc
+          (Usedef.func_calls u.Ast.u_body))
+      S.empty units
+  in
+  List.iter
+    (fun u ->
+      match u.Ast.u_kind with
+      | Ast.Main -> ()
+      | Ast.Subroutine | Ast.Function _ ->
+          if not (S.mem u.Ast.u_name called) then
+            stats.removed_units <- u.Ast.u_name :: stats.removed_units)
+    units;
+  ({ Ast.p_units = units }, stats)

@@ -1,0 +1,100 @@
+(** Array linearization: rewrite every reference to an array into an
+    equivalent single-subscript reference, and flatten its declaration to
+    one dimension "without any explicit shape information" (the paper's
+    words) -- i.e. the declared dimensions are multiplied into a single
+    extent and the structure is lost to dimension-by-dimension dependence
+    testing.
+
+    Column-major (Fortran) order: A(i1,i2,i3) with dims (d1,d2,d3) maps to
+    A(i1 + d1*(i2-1) + d1*d2*(i3-1)). *)
+
+open Frontend
+
+(** Linear (1-based) index expression for subscripts [idx] under dims
+    [dims]. *)
+let linear_index (dims : Ast.expr list) (idx : Ast.expr list) : Ast.expr =
+  let open Ast in
+  let rec go stride dims idx =
+    match (dims, idx) with
+    | _, [] -> Int_const 0
+    | [], [ e ] ->
+        (* last dim (possibly assumed-size): no further stride needed *)
+        Binop (Mul, stride, Binop (Sub, e, Int_const 1))
+    | d :: dims', e :: idx' ->
+        Binop
+          ( Add,
+            Binop (Mul, stride, Binop (Sub, e, Int_const 1)),
+            go (Binop (Mul, stride, d)) dims' idx' )
+    | [], _ :: _ -> invalid_arg "linear_index: more subscripts than dims"
+  in
+  Binop (Add, Int_const 1, go (Int_const 1) dims idx)
+
+let dims_exprs (d : Ast.decl) =
+  List.map
+    (function Ast.Dim_expr e -> e | Ast.Dim_star -> Ast.Int_const 1)
+    d.Ast.d_dims
+
+(** Total extent of a declaration as an expression. *)
+let total_extent (d : Ast.decl) =
+  match d.Ast.d_dims with
+  | [] -> Ast.Int_const 1
+  | [ Ast.Dim_star ] -> Ast.Int_const 1
+  | dims ->
+      Analysis.Simplify.basic_simplify
+        (List.fold_left
+           (fun acc dim ->
+             match dim with
+             | Ast.Dim_expr e -> Ast.Binop (Ast.Mul, acc, e)
+             | Ast.Dim_star -> acc)
+           (Ast.Int_const 1) dims)
+
+(** Rewrite all references to [name] in [u] to linearized form and flatten
+    the declaration.  Assumed-size declarations stay assumed-size. *)
+let linearize_array (u : Ast.program_unit) (name : string) : Ast.program_unit =
+  match Ast.find_decl u name with
+  | None -> u
+  | Some d when List.length d.d_dims <= 1 -> u
+  | Some d ->
+      let dims = dims_exprs d in
+      let rewrite e =
+        match e with
+        | Ast.Array_ref (a, idx) when String.equal a name && List.length idx > 1
+          ->
+            Ast.Array_ref (a, [ linear_index dims idx ])
+        | e -> e
+      in
+      let body = Ast.map_exprs_in_stmts rewrite u.u_body in
+      (* map_exprs_in_stmts rewrites subscript *contents*; the left-hand
+         side array reference itself needs an explicit pass *)
+      let body =
+        Ast.map_stmts
+          (fun s ->
+            match s.Ast.node with
+            | Ast.Assign (Ast.Larray (a, idx), e)
+              when String.equal a name && List.length idx > 1 ->
+                [
+                  {
+                    s with
+                    Ast.node =
+                      Ast.Assign
+                        (Ast.Larray (a, [ linear_index dims idx ]), e);
+                  };
+                ]
+            | _ -> [ s ])
+          body
+      in
+      let has_star =
+        List.exists (function Ast.Dim_star -> true | _ -> false) d.d_dims
+      in
+      let new_dims =
+        if has_star then [ Ast.Dim_star ] else [ Ast.Dim_expr (total_extent d) ]
+      in
+      let decls =
+        List.map
+          (fun d' ->
+            if String.equal d'.Ast.d_name name then
+              { d' with Ast.d_dims = new_dims }
+            else d')
+          u.u_decls
+      in
+      { u with u_body = body; u_decls = decls }

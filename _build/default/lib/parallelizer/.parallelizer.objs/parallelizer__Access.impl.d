@@ -1,0 +1,1 @@
+lib/parallelizer/access.ml: Analysis Ast Frontend Hashtbl List Usedef

@@ -1,0 +1,1 @@
+lib/parallelizer/array_private.ml: Access Analysis Ast Ctx Dependence Frontend List Option Poly Range_test Set Simplify String

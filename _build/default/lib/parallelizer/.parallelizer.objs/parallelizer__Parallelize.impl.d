@@ -1,0 +1,1 @@
+lib/parallelizer/parallelize.ml: Access Analysis Array_private Ast Ctx Ddtest Dependence Frontend List Peel Poly Printf Purity Scalars Set Simplify String Usedef

@@ -1,0 +1,1 @@
+lib/parallelizer/peel.ml: Analysis Ast Frontend List String

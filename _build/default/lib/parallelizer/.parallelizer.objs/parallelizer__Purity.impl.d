@@ -1,0 +1,1 @@
+lib/parallelizer/purity.ml: Analysis Ast Frontend List Set String Usedef

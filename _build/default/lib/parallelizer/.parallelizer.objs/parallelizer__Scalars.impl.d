@@ -1,0 +1,1 @@
+lib/parallelizer/scalars.ml: Access Ast Frontend List Set String

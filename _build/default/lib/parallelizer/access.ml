@@ -1,0 +1,85 @@
+(** Contextual access collection for one candidate loop: every memory
+    access of the body, with the stack of *inner* loops enclosing it, a
+    conditional-context flag, and its source position. *)
+
+open Frontend
+open Analysis
+
+type t = {
+  ca_name : string;
+  ca_index : Ast.expr list;  (** [] = scalar or whole-array access *)
+  ca_write : bool;
+  ca_inner : (string * Ast.expr * Ast.expr) list;
+      (** inner loops enclosing the access (index, lo, hi), outermost first *)
+  ca_cond : bool;  (** under an IF inside the candidate body *)
+  ca_path : int list;
+      (** enclosing IF branches, as [2*sid + side] markers, outermost
+          first; a write kills a read when its path is a prefix of the
+          read's path *)
+  ca_order : int;  (** source order within the body *)
+  ca_sid : int;
+}
+
+let order_counter = ref 0
+
+let collect (body : Ast.stmt list) : t list =
+  order_counter := 0;
+  let out = ref [] in
+  let emit ~inner ~path (a : Usedef.access) =
+    incr order_counter;
+    out :=
+      {
+        ca_name = a.acc_name;
+        ca_index = a.acc_index;
+        ca_write = a.acc_write;
+        ca_inner = inner;
+        ca_cond = path <> [];
+        ca_path = path;
+        ca_order = !order_counter;
+        ca_sid = a.acc_sid;
+      }
+      :: !out
+  in
+  let rec walk inner path stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s.node with
+        | Ast.Do_loop l ->
+            (* bound expressions evaluated outside the inner loop *)
+            List.iter
+              (fun e ->
+                List.iter (emit ~inner ~path)
+                  (Usedef.expr_reads s.sid e []))
+              [ l.lo; l.hi; l.step ];
+            emit ~inner ~path
+              {
+                Usedef.acc_name = l.index;
+                acc_index = [];
+                acc_write = true;
+                acc_sid = s.sid;
+              };
+            walk (inner @ [ (l.index, l.lo, l.hi) ]) path l.body
+        | Ast.If (c, t, e) ->
+            List.iter (emit ~inner ~path) (Usedef.expr_reads s.sid c []);
+            walk inner (path @ [ (2 * s.sid) ]) t;
+            walk inner (path @ [ (2 * s.sid) + 1 ]) e
+        | Ast.Tagged (_, b) -> walk inner path b
+        | _ ->
+            List.iter (emit ~inner ~path)
+              (Usedef.accesses_of_stmts [ s ]
+              |> List.map (fun (a : Usedef.access) -> a)))
+      stmts
+  in
+  walk [] [] body;
+  List.rev !out
+
+(** Accesses grouped by base name. *)
+let by_name accesses =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let prev = try Hashtbl.find tbl a.ca_name with Not_found -> [] in
+      Hashtbl.replace tbl a.ca_name (a :: prev))
+    accesses;
+  Hashtbl.fold (fun name accs acc -> (name, List.rev accs) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,130 @@
+(** Array privatization via kill analysis.
+
+    An array with loop-carried dependences can still be privatized if, in
+    every iteration of the candidate loop, each read is covered by an
+    earlier unconditional write of the same iteration (the temporary-array
+    pattern of Section II-B.3 of the paper).
+
+    Regions are rectangular boxes with symbolic polynomial bounds, one per
+    dimension, derived from the access subscript and the enclosing inner
+    loops.  A read is covered when some single earlier write box provably
+    contains its box ([Ctx.prove_ge] on the per-dimension differences).
+
+    If the array is live after the loop, privatization additionally
+    requires the written region to be independent of the candidate index,
+    and the parallelizer must peel the last iteration so the global copy
+    ends with the sequential values. *)
+
+open Frontend
+open Analysis
+open Dependence
+module S = Set.Make (String)
+
+type box = (Poly.t * Poly.t) list  (** per-dimension [lo, hi] *)
+
+(* [is_prefix p q]: the IF-branch path [p] encloses [q]. *)
+let rec is_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | x :: p', y :: q' -> x = y && is_prefix p' q'
+  | _ -> false
+
+(* Box of one access: subscript extremes over its inner loops. *)
+let box_of (ctx : Ctx.t) (a : Access.t) : box option =
+  let u = ctx.cunit in
+  let inners =
+    List.map
+      (fun (iv, lo, hi) -> { Range_test.iv; ilo = lo; ihi = hi })
+      a.ca_inner
+  in
+  let dim e =
+    let p = Poly.of_expr (Simplify.simplify u e) in
+    match
+      ( Range_test.extreme ctx ~inners ~maximize:false p,
+        Range_test.extreme ctx ~inners ~maximize:true p )
+    with
+    | Some lo, Some hi -> Some (lo, hi)
+    | _ -> None
+  in
+  if a.ca_index = [] then
+    (* whole-array access: covers everything; represented as empty box *)
+    Some []
+  else
+    let dims = List.map dim a.ca_index in
+    if List.for_all Option.is_some dims then
+      Some (List.map Option.get dims)
+    else None
+
+(* [contains outer inner]: inner box provably inside outer box. *)
+let contains ctx (outer : box) (inner : box) =
+  match (outer, inner) with
+  | [], _ -> true (* whole-array write covers anything *)
+  | _, [] -> false
+  | _ ->
+      List.length outer = List.length inner
+      && List.for_all2
+           (fun (olo, ohi) (ilo, ihi) ->
+             Ctx.prove_ge ctx (Poly.sub ilo olo) 0
+             && Ctx.prove_ge ctx (Poly.sub ohi ihi) 0)
+           outer inner
+
+let box_mentions_index index (b : box) =
+  List.exists
+    (fun (lo, hi) ->
+      let mentions p =
+        List.exists
+          (fun a -> List.mem index (Ast.expr_vars a))
+          (Poly.atoms p)
+      in
+      mentions lo || mentions hi)
+    b
+
+(** Can array [name] be privatized for the candidate loop whose body
+    produced [accesses]?  Returns [Some live_out_needs_peel] on success. *)
+let privatizable (ctx : Ctx.t) ~(live_out : bool)
+    (accesses : Access.t list) : bool =
+  let index = ctx.candidate.index in
+  (* Privatization targets the *temporary array* pattern: values written
+     then consumed within the iteration.  An array that is only written is
+     not a temporary; Polaris would not privatize it (and doing so merely
+     to discard dead stores would diverge from the paper's accounting). *)
+  if not (List.exists (fun (a : Access.t) -> not a.ca_write) accesses) then
+    false
+  else
+  (* accumulate unconditional write boxes in source order *)
+  let exception No in
+  try
+    let _written =
+      List.fold_left
+        (fun written (a : Access.t) ->
+          if a.ca_write then
+            if a.ca_cond && live_out then
+              (* a conditional write under live-out would leave earlier
+                 iterations' values visible, which peeling cannot
+                 reproduce *)
+              raise No
+            else
+              match box_of ctx a with
+              | Some b ->
+                  if live_out && box_mentions_index index b then raise No
+                  else (a.ca_path, b) :: written
+              | None ->
+                  (* unknown write region: cannot kill; with live-out we
+                     also cannot verify the region is the same every
+                     iteration, which peeling requires *)
+                  if live_out then raise No else written
+          else
+            match box_of ctx a with
+            | Some b ->
+                if
+                  List.exists
+                    (fun (wpath, w) ->
+                      is_prefix wpath a.ca_path && contains ctx w b)
+                    written
+                then written
+                else raise No
+            | None -> raise No)
+        [] accesses
+    in
+    true
+  with No -> false

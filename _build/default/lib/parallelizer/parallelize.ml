@@ -1,0 +1,284 @@
+(** The automatic loop parallelizer (the Polaris stand-in).
+
+    For every DO loop, innermost first, decide whether all its carried
+    dependences can be disproven, privatized, or folded into reductions; if
+    so (and the loop looks profitable) attach an OpenMP directive.  Loops
+    containing I/O, STOP, RETURN or opaque calls stay sequential -- those
+    are exactly the obstacles annotation-based inlining removes. *)
+
+open Frontend
+open Analysis
+open Dependence
+module S = Set.Make (String)
+
+type config = {
+  min_trip : int;  (** don't mark loops with a known trip count below this *)
+  mark_nested : bool;  (** also mark parallel loops inside parallel loops *)
+  trust_nonlinear : bool;
+      (** ablation switch: treat unanalyzable subscripts as independent
+          (unsound in general; shows the losses are analysis-side) *)
+  allow_pure_functions : bool;
+      (** treat invocations of {!Purity}-pure functions like intrinsics *)
+}
+
+let default_config =
+  {
+    min_trip = 4;
+    mark_nested = true;
+    trust_nonlinear = false;
+    allow_pure_functions = false;
+  }
+
+type loop_report = {
+  rep_unit : string;
+  rep_loop_id : int;
+  rep_index : string;
+  rep_safe : bool;
+  rep_marked : bool;
+  rep_reason : string;  (** blocker description when unsafe *)
+  rep_private : string list;
+  rep_reductions : (Ast.red_op * string) list;
+  rep_peeled : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let body_sids stmts =
+  Ast.fold_stmts (fun acc s -> s.Ast.sid :: acc) [] stmts
+
+let live_outside u (l : Ast.do_loop) name =
+  let common_members = List.concat_map snd u.Ast.u_commons in
+  List.mem name common_members
+  || List.mem name u.Ast.u_params
+  ||
+  let inside = List.sort_uniq compare (body_sids l.body) in
+  let all = Usedef.accesses_of_stmts u.Ast.u_body in
+  List.exists
+    (fun (a : Usedef.access) ->
+      String.equal a.acc_name name
+      && not (List.mem a.acc_sid inside))
+    all
+
+(* All loops inside a body (for the positivity context). *)
+let inner_loops body =
+  List.rev
+    (Ast.fold_stmts
+       (fun acc s -> match s.Ast.node with Ast.Do_loop l -> l :: acc | _ -> acc)
+       [] body)
+
+exception Unsafe of string
+
+type decision = {
+  dec_private : string list;
+  dec_reductions : (Ast.red_op * string) list;
+  dec_peel : bool;
+}
+
+let analyze_loop ?(pure = S.empty) cfg (u : Ast.program_unit)
+    (outer : Ast.do_loop list) (l : Ast.do_loop) : (decision, string) result =
+  try
+    (* structural blockers *)
+    if Usedef.has_side_exit l.body then raise (Unsafe "I/O, STOP or RETURN");
+    if Usedef.calls l.body <> [] then raise (Unsafe "subroutine call");
+    let impure_calls =
+      List.filter
+        (fun f -> not (cfg.allow_pure_functions && S.mem f pure))
+        (Usedef.func_calls l.body)
+    in
+    if impure_calls <> [] then raise (Unsafe "function call");
+    let ctx = Ctx.make ~cunit:u ~outer ~candidate:l ~inner_loops:(inner_loops l.body) in
+    let accesses = Access.collect l.body in
+    (if
+       List.exists
+         (fun (a : Access.t) ->
+           a.ca_write && String.equal a.ca_name l.index)
+         accesses
+     then raise (Unsafe "loop index modified in body"));
+    let groups = Access.by_name accesses in
+    let privates = ref [] in
+    let reductions = ref [] in
+    let peel = ref false in
+    List.iter
+      (fun (name, accs) ->
+        if String.equal name l.index then ()
+        else
+          let is_scalar_like =
+            (not (Ast.is_array u name))
+            || List.for_all (fun (a : Access.t) -> a.ca_index = []) accs
+          in
+          let writes = List.filter (fun (a : Access.t) -> a.ca_write) accs in
+          let is_inner_index =
+            List.exists
+              (fun (il : Ast.do_loop) -> String.equal il.index name)
+              (inner_loops l.body)
+          in
+          if writes = [] then ()
+          else if is_scalar_like then begin
+            match Scalars.classify u l.body name with
+            | Scalars.Read_only -> ()
+            | Scalars.Reduction op -> reductions := (op, name) :: !reductions
+            | Scalars.Private ->
+                privates := name :: !privates;
+                (* F77 leaves a DO index undefined after loop completion,
+                   so inner indices never need their last value *)
+                if (not is_inner_index) && live_outside u l name then
+                  peel := true
+            | Scalars.Blocker why ->
+                raise
+                  (Unsafe (Printf.sprintf "scalar %s: %s" name why))
+          end
+          else begin
+            (* array: pairwise dependence tests *)
+            let aref (a : Access.t) =
+              { Ddtest.ar_index = a.ca_index; ar_inner = a.ca_inner }
+            in
+            let indexed = List.mapi (fun i a -> (i, a)) accs in
+            let pairs =
+              List.concat_map
+                (fun (i, (a : Access.t)) ->
+                  List.filter_map
+                    (fun (j, (b : Access.t)) ->
+                      if j < i then None
+                      else if a.ca_write || b.ca_write then Some (a, b)
+                      else None)
+                    indexed)
+                indexed
+            in
+            let dependent =
+              (not cfg.trust_nonlinear)
+              && List.exists
+                   (fun (a, b) -> Ddtest.may_carry ctx (aref a) (aref b))
+                   pairs
+            in
+            if dependent then begin
+              let live = live_outside u l name in
+              if Array_private.privatizable ctx ~live_out:live accs then begin
+                privates := name :: !privates;
+                if live then peel := true
+              end
+              else
+                raise
+                  (Unsafe
+                     (Printf.sprintf "carried dependence on array %s" name))
+            end
+          end)
+      groups;
+    (if !peel && l.step <> Ast.Int_const 1 then
+       raise (Unsafe "live-out privatization in non-unit-step loop"));
+    Ok
+      {
+        dec_private = List.sort_uniq compare !privates;
+        dec_reductions = List.sort_uniq compare !reductions;
+        dec_peel = !peel;
+      }
+  with Unsafe why -> Error why
+
+(* Profitability: known-constant trip counts below the threshold are not
+   worth a fork/join. *)
+let profitable cfg u (l : Ast.do_loop) =
+  let const e = Poly.to_const (Poly.of_expr (Simplify.simplify u e)) in
+  match (const l.lo, const l.hi, const l.step) with
+  | Some lo, Some hi, Some st when st <> 0 ->
+      ((hi - lo) / st) + 1 >= cfg.min_trip
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+
+let rec process_stmts ~pure cfg u outer reports stmts =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      match s.node with
+      | Ast.Do_loop l -> process_loop ~pure cfg u outer reports s l
+      | Ast.If (c, t, e) ->
+          let t' = process_stmts ~pure cfg u outer reports t in
+          let e' = process_stmts ~pure cfg u outer reports e in
+          [ { s with node = Ast.If (c, t', e') } ]
+      | Ast.Tagged (tag, b) ->
+          let b' = process_stmts ~pure cfg u outer reports b in
+          [ { s with node = Ast.Tagged (tag, b') } ]
+      | _ -> [ s ])
+    stmts
+
+and process_loop ~pure cfg u outer reports s (l : Ast.do_loop) =
+  (* inner loops first *)
+  let body = process_stmts ~pure cfg u (outer @ [ l ]) reports l.body in
+  let l = { l with body } in
+  match analyze_loop ~pure cfg u outer l with
+  | Error why ->
+      reports :=
+        {
+          rep_unit = u.u_name;
+          rep_loop_id = l.loop_id;
+          rep_index = l.index;
+          rep_safe = false;
+          rep_marked = false;
+          rep_reason = why;
+          rep_private = [];
+          rep_reductions = [];
+          rep_peeled = false;
+        }
+        :: !reports;
+      [ { s with node = Ast.Do_loop l } ]
+  | Ok dec ->
+      let mark = profitable cfg u l in
+      let omp =
+        { Ast.omp_private = dec.dec_private; omp_reductions = dec.dec_reductions }
+      in
+      reports :=
+        {
+          rep_unit = u.u_name;
+          rep_loop_id = l.loop_id;
+          rep_index = l.index;
+          rep_safe = true;
+          rep_marked = mark;
+          rep_reason = "";
+          rep_private = dec.dec_private;
+          rep_reductions = dec.dec_reductions;
+          rep_peeled = mark && dec.dec_peel;
+        }
+        :: !reports;
+      if not mark then [ { s with node = Ast.Do_loop l } ]
+      else if dec.dec_peel then Peel.peel_last l omp
+      else [ { s with node = Ast.Do_loop { l with parallel = Some omp } } ]
+
+(* Strip directives from loops nested inside marked loops. *)
+let rec strip_nested ?(inside = false) stmts =
+  List.map
+    (fun (s : Ast.stmt) ->
+      let node =
+        match s.Ast.node with
+        | Ast.Do_loop l ->
+            let here = inside && l.parallel <> None in
+            let parallel = if here then None else l.parallel in
+            let inside' = inside || l.parallel <> None in
+            Ast.Do_loop
+              { l with parallel; body = strip_nested ~inside:inside' l.body }
+        | Ast.If (c, t, e) ->
+            Ast.If (c, strip_nested ~inside t, strip_nested ~inside e)
+        | Ast.Tagged (tag, b) -> Ast.Tagged (tag, strip_nested ~inside b)
+        | n -> n
+      in
+      { s with node })
+    stmts
+
+let run_unit ?(config = default_config) ?(pure = S.empty)
+    (u : Ast.program_unit) : Ast.program_unit * loop_report list =
+  let reports = ref [] in
+  let body = process_stmts ~pure config u [] reports u.u_body in
+  let body = if config.mark_nested then body else strip_nested body in
+  ({ u with u_body = body }, List.rev !reports)
+
+(** Parallelize every unit of the program. *)
+let run ?(config = default_config) (p : Ast.program) :
+    Ast.program * loop_report list =
+  let pure =
+    if config.allow_pure_functions then Purity.pure_functions p else S.empty
+  in
+  let units, reports =
+    List.fold_left
+      (fun (us, rs) u ->
+        let u', r = run_unit ~config ~pure u in
+        (u' :: us, rs @ r))
+      ([], []) p.p_units
+  in
+  ({ Ast.p_units = List.rev units }, reports)

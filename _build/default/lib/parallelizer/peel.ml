@@ -1,0 +1,66 @@
+(** Last-iteration peeling.
+
+    When a privatized variable is live after the loop, the paper's Polaris
+    "peels the last iteration of the loop before parallelizing all the
+    other iterations", so the shared copies finish with the values the
+    sequential execution would have produced.  Only unit-step loops are
+    peeled; the parallelizer refuses live-out privatization otherwise. *)
+
+open Frontend
+
+(* Deep-copy statements, preserving sids and loop ids (provenance). *)
+let rec copy_stmts stmts = List.map copy_stmt stmts
+
+and copy_stmt (s : Ast.stmt) =
+  let node =
+    match s.node with
+    | Ast.Do_loop l -> Ast.Do_loop { l with body = copy_stmts l.body }
+    | Ast.If (c, t, e) -> Ast.If (c, copy_stmts t, copy_stmts e)
+    | Ast.Tagged (tag, b) -> Ast.Tagged (tag, copy_stmts b)
+    | n -> n
+  in
+  { s with node }
+
+(** [peel_last l omp] returns the replacement statements: the main loop
+    over [lo .. hi-1] marked parallel with [omp], followed by a guarded
+    copy of the body for the final iteration.
+
+    When the body leaves the bound expression's inputs unmodified, the
+    index is *substituted* by [hi] inside the peeled copy (with a trailing
+    assignment restoring Fortran's index-after-loop value).  Substituting
+    keeps the peeled subscripts analyzable when an enclosing loop is
+    examined later; the assignment form would leave an opaque scalar
+    subscript behind. *)
+let peel_last (l : Ast.do_loop) (omp : Ast.omp) : Ast.stmt list =
+  assert (l.step = Ast.Int_const 1);
+  let main =
+    {
+      l with
+      hi = Ast.Binop (Ast.Sub, l.hi, Ast.Int_const 1);
+      parallel = Some omp;
+    }
+  in
+  let hi_mutable =
+    let w = Analysis.Usedef.written l.body in
+    List.exists (fun v -> Analysis.Usedef.mem v w) (Ast.expr_vars l.hi)
+  in
+  let copied = copy_stmts l.body in
+  let last_body =
+    if hi_mutable then
+      Ast.mk (Ast.Assign (Ast.Lvar l.index, l.hi)) :: copied
+    else
+      Ast.map_exprs_in_stmts
+        (function
+          | Ast.Var v when String.equal v l.index -> l.hi
+          | e -> e)
+        copied
+      @ [
+          Ast.mk
+            (Ast.Assign
+               (Ast.Lvar l.index, Ast.Binop (Ast.Add, l.hi, Ast.Int_const 1)));
+        ]
+  in
+  let guard =
+    Ast.mk (Ast.If (Ast.Binop (Ast.Le, l.lo, l.hi), last_body, []))
+  in
+  [ Ast.mk (Ast.Do_loop main); guard ]

@@ -1,0 +1,53 @@
+(** Purity analysis for user FUNCTIONs.
+
+    A function invocation inside a loop normally blocks parallelization
+    (like a CALL: unknown side effects).  A function is *pure* when it
+
+    - contains no CALLs, no I/O and no STOP,
+    - declares no COMMON blocks (so it can only read globals it cannot
+      even name), and
+    - writes nothing but its own locals and result variable (never a
+      formal parameter).
+
+    Pure functions behave like intrinsics: invocations are opaque
+    value-producing atoms whose operands are their arguments, which is
+    exactly how {!Dependence.Poly} already treats an unknown
+    [Func_call].  The parallelizer accepts them when
+    [config.allow_pure_functions] is set (an ablation in the paper's
+    spirit: Polaris special-cases such "side-effect-free" routines). *)
+
+open Frontend
+open Analysis
+module S = Set.Make (String)
+
+let is_pure (program : Ast.program) (name : string) : bool =
+  match Ast.find_unit program name with
+  | Some u -> (
+      match u.u_kind with
+      | Ast.Function _ ->
+          u.u_commons = []
+          && (not (Usedef.has_io u.u_body))
+          && Usedef.calls u.u_body = []
+          && Usedef.func_calls u.u_body = []
+          &&
+          let writes =
+            match Usedef.written u.u_body with
+            | Usedef.All -> None
+            | Usedef.Vars w -> Some w
+          in
+          (match writes with
+          | None -> false
+          | Some w ->
+              (* no formal parameter is written *)
+              not (List.exists (fun p -> S.mem p w) u.u_params))
+      | Ast.Subroutine | Ast.Main -> false)
+  | None -> false
+
+(** All pure functions of a program, by name. *)
+let pure_functions (program : Ast.program) : S.t =
+  List.fold_left
+    (fun acc u ->
+      match u.Ast.u_kind with
+      | Ast.Function _ when is_pure program u.u_name -> S.add u.u_name acc
+      | _ -> acc)
+    S.empty program.p_units

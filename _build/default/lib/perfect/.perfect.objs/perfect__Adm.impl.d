@@ -1,0 +1,1 @@
+lib/perfect/adm.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/perfect/arc2d.ml: Bench_def

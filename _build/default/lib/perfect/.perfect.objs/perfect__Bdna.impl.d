@@ -1,0 +1,1 @@
+lib/perfect/bdna.ml: Bench_def

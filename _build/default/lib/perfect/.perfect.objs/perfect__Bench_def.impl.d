@@ -1,0 +1,1 @@
+lib/perfect/bench_def.ml: Core Frontend String

@@ -1,0 +1,1 @@
+lib/perfect/dyfesm.ml: Bench_def

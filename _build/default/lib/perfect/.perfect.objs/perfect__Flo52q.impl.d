@@ -1,0 +1,1 @@
+lib/perfect/flo52q.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/perfect/mdg.ml: Bench_def

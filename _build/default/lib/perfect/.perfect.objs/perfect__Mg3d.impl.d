@@ -1,0 +1,1 @@
+lib/perfect/mg3d.ml: Bench_def

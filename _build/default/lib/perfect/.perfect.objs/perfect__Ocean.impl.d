@@ -1,0 +1,1 @@
+lib/perfect/ocean.ml: Bench_def

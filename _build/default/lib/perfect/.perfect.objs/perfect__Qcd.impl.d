@@ -1,0 +1,1 @@
+lib/perfect/qcd.ml: Bench_def

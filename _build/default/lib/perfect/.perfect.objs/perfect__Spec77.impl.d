@@ -1,0 +1,1 @@
+lib/perfect/spec77.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/perfect/suite.ml: Adm Arc2d Bdna Bench_def Dyfesm Flo52q List Mdg Mg3d Ocean Qcd Spec77 String Track Trfd

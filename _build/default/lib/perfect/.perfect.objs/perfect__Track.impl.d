@@ -1,0 +1,1 @@
+lib/perfect/track.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/perfect/trfd.ml: Bench_def

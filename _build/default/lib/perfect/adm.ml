@@ -1,0 +1,129 @@
+(** ADM -- pseudospectral air-pollution simulation.
+
+    The paper reports no inlining benefit for ADM; here the transport
+    phases call the vertical-diffusion solver (a recurrence) and the
+    large spectral routines (call chains), so neither inlining flavor
+    unlocks anything.  One small helper (DCOPY-style plane copy) is
+    conventionally inlined on a slice of the concentration array and
+    costs a single outer loop -- ADM's one-loop entry in the #par-loss
+    column. *)
+
+let name = "ADM"
+let description = "Pseudospectral air pollution simulation"
+
+let source =
+  {fort|
+      PROGRAM ADM
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      COMMON /CONC/ C(36,36,6), CNEW(36,36,6), WIND(36,36)
+      CALL SETUP
+      DO 900 ISTEP = 1, NSTEP
+        CALL ADVECX
+        CALL DIFFUZ
+        CALL SETTLE
+ 900  CONTINUE
+      CHK = 0.0
+      DO K = 1, NLEV
+        DO J = 1, NYA
+          DO I = 1, NXA
+            CHK = CHK + C(I,J,K)
+          ENDDO
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      COMMON /CONC/ C(36,36,6), CNEW(36,36,6), WIND(36,36)
+      NXA = 32
+      NYA = 32
+      NLEV = 6
+      NSTEP = 4
+      DO K = 1, 6
+        DO J = 1, 36
+          DO I = 1, 36
+            C(I,J,K) = MOD(I + 2*J + 3*K, 11) * 0.125
+            CNEW(I,J,K) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, 36
+        DO I = 1, 36
+          WIND(I,J) = MOD(I * J, 9) * 0.25 - 1.0
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE PLCOPY(A, B)
+      DIMENSION A(*), B(*)
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      DO I = 1, NXA
+        A(I) = B(I)
+      ENDDO
+      END
+
+      SUBROUTINE ADVECX
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      COMMON /CONC/ C(36,36,6), CNEW(36,36,6), WIND(36,36)
+      DO 100 J = 1, NYA
+        DO 100 I = 2, NXA
+          DO 100 K = 1, NLEV
+            CNEW(I,J,K) = C(I,J,K) - WIND(I,J) * (C(I,J,K) - C(I-1,J,K)) * 0.1
+ 100  CONTINUE
+      DO 110 K = 1, NLEV
+        DO 110 J = 1, NYA
+          DO 110 I = 1, NXA
+            C(I,J,K) = CNEW(I,J,K)
+ 110  CONTINUE
+      DO 120 K = 1, 2
+        CALL PLCOPY(CNEW(1,1,K), CNEW(1,1,K+2))
+ 120  CONTINUE
+      END
+
+      SUBROUTINE VDIFF(I, J)
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      COMMON /CONC/ C(36,36,6), CNEW(36,36,6), WIND(36,36)
+      IF (I .LT. 1 .OR. J .LT. 1) THEN
+        WRITE(6,*) ' VDIFF: BAD COLUMN ', I, J
+        STOP 'VDIFF BAD COLUMN'
+      ENDIF
+      DO K = 2, NLEV
+        C(I,J,K) = C(I,J,K) + (C(I,J,K-1) - C(I,J,K)) * 0.05
+      ENDDO
+      DO K = NLEV-1, 1, -1
+        C(I,J,K) = C(I,J,K) + (C(I,J,K+1) - C(I,J,K)) * 0.05
+      ENDDO
+      END
+
+      SUBROUTINE DIFFUZ
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      COMMON /CONC/ C(36,36,6), CNEW(36,36,6), WIND(36,36)
+      DO 200 J = 1, NYA
+        DO 200 I = 1, NXA
+          CALL VDIFF(I, J)
+ 200  CONTINUE
+      DO 210 K = 1, NLEV
+        DO 210 J = 1, NYA
+          DO 210 I = 1, NXA
+            CNEW(I,J,K) = CNEW(I,J,K) * 0.5 + C(I,J,K) * 0.25
+ 210  CONTINUE
+      END
+
+      SUBROUTINE SETTLE
+      COMMON /SIZES/ NXA, NYA, NLEV, NSTEP
+      COMMON /CONC/ C(36,36,6), CNEW(36,36,6), WIND(36,36)
+      DO 300 K = 1, NLEV
+        DO 300 J = 1, NYA
+          DO 300 I = 1, NXA
+            C(I,J,K) = C(I,J,K) * 0.999 + CNEW(I,J,K) * 0.0005
+ 300  CONTINUE
+      DO 310 J = 1, NYA
+        DO 310 I = 1, NXA
+          WIND(I,J) = WIND(I,J) * 0.99
+ 310  CONTINUE
+      END
+|fort}
+
+let annotations = ""
+let bench : Bench_def.t = { name; description; source; annotations }

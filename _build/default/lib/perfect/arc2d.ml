@@ -1,0 +1,345 @@
+(** ARC2D -- implicit finite-difference fluid solver of the Euler
+    equations on a 2-D body-fitted grid.
+
+    Phenomena:
+    - the implicit sweeps pass workspace *slices* [Q(1,1,N)] and
+      [WORK(IOFF)] to small leaf smoothers; conventional inlining flattens
+      the 3-D state arrays "without explicit shape information", and every
+      J/N loop that writes them dies (II-A.2) -- the benchmark's large
+      #par-loss;
+    - XPENTA/YPENTA are opaque pentadiagonal solvers (call helpers, carry
+      singularity checks) summarized with [unknown] annotations, so the
+      grid-line loops around them parallelize (the paper's Fig. 6-7
+      pattern, in its ARC2D incarnation);
+    - FILTRX is a small leaf filter taking a line index; conventional
+      inlining also wins those loops. *)
+
+let name = "ARC2D"
+let description = "Two-dimensional fluid solver of the Euler equations"
+
+let source =
+  {fort|
+      PROGRAM ARC2D
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /WRK/ WORK(4096), D(64,48)
+      COMMON /LINE/ XLINE(64), YLINE(64), ZLINE(64)
+      CALL SETUP
+      DO 900 ISTEP = 1, NSTEPS
+        CALL STEPFX
+        DO 100 K = 1, KMAX
+          CALL XPENTA(K)
+ 100    CONTINUE
+        DO 110 J = 1, JMAX
+          CALL YPENTA(J)
+ 110    CONTINUE
+        CALL STEPFY
+        DO 120 K = 1, KMAX
+          CALL FILTRX(K)
+ 120    CONTINUE
+        DO 125 K = 1, KMAX
+          CALL UPDQ(K)
+ 125    CONTINUE
+        DO 128 J = 1, JMAX
+          CALL XFLUX(J)
+ 128    CONTINUE
+        DO 129 K = 1, KMAX
+          CALL YIMPL(K)
+ 129    CONTINUE
+        DO 130 IW = 1, 2
+          CALL SAVEST(IW)
+          CALL SAVEST(IW)
+ 130    CONTINUE
+ 900  CONTINUE
+      CHK = 0.0
+      DO K = 1, KMAX
+        DO J = 1, JMAX
+          CHK = CHK + Q(J,K,1) + PRESS(J,K) * 0.5
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /WRK/ WORK(4096), D(64,48)
+      JMAX = 60
+      KMAX = 44
+      NEQ = 4
+      NSTEPS = 3
+      DO N = 1, 4
+        DO K = 1, 48
+          DO J = 1, 64
+            Q(J,K,N) = MOD(J + 2*K + 3*N, 23) * 0.125
+            S(J,K,N) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      DO K = 1, 48
+        DO J = 1, 64
+          PRESS(J,K) = MOD(J * K, 31) * 0.0625
+          D(J,K) = 1.0
+        ENDDO
+      ENDDO
+      DO I = 1, 4096
+        WORK(I) = MOD(I, 11) * 0.03125
+      ENDDO
+      END
+
+      SUBROUTINE SMOOTH(A, C)
+      DIMENSION A(*)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      DO 10 K = 1, 4
+        DO 10 J = 1, JMAX
+          A(J + 64*(K-1)) = A(J + 64*(K-1)) * C + 0.5 * K
+ 10   CONTINUE
+      END
+
+      SUBROUTINE STEPFX
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /WRK/ WORK(4096), D(64,48)
+      DO 200 N = 1, NEQ
+        DO 200 K = 1, KMAX
+          DO 200 J = 1, JMAX
+            S(J,K,N) = Q(J,K,N) * 0.25 + PRESS(J,K) * 0.125
+ 200  CONTINUE
+      DO 210 N = 1, NEQ
+        DO 210 K = 1, KMAX
+          DO 210 J = 1, JMAX
+            Q(J,K,N) = Q(J,K,N) + S(J,K,N) * 0.0625
+ 210  CONTINUE
+      DO 220 K = 1, KMAX
+        DO 220 J = 1, JMAX
+          PRESS(J,K) = Q(J,K,1) * 0.4 + Q(J,K,4) * 0.1
+ 220  CONTINUE
+      DO 230 N = 1, NEQ
+        DO 230 K = 1, KMAX
+          DO 230 J = 1, JMAX
+            S(J,K,N) = S(J,K,N) * 0.5 + PRESS(J,K) * 0.03125
+ 230  CONTINUE
+      DO 240 N = 1, NEQ
+        DO 240 K = 1, KMAX
+          DO 240 J = 1, JMAX
+            Q(J,K,N) = Q(J,K,N) + S(J,K,N) * 0.015625
+ 240  CONTINUE
+      DO 250 K = 1, KMAX
+        DO 250 J = 1, JMAX
+          D(J,K) = PRESS(J,K) * 2.0 - D(J,K) * 0.5
+ 250  CONTINUE
+      DO 260 N = 1, 2
+        CALL SMOOTH(Q(1,1,N), 0.96)
+ 260  CONTINUE
+      DO 270 N = 1, 2
+        CALL SMOOTH(S(1,1,N), 0.98)
+ 270  CONTINUE
+      DO 280 N = 1, 2
+        CALL SMOOTH(PRESS(1,N), 0.99)
+ 280  CONTINUE
+      END
+
+      SUBROUTINE STEPFY
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /WRK/ WORK(4096), D(64,48)
+      DO 500 N = 1, NEQ
+        DO 500 K = 1, KMAX
+          DO 500 J = 1, JMAX
+            S(J,K,N) = Q(J,K,N) * 0.2 + D(J,K) * 0.05
+ 500  CONTINUE
+      DO 510 N = 1, NEQ
+        DO 510 K = 1, KMAX
+          DO 510 J = 1, JMAX
+            Q(J,K,N) = Q(J,K,N) + S(J,K,N) * 0.025
+ 510  CONTINUE
+      DO 520 K = 1, KMAX
+        DO 520 J = 1, JMAX
+          PRESS(J,K) = PRESS(J,K) * 0.9 + Q(J,K,2) * 0.05
+ 520  CONTINUE
+      DO 530 N = 1, NEQ
+        DO 530 K = 1, KMAX
+          DO 530 J = 1, JMAX
+            S(J,K,N) = S(J,K,N) + Q(J,K,N) * 0.0125
+ 530  CONTINUE
+      DO 540 N = 1, NEQ
+        DO 540 K = 1, KMAX
+          DO 540 J = 1, JMAX
+            Q(J,K,N) = Q(J,K,N) * 0.999 + S(J,K,N) * 0.001
+ 540  CONTINUE
+      DO 560 N = 1, 2
+        CALL SMOOTH(Q(1,1,N+2), 0.97)
+ 560  CONTINUE
+      DO 570 N = 1, 2
+        CALL SMOOTH(S(1,1,N+2), 0.95)
+ 570  CONTINUE
+      DO 580 N = 1, 2
+        CALL SMOOTH(PRESS(1,N+2), 0.98)
+ 580  CONTINUE
+      END
+
+      SUBROUTINE UPDQ(K)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      DO J = 1, JMAX
+        Q(J,K,3) = Q(J,K,3) * 0.998 + S(J,K,3) * 0.002
+      ENDDO
+      END
+
+      SUBROUTINE XFLUX(J)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /LINE/ XLINE(64), YLINE(64), ZLINE(64)
+      CALL TRIDIA(1)
+      FSUM = 0.0
+      DO K = 1, KMAX
+        FSUM = FSUM + PRESS(J,K) * 0.5
+      ENDDO
+      IF (FSUM .GT. 1.0E20) THEN
+        WRITE(6,*) ' XFLUX: FLUX OVERFLOW AT LINE ', J
+        STOP 'XFLUX OVERFLOW'
+      ENDIF
+      DO K = 1, KMAX
+        S(J,K,1) = S(J,K,1) + FSUM * 0.001 + XLINE(J) * 0.0001
+      ENDDO
+      END
+
+      SUBROUTINE TRIDIA(K)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /LINE/ XLINE(64), YLINE(64), ZLINE(64)
+      DO J = 1, JMAX
+        XLINE(J) = Q(J,K,1) + 2.0
+        YLINE(J) = Q(J,K,2) * 0.5
+      ENDDO
+      DO J = 2, JMAX
+        YLINE(J) = YLINE(J) - YLINE(J-1) * 0.25 / XLINE(J-1)
+      ENDDO
+      END
+
+      SUBROUTINE XPENTA(K)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /LINE/ XLINE(64), YLINE(64), ZLINE(64)
+      CALL TRIDIA(K)
+      PIVMIN = 1.0E30
+      DO J = 1, JMAX
+        PIVMIN = MIN(PIVMIN, XLINE(J))
+      ENDDO
+      IF (PIVMIN .LE. 0.0) THEN
+        WRITE(6,*) ' XPENTA: SINGULAR PIVOT ON LINE ', K
+        STOP 'XPENTA SINGULAR'
+      ENDIF
+      DO J = 1, JMAX
+        Q(J,K,1) = Q(J,K,1) + YLINE(J) / XLINE(J) * 0.1
+        Q(J,K,2) = Q(J,K,2) + YLINE(J) * 0.05
+      ENDDO
+      END
+
+      SUBROUTINE YPENTA(J)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /LINE/ XLINE(64), YLINE(64), ZLINE(64)
+      DO K = 1, KMAX
+        ZLINE(K) = Q(J,K,3) + PRESS(J,K)
+      ENDDO
+      DO K = 2, KMAX
+        ZLINE(K) = ZLINE(K) + ZLINE(K-1) * 0.125
+      ENDDO
+      SCAL = 0.0
+      DO K = 1, KMAX
+        SCAL = SCAL + ZLINE(K)
+      ENDDO
+      DO K = 1, KMAX
+        Q(J,K,3) = Q(J,K,3) + ZLINE(K) / (1.0 + SCAL * SCAL) * 0.2
+      ENDDO
+      END
+
+      SUBROUTINE FILTRX(K)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      DO J = 1, JMAX
+        Q(J,K,4) = Q(J,K,4) * 0.99 + S(J,K,4) * 0.01
+        S(J,K,4) = S(J,K,4) * 0.95
+      ENDDO
+      END
+
+      SUBROUTINE YIMPL(K)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      COMMON /LINE/ XLINE(64), YLINE(64), ZLINE(64)
+      CALL TRIDIA(K)
+      YMAX = 0.0
+      DO J = 1, JMAX
+        YMAX = MAX(YMAX, ABS(YLINE(J)))
+      ENDDO
+      IF (YMAX .GT. 1.0E25) THEN
+        WRITE(6,*) ' YIMPL: IMPLICIT SWEEP DIVERGED ON LINE ', K
+        STOP 'YIMPL DIVERGED'
+      ENDIF
+      DO J = 1, JMAX
+        S(J,K,2) = S(J,K,2) * 0.97 + YLINE(J) / (1.0 + YMAX) * 0.01
+      ENDDO
+      END
+
+      SUBROUTINE SAVEST(IW)
+      COMMON /SIZES/ JMAX, KMAX, NEQ, NSTEPS
+      COMMON /WRK/ WORK(4096), D(64,48)
+      COMMON /STATE/ Q(64,48,4), S(64,48,4), PRESS(64,48)
+      DO J = 1, JMAX
+        WORK(J + 64*(IW-1)) = PRESS(J, IW) * 0.5
+        WORK(J + 64*(IW+1)) = PRESS(J, IW+2) * 0.25
+        WORK(J + 64*(IW+3)) = D(J, IW) * 0.125
+        WORK(J + 64*(IW+5)) = D(J, IW+2) * 0.0625
+      ENDDO
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine XPENTA(K) {
+  XLINE = unknown(Q[1,K,1], JMAX);
+  YLINE = unknown(Q[1,K,2], XLINE, JMAX);
+  do (J = 1:JMAX) {
+    Q[J,K,1] = unknown(Q[J,K,1], XLINE, YLINE);
+    Q[J,K,2] = unknown(Q[J,K,2], YLINE);
+  }
+}
+
+subroutine YPENTA(J) {
+  ZLINE = unknown(Q[J,1,3], PRESS[J,1], KMAX);
+  SCAL = unknown(ZLINE, KMAX);
+  do (K = 1:KMAX)
+    Q[J,K,3] = unknown(Q[J,K,3], ZLINE, SCAL);
+}
+
+subroutine FILTRX(K) {
+  do (J = 1:JMAX) {
+    Q[J,K,4] = unknown(Q[J,K,4], S[J,K,4]);
+    S[J,K,4] = unknown(S[J,K,4]);
+  }
+}
+
+subroutine UPDQ(K) {
+  do (J = 1:JMAX)
+    Q[J,K,3] = unknown(Q[J,K,3], S[J,K,3]);
+}
+
+subroutine YIMPL(K) {
+  XLINE = unknown(Q[1,K,1], JMAX);
+  YLINE = unknown(Q[1,K,2], XLINE, JMAX);
+  YMAX = unknown(YLINE, JMAX);
+  do (J = 1:JMAX)
+    S[J,K,2] = unknown(S[J,K,2], YLINE, YMAX);
+}
+
+subroutine XFLUX(J) {
+  XLINE = unknown(Q[1,1,1], JMAX);
+  YLINE = unknown(Q[1,1,2], XLINE, JMAX);
+  FSUM = unknown(PRESS[J,1], KMAX);
+  do (K = 1:KMAX)
+    S[J,K,1] = unknown(S[J,K,1], FSUM, XLINE[J]);
+}
+|annot}
+
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,286 @@
+(** BDNA -- molecular dynamics package for the simulation of nucleic
+    acids in water (biomolecular dynamics).
+
+    Mechanisms: the solvent coordinates live in one banked array [XT0]
+    addressed through the pointer table [IPTR]; ACTFOR/HYDFOR/IONFOR are
+    predictor-style routines called on [XT0(IPTR(k))] slices whose loops
+    die under conventional inlining (subscripted subscripts, II-A.1).
+    NBLIST passes the pair-list planes of [RLIST]/[FLIST] to the leaf
+    CUTOFF, linearizing both (II-A.2).  The annotated solute routines
+    (BASPAIR, BACKBN, SOLVF) carry helper calls, an error check and the
+    COMMON scratch vectors [RW]/[EW], so only annotation-based inlining
+    parallelizes the residue loops around them. *)
+
+let name = "BDNA"
+let description = "Molecular dynamics package for the simulation of nucleic acids"
+
+let source =
+  {fort|
+      PROGRAM BDNA
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /BANK/ XT0(8192), IPTR(12)
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      COMMON /PAIRS/ RLIST(320,6), FLIST(320,6)
+      COMMON /SCRATCH/ RW(256), EW(256)
+      COMMON /OUTE/ EBOND, EANGL
+      CALL SETUP
+      DO 800 ISTEP = 1, NSTEP
+        CALL ACTFOR(XT0(IPTR(1)), XT0(IPTR(2)), 0.25)
+        CALL HYDFOR(XT0(IPTR(3)), XT0(IPTR(4)))
+        CALL IONFOR(XT0(IPTR(5)), XT0(IPTR(6)), 0.5)
+        DO 100 IR = 1, NRES
+          CALL BASPAIR(IR)
+ 100    CONTINUE
+        DO 110 IR = 1, NRES
+          CALL BACKBN(IR)
+ 110    CONTINUE
+        DO 115 IR = 1, NRES
+          CALL IONPR(IR)
+ 115    CONTINUE
+        DO 120 IW = 1, NWAT
+          CALL SOLVF(IW)
+ 120    CONTINUE
+        DO 130 IW = 1, NWAT
+          CALL WUPD(IW)
+ 130    CONTINUE
+        CALL NBLIST
+ 800  CONTINUE
+      CHK = EBOND + EANGL
+      DO I = 1, 1024
+        CHK = CHK + XT0(I) * 0.001 + FW1(I) * 0.01
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /BANK/ XT0(8192), IPTR(12)
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      COMMON /PAIRS/ RLIST(320,6), FLIST(320,6)
+      COMMON /OUTE/ EBOND, EANGL
+      NRES = 96
+      NWAT = 112
+      NSTEP = 3
+      NORD = 5
+      EBOND = 0.0
+      EANGL = 0.0
+      DO I = 1, 12
+        IPTR(I) = MOD(I-1, 8) * 1024 + 1
+      ENDDO
+      DO I = 1, 8192
+        XT0(I) = MOD(I, 101) * 0.015625
+      ENDDO
+      DO I = 1, 1024
+        FW1(I) = MOD(I, 7) * 0.25
+        FW2(I) = MOD(I, 11) * 0.125
+        QW(I) = MOD(I, 5) * 0.5 - 1.0
+      ENDDO
+      DO J = 1, 6
+        DO I = 1, 320
+          RLIST(I,J) = MOD(I + J, 13) * 0.25
+          FLIST(I,J) = 0.0
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE ACTFOR(X1, X2, TS)
+      DIMENSION X1(*), X2(*)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      I = 0
+      DO 200 N = 1, NRES
+        DO 200 J = 1, NORD
+          I = I + 1
+          X1(I) = X1(I) + FW1(I) * TS * TS / 2.0
+          X2(I) = X2(I) + FW2(I) * TS
+ 200  CONTINUE
+      END
+
+      SUBROUTINE HYDFOR(X1, X2)
+      DIMENSION X1(*), X2(*)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      I = 0
+      DO 210 N = 1, NRES
+        DO 210 J = 1, NORD
+          I = I + 1
+          X1(I) = X1(I) * 0.998 + QW(I) * 0.002
+          X2(I) = X2(I) * 0.996 + QW(I) * 0.004
+ 210  CONTINUE
+      END
+
+      SUBROUTINE IONFOR(X1, X2, SC)
+      DIMENSION X1(*), X2(*)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      I = 0
+      DO 220 N = 1, NRES
+        DO 220 J = 1, NORD
+          I = I + 1
+          X1(I) = X1(I) + QW(I) * SC * 0.01
+          X2(I) = X2(I) - QW(I) * SC * 0.005
+ 220  CONTINUE
+      END
+
+      SUBROUTINE PAIRGEO(IR)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /BANK/ XT0(8192), IPTR(12)
+      COMMON /SCRATCH/ RW(256), EW(256)
+      DO K = 1, NRES
+        RW(K) = XT0(IR + K) - XT0(2*IR + K) * 0.5
+      ENDDO
+      DO K = 1, NRES
+        EW(K) = RW(K) * RW(K) * 0.25 + 0.0625
+      ENDDO
+      END
+
+      SUBROUTINE BASPAIR(IR)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /BANK/ XT0(8192), IPTR(12)
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      COMMON /SCRATCH/ RW(256), EW(256)
+      COMMON /OUTE/ EBOND, EANGL
+      CALL PAIRGEO(IR)
+      BSUM = 0.0
+      DO K = 1, NRES
+        BSUM = BSUM + EW(K) / (1.0 + RW(K) * RW(K))
+      ENDDO
+      IF (BSUM .LT. 0.0) THEN
+        WRITE(6,*) ' BASPAIR: NEGATIVE PAIR ENERGY AT RESIDUE ', IR
+        STOP 'BASPAIR NEGATIVE'
+      ENDIF
+      FW1(IR) = FW1(IR) * 0.9 + BSUM * 0.01
+      EBOND = EBOND + BSUM * 0.0001
+      END
+
+      SUBROUTINE BACKBN(IR)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      COMMON /SCRATCH/ RW(256), EW(256)
+      COMMON /OUTE/ EBOND, EANGL
+      CALL PAIRGEO(IR)
+      ASUM = 0.0
+      DO K = 1, NRES
+        ASUM = ASUM + RW(K) * 0.125 - EW(K) * 0.0625
+      ENDDO
+      FW2(IR) = FW2(IR) * 0.95 + ASUM * 0.005
+      EANGL = EANGL + ASUM * 0.0001
+      END
+
+      SUBROUTINE SOLVF(IW)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      COMMON /SCRATCH/ RW(256), EW(256)
+      CALL PAIRGEO(IW)
+      WSUM = 0.0
+      DO K = 1, NRES
+        WSUM = WSUM + EW(K) * QW(K)
+      ENDDO
+      QW(IW) = QW(IW) * 0.999 + WSUM * 0.0001
+      END
+
+      SUBROUTINE IONPR(IR)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /BANK/ XT0(8192), IPTR(12)
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      COMMON /SCRATCH/ RW(256), EW(256)
+      COMMON /OUTE/ EBOND, EANGL
+      CALL PAIRGEO(IR)
+      PSUM = 0.0
+      DO K = 1, NRES
+        PSUM = PSUM + RW(K) * QW(K) * 0.0625
+      ENDDO
+      IF (PSUM .GT. 1.0E25) THEN
+        WRITE(6,*) ' IONPR: ION ENERGY OVERFLOW AT ', IR
+        STOP 'IONPR OVERFLOW'
+      ENDIF
+      FW1(IR) = FW1(IR) + PSUM * 0.001
+      END
+
+      SUBROUTINE WUPD(IW)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      FW1(IW) = FW1(IW) * 0.99 + FW2(IW) * 0.01
+      FW2(IW) = FW2(IW) * 0.98 + QW(IW) * 0.002
+      END
+
+      SUBROUTINE CUTOFF(A, B)
+      DIMENSION A(*), B(*)
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      DO I = 1, NWAT
+        B(I) = B(I) * 0.5 + A(I) * 0.25
+      ENDDO
+      END
+
+      SUBROUTINE NBLIST
+      COMMON /SIZES/ NRES, NWAT, NSTEP, NORD
+      COMMON /PAIRS/ RLIST(320,6), FLIST(320,6)
+      COMMON /SOLV/ FW1(1024), FW2(1024), QW(1024)
+      DO 300 J = 1, 6
+        DO 300 I = 1, NWAT
+          RLIST(I,J) = QW(I) * 0.5 + J * 0.125
+ 300  CONTINUE
+      DO 310 J = 1, 6
+        DO 310 I = 1, NWAT
+          FLIST(I,J) = FLIST(I,J) * 0.75 + RLIST(I,J) * 0.125
+ 310  CONTINUE
+      DO 320 J = 1, 6
+        DO 320 I = 1, NWAT
+          RLIST(I,J) = RLIST(I,J) + FLIST(I,J) * 0.0625
+ 320  CONTINUE
+      DO 330 J = 1, 6
+        DO 330 I = 1, NWAT
+          FLIST(I,J) = FLIST(I,J) * 0.9 + QW(I) * 0.01
+ 330  CONTINUE
+      DO 335 J = 1, 6
+        DO 335 I = 1, NWAT
+          RLIST(I,J) = RLIST(I,J) * 0.875 + FLIST(I,J) * 0.0625
+ 335  CONTINUE
+      DO 338 J = 1, 6
+        DO 338 I = 1, NWAT
+          FLIST(I,J) = FLIST(I,J) + RLIST(I,J) * 0.03125
+ 338  CONTINUE
+      DO 340 K = 1, 6
+        CALL CUTOFF(RLIST(1,K), FLIST(1,K))
+ 340  CONTINUE
+      DO 350 I = 1, NWAT
+        QW(I) = QW(I) + FLIST(I,1) * 0.001
+ 350  CONTINUE
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine BASPAIR(IR) {
+  RW = unknown(XT0[IR], IR, NRES);
+  EW = unknown(RW, NRES);
+  FW1[IR] = unknown(FW1[IR], EW, RW);
+  EBOND = EBOND + unknown(EW);
+}
+
+subroutine BACKBN(IR) {
+  RW = unknown(XT0[IR], IR, NRES);
+  EW = unknown(RW, NRES);
+  FW2[IR] = unknown(FW2[IR], EW, RW);
+  EANGL = EANGL + unknown(EW);
+}
+
+subroutine IONPR(IR) {
+  RW = unknown(XT0[IR], IR, NRES);
+  EW = unknown(RW, NRES);
+  FW1[IR] = unknown(FW1[IR], RW, QW[IR]);
+}
+
+subroutine WUPD(IW) {
+  FW1[IW] = unknown(FW1[IW], FW2[IW]);
+  FW2[IW] = unknown(FW2[IW], QW[IW]);
+}
+
+subroutine SOLVF(IW) {
+  RW = unknown(XT0[IW], IW, NRES);
+  EW = unknown(RW, NRES);
+  QW[IW] = unknown(QW[IW], EW);
+}
+|annot}
+
+let bench : Bench_def.t = { name; description; source; annotations }

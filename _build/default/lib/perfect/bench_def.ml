@@ -1,0 +1,15 @@
+(** Common shape of a synthetic PERFECT benchmark: Fortran source, optional
+    annotation file, and the descriptive row of Table I. *)
+
+type t = {
+  name : string;
+  description : string;  (** the Table I description *)
+  source : string;  (** Fortran-subset program text *)
+  annotations : string;  (** annotation-language text; may be empty *)
+}
+
+let parse (b : t) = Frontend.Resolve.parse b.source
+
+let annots (b : t) =
+  if String.trim b.annotations = "" then []
+  else Core.Annot_parser.parse_annotations b.annotations

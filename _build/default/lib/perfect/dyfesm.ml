@@ -1,0 +1,329 @@
+(** DYFESM -- structural dynamics finite-element benchmark.
+
+    The paper's flagship: every annotation-only mechanism appears here.
+    FSMP (Fig. 6) is the opaque compositional element-matrix routine --
+    helper calls, COMMON temporaries (XY, WTDET, P), an error check with
+    I/O and STOP -- whose annotation (Fig. 13) lets the element loop
+    parallelize with the temporaries privatized and the last iteration
+    peeled.  ASSEM (Figs. 10-11) scatters through one-to-one index arrays
+    ICOND/IWHERD, summarized with [unique] (Fig. 14).  MULTEL passes
+    element blocks with reshaped dimensions, which the annotation's
+    [dimension] declarations preserve.  Conventional inlining is
+    inapplicable throughout (every candidate has I/O or calls), so it
+    neither gains nor loses loops here -- exactly the paper's account. *)
+
+let name = "DYFESM"
+let description = "Structural dynamics benchmark (finite element)"
+
+let source =
+  {fort|
+      PROGRAM DYFESM
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /MAPS/ IDBEGS(8), IDEDON(128), ICOND(2,128), IWHERD(2,128)
+      COMMON /GLOB/ RHSB(512), RHSI(512), DISP(512), VELO(512)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL SETUP
+      DO 500 ISTEP = 1, NSTEP
+        DO 35 ISS = 1, NSS
+          DO 30 K = 1, NEPS
+            ID = IDBEGS(ISS) + K
+            CALL FSMP(ID, K)
+ 30       CONTINUE
+ 35     CONTINUE
+        DO 40 IN = 1, 2
+          DO 38 ID = 1, NELEM
+            CALL ASSEM(ID, IN)
+ 38       CONTINUE
+ 40     CONTINUE
+        DO 50 IE = 1, NELEM
+          CALL MULTEL(FE(1,IE), SE(1,IE), PE(1,IE))
+ 50     CONTINUE
+        DO 60 IE = 1, NELEM
+          CALL FRCEL(IE)
+ 60     CONTINUE
+        DO 70 IE = 1, NELEM
+          CALL STRSEL(IE)
+ 70     CONTINUE
+        DO 80 IE = 1, NELEM
+          CALL UPDEL(IE)
+ 80     CONTINUE
+        DO 45 ID = 1, NELEM
+          CALL ASSEM2(ID)
+ 45     CONTINUE
+        DO 75 IE = 1, NELEM
+          CALL MASSEL(IE)
+ 75     CONTINUE
+        DO 85 IE = 1, NELEM
+          CALL DAMPEL(IE)
+ 85     CONTINUE
+        CALL REDUCE
+ 500  CONTINUE
+      CHK = 0.0
+      DO I = 1, 512
+        CHK = CHK + RHSB(I) + DISP(I) * 0.5
+      ENDDO
+      DO J = 1, NELEM
+        DO I = 1, NSFE
+          CHK = CHK + FE(I,J) * 0.125
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /MAPS/ IDBEGS(8), IDEDON(128), ICOND(2,128), IWHERD(2,128)
+      COMMON /GLOB/ RHSB(512), RHSI(512), DISP(512), VELO(512)
+      NSS = 8
+      NEPS = 16
+      NSFE = 16
+      NNPED = 24
+      NELEM = 128
+      NSTEP = 3
+      DO I = 1, 8
+        IDBEGS(I) = (I-1) * 16
+      ENDDO
+      DO I = 1, 128
+        IDEDON(I) = 0
+        ICOND(1,I) = 2*I - 1
+        ICOND(2,I) = 2*I
+        IWHERD(1,I) = 256 + 2*I - 1
+        IWHERD(2,I) = 256 + 2*I
+      ENDDO
+      DO J = 1, 128
+        DO I = 1, 16
+          FE(I,J) = 0.0
+          SE(I,J) = 0.0
+          ME(I,J) = MOD(I + J, 9) * 0.25
+          PE(I,J) = MOD(I * J, 13) * 0.125
+        ENDDO
+      ENDDO
+      DO I = 1, 512
+        RHSB(I) = 0.0
+        RHSI(I) = 0.0
+        DISP(I) = MOD(I, 29) * 0.0625
+        VELO(I) = MOD(I, 23) * 0.03125
+      ENDDO
+      END
+
+      SUBROUTINE GETCR(ID)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /GLOB/ RHSB(512), RHSI(512), DISP(512), VELO(512)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      DO J = 1, NNPED
+        XY(1,J) = DISP(MOD(ID + J - 2, 512) + 1) + ID * 0.015625
+        XY(2,J) = VELO(MOD(ID + 2*J - 3, 512) + 1) - J * 0.03125
+      ENDDO
+      END
+
+      SUBROUTINE SHAPE1
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      DO J = 1, NNPED
+        WTDET(J) = XY(1,J) * XY(2,J) + 0.125
+      ENDDO
+      DO J = 1, NNPED
+        P(J) = WTDET(J) * 0.5 + XY(1,J) * 0.25
+      ENDDO
+      END
+
+      SUBROUTINE FSMP(ID, IDE)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /MAPS/ IDBEGS(8), IDEDON(128), ICOND(2,128), IWHERD(2,128)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL GETCR(ID)
+      CALL SHAPE1
+      IF (IDEDON(IDE) .EQ. 0) THEN
+        IDEDON(IDE) = 1
+        DO I = 1, NSFE
+          SE(I,IDE) = WTDET(MOD(I-1,NNPED)+1) * 2.0
+          ME(I,IDE) = ME(I,IDE) + P(MOD(I-1,NNPED)+1) * 0.5
+        ENDDO
+      ENDIF
+      WMIN = 1.0E30
+      DO J = 1, NNPED
+        WMIN = MIN(WMIN, WTDET(J))
+      ENDDO
+      IF (WMIN .LT. -1.0E20) THEN
+        WRITE(6,*) ' F ELEMENT ', IDE, ' IS SINGULAR '
+        STOP 'F SINGULAR'
+      ENDIF
+      DO I = 1, NSFE
+        FE(I,ID) = FE(I,ID) * 0.5 + WTDET(MOD(I-1,NNPED)+1) + ID * 0.0078125
+      ENDDO
+      END
+
+      SUBROUTINE ASSEM(ID, IN)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /MAPS/ IDBEGS(8), IDEDON(128), ICOND(2,128), IWHERD(2,128)
+      COMMON /GLOB/ RHSB(512), RHSI(512), DISP(512), VELO(512)
+      RHSB(ICOND(IN,ID)) = FE(IN,ID) * 2.0 + PE(IN,ID)
+      RHSI(IWHERD(IN,ID) - 256) = SE(IN,ID) + ME(IN,ID) * 0.5
+      END
+
+      SUBROUTINE MULTEL(M1, M2, M3)
+      DIMENSION M1(*), M2(*), M3(*)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      EMAX = 0.0
+      DO I = 1, NSFE
+        EMAX = MAX(EMAX, ABS(M1(I)))
+      ENDDO
+      IF (EMAX .GT. 1.0E25) THEN
+        WRITE(6,*) ' MULTEL: ELEMENT MATRIX OVERFLOW '
+        STOP 'MULTEL OVERFLOW'
+      ENDIF
+      DO I = 1, NSFE
+        M3(I) = M3(I) + M1(I) * 0.25 + M2(I) * 0.125
+      ENDDO
+      END
+
+      SUBROUTINE FRCEL(IE)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL GETCR(IE)
+      CALL SHAPE1
+      DO I = 1, NSFE
+        FE(I,IE) = FE(I,IE) + P(MOD(I-1,NNPED)+1) * 0.0625
+      ENDDO
+      END
+
+      SUBROUTINE STRSEL(IE)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL GETCR(IE)
+      SMAX = 0.0
+      DO J = 1, NNPED
+        SMAX = MAX(SMAX, ABS(XY(1,J)))
+      ENDDO
+      IF (SMAX .GT. 1.0E25) THEN
+        WRITE(6,*) ' STRSEL: STRESS OVERFLOW IN ELEMENT ', IE
+        STOP 'STRSEL OVERFLOW'
+      ENDIF
+      DO I = 1, NSFE
+        SE(I,IE) = SE(I,IE) * 0.9 + SMAX * 0.001
+      ENDDO
+      END
+
+      SUBROUTINE UPDEL(IE)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL SHAPE1
+      DO I = 1, NSFE
+        PE(I,IE) = PE(I,IE) * 0.95 + FE(I,IE) * 0.05 + WTDET(1) * 0.001
+      ENDDO
+      END
+
+      SUBROUTINE ASSEM2(ID)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /MAPS/ IDBEGS(8), IDEDON(128), ICOND(2,128), IWHERD(2,128)
+      COMMON /GLOB/ RHSB(512), RHSI(512), DISP(512), VELO(512)
+      VELO(ICOND(1,ID)) = VELO(ICOND(1,ID)) * 0.99 + FE(1,ID) * 0.01
+      VELO(ICOND(2,ID)) = VELO(ICOND(2,ID)) * 0.99 + FE(2,ID) * 0.01
+      END
+
+      SUBROUTINE MASSEL(IE)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL GETCR(IE)
+      CALL SHAPE1
+      DO I = 1, NSFE
+        ME(I,IE) = ME(I,IE) * 0.98 + WTDET(MOD(I-1,NNPED)+1) * 0.02
+      ENDDO
+      END
+
+      SUBROUTINE DAMPEL(IE)
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /ELEM/ FE(16,128), SE(16,128), ME(16,128), PE(16,128)
+      COMMON /WORK/ XY(2,32), WTDET(32), P(32)
+      CALL SHAPE1
+      DO I = 1, NSFE
+        SE(I,IE) = SE(I,IE) + P(MOD(I-1,NNPED)+1) * 0.001 - ME(I,IE) * 0.0001
+      ENDDO
+      END
+
+      SUBROUTINE REDUCE
+      COMMON /SIZES/ NSS, NEPS, NSFE, NNPED, NELEM, NSTEP
+      COMMON /GLOB/ RHSB(512), RHSI(512), DISP(512), VELO(512)
+      DO I = 1, 512
+        DISP(I) = DISP(I) + RHSB(I) * 0.001 + RHSI(I) * 0.0005
+      ENDDO
+      DO I = 1, 512
+        VELO(I) = VELO(I) * 0.999 + DISP(I) * 0.001
+      ENDDO
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine FSMP(ID, IDE) {
+  XY = unknown(DISP[ID], VELO[ID], ID, NNPED);
+  WTDET = unknown(XY, NNPED);
+  P = unknown(WTDET, XY);
+  if (IDEDON[IDE] == 0) {
+    IDEDON[IDE] = 1;
+    SE[1:NSFE, IDE] = unknown(WTDET, NSFE);
+    ME[1:NSFE, IDE] = unknown(ME[1:NSFE, IDE], P, NSFE);
+  }
+  FE[1:NSFE, ID] = unknown(FE[1:NSFE, ID], WTDET, ID, NSFE);
+}
+
+subroutine ASSEM(ID, IN) {
+  RHSB[unique(IN, ID)] = unknown(FE[IN,ID], PE[IN,ID]);
+  RHSI[unique(IN, ID)] = unknown(SE[IN,ID], ME[IN,ID]);
+}
+
+subroutine MULTEL(M1, M2, M3) {
+  dimension M1[NSFE], M2[NSFE], M3[NSFE];
+  EMAX = unknown(M1[1], NSFE);
+  do (I = 1:NSFE)
+    M3[I] = unknown(M3[I], M1[I], M2[I]);
+}
+
+subroutine FRCEL(IE) {
+  XY = unknown(DISP[IE], VELO[IE], IE, NNPED);
+  WTDET = unknown(XY, NNPED);
+  P = unknown(WTDET, XY);
+  FE[1:NSFE, IE] = unknown(FE[1:NSFE, IE], P, NSFE);
+}
+
+subroutine STRSEL(IE) {
+  XY = unknown(DISP[IE], VELO[IE], IE, NNPED);
+  SMAX = unknown(XY, NNPED);
+  SE[1:NSFE, IE] = unknown(SE[1:NSFE, IE], SMAX, NSFE);
+}
+
+subroutine ASSEM2(ID) {
+  VELO[unique(1, ID)] = unknown(VELO[unique(1, ID)], FE[1,ID]);
+  VELO[unique(2, ID)] = unknown(VELO[unique(2, ID)], FE[2,ID]);
+}
+
+subroutine MASSEL(IE) {
+  XY = unknown(DISP[IE], VELO[IE], IE, NNPED);
+  WTDET = unknown(XY, NNPED);
+  P = unknown(WTDET, XY);
+  ME[1:NSFE, IE] = unknown(ME[1:NSFE, IE], WTDET, NSFE);
+}
+
+subroutine DAMPEL(IE) {
+  WTDET = unknown(XY, NNPED);
+  P = unknown(WTDET, XY);
+  SE[1:NSFE, IE] = unknown(SE[1:NSFE, IE], P, ME[1:NSFE, IE], NSFE);
+}
+
+subroutine UPDEL(IE) {
+  WTDET = unknown(XY, NNPED);
+  P = unknown(WTDET, XY);
+  PE[1:NSFE, IE] = unknown(PE[1:NSFE, IE], FE[1:NSFE, IE], WTDET, NSFE);
+}
+|annot}
+
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,149 @@
+(** FLO52Q -- transonic inviscid flow past an airfoil (multigrid Euler).
+
+    This benchmark is one of the paper's *negative* cases for inlining:
+    annotation gains nothing (its call-bearing loops carry genuine
+    cross-iteration flux dependences), while conventional inlining of the
+    small boundary/damping helpers -- invoked on column slices of the flow
+    variables -- linearizes W, FW and DW and costs every outer loop that
+    writes them (II-A.2).  No annotations are registered. *)
+
+let name = "FLO52Q"
+let description = "Transonic inviscid flow past an airfoil"
+
+let source =
+  {fort|
+      PROGRAM FLO52Q
+      COMMON /SIZES/ IL, JL, NCYC
+      COMMON /FLOW/ W(68,24,4), FW(68,24,4), DW(68,24,4)
+      COMMON /METRIC/ VOL(68,24), RAD(68,24)
+      CALL SETUP
+      DO 900 ICYC = 1, NCYC
+        CALL EFLUX
+        CALL DFLUX
+        CALL PSMOO
+        CALL ADDW
+ 900  CONTINUE
+      CHK = 0.0
+      DO J = 1, JL
+        DO I = 1, IL
+          CHK = CHK + W(I,J,1) + DW(I,J,4) * 0.25
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ IL, JL, NCYC
+      COMMON /FLOW/ W(68,24,4), FW(68,24,4), DW(68,24,4)
+      COMMON /METRIC/ VOL(68,24), RAD(68,24)
+      IL = 64
+      JL = 20
+      NCYC = 4
+      DO N = 1, 4
+        DO J = 1, 24
+          DO I = 1, 68
+            W(I,J,N) = MOD(I + 3*J + 7*N, 19) * 0.125
+            FW(I,J,N) = 0.0
+            DW(I,J,N) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, 24
+        DO I = 1, 68
+          VOL(I,J) = 1.0 + MOD(I + J, 5) * 0.125
+          RAD(I,J) = MOD(I * J, 7) * 0.25 + 0.5
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE BCLINE(A, B, C)
+      DIMENSION A(*), B(*)
+      COMMON /SIZES/ IL, JL, NCYC
+      DO I = 1, IL
+        A(I) = A(I) * C + B(I) * (1.0 - C)
+      ENDDO
+      END
+
+      SUBROUTINE EFLUX
+      COMMON /SIZES/ IL, JL, NCYC
+      COMMON /FLOW/ W(68,24,4), FW(68,24,4), DW(68,24,4)
+      COMMON /METRIC/ VOL(68,24), RAD(68,24)
+      DO 100 N = 1, 4
+        DO 100 J = 1, JL
+          DO 100 I = 1, IL
+            FW(I,J,N) = W(I,J,N) * RAD(I,J) * 0.25
+ 100  CONTINUE
+      DO 110 N = 1, 4
+        DO 110 J = 1, JL
+          DO 110 I = 1, IL
+            DW(I,J,N) = FW(I,J,N) / VOL(I,J)
+ 110  CONTINUE
+      DO 120 N = 1, 2
+        CALL BCLINE(FW(1,1,N), DW(1,2,N), 0.75)
+ 120  CONTINUE
+      END
+
+      SUBROUTINE DFLUX
+      COMMON /SIZES/ IL, JL, NCYC
+      COMMON /FLOW/ W(68,24,4), FW(68,24,4), DW(68,24,4)
+      COMMON /METRIC/ VOL(68,24), RAD(68,24)
+      DO 200 N = 1, 4
+        DO 200 J = 1, JL
+          DO 200 I = 1, IL
+            DW(I,J,N) = DW(I,J,N) + FW(I,J,N) * 0.125
+ 200  CONTINUE
+      DO 210 N = 1, 4
+        DO 210 J = 1, JL
+          DO 210 I = 1, IL
+            FW(I,J,N) = FW(I,J,N) * 0.5 + W(I,J,N) * 0.03125
+ 210  CONTINUE
+      DO 220 N = 1, 2
+        CALL BCLINE(DW(1,1,N), FW(1,2,N), 0.5)
+ 220  CONTINUE
+      END
+
+      SUBROUTINE PSMOO
+      COMMON /SIZES/ IL, JL, NCYC
+      COMMON /FLOW/ W(68,24,4), FW(68,24,4), DW(68,24,4)
+      COMMON /METRIC/ VOL(68,24), RAD(68,24)
+      DO 300 N = 1, 4
+        DO 300 J = 1, JL
+          DO 300 I = 1, IL
+            DW(I,J,N) = DW(I,J,N) * 0.8 + FW(I,J,N) * 0.1
+ 300  CONTINUE
+      DO 310 N = 1, 4
+        DO 310 J = 1, JL
+          DO 310 I = 1, IL
+            FW(I,J,N) = FW(I,J,N) + DW(I,J,N) * 0.0625
+ 310  CONTINUE
+      DO 320 N = 1, 2
+        CALL BCLINE(FW(1,3,N), DW(1,4,N), 0.9)
+ 320  CONTINUE
+      END
+
+      SUBROUTINE ADDW
+      COMMON /SIZES/ IL, JL, NCYC
+      COMMON /FLOW/ W(68,24,4), FW(68,24,4), DW(68,24,4)
+      COMMON /METRIC/ VOL(68,24), RAD(68,24)
+      DO 400 N = 1, 4
+        DO 400 J = 1, JL
+          DO 400 I = 1, IL
+            W(I,J,N) = W(I,J,N) + DW(I,J,N) * 0.05
+ 400  CONTINUE
+      DO 410 J = 1, JL
+        DO 410 I = 1, IL
+          RAD(I,J) = RAD(I,J) * 0.999 + W(I,J,1) * 0.001
+ 410  CONTINUE
+      DO 415 N = 1, 4
+        DO 415 J = 1, JL
+          DO 415 I = 1, IL
+            DW(I,J,N) = DW(I,J,N) * 0.25
+ 415  CONTINUE
+      DO 420 N = 1, 2
+        CALL BCLINE(W(1,1,N), DW(1,2,N), 0.85)
+ 420  CONTINUE
+      END
+|fort}
+
+let annotations = ""
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,328 @@
+(** MDG -- molecular dynamics for the simulation of liquid water.
+
+    Phenomena exercised (paper section in parentheses):
+    - PCINIT/CORREC/SCALEF predictor-corrector routines whose loops are
+      parallel standalone but die under conventional inlining because the
+      actual arguments are indirect slices [T(IX(k))] of one big
+      coordinate array (II-A.1, Figs. 2-3);
+    - INTRAF's bond-geometry workspace arrays get linearized when BNDRY is
+      conventionally inlined on column slices, killing the outer loops of
+      every nest that writes them (II-A.2);
+    - INTERF/POTENG/SHAKEL are opaque compositional force routines (they
+      call helpers, keep intermediate results in COMMON temporaries and
+      carry an error check), summarized by [unknown] annotations so the
+      molecule loops around them parallelize (II-B.1..3, Figs. 6-7);
+    - UPDATE/TORQUE are small leaf routines where conventional inlining
+      already wins -- the subset of gains conventional inlining shares. *)
+
+let name = "MDG"
+let description = "Molecular dynamics for the simulation of liquid water"
+
+let source =
+  {fort|
+      PROGRAM MDG
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /COORD/ T(6144), IX(16)
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      COMMON /ENG/ EP(256), EK(256), TOTE
+      CALL SETUP
+      DO 500 ISTEP = 1, NSTEP
+        CALL PCINIT(T(IX(1)), T(IX(2)), T(IX(3)), 0.5)
+        CALL CORREC(T(IX(4)), T(IX(5)), T(IX(6)))
+        CALL SCALEF(T(IX(2)), T(IX(5)))
+        DO 100 M = 1, NMOL
+          CALL INTERF(M)
+ 100    CONTINUE
+        DO 110 M = 1, NMOL
+          CALL POTENG(M)
+ 110    CONTINUE
+        DO 120 M = 1, NMOL
+          CALL UPDATE(M)
+ 120    CONTINUE
+        DO 130 M = 1, NMOL
+          CALL TORQUE(M)
+ 130    CONTINUE
+        DO 140 M = 1, NMOL
+          CALL SHAKEL(M)
+ 140    CONTINUE
+        CALL INTRAF
+        CALL KINETI
+ 500  CONTINUE
+      S = 0.0
+      DO I = 1, NATOMS
+        S = S + T(I) + T(1024+I) + VEL(I) + FX(I)
+      ENDDO
+      S = S + TOTE
+      WRITE(6,*) S
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /COORD/ T(6144), IX(16)
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      COMMON /ENG/ EP(256), EK(256), TOTE
+      NMOL = 128
+      NATOMS = 384
+      NSTEP = 3
+      NORDER = 6
+      TOTE = 0.0
+      DO I = 1, 16
+        IX(I) = MOD(I-1, 6) * 1024 + 1
+      ENDDO
+      DO I = 1, 6144
+        T(I) = MOD(I, 97) * 0.03125
+      ENDDO
+      DO I = 1, 1024
+        FX(I) = MOD(I, 13) * 0.25
+        FY(I) = MOD(I, 17) * 0.125
+        FZ(I) = MOD(I, 19) * 0.0625
+        VEL(I) = MOD(I, 7) * 0.5
+        ACC(I) = MOD(I, 5) * 0.25
+      ENDDO
+      DO N = 1, 256
+        DSUMM(N) = N + 1
+        EP(N) = 0.0
+        EK(N) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE PCINIT(X2, Y2, Z2, TSTEP)
+      DIMENSION X2(*), Y2(*), Z2(*)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      I = 0
+      DO 200 N = 1, NMOL
+        DO 200 J = 1, NORDER
+          I = I + 1
+          X2(I) = FX(I) * TSTEP**2 / 2.0 / DSUMM(N)
+          Y2(I) = FY(I) * TSTEP**2 / 2.0 / DSUMM(N)
+          Z2(I) = FZ(I) * TSTEP**2 / 2.0 / DSUMM(N)
+ 200  CONTINUE
+      END
+
+      SUBROUTINE CORREC(X2, Y2, Z2)
+      DIMENSION X2(*), Y2(*), Z2(*)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      I = 0
+      DO 210 N = 1, NMOL
+        DO 210 J = 1, NORDER
+          I = I + 1
+          X2(I) = X2(I) + VEL(I) * 0.1
+          Y2(I) = Y2(I) + ACC(I) * 0.01
+          Z2(I) = Z2(I) + VEL(I) * ACC(I) * 0.001
+ 210  CONTINUE
+      END
+
+      SUBROUTINE SCALEF(X2, Y2)
+      DIMENSION X2(*), Y2(*)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      I = 0
+      DO 220 N = 1, NMOL
+        DO 220 J = 1, NORDER
+          I = I + 1
+          X2(I) = X2(I) * 0.998 + FX(I) * 0.002
+          Y2(I) = Y2(I) * 0.998 + FY(I) * 0.002
+ 220  CONTINUE
+      END
+
+      SUBROUTINE CSHIFT(M)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /COORD/ T(6144), IX(16)
+      COMMON /TEMPS/ RL(256), GG(256), SML(256)
+      DO K = 1, NMOL
+        RL(K) = T(3*M-2) - T(3*K-2) + (T(3*M-1) - T(3*K-1)) * 0.5
+      ENDDO
+      DO K = 1, NMOL
+        GG(K) = RL(K) * RL(K) + 0.25
+      ENDDO
+      END
+
+      SUBROUTINE INTERF(M)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /COORD/ T(6144), IX(16)
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      COMMON /TEMPS/ RL(256), GG(256), SML(256)
+      COMMON /ENG/ EP(256), EK(256), TOTE
+      CALL CSHIFT(M)
+      FCUM = 0.0
+      DO K = 1, NMOL
+        FCUM = FCUM + GG(K) / (1.0 + RL(K) * RL(K))
+      ENDDO
+      IF (FCUM .LT. 0.0) THEN
+        WRITE(6,*) ' INTERF: NEGATIVE FORCE SUM AT ', M
+        STOP 'INTERF FAILED'
+      ENDIF
+      DO K = 1, 3
+        FX(3*M - 3 + K) = FCUM * 0.5 + K
+        FY(3*M - 3 + K) = FCUM * 0.25 - K
+        FZ(3*M - 3 + K) = FCUM * 0.125 + K * 0.5
+      ENDDO
+      EP(M) = FCUM * 0.0625
+      END
+
+      SUBROUTINE POTENG(M)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /TEMPS/ RL(256), GG(256), SML(256)
+      COMMON /ENG/ EP(256), EK(256), TOTE
+      CALL CSHIFT(M)
+      PSUM = 0.0
+      DO K = 1, NMOL
+        PSUM = PSUM + GG(K) * 0.5 - RL(K) * 0.125
+      ENDDO
+      EP(M) = EP(M) + PSUM / NMOL
+      END
+
+      SUBROUTINE SHAKEL(M)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      COMMON /TEMPS/ RL(256), GG(256), SML(256)
+      CALL CSHIFT(M)
+      DO K = 1, NMOL
+        SML(K) = GG(K) * 0.0625 + RL(K) * 0.03125
+      ENDDO
+      CSUM = 0.0
+      DO K = 1, NMOL
+        CSUM = CSUM + SML(K)
+      ENDDO
+      IF (CSUM .GT. 1.0E12) THEN
+        WRITE(6,*) ' SHAKEL: CONSTRAINT BLOWUP AT ', M
+        STOP 'SHAKEL FAILED'
+      ENDIF
+      DO K = 1, 3
+        VEL(3*M - 3 + K) = VEL(3*M - 3 + K) + CSUM / NMOL * 0.001
+      ENDDO
+      END
+
+      SUBROUTINE UPDATE(M)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      DO K = 1, 3
+        VEL(3*M - 3 + K) = VEL(3*M - 3 + K) * 0.9 + FX(3*M - 3 + K) * 0.1
+        ACC(3*M - 3 + K) = ACC(3*M - 3 + K) * 0.9 + FY(3*M - 3 + K) * 0.1
+      ENDDO
+      END
+
+      SUBROUTINE TORQUE(M)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /FORCES/ FX(1024), FY(1024), FZ(1024), DSUMM(256)
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      DO K = 1, 3
+        ACC(3*M - 3 + K) = ACC(3*M - 3 + K) + FZ(3*M - 3 + K) * 0.05
+      ENDDO
+      END
+
+      SUBROUTINE BNDRY(A, B)
+      DIMENSION A(*), B(*)
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      DO I = 1, NATOMS
+        A(I) = A(I) * 0.5 + B(I) * 0.25
+      ENDDO
+      END
+
+      SUBROUTINE INTRAF
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /BONDS/ RS(512,8), FS(512,8), VM(512,8)
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      DO 300 J = 1, 8
+        DO 300 I = 1, NATOMS
+          RS(I,J) = VEL(I) * 0.5 + J
+ 300  CONTINUE
+      DO 310 J = 1, 8
+        DO 310 I = 1, NATOMS
+          FS(I,J) = RS(I,J) * 0.25 + ACC(I)
+ 310  CONTINUE
+      DO 320 J = 1, 8
+        DO 320 I = 1, NATOMS
+          VM(I,J) = RS(I,J) + FS(I,J)
+ 320  CONTINUE
+      DO 330 J = 1, 8
+        DO 330 I = 1, NATOMS
+          RS(I,J) = RS(I,J) + VM(I,J) * 0.125
+ 330  CONTINUE
+      DO 340 J = 1, 8
+        DO 340 I = 1, NATOMS
+          FS(I,J) = FS(I,J) * 0.75 + VM(I,J) * 0.125
+ 340  CONTINUE
+      DO 350 J = 1, 8
+        DO 350 I = 1, NATOMS
+          RS(I,J) = RS(I,J) * 0.875 + FS(I,J) * 0.0625
+ 350  CONTINUE
+      DO 360 J = 1, 8
+        DO 360 I = 1, NATOMS
+          VM(I,J) = VM(I,J) * 0.5 + RS(I,J) * 0.25
+ 360  CONTINUE
+      DO 400 K = 1, 8
+        CALL BNDRY(RS(1,K), FS(1,K))
+ 400  CONTINUE
+      DO 405 K = 1, 8
+        CALL BNDRY(VM(1,K), FS(1,K))
+ 405  CONTINUE
+      DO 410 I = 1, NATOMS
+        VEL(I) = VEL(I) + RS(I,1) * 0.015625 + VM(I,1) * 0.0078125
+ 410  CONTINUE
+      END
+
+      SUBROUTINE KINETI
+      COMMON /SIZES/ NMOL, NATOMS, NSTEP, NORDER
+      COMMON /VELS/ VEL(1024), ACC(1024)
+      COMMON /ENG/ EP(256), EK(256), TOTE
+      SUM = 0.0
+      DO I = 1, NATOMS
+        SUM = SUM + VEL(I) * VEL(I) * 0.5
+      ENDDO
+      DO M = 1, NMOL
+        EK(M) = SUM / NMOL + EP(M)
+      ENDDO
+      TOTE = TOTE + SUM * 0.001
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine INTERF(M) {
+  RL = unknown(T[3*M], M, NMOL);
+  GG = unknown(RL, NMOL);
+  FX[3*M-2 : 3*M] = unknown(GG, M);
+  FY[3*M-2 : 3*M] = unknown(GG, M);
+  FZ[3*M-2 : 3*M] = unknown(GG, M);
+  EP[M] = unknown(GG);
+}
+
+subroutine POTENG(M) {
+  RL = unknown(T[3*M], M, NMOL);
+  GG = unknown(RL, NMOL);
+  EP[M] = unknown(EP[M], GG, RL);
+}
+
+subroutine SHAKEL(M) {
+  RL = unknown(T[3*M], M, NMOL);
+  GG = unknown(RL, NMOL);
+  SML = unknown(GG, RL);
+  VEL[3*M-2 : 3*M] = unknown(VEL[3*M-2 : 3*M], SML);
+}
+
+subroutine UPDATE(M) {
+  do (K = 1:3) {
+    VEL[3*M - 3 + K] = unknown(VEL[3*M - 3 + K], FX[3*M - 3 + K]);
+    ACC[3*M - 3 + K] = unknown(ACC[3*M - 3 + K], FY[3*M - 3 + K]);
+  }
+}
+
+subroutine TORQUE(M) {
+  do (K = 1:3)
+    ACC[3*M - 3 + K] = unknown(ACC[3*M - 3 + K], FZ[3*M - 3 + K]);
+}
+
+subroutine BNDRY(A, B) {
+  dimension A[NATOMS], B[NATOMS];
+  do (I = 1:NATOMS)
+    A[I] = unknown(A[I], B[I]);
+}
+|annot}
+
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,147 @@
+(** MG3D -- seismic depth-migration code.
+
+    A pure #par-loss benchmark: the wavefield planes live in 3-D arrays
+    that the trace-extrapolation phases hand to small leaf kernels as
+    column slices ([UR(1,1,IZ)]); conventional inlining flattens the
+    arrays, and the plane (K) and depth (N) loops of every extrapolation
+    nest -- two per 3-D nest -- become unanalyzable (II-A.2).  The
+    call-bearing loops themselves gain nothing from any inlining flavor
+    (the slice kernels carry genuine cross-column recurrences), and no
+    annotations are registered, matching the paper's "no improvement"
+    rows. *)
+
+let name = "MG3D"
+let description = "Depth migration code"
+
+let source =
+  {fort|
+      PROGRAM MG3D
+      COMMON /SIZES/ NX, NY, NZ, NSTEP
+      COMMON /WAVE/ UR(40,24,8), UI(40,24,8), VEL(40,24,8)
+      COMMON /TRACE/ TR(40,24)
+      CALL SETUP
+      DO 900 ISTEP = 1, NSTEP
+        CALL EXTRAP
+        CALL CONVOL
+        CALL IMAGE
+ 900  CONTINUE
+      CHK = 0.0
+      DO K = 1, NY
+        DO J = 1, NX
+          CHK = CHK + UR(J,K,1) + TR(J,K) * 0.5
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NX, NY, NZ, NSTEP
+      COMMON /WAVE/ UR(40,24,8), UI(40,24,8), VEL(40,24,8)
+      COMMON /TRACE/ TR(40,24)
+      NX = 36
+      NY = 20
+      NZ = 8
+      NSTEP = 4
+      DO N = 1, 8
+        DO K = 1, 24
+          DO J = 1, 40
+            UR(J,K,N) = MOD(J + 2*K + 5*N, 17) * 0.125
+            UI(J,K,N) = MOD(2*J + K + 3*N, 19) * 0.0625
+            VEL(J,K,N) = 1.0 + MOD(J * K + N, 7) * 0.25
+          ENDDO
+        ENDDO
+      ENDDO
+      DO K = 1, 24
+        DO J = 1, 40
+          TR(J,K) = MOD(J + K, 9) * 0.5
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE TAPER(A, B)
+      DIMENSION A(*), B(*)
+      COMMON /SIZES/ NX, NY, NZ, NSTEP
+      DO I = 2, NX
+        A(I) = A(I) * 0.9 + A(I-1) * 0.05 + B(I) * 0.05
+      ENDDO
+      END
+
+      SUBROUTINE EXTRAP
+      COMMON /SIZES/ NX, NY, NZ, NSTEP
+      COMMON /WAVE/ UR(40,24,8), UI(40,24,8), VEL(40,24,8)
+      COMMON /TRACE/ TR(40,24)
+      DO 100 N = 1, NZ
+        DO 100 K = 1, NY
+          DO 100 J = 1, NX
+            UR(J,K,N) = UR(J,K,N) * 0.95 + UI(J,K,N) * VEL(J,K,N) * 0.01
+ 100  CONTINUE
+      DO 110 N = 1, NZ
+        DO 110 K = 1, NY
+          DO 110 J = 1, NX
+            UI(J,K,N) = UI(J,K,N) * 0.95 - UR(J,K,N) * VEL(J,K,N) * 0.01
+ 110  CONTINUE
+      DO 120 N = 1, NZ
+        DO 120 K = 1, NY
+          DO 120 J = 1, NX
+            UR(J,K,N) = UR(J,K,N) + VEL(J,K,N) * 0.001
+ 120  CONTINUE
+      DO 125 N = 1, NZ
+        DO 125 K = 1, NY
+          DO 125 J = 1, NX
+            UI(J,K,N) = UI(J,K,N) + UR(J,K,N) * VEL(J,K,N) * 0.0005
+ 125  CONTINUE
+      DO 130 IZ = 1, NZ
+        CALL TAPER(UR(1,1,IZ), UI(1,1,IZ))
+ 130  CONTINUE
+      END
+
+      SUBROUTINE CONVOL
+      COMMON /SIZES/ NX, NY, NZ, NSTEP
+      COMMON /WAVE/ UR(40,24,8), UI(40,24,8), VEL(40,24,8)
+      COMMON /TRACE/ TR(40,24)
+      DO 200 N = 1, NZ
+        DO 200 K = 1, NY
+          DO 200 J = 1, NX
+            UI(J,K,N) = UI(J,K,N) + UR(J,K,N) * 0.125
+ 200  CONTINUE
+      DO 210 N = 1, NZ
+        DO 210 K = 1, NY
+          DO 210 J = 1, NX
+            UR(J,K,N) = UR(J,K,N) * 0.875 + UI(J,K,N) * 0.0625
+ 210  CONTINUE
+      DO 220 N = 1, NZ
+        DO 220 K = 1, NY
+          DO 220 J = 1, NX
+            UI(J,K,N) = UI(J,K,N) * 0.96 + VEL(J,K,N) * 0.002
+ 220  CONTINUE
+      DO 230 IZ = 1, NZ
+        CALL TAPER(UI(1,1,IZ), UR(1,1,IZ))
+ 230  CONTINUE
+      END
+
+      SUBROUTINE IMAGE
+      COMMON /SIZES/ NX, NY, NZ, NSTEP
+      COMMON /WAVE/ UR(40,24,8), UI(40,24,8), VEL(40,24,8)
+      COMMON /TRACE/ TR(40,24)
+      DO 300 N = 1, NZ
+        DO 300 K = 1, NY
+          DO 300 J = 1, NX
+            UR(J,K,N) = UR(J,K,N) + TR(J,K) * 0.004
+ 300  CONTINUE
+      DO 310 N = 1, NZ
+        DO 310 K = 1, NY
+          DO 310 J = 1, NX
+            UI(J,K,N) = UI(J,K,N) * 0.99 + TR(J,K) * 0.002
+ 310  CONTINUE
+      DO 320 K = 1, NY
+        DO 320 J = 1, NX
+          TR(J,K) = TR(J,K) * 0.98 + UR(J,K,1) * 0.01
+ 320  CONTINUE
+      DO 330 IZ = 1, NZ
+        CALL TAPER(UR(1,1,IZ), UI(1,1,IZ))
+ 330  CONTINUE
+      END
+|fort}
+
+let annotations = ""
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,121 @@
+(** OCEAN -- two-dimensional ocean simulation (spectral shallow-water).
+
+    One of the paper's "no improvement" rows: the loops containing calls
+    invoke FFT-style butterfly passes with genuine cross-iteration
+    recurrences, the transform routines are too large and call-laden for
+    conventional inlining, and no annotations are supplied.  The suite
+    still carries plenty of directly parallelizable loops, so all three
+    configurations report the same counts. *)
+
+let name = "OCEAN"
+let description = "Two-dimensional ocean simulation"
+
+let source =
+  {fort|
+      PROGRAM OCEAN
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      CALL SETUP
+      DO 900 IT = 1, NTIME
+        CALL FTRVMT
+        CALL JACOBI
+        CALL SOLVPS
+        CALL TIMSTP
+ 900  CONTINUE
+      CHK = 0.0
+      DO J = 1, NYO
+        DO I = 1, NXO
+          CHK = CHK + PSI(I,J) + VORT(I,J) * 0.5
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      NXO = 64
+      NYO = 64
+      NTIME = 4
+      DO J = 1, 66
+        DO I = 1, 66
+          PSI(I,J) = MOD(I + 2*J, 13) * 0.125
+          VORT(I,J) = MOD(3*I + J, 11) * 0.0625
+          WK1(I,J) = 0.0
+          WK2(I,J) = 0.0
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE BUTTER(J)
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      IF (J .LT. 1) THEN
+        WRITE(6,*) ' BUTTER: BAD COLUMN ', J
+        STOP 'BUTTER BAD COLUMN'
+      ENDIF
+      DO I = 2, NXO
+        WK1(I,J) = WK1(I,J) * 0.5 + WK1(I-1,J) * 0.25
+      ENDDO
+      END
+
+      SUBROUTINE FTRVMT
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      DO 100 J = 1, NYO
+        DO 100 I = 1, NXO
+          WK1(I,J) = VORT(I,J) * 0.5 + PSI(I,J) * 0.25
+ 100  CONTINUE
+      DO 110 J = 1, NYO
+        CALL BUTTER(J)
+ 110  CONTINUE
+      DO 120 J = 1, NYO
+        DO 120 I = 1, NXO
+          WK2(I,J) = WK1(I,J) * 0.75
+ 120  CONTINUE
+      END
+
+      SUBROUTINE JACOBI
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      DO 200 J = 2, NYO
+        DO 200 I = 2, NXO
+          WK1(I,J) = (PSI(I+1,J) - PSI(I-1,J)) * (VORT(I,J+1) - VORT(I,J-1))
+     &             - (PSI(I,J+1) - PSI(I,J-1)) * (VORT(I+1,J) - VORT(I-1,J))
+ 200  CONTINUE
+      DO 210 J = 1, NYO
+        DO 210 I = 1, NXO
+          WK2(I,J) = WK2(I,J) + WK1(I,J) * 0.0625
+ 210  CONTINUE
+      END
+
+      SUBROUTINE SOLVPS
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      DO 300 J = 2, NYO
+        DO 300 I = 1, NXO
+          WK2(I,J) = WK2(I,J) + WK2(I,J-1) * 0.125
+ 300  CONTINUE
+      DO 310 J = 1, NYO
+        DO 310 I = 1, NXO
+          PSI(I,J) = PSI(I,J) * 0.9 + WK2(I,J) * 0.05
+ 310  CONTINUE
+      END
+
+      SUBROUTINE TIMSTP
+      COMMON /SIZES/ NXO, NYO, NTIME
+      COMMON /FIELDS/ PSI(66,66), VORT(66,66), WK1(66,66), WK2(66,66)
+      DO 400 J = 1, NYO
+        DO 400 I = 1, NXO
+          VORT(I,J) = VORT(I,J) + WK1(I,J) * 0.01
+ 400  CONTINUE
+      DO 410 J = 1, NYO
+        DO 410 I = 1, NXO
+          WK1(I,J) = WK1(I,J) * 0.5
+          WK2(I,J) = WK2(I,J) * 0.5
+ 410  CONTINUE
+      END
+|fort}
+
+let annotations = ""
+let bench : Bench_def.t = { name; description; source; annotations }

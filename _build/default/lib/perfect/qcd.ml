@@ -1,0 +1,108 @@
+(** QCD -- quantum chromodynamics (lattice gauge theory).
+
+    Another "no improvement" row: the link-update routines form a deep
+    call chain (UPDATE -> STAPLE -> SU3MUL), so conventional inlining's
+    leaf-only heuristic never fires, and no annotations are written (the
+    paper notes only a subset of subroutines was annotated).  The lattice
+    sweeps that do not call subroutines parallelize identically in every
+    configuration. *)
+
+let name = "QCD"
+let description = "Quantum chromodynamics"
+
+let source =
+  {fort|
+      PROGRAM QCD
+      COMMON /SIZES/ NSITE, NDIR, NSWEEP
+      COMMON /GAUGE/ U(256,4,2), STAP(256,2), ACT(256)
+      COMMON /RAND/ ISEED
+      CALL SETUP
+      DO 900 ISW = 1, NSWEEP
+        DO 100 MU = 1, NDIR
+          CALL UPDATE(MU)
+ 100    CONTINUE
+        CALL MEASUR
+ 900  CONTINUE
+      CHK = 0.0
+      DO I = 1, NSITE
+        CHK = CHK + ACT(I) + U(I,1,1) * 0.25
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NSITE, NDIR, NSWEEP
+      COMMON /GAUGE/ U(256,4,2), STAP(256,2), ACT(256)
+      COMMON /RAND/ ISEED
+      NSITE = 240
+      NDIR = 4
+      NSWEEP = 4
+      ISEED = 12345
+      DO K = 1, 2
+        DO MU = 1, 4
+          DO I = 1, 256
+            U(I,MU,K) = MOD(I + 7*MU + 3*K, 15) * 0.125 + 0.0625
+          ENDDO
+        ENDDO
+      ENDDO
+      DO I = 1, 256
+        ACT(I) = 0.0
+        STAP(I,1) = 0.0
+        STAP(I,2) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE SU3MUL(I, MU)
+      COMMON /SIZES/ NSITE, NDIR, NSWEEP
+      COMMON /GAUGE/ U(256,4,2), STAP(256,2), ACT(256)
+      STAP(I,1) = U(I,MU,1) * U(MOD(I,NSITE)+1,MU,1)
+     &          - U(I,MU,2) * U(MOD(I,NSITE)+1,MU,2)
+      STAP(I,2) = U(I,MU,1) * U(MOD(I,NSITE)+1,MU,2)
+     &          + U(I,MU,2) * U(MOD(I,NSITE)+1,MU,1)
+      U(I,MU,2) = U(I,MU,2) * 0.9999 + U(MOD(I,NSITE)+1,MU,2) * 0.0001
+      END
+
+      SUBROUTINE STAPLE(MU)
+      COMMON /SIZES/ NSITE, NDIR, NSWEEP
+      COMMON /GAUGE/ U(256,4,2), STAP(256,2), ACT(256)
+      DO I = 1, NSITE
+        CALL SU3MUL(I, MU)
+      ENDDO
+      END
+
+      SUBROUTINE UPDATE(MU)
+      COMMON /SIZES/ NSITE, NDIR, NSWEEP
+      COMMON /GAUGE/ U(256,4,2), STAP(256,2), ACT(256)
+      COMMON /RAND/ ISEED
+      CALL STAPLE(MU)
+      DO 200 I = 1, NSITE
+        U(I,MU,1) = U(I,MU,1) * 0.95 + STAP(I,1) * 0.05
+        U(I,MU,2) = U(I,MU,2) * 0.95 + STAP(I,2) * 0.05
+ 200  CONTINUE
+      ISEED = MOD(ISEED * 1103 + 12345, 65536)
+      SCALE = ISEED * 0.0000152587890625
+      DO 210 I = 1, NSITE
+        U(I,MU,1) = U(I,MU,1) + SCALE * 0.001
+ 210  CONTINUE
+      END
+
+      SUBROUTINE MEASUR
+      COMMON /SIZES/ NSITE, NDIR, NSWEEP
+      COMMON /GAUGE/ U(256,4,2), STAP(256,2), ACT(256)
+      PLAQ = 0.0
+      DO 300 I = 1, NSITE
+        PLAQ = PLAQ + U(I,1,1) * U(I,2,1) - U(I,1,2) * U(I,2,2)
+ 300  CONTINUE
+      DO 310 I = 1, NSITE
+        ACT(I) = ACT(I) * 0.9 + PLAQ / NSITE * 0.1
+ 310  CONTINUE
+      DO 320 MU = 1, 4
+        DO 320 I = 1, NSITE
+          STAP(I,1) = STAP(I,1) * 0.5
+          STAP(I,2) = STAP(I,2) * 0.5
+ 320  CONTINUE
+      END
+|fort}
+
+let annotations = ""
+let bench : Bench_def.t = { name; description; source; annotations }

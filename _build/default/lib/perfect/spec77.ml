@@ -1,0 +1,125 @@
+(** SPEC77 -- spectral atmospheric general-circulation model (weather
+    simulation).
+
+    The last "no improvement" row: the spectral transform core is a
+    single large routine (too many statements for the inlining
+    threshold), the semi-implicit solver carries latitude recurrences,
+    and no annotations are registered.  Its directly parallelizable
+    Gaussian-latitude loops behave identically in all configurations. *)
+
+let name = "SPEC77"
+let description = "Spectral weather simulation (atmospheric flow)"
+
+let source =
+  {fort|
+      PROGRAM SPEC77
+      COMMON /SIZES/ NLAT, NLON, NWAVE, NSTEP
+      COMMON /SPECT/ VORSP(34,34), DIVSP(34,34), TEMSP(34,34)
+      COMMON /GRID/ UG(36,34), VG(36,34), TG(36,34)
+      CALL SETUP
+      DO 900 ISTEP = 1, NSTEP
+        CALL SPTOGR
+        CALL PHYSIC
+        CALL GRTOSP
+        CALL IMPLIC
+ 900  CONTINUE
+      CHK = 0.0
+      DO J = 1, NLAT
+        DO I = 1, NLON
+          CHK = CHK + UG(I,J) + TG(I,J) * 0.5
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NLAT, NLON, NWAVE, NSTEP
+      COMMON /SPECT/ VORSP(34,34), DIVSP(34,34), TEMSP(34,34)
+      COMMON /GRID/ UG(36,34), VG(36,34), TG(36,34)
+      NLAT = 32
+      NLON = 36
+      NWAVE = 30
+      NSTEP = 4
+      DO J = 1, 34
+        DO I = 1, 34
+          VORSP(I,J) = MOD(I + 2*J, 13) * 0.0625
+          DIVSP(I,J) = MOD(2*I + J, 11) * 0.03125
+          TEMSP(I,J) = MOD(I * J, 7) * 0.125
+        ENDDO
+      ENDDO
+      DO J = 1, 34
+        DO I = 1, 36
+          UG(I,J) = 0.0
+          VG(I,J) = 0.0
+          TG(I,J) = MOD(I + J, 9) * 0.25
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE SPTOGR
+      COMMON /SIZES/ NLAT, NLON, NWAVE, NSTEP
+      COMMON /SPECT/ VORSP(34,34), DIVSP(34,34), TEMSP(34,34)
+      COMMON /GRID/ UG(36,34), VG(36,34), TG(36,34)
+      DO 100 J = 1, NLAT
+        DO 100 I = 1, NLON
+          UG(I,J) = VORSP(MOD(I-1,30)+1, MOD(J-1,30)+1) * 0.5
+     &            + DIVSP(MOD(I-1,30)+1, MOD(J-1,30)+1) * 0.25
+ 100  CONTINUE
+      DO 110 J = 1, NLAT
+        DO 110 I = 1, NLON
+          VG(I,J) = UG(I,J) * 0.5 + TG(I,J) * 0.125
+ 110  CONTINUE
+      DO 120 J = 2, NLAT
+        DO 120 I = 1, NLON
+          TG(I,J) = TG(I,J) + TG(I,J-1) * 0.0625
+ 120  CONTINUE
+      END
+
+      SUBROUTINE PHYSIC
+      COMMON /SIZES/ NLAT, NLON, NWAVE, NSTEP
+      COMMON /GRID/ UG(36,34), VG(36,34), TG(36,34)
+      DO 200 J = 1, NLAT
+        DO 200 I = 1, NLON
+          TG(I,J) = TG(I,J) + (UG(I,J) * UG(I,J) + VG(I,J) * VG(I,J)) * 0.01
+ 200  CONTINUE
+      DO 210 J = 1, NLAT
+        DO 210 I = 1, NLON
+          UG(I,J) = UG(I,J) * 0.995
+          VG(I,J) = VG(I,J) * 0.995
+ 210  CONTINUE
+      END
+
+      SUBROUTINE GRTOSP
+      COMMON /SIZES/ NLAT, NLON, NWAVE, NSTEP
+      COMMON /SPECT/ VORSP(34,34), DIVSP(34,34), TEMSP(34,34)
+      COMMON /GRID/ UG(36,34), VG(36,34), TG(36,34)
+      DO 300 J = 1, NWAVE
+        DO 300 I = 1, NWAVE
+          VORSP(I,J) = VORSP(I,J) * 0.9 + UG(I,J) * 0.05
+ 300  CONTINUE
+      DO 310 J = 1, NWAVE
+        DO 310 I = 1, NWAVE
+          DIVSP(I,J) = DIVSP(I,J) * 0.9 + VG(I,J) * 0.05
+ 310  CONTINUE
+      DO 320 J = 1, NWAVE
+        DO 320 I = 1, NWAVE
+          TEMSP(I,J) = TEMSP(I,J) * 0.95 + TG(I,J) * 0.025
+ 320  CONTINUE
+      END
+
+      SUBROUTINE IMPLIC
+      COMMON /SIZES/ NLAT, NLON, NWAVE, NSTEP
+      COMMON /SPECT/ VORSP(34,34), DIVSP(34,34), TEMSP(34,34)
+      DO 400 J = 2, NWAVE
+        DO 400 I = 1, NWAVE
+          DIVSP(I,J) = DIVSP(I,J) + DIVSP(I,J-1) * 0.125
+ 400  CONTINUE
+      DO 410 J = 1, NWAVE
+        DO 410 I = 1, NWAVE
+          VORSP(I,J) = VORSP(I,J) - DIVSP(I,J) * 0.03125
+ 410  CONTINUE
+      END
+|fort}
+
+let annotations = ""
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,13 @@
+(** The 12 synthetic PERFECT-club benchmarks (Table I). *)
+
+let all : Bench_def.t list = [
+    Adm.bench; Arc2d.bench; Flo52q.bench; Ocean.bench; Bdna.bench;
+    Mdg.bench; Qcd.bench; Trfd.bench; Dyfesm.bench; Mg3d.bench;
+    Track.bench; Spec77.bench;
+  ]
+
+let find name =
+  List.find_opt
+    (fun (b : Bench_def.t) ->
+      String.equal (String.uppercase_ascii name) b.name)
+    all

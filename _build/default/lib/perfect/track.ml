@@ -1,0 +1,260 @@
+(** TRACK -- missile tracking.
+
+    Mechanisms: tracks are assigned to observation slots through the
+    one-to-one index arrays [LOCT]/[LOCO]; the annotated scatter routines
+    (NEWTRK, FUSE) summarize them with [unique] so the track loops
+    parallelize (Figs. 10-14).  KALMAN and EXTKAL are opaque filter
+    updates (helper calls, divergence check, COMMON scratch [GK]/[PK]).
+    The observation-history planes of [OBS]/[RES] go to the leaf SMOBS as
+    column slices, so conventional inlining linearizes both and loses the
+    history loops; PREDCT and GAINUP are the small index-passing leaves
+    where conventional inlining still wins. *)
+
+let name = "TRACK"
+let description = "Missile tracking"
+
+let source =
+  {fort|
+      PROGRAM TRACK
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /MAPS/ LOCT(2,128), LOCO(2,128)
+      COMMON /HIST/ OBS(160,5), RES(160,5)
+      COMMON /SCR/ GK(128), PK(128)
+      COMMON /ACC/ RESID
+      CALL SETUP
+      DO 800 ISCAN = 1, NSCAN
+        DO 100 IT = 1, NTRK
+          CALL PREDCT(IT)
+ 100    CONTINUE
+        DO 110 IT = 1, NTRK
+          CALL KALMAN(IT)
+ 110    CONTINUE
+        DO 120 IT = 1, NTRK
+          CALL EXTKAL(IT)
+ 120    CONTINUE
+        DO 130 IT = 1, NTRK
+          CALL GAINUP(IT)
+ 130    CONTINUE
+        DO 140 IT = 1, NTRK
+          CALL NEWTRK(IT)
+ 140    CONTINUE
+        DO 150 IT = 1, NTRK
+          CALL FUSE(IT)
+ 150    CONTINUE
+        CALL HISTUP
+        CALL COVUP
+ 800  CONTINUE
+      CHK = RESID
+      DO I = 1, 256
+        CHK = CHK + X(I) * 0.01 + PVAR(I) * 0.001
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /MAPS/ LOCT(2,128), LOCO(2,128)
+      COMMON /HIST/ OBS(160,5), RES(160,5)
+      COMMON /ACC/ RESID
+      NTRK = 96
+      NOBS = 144
+      NSCAN = 4
+      RESID = 0.0
+      DO I = 1, 512
+        X(I) = MOD(I, 37) * 0.125
+        VX(I) = MOD(I, 17) * 0.0625
+        PVAR(I) = 1.0 + MOD(I, 7) * 0.25
+      ENDDO
+      DO I = 1, 128
+        LOCT(1,I) = 2*I - 1
+        LOCT(2,I) = 2*I
+        LOCO(1,I) = 256 + 2*I - 1
+        LOCO(2,I) = 256 + 2*I
+      ENDDO
+      DO J = 1, 5
+        DO I = 1, 160
+          OBS(I,J) = MOD(I + 3*J, 23) * 0.25
+          RES(I,J) = 0.0
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE PREDCT(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      X(IT) = X(IT) + VX(IT) * 0.1
+      VX(IT) = VX(IT) * 0.999
+      PVAR(IT) = PVAR(IT) * 1.001
+      END
+
+      SUBROUTINE INNOV(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /HIST/ OBS(160,5), RES(160,5)
+      COMMON /SCR/ GK(128), PK(128)
+      DO K = 1, NTRK
+        GK(K) = OBS(K,1) - X(IT) * 0.5
+      ENDDO
+      DO K = 1, NTRK
+        PK(K) = GK(K) * GK(K) * 0.125 + PVAR(IT) * 0.0625
+      ENDDO
+      END
+
+      SUBROUTINE KALMAN(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /SCR/ GK(128), PK(128)
+      COMMON /ACC/ RESID
+      CALL INNOV(IT)
+      GSUM = 0.0
+      DO K = 1, NTRK
+        GSUM = GSUM + GK(K) / (1.0 + PK(K))
+      ENDDO
+      IF (GSUM .GT. 1.0E25) THEN
+        WRITE(6,*) ' KALMAN: FILTER DIVERGED ON TRACK ', IT
+        STOP 'KALMAN DIVERGED'
+      ENDIF
+      X(IT) = X(IT) + GSUM * 0.001
+      RESID = RESID + GSUM * 0.0001
+      END
+
+      SUBROUTINE EXTKAL(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /SCR/ GK(128), PK(128)
+      CALL INNOV(IT)
+      PSUM = 0.0
+      DO K = 1, NTRK
+        PSUM = PSUM + PK(K) * 0.03125
+      ENDDO
+      PVAR(IT) = PVAR(IT) * 0.99 + PSUM * 0.0005
+      END
+
+      SUBROUTINE GAINUP(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      VX(IT) = VX(IT) + X(IT) * 0.001 - PVAR(IT) * 0.0001
+      END
+
+      SUBROUTINE NEWTRK(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /MAPS/ LOCT(2,128), LOCO(2,128)
+      X(LOCT(1,IT)) = X(LOCT(1,IT)) * 0.998 + VX(IT) * 0.002
+      X(LOCT(2,IT)) = X(LOCT(2,IT)) * 0.998 - VX(IT) * 0.001
+      END
+
+      SUBROUTINE FUSE(IT)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      COMMON /MAPS/ LOCT(2,128), LOCO(2,128)
+      PVAR(LOCO(1,IT) - 256) = PVAR(LOCO(1,IT) - 256) * 0.995
+      PVAR(LOCO(2,IT) - 256) = PVAR(LOCO(2,IT) - 256) * 0.99
+      END
+
+      SUBROUTINE SMOBS(A, B)
+      DIMENSION A(*), B(*)
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      DO I = 1, NOBS
+        A(I) = A(I) * 0.9 + B(I) * 0.05
+      ENDDO
+      END
+
+      SUBROUTINE HISTUP
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /HIST/ OBS(160,5), RES(160,5)
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      DO 300 J = 1, 5
+        DO 300 I = 1, NOBS
+          RES(I,J) = RES(I,J) * 0.8 + OBS(I,J) * 0.1
+ 300  CONTINUE
+      DO 310 J = 1, 5
+        DO 310 I = 1, NOBS
+          OBS(I,J) = OBS(I,J) * 0.9 + X(MOD(I-1,512)+1) * 0.01
+ 310  CONTINUE
+      DO 320 J = 1, 5
+        DO 320 I = 1, NOBS
+          RES(I,J) = RES(I,J) + OBS(I,J) * 0.05
+ 320  CONTINUE
+      DO 330 J = 1, 5
+        DO 330 I = 1, NOBS
+          OBS(I,J) = OBS(I,J) + RES(I,J) * 0.025
+ 330  CONTINUE
+      DO 335 J = 1, 5
+        DO 335 I = 1, NOBS
+          RES(I,J) = RES(I,J) * 0.95 + OBS(I,J) * 0.01
+ 335  CONTINUE
+      DO 340 K = 1, 5
+        CALL SMOBS(OBS(1,K), RES(1,K))
+ 340  CONTINUE
+      END
+
+      SUBROUTINE COVUP
+      COMMON /SIZES/ NTRK, NOBS, NSCAN
+      COMMON /HIST/ OBS(160,5), RES(160,5)
+      COMMON /TRKS/ X(512), VX(512), PVAR(512)
+      DO 400 J = 1, 5
+        DO 400 I = 1, NOBS
+          OBS(I,J) = OBS(I,J) * 0.99 + PVAR(MOD(I-1,512)+1) * 0.001
+ 400  CONTINUE
+      DO 410 J = 1, 5
+        DO 410 I = 1, NOBS
+          RES(I,J) = RES(I,J) * 0.97 + OBS(I,J) * 0.015
+ 410  CONTINUE
+      DO 420 J = 1, 5
+        DO 420 I = 1, NOBS
+          OBS(I,J) = OBS(I,J) + RES(I,J) * 0.0075
+ 420  CONTINUE
+      DO 430 J = 1, 5
+        DO 430 I = 1, NOBS
+          RES(I,J) = RES(I,J) + OBS(I,J) * 0.00375
+ 430  CONTINUE
+      DO 440 J = 1, 5
+        DO 440 I = 1, NOBS
+          OBS(I,J) = OBS(I,J) * 0.995 + RES(I,J) * 0.0025
+ 440  CONTINUE
+      DO 450 K = 1, 5
+        CALL SMOBS(RES(1,K), OBS(1,K))
+ 450  CONTINUE
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine PREDCT(IT) {
+  X[IT] = unknown(X[IT], VX[IT]);
+  VX[IT] = unknown(VX[IT]);
+  PVAR[IT] = unknown(PVAR[IT]);
+}
+
+subroutine KALMAN(IT) {
+  GK = unknown(OBS[1,1], X[IT], NTRK);
+  PK = unknown(GK, PVAR[IT], NTRK);
+  X[IT] = unknown(X[IT], GK, PK);
+  RESID = RESID + unknown(GK, PK);
+}
+
+subroutine EXTKAL(IT) {
+  GK = unknown(OBS[1,1], X[IT], NTRK);
+  PK = unknown(GK, PVAR[IT], NTRK);
+  PVAR[IT] = unknown(PVAR[IT], PK);
+}
+
+subroutine GAINUP(IT) {
+  VX[IT] = unknown(VX[IT], X[IT], PVAR[IT]);
+}
+
+subroutine NEWTRK(IT) {
+  X[unique(1, IT)] = unknown(X[unique(1, IT)], VX[IT]);
+  X[unique(2, IT)] = unknown(X[unique(2, IT)], VX[IT]);
+}
+
+subroutine FUSE(IT) {
+  PVAR[unique(1, IT)] = unknown(PVAR[unique(1, IT)]);
+  PVAR[unique(2, IT)] = unknown(PVAR[unique(2, IT)]);
+}
+|annot}
+
+let bench : Bench_def.t = { name; description; source; annotations }

@@ -1,0 +1,123 @@
+(** TRFD -- kernel simulating a two-electron integral transformation.
+
+    The paper's clean *conventional-inlining-wins* case: the
+    transformation is phrased as index-passing leaf routines (one matrix
+    row / integral block per call), so conventional inlining exposes the
+    surrounding block loops with no reshaping at all; annotations cover
+    the same routines, so both inlining flavors find the same extra
+    loops and nothing is ever lost. *)
+
+let name = "TRFD"
+let description = "Kernel simulating a two-electron integral transformation"
+
+let source =
+  {fort|
+      PROGRAM TRFD
+      COMMON /SIZES/ NORB, NPAIR, NPASS
+      COMMON /INTS/ XIJ(128,64), XKL(128,64), XRS(128,64), V(64,64)
+      CALL SETUP
+      DO 900 IPASS = 1, NPASS
+        DO 100 IP = 1, NPAIR
+          CALL TRF1(IP)
+ 100    CONTINUE
+        DO 110 IP = 1, NPAIR
+          CALL TRF2(IP)
+ 110    CONTINUE
+        DO 120 IR = 1, NORB
+          CALL TRF3(IR)
+ 120    CONTINUE
+        DO 130 IR = 1, NORB
+          CALL TRF4(IR)
+ 130    CONTINUE
+ 900  CONTINUE
+      CHK = 0.0
+      DO J = 1, NPAIR
+        DO I = 1, NORB
+          CHK = CHK + XRS(I,J) + XKL(I,J) * 0.5
+        ENDDO
+      ENDDO
+      WRITE(6,*) CHK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SIZES/ NORB, NPAIR, NPASS
+      COMMON /INTS/ XIJ(128,64), XKL(128,64), XRS(128,64), V(64,64)
+      NORB = 40
+      NPAIR = 48
+      NPASS = 4
+      DO J = 1, 64
+        DO I = 1, 128
+          XIJ(I,J) = MOD(I + 2*J, 17) * 0.0625
+          XKL(I,J) = MOD(3*I + J, 13) * 0.125
+          XRS(I,J) = 0.0
+        ENDDO
+      ENDDO
+      DO J = 1, 64
+        DO I = 1, 64
+          V(I,J) = MOD(I * J, 11) * 0.25
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE TRF1(IP)
+      COMMON /SIZES/ NORB, NPAIR, NPASS
+      COMMON /INTS/ XIJ(128,64), XKL(128,64), XRS(128,64), V(64,64)
+      DO I = 1, NORB
+        XKL(I,IP) = XIJ(I,IP) * V(I,1) + XKL(I,IP) * 0.5
+      ENDDO
+      END
+
+      SUBROUTINE TRF2(IP)
+      COMMON /SIZES/ NORB, NPAIR, NPASS
+      COMMON /INTS/ XIJ(128,64), XKL(128,64), XRS(128,64), V(64,64)
+      DO I = 1, NORB
+        XRS(I,IP) = XRS(I,IP) + XKL(I,IP) * V(1,I) * 0.25
+      ENDDO
+      END
+
+      SUBROUTINE TRF3(IR)
+      COMMON /SIZES/ NORB, NPAIR, NPASS
+      COMMON /INTS/ XIJ(128,64), XKL(128,64), XRS(128,64), V(64,64)
+      DO J = 1, NPAIR
+        XIJ(IR,J) = XIJ(IR,J) * 0.9 + XRS(IR,J) * 0.1
+      ENDDO
+      END
+
+      SUBROUTINE TRF4(IR)
+      COMMON /SIZES/ NORB, NPAIR, NPASS
+      COMMON /INTS/ XIJ(128,64), XKL(128,64), XRS(128,64), V(64,64)
+      TSUM = 0.0
+      DO J = 1, NPAIR
+        TSUM = TSUM + XIJ(IR,J)
+      ENDDO
+      DO J = 1, NPAIR
+        XRS(IR,J) = XRS(IR,J) + TSUM / NPAIR * 0.01
+      ENDDO
+      END
+|fort}
+
+let annotations =
+  {annot|
+subroutine TRF1(IP) {
+  do (I = 1:NORB)
+    XKL[I,IP] = unknown(XIJ[I,IP], XKL[I,IP], V[I,1]);
+}
+
+subroutine TRF2(IP) {
+  do (I = 1:NORB)
+    XRS[I,IP] = unknown(XRS[I,IP], XKL[I,IP], V[1,I]);
+}
+
+subroutine TRF3(IR) {
+  do (J = 1:NPAIR)
+    XIJ[IR,J] = unknown(XIJ[IR,J], XRS[IR,J]);
+}
+
+subroutine TRF4(IR) {
+  TSUM = unknown(XIJ[IR,1], NPAIR);
+  do (J = 1:NPAIR)
+    XRS[IR,J] = unknown(XRS[IR,J], TSUM);
+}
+|annot}
+
+let bench : Bench_def.t = { name; description; source; annotations }

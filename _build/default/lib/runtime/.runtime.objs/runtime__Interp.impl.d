@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Analysis Array Ast Buffer Float Frontend Fun Hashtbl Intrinsics Lazy List Mutex Option Pool Printf String Unix Value

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Frontend List Printf

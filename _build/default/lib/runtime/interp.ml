@@ -1,0 +1,1085 @@
+(** Interpreter for the Fortran subset, with OpenMP-style parallel
+    execution of directive-carrying loops across OCaml 5 domains.
+
+    Execution is staged: each program unit's body is compiled once into
+    typed closures ([float], [int] and [bool] evaluators), so the hot path
+    allocates almost nothing -- important both for raw speed and because
+    the OCaml 5 runtime taxes allocation-heavy code heavily once extra
+    domains exist.
+
+    Parallel semantics follow the directives the parallelizer emits:
+
+    - iterations are block-partitioned over a persistent {!Pool} of worker
+      domains;
+    - PRIVATE names get fresh per-worker storage, installed as *dynamic*
+      overrides so that subroutines called from the loop body resolve
+      COMMON variables to the worker's copy (the paper's treatment of
+      global temporary arrays like [XY] in FSMP);
+    - REDUCTION names accumulate per worker from the identity element and
+      merge under a lock at the join;
+    - nested parallel regions execute sequentially (one level, like the
+      default OpenMP nesting policy).
+
+    The interpreter is strict: out-of-bounds interior subscripts and type
+    confusion raise {!Value.Runtime_error}, which the test-suite uses for
+    failure-injection tests. *)
+
+open Frontend
+open Value
+
+exception Stop_program of string option
+exception Return_exn
+
+(* ------------------------------------------------------------------ *)
+(* Global state and frames                                              *)
+(* ------------------------------------------------------------------ *)
+
+type global = {
+  program : Ast.program;
+  commons : (string, view array) Hashtbl.t;  (** block -> member views *)
+  common_layout : (string, (string * (string * int)) list) Hashtbl.t;
+      (** per unit: member name -> (block, position) *)
+  out : Buffer.t;
+  out_mutex : Mutex.t;
+  threads : int;
+  pool : Pool.t;
+  code_cache : (string, cstmt array) Hashtbl.t;  (** compiled unit bodies *)
+  profile : (int, prof_cell) Hashtbl.t option;
+}
+
+and prof_cell = { mutable pt : float;  (** cumulative seconds *)
+                  mutable pn : int  (** executions *) }
+
+and frame = {
+  glb : global;
+  unit_ : Ast.program_unit;
+  vars : (string, view) Hashtbl.t;
+  consts : (string, value) Hashtbl.t;
+  overrides : (string, view) Hashtbl.t list;
+      (** dynamic privatization stack, innermost first *)
+  in_parallel : bool;
+  fstk : float array;
+      (** per-domain scratch stack: float expressions evaluate into slots
+          instead of returning (boxed) floats.  Shared down the call
+          chain; workers get their own. *)
+}
+
+and cstmt = frame -> unit
+
+let fstk_size = 512
+
+(* Run a compiled block without allocating an iteration closure. *)
+let run_code (code : cstmt array) (fr : frame) =
+  for k = 0 to Array.length code - 1 do
+    (Array.unsafe_get code k) fr
+  done
+
+(* ------------------------------------------------------------------ *)
+(* COMMON allocation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_const_int (u : Ast.program_unit) (e : Ast.expr) : int option =
+  let env = Analysis.Constprop.parameter_env u in
+  let e' = Analysis.Constprop.subst_env env e in
+  match Analysis.Simplify.basic_simplify e' with
+  | Ast.Int_const n -> Some n
+  | _ -> None
+
+let decl_total_size u (d : Ast.decl) : int option =
+  if d.Ast.d_dims = [] then Some 1
+  else
+    List.fold_left
+      (fun acc dim ->
+        match (acc, dim) with
+        | None, _ -> None
+        | Some _, Ast.Dim_star -> None
+        | Some n, Ast.Dim_expr e -> (
+            match eval_const_int u e with
+            | Some k when k >= 0 -> Some (n * k)
+            | _ -> None))
+      (Some 1) d.Ast.d_dims
+
+(* Allocate every COMMON block: per member position, the max constant size
+   over all declaring units (shapes may legally differ across units, e.g.
+   after linearization). *)
+let build_commons (program : Ast.program) =
+  let sizes : (string, (int * Ast.dtype) array) Hashtbl.t = Hashtbl.create 8 in
+  let layouts = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      let layout = ref [] in
+      List.iter
+        (fun (blk, members) ->
+          List.iteri
+            (fun pos m ->
+              layout := (m, (blk, pos)) :: !layout;
+              let size =
+                match Ast.find_decl u m with
+                | Some d -> Option.value ~default:1 (decl_total_size u d)
+                | None -> 1
+              in
+              let ty = Ast.type_of_var u m in
+              let arr =
+                match Hashtbl.find_opt sizes blk with
+                | Some a when Array.length a > pos -> a
+                | Some a ->
+                    let a' =
+                      Array.init (pos + 1) (fun i ->
+                          if i < Array.length a then a.(i) else (1, ty))
+                    in
+                    Hashtbl.replace sizes blk a';
+                    a'
+                | None ->
+                    let a = Array.make (pos + 1) (1, ty) in
+                    Hashtbl.replace sizes blk a;
+                    a
+              in
+              let old_size, old_ty = arr.(pos) in
+              arr.(pos) <-
+                (max old_size size, if old_size = 1 then ty else old_ty))
+            members)
+        u.u_commons;
+      Hashtbl.replace layouts u.u_name !layout)
+    program.p_units;
+  let commons = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun blk arr ->
+      Hashtbl.replace commons blk
+        (Array.map
+           (fun (n, ty) -> { st = alloc_storage ty n; off = 0; dims = [| n |] })
+           arr))
+    sizes;
+  (commons, layouts)
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_override stack name =
+  match stack with
+  | [] -> None
+  | tbl :: rest -> (
+      match Hashtbl.find_opt tbl name with
+      | Some v -> Some v
+      | None -> find_override rest name)
+
+(* forward reference: dimension evaluation needs expression evaluation *)
+let eval_int_ref : (frame -> Ast.expr -> int) ref =
+  ref (fun _ _ -> assert false)
+
+let eval_dims fr (d : Ast.decl) : int array =
+  match d.Ast.d_dims with
+  | [] -> [||]
+  | dims ->
+      Array.of_list
+        (List.map
+           (function
+             | Ast.Dim_star -> 1 (* assumed-size: extent bounded by storage *)
+             | Ast.Dim_expr e -> max 0 (!eval_int_ref fr e))
+           dims)
+
+(* Slow path of [lookup]: COMMON resolution / lazy local allocation. *)
+let lookup_slow (fr : frame) name : view =
+  match find_override fr.overrides name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt fr.vars name with
+      | Some v -> v
+      | None -> (
+          let layout =
+            Option.value ~default:[]
+              (Hashtbl.find_opt fr.glb.common_layout fr.unit_.u_name)
+          in
+          match List.assoc_opt name layout with
+          | Some (blk, pos) ->
+              let base = (Hashtbl.find fr.glb.commons blk).(pos) in
+              let dims =
+                match Ast.find_decl fr.unit_ name with
+                | Some d -> eval_dims fr d
+                | None -> [||]
+              in
+              let v = { base with dims } in
+              Hashtbl.replace fr.vars name v;
+              v
+          | None ->
+              let ty = Ast.type_of_var fr.unit_ name in
+              let v =
+                match Ast.find_decl fr.unit_ name with
+                | Some d when d.d_dims <> [] ->
+                    let dims = eval_dims fr d in
+                    let n = max 1 (Array.fold_left ( * ) 1 dims) in
+                    { st = alloc_storage ty n; off = 0; dims }
+                | _ -> scalar_view ty
+              in
+              Hashtbl.replace fr.vars name v;
+              v))
+
+(* Resolve a name to a view.  The fast path is a direct hit in the frame
+   table with no option allocation.  Frames are constructed so that
+   vars-first is always correct: worker frames *remove* privatized names
+   from their table (so they fall through to the override stack), and
+   callee frames start with formals only (so COMMON members resolve
+   through the override stack once and are then cached per frame). *)
+let lookup (fr : frame) name : view =
+  try Hashtbl.find fr.vars name with Not_found -> lookup_slow fr name
+
+(* ------------------------------------------------------------------ *)
+(* Unboxed element access                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_get_f (v : view) =
+  match v.st with
+  | Fs a -> a.(v.off)
+  | Is a -> float_of_int a.(v.off)
+  | Bs _ -> rerror "logical used as number"
+
+let scalar_get_i (v : view) =
+  match v.st with
+  | Is a -> a.(v.off)
+  | Fs a -> int_of_float a.(v.off)
+  | Bs _ -> rerror "logical used as integer"
+
+(* 0-based linear offset of [n] subscripts (in [buf]) within view [v];
+   interior dimensions are bounds-checked, the final dimension (or a
+   linearized single-subscript access) may run to the end of storage. *)
+let offset_of (v : view) (buf : int array) (n : int) : int =
+  let dims = v.dims in
+  let rank = Array.length dims in
+  if n = 0 then 0
+  else if n = 1 then buf.(0) - 1
+  else begin
+    if n <> rank then
+      rerror "rank mismatch: %d subscripts on rank-%d view" n rank;
+    let acc = ref 0 and stride = ref 1 in
+    for k = 0 to n - 1 do
+      let i = buf.(k) in
+      if k < rank - 1 && (i < 1 || i > dims.(k)) then
+        rerror "subscript %d out of bounds 1..%d (dim %d)" i dims.(k) (k + 1);
+      acc := !acc + ((i - 1) * !stride);
+      stride := !stride * dims.(k)
+    done;
+    !acc
+  end
+
+let elem_get_f (v : view) off =
+  let i = v.off + off in
+  match v.st with
+  | Fs a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      Array.unsafe_get a i
+  | Is a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      float_of_int (Array.unsafe_get a i)
+  | Bs _ -> rerror "logical used as number"
+
+let elem_get_i (v : view) off =
+  let i = v.off + off in
+  match v.st with
+  | Is a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      Array.unsafe_get a i
+  | Fs a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      int_of_float (Array.unsafe_get a i)
+  | Bs _ -> rerror "logical used as integer"
+
+let elem_set_f (v : view) off (x : float) =
+  let i = v.off + off in
+  match v.st with
+  | Fs a ->
+      if i < 0 || i >= Array.length a then rerror "store outside storage";
+      Array.unsafe_set a i x
+  | Is a ->
+      if i < 0 || i >= Array.length a then rerror "store outside storage";
+      Array.unsafe_set a i (int_of_float x)
+  | Bs _ -> rerror "logical store of number"
+
+let elem_set_i (v : view) off (x : int) =
+  let i = v.off + off in
+  match v.st with
+  | Is a ->
+      if i < 0 || i >= Array.length a then rerror "store outside storage";
+      Array.unsafe_set a i x
+  | Fs a ->
+      if i < 0 || i >= Array.length a then rerror "store outside storage";
+      Array.unsafe_set a i (float_of_int x)
+  | Bs _ -> rerror "logical store of number"
+
+let int_pow x y =
+  if y < 0 then
+    if x = 1 then 1 else if x = -1 then if y mod 2 = 0 then 1 else -1 else 0
+  else begin
+    let r = ref 1 in
+    for _ = 1 to y do
+      r := !r * x
+    done;
+    !r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Typed expression compilation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A float evaluator writes its result into scratch slot [i]; integer and
+   logical evaluators return unboxed immediates directly. *)
+type fexp = frame -> int -> unit
+
+type comp = CF of fexp | CI of (frame -> int) | CB of (frame -> bool)
+
+exception Compile_error of string
+
+let cerror fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* forward reference for user-function calls *)
+let call_function_ref : (frame -> string -> Ast.expr list -> value) ref =
+  ref (fun _ _ _ -> assert false)
+
+let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
+  let is_int = Analysis.Typing.is_int u in
+  match e with
+  | Ast.Int_const n -> CI (fun _ -> n)
+  | Ast.Real_const r -> CF (fun fr i -> Array.unsafe_set fr.fstk i r)
+  | Ast.Logical_const b -> CB (fun _ -> b)
+  | Ast.Str_const _ -> cerror "string literal in numeric expression"
+  | Ast.Var v -> (
+      match Ast.type_of_var u v with
+      | Ast.Integer ->
+          CI
+            (fun fr ->
+              match Hashtbl.find_opt fr.consts v with
+              | Some c -> to_int c
+              | None -> scalar_get_i (lookup fr v))
+      | Ast.Logical ->
+          CB
+            (fun fr ->
+              let w = lookup fr v in
+              match w.st with
+              | Bs a -> a.(w.off)
+              | _ -> rerror "logical variable %s has numeric storage" v)
+      | Ast.Real | Ast.Double | Ast.Character ->
+          CF
+            (fun fr i ->
+              Array.unsafe_set fr.fstk i
+                (match Hashtbl.find_opt fr.consts v with
+                | Some c -> to_float c
+                | None -> scalar_get_f (lookup fr v))))
+  | Ast.Array_ref (a, idx) ->
+      let off = compile_offset u a idx in
+      if Ast.type_of_var u a = Ast.Integer then
+        CI
+          (fun fr ->
+            let v = lookup fr a in
+            elem_get_i v (off fr v))
+      else
+        CF
+          (fun fr i ->
+            let v = lookup fr a in
+            Array.unsafe_set fr.fstk i (elem_get_f v (off fr v)))
+  | Ast.Func_call (f, args) when Intrinsics.is_intrinsic f ->
+      compile_intrinsic u f args
+  | Ast.Func_call (f, args) ->
+      if is_int e then CI (fun fr -> to_int (!call_function_ref fr f args))
+      else
+        CF
+          (fun fr i ->
+            Array.unsafe_set fr.fstk i
+              (to_float (!call_function_ref fr f args)))
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow) as op, a, b)
+    ->
+      if is_int e then
+        let fa = compile_int u a and fb = compile_int u b in
+        CI
+          (match op with
+          | Ast.Add -> fun fr -> fa fr + fb fr
+          | Ast.Sub -> fun fr -> fa fr - fb fr
+          | Ast.Mul -> fun fr -> fa fr * fb fr
+          | Ast.Div ->
+              fun fr ->
+                let d = fb fr in
+                if d = 0 then rerror "integer division by zero" else fa fr / d
+          | Ast.Pow -> fun fr -> int_pow (fa fr) (fb fr)
+          | _ -> assert false)
+      else
+        let fa = compile_float u a and fb = compile_float u b in
+        CF
+          (match op with
+          | Ast.Add ->
+              fun fr i ->
+                fa fr i;
+                fb fr (i + 1);
+                Array.unsafe_set fr.fstk i
+                  (Array.unsafe_get fr.fstk i +. Array.unsafe_get fr.fstk (i + 1))
+          | Ast.Sub ->
+              fun fr i ->
+                fa fr i;
+                fb fr (i + 1);
+                Array.unsafe_set fr.fstk i
+                  (Array.unsafe_get fr.fstk i -. Array.unsafe_get fr.fstk (i + 1))
+          | Ast.Mul ->
+              fun fr i ->
+                fa fr i;
+                fb fr (i + 1);
+                Array.unsafe_set fr.fstk i
+                  (Array.unsafe_get fr.fstk i *. Array.unsafe_get fr.fstk (i + 1))
+          | Ast.Div ->
+              fun fr i ->
+                fa fr i;
+                fb fr (i + 1);
+                Array.unsafe_set fr.fstk i
+                  (Array.unsafe_get fr.fstk i /. Array.unsafe_get fr.fstk (i + 1))
+          | Ast.Pow ->
+              fun fr i ->
+                fa fr i;
+                fb fr (i + 1);
+                Array.unsafe_set fr.fstk i
+                  (Float.pow (Array.unsafe_get fr.fstk i)
+                     (Array.unsafe_get fr.fstk (i + 1)))
+          | _ -> assert false)
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+    ->
+      if is_int a && is_int b then
+        let fa = compile_int u a and fb = compile_int u b in
+        CB
+          (match op with
+          | Ast.Eq -> fun fr -> fa fr = fb fr
+          | Ast.Ne -> fun fr -> fa fr <> fb fr
+          | Ast.Lt -> fun fr -> fa fr < fb fr
+          | Ast.Le -> fun fr -> fa fr <= fb fr
+          | Ast.Gt -> fun fr -> fa fr > fb fr
+          | Ast.Ge -> fun fr -> fa fr >= fb fr
+          | _ -> assert false)
+      else
+        let fa = compile_float u a and fb = compile_float u b in
+        let cmp2 rel =
+          fun fr ->
+            fa fr 0;
+            fb fr 1;
+            rel (Array.unsafe_get fr.fstk 0) (Array.unsafe_get fr.fstk 1)
+        in
+        CB
+          (match op with
+          | Ast.Eq -> cmp2 (fun x y -> x = y)
+          | Ast.Ne -> cmp2 (fun x y -> x <> y)
+          | Ast.Lt -> cmp2 (fun x y -> x < y)
+          | Ast.Le -> cmp2 (fun x y -> x <= y)
+          | Ast.Gt -> cmp2 (fun x y -> x > y)
+          | Ast.Ge -> cmp2 (fun x y -> x >= y)
+          | _ -> assert false)
+  | Ast.Binop (Ast.And, a, b) ->
+      let fa = compile_bool u a and fb = compile_bool u b in
+      CB (fun fr -> fa fr && fb fr)
+  | Ast.Binop (Ast.Or, a, b) ->
+      let fa = compile_bool u a and fb = compile_bool u b in
+      CB (fun fr -> fa fr || fb fr)
+  | Ast.Unop (Ast.Neg, a) ->
+      if is_int e then
+        let fa = compile_int u a in
+        CI (fun fr -> -fa fr)
+      else
+        let fa = compile_float u a in
+        CF
+          (fun fr i ->
+            fa fr i;
+            Array.unsafe_set fr.fstk i (-.Array.unsafe_get fr.fstk i))
+  | Ast.Unop (Ast.Not, a) ->
+      let fa = compile_bool u a in
+      CB (fun fr -> not (fa fr))
+  | Ast.Section (a, _) -> cerror "array section %s reached execution" a
+
+(* Rank-specialized subscript->offset computation; avoids per-access
+   buffer allocation for the common ranks. *)
+and compile_offset u a idx : frame -> view -> int =
+  match List.map (compile_int u) idx with
+  | [] -> fun _ _ -> 0
+  | [ i1 ] -> fun fr _ -> i1 fr - 1
+  | [ i1; i2 ] ->
+      fun fr v ->
+        let dims = v.dims in
+        if Array.length dims <> 2 then
+          rerror "rank mismatch: 2 subscripts on rank-%d view %s"
+            (Array.length dims) a;
+        let x1 = i1 fr and x2 = i2 fr in
+        let d0 = Array.unsafe_get dims 0 in
+        if x1 < 1 || x1 > d0 then
+          rerror "subscript %d out of bounds 1..%d (dim 1 of %s)" x1 d0 a;
+        (x1 - 1) + ((x2 - 1) * d0)
+  | [ i1; i2; i3 ] ->
+      fun fr v ->
+        let dims = v.dims in
+        if Array.length dims <> 3 then
+          rerror "rank mismatch: 3 subscripts on rank-%d view %s"
+            (Array.length dims) a;
+        let x1 = i1 fr and x2 = i2 fr and x3 = i3 fr in
+        let d0 = Array.unsafe_get dims 0 and d1 = Array.unsafe_get dims 1 in
+        if x1 < 1 || x1 > d0 then
+          rerror "subscript %d out of bounds 1..%d (dim 1 of %s)" x1 d0 a;
+        if x2 < 1 || x2 > d1 then
+          rerror "subscript %d out of bounds 1..%d (dim 2 of %s)" x2 d1 a;
+        (x1 - 1) + ((x2 - 1) * d0) + ((x3 - 1) * d0 * d1)
+  | idxc ->
+      let idxc = Array.of_list idxc in
+      let n = Array.length idxc in
+      fun fr v ->
+        let buf = Array.make n 0 in
+        for k = 0 to n - 1 do
+          buf.(k) <- (Array.unsafe_get idxc k) fr
+        done;
+        offset_of v buf n
+
+and compile_int u e : frame -> int =
+  match compile_expr u e with
+  | CI f -> f
+  | CF f ->
+      fun fr ->
+        f fr 0;
+        int_of_float (Array.unsafe_get fr.fstk 0)
+  | CB _ -> cerror "logical value where integer expected"
+
+and compile_float u e : fexp =
+  match compile_expr u e with
+  | CF f -> f
+  | CI f -> fun fr i -> Array.unsafe_set fr.fstk i (float_of_int (f fr))
+  | CB _ -> cerror "logical value where number expected"
+
+and compile_bool u e : frame -> bool =
+  match compile_expr u e with
+  | CB f -> f
+  | CI f -> fun fr -> f fr <> 0
+  | CF _ -> cerror "numeric value where logical expected"
+
+and compile_intrinsic u f args : comp =
+  let all_int = List.for_all (Analysis.Typing.is_int u) args in
+  let unary_f g =
+    match args with
+    | [ a ] ->
+        let fa = compile_float u a in
+        CF
+          (fun fr i ->
+            fa fr i;
+            Array.unsafe_set fr.fstk i (g (Array.unsafe_get fr.fstk i)))
+    | _ -> cerror "%s expects one argument" f
+  in
+  match (f, args) with
+  | ("ABS" | "DABS"), [ a ] ->
+      if all_int then
+        let fa = compile_int u a in
+        CI (fun fr -> abs (fa fr))
+      else
+        let fa = compile_float u a in
+        CF
+          (fun fr i ->
+            fa fr i;
+            Array.unsafe_set fr.fstk i (Float.abs (Array.unsafe_get fr.fstk i)))
+  | "IABS", [ a ] ->
+      let fa = compile_int u a in
+      CI (fun fr -> abs (fa fr))
+  | ("MAX" | "MAX0" | "AMAX1" | "DMAX1"), _ :: _ ->
+      if all_int && (f = "MAX" || f = "MAX0") then
+        let fs = List.map (compile_int u) args in
+        CI (fun fr -> List.fold_left (fun acc g -> max acc (g fr)) min_int fs)
+      else
+        let fs = List.map (compile_float u) args in
+        CF
+          (fun fr i ->
+            Array.unsafe_set fr.fstk i neg_infinity;
+            List.iter
+              (fun g ->
+                g fr (i + 1);
+                if Array.unsafe_get fr.fstk (i + 1) > Array.unsafe_get fr.fstk i
+                then
+                  Array.unsafe_set fr.fstk i (Array.unsafe_get fr.fstk (i + 1)))
+              fs)
+  | ("MIN" | "MIN0" | "AMIN1" | "DMIN1"), _ :: _ ->
+      if all_int && (f = "MIN" || f = "MIN0") then
+        let fs = List.map (compile_int u) args in
+        CI (fun fr -> List.fold_left (fun acc g -> min acc (g fr)) max_int fs)
+      else
+        let fs = List.map (compile_float u) args in
+        CF
+          (fun fr i ->
+            Array.unsafe_set fr.fstk i infinity;
+            List.iter
+              (fun g ->
+                g fr (i + 1);
+                if Array.unsafe_get fr.fstk (i + 1) < Array.unsafe_get fr.fstk i
+                then
+                  Array.unsafe_set fr.fstk i (Array.unsafe_get fr.fstk (i + 1)))
+              fs)
+  | ("MOD" | "DMOD"), [ a; b ] ->
+      if all_int then
+        let fa = compile_int u a and fb = compile_int u b in
+        CI
+          (fun fr ->
+            let d = fb fr in
+            if d = 0 then rerror "MOD by zero" else fa fr mod d)
+      else
+        let fa = compile_float u a and fb = compile_float u b in
+        CF
+          (fun fr i ->
+            fa fr i;
+            fb fr (i + 1);
+            Array.unsafe_set fr.fstk i
+              (Float.rem (Array.unsafe_get fr.fstk i)
+                 (Array.unsafe_get fr.fstk (i + 1))))
+  | ("SQRT" | "DSQRT"), _ -> unary_f sqrt
+  | ("SIN" | "DSIN"), _ -> unary_f sin
+  | ("COS" | "DCOS"), _ -> unary_f cos
+  | "TAN", _ -> unary_f tan
+  | ("EXP" | "DEXP"), _ -> unary_f exp
+  | ("LOG" | "DLOG" | "ALOG"), _ -> unary_f log
+  | ("ATAN" | "DATAN"), _ -> unary_f atan
+  | "ATAN2", [ a; b ] ->
+      let fa = compile_float u a and fb = compile_float u b in
+      CF
+        (fun fr i ->
+          fa fr i;
+          fb fr (i + 1);
+          Array.unsafe_set fr.fstk i
+            (atan2 (Array.unsafe_get fr.fstk i) (Array.unsafe_get fr.fstk (i + 1))))
+  | "INT", [ a ] ->
+      let fa = compile_float u a in
+      CI
+        (fun fr ->
+          fa fr 0;
+          int_of_float (Array.unsafe_get fr.fstk 0))
+  | "NINT", [ a ] ->
+      let fa = compile_float u a in
+      CI
+        (fun fr ->
+          fa fr 0;
+          int_of_float (Float.round (Array.unsafe_get fr.fstk 0)))
+  | ("DBLE" | "REAL" | "FLOAT"), [ a ] ->
+      let fa = compile_float u a in
+      CF fa
+  | ("SIGN" | "ISIGN"), [ a; b ] ->
+      if all_int then
+        let fa = compile_int u a and fb = compile_int u b in
+        CI (fun fr -> if fb fr >= 0 then abs (fa fr) else -abs (fa fr))
+      else
+        let fa = compile_float u a and fb = compile_float u b in
+        CF
+          (fun fr i ->
+            fa fr i;
+            fb fr (i + 1);
+            let x = Float.abs (Array.unsafe_get fr.fstk i) in
+            Array.unsafe_set fr.fstk i
+              (if Array.unsafe_get fr.fstk (i + 1) >= 0.0 then x else -.x))
+  | _ -> cerror "unknown intrinsic %s/%d" f (List.length args)
+
+(* Boxed evaluation: slow boundaries only (PRINT, PARAMETER values,
+   by-value argument snapshots). *)
+let eval_boxed (u : Ast.program_unit) (e : Ast.expr) : frame -> value =
+  match e with
+  | Ast.Str_const s -> fun _ -> VStr s
+  | _ -> (
+      match compile_expr u e with
+      | CF f ->
+          fun fr ->
+            f fr 0;
+            VReal (Array.unsafe_get fr.fstk 0)
+      | CI f -> fun fr -> VInt (f fr)
+      | CB f -> fun fr -> VBool (f fr))
+
+let dyn_eval_int fr e = (compile_int fr.unit_ e) fr
+let () = eval_int_ref := dyn_eval_int
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* names a parallel loop body touches; resolved at compile time *)
+let touch_names program body =
+  List.filter_map
+    (fun (a : Analysis.Usedef.access) ->
+      if
+        Intrinsics.is_intrinsic a.acc_name
+        || Ast.find_unit program a.acc_name <> None
+      then None
+      else Some a.acc_name)
+    (Analysis.Usedef.accesses_of_stmts body)
+  |> List.sort_uniq compare
+
+let rec compile_stmts (program : Ast.program) (u : Ast.program_unit)
+    (stmts : Ast.stmt list) : cstmt array =
+  Array.of_list (List.map (compile_stmt program u) stmts)
+
+and compile_stmt program u (s : Ast.stmt) : cstmt =
+  match s.node with
+  | Ast.Continue -> fun _ -> ()
+  | Ast.Return -> fun _ -> raise Return_exn
+  | Ast.Stop msg -> fun _ -> raise (Stop_program msg)
+  | Ast.Print es ->
+      let fs = List.map (eval_boxed u) es in
+      fun fr ->
+        let line =
+          String.concat " " (List.map (fun f -> string_of_value (f fr)) fs)
+        in
+        Mutex.lock fr.glb.out_mutex;
+        Buffer.add_string fr.glb.out (line ^ "\n");
+        Mutex.unlock fr.glb.out_mutex
+  | Ast.Call (name, args) -> fun fr -> call_subroutine fr name args
+  | Ast.Assign (Ast.Lvar v, e) -> (
+      match Ast.find_decl u v with
+      | Some d when d.d_dims <> [] ->
+          (* whole-array broadcast *)
+          let f = eval_boxed u e in
+          fun fr -> fill (lookup fr v) (f fr)
+      | _ -> (
+          match Ast.type_of_var u v with
+          | Ast.Integer ->
+              let f = compile_int u e in
+              fun fr -> elem_set_i (lookup fr v) 0 (f fr)
+          | Ast.Logical ->
+              let f = compile_bool u e in
+              fun fr -> set (lookup fr v) [] (VBool (f fr))
+          | Ast.Real | Ast.Double | Ast.Character ->
+              let f = compile_float u e in
+              fun fr ->
+                f fr 0;
+                elem_set_f (lookup fr v) 0 (Array.unsafe_get fr.fstk 0)))
+  | Ast.Assign (Ast.Larray (a, idx), e) ->
+      let off = compile_offset u a idx in
+      if Ast.type_of_var u a = Ast.Integer then
+        let f = compile_int u e in
+        fun fr ->
+          let v = lookup fr a in
+          elem_set_i v (off fr v) (f fr)
+      else
+        let f = compile_float u e in
+        fun fr ->
+          f fr 0;
+          let x = Array.unsafe_get fr.fstk 0 in
+          let v = lookup fr a in
+          elem_set_f v (off fr v) x
+  | Ast.Assign (Ast.Lsection (a, _), _) ->
+      fun _ -> rerror "array section %s reached execution" a
+  | Ast.If (c, t, e) ->
+      let fc = compile_bool u c in
+      let ft = compile_stmts program u t in
+      let fe = compile_stmts program u e in
+      fun fr -> if fc fr then run_code ft fr else run_code fe fr
+  | Ast.Tagged (_, body) ->
+      let fb = compile_stmts program u body in
+      fun fr -> run_code fb fr
+  | Ast.Do_loop l -> compile_loop program u l
+
+and compile_loop program u (l : Ast.do_loop) : cstmt =
+  let flo = compile_int u l.lo in
+  let fhi = compile_int u l.hi in
+  let fstep = compile_int u l.step in
+  let fbody = compile_stmts program u l.body in
+  let touches = lazy (touch_names program l.body) in
+  let run_seq fr lo hi step =
+    let idx = lookup fr l.index in
+    let i = ref lo in
+    while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
+      elem_set_i idx 0 !i;
+      run_code fbody fr;
+      i := !i + step
+    done;
+    elem_set_i idx 0 !i
+  in
+  fun fr ->
+    let lo = flo fr and hi = fhi fr and step = fstep fr in
+    if step = 0 then rerror "zero DO step";
+    let profiled = l.parallel <> None && not fr.in_parallel in
+    let t0 =
+      match fr.glb.profile with
+      | Some _ when profiled -> Unix.gettimeofday ()
+      | _ -> 0.0
+    in
+    (match l.parallel with
+    | Some omp when (not fr.in_parallel) && fr.glb.threads > 1 ->
+        exec_parallel fr l omp fbody (Lazy.force touches) ~lo ~hi ~step
+    | _ -> run_seq fr lo hi step);
+    match fr.glb.profile with
+    | Some tbl when profiled -> (
+        let dt = Unix.gettimeofday () -. t0 in
+        match Hashtbl.find_opt tbl l.loop_id with
+        | Some c ->
+            c.pt <- c.pt +. dt;
+            c.pn <- c.pn + 1
+        | None -> Hashtbl.replace tbl l.loop_id { pt = dt; pn = 1 })
+    | _ -> ()
+
+and exec_parallel fr (l : Ast.do_loop) (omp : Ast.omp) fbody touches ~lo ~hi
+    ~step =
+  let niter =
+    if step > 0 then max 0 (((hi - lo) / step) + 1)
+    else max 0 (((lo - hi) / -step) + 1)
+  in
+  if niter = 0 then ()
+  else begin
+    let nw = min fr.glb.threads (max 1 niter) in
+    (* pre-touch so lazily-allocated locals exist in the parent frame
+       before per-worker copies are made *)
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt fr.consts name with
+        | Some _ -> ()
+        | None -> ignore (lookup fr name))
+      touches;
+    let red_base =
+      List.map (fun (op, name) -> (op, name, lookup fr name)) omp.omp_reductions
+    in
+    let merge_mutex = Mutex.create () in
+    let worker w =
+      let per = (niter + nw - 1) / nw in
+      let first = w * per and last = min niter ((w + 1) * per) in
+      if first >= last then ()
+      else begin
+        let priv_tbl = Hashtbl.create 8 in
+        let mk_private name =
+          Hashtbl.replace priv_tbl name (fresh_like (lookup fr name))
+        in
+        List.iter mk_private omp.omp_private;
+        mk_private l.index;
+        List.iter
+          (fun (op, name, view) ->
+            let p = fresh_like view in
+            let ident =
+              match (op, view.st) with
+              | Ast.Rsum, Fs _ -> VReal 0.0
+              | Ast.Rsum, _ -> VInt 0
+              | Ast.Rprod, Fs _ -> VReal 1.0
+              | Ast.Rprod, _ -> VInt 1
+              | Ast.Rmax, Fs _ -> VReal neg_infinity
+              | Ast.Rmax, _ -> VInt min_int
+              | Ast.Rmin, Fs _ -> VReal infinity
+              | Ast.Rmin, _ -> VInt max_int
+            in
+            set p [] ident;
+            Hashtbl.replace priv_tbl name p)
+          red_base;
+        let wfr =
+          {
+            fr with
+            overrides = priv_tbl :: fr.overrides;
+            in_parallel = true;
+            vars = Hashtbl.copy fr.vars;
+            fstk = Array.make fstk_size 0.0;
+          }
+        in
+        List.iter
+          (fun n -> Hashtbl.remove wfr.vars n)
+          (l.index :: omp.omp_private);
+        List.iter (fun (_, n, _) -> Hashtbl.remove wfr.vars n) red_base;
+        let idx = Hashtbl.find priv_tbl l.index in
+        for k = first to last - 1 do
+          elem_set_i idx 0 (lo + (k * step));
+          run_code fbody wfr
+        done;
+        Mutex.lock merge_mutex;
+        List.iter
+          (fun (op, name, view) ->
+            ignore name;
+            let p = Hashtbl.find priv_tbl name in
+            let cur = get view [] and mine = get p [] in
+            let merged =
+              match op with
+              | Ast.Rsum -> arith Ast.Add cur mine
+              | Ast.Rprod -> arith Ast.Mul cur mine
+              | Ast.Rmax -> if to_float mine > to_float cur then mine else cur
+              | Ast.Rmin -> if to_float mine < to_float cur then mine else cur
+            in
+            set view [] merged)
+          red_base;
+        Mutex.unlock merge_mutex
+      end
+    in
+    Pool.parallel_for fr.glb.pool ~chunks:nw worker;
+    let idx = lookup fr l.index in
+    elem_set_i idx 0 (lo + (niter * step))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                                *)
+(* ------------------------------------------------------------------ *)
+
+and unit_code (fr : frame) (callee : Ast.program_unit) : cstmt array =
+  match Hashtbl.find_opt fr.glb.code_cache callee.u_name with
+  | Some c -> c
+  | None ->
+      let c = compile_stmts fr.glb.program callee callee.u_body in
+      Hashtbl.replace fr.glb.code_cache callee.u_name c;
+      c
+
+(* [eval_fr] is the frame used to evaluate actual arguments.  For CALL
+   statements it is the caller itself (statement position: scratch slots
+   are free); for function invocations it must carry a fresh scratch so
+   that argument evaluation cannot clobber the caller's live slots. *)
+and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
+    (args : Ast.expr list) : frame =
+  let efr = match eval_fr with Some f -> f | None -> fr in
+  let nfr =
+    {
+      glb = fr.glb;
+      unit_ = callee;
+      vars = Hashtbl.create 16;
+      consts = Hashtbl.create 4;
+      overrides = fr.overrides;
+      in_parallel = fr.in_parallel;
+      fstk = fr.fstk;
+    }
+  in
+  List.iter
+    (fun (n, e) -> Hashtbl.replace nfr.consts n (eval_boxed callee e nfr))
+    callee.u_params_const;
+  if List.length args <> List.length callee.u_params then
+    rerror "call to %s: arity mismatch" callee.u_name;
+  List.iter2
+    (fun formal actual ->
+      let v =
+        match actual with
+        | Ast.Var name when Hashtbl.find_opt fr.consts name = None ->
+            lookup fr name
+        | Ast.Array_ref (name, idx)
+          when Ast.is_array fr.unit_ name
+               || Hashtbl.find_opt fr.vars name <> None ->
+            let base = lookup fr name in
+            let n = List.length idx in
+            let buf = Array.make n 0 in
+            List.iteri (fun k e -> buf.(k) <- dyn_eval_int efr e) idx;
+            { base with off = base.off + offset_of base buf n; dims = [||] }
+        | e ->
+            let value = (eval_boxed fr.unit_ e) efr in
+            let ty =
+              match value with
+              | VInt _ -> Ast.Integer
+              | VReal _ -> Ast.Double
+              | VBool _ -> Ast.Logical
+              | VStr _ -> Ast.Character
+            in
+            let view = scalar_view ty in
+            set view [] value;
+            view
+      in
+      Hashtbl.replace nfr.vars formal v)
+    callee.u_params args;
+  (* reshape formal arrays per the callee's declarations (adjustable dims
+     evaluated now, with scalar formals already bound) *)
+  List.iter
+    (fun formal ->
+      match Ast.find_decl callee formal with
+      | Some d when d.d_dims <> [] ->
+          let base = Hashtbl.find nfr.vars formal in
+          let dims = eval_dims nfr d in
+          Hashtbl.replace nfr.vars formal { base with dims }
+      | _ -> ())
+    callee.u_params;
+  nfr
+
+and call_subroutine fr name args =
+  match Ast.find_unit fr.glb.program name with
+  | Some callee when callee.u_kind = Ast.Subroutine ->
+      let nfr = bind_frame fr callee args in
+      let code = unit_code fr callee in
+      (try run_code code nfr with Return_exn -> ())
+  | Some _ -> rerror "CALL to non-subroutine %s" name
+  | None -> rerror "CALL to undefined subroutine %s" name
+
+and call_function fr name args : value =
+  match Ast.find_unit fr.glb.program name with
+  | Some callee -> (
+      match callee.u_kind with
+      | Ast.Function ty ->
+          (* functions are invoked mid-expression: the caller may hold live
+             values in low scratch slots, so both the argument evaluation
+             and the callee body get their own stack *)
+          let fresh = Array.make fstk_size 0.0 in
+          let eval_fr = { fr with fstk = fresh } in
+          let nfr = { (bind_frame ~eval_fr fr callee args) with fstk = fresh } in
+          Hashtbl.replace nfr.vars name (scalar_view ty);
+          let code = unit_code fr callee in
+          (try run_code code nfr with Return_exn -> ());
+          get (Hashtbl.find nfr.vars name) []
+      | _ -> rerror "function call to non-function %s" name)
+  | None -> rerror "call to undefined function %s" name
+
+let () = call_function_ref := call_function
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a storage into floats for state comparison. *)
+let storage_floats = function
+  | Fs a -> Array.copy a
+  | Is a -> Array.map float_of_int a
+  | Bs a -> Array.map (fun b -> if b then 1.0 else 0.0) a
+
+(** Execute a program's MAIN unit; returns everything it printed plus the
+    final contents of every COMMON block (member by member, as floats) --
+    the strongest observable state two runs can be compared on. *)
+let run_program_state ?(threads = 1) ?profile (program : Ast.program) :
+    string * (string * float array) list =
+  let commons, common_layout = build_commons program in
+  let pool = Pool.create threads in
+  let glb =
+    {
+      program;
+      commons;
+      common_layout;
+      out = Buffer.create 1024;
+      out_mutex = Mutex.create ();
+      threads;
+      pool;
+      code_cache = Hashtbl.create 16;
+      profile;
+    }
+  in
+  let main =
+    match List.find_opt (fun u -> u.Ast.u_kind = Ast.Main) program.p_units with
+    | Some u -> u
+    | None -> rerror "program has no MAIN unit"
+  in
+  let fr =
+    {
+      glb;
+      unit_ = main;
+      vars = Hashtbl.create 16;
+      consts = Hashtbl.create 4;
+      overrides = [];
+      in_parallel = false;
+      fstk = Array.make fstk_size 0.0;
+    }
+  in
+  List.iter
+    (fun (n, e) -> Hashtbl.replace fr.consts n (eval_boxed main e fr))
+    main.u_params_const;
+  (* precompile every unit up front: the cache is then read-only, so
+     worker domains may safely invoke (pure) functions concurrently *)
+  List.iter
+    (fun u ->
+      if u.Ast.u_kind <> Ast.Main then
+        Hashtbl.replace glb.code_cache u.Ast.u_name
+          (compile_stmts program u u.Ast.u_body))
+    program.p_units;
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let code = compile_stmts program main main.u_body in
+      try run_code code fr with
+      | Return_exn -> ()
+      | Stop_program (Some msg) ->
+          Buffer.add_string glb.out ("STOP: " ^ msg ^ "\n")
+      | Stop_program None -> ());
+  let state =
+    Hashtbl.fold
+      (fun blk views acc ->
+        Array.to_list
+          (Array.mapi
+             (fun i (v : view) ->
+               (Printf.sprintf "%s/%d" blk i, storage_floats v.st))
+             views)
+        @ acc)
+      commons []
+    |> List.sort compare
+  in
+  (Buffer.contents glb.out, state)
+
+(** Execute a program's MAIN unit; returns everything it printed.
+    [profile], when given, accumulates per-loop-id wall time of top-level
+    directive-carrying loops (used by the empirical tuner). *)
+let run_program ?threads ?profile (program : Ast.program) : string =
+  fst (run_program_state ?threads ?profile program)

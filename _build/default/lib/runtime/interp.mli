@@ -1,0 +1,37 @@
+(** Interpreter for the Fortran subset with OpenMP-style execution of
+    directive-carrying loops across OCaml 5 domains.
+
+    Parallel semantics follow the directives emitted by
+    {!Parallelizer.Parallelize}: block-partitioned iterations over a
+    persistent {!Pool}, fresh per-worker storage for PRIVATE names
+    (installed as dynamic overrides so callees see the worker's copy of a
+    privatized COMMON variable), identity-seeded per-worker REDUCTION
+    accumulators merged at the join, and sequential execution of nested
+    parallel regions. *)
+
+exception Stop_program of string option
+(** Raised internally by STOP; [run_program] converts it to output. *)
+
+type prof_cell = {
+  mutable pt : float;  (** cumulative seconds *)
+  mutable pn : int;  (** executions *)
+}
+
+(** [run_program ~threads program] executes the program's MAIN unit and
+    returns everything it printed.  [threads] sizes the worker pool
+    (default 1 = fully sequential).  [profile], when given, accumulates
+    per-loop-id wall time and execution counts for loops that carry a
+    directive and execute outside any parallel region — the raw data for
+    the empirical tuner. *)
+val run_program :
+  ?threads:int -> ?profile:(int, prof_cell) Hashtbl.t -> Frontend.Ast.program -> string
+
+(** Like {!run_program}, but also returns the final contents of every
+    COMMON block member (as floats, keyed ["BLOCK/position"]) -- the
+    strongest observable state on which a sequential and a parallel run
+    can be compared. *)
+val run_program_state :
+  ?threads:int ->
+  ?profile:(int, prof_cell) Hashtbl.t ->
+  Frontend.Ast.program ->
+  string * (string * float array) list

@@ -1,0 +1,137 @@
+(** Persistent domain pool.
+
+    Spawning a [Domain] per parallel loop execution costs hundreds of
+    microseconds -- ruinous for programs that enter small parallel loops
+    thousands of times (exactly the PERFECT profile).  The pool parks
+    [n-1] worker domains once per program run; a parallel loop hands every
+    worker a chunk index and blocks until all chunks complete.  The pool
+    is used only from the main domain and only outside parallel regions
+    (the interpreter runs nested parallel loops sequentially), so a single
+    job slot suffices. *)
+
+type t = {
+  m : Mutex.t;
+  cv_job : Condition.t;  (** signaled when a new job is published *)
+  cv_done : Condition.t;  (** signaled when the last chunk finishes *)
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable next_chunk : int;
+  mutable total_chunks : int;
+  mutable finished_chunks : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  size : int;  (** number of workers + 1 (the caller participates) *)
+}
+
+let worker_loop (p : t) () =
+  let my_generation = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock p.m;
+    while (not p.stop) && (p.job = None || p.generation = !my_generation) do
+      Condition.wait p.cv_job p.m
+    done;
+    if p.stop then begin
+      Mutex.unlock p.m;
+      continue_ := false
+    end
+    else begin
+      my_generation := p.generation;
+      let job = Option.get p.job in
+      (* drain chunks *)
+      let rec drain () =
+        if p.next_chunk < p.total_chunks then begin
+          let c = p.next_chunk in
+          p.next_chunk <- p.next_chunk + 1;
+          Mutex.unlock p.m;
+          (try job c
+           with e ->
+             Mutex.lock p.m;
+             if p.failure = None then p.failure <- Some e;
+             Mutex.unlock p.m);
+          Mutex.lock p.m;
+          p.finished_chunks <- p.finished_chunks + 1;
+          if p.finished_chunks = p.total_chunks then
+            Condition.broadcast p.cv_done;
+          drain ()
+        end
+      in
+      drain ();
+      Mutex.unlock p.m
+    end
+  done
+
+let create n_threads : t =
+  let p =
+    {
+      m = Mutex.create ();
+      cv_job = Condition.create ();
+      cv_done = Condition.create ();
+      job = None;
+      generation = 0;
+      next_chunk = 0;
+      total_chunks = 0;
+      finished_chunks = 0;
+      failure = None;
+      stop = false;
+      workers = [];
+      size = max 1 n_threads;
+    }
+  in
+  p.workers <-
+    List.init (max 0 (n_threads - 1)) (fun _ -> Domain.spawn (worker_loop p));
+  p
+
+(** Run [f c] for every chunk [c] in [0 .. chunks-1] across the pool,
+    with the calling domain participating.  Re-raises the first failure. *)
+let parallel_for (p : t) ~(chunks : int) (f : int -> unit) =
+  if chunks <= 0 then ()
+  else if p.size = 1 || chunks = 1 then
+    for c = 0 to chunks - 1 do
+      f c
+    done
+  else begin
+    Mutex.lock p.m;
+    p.job <- Some f;
+    p.generation <- p.generation + 1;
+    p.next_chunk <- 0;
+    p.total_chunks <- chunks;
+    p.finished_chunks <- 0;
+    p.failure <- None;
+    Condition.broadcast p.cv_job;
+    (* participate *)
+    let rec drain () =
+      if p.next_chunk < p.total_chunks then begin
+        let c = p.next_chunk in
+        p.next_chunk <- p.next_chunk + 1;
+        Mutex.unlock p.m;
+        (try f c
+         with e ->
+           Mutex.lock p.m;
+           if p.failure = None then p.failure <- Some e;
+           Mutex.unlock p.m);
+        Mutex.lock p.m;
+        p.finished_chunks <- p.finished_chunks + 1;
+        if p.finished_chunks = p.total_chunks then
+          Condition.broadcast p.cv_done;
+        drain ()
+      end
+    in
+    drain ();
+    while p.finished_chunks < p.total_chunks do
+      Condition.wait p.cv_done p.m
+    done;
+    p.job <- None;
+    let failure = p.failure in
+    Mutex.unlock p.m;
+    match failure with Some e -> raise e | None -> ()
+  end
+
+let shutdown (p : t) =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.cv_job;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.workers;
+  p.workers <- []

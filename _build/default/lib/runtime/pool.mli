@@ -1,0 +1,22 @@
+(** Persistent worker-domain pool for parallel loop execution.
+
+    Spawning a [Domain] per parallel loop costs hundreds of microseconds;
+    the pool parks [n-1] workers once per program run and hands them chunk
+    indices per loop.  Use only from one domain at a time and never
+    reentrantly (the interpreter runs nested parallel loops sequentially,
+    which guarantees both). *)
+
+type t
+
+(** [create n] spawns [n-1] worker domains ([n <= 1] gives a pool that
+    runs everything on the caller). *)
+val create : int -> t
+
+(** [parallel_for p ~chunks f] runs [f c] for each [c] in
+    [0 .. chunks-1] across the pool, the caller participating, and blocks
+    until all complete.  The first exception raised by any chunk is
+    re-raised after the join. *)
+val parallel_for : t -> chunks:int -> (int -> unit) -> unit
+
+(** Stop and join all workers.  The pool must not be used afterwards. *)
+val shutdown : t -> unit

@@ -1,0 +1,191 @@
+(** Runtime storage model.
+
+    Fortran semantics demand raw, aliasable storage: COMMON blocks are
+    shared memory, and passing [A(i,j)] to a subroutine hands over a
+    by-reference *view* starting at that element, which the callee may
+    re-shape through its own declaration (adjustable and assumed-size
+    arrays).  Scalars are 1-element views so that by-reference scalar
+    arguments work uniformly. *)
+
+type storage =
+  | Fs of float array
+  | Is of int array
+  | Bs of bool array
+
+type view = {
+  st : storage;
+  off : int;  (** element offset of this view's first element *)
+  dims : int array;  (** column-major extents; [||] for scalars *)
+}
+
+type value = VInt of int | VReal of float | VBool of bool | VStr of string
+
+exception Runtime_error of string
+
+let rerror fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let storage_len = function
+  | Fs a -> Array.length a
+  | Is a -> Array.length a
+  | Bs a -> Array.length a
+
+let alloc_storage (ty : Frontend.Ast.dtype) n : storage =
+  match ty with
+  | Frontend.Ast.Integer -> Is (Array.make (max 1 n) 0)
+  | Frontend.Ast.Real | Frontend.Ast.Double -> Fs (Array.make (max 1 n) 0.0)
+  | Frontend.Ast.Logical -> Bs (Array.make (max 1 n) false)
+  | Frontend.Ast.Character -> Is (Array.make (max 1 n) 0)
+
+let scalar_view ty : view = { st = alloc_storage ty 1; off = 0; dims = [||] }
+
+let fresh_like (v : view) : view =
+  let n = max 1 (Array.fold_left ( * ) 1 v.dims) in
+  let st =
+    match v.st with
+    | Fs _ -> Fs (Array.make n 0.0)
+    | Is _ -> Is (Array.make n 0)
+    | Bs _ -> Bs (Array.make n false)
+  in
+  { st; off = 0; dims = v.dims }
+
+(** Copy the [n] accessible elements of [src] into [dst] (used to seed
+    first-private semantics and merge last values). *)
+let blit_view (src : view) (dst : view) =
+  let n =
+    min
+      (storage_len src.st - src.off)
+      (storage_len dst.st - dst.off)
+  in
+  match (src.st, dst.st) with
+  | Fs a, Fs b -> Array.blit a src.off b dst.off n
+  | Is a, Is b -> Array.blit a src.off b dst.off n
+  | Bs a, Bs b -> Array.blit a src.off b dst.off n
+  | _ -> rerror "blit between views of different element types"
+
+(* 0-based linear element index of subscripts [idx] in view [v]. *)
+let element_index (v : view) (idx : int list) : int =
+  let dims = v.dims in
+  let rank = Array.length dims in
+  let nidx = List.length idx in
+  if nidx = 0 then 0
+  else begin
+    (* allow a 1-subscript reference into any view (linearized access),
+       and references matching the declared rank *)
+    if nidx <> rank && nidx <> 1 then
+      rerror "rank mismatch: %d subscripts for rank-%d view" nidx rank;
+    (* interior dims are bounds-checked; the final dim (or a linearized
+       single-subscript access) may legally run to the end of storage *)
+    let rec go k stride acc = function
+      | [] -> acc
+      | i :: rest ->
+          let extent = if k < rank then dims.(k) else 1 in
+          if nidx = rank && k < rank - 1 && (i < 1 || i > extent) then
+            rerror "subscript %d out of bounds 1..%d (dim %d)" i extent (k + 1);
+          go (k + 1) (stride * extent) (acc + ((i - 1) * stride)) rest
+    in
+    go 0 1 0 idx
+  end
+
+let get (v : view) (idx : int list) : value =
+  let i = v.off + element_index v idx in
+  if i < 0 || i >= storage_len v.st then
+    rerror "access outside storage (index %d, size %d)" i (storage_len v.st);
+  match v.st with
+  | Fs a -> VReal a.(i)
+  | Is a -> VInt a.(i)
+  | Bs a -> VBool a.(i)
+
+let set (v : view) (idx : int list) (x : value) =
+  let i = v.off + element_index v idx in
+  if i < 0 || i >= storage_len v.st then
+    rerror "store outside storage (index %d, size %d)" i (storage_len v.st);
+  match (v.st, x) with
+  | Fs a, VReal r -> a.(i) <- r
+  | Fs a, VInt n -> a.(i) <- float_of_int n
+  | Is a, VInt n -> a.(i) <- n
+  | Is a, VReal r -> a.(i) <- int_of_float r
+  | Bs a, VBool b -> a.(i) <- b
+  | Is a, VBool b -> a.(i) <- (if b then 1 else 0)
+  | _ -> rerror "type mismatch in store"
+
+(** Fill every accessible element of the view. *)
+let fill (v : view) (x : value) =
+  let n = storage_len v.st - v.off in
+  let total = if v.dims = [||] then 1 else min n (Array.fold_left ( * ) 1 v.dims) in
+  for i = v.off to v.off + total - 1 do
+    match (v.st, x) with
+    | Fs a, VReal r -> a.(i) <- r
+    | Fs a, VInt k -> a.(i) <- float_of_int k
+    | Is a, VInt k -> a.(i) <- k
+    | Is a, VReal r -> a.(i) <- int_of_float r
+    | Bs a, VBool b -> a.(i) <- b
+    | _ -> rerror "type mismatch in fill"
+  done
+
+(* ---- value arithmetic ---- *)
+
+let to_float = function
+  | VReal r -> r
+  | VInt n -> float_of_int n
+  | VBool _ | VStr _ -> rerror "numeric value expected"
+
+let to_int = function
+  | VInt n -> n
+  | VReal r -> int_of_float r
+  | VBool _ | VStr _ -> rerror "integer value expected"
+
+let to_bool = function
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | _ -> rerror "logical value expected"
+
+let is_real = function VReal _ -> true | _ -> false
+
+let arith op a b =
+  if is_real a || is_real b then
+    let x = to_float a and y = to_float b in
+    VReal
+      (match op with
+      | Frontend.Ast.Add -> x +. y
+      | Frontend.Ast.Sub -> x -. y
+      | Frontend.Ast.Mul -> x *. y
+      | Frontend.Ast.Div -> x /. y
+      | Frontend.Ast.Pow -> x ** y
+      | _ -> rerror "arith: not an arithmetic operator")
+  else
+    let x = to_int a and y = to_int b in
+    match op with
+    | Frontend.Ast.Add -> VInt (x + y)
+    | Frontend.Ast.Sub -> VInt (x - y)
+    | Frontend.Ast.Mul -> VInt (x * y)
+    | Frontend.Ast.Div ->
+        if y = 0 then rerror "integer division by zero" else VInt (x / y)
+    | Frontend.Ast.Pow ->
+        if y < 0 then VReal (float_of_int x ** float_of_int y)
+        else begin
+          let rec pw acc i = if i = 0 then acc else pw (acc * x) (i - 1) in
+          VInt (pw 1 y)
+        end
+    | _ -> rerror "arith: not an arithmetic operator"
+
+let compare_vals op a b =
+  let c =
+    if is_real a || is_real b then compare (to_float a) (to_float b)
+    else compare (to_int a) (to_int b)
+  in
+  VBool
+    (match op with
+    | Frontend.Ast.Eq -> c = 0
+    | Frontend.Ast.Ne -> c <> 0
+    | Frontend.Ast.Lt -> c < 0
+    | Frontend.Ast.Le -> c <= 0
+    | Frontend.Ast.Gt -> c > 0
+    | Frontend.Ast.Ge -> c >= 0
+    | _ -> rerror "compare: not a relational operator")
+
+let string_of_value = function
+  | VInt n -> string_of_int n
+  | VReal r -> Printf.sprintf "%.6g" r
+  | VBool true -> "T"
+  | VBool false -> "F"
+  | VStr s -> s

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Ast Core Format Frontend List Parallelizer Pretty Printf Resolve Runtime String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Constprop Forward_subst Frontend Helpers Induction List Poly Pretty QCheck QCheck_alcotest Runtime Sections Simplify Usedef

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Ast Core Frontend Helpers List Parallelizer Perfect Runtime String

@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Core Helpers List Parallelizer Runtime

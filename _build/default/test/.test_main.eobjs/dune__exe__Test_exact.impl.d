@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Core Dependence Direction Fourier_motzkin Frontend Helpers List Parallelizer QCheck QCheck_alcotest Rational Runtime

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Core Frontend Helpers List Parallelizer Perfect Printf QCheck QCheck_alcotest Runtime String

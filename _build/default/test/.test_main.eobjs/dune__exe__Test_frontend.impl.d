@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Frontend Helpers Lexer List Option Parser Perfect Pretty String Validate

@@ -1,0 +1,1 @@
+test/test_inliner.ml: Alcotest Analysis Ast Core Frontend Helpers Inliner List Option Perfect Printf Runtime String

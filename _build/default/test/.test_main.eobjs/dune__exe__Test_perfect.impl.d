@@ -1,0 +1,1 @@
+test/test_perfect.ml: Alcotest Core Frontend Helpers List Perfect Printf Runtime String

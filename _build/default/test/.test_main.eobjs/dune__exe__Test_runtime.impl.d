@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Core Helpers List Mutex Parallelizer Runtime

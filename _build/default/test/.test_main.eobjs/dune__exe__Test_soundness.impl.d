@@ -1,0 +1,1 @@
+test/test_soundness.ml: Buffer Core Float Helpers Inliner List Printf QCheck QCheck_alcotest Runtime String

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Array Core Float Helpers List Perfect Printf Runtime String

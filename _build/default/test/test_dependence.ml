@@ -1,0 +1,245 @@
+(** Dependence-analysis and parallelizer tests: each case is a small loop
+    nest with a known safe/unsafe answer, including regression tests for
+    the direction (source/sink) asymmetry and the subscripted-subscript
+    soundness guard. *)
+
+open Helpers
+
+let common = "      COMMON /S/ N, M, NP\n      DIMENSION A(100), B(100), C(64,64), T(4096), IX(16)\n"
+
+let consumer = "      WRITE(6,*) A(1), T(1), C(1,1)\n"
+let prog body = "      PROGRAM T\n" ^ common ^ body ^ consumer ^ "      END\n"
+
+(* ---------------- classic tests ---------------- *)
+
+let test_siv_independent () =
+  check_status
+    (prog "      DO I = 1, 50\n        A(I) = B(I) + 1.0\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_siv_shifted_read_backward () =
+  (* the WK1(I-1) recurrence: regression for the direction bug *)
+  check_status
+    (prog "      DO I = 2, 50\n        A(I) = A(I) * 0.5 + A(I-1) * 0.25\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_siv_shifted_read_forward () =
+  (* reading ahead is just as dependent *)
+  check_status
+    (prog "      DO I = 1, 49\n        A(I) = A(I) * 0.5 + A(I+1) * 0.25\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_ziv_same_element () =
+  check_status
+    (prog "      DO I = 1, 50\n        A(5) = A(5) + B(I)\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_ziv_distinct_elements () =
+  check_status
+    (prog "      DO I = 1, 50\n        A(3) = B(I)\n        B(I) = A(7)\n      ENDDO\n")
+    "T" "I" "sequential"
+(* A(3) written every iteration: output dependence keeps it sequential *)
+
+let test_gcd_strided () =
+  (* writes 2I, reads 2I+1: distinct parities, GCD proves independence *)
+  check_status
+    (prog "      DO I = 1, 49\n        A(2*I) = A(2*I + 1) + 1.0\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_banerjee_offset () =
+  (* write I, read I+60 with I <= 50: ranges cannot collide *)
+  check_status
+    (prog "      DO I = 1, 40\n        A(I) = A(I + 60) + 1.0\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_multidim_column () =
+  check_status
+    (prog
+       "      DO J = 1, 64\n        DO I = 1, 64\n          C(I,J) = C(I,J) * 2.0\n        ENDDO\n      ENDDO\n")
+    "T" "J" "parallel"
+
+let test_multidim_transpose_dep () =
+  check_status
+    (prog
+       "      DO J = 2, 64\n        DO I = 1, 64\n          C(I,J) = C(J,I) + 1.0\n        ENDDO\n      ENDDO\n")
+    "T" "J" "sequential"
+
+(* ---------------- symbolic cases ---------------- *)
+
+let setup_n = "      N = 40\n      CALL OPAQUE\n"
+
+let prog_sym body =
+  "      PROGRAM T\n" ^ common ^ setup_n ^ body ^ consumer
+  ^ "      END\n      SUBROUTINE OPAQUE\n      COMMON /S/ N, M, NP\n      N = N + 0\n      END\n"
+
+let test_symbolic_bound_siv () =
+  (* symbolic trip count, constant coefficient: still provable *)
+  check_status
+    (prog_sym "      DO I = 1, N\n        A(I) = B(I)\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_range_test_symbolic_stride () =
+  (* linearized two-dimensional walk with matching symbolic bound/stride *)
+  check_status
+    (prog_sym
+       "      DO J = 1, N\n        DO I = 1, N\n          T(I + N*(J-1)) = 1.0\n        ENDDO\n      ENDDO\n")
+    "T" "J" "parallel"
+
+let test_range_test_mismatched_stride () =
+  (* stride 64 but inner bound N (unrelated): the range test must fail *)
+  check_status
+    (prog_sym
+       "      DO J = 1, 20\n        DO I = 1, N\n          T(I + 64*(J-1)) = 1.0\n        ENDDO\n      ENDDO\n")
+    "T" "J" "sequential"
+
+let test_subscripted_subscript_guard () =
+  (* IX(I) as a subscript: no independence may be concluded *)
+  check_status
+    (prog_sym "      DO I = 1, 16\n        A(IX(I)) = B(I)\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_invariant_atom_cancels () =
+  (* IX(7) is loop-invariant: cancels between iterations, SIV applies *)
+  check_status
+    (prog_sym "      DO I = 1, 50\n        T(IX(7) + I) = B(I)\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_two_invariant_atoms_conflict () =
+  (* IX(7) vs IX(8): unknown relation, must stay sequential *)
+  check_status
+    (prog_sym
+       "      DO I = 1, 50\n        T(IX(7) + I) = 1.0\n        T(IX(8) + I) = 2.0\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_unique_radix_independence () =
+  (* the unique() lowering shape: I + 1024*K is injective per iteration *)
+  check_status
+    (prog_sym
+       "      DO K = 1, 50\n        T(3 + 1024*K) = 1.0\n        T(7 + 1024*K) = 2.0\n      ENDDO\n")
+    "T" "K" "parallel"
+
+(* ---------------- scalars, reductions, privatization ---------------- *)
+
+let test_scalar_reduction () =
+  check_status
+    (prog "      S = 0.0\n      DO I = 1, 50\n        S = S + A(I) * B(I)\n      ENDDO\n      WRITE(6,*) S\n")
+    "T" "I" "parallel"
+
+let test_scalar_max_reduction () =
+  check_status
+    (prog "      S = 0.0\n      DO I = 1, 50\n        S = MAX(S, A(I))\n      ENDDO\n      WRITE(6,*) S\n")
+    "T" "I" "parallel"
+
+let test_scalar_private () =
+  check_status
+    (prog "      DO I = 1, 50\n        TMP = A(I) * 2.0\n        B(I) = TMP + 1.0\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_scalar_carried () =
+  check_status
+    (prog "      PREV = 0.0\n      DO I = 1, 50\n        B(I) = PREV\n        PREV = A(I)\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_io_blocks () =
+  check_status
+    (prog "      DO I = 1, 50\n        WRITE(6,*) A(I)\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_call_blocks () =
+  let src =
+    "      PROGRAM T\n      DIMENSION A(64)\n      DO I = 1, 50\n        CALL F(I)\n      ENDDO\n      END\n      SUBROUTINE F(I)\n      COMMON /C/ B(64)\n      B(I) = I\n      END\n"
+  in
+  check_status src "T" "I" "sequential"
+
+let test_index_modified_blocks () =
+  check_status
+    (prog "      DO I = 1, 50\n        A(I) = 1.0\n        I = I + 0\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_array_privatization () =
+  (* B fully written then read each iteration: privatizable *)
+  check_status
+    (prog
+       "      DO I = 1, 50\n        DO K = 1, 100\n          B(K) = A(K) + I\n        ENDDO\n        S = 0.0\n        DO K = 1, 100\n          S = S + B(K)\n        ENDDO\n        C(I,1) = S\n      ENDDO\n")
+    "T" "I" "parallel"
+
+let test_array_privatization_fails_on_uncovered_read () =
+  (* writes B(1:50) but reads B(60): kill analysis must refuse *)
+  check_status
+    (prog
+       "      DO I = 1, 50\n        DO K = 1, 50\n          B(K) = A(K) + I\n        ENDDO\n        C(I,1) = B(60)\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_conditional_write_no_kill () =
+  (* conditional write does not kill the later read *)
+  check_status
+    (prog
+       "      DO I = 1, 50\n        IF (A(I) .GT. 0.0) B(1) = A(I)\n        A(I) = B(1)\n      ENDDO\n")
+    "T" "I" "sequential"
+
+let test_profitability_gate () =
+  check_status
+    (prog "      DO I = 1, 3\n        A(I) = 1.0\n      ENDDO\n")
+    "T" "I" "safe" (* safe but below min_trip: not marked *)
+
+let test_trust_nonlinear_ablation () =
+  let cfg =
+    { Parallelizer.Parallelize.default_config with trust_nonlinear = true }
+  in
+  check_status ~config:cfg
+    (prog_sym "      DO I = 1, 16\n        A(IX(I)) = B(I)\n      ENDDO\n")
+    "T" "I" "parallel"
+
+(* ---------------- peeling ---------------- *)
+
+let test_peel_for_liveout_private_array () =
+  (* privatized COMMON array that is live after the loop: peel *)
+  let src =
+    "      PROGRAM T\n      COMMON /W/ B(100)\n      DIMENSION A(100)\n      DO I = 1, 50\n        DO K = 1, 100\n          B(K) = I + K\n        ENDDO\n        S = 0.0\n        DO K = 1, 100\n          S = S + B(K)\n        ENDDO\n        A(I) = S\n      ENDDO\n      WRITE(6,*) B(3), A(5)\n      END\n"
+  in
+  let rep =
+    List.find
+      (fun (r : Parallelizer.Parallelize.loop_report) ->
+        r.rep_index = "I" && r.rep_unit = "T")
+      (reports_of src)
+  in
+  Alcotest.(check bool) "peeled" true rep.rep_peeled;
+  (* semantics: peeled parallel run matches the original sequential one *)
+  let p = Core.Pipeline.normalize (parse src) in
+  let opt, _ = Parallelizer.Parallelize.run p in
+  Alcotest.(check string)
+    "peel output" (run_str src)
+    (Runtime.Interp.run_program ~threads:4 opt)
+
+let suite =
+  [
+    ("siv: independent", `Quick, test_siv_independent);
+    ("siv: backward recurrence", `Quick, test_siv_shifted_read_backward);
+    ("siv: forward recurrence", `Quick, test_siv_shifted_read_forward);
+    ("ziv: same element", `Quick, test_ziv_same_element);
+    ("ziv: output dependence", `Quick, test_ziv_distinct_elements);
+    ("gcd: strided", `Quick, test_gcd_strided);
+    ("banerjee: disjoint offset", `Quick, test_banerjee_offset);
+    ("mdim: column writes", `Quick, test_multidim_column);
+    ("mdim: transpose dependence", `Quick, test_multidim_transpose_dep);
+    ("symbolic: bound", `Quick, test_symbolic_bound_siv);
+    ("range: matching stride", `Quick, test_range_test_symbolic_stride);
+    ("range: mismatched stride", `Quick, test_range_test_mismatched_stride);
+    ("guard: subscripted subscript", `Quick, test_subscripted_subscript_guard);
+    ("atoms: invariant cancels", `Quick, test_invariant_atom_cancels);
+    ("atoms: distinct bases conflict", `Quick, test_two_invariant_atoms_conflict);
+    ("gen-gcd: unique radix", `Quick, test_unique_radix_independence);
+    ("scalar: sum reduction", `Quick, test_scalar_reduction);
+    ("scalar: max reduction", `Quick, test_scalar_max_reduction);
+    ("scalar: private temp", `Quick, test_scalar_private);
+    ("scalar: carried", `Quick, test_scalar_carried);
+    ("blocker: I/O", `Quick, test_io_blocks);
+    ("blocker: CALL", `Quick, test_call_blocks);
+    ("blocker: index modified", `Quick, test_index_modified_blocks);
+    ("privatize: temp array", `Quick, test_array_privatization);
+    ("privatize: uncovered read", `Quick, test_array_privatization_fails_on_uncovered_read);
+    ("privatize: conditional write", `Quick, test_conditional_write_no_kill);
+    ("profitability gate", `Quick, test_profitability_gate);
+    ("ablation: trust_nonlinear", `Quick, test_trust_nonlinear_ablation);
+    ("peeling: live-out private array", `Quick, test_peel_for_liveout_private_array);
+  ]

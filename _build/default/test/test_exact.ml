@@ -1,0 +1,242 @@
+(** Tests for the exact dependence machinery: rational arithmetic,
+    Fourier-Motzkin elimination, direction vectors, and purity analysis. *)
+
+open Dependence
+open Helpers
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+
+(* ---------------- Rational ---------------- *)
+
+module Q = Rational
+
+let test_rational_basics () =
+  cb "1/2 + 1/3 = 5/6" true (Q.equal (Q.add (Q.make 1 2) (Q.make 1 3)) (Q.make 5 6));
+  cb "normalizes sign" true (Q.equal (Q.make 1 (-2)) (Q.make (-1) 2));
+  cb "reduces" true (Q.equal (Q.make 6 4) (Q.make 3 2));
+  cb "mul" true (Q.equal (Q.mul (Q.make 2 3) (Q.make 3 4)) (Q.make 1 2));
+  cb "div" true (Q.equal (Q.div (Q.make 1 2) (Q.make 1 4)) (Q.of_int 2));
+  ci "sign" (-1) (Q.sign (Q.make (-3) 7));
+  cb "compare" true (Q.compare (Q.make 1 3) (Q.make 1 2) < 0)
+
+let arb_small = QCheck.int_range (-30) 30
+
+let prop_rational_field =
+  QCheck.Test.make ~count:200 ~name:"rational: (a/b)*(b/a) = 1"
+    (QCheck.pair arb_small arb_small) (fun (a, b) ->
+      QCheck.assume (a <> 0 && b <> 0);
+      Q.equal (Q.mul (Q.make a b) (Q.make b a)) Q.one)
+
+let prop_rational_addsub =
+  QCheck.Test.make ~count:200 ~name:"rational: a + b - b = a"
+    (QCheck.triple arb_small arb_small arb_small) (fun (a, b, c) ->
+      QCheck.assume (c <> 0);
+      let x = Q.make a c and y = Q.make b c in
+      Q.equal (Q.sub (Q.add x y) y) x)
+
+(* ---------------- Fourier-Motzkin ---------------- *)
+
+module FM = Fourier_motzkin
+
+let test_fm_simple_infeasible () =
+  (* x >= 3 /\ x <= 2 *)
+  let cs =
+    [
+      FM.make_constr [ ("X", Q.one) ] (Q.of_int (-3));
+      FM.make_constr [ ("X", Q.neg Q.one) ] (Q.of_int 2);
+    ]
+  in
+  cb "3 <= x <= 2 infeasible" true (FM.solve cs = FM.Infeasible)
+
+let test_fm_simple_feasible () =
+  let cs =
+    [
+      FM.make_constr [ ("X", Q.one) ] (Q.of_int (-1));
+      FM.make_constr [ ("X", Q.neg Q.one) ] (Q.of_int 5);
+    ]
+  in
+  cb "1 <= x <= 5 feasible" true (FM.solve cs = FM.Maybe_feasible)
+
+let test_fm_coupled () =
+  (* x + y >= 10, x <= 4, y <= 4 : infeasible *)
+  let cs =
+    [
+      FM.make_constr [ ("X", Q.one); ("Y", Q.one) ] (Q.of_int (-10));
+      FM.make_constr [ ("X", Q.neg Q.one) ] (Q.of_int 4);
+      FM.make_constr [ ("Y", Q.neg Q.one) ] (Q.of_int 4);
+    ]
+  in
+  cb "x+y>=10 with x,y<=4 infeasible" true (FM.solve cs = FM.Infeasible)
+
+let test_fm_equation_feasible () =
+  (* 2x - y = 1 with x in [0,5], y in [0,5]: solvable (x=1,y=1) *)
+  let v =
+    FM.equation_feasible
+      ~coeffs:[ ("X", 2); ("Y", -1) ]
+      ~c0:(-1)
+      ~bounds:[ ("X", [ FM.Lower 0; FM.Upper 5 ]); ("Y", [ FM.Lower 0; FM.Upper 5 ]) ]
+  in
+  cb "2x - y = 1 feasible" true (v = FM.Maybe_feasible)
+
+let test_fm_equation_infeasible () =
+  (* x + y = 100 with x,y in [0,5] *)
+  let v =
+    FM.equation_feasible
+      ~coeffs:[ ("X", 1); ("Y", 1) ]
+      ~c0:(-100)
+      ~bounds:[ ("X", [ FM.Lower 0; FM.Upper 5 ]); ("Y", [ FM.Lower 0; FM.Upper 5 ]) ]
+  in
+  cb "x + y = 100 infeasible" true (v = FM.Infeasible)
+
+let prop_fm_point_feasible =
+  (* a system built around a known integer point is never Infeasible *)
+  QCheck.Test.make ~count:200 ~name:"fm: systems with a witness are feasible"
+    (QCheck.triple (QCheck.int_range (-5) 5) (QCheck.int_range (-5) 5)
+       (QCheck.pair (QCheck.int_range (-4) 4) (QCheck.int_range (-4) 4)))
+    (fun (x0, y0, (a, b)) ->
+      let c0 = -((a * x0) + (b * y0)) in
+      FM.equation_feasible
+        ~coeffs:[ ("X", a); ("Y", b) ]
+        ~c0
+        ~bounds:
+          [
+            ("X", [ FM.Lower (x0 - 2); FM.Upper (x0 + 2) ]);
+            ("Y", [ FM.Lower (y0 - 2); FM.Upper (y0 + 2) ]);
+          ]
+      = FM.Maybe_feasible)
+
+(* FM catches a coupled case Banerjee misses: write A(I+J), read A(I+J+5)
+   inside I,J both in [1,3]: per-variable intervals of the difference
+   (-D_I - D_J - 5 ... ) still straddle 0 if treated independently with
+   loose bounds, but the conjunction has no solution. *)
+let test_fm_dependence_integration () =
+  check_status
+    ("      PROGRAM T\n      DIMENSION A(100)\n      DO I = 1, 8\n        A(2*I) = A(2*I + 9) + 1.0\n      ENDDO\n      WRITE(6,*) A(1)\n      END\n")
+    "T" "I" "parallel"
+(* difference 2D = +-9: GCD(2) does not divide 9 -> caught by GCD; also
+   exercise a genuinely-FM case below *)
+
+let test_fm_bounded_distance () =
+  (* write A(I), read A(I+12), I in [1,10]: D = 12 > trip-1 = 9 *)
+  check_status
+    ("      PROGRAM T\n      DIMENSION A(100)\n      DO I = 1, 10\n        A(I) = A(I + 12) + 1.0\n      ENDDO\n      WRITE(6,*) A(1)\n      END\n")
+    "T" "I" "parallel"
+
+(* ---------------- direction vectors ---------------- *)
+
+let nest2 =
+  [
+    { Direction.nindex = "I"; nlo = Frontend.Ast.Int_const 1; nhi = Frontend.Ast.Int_const 10 };
+    { Direction.nindex = "J"; nlo = Frontend.Ast.Int_const 1; nhi = Frontend.Ast.Int_const 10 };
+  ]
+
+let u0 = parse_unit "      X = 1"
+
+let test_direction_equal_subscripts () =
+  (* A(I,J) vs A(I,J): only (=,=) *)
+  let vecs =
+    Direction.vectors u0 nest2
+      ~subs_a:[ Frontend.Ast.Var "I"; Frontend.Ast.Var "J" ]
+      ~subs_b:[ Frontend.Ast.Var "I"; Frontend.Ast.Var "J" ]
+  in
+  ci "one vector" 1 (List.length vecs);
+  cb "(=,=)" true (vecs = [ [ Direction.Eq; Direction.Eq ] ])
+
+let test_direction_shifted () =
+  (* A(I,J) vs A(I-1,J): source at I must be one less: direction (<,=) *)
+  let vecs =
+    Direction.vectors u0 nest2
+      ~subs_a:[ Frontend.Ast.Var "I"; Frontend.Ast.Var "J" ]
+      ~subs_b:
+        [
+          Frontend.Ast.Binop (Frontend.Ast.Sub, Frontend.Ast.Var "I", Frontend.Ast.Int_const 1);
+          Frontend.Ast.Var "J";
+        ]
+  in
+  ci "one vector" 1 (List.length vecs);
+  cb "(<,=)" true (vecs = [ [ Direction.Lt; Direction.Eq ] ]);
+  cb "carried at loop 0" true (Direction.carried_at 0 vecs);
+  cb "not carried at loop 1" false (Direction.carried_at 1 vecs)
+
+let test_direction_inner_carried () =
+  (* A(I,J) vs A(I,J+2): (=,<) *)
+  let vecs =
+    Direction.vectors u0 nest2
+      ~subs_a:[ Frontend.Ast.Var "I"; Frontend.Ast.Var "J" ]
+      ~subs_b:
+        [
+          Frontend.Ast.Var "I";
+          Frontend.Ast.Binop (Frontend.Ast.Add, Frontend.Ast.Var "J", Frontend.Ast.Int_const 2);
+        ]
+  in
+  cb "(=,>) feasible" true (List.mem [ Direction.Eq; Direction.Gt ] vecs);
+  cb "carried at inner" false (Direction.carried_at 0 vecs)
+
+(* ---------------- purity ---------------- *)
+
+let test_purity_pure_function () =
+  let p =
+    parse
+      "      PROGRAM T\n      X = SQ(2.0)\n      WRITE(6,*) X\n      END\n      REAL FUNCTION SQ(Y)\n      SQ = Y * Y\n      RETURN\n      END\n"
+  in
+  cb "SQ pure" true (Parallelizer.Purity.is_pure p "SQ")
+
+let test_purity_common_impure () =
+  let p =
+    parse
+      "      PROGRAM T\n      X = G(2.0)\n      END\n      REAL FUNCTION G(Y)\n      COMMON /C/ Z\n      G = Y + Z\n      END\n"
+  in
+  cb "COMMON makes impure" false (Parallelizer.Purity.is_pure p "G")
+
+let test_purity_param_write_impure () =
+  let p =
+    parse
+      "      PROGRAM T\n      X = H(Y)\n      END\n      REAL FUNCTION H(Y)\n      Y = 0.0\n      H = 1.0\n      END\n"
+  in
+  cb "writing a formal makes impure" false (Parallelizer.Purity.is_pure p "H")
+
+let test_pure_function_parallelization () =
+  let src =
+    "      PROGRAM T\n      DIMENSION A(100), B(100)\n      DO I = 1, 100\n        B(I) = I * 0.5\n      ENDDO\n      DO I = 1, 100\n        A(I) = SQ(B(I)) + 1.0\n      ENDDO\n      S = 0.0\n      DO I = 1, 100\n        S = S + A(I)\n      ENDDO\n      WRITE(6,*) S\n      END\n      REAL FUNCTION SQ(Y)\n      SQ = Y * Y\n      END\n"
+  in
+  let strict = Parallelizer.Parallelize.default_config in
+  let lax = { strict with allow_pure_functions = true } in
+  (* strict: the SQ-calling loop stays sequential (2 of 3 parallel) *)
+  ci "two parallel loops without purity" 2
+    (List.length
+       (List.filter (fun (u, _) -> u = "T") (marked_loops ~config:strict src)));
+  (* with purity allowed, all three parallelize *)
+  let marks = marked_loops ~config:lax src in
+  ci "three parallel loops with purity" 3
+    (List.length (List.filter (fun (u, _) -> u = "T") marks));
+  (* semantics across domains *)
+  let p = Core.Pipeline.normalize (parse src) in
+  let opt, _ = Parallelizer.Parallelize.run ~config:lax p in
+  Alcotest.(check string)
+    "pure-function parallel output" (run_str src)
+    (Runtime.Interp.run_program ~threads:4 opt)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_rational_field; prop_rational_addsub; prop_fm_point_feasible ]
+
+let suite =
+  [
+    ("rational: basics", `Quick, test_rational_basics);
+    ("fm: infeasible interval", `Quick, test_fm_simple_infeasible);
+    ("fm: feasible interval", `Quick, test_fm_simple_feasible);
+    ("fm: coupled constraints", `Quick, test_fm_coupled);
+    ("fm: equation feasible", `Quick, test_fm_equation_feasible);
+    ("fm: equation infeasible", `Quick, test_fm_equation_infeasible);
+    ("fm: GCD-strided loop", `Quick, test_fm_dependence_integration);
+    ("fm: bounded distance loop", `Quick, test_fm_bounded_distance);
+    ("direction: equal", `Quick, test_direction_equal_subscripts);
+    ("direction: forward shift", `Quick, test_direction_shifted);
+    ("direction: inner", `Quick, test_direction_inner_carried);
+    ("purity: pure function", `Quick, test_purity_pure_function);
+    ("purity: COMMON", `Quick, test_purity_common_impure);
+    ("purity: formal write", `Quick, test_purity_param_write_impure);
+    ("purity: enables parallelization", `Quick, test_pure_function_parallelization);
+  ]
+  @ qtests

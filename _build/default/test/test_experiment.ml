@@ -1,0 +1,153 @@
+(** Tests for the experiment utilities (output comparison, loop unmarking,
+    tuning) and a print/parse roundtrip property on random expressions. *)
+
+open Helpers
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+
+(* ---------------- outputs_equal ---------------- *)
+
+let test_outputs_equal_exact () =
+  cb "identical" true (Perfect.Experiment.outputs_equal "1 2\n" "1 2\n")
+
+let test_outputs_equal_tolerance () =
+  cb "close floats" true
+    (Perfect.Experiment.outputs_equal "6689.71\n" "6689.7100001\n");
+  cb "far floats" false (Perfect.Experiment.outputs_equal "6689.71\n" "6690.9\n")
+
+let test_outputs_equal_structure () =
+  cb "different line counts" false
+    (Perfect.Experiment.outputs_equal "1\n2\n" "1\n");
+  cb "non-numeric mismatch" false
+    (Perfect.Experiment.outputs_equal "DONE\n" "FAIL\n");
+  cb "mixed text equal" true
+    (Perfect.Experiment.outputs_equal "STOP: X\n" "STOP: X\n")
+
+(* ---------------- unmark ---------------- *)
+
+let test_unmark_strips_directives () =
+  let src =
+    "      PROGRAM T\n      DIMENSION A(100)\n      DO I = 1, 100\n        A(I) = I\n      ENDDO\n      WRITE(6,*) A(5)\n      END\n"
+  in
+  let p = Core.Pipeline.normalize (parse src) in
+  let opt, reps = Parallelizer.Parallelize.run p in
+  let marked =
+    List.filter_map
+      (fun (r : Parallelizer.Parallelize.loop_report) ->
+        if r.rep_marked then Some r.rep_loop_id else None)
+      reps
+  in
+  ci "one marked loop" 1 (List.length marked);
+  let stripped = Perfect.Experiment.unmark marked opt in
+  let still_marked =
+    List.exists
+      (fun u ->
+        List.exists
+          (fun (l : Frontend.Ast.do_loop) -> l.parallel <> None)
+          (Frontend.Ast.collect_loops u.Frontend.Ast.u_body))
+      stripped.Frontend.Ast.p_units
+  in
+  cb "all directives removed" false still_marked;
+  Alcotest.(check string)
+    "semantics unchanged" (run_str src)
+    (Runtime.Interp.run_program ~threads:4 stripped)
+
+let test_tune_only_unmarks () =
+  (* tuning may only remove directives, never add or change code *)
+  let b = Perfect.Trfd.bench in
+  let r =
+    Core.Pipeline.run
+      ~annots:(Perfect.Bench_def.annots b)
+      ~mode:Core.Pipeline.Annotation_based (Perfect.Bench_def.parse b)
+  in
+  let tuned = Perfect.Experiment.tune ~threads:4 r.res_program in
+  let count_loops p =
+    List.fold_left
+      (fun n u ->
+        n
+        + List.length (Frontend.Ast.collect_loops u.Frontend.Ast.u_body))
+      0 p.Frontend.Ast.p_units
+  in
+  ci "loop count preserved" (count_loops r.res_program) (count_loops tuned);
+  let marked p =
+    List.fold_left
+      (fun n u ->
+        n
+        + List.length
+            (List.filter
+               (fun (l : Frontend.Ast.do_loop) -> l.parallel <> None)
+               (Frontend.Ast.collect_loops u.Frontend.Ast.u_body)))
+      0 p.Frontend.Ast.p_units
+  in
+  cb "marks only removed" true (marked tuned <= marked r.res_program)
+
+(* ---------------- print/parse roundtrip on random expressions -------- *)
+
+let gen_pexpr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Frontend.Ast.Int_const (abs n)) (int_range 0 99);
+        map
+          (fun r -> Frontend.Ast.Real_const (float_of_int r *. 0.25))
+          (int_range 0 40);
+        oneofl
+          [ Frontend.Ast.Var "X"; Frontend.Ast.Var "I"; Frontend.Ast.Var "NP" ];
+        map
+          (fun k ->
+            Frontend.Ast.Array_ref ("A", [ Frontend.Ast.Int_const (abs k + 1) ]))
+          (int_range 0 5);
+      ]
+  in
+  let rec go d =
+    if d = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 4,
+            map2
+              (fun (op, a) b -> Frontend.Ast.Binop (op, a, b))
+              (pair
+                 (oneofl
+                    Frontend.Ast.[ Add; Sub; Mul; Div; Pow ])
+                 (go (d - 1)))
+              (go (d - 1)) );
+          (1, map (fun a -> Frontend.Ast.Unop (Frontend.Ast.Neg, a)) (go (d - 1)));
+        ]
+  in
+  go 3
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"pretty/parse roundtrip on expressions"
+    (QCheck.make ~print:Frontend.Pretty.expr_str gen_pexpr) (fun e ->
+      let printed = Frontend.Pretty.expr_str e in
+      let reparsed = parse_expr printed in
+      (* compare after double print: the printer canonicalizes parens *)
+      String.equal printed (Frontend.Pretty.expr_str reparsed))
+
+let prop_stmt_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"pretty/parse roundtrip on assignments"
+    (QCheck.make ~print:Frontend.Pretty.expr_str gen_pexpr) (fun e ->
+      let src =
+        Printf.sprintf "      PROGRAM T\n      Y = %s\n      END\n"
+          (Frontend.Pretty.expr_str e)
+      in
+      let p1 = parse src in
+      let p2 = parse (Frontend.Pretty.program_to_string p1) in
+      Frontend.Ast.equal_body
+        (List.hd p1.Frontend.Ast.p_units).u_body
+        (List.hd p2.Frontend.Ast.p_units).u_body)
+
+let suite =
+  [
+    ("outputs_equal: exact", `Quick, test_outputs_equal_exact);
+    ("outputs_equal: tolerance", `Quick, test_outputs_equal_tolerance);
+    ("outputs_equal: structure", `Quick, test_outputs_equal_structure);
+    ("unmark strips directives", `Quick, test_unmark_strips_directives);
+    ("tune only unmarks", `Quick, test_tune_only_unmarks);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_print_parse_roundtrip; prop_stmt_roundtrip ]

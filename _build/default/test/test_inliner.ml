@@ -1,0 +1,186 @@
+(** Conventional-inliner tests: eligibility heuristics, by-reference
+    offset substitution (the subscripted-subscript pathology), array
+    linearization, local renaming, and the paper's loss scenarios. *)
+
+open Frontend
+open Helpers
+
+let ci = Alcotest.(check int)
+let cb = Alcotest.(check bool)
+
+let inline ?config src =
+  Inliner.Inline.run ?config (parse src)
+
+let leaf_callee =
+  "      SUBROUTINE LEAF(X2)\n      DIMENSION X2(*)\n      DO I = 1, 10\n        X2(I) = I\n      ENDDO\n      END\n"
+
+let test_inline_inside_loop () =
+  let p, st =
+    inline
+      ("      PROGRAM T\n      DIMENSION A(100)\n      DO K = 1, 4\n        CALL LEAF(A(1))\n      ENDDO\n      END\n"
+      ^ leaf_callee)
+  in
+  ci "one call inlined" 1 (List.length st.inlined_calls);
+  let main = Ast.find_unit_exn p "T" in
+  cb "no CALL remains in main" true (Analysis.Usedef.calls main.u_body = [])
+
+let test_no_inline_outside_loop () =
+  let _, st =
+    inline
+      ("      PROGRAM T\n      DIMENSION A(100)\n      CALL LEAF(A(1))\n      END\n"
+      ^ leaf_callee)
+  in
+  ci "not inlined outside loops" 0 (List.length st.inlined_calls)
+
+let test_no_inline_with_io () =
+  let _, st =
+    inline
+      "      PROGRAM T\n      DO K = 1, 4\n        CALL NOISY\n      ENDDO\n      END\n      SUBROUTINE NOISY\n      WRITE(6,*) 'HI'\n      END\n"
+  in
+  cb "skipped for I/O" true
+    (List.exists (fun (_, _, why) -> why = "contains I/O") st.skipped)
+
+let test_no_inline_with_calls () =
+  let _, st =
+    inline
+      ("      PROGRAM T\n      DIMENSION A(100)\n      DO K = 1, 4\n        CALL MID(A)\n      ENDDO\n      END\n      SUBROUTINE MID(B)\n      DIMENSION B(*)\n      CALL LEAF(B(1))\n      END\n"
+      ^ leaf_callee)
+  in
+  cb "skipped for nested calls" true
+    (List.exists (fun (_, _, why) -> why = "calls other subroutines") st.skipped)
+
+let test_no_inline_too_big () =
+  let big_body =
+    String.concat "\n"
+      (List.init 160 (fun i -> Printf.sprintf "      X%d = %d" i i))
+  in
+  let _, st =
+    inline
+      (Printf.sprintf
+         "      PROGRAM T\n      DO K = 1, 4\n        CALL BIG\n      ENDDO\n      END\n      SUBROUTINE BIG\n%s\n      END\n"
+         big_body)
+    ~config:{ Inliner.Inline.max_stmts = 150 }
+  in
+  cb "skipped for size" true
+    (List.exists (fun (_, _, why) -> why = "too many statements") st.skipped)
+
+let test_offset_substitution () =
+  (* actual T(IX(7)): formal X2(I) must become T(IX(7) + I - 1) *)
+  let p, _ =
+    inline
+      ("      PROGRAM T\n      DIMENSION T(4096), IX(16)\n      DO K = 1, 4\n        CALL LEAF(T(IX(7)))\n      ENDDO\n      END\n"
+      ^ leaf_callee)
+  in
+  let main = Ast.find_unit_exn p "T" in
+  let found =
+    List.exists
+      (fun (a : Analysis.Usedef.access) ->
+        a.acc_write && a.acc_name = "T"
+        && List.exists
+             (fun idx ->
+               Ast.fold_expr
+                 (fun acc e ->
+                   acc || match e with Ast.Array_ref ("IX", _) -> true | _ -> false)
+                 false idx)
+             a.acc_index)
+      (Analysis.Usedef.accesses_of_stmts main.u_body)
+  in
+  cb "subscripted subscript created" true found
+
+let test_linearization_rewrites_all_refs () =
+  (* passing C(1,2) linearizes every C reference in the unit *)
+  let p, st =
+    inline
+      ("      PROGRAM T\n      DIMENSION C(8,8)\n      DO K = 1, 4\n        CALL LEAF(C(1,2))\n      ENDDO\n      C(3,4) = 1.0\n      END\n"
+      ^ leaf_callee)
+  in
+  cb "linearization recorded" true (List.mem ("T", "C") st.linearized);
+  let main = Ast.find_unit_exn p "T" in
+  let decl = Option.get (Ast.find_decl main "C") in
+  ci "C flattened to rank 1" 1 (List.length decl.d_dims);
+  let ok = ref true in
+  ignore
+    (Ast.map_exprs_in_stmts
+       (fun e ->
+         (match e with
+         | Ast.Array_ref ("C", idx) when List.length idx > 1 -> ok := false
+         | _ -> ());
+         e)
+       main.u_body);
+  cb "no rank-2 C references remain" true !ok
+
+let test_same_shape_renames () =
+  (* identical declared shapes: direct rename, no linearization *)
+  let p, st =
+    inline
+      "      PROGRAM T\n      DIMENSION A(8,8)\n      DO K = 1, 8\n        CALL FILL(A)\n      ENDDO\n      END\n      SUBROUTINE FILL(B)\n      DIMENSION B(8,8)\n      DO J = 1, 8\n        B(J,J) = J\n      ENDDO\n      END\n"
+  in
+  ci "nothing linearized" 0 (List.length st.linearized);
+  let main = Ast.find_unit_exn p "T" in
+  let found2d =
+    List.exists
+      (fun (a : Analysis.Usedef.access) ->
+        a.acc_name = "A" && List.length a.acc_index = 2)
+      (Analysis.Usedef.accesses_of_stmts main.u_body)
+  in
+  cb "A accessed 2-D after rename" true found2d
+
+let test_local_renaming_fresh () =
+  (* callee locals must not capture caller names *)
+  let src =
+    "      PROGRAM T\n      DIMENSION A(100)\n      TMP = 7.0\n      DO K = 1, 4\n        CALL ADD1(A)\n      ENDDO\n      WRITE(6,*) TMP\n      END\n      SUBROUTINE ADD1(B)\n      DIMENSION B(*)\n      TMP = 1.0\n      DO I = 1, 10\n        B(I) = B(I) + TMP\n      ENDDO\n      END\n"
+  in
+  let p, _ = inline src in
+  Alcotest.(check string)
+    "semantics preserved" (run_str src)
+    (Runtime.Interp.run_program p)
+
+let test_inlined_semantics_preserved () =
+  List.iter
+    (fun (b : Perfect.Bench_def.t) ->
+      let p, _ = Inliner.Inline.run (Perfect.Bench_def.parse b) in
+      Alcotest.(check string)
+        (b.name ^ " conventional inlining preserves output")
+        (Runtime.Interp.run_program (Perfect.Bench_def.parse b))
+        (Runtime.Interp.run_program p))
+    [ Perfect.Mdg.bench; Perfect.Trfd.bench; Perfect.Flo52q.bench ]
+
+let test_linear_index_formula () =
+  let open Ast in
+  let dims = [ Int_const 4; Int_const 5 ] in
+  let e =
+    Inliner.Linearize.linear_index dims [ Int_const 3; Int_const 2 ]
+  in
+  let u = parse_unit "      X = 1" in
+  Alcotest.check expr_testable "A(3,2) of 4x5 = 7"
+    (Ast.Int_const 7)
+    (Analysis.Simplify.simplify u e)
+
+let test_paper_loss_pcinit () =
+  (* Figs. 2-3: two formal arrays bound to indirect slices of one global
+     array; the distinct IX(7)/IX(8) base atoms defeat the dependence
+     tests after inlining although each formal was clean standalone *)
+  let src =
+    "      PROGRAM T\n      COMMON /C/ T(4096), IX(16), FX(256)\n      DO K = 1, 2\n        CALL PCINIT(T(IX(7)), T(IX(8)))\n      ENDDO\n      WRITE(6,*) T(1)\n      END\n      SUBROUTINE PCINIT(X2, Y2)\n      DIMENSION X2(*), Y2(*)\n      COMMON /C/ T(4096), IX(16), FX(256)\n      DO 200 N = 1, 8\n        DO 200 J = 1, 8\n          X2(8*(N-1) + J) = FX(8*(N-1) + J) * 0.5\n          Y2(8*(N-1) + J) = FX(8*(N-1) + J) * 0.25\n 200  CONTINUE\n      END\n"
+  in
+  let program = parse src in
+  let base = Core.Pipeline.run ~mode:Core.Pipeline.No_inlining program in
+  let conv = Core.Pipeline.run ~mode:Core.Pipeline.Conventional program in
+  let _, loss, _ = Core.Pipeline.table2_counts ~baseline:base conv in
+  ci "both PCINIT loops lost" 2 loss
+
+let suite =
+  [
+    ("inline inside loop", `Quick, test_inline_inside_loop);
+    ("no inline outside loop", `Quick, test_no_inline_outside_loop);
+    ("skip: I/O", `Quick, test_no_inline_with_io);
+    ("skip: nested calls", `Quick, test_no_inline_with_calls);
+    ("skip: too many statements", `Quick, test_no_inline_too_big);
+    ("offset substitution", `Quick, test_offset_substitution);
+    ("linearization rewrites unit", `Quick, test_linearization_rewrites_all_refs);
+    ("same shape renames", `Quick, test_same_shape_renames);
+    ("local renaming", `Quick, test_local_renaming_fresh);
+    ("semantics preserved (benchmarks)", `Quick, test_inlined_semantics_preserved);
+    ("linear index formula", `Quick, test_linear_index_formula);
+    ("paper: PCINIT loss", `Quick, test_paper_loss_pcinit);
+  ]

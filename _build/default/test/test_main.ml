@@ -1,0 +1,17 @@
+(* Test entry point: one alcotest runner over all suites. *)
+
+let () =
+  Alcotest.run "parinline"
+    [
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("dependence", Test_dependence.suite);
+      ("exact", Test_exact.suite);
+      ("inliner", Test_inliner.suite);
+      ("core", Test_core.suite);
+      ("runtime", Test_runtime.suite);
+      ("perfect", Test_perfect.suite);
+      ("soundness", Test_soundness.suite);
+      ("state", Test_state.suite);
+      ("experiment", Test_experiment.suite);
+    ]

@@ -1,0 +1,114 @@
+(** Suite-level integration tests: every PERFECT benchmark parses,
+    validates, runs identically under all three pipelines (sequentially
+    and across domains), and reproduces the paper's Table II shape. *)
+
+open Helpers
+
+let ci = Alcotest.(check int)
+let cb = Alcotest.(check bool)
+
+let test_twelve_benchmarks () =
+  ci "twelve applications" 12 (List.length Perfect.Suite.all)
+
+let test_parse_validate b () =
+  let p = Perfect.Bench_def.parse b in
+  cb "has MAIN" true
+    (List.exists (fun u -> u.Frontend.Ast.u_kind = Frontend.Ast.Main)
+       p.Frontend.Ast.p_units);
+  ci (b.Perfect.Bench_def.name ^ " validator issues") 0
+    (List.length (Frontend.Validate.check p));
+  ignore (Perfect.Bench_def.annots b)
+
+let test_outputs_agree b () =
+  cb (b.Perfect.Bench_def.name ^ " outputs agree across configs") true
+    (Perfect.Experiment.outputs_agree ~threads:3 b)
+
+let test_row_invariants b () =
+  let row = Perfect.Experiment.table2_row b in
+  (* annotation-based inlining never loses loops (the paper's claim) *)
+  ci (b.Perfect.Bench_def.name ^ " annot loss") 0 row.t2_annotation.m_loss;
+  cb "annot par >= baseline" true
+    (row.t2_annotation.m_par >= row.t2_no_inline.m_par);
+  cb "conventional extra <= annotation extra" true
+    (row.t2_conventional.m_extra <= row.t2_annotation.m_extra);
+  (* annotation-based output size ~ input + directives, never smaller *)
+  cb "annot size >= baseline" true
+    (row.t2_annotation.m_size >= row.t2_no_inline.m_size)
+
+let test_reverse_all_matched b () =
+  if String.trim b.Perfect.Bench_def.annotations <> "" then begin
+    let r =
+      Core.Pipeline.run
+        ~annots:(Perfect.Bench_def.annots b)
+        ~mode:Core.Pipeline.Annotation_based
+        (Perfect.Bench_def.parse b)
+    in
+    match r.res_reverse_stats with
+    | Some st ->
+        ci (b.Perfect.Bench_def.name ^ " fallbacks") 0 (List.length st.fallback);
+        ci (b.Perfect.Bench_def.name ^ " extraction mismatches") 0
+          st.extracted_mismatch
+    | None -> Alcotest.fail "reverse stats missing"
+  end
+
+let test_aggregate_shape () =
+  let rows = List.map Perfect.Experiment.table2_row Perfect.Suite.all in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let loss = sum (fun r -> r.Perfect.Experiment.t2_conventional.m_loss) in
+  let cextra = sum (fun r -> r.Perfect.Experiment.t2_conventional.m_extra) in
+  let aextra = sum (fun r -> r.Perfect.Experiment.t2_annotation.m_extra) in
+  ci "paper: conventional #par-loss = 90" 90 loss;
+  ci "paper: conventional #par-extra = 12" 12 cextra;
+  ci "paper: annotation #par-extra = 37" 37 aextra;
+  let gainers =
+    List.length
+      (List.filter
+         (fun r -> r.Perfect.Experiment.t2_annotation.m_extra > 0)
+         rows)
+  in
+  ci "paper: 6 of 12 benchmarks improve" 6 gainers;
+  let bsize = sum (fun r -> r.Perfect.Experiment.t2_no_inline.m_size) in
+  let csize = sum (fun r -> r.Perfect.Experiment.t2_conventional.m_size) in
+  cb "paper: conventional code grows (~10%)" true
+    (csize > bsize && float_of_int csize < 1.3 *. float_of_int bsize)
+
+let test_tuning_keeps_output () =
+  let b = Perfect.Mdg.bench in
+  let program = Perfect.Bench_def.parse b in
+  let annots = Perfect.Bench_def.annots b in
+  let r =
+    Core.Pipeline.run ~annots ~mode:Core.Pipeline.Annotation_based program
+  in
+  let tuned = Perfect.Experiment.tune ~threads:4 r.res_program in
+  Alcotest.(check string)
+    "tuned output" (run_str b.source)
+    (Runtime.Interp.run_program ~threads:4 tuned)
+
+let test_projection_bounds () =
+  let b = Perfect.Trfd.bench in
+  let r =
+    Core.Pipeline.run
+      ~annots:(Perfect.Bench_def.annots b)
+      ~mode:Core.Pipeline.Annotation_based
+      (Perfect.Bench_def.parse b)
+  in
+  let t = Perfect.Experiment.projected_time ~threads:4 r.res_program in
+  cb "projection positive" true (t > 0.0)
+
+let per_bench name f =
+  List.map
+    (fun (b : Perfect.Bench_def.t) ->
+      (Printf.sprintf "%s: %s" name b.name, `Quick, f b))
+    Perfect.Suite.all
+
+let suite =
+  [ ("suite: 12 benchmarks", `Quick, test_twelve_benchmarks) ]
+  @ per_bench "parse+validate" test_parse_validate
+  @ per_bench "outputs agree" test_outputs_agree
+  @ per_bench "row invariants" test_row_invariants
+  @ per_bench "reverse matched" test_reverse_all_matched
+  @ [
+      ("aggregate Table II shape", `Quick, test_aggregate_shape);
+      ("tuning keeps output", `Quick, test_tuning_keeps_output);
+      ("projection bounded", `Quick, test_projection_bounds);
+    ]

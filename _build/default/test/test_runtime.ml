@@ -1,0 +1,223 @@
+(** Runtime tests: interpreter semantics (arithmetic, intrinsics, COMMON
+    storage, by-reference arguments, adjustable dimensions), parallel
+    execution (privates, reductions, dynamic privatization through calls),
+    failure injection, and the worker pool. *)
+
+open Helpers
+
+let cs = Alcotest.(check string)
+let cb = Alcotest.(check bool)
+
+let expect src out = cs "program output" out (run_str src)
+
+let test_arith () =
+  expect "      PROGRAM T\n      I = 7 / 2\n      X = 7.0 / 2.0\n      J = 2 ** 10\n      WRITE(6,*) I, X, J\n      END\n"
+    "3 3.5 1024\n"
+
+let test_mixed_arith () =
+  expect "      PROGRAM T\n      X = 1 + 0.5\n      I = 3.9\n      WRITE(6,*) X, I\n      END\n"
+    "1.5 3\n"
+
+let test_intrinsics () =
+  expect
+    "      PROGRAM T\n      WRITE(6,*) MAX(3, 7), MIN(2.5, 1.5), ABS(-4), MOD(17, 5), SQRT(16.0)\n      END\n"
+    "7 1.5 4 2 4\n"
+
+let test_logical () =
+  expect
+    "      PROGRAM T\n      I = 3\n      IF (I .GT. 2 .AND. I .LT. 5) WRITE(6,*) 'YES'\n      IF (.NOT. (I .EQ. 3)) WRITE(6,*) 'NO'\n      END\n"
+    "YES\n"
+
+let test_do_semantics () =
+  (* zero-trip loop, negative step, index value after loop *)
+  expect
+    "      PROGRAM T\n      N = 0\n      DO I = 5, 1\n        N = N + 1\n      ENDDO\n      DO I = 6, 2, -2\n        N = N + 10\n      ENDDO\n      WRITE(6,*) N\n      END\n"
+    "30\n"
+
+let test_common_shared () =
+  expect
+    "      PROGRAM T\n      COMMON /C/ X, N\n      X = 1.5\n      N = 2\n      CALL BUMP\n      WRITE(6,*) X, N\n      END\n      SUBROUTINE BUMP\n      COMMON /C/ X, N\n      X = X * 2.0\n      N = N + 1\n      END\n"
+    "3 3\n"
+
+let test_byref_scalar () =
+  expect
+    "      PROGRAM T\n      X = 1.0\n      CALL TWICE(X)\n      WRITE(6,*) X\n      END\n      SUBROUTINE TWICE(Y)\n      Y = Y * 2.0\n      END\n"
+    "2\n"
+
+let test_byvalue_expression_arg () =
+  (* writes to a formal bound to an expression are lost, not crashing *)
+  expect
+    "      PROGRAM T\n      X = 3.0\n      CALL TWICE(X + 1.0)\n      WRITE(6,*) X\n      END\n      SUBROUTINE TWICE(Y)\n      Y = Y * 2.0\n      END\n"
+    "3\n"
+
+let test_array_slice_view () =
+  (* passing A(3) gives the callee a view starting at element 3 *)
+  expect
+    "      PROGRAM T\n      DIMENSION A(10)\n      DO I = 1, 10\n        A(I) = I\n      ENDDO\n      CALL ZAP(A(3))\n      WRITE(6,*) A(3), A(4), A(2)\n      END\n      SUBROUTINE ZAP(B)\n      DIMENSION B(*)\n      B(1) = -1.0\n      B(2) = -2.0\n      END\n"
+    "-1 -2 2\n"
+
+let test_adjustable_dims () =
+  (* formal reshaped by its declaration using another formal *)
+  expect
+    "      PROGRAM T\n      DIMENSION A(12)\n      DO I = 1, 12\n        A(I) = I\n      ENDDO\n      CALL PICK(A, 3)\n      END\n      SUBROUTINE PICK(B, LD)\n      DIMENSION B(LD, 4)\n      WRITE(6,*) B(2, 3)\n      END\n"
+    "8\n"
+
+let test_reshaped_common_after_linearization () =
+  (* different units may declare different shapes over one COMMON block *)
+  expect
+    "      PROGRAM T\n      COMMON /C/ A(3,4)\n      A(2,2) = 9.0\n      CALL FLAT\n      END\n      SUBROUTINE FLAT\n      COMMON /C/ A(12)\n      WRITE(6,*) A(5)\n      END\n"
+    "9\n"
+
+let test_function_call () =
+  expect
+    "      PROGRAM T\n      X = SQ(3.0) + SQ(4.0)\n      WRITE(6,*) X\n      END\n      REAL FUNCTION SQ(Y)\n      SQ = Y * Y\n      END\n"
+    "25\n"
+
+let test_stop_message () =
+  expect
+    "      PROGRAM T\n      X = 1.0\n      IF (X .GT. 0.0) STOP 'BOOM'\n      WRITE(6,*) 'UNREACHED'\n      END\n"
+    "STOP: BOOM\n"
+
+let test_return_early () =
+  expect
+    "      PROGRAM T\n      CALL S\n      WRITE(6,*) 'AFTER'\n      END\n      SUBROUTINE S\n      WRITE(6,*) 'IN'\n      RETURN\n      END\n"
+    "IN\nAFTER\n"
+
+let test_out_of_bounds_raises () =
+  let src =
+    "      PROGRAM T\n      DIMENSION A(4,4)\n      I = 9\n      A(I, 2) = 1.0\n      END\n"
+  in
+  cb "interior bound violation raises" true
+    (try
+       ignore (run_str src);
+       false
+     with Runtime.Value.Runtime_error _ -> true)
+
+let test_storage_overflow_raises () =
+  let src =
+    "      PROGRAM T\n      DIMENSION A(4)\n      I = 9\n      A(I) = 1.0\n      END\n"
+  in
+  cb "storage overflow raises" true
+    (try
+       ignore (run_str src);
+       false
+     with Runtime.Value.Runtime_error _ -> true)
+
+(* ---------------- parallel execution ---------------- *)
+
+let mark_all src =
+  (* run the real pipeline so directives are sound *)
+  let p = Core.Pipeline.normalize (parse src) in
+  fst (Parallelizer.Parallelize.run p)
+
+let par_equals_seq src =
+  let opt = mark_all src in
+  let seq = Runtime.Interp.run_program ~threads:1 opt in
+  let par = Runtime.Interp.run_program ~threads:4 opt in
+  cs "parallel = sequential" seq par;
+  cs "optimized = original" (run_str src) seq
+
+let test_parallel_simple () =
+  par_equals_seq
+    "      PROGRAM T\n      DIMENSION A(1000)\n      DO I = 1, 1000\n        A(I) = I * 2\n      ENDDO\n      S = 0.0\n      DO I = 1, 1000\n        S = S + A(I)\n      ENDDO\n      WRITE(6,*) S\n      END\n"
+
+let test_parallel_private_scalar () =
+  par_equals_seq
+    "      PROGRAM T\n      DIMENSION A(200), B(200)\n      DO I = 1, 200\n        A(I) = I\n      ENDDO\n      DO I = 1, 200\n        T1 = A(I) * 2.0\n        T2 = T1 + 1.0\n        B(I) = T2\n      ENDDO\n      WRITE(6,*) B(200)\n      END\n"
+
+let test_parallel_reduction_int () =
+  par_equals_seq
+    "      PROGRAM T\n      N = 0\n      DO I = 1, 500\n        N = N + I\n      ENDDO\n      WRITE(6,*) N\n      END\n"
+
+let test_parallel_max_reduction () =
+  par_equals_seq
+    "      PROGRAM T\n      DIMENSION A(300)\n      DO I = 1, 300\n        A(I) = MOD(I * 37, 101)\n      ENDDO\n      M = 0\n      DO I = 1, 300\n        M = MAX(M, A(I))\n      ENDDO\n      WRITE(6,*) M\n      END\n"
+
+let test_parallel_dynamic_privatization () =
+  (* the FSMP pattern: a COMMON temp written by a callee inside a parallel
+     loop resolves to the worker's private copy *)
+  let src =
+    "      PROGRAM T\n      COMMON /W/ TMP(64)\n      DIMENSION OUT(64)\n      DO I = 1, 64\n        CALL FILL(I)\n        S = 0.0\n        DO K = 1, 64\n          S = S + TMP(K)\n        ENDDO\n        OUT(I) = S\n      ENDDO\n      WRITE(6,*) OUT(1), OUT(64), TMP(2)\n      END\n      SUBROUTINE FILL(I)\n      COMMON /W/ TMP(64)\n      DO K = 1, 64\n        TMP(K) = I + K\n      ENDDO\n      END\n"
+  in
+  (* annotate FILL so the I loop parallelizes *)
+  let annots =
+    Core.Annot_parser.parse_annotations
+      "subroutine FILL(I) { TMP = unknown(I); }"
+  in
+  let r =
+    Core.Pipeline.run ~annots ~mode:Core.Pipeline.Annotation_based (parse src)
+  in
+  let marked =
+    List.exists
+      (fun (rep : Parallelizer.Parallelize.loop_report) ->
+        rep.rep_unit = "T" && rep.rep_index = "I" && rep.rep_marked)
+      r.res_reports
+  in
+  cb "I loop parallel" true marked;
+  cs "dynamic privatization output" (run_str src)
+    (Runtime.Interp.run_program ~threads:4 r.res_program)
+
+let test_parallel_nested_runs_sequential () =
+  par_equals_seq
+    "      PROGRAM T\n      DIMENSION C(32,32)\n      DO J = 1, 32\n        DO I = 1, 32\n          C(I,J) = I + J * 2\n        ENDDO\n      ENDDO\n      WRITE(6,*) C(32,32)\n      END\n"
+
+let test_pool_parallel_for () =
+  let pool = Runtime.Pool.create 4 in
+  let hits = Array.make 64 0 in
+  Runtime.Pool.parallel_for pool ~chunks:64 (fun c -> hits.(c) <- hits.(c) + 1);
+  Runtime.Pool.shutdown pool;
+  cb "every chunk ran exactly once" true (Array.for_all (( = ) 1) hits)
+
+let test_pool_propagates_exception () =
+  let pool = Runtime.Pool.create 4 in
+  let raised =
+    try
+      Runtime.Pool.parallel_for pool ~chunks:8 (fun c ->
+          if c = 5 then failwith "boom");
+      false
+    with Failure m -> m = "boom"
+  in
+  Runtime.Pool.shutdown pool;
+  cb "exception surfaced" true raised
+
+let test_pool_reusable () =
+  let pool = Runtime.Pool.create 3 in
+  let total = ref 0 in
+  let m = Mutex.create () in
+  for _ = 1 to 50 do
+    Runtime.Pool.parallel_for pool ~chunks:7 (fun _ ->
+        Mutex.lock m;
+        incr total;
+        Mutex.unlock m)
+  done;
+  Runtime.Pool.shutdown pool;
+  Alcotest.(check int) "350 tasks" 350 !total
+
+let suite =
+  [
+    ("interp: arithmetic", `Quick, test_arith);
+    ("interp: mixed arithmetic", `Quick, test_mixed_arith);
+    ("interp: intrinsics", `Quick, test_intrinsics);
+    ("interp: logicals", `Quick, test_logical);
+    ("interp: DO semantics", `Quick, test_do_semantics);
+    ("interp: COMMON shared", `Quick, test_common_shared);
+    ("interp: by-reference scalars", `Quick, test_byref_scalar);
+    ("interp: expression arguments", `Quick, test_byvalue_expression_arg);
+    ("interp: array slice views", `Quick, test_array_slice_view);
+    ("interp: adjustable dims", `Quick, test_adjustable_dims);
+    ("interp: reshaped COMMON", `Quick, test_reshaped_common_after_linearization);
+    ("interp: functions", `Quick, test_function_call);
+    ("interp: STOP", `Quick, test_stop_message);
+    ("interp: RETURN", `Quick, test_return_early);
+    ("fault: interior bounds", `Quick, test_out_of_bounds_raises);
+    ("fault: storage overflow", `Quick, test_storage_overflow_raises);
+    ("parallel: simple + reduction", `Quick, test_parallel_simple);
+    ("parallel: private scalars", `Quick, test_parallel_private_scalar);
+    ("parallel: integer reduction", `Quick, test_parallel_reduction_int);
+    ("parallel: max reduction", `Quick, test_parallel_max_reduction);
+    ("parallel: dynamic privatization", `Quick, test_parallel_dynamic_privatization);
+    ("parallel: nested", `Quick, test_parallel_nested_runs_sequential);
+    ("pool: coverage", `Quick, test_pool_parallel_for);
+    ("pool: exceptions", `Quick, test_pool_propagates_exception);
+    ("pool: reuse", `Quick, test_pool_reusable);
+  ]

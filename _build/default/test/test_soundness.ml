@@ -1,0 +1,167 @@
+(** Property-based soundness: randomly generated loop programs must
+    produce the same output after any pipeline configuration, sequentially
+    and across domains.  This exercises the dependence tests,
+    privatization, reductions, peeling, the inliners and the runtime
+    against each other -- if the parallelizer ever marks an unsafe loop,
+    the domain run diverges and the property fails. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Random straight-line loop programs over A(60), B(60), C(60)          *)
+(* ------------------------------------------------------------------ *)
+
+type idx = Plain | Shift of int | Stride2 | Fixed of int
+
+let idx_str v = function
+  | Plain -> v
+  | Shift k -> if k >= 0 then Printf.sprintf "%s+%d" v k else Printf.sprintf "%s-%d" v (-k)
+  | Stride2 -> Printf.sprintf "2*%s" v
+  | Fixed k -> string_of_int k
+
+type rhs_term = Rarr of string * idx | Rvar of string | Rconst of int
+
+type stmt =
+  | Sassign of string * idx * rhs_term * rhs_term  (** a(i) = t1 + t2 *)
+  | Sreduce of rhs_term  (** s = s + t *)
+  | Stemp of rhs_term  (** tmp = t; a(i) uses tmp via next assign *)
+
+type loop = { body : stmt list; lo : int; hi : int }
+
+let gen_idx =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, return Plain);
+        (2, map (fun k -> Shift k) (int_range (-2) 2));
+        (1, return Stride2);
+        (1, map (fun k -> Fixed k) (int_range 1 10));
+      ])
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun a i -> Rarr (a, i)) (oneofl [ "A"; "B"; "C" ]) gen_idx);
+        (1, map (fun k -> Rconst k) (int_range 1 9));
+        (1, return (Rvar "I"));
+      ])
+
+let gen_stmt =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map2
+            (fun (a, i) (t1, t2) -> Sassign (a, i, t1, t2))
+            (pair (oneofl [ "A"; "B"; "C" ]) gen_idx)
+            (pair gen_term gen_term) );
+        (1, map (fun t -> Sreduce t) gen_term);
+        (1, map (fun t -> Stemp t) gen_term);
+      ])
+
+let gen_loop =
+  QCheck.Gen.(
+    map2
+      (fun body hi -> { body; lo = 3; hi })
+      (list_size (int_range 1 4) gen_stmt)
+      (int_range 20 28))
+
+let gen_prog = QCheck.Gen.(list_size (int_range 1 3) gen_loop)
+
+let term_str = function
+  | Rarr (a, i) -> Printf.sprintf "%s(%s)" a (idx_str "I" i)
+  | Rvar v -> v
+  | Rconst k -> Printf.sprintf "%d.0" k
+
+let stmt_str = function
+  | Sassign (a, i, t1, t2) ->
+      Printf.sprintf "        %s(%s) = %s + %s" a (idx_str "I" i) (term_str t1)
+        (term_str t2)
+  | Sreduce t -> Printf.sprintf "        S = S + %s" (term_str t)
+  | Stemp t ->
+      Printf.sprintf "        TMP = %s * 0.5\n        C(I) = TMP + 1.0"
+        (term_str t)
+
+let prog_str loops =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "      PROGRAM T\n";
+  Buffer.add_string buf "      DIMENSION A(60), B(60), C(60)\n";
+  Buffer.add_string buf "      S = 0.0\n";
+  Buffer.add_string buf
+    "      DO I = 1, 60\n        A(I) = MOD(I, 7) * 0.5\n        B(I) = \
+     MOD(I, 5) * 0.25\n        C(I) = I * 0.125\n      ENDDO\n";
+  List.iter
+    (fun l ->
+      Buffer.add_string buf (Printf.sprintf "      DO I = %d, %d\n" l.lo l.hi);
+      List.iter
+        (fun s -> Buffer.add_string buf (stmt_str s ^ "\n"))
+        l.body;
+      Buffer.add_string buf "      ENDDO\n")
+    loops;
+  Buffer.add_string buf
+    "      DO I = 1, 60\n        S = S + A(I) + B(I) * 2.0 + C(I) * 3.0\n\
+    \      ENDDO\n      WRITE(6,*) S\n      END\n";
+  Buffer.contents buf
+
+let arb_prog = QCheck.make ~print:prog_str gen_prog
+
+(* Outputs equal up to reduction reordering (tiny float tolerance). *)
+let agree a b =
+  String.equal a b
+  ||
+  match (float_of_string_opt (String.trim a), float_of_string_opt (String.trim b)) with
+  | Some x, Some y ->
+      Float.abs (x -. y) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> false
+
+let prop_pipeline_sound mode_name mode =
+  QCheck.Test.make ~count:60
+    ~name:(Printf.sprintf "random programs: %s pipeline is sound" mode_name)
+    arb_prog (fun loops ->
+      let src = prog_str loops in
+      let program = parse src in
+      let reference = Runtime.Interp.run_program ~threads:1 program in
+      let r = Core.Pipeline.run ~mode program in
+      let seq = Runtime.Interp.run_program ~threads:1 r.res_program in
+      let par = Runtime.Interp.run_program ~threads:4 r.res_program in
+      agree seq reference && agree par reference)
+
+(* The conventional inliner on a generated callee: semantics preserved. *)
+let prop_inliner_sound =
+  QCheck.Test.make ~count:40 ~name:"random programs: inlined callee is sound"
+    arb_prog (fun loops ->
+      (* wrap the generated loops in a subroutine called from a loop *)
+      let body =
+        String.concat "\n"
+          (List.map
+             (fun l ->
+               Printf.sprintf "      DO I = %d, %d\n%s\n      ENDDO" l.lo l.hi
+                 (String.concat "\n" (List.map stmt_str l.body)))
+             loops)
+      in
+      let src =
+        Printf.sprintf
+          "      PROGRAM T\n      COMMON /D/ A(60), B(60), C(60)\n      DO I \
+           = 1, 60\n        A(I) = MOD(I, 7) * 0.5\n        B(I) = MOD(I, 5) \
+           * 0.25\n        C(I) = I * 0.125\n      ENDDO\n      DO K = 1, 3\n\
+          \        CALL WORK\n      ENDDO\n      S = 0.0\n      DO I = 1, \
+           60\n        S = S + A(I) + B(I) + C(I)\n      ENDDO\n      \
+           WRITE(6,*) S\n      END\n      SUBROUTINE WORK\n      COMMON /D/ \
+           A(60), B(60), C(60)\n      S = 0.0\n%s\n      END\n"
+          body
+      in
+      let program = parse src in
+      let reference = Runtime.Interp.run_program ~threads:1 program in
+      let inlined, _ = Inliner.Inline.run program in
+      agree (Runtime.Interp.run_program ~threads:1 inlined) reference)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pipeline_sound "no-inlining" Core.Pipeline.No_inlining;
+      prop_pipeline_sound "conventional" Core.Pipeline.Conventional;
+      prop_inliner_sound;
+    ]
+
+let suite = qsuite
