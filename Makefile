@@ -1,0 +1,28 @@
+# Development driver.  `make check` is the tier-1 gate: full build, the
+# test suite, and a regression budget on bare failure points in lib/
+# (structured diagnostics via Diag are the sanctioned channel; see
+# DESIGN.md, "Failure semantics").
+
+# Bare `failwith` / `assert false` occurrences allowed in lib/ outside
+# the Diag modules.  May go down, must not go up.
+FAILWITH_BUDGET := 15
+
+.PHONY: all test failwith-budget check
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+failwith-budget:
+	@n=$$(grep -c 'failwith\|assert false' lib/*/*.ml \
+	      | grep -v '/diag\.ml' | awk -F: '{s+=$$2} END {print s+0}'); \
+	if [ $$n -gt $(FAILWITH_BUDGET) ]; then \
+	  echo "FAIL: $$n bare failwith/assert-false in lib/ (budget $(FAILWITH_BUDGET)) — raise a Diag instead"; \
+	  exit 1; \
+	else \
+	  echo "failwith budget OK ($$n/$(FAILWITH_BUDGET))"; \
+	fi
+
+check: all test failwith-budget

@@ -5,22 +5,39 @@
      parinline report   FILE.f [--annot FILE.annot]
      parinline run      FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
 
-   MODE is one of: none | conventional | annotation (default: annotation). *)
+   MODE is one of: none | conventional | annotation (default: annotation).
+
+   Robustness flags (all commands taking FILE.f):
+     --keep-going     salvage what parses/optimizes, accumulating diagnostics
+     --max-errors N   stop after N errors in --keep-going mode (default 20)
+     --fuel N         (run) trap execution after ~N loop iterations + calls
+
+   Exit codes: 0 = clean, 1 = diagnostics emitted but work salvaged,
+   2 = fatal (nothing usable produced). *)
 
 open Cmdliner
 
+let fail_cli fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("parinline: " ^ s);
+      exit 2)
+    fmt
+
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  if not (Sys.file_exists path) then fail_cli "no such file: %s" path;
+  match open_in_bin path with
+  | exception Sys_error m -> fail_cli "%s" m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
 
 let mode_of_string = function
   | "none" | "no-inlining" -> Core.Pipeline.No_inlining
   | "conventional" -> Core.Pipeline.Conventional
   | "annotation" | "annotation-based" -> Core.Pipeline.Annotation_based
-  | m -> failwith ("unknown mode: " ^ m)
+  | m -> fail_cli "unknown mode %S (expected none | conventional | annotation)" m
 
 let load source_file annot_file =
   let source = read_file source_file in
@@ -29,38 +46,106 @@ let load source_file annot_file =
   in
   (source, annot_source)
 
-let compile_run source_file annot_file mode out =
+let print_diags ds =
+  List.iter (fun d -> prerr_endline (Core.Diag.render d)) ds
+
+(* Exit per the contract once all output is flushed: 1 when any error
+   diagnostic was salvaged, 0 otherwise (warnings alone stay 0). *)
+let finish_with ds = if Core.Diag.errors_in ds > 0 then exit 1
+
+(* Run [f ()] under the strict pipeline, converting the first fault into a
+   rendered diagnostic and exit 2. *)
+let strict f =
+  match f () with
+  | r -> r
+  | exception Core.Diag.Fatal d ->
+      prerr_endline (Core.Diag.render d);
+      exit 2
+  | exception Core.Annot_parser.Annot_parse_error m ->
+      fail_cli "annotation file rejected: %s" m
+
+(* Run [f ()] under the salvaging pipeline; the error cap aborts. *)
+let robust f =
+  match f () with
+  | r -> r
+  | exception Core.Diag.Error_limit n ->
+      fail_cli "error limit (%d) reached; giving up" n
+
+let compile_run source_file annot_file mode out keep_going max_errors =
+  let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
   let r =
-    Core.Pipeline.run_source ~mode:(mode_of_string mode) ~annot_source source
+    if keep_going then
+      robust (fun () ->
+          Core.Pipeline.run_source_robust ~max_errors ~mode ~annot_source
+            source)
+    else strict (fun () -> Core.Pipeline.run_source ~mode ~annot_source source)
   in
   let text = Frontend.Pretty.program_to_string r.res_program in
   (match out with
   | Some path ->
       let oc = open_out path in
-      output_string oc text;
-      close_out oc
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text)
   | None -> print_string text);
-  Printf.eprintf "parallel loops: %d, code size: %d lines\n"
+  print_diags r.res_diags;
+  Printf.eprintf "parallel loops: %d, code size: %d lines%s\n"
     (List.length r.res_marked) r.res_code_size
+    (match Core.Diag.summary r.res_diags with
+    | "" -> ""
+    | s -> " (" ^ s ^ ")");
+  finish_with r.res_diags
 
-let report_run source_file annot_file =
+let report_run source_file annot_file keep_going max_errors =
   let source, annot_source = load source_file annot_file in
   (* parse once so loop ids are comparable across configurations *)
-  let program = Frontend.Resolve.parse source in
-  let annots =
-    if String.trim annot_source = "" then []
-    else Core.Annot_parser.parse_annotations annot_source
+  let program, annots, parse_diags =
+    if keep_going then
+      robust (fun () ->
+          let p, ds = Frontend.Resolve.parse_robust ~max_errors source in
+          let annots, ads =
+            if String.trim annot_source = "" then ([], [])
+            else
+              match Core.Annot_parser.parse_annotations annot_source with
+              | a -> (a, [])
+              | exception Core.Annot_parser.Annot_parse_error m ->
+                  ( [],
+                    [
+                      Core.Diag.make Core.Diag.Annot
+                        ("annotation file rejected ("
+                        ^ m
+                        ^ "); continuing without annotations");
+                    ] )
+          in
+          (p, annots, ds @ ads))
+    else
+      strict (fun () ->
+          let p = Frontend.Resolve.parse source in
+          let annots =
+            if String.trim annot_source = "" then []
+            else Core.Annot_parser.parse_annotations annot_source
+          in
+          (p, annots, []))
   in
-  let base =
-    Core.Pipeline.run ~mode:Core.Pipeline.No_inlining ~annots program
+  let run_mode mode =
+    if keep_going then Core.Pipeline.run_robust ~annots ~mode program
+    else strict (fun () -> Core.Pipeline.run ~annots ~mode program)
   in
+  let all_diags = ref parse_diags in
+  let base = run_mode Core.Pipeline.No_inlining in
   List.iter
     (fun mode ->
-      let r = Core.Pipeline.run ~mode ~annots program in
+      let r = if mode = Core.Pipeline.No_inlining then base else run_mode mode in
+      all_diags := !all_diags @ r.res_diags;
       let par, loss, extra = Core.Pipeline.table2_counts ~baseline:base r in
-      Printf.printf "%-18s #par-loops=%3d  #par-loss=%3d  #par-extra=%3d  size=%5d\n"
-        (Core.Pipeline.mode_name mode) par loss extra r.res_code_size;
+      Printf.printf
+        "%-18s #par-loops=%3d  #par-loss=%3d  #par-extra=%3d  size=%5d%s\n"
+        (Core.Pipeline.mode_name mode) par loss extra r.res_code_size
+        (match Core.Diag.summary r.res_diags with
+        | "" -> ""
+        | s -> "  [" ^ s ^ "]")
+      ;
       List.iter
         (fun (rep : Parallelizer.Parallelize.loop_report) ->
           Printf.printf "  [%s] loop %d (DO %s): %s%s\n" rep.rep_unit
@@ -73,26 +158,46 @@ let report_run source_file annot_file =
              else ""))
         r.res_reports)
     [ Core.Pipeline.No_inlining; Core.Pipeline.Conventional;
-      Core.Pipeline.Annotation_based ]
+      Core.Pipeline.Annotation_based ];
+  print_diags parse_diags;
+  finish_with !all_diags
 
-let exec_run source_file annot_file mode threads =
+let exec_run source_file annot_file mode threads keep_going max_errors fuel =
+  let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
   let r =
-    Core.Pipeline.run_source ~mode:(mode_of_string mode) ~annot_source source
+    if keep_going then
+      robust (fun () ->
+          Core.Pipeline.run_source_robust ~max_errors ~mode ~annot_source
+            source)
+    else strict (fun () -> Core.Pipeline.run_source ~mode ~annot_source source)
   in
+  print_diags r.res_diags;
+  let fuel = if fuel <= 0 then None else Some fuel in
   let t0 = Unix.gettimeofday () in
-  let output = Runtime.Interp.run_program ~threads r.res_program in
-  let dt = Unix.gettimeofday () -. t0 in
-  print_string output;
-  Printf.eprintf "elapsed: %.3fs (threads=%d)\n" dt threads
+  match Runtime.Interp.run_program ~threads ?fuel r.res_program with
+  | output ->
+      let dt = Unix.gettimeofday () -. t0 in
+      print_string output;
+      Printf.eprintf "elapsed: %.3fs (threads=%d)\n" dt threads;
+      finish_with r.res_diags
+  | exception Runtime.Interp.Trap d ->
+      print_diags (r.res_diags @ [ d ]);
+      exit 1
+  | exception Runtime.Value.Runtime_error m ->
+      prerr_endline (Core.Diag.render (Core.Diag.make Core.Diag.Exec m));
+      exit 2
 
 (* ---- cmdliner plumbing ---- *)
 
+(* positional FILE argument as a plain string: existence is checked by
+   [read_file] so the missing-file path owns the exit-2 contract instead
+   of cmdliner's generic 124 *)
 let source_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.f")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.f")
 
 let annot_arg =
-  Arg.(value & opt (some file) None & info [ "annot" ] ~docv:"FILE.annot")
+  Arg.(value & opt (some string) None & info [ "annot" ] ~docv:"FILE.annot")
 
 let mode_arg =
   Arg.(value & opt string "annotation" & info [ "mode" ] ~docv:"MODE")
@@ -100,38 +205,73 @@ let mode_arg =
 let out_arg = Arg.(value & opt (some string) None & info [ "o"; "output" ])
 let threads_arg = Arg.(value & opt int 4 & info [ "threads" ])
 
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "k"; "keep-going" ]
+        ~doc:"Salvage what parses and optimizes, accumulating diagnostics.")
+
+let max_errors_arg =
+  Arg.(
+    value
+    & opt int Core.Diag.default_max_errors
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:"Give up after $(docv) errors in --keep-going mode.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Trap execution after roughly $(docv) loop iterations plus calls \
+           (0 = unlimited).")
+
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Optimize a program and print the result")
-    Term.(const compile_run $ source_arg $ annot_arg $ mode_arg $ out_arg)
+    Term.(
+      const compile_run $ source_arg $ annot_arg $ mode_arg $ out_arg
+      $ keep_going_arg $ max_errors_arg)
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Compare the three inlining configurations")
-    Term.(const report_run $ source_arg $ annot_arg)
+    Term.(
+      const report_run $ source_arg $ annot_arg $ keep_going_arg
+      $ max_errors_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize then execute a program")
-    Term.(const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg)
+    Term.(
+      const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
+      $ keep_going_arg $ max_errors_arg $ fuel_arg)
 
 let bench_run name threads =
   match Perfect.Suite.find name with
-  | None ->
-      Printf.eprintf "unknown benchmark %s\n" name;
-      exit 1
-  | Some b ->
-      let row = Perfect.Experiment.table2_row b in
-      Printf.printf "%s: %s\n" b.name b.description;
-      let show label (c : Perfect.Experiment.mode_cells) =
-        Printf.printf "  %-16s par=%3d loss=%3d extra=%3d size=%5d\n" label
-          c.m_par c.m_loss c.m_extra c.m_size
-      in
-      show "no-inlining" row.t2_no_inline;
-      show "conventional" row.t2_conventional;
-      show "annotation" row.t2_annotation;
-      let f = Perfect.Experiment.fig20_row ~threads b in
-      Printf.printf
-        "  fig20 (threads=%d): seq=%.3fs  speedups: none=%.2f conv=%.2f annot=%.2f\n"
-        threads f.f_seq f.f_no_inline f.f_conventional f.f_annotation
+  | None -> fail_cli "unknown benchmark %s" name
+  | Some b -> (
+      match
+        let row = Perfect.Experiment.table2_row b in
+        Printf.printf "%s: %s\n" b.name b.description;
+        let show label (c : Perfect.Experiment.mode_cells) =
+          Printf.printf "  %-16s par=%3d loss=%3d extra=%3d size=%5d%s\n"
+            label c.m_par c.m_loss c.m_extra c.m_size
+            (match Core.Diag.summary c.m_diags with
+            | "" -> ""
+            | s -> "  [" ^ s ^ "]")
+        in
+        show "no-inlining" row.t2_no_inline;
+        show "conventional" row.t2_conventional;
+        show "annotation" row.t2_annotation;
+        let f = Perfect.Experiment.fig20_row ~threads b in
+        Printf.printf
+          "  fig20 (threads=%d): seq=%.3fs  speedups: none=%.2f conv=%.2f \
+           annot=%.2f\n"
+          threads f.f_seq f.f_no_inline f.f_conventional f.f_annotation
+      with
+      | () -> ()
+      | exception Core.Diag.Fatal d ->
+          prerr_endline (Core.Diag.render d);
+          exit 2)
 
 let bench_name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")

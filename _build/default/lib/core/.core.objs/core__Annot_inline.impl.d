@@ -1,1 +1,1 @@
-lib/core/annot_inline.ml: Analysis Annot_ast Ast Frontend List Option Printf Set String
+lib/core/annot_inline.ml: Analysis Annot_ast Ast Frontend List Option Printexc Printf Set String

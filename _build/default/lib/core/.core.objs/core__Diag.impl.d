@@ -1,0 +1,1 @@
+lib/core/diag.ml: Frontend Printf String

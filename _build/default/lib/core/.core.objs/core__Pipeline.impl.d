@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Analysis Annot_ast Annot_inline Annot_parser Ast Frontend Hashtbl Inliner List Parallelizer Pretty Resolve Reverse Set String
+lib/core/pipeline.ml: Analysis Annot_ast Annot_inline Annot_parser Ast Diag Frontend Hashtbl Inliner List Parallelizer Pretty Printexc Resolve Reverse Set String

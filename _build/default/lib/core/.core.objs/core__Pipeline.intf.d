@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Annot_ast Annot_inline Ast Frontend Inliner Parallelizer Reverse Set String
+lib/core/pipeline.mli: Annot_ast Annot_inline Ast Diag Frontend Inliner Parallelizer Reverse Set String

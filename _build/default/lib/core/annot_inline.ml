@@ -39,9 +39,12 @@ type stats = {
   mutable sites : (string * string * int) list;
       (** (caller, callee, tag_id) *)
   mutable skipped : (string * string * string) list;
+  mutable failed : (string * string * string) list;
+      (** call sites kept un-inlined because instantiation raised an
+          *unexpected* exception (robust mode only) *)
 }
 
-let new_stats () = { sites = []; skipped = [] }
+let new_stats () = { sites = []; skipped = []; failed = [] }
 
 exception Skip of string
 
@@ -568,8 +571,9 @@ let import_commons program (caller : Ast.program_unit) stmts :
   (List.rev !new_decls, List.rev !new_blocks)
 
 (** Apply annotation-based inlining over the whole program. *)
-let run ?(config = default_config) ~(annots : annotation list)
-    (program : Ast.program) : Ast.program * stats =
+let run ?(config = default_config) ?(robust = false)
+    ~(annots : annotation list) (program : Ast.program) :
+    Ast.program * stats =
   let stats = new_stats () in
   let find_annot name =
     List.find_opt (fun a -> String.equal a.an_name name) annots
@@ -611,9 +615,17 @@ let run ?(config = default_config) ~(annots : annotation list)
                 in
                 stats.sites <- (u.u_name, name, tag.tag_id) :: stats.sites;
                 [ Ast.mk (Ast.Tagged (tag, body)) ]
-              with Skip why ->
-                stats.skipped <- (u.u_name, name, why) :: stats.skipped;
-                [ s ])
+              with
+              | Skip why ->
+                  stats.skipped <- (u.u_name, name, why) :: stats.skipped;
+                  [ s ]
+              | e when robust ->
+                  (* fault barrier: an annotation that fails to instantiate
+                     degrades this call site to no inlining instead of
+                     killing the run *)
+                  stats.failed <-
+                    (u.u_name, name, Printexc.to_string e) :: stats.failed;
+                  [ s ])
           | _ -> [ s ])
         stmts
     in

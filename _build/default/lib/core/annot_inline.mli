@@ -26,6 +26,9 @@ type stats = {
       (** inlined call sites as (caller, callee, tag id) *)
   mutable skipped : (string * string * string) list;
       (** skipped sites as (caller, callee, reason) *)
+  mutable failed : (string * string * string) list;
+      (** sites kept un-inlined after an *unexpected* instantiation
+          exception, as (caller, callee, exn); robust mode only *)
 }
 
 exception Skip of string
@@ -48,9 +51,13 @@ val instantiate :
   mode:[ `Inline of Frontend.Ast.expr list | `Match ] ->
   Frontend.Ast.stmt list * Frontend.Ast.decl list
 
-(** Apply annotation-based inlining over the whole program. *)
+(** Apply annotation-based inlining over the whole program.  With
+    [~robust:true], a call site whose instantiation raises an unexpected
+    exception is kept un-inlined and recorded in [stats.failed] instead of
+    aborting the run. *)
 val run :
   ?config:config ->
+  ?robust:bool ->
   annots:Annot_ast.annotation list ->
   Frontend.Ast.program ->
   Frontend.Ast.program * stats

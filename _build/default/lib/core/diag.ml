@@ -1,0 +1,20 @@
+(** Pipeline-level view of the structured diagnostics subsystem.
+
+    The representation lives in {!Frontend.Diag} (the lexer and parser,
+    which [core] depends on, must be able to raise located diagnostics);
+    this module re-exports it under [Core.Diag] — the name the pipeline,
+    experiment drivers and CLI use — and adds pipeline-level summaries. *)
+
+include Frontend.Diag
+
+(** One-line salvage summary for per-benchmark reporting, e.g.
+    ["3 errors, 1 warning salvaged"]; [""] when the run was clean. *)
+let summary (ds : t list) =
+  let e = errors_in ds and w = warnings_in ds in
+  if e = 0 && w = 0 then ""
+  else
+    let part n what =
+      if n = 0 then []
+      else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ]
+    in
+    String.concat ", " (part e "error" @ part w "warning") ^ " salvaged"

@@ -28,6 +28,8 @@ type result = {
   res_inline_stats : Inliner.Inline.stats option;
   res_annot_stats : Annot_inline.stats option;
   res_reverse_stats : Reverse.stats option;
+  res_diags : Diag.t list;
+      (** diagnostics accumulated by {!run_robust}; [[]] from {!run} *)
 }
 
 let normalize (p : Ast.program) : Ast.program =
@@ -115,6 +117,7 @@ let run ?(par_config = Parallelizer.Parallelize.default_config)
     res_inline_stats = inline_stats;
     res_annot_stats = annot_stats;
     res_reverse_stats = reverse_stats;
+    res_diags = [];
   }
 
 (** Parse + resolve source and annotations, then run. *)
@@ -126,6 +129,188 @@ let run_source ?par_config ?inline_config ?annot_config ~mode
     else Annot_parser.parse_annotations annot_source
   in
   run ?par_config ?inline_config ?annot_config ~annots ~mode program
+
+(* ------------------------------------------------------------------ *)
+(* Fault-isolated pipeline: every pass runs behind a per-unit barrier
+   so one sick unit degrades locally instead of killing the program. *)
+
+(* Run [f] on [u]; on an unexpected exception keep the pre-pass unit and
+   record a warning attributed to [pass].  [Error_limit] is the
+   collector's own control flow and must not be swallowed. *)
+let guard_unit dg ~code ~pass (u : Ast.program_unit)
+    (f : Ast.program_unit -> Ast.program_unit) : Ast.program_unit =
+  try f u with
+  | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+  | e ->
+      Diag.warn dg code "%s crashed on unit %s (%s); pass skipped for this unit"
+        pass u.Ast.u_name (Printexc.to_string e);
+      u
+
+(* Same normalization sequence as {!normalize}, but each pass is guarded
+   per unit: a crashing pass restores the pre-pass body of that unit and
+   moves on. *)
+let normalize_robust dg (p : Ast.program) : Ast.program =
+  let passes =
+    [
+      ("constant propagation", Analysis.Constprop.run_unit);
+      ("induction substitution", Analysis.Induction.run_unit);
+      ("forward substitution", Analysis.Forward_subst.run_unit);
+      ("constant propagation", Analysis.Constprop.run_unit);
+    ]
+  in
+  let norm_unit u =
+    List.fold_left
+      (fun u (pass, f) -> guard_unit dg ~code:Diag.Normalize ~pass u f)
+      u passes
+  in
+  { Ast.p_units = List.map norm_unit p.Ast.p_units }
+
+(** Fault-tolerant variant of {!run}.  Degradation ladder:
+    annotation-based inlining falls back per call site (see
+    [Annot_inline.run ~robust]), then per program to conventional
+    inlining, then to no inlining; a normalization pass that crashes is
+    skipped for that unit with the pre-pass AST restored; a crashing
+    parallelizer leaves the unit serial; a reverse-inline failure keeps
+    the inlined regions.  Everything salvaged is recorded in
+    [res_diags].  Pass [dg] to accumulate into an existing collector
+    (e.g. one already holding parse diagnostics). *)
+let run_robust ?(par_config = Parallelizer.Parallelize.default_config)
+    ?(inline_config = Inliner.Inline.default_config)
+    ?(annot_config = Annot_inline.default_config)
+    ?(annots : Annot_ast.annotation list = [])
+    ?(dg = Diag.collector ()) ~(mode : mode) (program : Ast.program) :
+    result =
+  let original_loops = original_loop_ids program in
+  let conventional p =
+    try
+      let p', st = Inliner.Inline.run ~config:inline_config p in
+      (p', Some st)
+    with
+    | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+    | e ->
+        Diag.warn dg Diag.Inline
+          "conventional inlining failed (%s); continuing without inlining"
+          (Printexc.to_string e);
+        (p, None)
+  in
+  let program, inline_stats, annot_stats =
+    match mode with
+    | No_inlining -> (program, None, None)
+    | Conventional ->
+        let p, st = conventional program in
+        (p, st, None)
+    | Annotation_based -> (
+        match Annot_inline.run ~config:annot_config ~robust:true ~annots
+                program
+        with
+        | p, st ->
+            List.iter
+              (fun (caller, callee, why) ->
+                Diag.warn dg Diag.Annot
+                  "annotation for %s failed to instantiate in %s (%s); \
+                   call site left un-inlined"
+                  callee caller why)
+              st.Annot_inline.failed;
+            (p, None, Some st)
+        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+        | exception e ->
+            Diag.warn dg Diag.Annot
+              "annotation-based inlining failed (%s); falling back to \
+               conventional inlining"
+              (Printexc.to_string e);
+            let p, st = conventional program in
+            (p, st, None))
+  in
+  let program = normalize_robust dg program in
+  let pure =
+    if not par_config.Parallelizer.Parallelize.allow_pure_functions then
+      Parallelizer.Parallelize.S.empty
+    else
+      try Parallelizer.Purity.pure_functions program with
+      | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+      | e ->
+          Diag.warn dg Diag.Parallel
+            "purity analysis failed (%s); treating all functions as impure"
+            (Printexc.to_string e);
+          Parallelizer.Parallelize.S.empty
+  in
+  let units, reports =
+    List.fold_left
+      (fun (us, rs) u ->
+        match Parallelizer.Parallelize.run_unit ~config:par_config ~pure u
+        with
+        | u', r -> (u' :: us, rs @ r)
+        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+        | exception e ->
+            Diag.warn dg Diag.Parallel
+              "parallelizer crashed on unit %s (%s); unit left serial"
+              u.Ast.u_name (Printexc.to_string e);
+            (u :: us, rs))
+      ([], []) program.Ast.p_units
+  in
+  let program = { Ast.p_units = List.rev units } in
+  let program, reverse_stats =
+    match mode with
+    | No_inlining | Conventional -> (program, None)
+    | Annotation_based -> (
+        match Reverse.run ~cfg:annot_config ~annots program with
+        | p, st ->
+            List.iter
+              (fun (callee, why) ->
+                Diag.warn dg Diag.Reverse
+                  "reverse-inline mismatch for %s (%s); region restored \
+                   from recorded actuals"
+                  callee why)
+              st.Reverse.fallback;
+            if st.Reverse.extracted_mismatch > 0 then
+              Diag.warn dg Diag.Reverse
+                "%d unified actual(s) disagree with recorded actuals"
+                st.Reverse.extracted_mismatch;
+            (p, Some st)
+        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+        | exception e ->
+            Diag.warn dg Diag.Reverse
+              "reverse inlining failed (%s); inlined regions kept"
+              (Printexc.to_string e);
+            (program, None))
+  in
+  {
+    res_mode = mode;
+    res_program = program;
+    res_reports = reports;
+    res_marked = marked_ids program reports;
+    res_code_size = Pretty.code_size program;
+    res_original_loops = List.sort_uniq compare original_loops;
+    res_inline_stats = inline_stats;
+    res_annot_stats = annot_stats;
+    res_reverse_stats = reverse_stats;
+    res_diags = Diag.to_list dg;
+  }
+
+(** Robust end-to-end entry: salvaging parse (units that fail to parse
+    are dropped with located diagnostics), annotation-file faults degrade
+    to no annotations, then {!run_robust}. *)
+let run_source_robust ?par_config ?inline_config ?annot_config ?max_errors
+    ~mode ?(annot_source = "") (source : string) : result =
+  let dg = Diag.collector ?max_errors () in
+  let program, parse_diags = Resolve.parse_robust ?max_errors source in
+  let annots =
+    if String.trim annot_source = "" then []
+    else
+      try Annot_parser.parse_annotations annot_source with
+      | Annot_parser.Annot_parse_error why ->
+          Diag.error dg Diag.Annot
+            "annotation file rejected (%s); continuing without annotations"
+            why;
+          []
+      | Diag.Fatal d ->
+          Diag.emit dg d;
+          []
+  in
+  let r = run_robust ?par_config ?inline_config ?annot_config ~annots ~dg
+      ~mode program
+  in
+  { r with res_diags = parse_diags @ r.res_diags }
 
 (** Parallel-loop accounting for Table II: given a baseline (no-inlining)
     result and a mode result, compute (#par, #loss, #extra) counting only

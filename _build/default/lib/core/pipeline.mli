@@ -20,6 +20,9 @@ type result = {
   res_inline_stats : Inliner.Inline.stats option;  (** [Conventional] only *)
   res_annot_stats : Annot_inline.stats option;  (** [Annotation_based] only *)
   res_reverse_stats : Reverse.stats option;  (** [Annotation_based] only *)
+  res_diags : Diag.t list;
+      (** diagnostics accumulated by the robust entry points; [[]] from
+          {!run} / {!run_source} *)
 }
 
 (** The normalization sequence applied before dependence analysis (and,
@@ -46,6 +49,39 @@ val run_source :
   ?par_config:Parallelizer.Parallelize.config ->
   ?inline_config:Inliner.Inline.config ->
   ?annot_config:Annot_inline.config ->
+  mode:mode ->
+  ?annot_source:string ->
+  string ->
+  result
+
+(** Fault-tolerant variant of {!run}: every pass runs behind a per-unit
+    fault barrier, degrading locally instead of killing the run.  The
+    degradation ladder is annotation-based inlining (per call site) →
+    conventional inlining → no inlining; a crashing normalization pass is
+    skipped for that unit with the pre-pass AST restored; a crashing
+    parallelizer leaves the unit serial; a reverse-inline failure keeps
+    the inlined regions.  Salvage events land in [res_diags] as warnings.
+    Pass [dg] to accumulate into an existing collector; its
+    [Error_limit] is not caught. *)
+val run_robust :
+  ?par_config:Parallelizer.Parallelize.config ->
+  ?inline_config:Inliner.Inline.config ->
+  ?annot_config:Annot_inline.config ->
+  ?annots:Annot_ast.annotation list ->
+  ?dg:Diag.collector ->
+  mode:mode ->
+  Ast.program ->
+  result
+
+(** Robust end-to-end entry: salvaging parse (bad units are dropped with
+    located diagnostics), annotation-file faults degrade to running
+    without annotations, then {!run_robust}.  [max_errors] caps the
+    parser's error budget (default {!Diag.default_max_errors}). *)
+val run_source_robust :
+  ?par_config:Parallelizer.Parallelize.config ->
+  ?inline_config:Inliner.Inline.config ->
+  ?annot_config:Annot_inline.config ->
+  ?max_errors:int ->
   mode:mode ->
   ?annot_source:string ->
   string ->

@@ -1,0 +1,1 @@
+lib/frontend/diag.pp.ml: List Printexc Printf String

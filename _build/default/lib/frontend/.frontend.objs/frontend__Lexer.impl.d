@@ -1,1 +1,1 @@
-lib/frontend/lexer.pp.ml: Buffer List Option Ppx_deriving_runtime Printf String
+lib/frontend/lexer.pp.ml: Buffer Diag List Option Ppx_deriving_runtime Printf String

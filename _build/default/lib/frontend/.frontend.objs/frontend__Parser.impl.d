@@ -1,1 +1,1 @@
-lib/frontend/parser.pp.ml: Array Ast Hashtbl Lexer List Printf String
+lib/frontend/parser.pp.ml: Array Ast Diag Hashtbl Lexer List Option Printf String

@@ -1,1 +1,1 @@
-lib/frontend/resolve.pp.ml: Ast Intrinsics List Parser
+lib/frontend/resolve.pp.ml: Ast Diag Intrinsics List Parser

@@ -1,0 +1,143 @@
+(** Structured diagnostics for every layer of the pipeline.
+
+    A diagnostic is severity × error code × source location × message.
+    Layers raise {!Fatal} for unrecoverable conditions (replacing the old
+    bare [Lex_error]/[Parse_error] string exceptions) or {!emit} into a
+    {!collector} when they can degrade and keep going.  The collector
+    enforces a [--max-errors] cap so a pathological input cannot spam an
+    unbounded diagnostic stream. *)
+
+type severity = Error | Warning | Note
+
+(** Which layer produced the diagnostic.  Codes are stable identifiers
+    rendered in brackets, e.g. [error[parse] line 3: ...]. *)
+type code =
+  | Lex  (** tokenizer *)
+  | Parse  (** Fortran parser *)
+  | Annot  (** annotation language parser / instantiation *)
+  | Inline  (** conventional inliner *)
+  | Reverse  (** reverse-inline matcher *)
+  | Normalize  (** constprop / induction / forward-subst passes *)
+  | Parallel  (** parallelizer *)
+  | Trap  (** runtime guard: fuel, call depth *)
+  | Exec  (** interpreter / worker-pool failure *)
+  | Verify  (** output-comparison harness *)
+  | Io  (** file system *)
+  | Cli  (** command-line usage *)
+
+type loc = { l_line : int; l_col : int  (** 0 when unknown *) }
+
+type t = {
+  d_severity : severity;
+  d_code : code;
+  d_loc : loc option;
+  d_message : string;
+}
+
+exception Fatal of t
+(** An unrecoverable diagnostic, caught at phase boundaries (or by the
+    CLI driver, which renders it and exits 2). *)
+
+let code_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Annot -> "annot"
+  | Inline -> "inline"
+  | Reverse -> "reverse"
+  | Normalize -> "normalize"
+  | Parallel -> "parallel"
+  | Trap -> "trap"
+  | Exec -> "exec"
+  | Verify -> "verify"
+  | Io -> "io"
+  | Cli -> "cli"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let loc ?(col = 0) line = { l_line = line; l_col = col }
+
+let make ?(severity = Error) ?loc code message =
+  { d_severity = severity; d_code = code; d_loc = loc; d_message = message }
+
+(** [fatal ?loc code fmt ...] raises {!Fatal} with a formatted message. *)
+let fatal ?loc code fmt =
+  Printf.ksprintf (fun s -> raise (Fatal (make ?loc code s))) fmt
+
+let render (d : t) =
+  let where =
+    match d.d_loc with
+    | None -> ""
+    | Some { l_line; l_col = 0 } -> Printf.sprintf " line %d:" l_line
+    | Some { l_line; l_col } -> Printf.sprintf " line %d, col %d:" l_line l_col
+  in
+  Printf.sprintf "%s[%s]%s %s"
+    (severity_name d.d_severity)
+    (code_name d.d_code) where d.d_message
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Error_limit of int
+(** Raised by {!emit} when the error count reaches the collector's cap;
+    recovery loops catch it and stop salvaging. *)
+
+type collector = {
+  mutable items : t list;  (** newest first *)
+  mutable n_errors : int;
+  mutable n_warnings : int;
+  max_errors : int;
+}
+
+let default_max_errors = 20
+
+let collector ?(max_errors = default_max_errors) () =
+  { items = []; n_errors = 0; n_warnings = 0; max_errors = max 1 max_errors }
+
+let emit dg (d : t) =
+  dg.items <- d :: dg.items;
+  (match d.d_severity with
+  | Error -> dg.n_errors <- dg.n_errors + 1
+  | Warning -> dg.n_warnings <- dg.n_warnings + 1
+  | Note -> ());
+  if d.d_severity = Error && dg.n_errors >= dg.max_errors then
+    raise (Error_limit dg.n_errors)
+
+let error dg ?loc code fmt =
+  Printf.ksprintf (fun s -> emit dg (make ?loc code s)) fmt
+
+let warn dg ?loc code fmt =
+  Printf.ksprintf
+    (fun s -> emit dg (make ~severity:Warning ?loc code s))
+    fmt
+
+let note dg ?loc code fmt =
+  Printf.ksprintf (fun s -> emit dg (make ~severity:Note ?loc code s)) fmt
+
+let to_list dg = List.rev dg.items
+let error_count dg = dg.n_errors
+let warning_count dg = dg.n_warnings
+
+(** Convert an arbitrary exception into a diagnostic (fault barriers wrap
+    passes whose failure modes we cannot enumerate). *)
+let of_exn ?(severity = Error) code (e : exn) : t =
+  match e with
+  | Fatal d -> { d with d_severity = severity }
+  | e -> make ~severity code (Printexc.to_string e)
+
+let render_all (ds : t list) =
+  String.concat "" (List.map (fun d -> render d ^ "\n") ds)
+
+(** Exit-code contract: 0 clean, 1 error diagnostics but output salvaged,
+    2 fatal (no output).  Warnings alone keep exit code 0. *)
+let exit_code (ds : t list) =
+  if List.exists (fun d -> d.d_severity = Error) ds then 1 else 0
+
+let errors_in (ds : t list) =
+  List.length (List.filter (fun d -> d.d_severity = Error) ds)
+
+let warnings_in (ds : t list) =
+  List.length (List.filter (fun d -> d.d_severity = Warning) ds)

@@ -34,9 +34,12 @@ type token =
   | TFALSE
 [@@deriving show { with_path = false }, eq]
 
-exception Lex_error of string
-
-let error fmt = Printf.ksprintf (fun s -> raise (Lex_error s)) fmt
+(* Lexer faults raise [Diag.Fatal] with a real line/column location (the
+   old bare [Lex_error of string] is gone).  [col] is 1-based. *)
+let error ~line ~col fmt =
+  Printf.ksprintf
+    (fun s -> raise (Diag.Fatal (Diag.make ~loc:(Diag.loc ~col line) Diag.Lex s)))
+    fmt
 
 (** A logical source line: optional label, tokens, original line number. *)
 type line = { label : int option; tokens : token list; lineno : int }
@@ -76,7 +79,7 @@ let try_dot_op s i =
 
 (* Lex a numeric literal starting at position [i]; the first char is a digit
    or a '.' followed by a digit. *)
-let lex_number s i =
+let lex_number lineno s i =
   let n = String.length s in
   let j = ref i in
   let buf = Buffer.create 16 in
@@ -125,7 +128,8 @@ let lex_number s i =
     else
       match int_of_string_opt text with
       | Some v -> TINT v
-      | None -> error "invalid integer literal %S" text
+      | None ->
+          error ~line:lineno ~col:(i + 1) "invalid integer literal %S" text
   in
   (tok, !j)
 
@@ -138,15 +142,15 @@ let tokenize_line lineno s =
       let c = s.[i] in
       if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
       else if is_digit c then
-        let tok, j = lex_number s i in
+        let tok, j = lex_number lineno s i in
         go j (tok :: acc)
       else if c = '.' && i + 1 < n && is_digit s.[i + 1] then
-        let tok, j = lex_number s i in
+        let tok, j = lex_number lineno s i in
         go j (tok :: acc)
       else if c = '.' then (
         match try_dot_op s i with
         | Some (t, j) -> go j (t :: acc)
-        | None -> error "line %d: stray '.' in %S" lineno s)
+        | None -> error ~line:lineno ~col:(i + 1) "stray '.' in %S" s)
       else if is_alpha c || c = '_' then begin
         let j = ref i in
         while !j < n && is_ident s.[!j] do
@@ -160,7 +164,8 @@ let tokenize_line lineno s =
         let j = ref (i + 1) in
         let fin = ref None in
         while !fin = None do
-          if !j >= n then error "line %d: unterminated string" lineno
+          if !j >= n then
+            error ~line:lineno ~col:(i + 1) "unterminated string"
           else if s.[!j] = '\'' then
             if !j + 1 < n && s.[!j + 1] = '\'' then begin
               Buffer.add_char buf '\'';
@@ -183,7 +188,7 @@ let tokenize_line lineno s =
         | "<=" -> go (i + 2) (TLE :: acc)
         | ">=" -> go (i + 2) (TGE :: acc)
         | ".N" | ".A" | ".O" | ".T" | ".F" | ".E" | ".L" | ".G" ->
-            error "line %d: bad dot operator in %S" lineno s
+            error ~line:lineno ~col:(i + 1) "bad dot operator in %S" s
         | _ -> (
             match c with
             | '(' -> go (i + 1) (TLP :: acc)
@@ -197,7 +202,7 @@ let tokenize_line lineno s =
             | '=' -> go (i + 1) (TASSIGN :: acc)
             | '<' -> go (i + 1) (TLT :: acc)
             | '>' -> go (i + 1) (TGT :: acc)
-            | _ -> error "line %d: unexpected character %C" lineno c)
+            | _ -> error ~line:lineno ~col:(i + 1) "unexpected character %C" c)
   in
   go 0 []
 
@@ -217,8 +222,13 @@ let is_comment_line s =
   let t = String.trim s in
   String.length t = 0 || t.[0] = '*' || t.[0] = '!'
 
-(** Split a source string into labeled, tokenized logical lines. *)
-let logical_lines source =
+(** Split a source string into labeled, tokenized logical lines.
+
+    With [dg], tokenizer faults are emitted into the collector and the
+    offending logical line is dropped, so one bad statement costs one
+    statement rather than the whole file; without it the first fault
+    raises {!Diag.Fatal}. *)
+let logical_lines ?(dg : Diag.collector option) source =
   let raw = String.split_on_char '\n' source in
   (* Join continuations: a line ending in '&' continues on the next. *)
   let rec join lineno acc = function
@@ -232,7 +242,16 @@ let logical_lines source =
             (* trailing '&' continues onto the next line *)
             if String.length t > 0 && t.[String.length t - 1] = '&' then
               match rest with
-              | [] -> error "line %d: dangling continuation" lineno
+              | [] -> (
+                  match dg with
+                  | Some dg ->
+                      Diag.error dg
+                        ~loc:(Diag.loc ~col:(String.length l) lineno)
+                        Diag.Lex "dangling continuation";
+                      (String.sub t 0 (String.length t - 1), consumed, [])
+                  | None ->
+                      error ~line:lineno ~col:(String.length l)
+                        "dangling continuation")
               | next :: rest' ->
                   let next =
                     if is_comment_line next then "" else strip_comment next
@@ -262,10 +281,13 @@ let logical_lines source =
     (fun (lineno, text) ->
       if String.trim text = "" then None
       else
-        let toks = tokenize_line lineno text in
-        match toks with
+        match tokenize_line lineno text with
         | [] -> None
         | TINT label :: rest when rest <> [] ->
             Some { label = Some label; tokens = rest; lineno }
-        | _ -> Some { label = None; tokens = toks; lineno })
+        | toks -> Some { label = None; tokens = toks; lineno }
+        | exception Diag.Fatal d when dg <> None ->
+            (* salvage: record the fault, drop this statement *)
+            Diag.emit (Option.get dg) d;
+            None)
     lines

@@ -11,9 +11,15 @@
 
 open Lexer
 
-exception Parse_error of string
-
-let perr fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+(* Parser faults raise [Diag.Fatal] carrying the source line (the old bare
+   [Parse_error of string] is gone).  [?line] is omitted only for
+   end-of-file conditions, which have no meaningful line. *)
+let perr ?line fmt =
+  Printf.ksprintf
+    (fun s ->
+      let loc = Option.map Diag.loc line in
+      raise (Diag.Fatal (Diag.make ?loc Diag.Parse s)))
+    fmt
 
 (* ------------------------------------------------------------------ *)
 (* Expression parsing over one line's token list                       *)
@@ -25,7 +31,7 @@ let peek st = match st.toks with [] -> None | t :: _ -> Some t
 
 let advance st =
   match st.toks with
-  | [] -> perr "line %d: unexpected end of line" st.lineno
+  | [] -> perr ~line:st.lineno "unexpected end of line"
   | t :: rest ->
       st.toks <- rest;
       t
@@ -33,7 +39,7 @@ let advance st =
 let expect st tok =
   let t = advance st in
   if not (Lexer.equal_token t tok) then
-    perr "line %d: expected %s, found %s" st.lineno (Lexer.show_token tok)
+    perr ~line:st.lineno "expected %s, found %s" (Lexer.show_token tok)
       (Lexer.show_token t)
 
 let accept st tok =
@@ -132,7 +138,7 @@ and parse_primary st =
                 args )
       end
       else Ast.Var name
-  | t -> perr "line %d: unexpected token %s" st.lineno (Lexer.show_token t)
+  | t -> perr ~line:st.lineno "unexpected token %s" (Lexer.show_token t)
 
 (* Argument: expr, or a section bound [lo]:[hi][:step].  An empty bound is
    allowed on either side of ':'. *)
@@ -157,7 +163,7 @@ and parse_arg_list st =
     else
       match lo with
       | Some e -> `Expr e
-      | None -> perr "line %d: empty argument" st.lineno
+      | None -> perr ~line:st.lineno "empty argument"
   in
   let rec loop acc =
     let a = parse_arg () in
@@ -172,14 +178,20 @@ and parse_arg_list st =
 let parse_expr_of_tokens lineno toks =
   let st = { toks; lineno } in
   let e = parse_expr st in
-  if st.toks <> [] then perr "line %d: trailing tokens after expression" lineno;
+  if st.toks <> [] then perr ~line:lineno "trailing tokens after expression";
   e
 
 (* ------------------------------------------------------------------ *)
 (* Statement / unit parsing over the line stream                       *)
 (* ------------------------------------------------------------------ *)
 
-type pstate = { lines : Lexer.line array; mutable pos : int }
+type pstate = {
+  lines : Lexer.line array;
+  mutable pos : int;
+  dg : Diag.collector option;
+      (** when set, statement-level faults are emitted here and parsing
+          resumes at the next statement boundary *)
+}
 
 let cur ps = if ps.pos < Array.length ps.lines then Some ps.lines.(ps.pos) else None
 
@@ -243,7 +255,7 @@ let parse_decl_items st =
         let dims = if accept st TLP then parse_dims () else [] in
         let acc = (name, dims) :: acc in
         if accept st TCOMMA then loop acc else List.rev acc
-    | t -> perr "line %d: expected name in declaration, found %s" st.lineno
+    | t -> perr ~line:st.lineno "expected name in declaration, found %s"
              (Lexer.show_token t)
   in
   loop []
@@ -289,7 +301,7 @@ let parse_decl_line acc line =
         List.iter
           (fun (name, dims) ->
             if dims = [] then
-              perr "line %d: DIMENSION item %s has no dims" line.lineno name;
+              perr ~line:line.lineno "DIMENSION item %s has no dims" name;
             acc.dims <- (name, dims) :: acc.dims)
           (parse_decl_items st)
       else if starts_with line [ "COMMON" ] then begin
@@ -299,7 +311,7 @@ let parse_decl_line acc line =
           match advance st with
           | TID b -> b
           | t ->
-              perr "line %d: expected common block name, found %s" line.lineno
+              perr ~line:line.lineno "expected common block name, found %s"
                 (Lexer.show_token t)
         in
         expect st TSLASH;
@@ -317,7 +329,7 @@ let parse_decl_line acc line =
             match advance st with
             | TID n -> n
             | t ->
-                perr "line %d: expected parameter name, found %s" line.lineno
+                perr ~line:line.lineno "expected parameter name, found %s"
                   (Lexer.show_token t)
           in
           expect st TASSIGN;
@@ -329,7 +341,7 @@ let parse_decl_line acc line =
         expect st TRP
       end
       else if starts_with line [ "IMPLICIT" ] then () (* IMPLICIT NONE: noop *)
-      else perr "line %d: unrecognized declaration" line.lineno
+      else perr ~line:line.lineno "unrecognized declaration"
 
 (* ---- statements ---- *)
 
@@ -355,11 +367,11 @@ let rec parse_stmt ps (line : Lexer.line) : Ast.stmt =
             let args, has_section = parse_arg_list st in
             expect st TRP;
             if st.toks <> [] then
-              perr "line %d: trailing tokens after CALL" line.lineno;
+              perr ~line:line.lineno "trailing tokens after CALL";
             if has_section then
-              perr "line %d: array section in CALL argument" line.lineno;
+              perr ~line:line.lineno "array section in CALL argument";
             List.map (function `Expr e -> e | `Section _ -> assert false) args
-        | _ -> perr "line %d: malformed CALL" line.lineno
+        | _ -> perr ~line:line.lineno "malformed CALL"
       in
       Ast.mk (Ast.Call (name, args))
   | [ TID "RETURN" ] -> Ast.mk Ast.Return
@@ -372,11 +384,11 @@ let rec parse_stmt ps (line : Lexer.line) : Ast.stmt =
         match rest with
         | [] -> []
         | TCOMMA :: rest' -> parse_expr_list line.lineno rest'
-        | _ -> perr "line %d: malformed PRINT" line.lineno
+        | _ -> perr ~line:line.lineno "malformed PRINT"
       in
       Ast.mk (Ast.Print exprs)
   | TID "GOTO" :: _ | TID "GO" :: TID "TO" :: _ ->
-      perr "line %d: GOTO is not supported by this subset" line.lineno
+      perr ~line:line.lineno "GOTO is not supported by this subset"
   | _ -> parse_assignment line
 
 and parse_expr_list lineno toks =
@@ -388,7 +400,7 @@ and parse_expr_list lineno toks =
   if toks = [] then []
   else begin
     let es = loop [] in
-    if st.toks <> [] then perr "line %d: trailing tokens in list" lineno;
+    if st.toks <> [] then perr ~line:lineno "trailing tokens in list";
     es
   end
 
@@ -399,7 +411,7 @@ and parse_write line rest =
   (match advance st with
   | TINT _ | TSTAR -> ()
   | t ->
-      perr "line %d: expected WRITE unit, found %s" line.lineno
+      perr ~line:line.lineno "expected WRITE unit, found %s"
         (Lexer.show_token t));
   expect st TCOMMA;
   expect st TSTAR;
@@ -414,7 +426,7 @@ and parse_assignment line =
     match advance st with
     | TID n -> n
     | t ->
-        perr "line %d: expected statement, found %s" line.lineno
+        perr ~line:line.lineno "expected statement, found %s"
           (Lexer.show_token t)
   in
   let lv =
@@ -435,7 +447,7 @@ and parse_assignment line =
   in
   expect st TASSIGN;
   let e = parse_expr st in
-  if st.toks <> [] then perr "line %d: trailing tokens after assignment" line.lineno;
+  if st.toks <> [] then perr ~line:line.lineno "trailing tokens after assignment";
   Ast.mk (Ast.Assign (lv, e))
 
 and parse_do ps line label rest =
@@ -445,7 +457,7 @@ and parse_do ps line label rest =
     match advance st with
     | TID n -> n
     | t ->
-        perr "line %d: expected DO index, found %s" line.lineno
+        perr ~line:line.lineno "expected DO index, found %s"
           (Lexer.show_token t)
   in
   expect st TASSIGN;
@@ -453,7 +465,7 @@ and parse_do ps line label rest =
   expect st TCOMMA;
   let hi = parse_expr st in
   let step = if accept st TCOMMA then parse_expr st else Ast.Int_const 1 in
-  if st.toks <> [] then perr "line %d: trailing tokens in DO" line.lineno;
+  if st.toks <> [] then perr ~line:line.lineno "trailing tokens in DO";
   let body =
     match label with
     | Some l -> parse_block_until_label ps l
@@ -519,7 +531,7 @@ and parse_if ps line =
   | [ TID "THEN" ] ->
       let then_b, else_b = parse_if_blocks ps line.lineno in
       Ast.mk (Ast.If (cond, then_b, else_b))
-  | [] -> perr "line %d: IF with empty body" line.lineno
+  | [] -> perr ~line:line.lineno "IF with empty body"
   | rest ->
       (* logical IF: the rest of the line is a single simple statement *)
       let inner = parse_stmt ps { line with tokens = rest; label = None } in
@@ -528,7 +540,7 @@ and parse_if ps line =
 and parse_if_blocks ps lineno =
   let rec loop acc =
     match cur ps with
-    | None -> perr "line %d: unexpected end of file inside IF" lineno
+    | None -> perr ~line:lineno "unexpected end of file inside IF"
     | Some line when is_endif line ->
         ps.pos <- ps.pos + 1;
         (List.rev acc, [])
@@ -538,7 +550,7 @@ and parse_if_blocks ps lineno =
         | [ TID "ELSE" ] ->
             let rec else_loop acc2 =
               match cur ps with
-              | None -> perr "line %d: unexpected end of file inside ELSE" lineno
+              | None -> perr ~line:lineno "unexpected end of file inside ELSE"
               | Some l when is_endif l ->
                   ps.pos <- ps.pos + 1;
                   List.rev acc2
@@ -554,10 +566,10 @@ and parse_if_blocks ps lineno =
             expect st TRP;
             (match st.toks with
             | [ TID "THEN" ] -> ()
-            | _ -> perr "line %d: ELSE IF requires THEN" line.lineno);
+            | _ -> perr ~line:line.lineno "ELSE IF requires THEN");
             let then_b, else_b = parse_if_blocks ps line.lineno in
             (List.rev acc, [ Ast.mk (Ast.If (cond, then_b, else_b)) ])
-        | _ -> perr "line %d: malformed ELSE" line.lineno
+        | _ -> perr ~line:line.lineno "malformed ELSE"
       end
     | Some line ->
         ps.pos <- ps.pos + 1;
@@ -575,7 +587,7 @@ let parse_param_names (line : Lexer.line) st =
         match advance st with
         | TID n -> if accept st TCOMMA then loop (n :: acc) else List.rev (n :: acc)
         | t ->
-            perr "line %d: expected parameter name, found %s" line.lineno
+            perr ~line:line.lineno "expected parameter name, found %s"
               (Lexer.show_token t)
       in
       let ps = loop [] in
@@ -605,7 +617,7 @@ let parse_unit ps : Ast.program_unit =
                 let st = { toks = rest; lineno = header.lineno } in
                 let params = parse_param_names header st in
                 (Ast.Function (Ast.implicit_type n), n, params)
-            | _ -> perr "line %d: expected unit header" header.lineno))
+            | _ -> perr ~line:header.lineno "expected unit header"))
   in
   (* declarations *)
   let acc = { types = []; dims = []; commons = []; params = [] } in
@@ -613,21 +625,37 @@ let parse_unit ps : Ast.program_unit =
     match cur ps with
     | Some line when is_decl_line line ->
         ps.pos <- ps.pos + 1;
-        parse_decl_line acc line;
+        (match parse_decl_line acc line with
+        | () -> ()
+        | exception Diag.Fatal d when ps.dg <> None ->
+            Diag.emit (Option.get ps.dg) d);
         decl_loop ()
     | _ -> ()
   in
   decl_loop ();
-  (* body *)
+  (* body; with a collector, a faulting statement is recorded and dropped
+     and parsing resumes at the next statement boundary *)
   let rec body_loop stmts =
     match cur ps with
-    | None -> perr "unexpected end of file in unit %s" name
+    | None -> (
+        match ps.dg with
+        | Some dg ->
+            Diag.error dg Diag.Parse "missing END in unit %s" name;
+            List.rev stmts
+        | None -> perr "unexpected end of file in unit %s" name)
     | Some line when is_unit_end line ->
         ps.pos <- ps.pos + 1;
         List.rev stmts
-    | Some line ->
+    | Some line -> (
         ps.pos <- ps.pos + 1;
-        body_loop (parse_stmt ps line :: stmts)
+        match parse_stmt ps line with
+        | stmt -> body_loop (stmt :: stmts)
+        | exception Diag.Fatal d when ps.dg <> None ->
+            Diag.emit (Option.get ps.dg) d;
+            (* a half-parsed block construct may have left label bookkeeping
+               behind; clear it so later loops are not miscounted *)
+            Hashtbl.reset pending_labels;
+            body_loop stmts)
   in
   let body = body_loop [] in
   (* assemble declarations: types first, then dims merge *)
@@ -661,14 +689,59 @@ let parse_unit ps : Ast.program_unit =
     u_body = body;
   }
 
-(** Parse a whole source file into a program. *)
+(** Parse a whole source file into a program.  Strict: the first fault
+    raises {!Diag.Fatal}. *)
 let parse_program source : Ast.program =
   Hashtbl.reset pending_labels;
   let lines = Array.of_list (Lexer.logical_lines source) in
-  let ps = { lines; pos = 0 } in
+  let ps = { lines; pos = 0; dg = None } in
   let rec loop units =
     match cur ps with
     | None -> List.rev units
     | Some _ -> loop (parse_unit ps :: units)
   in
   { p_units = loop [] }
+
+(* Recovery sync point: a plausible unit header. *)
+let is_unit_header line =
+  match line.tokens with
+  | TID ("PROGRAM" | "SUBROUTINE" | "FUNCTION") :: TID _ :: _ -> true
+  | _ -> (
+      match type_prefix line.tokens with
+      | Some (_, TID "FUNCTION" :: _) -> true
+      | _ -> false)
+
+(** Parse a whole source file, salvaging what the faults allow.
+
+    Statement faults drop one statement (or one enclosing block construct),
+    unit-header faults skip forward to the next unit boundary; every fault
+    is accumulated as a located diagnostic.  Parsing stops early only when
+    [max_errors] (default {!Diag.default_max_errors}) errors have been
+    recorded.  Returns the units that survived plus the diagnostics. *)
+let parse_program_robust ?max_errors source : Ast.program * Diag.t list =
+  Hashtbl.reset pending_labels;
+  let dg = Diag.collector ?max_errors () in
+  let units = ref [] in
+  (try
+     let lines = Array.of_list (Lexer.logical_lines ~dg source) in
+     let ps = { lines; pos = 0; dg = Some dg } in
+     while cur ps <> None do
+       match parse_unit ps with
+       | u -> units := u :: !units
+       | exception Diag.Fatal d ->
+           Diag.emit dg d;
+           Hashtbl.reset pending_labels;
+           (* resync: skip to just past the next END, or to the next
+              plausible unit header, whichever comes first *)
+           let rec skip () =
+             match cur ps with
+             | None -> ()
+             | Some l when is_unit_header l -> ()
+             | Some l ->
+                 ps.pos <- ps.pos + 1;
+                 if not (is_unit_end l) then skip ()
+           in
+           skip ()
+     done
+   with Diag.Error_limit _ -> ());
+  ({ Ast.p_units = List.rev !units }, Diag.to_list dg)

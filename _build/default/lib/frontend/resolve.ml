@@ -28,5 +28,12 @@ let resolve_program (p : program) =
   let functions = function_names p in
   { p_units = List.map (resolve_unit ~functions) p.p_units }
 
-(** Parse and resolve in one step -- the usual entry point. *)
+(** Parse and resolve in one step -- the usual entry point.  Strict: the
+    first fault raises {!Diag.Fatal}. *)
 let parse source = resolve_program (Parser.parse_program source)
+
+(** Fault-tolerant variant: salvages the units that parse, accumulating
+    located diagnostics for the rest (see {!Parser.parse_program_robust}). *)
+let parse_robust ?max_errors source : program * Diag.t list =
+  let p, diags = Parser.parse_program_robust ?max_errors source in
+  (resolve_program p, diags)

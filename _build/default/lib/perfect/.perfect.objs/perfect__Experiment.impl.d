@@ -1,1 +1,1 @@
-lib/perfect/experiment.ml: Bench_def Core Domain Float Frontend Hashtbl List Pipeline Printf Runtime String Unix
+lib/perfect/experiment.ml: Bench_def Core Diag Domain Float Frontend Hashtbl List Pipeline Runtime String Unix

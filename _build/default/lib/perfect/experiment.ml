@@ -12,6 +12,9 @@ type mode_cells = {
   m_loss : int;
   m_extra : int;
   m_size : int;  (** non-comment lines after optimization *)
+  m_diags : Diag.t list;
+      (** per-benchmark salvage record from the fault-isolated pipeline;
+          empty on a healthy run *)
 }
 
 type table2_row = {
@@ -21,10 +24,13 @@ type table2_row = {
   t2_annotation : mode_cells;
 }
 
+(* Benchmarks run through the fault-isolated pipeline: a sick unit or a
+   failing annotation degrades locally, and whatever was salvaged is
+   reported per benchmark through [m_diags]. *)
 let run_modes ?par_config (b : Bench_def.t) =
   let program = Bench_def.parse b in
   let annots = Bench_def.annots b in
-  let run mode = Pipeline.run ?par_config ~annots ~mode program in
+  let run mode = Pipeline.run_robust ?par_config ~annots ~mode program in
   let base = run Pipeline.No_inlining in
   let conv = run Pipeline.Conventional in
   let annot = run Pipeline.Annotation_based in
@@ -34,7 +40,13 @@ let table2_row ?par_config (b : Bench_def.t) : table2_row =
   let base, conv, annot = run_modes ?par_config b in
   let cells (r : Pipeline.result) =
     let par, loss, extra = Pipeline.table2_counts ~baseline:base r in
-    { m_par = par; m_loss = loss; m_extra = extra; m_size = r.res_code_size }
+    {
+      m_par = par;
+      m_loss = loss;
+      m_extra = extra;
+      m_size = r.res_code_size;
+      m_diags = r.res_diags;
+    }
   in
   {
     t2_name = b.name;
@@ -239,18 +251,16 @@ let fig20_row ?par_config ?(threads = 4) ?(repeat = 2)
       let tuned = tune ~repeat ~threads r.res_program in
       let t, out = time_run ~repeat ~threads tuned in
       if not (outputs_equal out out_seq) then
-        failwith
-          (Printf.sprintf "%s: output mismatch under %s" b.name
-             (Pipeline.mode_name r.res_mode));
+        Diag.fatal Diag.Verify "%s: output mismatch under %s" b.name
+          (Pipeline.mode_name r.res_mode);
       t_seq /. t
     end
     else begin
       (* correctness still validated with real domains, timing projected *)
       let out = Runtime.Interp.run_program ~threads r.res_program in
       if not (outputs_equal out out_seq) then
-        failwith
-          (Printf.sprintf "%s: output mismatch under %s" b.name
-             (Pipeline.mode_name r.res_mode));
+        Diag.fatal Diag.Verify "%s: output mismatch under %s" b.name
+          (Pipeline.mode_name r.res_mode);
       (* run-to-run noise can make the baseline slower than the optimized
          sequential run; the model never yields super-linear speedup *)
       Float.min

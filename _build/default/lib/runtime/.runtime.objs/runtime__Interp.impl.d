@@ -1,1 +1,1 @@
-lib/runtime/interp.ml: Analysis Array Ast Buffer Float Frontend Fun Hashtbl Intrinsics Lazy List Mutex Option Pool Printf String Unix Value
+lib/runtime/interp.ml: Analysis Array Ast Atomic Buffer Diag Float Frontend Fun Hashtbl Intrinsics Lazy List Mutex Option Pool Printexc Printf String Unix Value

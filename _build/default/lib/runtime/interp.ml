@@ -30,6 +30,19 @@ open Value
 exception Stop_program of string option
 exception Return_exn
 
+(** Raised when a runtime guard fires: the step budget ([fuel]) runs out
+    or the call-depth limit is exceeded.  Carries a structured diagnostic
+    so drivers report a trap instead of hanging or dying raw. *)
+exception Trap of Diag.t
+
+let trap fmt =
+  Printf.ksprintf (fun s -> raise (Trap (Diag.make Diag.Trap s))) fmt
+
+(* Remaining step budget, shared by every domain of the run. *)
+type fuel_cell = { remaining : int Atomic.t; budget : int }
+
+let default_max_depth = 1000
+
 (* ------------------------------------------------------------------ *)
 (* Global state and frames                                              *)
 (* ------------------------------------------------------------------ *)
@@ -45,6 +58,8 @@ type global = {
   pool : Pool.t;
   code_cache : (string, cstmt array) Hashtbl.t;  (** compiled unit bodies *)
   profile : (int, prof_cell) Hashtbl.t option;
+  fuel : fuel_cell option;  (** step budget; [None] = unlimited *)
+  max_depth : int;  (** call-depth limit *)
 }
 
 and prof_cell = { mutable pt : float;  (** cumulative seconds *)
@@ -58,6 +73,7 @@ and frame = {
   overrides : (string, view) Hashtbl.t list;
       (** dynamic privatization stack, innermost first *)
   in_parallel : bool;
+  depth : int;  (** call nesting depth, checked against [glb.max_depth] *)
   fstk : float array;
       (** per-domain scratch stack: float expressions evaluate into slots
           instead of returning (boxed) floats.  Shared down the call
@@ -67,6 +83,19 @@ and frame = {
 and cstmt = frame -> unit
 
 let fstk_size = 512
+
+(* Charge [n] steps against the run's fuel.  The subset has only counted
+   DO loops (no GOTO), so charging each loop's trip count once at entry —
+   plus one step per call — bounds total work at O(1) bookkeeping per
+   loop execution, leaving the per-iteration hot path untouched. *)
+let charge (fr : frame) (n : int) =
+  match fr.glb.fuel with
+  | None -> ()
+  | Some f ->
+      let old = Atomic.fetch_and_add f.remaining (-n) in
+      if old - n < 0 then
+        trap "step budget of %d exhausted; runaway execution trapped"
+          f.budget
 
 (* Run a compiled block without allocating an iteration closure. *)
 let run_code (code : cstmt array) (fr : frame) =
@@ -782,6 +811,14 @@ and compile_loop program u (l : Ast.do_loop) : cstmt =
   fun fr ->
     let lo = flo fr and hi = fhi fr and step = fstep fr in
     if step = 0 then rerror "zero DO step";
+    (match fr.glb.fuel with
+    | None -> ()
+    | Some _ ->
+        let niter =
+          if step > 0 then max 0 (((hi - lo) / step) + 1)
+          else max 0 (((lo - hi) / -step) + 1)
+        in
+        charge fr (niter + 1));
     let profiled = l.parallel <> None && not fr.in_parallel in
     let t0 =
       match fr.glb.profile with
@@ -887,7 +924,23 @@ and exec_parallel fr (l : Ast.do_loop) (omp : Ast.omp) fbody touches ~lo ~hi
         Mutex.unlock merge_mutex
       end
     in
-    Pool.parallel_for fr.glb.pool ~chunks:nw worker;
+    let label =
+      Printf.sprintf "parallel loop %d of unit %s" l.loop_id fr.unit_.u_name
+    in
+    (try Pool.parallel_for ~label fr.glb.pool ~chunks:nw worker
+     with Pool.Worker_failure (lbl, e) -> (
+       (* surface the dead worker's exception with the owning loop id,
+          preserving the kinds drivers dispatch on *)
+       match e with
+       | Stop_program _ | Return_exn -> raise e
+       | Trap d ->
+           raise
+             (Trap
+                (Diag.make ?loc:d.Diag.d_loc ~severity:d.Diag.d_severity
+                   Diag.Trap
+                   (Printf.sprintf "%s (in %s)" d.Diag.d_message lbl)))
+       | Runtime_error m -> rerror "%s (in %s)" m lbl
+       | e -> rerror "worker died in %s: %s" lbl (Printexc.to_string e)));
     let idx = lookup fr l.index in
     elem_set_i idx 0 (lo + (niter * step))
   end
@@ -911,6 +964,12 @@ and unit_code (fr : frame) (callee : Ast.program_unit) : cstmt array =
 and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
     (args : Ast.expr list) : frame =
   let efr = match eval_fr with Some f -> f | None -> fr in
+  let depth = fr.depth + 1 in
+  if depth > fr.glb.max_depth then
+    trap "call depth limit of %d exceeded calling %s; runaway recursion \
+          trapped"
+      fr.glb.max_depth callee.u_name;
+  charge fr 1;
   let nfr =
     {
       glb = fr.glb;
@@ -919,6 +978,7 @@ and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
       consts = Hashtbl.create 4;
       overrides = fr.overrides;
       in_parallel = fr.in_parallel;
+      depth;
       fstk = fr.fstk;
     }
   in
@@ -1011,7 +1071,8 @@ let storage_floats = function
 (** Execute a program's MAIN unit; returns everything it printed plus the
     final contents of every COMMON block (member by member, as floats) --
     the strongest observable state two runs can be compared on. *)
-let run_program_state ?(threads = 1) ?profile (program : Ast.program) :
+let run_program_state ?(threads = 1) ?profile ?fuel
+    ?(max_depth = default_max_depth) (program : Ast.program) :
     string * (string * float array) list =
   let commons, common_layout = build_commons program in
   let pool = Pool.create threads in
@@ -1026,6 +1087,11 @@ let run_program_state ?(threads = 1) ?profile (program : Ast.program) :
       pool;
       code_cache = Hashtbl.create 16;
       profile;
+      fuel =
+        Option.map
+          (fun n -> { remaining = Atomic.make n; budget = n })
+          fuel;
+      max_depth;
     }
   in
   let main =
@@ -1041,6 +1107,7 @@ let run_program_state ?(threads = 1) ?profile (program : Ast.program) :
       consts = Hashtbl.create 4;
       overrides = [];
       in_parallel = false;
+      depth = 0;
       fstk = Array.make fstk_size 0.0;
     }
   in
@@ -1081,5 +1148,6 @@ let run_program_state ?(threads = 1) ?profile (program : Ast.program) :
 (** Execute a program's MAIN unit; returns everything it printed.
     [profile], when given, accumulates per-loop-id wall time of top-level
     directive-carrying loops (used by the empirical tuner). *)
-let run_program ?threads ?profile (program : Ast.program) : string =
-  fst (run_program_state ?threads ?profile program)
+let run_program ?threads ?profile ?fuel ?max_depth (program : Ast.program) :
+    string =
+  fst (run_program_state ?threads ?profile ?fuel ?max_depth program)

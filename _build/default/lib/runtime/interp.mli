@@ -12,6 +12,14 @@
 exception Stop_program of string option
 (** Raised internally by STOP; [run_program] converts it to output. *)
 
+exception Trap of Frontend.Diag.t
+(** A runtime guard fired: the step budget ([fuel]) ran out or the
+    call-depth limit was exceeded.  Carries a structured diagnostic so
+    drivers can report the trap instead of hanging. *)
+
+val default_max_depth : int
+(** Default call-depth limit (1000). *)
+
 type prof_cell = {
   mutable pt : float;  (** cumulative seconds *)
   mutable pn : int;  (** executions *)
@@ -22,9 +30,16 @@ type prof_cell = {
     (default 1 = fully sequential).  [profile], when given, accumulates
     per-loop-id wall time and execution counts for loops that carry a
     directive and execute outside any parallel region — the raw data for
-    the empirical tuner. *)
+    the empirical tuner.  [fuel] caps total work (in loop iterations plus
+    calls) and [max_depth] caps call nesting; exceeding either raises
+    {!Trap} with a structured diagnostic. *)
 val run_program :
-  ?threads:int -> ?profile:(int, prof_cell) Hashtbl.t -> Frontend.Ast.program -> string
+  ?threads:int ->
+  ?profile:(int, prof_cell) Hashtbl.t ->
+  ?fuel:int ->
+  ?max_depth:int ->
+  Frontend.Ast.program ->
+  string
 
 (** Like {!run_program}, but also returns the final contents of every
     COMMON block member (as floats, keyed ["BLOCK/position"]) -- the
@@ -33,5 +48,7 @@ val run_program :
 val run_program_state :
   ?threads:int ->
   ?profile:(int, prof_cell) Hashtbl.t ->
+  ?fuel:int ->
+  ?max_depth:int ->
   Frontend.Ast.program ->
   string * (string * float array) list

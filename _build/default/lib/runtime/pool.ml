@@ -9,6 +9,8 @@
     (the interpreter runs nested parallel loops sequentially), so a single
     job slot suffices. *)
 
+exception Worker_failure of string * exn
+
 type t = {
   m : Mutex.t;
   cv_job : Condition.t;  (** signaled when a new job is published *)
@@ -84,13 +86,22 @@ let create n_threads : t =
   p
 
 (** Run [f c] for every chunk [c] in [0 .. chunks-1] across the pool,
-    with the calling domain participating.  Re-raises the first failure. *)
-let parallel_for (p : t) ~(chunks : int) (f : int -> unit) =
+    with the calling domain participating.  Re-raises the first failure --
+    raw when [label] is absent, wrapped in {!Worker_failure} (so the
+    caller knows which loop owned the dead worker) when present. *)
+let parallel_for ?label (p : t) ~(chunks : int) (f : int -> unit) =
+  let reraise e =
+    match label with
+    | None -> raise e
+    | Some l -> raise (Worker_failure (l, e))
+  in
   if chunks <= 0 then ()
   else if p.size = 1 || chunks = 1 then
-    for c = 0 to chunks - 1 do
-      f c
-    done
+    try
+      for c = 0 to chunks - 1 do
+        f c
+      done
+    with e -> reraise e
   else begin
     Mutex.lock p.m;
     p.job <- Some f;
@@ -125,7 +136,7 @@ let parallel_for (p : t) ~(chunks : int) (f : int -> unit) =
     p.job <- None;
     let failure = p.failure in
     Mutex.unlock p.m;
-    match failure with Some e -> raise e | None -> ()
+    match failure with Some e -> reraise e | None -> ()
   end
 
 let shutdown (p : t) =

@@ -8,6 +8,11 @@
 
 type t
 
+(** The first exception captured from a dead worker, annotated with the
+    label of the owning parallel loop.  Raised only when [parallel_for]
+    was given a [label]; unlabeled calls re-raise the exception raw. *)
+exception Worker_failure of string * exn
+
 (** [create n] spawns [n-1] worker domains ([n <= 1] gives a pool that
     runs everything on the caller). *)
 val create : int -> t
@@ -15,8 +20,9 @@ val create : int -> t
 (** [parallel_for p ~chunks f] runs [f c] for each [c] in
     [0 .. chunks-1] across the pool, the caller participating, and blocks
     until all complete.  The first exception raised by any chunk is
-    re-raised after the join. *)
-val parallel_for : t -> chunks:int -> (int -> unit) -> unit
+    re-raised after the join: raw without [label], wrapped in
+    {!Worker_failure} with it. *)
+val parallel_for : ?label:string -> t -> chunks:int -> (int -> unit) -> unit
 
 (** Stop and join all workers.  The pool must not be used afterwards. *)
 val shutdown : t -> unit

@@ -1,0 +1,1 @@
+test/test_diag.ml: Alcotest Core Frontend Helpers List Perfect Runtime String

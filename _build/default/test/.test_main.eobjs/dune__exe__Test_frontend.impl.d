@@ -1,1 +1,1 @@
-test/test_frontend.ml: Alcotest Ast Frontend Helpers Lexer List Option Parser Perfect Pretty String Validate
+test/test_frontend.ml: Alcotest Ast Diag Frontend Helpers Lexer List Option Perfect Pretty String Validate

@@ -1,0 +1,235 @@
+(** Fault-isolated pipeline tests: parser recovery with located
+    diagnostics, per-call-site degradation of annotation inlining, the
+    robust/strict pipeline equivalence on healthy input, and the
+    interpreter's runtime guards (fuel and call depth). *)
+
+open Helpers
+
+let ci = Alcotest.(check int)
+let cb = Alcotest.(check bool)
+let cs = Alcotest.(check string)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ---------------- parser recovery ---------------- *)
+
+(* Three seeded syntax errors: a malformed statement in MAIN, a whole
+   unparsable unit (BROKEN's header), and a malformed statement in GOOD.
+   MAIN and GOOD must be salvaged. *)
+let errorful_src =
+  "      PROGRAM MAIN\n\
+  \      X = 1.0\n\
+  \      Y = ((2 *\n\
+  \      PRINT *, X\n\
+  \      END\n\
+  \      SUBROUTINE BROKEN(\n\
+  \      Z = 1.0\n\
+  \      END\n\
+  \      SUBROUTINE GOOD(A)\n\
+  \      DIMENSION A(10)\n\
+  \      A(1 = 3.0\n\
+  \      DO 10 I = 1, 10\n\
+  \      A(I) = I\n\
+  \   10 CONTINUE\n\
+  \      END\n"
+
+let test_parser_recovery () =
+  let p, diags = Frontend.Resolve.parse_robust errorful_src in
+  let names = List.map (fun u -> u.Frontend.Ast.u_name) p.p_units in
+  cb "MAIN salvaged" true (List.mem "MAIN" names);
+  cb "GOOD salvaged" true (List.mem "GOOD" names);
+  cb "BROKEN dropped" true (not (List.mem "BROKEN" names));
+  ci "three errors reported" 3 (Core.Diag.errors_in diags);
+  cb "every diagnostic carries a line number" true
+    (List.for_all
+       (fun (d : Core.Diag.t) ->
+         match d.d_loc with Some l -> l.l_line > 0 | None -> false)
+       diags);
+  (* the salvaged GOOD still contains its healthy loop *)
+  let good = Frontend.Ast.find_unit_exn p "GOOD" in
+  ci "GOOD keeps its loop" 1
+    (List.length (Frontend.Ast.collect_loops good.u_body))
+
+let test_max_errors_cap () =
+  (* many bad lines, budget of 2: the parser stops early but still
+     returns what it has instead of raising *)
+  let src =
+    "      PROGRAM MAIN\n\
+    \      X = ((1 *\n\
+    \      X = ((2 *\n\
+    \      X = ((3 *\n\
+    \      X = ((4 *\n\
+    \      END\n"
+  in
+  let _, diags = Frontend.Resolve.parse_robust ~max_errors:2 src in
+  ci "capped at two errors" 2 (Core.Diag.errors_in diags)
+
+let test_render_location () =
+  let d =
+    Core.Diag.make ~loc:(Core.Diag.loc ~col:5 12) Core.Diag.Parse "boom"
+  in
+  cs "rendered with location" "error[parse] line 12, col 5: boom"
+    (Core.Diag.render d)
+
+(* ---------------- degraded annotation inlining ---------------- *)
+
+(* BADANN's annotation elementizes a rank-2 section against a rank-1
+   target: instantiation dies with an *unexpected* exception (not a
+   [Skip]), which the robust barrier must confine to that call site. *)
+let degrade_src =
+  "      PROGRAM MAIN\n\
+  \      DIMENSION A(10), B(10)\n\
+  \      DO 10 I = 1, 10\n\
+  \      A(I) = I\n\
+  \   10 CONTINUE\n\
+  \      DO 20 I = 1, 10\n\
+  \      CALL BADANN(B, 10)\n\
+  \   20 CONTINUE\n\
+  \      PRINT *, A(1)\n\
+  \      END\n\
+  \      SUBROUTINE BADANN(B, N)\n\
+  \      DIMENSION B(10)\n\
+  \      B(1) = 0.0\n\
+  \      END\n"
+
+let degrade_annot =
+  "subroutine BADANN(B, N) { dimension B[N]; B[1:N] = B[1:N, 1:N]; }"
+
+let test_annot_failure_degrades_call_site () =
+  let program = parse degrade_src in
+  let annots = Core.Annot_parser.parse_annotations degrade_annot in
+  let r =
+    Core.Pipeline.run_robust ~annots ~mode:Core.Pipeline.Annotation_based
+      program
+  in
+  (* the sick call site was left un-inlined and recorded *)
+  (match r.res_annot_stats with
+  | Some st ->
+      ci "one failed site" 1 (List.length st.failed);
+      ci "no inlined sites" 0 (List.length st.sites)
+  | None -> Alcotest.fail "annotation stats missing");
+  cb "failure surfaced as a diagnostic" true
+    (List.exists
+       (fun (d : Core.Diag.t) -> d.d_code = Core.Diag.Annot)
+       r.res_diags);
+  (* healthy work elsewhere still parallelizes *)
+  cb "another loop still parallelized" true (r.res_marked <> []);
+  (* the degraded call survives in the output *)
+  let main = Frontend.Ast.find_unit_exn r.res_program "MAIN" in
+  let calls = ref 0 in
+  ignore
+    (Frontend.Ast.map_stmts
+       (fun s ->
+         (match s.Frontend.Ast.node with
+         | Frontend.Ast.Call ("BADANN", _) -> incr calls
+         | _ -> ());
+         [ s ])
+       main.u_body);
+  ci "call site kept" 1 !calls
+
+let test_strict_mode_unaffected () =
+  (* without [~robust], the same failure propagates (strict contract) *)
+  let program = parse degrade_src in
+  let annots = Core.Annot_parser.parse_annotations degrade_annot in
+  cb "strict run raises" true
+    (try
+       ignore (Core.Annot_inline.run ~annots program);
+       false
+     with Core.Annot_inline.Skip _ | Failure _ -> true)
+
+(* ---------------- robust ≡ strict on healthy input ---------------- *)
+
+let test_robust_equals_strict_on_healthy () =
+  let b = List.hd Perfect.Suite.all in
+  let program = Perfect.Bench_def.parse b in
+  let annots = Perfect.Bench_def.annots b in
+  List.iter
+    (fun mode ->
+      let strict = Core.Pipeline.run ~annots ~mode program in
+      let robust = Core.Pipeline.run_robust ~annots ~mode program in
+      cb "no diagnostics on healthy input" true (robust.res_diags = []);
+      Alcotest.(check (list int))
+        ("marked loops agree: " ^ Core.Pipeline.mode_name mode)
+        strict.res_marked robust.res_marked;
+      ci
+        ("code size agrees: " ^ Core.Pipeline.mode_name mode)
+        strict.res_code_size robust.res_code_size)
+    [ Core.Pipeline.No_inlining; Core.Pipeline.Conventional;
+      Core.Pipeline.Annotation_based ]
+
+(* ---------------- runtime guards ---------------- *)
+
+let fuel_src =
+  "      PROGRAM MAIN\n\
+  \      S = 0.0\n\
+  \      DO 10 I = 1, 100000\n\
+  \      DO 20 J = 1, 100000\n\
+  \      S = S + 1.0\n\
+  \   20 CONTINUE\n\
+  \   10 CONTINUE\n\
+  \      PRINT *, S\n\
+  \      END\n"
+
+let test_fuel_trap () =
+  let program = parse fuel_src in
+  match Runtime.Interp.run_program ~fuel:1000 program with
+  | _ -> Alcotest.fail "runaway program was not trapped"
+  | exception Runtime.Interp.Trap d ->
+      cb "trap diagnostic mentions the budget" true
+        (d.Core.Diag.d_code = Core.Diag.Trap
+        && contains ~sub:"budget" d.Core.Diag.d_message)
+
+let test_fuel_enough_is_invisible () =
+  let src =
+    "      PROGRAM MAIN\n\
+    \      S = 0.0\n\
+    \      DO 10 I = 1, 10\n\
+    \      S = S + 1.0\n\
+    \   10 CONTINUE\n\
+    \      PRINT *, S\n\
+    \      END\n"
+  in
+  let program = parse src in
+  cs "ample fuel changes nothing"
+    (Runtime.Interp.run_program program)
+    (Runtime.Interp.run_program ~fuel:100_000 program)
+
+let test_depth_trap () =
+  (* mutual recursion: A calls B calls A, never legal Fortran but exactly
+     what the depth guard exists to stop *)
+  let src =
+    "      PROGRAM MAIN\n\
+    \      CALL A(1)\n\
+    \      END\n\
+    \      SUBROUTINE A(K)\n\
+    \      CALL B(K)\n\
+    \      END\n\
+    \      SUBROUTINE B(K)\n\
+    \      CALL A(K)\n\
+    \      END\n"
+  in
+  let program = parse src in
+  match Runtime.Interp.run_program ~max_depth:50 program with
+  | _ -> Alcotest.fail "runaway recursion was not trapped"
+  | exception Runtime.Interp.Trap d ->
+      cb "depth trap diagnostic" true (d.Core.Diag.d_code = Core.Diag.Trap)
+
+let suite =
+  [
+    ("recovery: three errors, two good units", `Quick, test_parser_recovery);
+    ("recovery: --max-errors cap", `Quick, test_max_errors_cap);
+    ("diag: rendering with location", `Quick, test_render_location);
+    ( "robust: annotation failure degrades one call site",
+      `Quick,
+      test_annot_failure_degrades_call_site );
+    ("robust: strict mode still raises", `Quick, test_strict_mode_unaffected);
+    ( "robust: equals strict pipeline on healthy bench",
+      `Quick,
+      test_robust_equals_strict_on_healthy );
+    ("guard: fuel exhaustion traps", `Quick, test_fuel_trap);
+    ("guard: ample fuel is invisible", `Quick, test_fuel_enough_is_invisible);
+    ("guard: recursion depth traps", `Quick, test_depth_trap);
+  ]

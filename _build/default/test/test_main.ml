@@ -4,6 +4,7 @@ let () =
   Alcotest.run "parinline"
     [
       ("frontend", Test_frontend.suite);
+      ("diag", Test_diag.suite);
       ("analysis", Test_analysis.suite);
       ("dependence", Test_dependence.suite);
       ("exact", Test_exact.suite);

@@ -56,8 +56,16 @@ let test_lex_comments () =
   ci "trailing comment stripped" 3 (List.length (List.hd lines).Lexer.tokens)
 
 let test_lex_error () =
-  Alcotest.check_raises "bad char" (Lexer.Lex_error "line 1: unexpected character '#'")
-    (fun () -> ignore (Lexer.logical_lines "X # Y"))
+  try
+    ignore (Lexer.logical_lines "X # Y");
+    Alcotest.fail "bad char accepted"
+  with Diag.Fatal d ->
+    check Alcotest.string "message" "unexpected character '#'" d.Diag.d_message;
+    (match d.Diag.d_loc with
+    | Some { Diag.l_line; l_col } ->
+        ci "line" 1 l_line;
+        ci "col" 3 l_col
+    | None -> Alcotest.fail "lex diagnostic carries no location")
 
 (* ---------------- parser ---------------- *)
 
@@ -174,7 +182,7 @@ let test_parse_goto_rejected () =
   try
     ignore (parse "      PROGRAM T\n      GOTO 10\n      END\n");
     Alcotest.fail "GOTO accepted"
-  with Parser.Parse_error _ -> ()
+  with Diag.Fatal d -> ci "line" 2 (match d.Diag.d_loc with Some l -> l.Diag.l_line | None -> -1)
 
 (* ---------------- pretty-printer roundtrip ---------------- *)
 
