@@ -3,11 +3,24 @@
 
    Usage:
      bench/main.exe [table1] [table2] [fig20] [micro] [ablate] [all]
-   With no argument everything runs (the paper's artifacts plus the
-   microbenchmarks and ablations). *)
+                    [--jobs N] [--json FILE]
+   With no task argument everything runs (the paper's artifacts plus the
+   microbenchmarks and ablations).
+
+   --jobs N     shard the table2 suite matrix across N domains (driver)
+   --json FILE  write the table2 run as machine-readable bench points
+                (stable schema, see DESIGN.md "Benchmark schema")
+
+   Exit codes follow the 0/1/2 contract from the CLI: 0 clean, 1 when
+   any benchmark salvaged error diagnostics or crashed (results still
+   produced), 2 on a fatal fault (nothing usable).  CI gates on this. *)
 
 let say fmt = Printf.printf fmt
 let rule () = say "%s\n" (String.make 78 '-')
+
+(* Worst observed status (0 clean / 1 salvaged); fatals exit 2 directly. *)
+let worst_status = ref 0
+let degrade s = if s > !worst_status then worst_status := s
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                              *)
@@ -27,7 +40,7 @@ let table1 () =
 (* Table II                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table2 () =
+let table2 ?(jobs = 1) ?json_out () =
   rule ();
   say
     "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE THREE INLINING\n\
@@ -37,25 +50,40 @@ let table2 () =
     "annotation-based";
   say "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n" "bench" "par"
     "size" "par" "loss" "extra" "size" "par" "loss" "extra" "size";
+  let points = Perfect.Driver.run_suite ~jobs () in
   let tot = Array.make 10 0 in
   let add i v = tot.(i) <- tot.(i) + v in
-  List.iter
-    (fun (b : Perfect.Bench_def.t) ->
-      let r = Perfect.Experiment.table2_row b in
-      let n = r.t2_no_inline
-      and c = r.t2_conventional
-      and a = r.t2_annotation in
-      say "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d\n" b.name
-        n.m_par n.m_size c.m_par c.m_loss c.m_extra c.m_size a.m_par a.m_loss
-        a.m_extra a.m_size;
-      List.iteri add
-        [
-          n.m_par; n.m_size; c.m_par; c.m_loss; c.m_extra; c.m_size; a.m_par;
-          a.m_loss; a.m_extra; a.m_size;
-        ])
-    Perfect.Suite.all;
+  let rec rows = function
+    | (n : Perfect.Driver.point) :: c :: a :: rest ->
+        say "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d%s\n"
+          n.pt_bench n.pt_par n.pt_size c.pt_par c.pt_loss c.pt_extra
+          c.pt_size a.pt_par a.pt_loss a.pt_extra a.pt_size
+          (match
+             Core.Diag.summary (n.pt_diags @ c.pt_diags @ a.pt_diags)
+           with
+          | "" -> ""
+          | s -> "  [" ^ s ^ "]");
+        List.iteri add
+          [
+            n.pt_par; n.pt_size; c.pt_par; c.pt_loss; c.pt_extra; c.pt_size;
+            a.pt_par; a.pt_loss; a.pt_extra; a.pt_size;
+          ];
+        rows rest
+    | _ -> ()
+  in
+  rows points;
   say "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d\n" "TOTAL" tot.(0)
     tot.(1) tot.(2) tot.(3) tot.(4) tot.(5) tot.(6) tot.(7) tot.(8) tot.(9);
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Perfect.Driver.to_json points));
+      Printf.eprintf "bench: wrote %d points to %s\n"
+        (List.length points) path);
+  degrade (Perfect.Driver.exit_status points);
   say
     "\npaper's aggregate shape: conventional loses ~90 loops and gains only\n\
      ~12 of the ~37 found by annotation-based inlining; conventional code\n\
@@ -227,21 +255,51 @@ let ablate () =
     [ 1; 4; 32 ];
   say "\n"
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
+     [--json FILE]\n";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* split options from task names *)
+  let jobs = ref 1 in
+  let json_out = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse_args acc rest
+        | _ -> usage ())
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse_args acc rest
+    | ("--jobs" | "--json") :: [] -> usage ()
+    | a :: rest -> parse_args (a :: acc) rest
+  in
+  let args = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let args = if args = [] then [ "all" ] else args in
-  List.iter
-    (function
-      | "table1" -> table1 ()
-      | "table2" -> table2 ()
-      | "fig20" -> fig20 ()
-      | "micro" -> micro ()
-      | "ablate" -> ablate ()
-      | "all" ->
-          table1 ();
-          table2 ();
-          fig20 ();
-          micro ();
-          ablate ()
-      | other -> Printf.eprintf "unknown benchmark %s\n" other)
-    args
+  (try
+     List.iter
+       (function
+         | "table1" -> table1 ()
+         | "table2" -> table2 ~jobs:!jobs ?json_out:!json_out ()
+         | "fig20" -> fig20 ()
+         | "micro" -> micro ()
+         | "ablate" -> ablate ()
+         | "all" ->
+             table1 ();
+             table2 ~jobs:!jobs ?json_out:!json_out ();
+             fig20 ();
+             micro ();
+             ablate ()
+         | other ->
+             Printf.eprintf "unknown benchmark %s\n" other;
+             usage ())
+       args
+   with Core.Diag.Fatal d ->
+     prerr_endline (Core.Diag.render d);
+     exit 2);
+  exit !worst_status

@@ -12,6 +12,10 @@
      --max-errors N   stop after N errors in --keep-going mode (default 20)
      --fuel N         (run) trap execution after ~N loop iterations + calls
 
+   Profiling (compile, run):
+     --profile        dump the per-pass timing breakdown and analysis
+                      counters (same schema as the bench driver) on stderr
+
    Exit codes: 0 = clean, 1 = diagnostics emitted but work salvaged,
    2 = fatal (nothing usable produced). *)
 
@@ -71,15 +75,26 @@ let robust f =
   | exception Core.Diag.Error_limit n ->
       fail_cli "error limit (%d) reached; giving up" n
 
-let compile_run source_file annot_file mode out keep_going max_errors =
+(* --profile support: build a profile when asked, render it on stderr
+   once the work is done. *)
+let make_prof profile = if profile then Some (Core.Prof.create ()) else None
+
+let dump_prof = function
+  | None -> ()
+  | Some p -> prerr_string (Core.Prof.render p)
+
+let compile_run source_file annot_file mode out keep_going max_errors profile =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  let prof = make_prof profile in
   let r =
     if keep_going then
       robust (fun () ->
-          Core.Pipeline.run_source_robust ~max_errors ~mode ~annot_source
-            source)
-    else strict (fun () -> Core.Pipeline.run_source ~mode ~annot_source source)
+          Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
+            ~annot_source source)
+    else
+      strict (fun () ->
+          Core.Pipeline.run_source ?prof ~mode ~annot_source source)
   in
   let text = Frontend.Pretty.program_to_string r.res_program in
   (match out with
@@ -95,6 +110,7 @@ let compile_run source_file annot_file mode out keep_going max_errors =
     (match Core.Diag.summary r.res_diags with
     | "" -> ""
     | s -> " (" ^ s ^ ")");
+  dump_prof prof;
   finish_with r.res_diags
 
 let report_run source_file annot_file keep_going max_errors =
@@ -162,27 +178,37 @@ let report_run source_file annot_file keep_going max_errors =
   print_diags parse_diags;
   finish_with !all_diags
 
-let exec_run source_file annot_file mode threads keep_going max_errors fuel =
+let exec_run source_file annot_file mode threads keep_going max_errors fuel
+    profile =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  let prof = make_prof profile in
   let r =
     if keep_going then
       robust (fun () ->
-          Core.Pipeline.run_source_robust ~max_errors ~mode ~annot_source
-            source)
-    else strict (fun () -> Core.Pipeline.run_source ~mode ~annot_source source)
+          Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
+            ~annot_source source)
+    else
+      strict (fun () ->
+          Core.Pipeline.run_source ?prof ~mode ~annot_source source)
   in
   print_diags r.res_diags;
   let fuel = if fuel <= 0 then None else Some fuel in
   let t0 = Unix.gettimeofday () in
-  match Runtime.Interp.run_program ~threads ?fuel r.res_program with
+  match
+    Core.Prof.with_opt prof (fun () ->
+        Core.Prof.time "execute" (fun () ->
+            Runtime.Interp.run_program ~threads ?fuel r.res_program))
+  with
   | output ->
       let dt = Unix.gettimeofday () -. t0 in
       print_string output;
       Printf.eprintf "elapsed: %.3fs (threads=%d)\n" dt threads;
+      dump_prof prof;
       finish_with r.res_diags
   | exception Runtime.Interp.Trap d ->
       print_diags (r.res_diags @ [ d ]);
+      dump_prof prof;
       exit 1
   | exception Runtime.Value.Runtime_error m ->
       prerr_endline (Core.Diag.render (Core.Diag.make Core.Diag.Exec m));
@@ -226,11 +252,19 @@ let fuel_arg =
           "Trap execution after roughly $(docv) loop iterations plus calls \
            (0 = unlimited).")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Dump the per-pass timing breakdown and analysis counters on \
+           stderr (the bench driver's schema).")
+
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Optimize a program and print the result")
     Term.(
       const compile_run $ source_arg $ annot_arg $ mode_arg $ out_arg
-      $ keep_going_arg $ max_errors_arg)
+      $ keep_going_arg $ max_errors_arg $ profile_arg)
 
 let report_cmd =
   Cmd.v
@@ -243,7 +277,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize then execute a program")
     Term.(
       const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
-      $ keep_going_arg $ max_errors_arg $ fuel_arg)
+      $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg)
 
 let bench_run name threads =
   match Perfect.Suite.find name with

@@ -14,12 +14,19 @@
 
 open Frontend
 
-let counter = ref 0
+(* Domain-local so concurrent compilations (the suite driver) neither
+   race nor perturb each other's generated names. *)
+let counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_index () =
-  incr counter;
+  let r = Domain.DLS.get counter in
+  incr r;
   (* leading I gives implicit INTEGER typing *)
-  Printf.sprintf "ITSEC%d" !counter
+  Printf.sprintf "ITSEC%d" !r
+
+(** Reset the calling domain's name counter (per-compilation, for
+    deterministic output regardless of task scheduling). *)
+let reset_gensym () = Domain.DLS.get counter := 0
 
 (* Replace the sections of an expression with element references driven by
    [idx_of k], the index expression for the k-th sectioned dimension. *)

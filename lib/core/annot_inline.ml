@@ -62,9 +62,16 @@ type abind =
    regions never share temporaries (a collision would make them look
    live across regions).  The reverse-inline matcher treats these names
    as wildcard classes, so renumbering between the inline-time and
-   match-time instantiations is harmless. *)
-let global_ian = ref 0
-let global_unk = ref 0
+   match-time instantiations is harmless.  Domain-local: concurrent
+   compilations (the suite driver) must not race on the counters. *)
+let global_ian : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let global_unk : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+(** Reset the calling domain's name counters (per-compilation, for
+    deterministic output regardless of task scheduling). *)
+let reset_gensym () =
+  Domain.DLS.get global_ian := 0;
+  Domain.DLS.get global_unk := 0
 
 type env = {
   cfg : config;
@@ -77,12 +84,14 @@ type env = {
 }
 
 let fresh_ian _env =
-  incr global_ian;
-  Printf.sprintf "IAN%d" !global_ian
+  let r = Domain.DLS.get global_ian in
+  incr r;
+  Printf.sprintf "IAN%d" !r
 
 let fresh_unk env k =
-  incr global_unk;
-  let name = Printf.sprintf "UNKANN%d" !global_unk in
+  let r = Domain.DLS.get global_unk in
+  incr r;
+  let name = Printf.sprintf "UNKANN%d" !r in
   env.new_decls :=
     { Ast.d_name = name; d_type = Ast.Real; d_dims = [ Ast.Dim_expr (Ast.Int_const (max 1 k)) ] }
     :: !(env.new_decls);
@@ -614,6 +623,7 @@ let run ?(config = default_config) ?(robust = false)
                   }
                 in
                 stats.sites <- (u.u_name, name, tag.tag_id) :: stats.sites;
+                Prof.tick_annot_site ();
                 [ Ast.mk (Ast.Tagged (tag, body)) ]
               with
               | Skip why ->

@@ -51,6 +51,11 @@ val instantiate :
   mode:[ `Inline of Frontend.Ast.expr list | `Match ] ->
   Frontend.Ast.stmt list * Frontend.Ast.decl list
 
+(** Reset the calling domain's generated-name counters (IAN/UNKANN).
+    Called once per compilation task by the suite driver so output text
+    is deterministic regardless of task scheduling. *)
+val reset_gensym : unit -> unit
+
 (** Apply annotation-based inlining over the whole program.  With
     [~robust:true], a call site whose instantiation raises an unexpected
     exception is kept un-inlined and recorded in [stats.failed] instead of

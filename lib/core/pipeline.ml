@@ -32,9 +32,18 @@ type result = {
       (** diagnostics accumulated by {!run_robust}; [[]] from {!run} *)
 }
 
+let stmt_count (p : Ast.program) =
+  List.fold_left
+    (fun n u -> Ast.fold_stmts (fun n _ -> n + 1) n u.Ast.u_body)
+    0 p.Ast.p_units
+
 let normalize (p : Ast.program) : Ast.program =
-  p |> Analysis.Constprop.run |> Analysis.Induction.run
-  |> Analysis.Forward_subst.run |> Analysis.Constprop.run
+  (* the count is gathered only under an installed profile; the sweep
+     itself stays untouched when profiling is off *)
+  if Prof.enabled () then Prof.add_stmts_normalized (stmt_count p);
+  Prof.time "normalize" (fun () ->
+      p |> Analysis.Constprop.run |> Analysis.Induction.run
+      |> Analysis.Forward_subst.run |> Analysis.Constprop.run)
 
 let original_loop_ids (p : Ast.program) =
   List.concat_map
@@ -79,33 +88,39 @@ let marked_ids program reports =
          else None)
        reports)
 
-(** Run one pipeline configuration. *)
-let run ?(par_config = Parallelizer.Parallelize.default_config)
+(** Run one pipeline configuration.  With [?prof], the profile is
+    installed for the duration of the run: each phase's wall time lands in
+    its pass bucket and the analysis counters accumulate. *)
+let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     ?(inline_config = Inliner.Inline.default_config)
     ?(annot_config = Annot_inline.default_config)
     ?(annots : Annot_ast.annotation list = []) ~(mode : mode)
     (program : Ast.program) : result =
+  Prof.with_opt prof @@ fun () ->
   let original_loops = original_loop_ids program in
   let program, inline_stats, annot_stats =
-    match mode with
-    | No_inlining -> (program, None, None)
-    | Conventional ->
-        let p, st = Inliner.Inline.run ~config:inline_config program in
-        (p, Some st, None)
-    | Annotation_based ->
-        let p, st = Annot_inline.run ~config:annot_config ~annots program in
-        (p, None, Some st)
+    Prof.time "inline" (fun () ->
+        match mode with
+        | No_inlining -> (program, None, None)
+        | Conventional ->
+            let p, st = Inliner.Inline.run ~config:inline_config program in
+            (p, Some st, None)
+        | Annotation_based ->
+            let p, st = Annot_inline.run ~config:annot_config ~annots program in
+            (p, None, Some st))
   in
   let program = normalize program in
   let program, reports =
-    Parallelizer.Parallelize.run ~config:par_config program
+    Prof.time "parallelize" (fun () ->
+        Parallelizer.Parallelize.run ~config:par_config program)
   in
   let program, reverse_stats =
-    match mode with
-    | Annotation_based ->
-        let p, st = Reverse.run ~cfg:annot_config ~annots program in
-        (p, Some st)
-    | No_inlining | Conventional -> (program, None)
+    Prof.time "reverse" (fun () ->
+        match mode with
+        | Annotation_based ->
+            let p, st = Reverse.run ~cfg:annot_config ~annots program in
+            (p, Some st)
+        | No_inlining | Conventional -> (program, None))
   in
   {
     res_mode = mode;
@@ -121,12 +136,14 @@ let run ?(par_config = Parallelizer.Parallelize.default_config)
   }
 
 (** Parse + resolve source and annotations, then run. *)
-let run_source ?par_config ?inline_config ?annot_config ~mode
+let run_source ?prof ?par_config ?inline_config ?annot_config ~mode
     ?(annot_source = "") (source : string) : result =
-  let program = Resolve.parse source in
+  Prof.with_opt prof @@ fun () ->
+  let program = Prof.time "parse" (fun () -> Resolve.parse source) in
   let annots =
-    if String.trim annot_source = "" then []
-    else Annot_parser.parse_annotations annot_source
+    Prof.time "parse" (fun () ->
+        if String.trim annot_source = "" then []
+        else Annot_parser.parse_annotations annot_source)
   in
   run ?par_config ?inline_config ?annot_config ~annots ~mode program
 
@@ -150,6 +167,8 @@ let guard_unit dg ~code ~pass (u : Ast.program_unit)
    per unit: a crashing pass restores the pre-pass body of that unit and
    moves on. *)
 let normalize_robust dg (p : Ast.program) : Ast.program =
+  if Prof.enabled () then Prof.add_stmts_normalized (stmt_count p);
+  Prof.time "normalize" @@ fun () ->
   let passes =
     [
       ("constant propagation", Analysis.Constprop.run_unit);
@@ -174,12 +193,13 @@ let normalize_robust dg (p : Ast.program) : Ast.program =
     the inlined regions.  Everything salvaged is recorded in
     [res_diags].  Pass [dg] to accumulate into an existing collector
     (e.g. one already holding parse diagnostics). *)
-let run_robust ?(par_config = Parallelizer.Parallelize.default_config)
+let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     ?(inline_config = Inliner.Inline.default_config)
     ?(annot_config = Annot_inline.default_config)
     ?(annots : Annot_ast.annotation list = [])
     ?(dg = Diag.collector ()) ~(mode : mode) (program : Ast.program) :
     result =
+  Prof.with_opt prof @@ fun () ->
   let original_loops = original_loop_ids program in
   let conventional p =
     try
@@ -194,6 +214,7 @@ let run_robust ?(par_config = Parallelizer.Parallelize.default_config)
         (p, None)
   in
   let program, inline_stats, annot_stats =
+    Prof.time "inline" @@ fun () ->
     match mode with
     | No_inlining -> (program, None, None)
     | Conventional ->
@@ -222,34 +243,38 @@ let run_robust ?(par_config = Parallelizer.Parallelize.default_config)
             (p, st, None))
   in
   let program = normalize_robust dg program in
-  let pure =
-    if not par_config.Parallelizer.Parallelize.allow_pure_functions then
-      Parallelizer.Parallelize.S.empty
-    else
-      try Parallelizer.Purity.pure_functions program with
-      | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
-      | e ->
-          Diag.warn dg Diag.Parallel
-            "purity analysis failed (%s); treating all functions as impure"
-            (Printexc.to_string e);
-          Parallelizer.Parallelize.S.empty
-  in
-  let units, reports =
-    List.fold_left
-      (fun (us, rs) u ->
-        match Parallelizer.Parallelize.run_unit ~config:par_config ~pure u
-        with
-        | u', r -> (u' :: us, rs @ r)
-        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
-        | exception e ->
+  let program, reports =
+    Prof.time "parallelize" @@ fun () ->
+    let pure =
+      if not par_config.Parallelizer.Parallelize.allow_pure_functions then
+        Parallelizer.Parallelize.S.empty
+      else
+        try Parallelizer.Purity.pure_functions program with
+        | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+        | e ->
             Diag.warn dg Diag.Parallel
-              "parallelizer crashed on unit %s (%s); unit left serial"
-              u.Ast.u_name (Printexc.to_string e);
-            (u :: us, rs))
-      ([], []) program.Ast.p_units
+              "purity analysis failed (%s); treating all functions as impure"
+              (Printexc.to_string e);
+            Parallelizer.Parallelize.S.empty
+    in
+    let units, reports =
+      List.fold_left
+        (fun (us, rs) u ->
+          match Parallelizer.Parallelize.run_unit ~config:par_config ~pure u
+          with
+          | u', r -> (u' :: us, rs @ r)
+          | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+          | exception e ->
+              Diag.warn dg Diag.Parallel
+                "parallelizer crashed on unit %s (%s); unit left serial"
+                u.Ast.u_name (Printexc.to_string e);
+              (u :: us, rs))
+        ([], []) program.Ast.p_units
+    in
+    ({ Ast.p_units = List.rev units }, reports)
   in
-  let program = { Ast.p_units = List.rev units } in
   let program, reverse_stats =
+    Prof.time "reverse" @@ fun () ->
     match mode with
     | No_inlining | Conventional -> (program, None)
     | Annotation_based -> (
@@ -290,11 +315,15 @@ let run_robust ?(par_config = Parallelizer.Parallelize.default_config)
 (** Robust end-to-end entry: salvaging parse (units that fail to parse
     are dropped with located diagnostics), annotation-file faults degrade
     to no annotations, then {!run_robust}. *)
-let run_source_robust ?par_config ?inline_config ?annot_config ?max_errors
-    ~mode ?(annot_source = "") (source : string) : result =
+let run_source_robust ?prof ?par_config ?inline_config ?annot_config
+    ?max_errors ~mode ?(annot_source = "") (source : string) : result =
+  Prof.with_opt prof @@ fun () ->
   let dg = Diag.collector ?max_errors () in
-  let program, parse_diags = Resolve.parse_robust ?max_errors source in
+  let program, parse_diags =
+    Prof.time "parse" (fun () -> Resolve.parse_robust ?max_errors source)
+  in
   let annots =
+    Prof.time "parse" @@ fun () ->
     if String.trim annot_source = "" then []
     else
       try Annot_parser.parse_annotations annot_source with

@@ -34,8 +34,13 @@ val normalize : Ast.program -> Ast.program
 (** Units reachable from MAIN through calls and function references. *)
 val reachable_units : Ast.program -> Set.Make(String).t
 
-(** Run one pipeline configuration over a parsed program. *)
+(** Run one pipeline configuration over a parsed program.  With
+    [?prof], the profile is installed (domain-locally) for the duration:
+    phase wall times land in pass buckets ("inline", "normalize",
+    "parallelize", "reverse") and the analysis counters accumulate.
+    Without it the instrumentation is inert — a load and a branch. *)
 val run :
+  ?prof:Prof.t ->
   ?par_config:Parallelizer.Parallelize.config ->
   ?inline_config:Inliner.Inline.config ->
   ?annot_config:Annot_inline.config ->
@@ -46,6 +51,7 @@ val run :
 
 (** Parse source (and annotation source) and run. *)
 val run_source :
+  ?prof:Prof.t ->
   ?par_config:Parallelizer.Parallelize.config ->
   ?inline_config:Inliner.Inline.config ->
   ?annot_config:Annot_inline.config ->
@@ -64,6 +70,7 @@ val run_source :
     Pass [dg] to accumulate into an existing collector; its
     [Error_limit] is not caught. *)
 val run_robust :
+  ?prof:Prof.t ->
   ?par_config:Parallelizer.Parallelize.config ->
   ?inline_config:Inliner.Inline.config ->
   ?annot_config:Annot_inline.config ->
@@ -78,6 +85,7 @@ val run_robust :
     without annotations, then {!run_robust}.  [max_errors] caps the
     parser's error budget (default {!Diag.default_max_errors}). *)
 val run_source_robust :
+  ?prof:Prof.t ->
   ?par_config:Parallelizer.Parallelize.config ->
   ?inline_config:Inliner.Inline.config ->
   ?annot_config:Annot_inline.config ->

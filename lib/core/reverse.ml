@@ -404,6 +404,7 @@ let run ~(cfg : Annot_inline.config) ~(annots : annotation list)
                   match match_body u empty_binding template region with
                   | b ->
                       stats.matched <- stats.matched + 1;
+                      Prof.tick_reverse_match ();
                       let actuals =
                         extract_actuals u annot b ~recorded:tag.tag_actuals
                       in

@@ -235,7 +235,7 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
 
 (** May a dependence between references [ra] and [rb] (same base array) be
     carried by the candidate loop? *)
-let may_carry (ctx : Ctx.t) (ra : aref) (rb : aref) : bool =
+let may_carry_impl (ctx : Ctx.t) (ra : aref) (rb : aref) : bool =
   let u = ctx.cunit in
   match trip_count u ctx.candidate with
   | Some n when n <= 1 -> false (* at most one iteration: nothing carried *)
@@ -261,6 +261,14 @@ let may_carry (ctx : Ctx.t) (ra : aref) (rb : aref) : bool =
                 ra.ar_index rb.ar_index
             in
             not proven_independent)
+
+(* Profiling chokepoint: every pair test ticks the run counter, and a
+   [false] answer (independence proven, the test decided) ticks the
+   decided counter.  No-ops unless a profile is installed. *)
+let may_carry ctx ra rb =
+  let r = may_carry_impl ctx ra rb in
+  Prof.tick_dep_test ~independent:(not r);
+  r
 
 (** Convenience wrapper returning [true] when the pair is PROVEN free of
     carried dependence. *)

@@ -125,27 +125,36 @@ type program = { p_units : program_unit list }
 (* Constructors and id management                                      *)
 (* ------------------------------------------------------------------ *)
 
-let stmt_counter = ref 0
-let loop_counter = ref 0
-let tag_counter = ref 0
+(* Domain-local: the suite driver compiles benchmarks on concurrent
+   domains, and shared counters would race — losing increments can hand
+   two statements of one program the same id.  Per-domain counters plus a
+   per-compilation [reset_ids] keep ids deterministic regardless of how
+   tasks are scheduled. *)
+let stmt_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let loop_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let tag_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_sid () =
-  incr stmt_counter;
-  !stmt_counter
+  let r = Domain.DLS.get stmt_counter in
+  incr r;
+  !r
 
 let fresh_loop_id () =
-  incr loop_counter;
-  !loop_counter
+  let r = Domain.DLS.get loop_counter in
+  incr r;
+  !r
 
 let fresh_tag_id () =
-  incr tag_counter;
-  !tag_counter
+  let r = Domain.DLS.get tag_counter in
+  incr r;
+  !r
 
-(** Reset all id counters; used by tests for reproducible ids. *)
+(** Reset the calling domain's id counters; used by tests and by the
+    suite driver (per compilation task) for reproducible ids. *)
 let reset_ids () =
-  stmt_counter := 0;
-  loop_counter := 0;
-  tag_counter := 0
+  Domain.DLS.get stmt_counter := 0;
+  Domain.DLS.get loop_counter := 0;
+  Domain.DLS.get tag_counter := 0
 
 let mk node = { sid = fresh_sid (); node }
 

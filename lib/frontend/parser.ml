@@ -347,8 +347,13 @@ let parse_decl_line acc line =
 
 (* Count of nested DO loops currently waiting on each terminal label, so
    that nested loops sharing one label (DO 200 ... DO 200 ... 200 CONTINUE)
-   attach the terminal statement to the outermost loop only. *)
-let pending_labels : (int, int) Hashtbl.t = Hashtbl.create 8
+   attach the terminal statement to the outermost loop only.  Domain-local:
+   the suite driver parses benchmarks on concurrent domains, and a shared
+   table would interleave their label bookkeeping. *)
+let pending_labels_slot : (int, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let pending_labels () = Domain.DLS.get pending_labels_slot
 
 (* Parse a statement from the tokens of one line; block constructs continue
    consuming lines from [ps]. *)
@@ -501,15 +506,15 @@ and parse_block_until_label ps label =
            caller consume it; to know whether *we* are outermost we peek at
            a marker the caller manages.  Simpler: consume it here, and make
            inner loops not consume by checking a shared-seen set. *)
-        if Hashtbl.mem pending_labels label && Hashtbl.find pending_labels label > 1
+        if Hashtbl.mem (pending_labels ()) label && Hashtbl.find (pending_labels ()) label > 1
         then begin
           (* inner loop: leave the labeled line for the enclosing DO *)
-          Hashtbl.replace pending_labels label
-            (Hashtbl.find pending_labels label - 1);
+          Hashtbl.replace (pending_labels ()) label
+            (Hashtbl.find (pending_labels ()) label - 1);
           List.rev acc
         end
         else begin
-          Hashtbl.remove pending_labels label;
+          Hashtbl.remove (pending_labels ()) label;
           ps.pos <- ps.pos + 1;
           let term = parse_stmt ps line in
           List.rev (term :: acc)
@@ -518,8 +523,8 @@ and parse_block_until_label ps label =
         ps.pos <- ps.pos + 1;
         loop (parse_stmt ps line :: acc)
   in
-  Hashtbl.replace pending_labels label
-    (1 + (try Hashtbl.find pending_labels label with Not_found -> 0));
+  Hashtbl.replace (pending_labels ()) label
+    (1 + (try Hashtbl.find (pending_labels ()) label with Not_found -> 0));
   loop []
 
 and parse_if ps line =
@@ -654,7 +659,7 @@ let parse_unit ps : Ast.program_unit =
             Diag.emit (Option.get ps.dg) d;
             (* a half-parsed block construct may have left label bookkeeping
                behind; clear it so later loops are not miscounted *)
-            Hashtbl.reset pending_labels;
+            Hashtbl.reset (pending_labels ());
             body_loop stmts)
   in
   let body = body_loop [] in
@@ -692,7 +697,7 @@ let parse_unit ps : Ast.program_unit =
 (** Parse a whole source file into a program.  Strict: the first fault
     raises {!Diag.Fatal}. *)
 let parse_program source : Ast.program =
-  Hashtbl.reset pending_labels;
+  Hashtbl.reset (pending_labels ());
   let lines = Array.of_list (Lexer.logical_lines source) in
   let ps = { lines; pos = 0; dg = None } in
   let rec loop units =
@@ -719,7 +724,7 @@ let is_unit_header line =
     [max_errors] (default {!Diag.default_max_errors}) errors have been
     recorded.  Returns the units that survived plus the diagnostics. *)
 let parse_program_robust ?max_errors source : Ast.program * Diag.t list =
-  Hashtbl.reset pending_labels;
+  Hashtbl.reset (pending_labels ());
   let dg = Diag.collector ?max_errors () in
   let units = ref [] in
   (try
@@ -730,7 +735,7 @@ let parse_program_robust ?max_errors source : Ast.program * Diag.t list =
        | u -> units := u :: !units
        | exception Diag.Fatal d ->
            Diag.emit dg d;
-           Hashtbl.reset pending_labels;
+           Hashtbl.reset (pending_labels ());
            (* resync: skip to just past the next END, or to the next
               plausible unit header, whichever comes first *)
            let rec skip () =

@@ -1,0 +1,128 @@
+(** Pass-level profiling: monotonic-clock pass timers plus work counters
+    for the analyses that dominate compile time (dependence tests,
+    annotation instantiation, reverse matching, normalization).
+
+    Like {!Diag}, the representation lives in [frontend] — the lowest
+    layer every library depends on — so the dependence tester and the
+    inliners can tick counters without a dependency cycle; [Core.Prof]
+    re-exports it with pipeline-level rendering.
+
+    The interface is zero-cost when off: a profile is installed with
+    {!with_profiling} into domain-local storage, and every tick or timer
+    first checks the domain-local slot — when no profile is installed the
+    instrumentation is a load and a branch.  Domain-local installation
+    means the parallel suite driver can profile concurrent compilations
+    independently: each worker domain sees only the profile of the task
+    it is running. *)
+
+external monotonic_ns : unit -> int64 = "parinline_monotonic_ns"
+
+(** Work counters.  Mutable fields, read directly by reporters. *)
+type counters = {
+  mutable dep_tests_run : int;
+      (** dependence pair tests attempted ([Ddtest.may_carry]) *)
+  mutable dep_tests_independent : int;
+      (** of those, pairs proven independent (the test decided) *)
+  mutable annot_sites_inlined : int;
+      (** annotation call sites successfully instantiated *)
+  mutable reverse_sites_matched : int;
+      (** tagged regions pattern-matched back into CALLs *)
+  mutable stmts_normalized : int;
+      (** statements swept by the normalization passes *)
+}
+
+type t = {
+  c : counters;
+  mutable passes : (string * float) list;
+      (** accumulated milliseconds per pass, insertion-ordered *)
+}
+
+let create () =
+  {
+    c =
+      {
+        dep_tests_run = 0;
+        dep_tests_independent = 0;
+        annot_sites_inlined = 0;
+        reverse_sites_matched = 0;
+        stmts_normalized = 0;
+      };
+    passes = [];
+  }
+
+(* The installed profile of the current domain, if any. *)
+let slot : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get slot
+let enabled () = current () <> None
+
+(** Install [p] as the current domain's profile for the duration of [f],
+    restoring the previous profile afterwards (exceptions included). *)
+let with_profiling (p : t) (f : unit -> 'a) : 'a =
+  let prev = Domain.DLS.get slot in
+  Domain.DLS.set slot (Some p);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set slot prev) f
+
+(** [with_opt prof f]: profile under [Some p], plain call under [None] —
+    the shape of the pipeline's optional [?prof] argument. *)
+let with_opt (prof : t option) (f : unit -> 'a) : 'a =
+  match prof with None -> f () | Some p -> with_profiling p f
+
+(* Accumulate [ms] into the pass entry [name], keeping first-insertion
+   order so reports read in pipeline order. *)
+let add_pass (p : t) name ms =
+  let rec go = function
+    | [] -> [ (name, ms) ]
+    | (n, v) :: tl when String.equal n name -> (n, v +. ms) :: tl
+    | hd :: tl -> hd :: go tl
+  in
+  p.passes <- go p.passes
+
+(** Time [f] under the pass name [name] when a profile is installed;
+    otherwise just run it.  Faulting passes still record their time (the
+    robust pipeline salvages them, and the time was genuinely spent). *)
+let time (name : string) (f : unit -> 'a) : 'a =
+  match current () with
+  | None -> f ()
+  | Some p ->
+      let t0 = monotonic_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let ns = Int64.sub (monotonic_ns ()) t0 in
+          add_pass p name (Int64.to_float ns /. 1e6))
+        f
+
+(* ---- ticks (no-ops when no profile is installed) ---- *)
+
+let tick_dep_test ~independent =
+  match current () with
+  | None -> ()
+  | Some p ->
+      p.c.dep_tests_run <- p.c.dep_tests_run + 1;
+      if independent then
+        p.c.dep_tests_independent <- p.c.dep_tests_independent + 1
+
+let tick_annot_site () =
+  match current () with
+  | None -> ()
+  | Some p -> p.c.annot_sites_inlined <- p.c.annot_sites_inlined + 1
+
+let tick_reverse_match () =
+  match current () with
+  | None -> ()
+  | Some p -> p.c.reverse_sites_matched <- p.c.reverse_sites_matched + 1
+
+let add_stmts_normalized n =
+  match current () with
+  | None -> ()
+  | Some p -> p.c.stmts_normalized <- p.c.stmts_normalized + n
+
+(* ---- readers ---- *)
+
+(** Accumulated pass timings in milliseconds, pipeline order. *)
+let pass_ms (p : t) = p.passes
+
+let total_ms (p : t) = List.fold_left (fun a (_, ms) -> a +. ms) 0.0 p.passes
+
+(** Copy of the counters, detached from further mutation. *)
+let snapshot (p : t) : counters = { p.c with dep_tests_run = p.c.dep_tests_run }

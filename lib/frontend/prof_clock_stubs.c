@@ -1,0 +1,21 @@
+/* Monotonic clock for the pass profiler (Prof).  Unix.gettimeofday is
+   wall-clock and can jump backwards under NTP; pass timings need a
+   monotonic source.  clock_gettime(CLOCK_MONOTONIC) is POSIX and needs
+   no extra linkage on glibc >= 2.17 / musl / macOS. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#ifndef CLOCK_MONOTONIC
+#define CLOCK_MONOTONIC CLOCK_REALTIME
+#endif
+
+CAMLprim value parinline_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return caml_copy_int64(0);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -68,7 +68,13 @@ let eligibility cfg (callee : Ast.program_unit) : string option =
 (* Parameter binding                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let inline_counter = ref 0
+(* Domain-local: concurrent compilations (the suite driver) must not
+   race on the tag counter. *)
+let inline_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+(** Reset the calling domain's tag counter (per-compilation, for
+    deterministic output regardless of task scheduling). *)
+let reset_gensym () = Domain.DLS.get inline_counter := 0
 
 exception Skip of string
 
@@ -101,8 +107,9 @@ let inline_call cfg stats (caller : Ast.program_unit)
     Ast.stmt list * Ast.decl list * (string * string list) list * string list
     =
   ignore cfg;
-  incr inline_counter;
-  let tagn = !inline_counter in
+  let ctr = Domain.DLS.get inline_counter in
+  incr ctr;
+  let tagn = !ctr in
   if List.length args <> List.length callee.u_params then
     raise (Skip "arity mismatch");
   (* PARAMETER constants of the callee become scalar bindings. *)

@@ -20,10 +20,11 @@ type t = {
   ca_sid : int;
 }
 
-let order_counter = ref 0
-
 let collect (body : Ast.stmt list) : t list =
-  order_counter := 0;
+  (* local, not module-level: [collect] runs on concurrent domains under
+     the suite driver, and a shared counter would scramble the source
+     ordering the kill analysis depends on *)
+  let order_counter = ref 0 in
   let out = ref [] in
   let emit ~inner ~path (a : Usedef.access) =
     incr order_counter;

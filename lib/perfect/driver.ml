@@ -1,0 +1,250 @@
+(** Profiled parallel suite driver.
+
+    Shards the 12-benchmark × 3-configuration experiment matrix across
+    the {!Runtime.Pool} domain pool — the same pool (and the same
+    fault-isolation semantics, PR 1) the interpreter uses for parallel
+    loops.  One task = one (benchmark, configuration) compilation; a task
+    that crashes beyond what the robust pipeline can salvage degrades to
+    a crashed {!point} carrying its diagnostics, and the other 35 tasks
+    are unaffected.
+
+    Determinism: every task starts by resetting the calling domain's
+    gensym counters ({!reset_gensyms}), so statement/loop/tag ids and
+    generated names are a pure function of the benchmark source — a
+    parallel ([~jobs]) run produces results identical to the sequential
+    one regardless of how tasks land on domains.  All the id counters
+    this relies on are domain-local (see [Frontend.Ast]).
+
+    Each task carries its own {!Core.Prof} profile (installed
+    domain-locally), so per-pass timings and analysis counters of
+    concurrent compilations never mix.  {!to_json} serializes the
+    resulting points in the stable schema CI archives on every run. *)
+
+open Core
+
+(** One (benchmark, configuration) measurement. *)
+type point = {
+  pt_bench : string;
+  pt_config : Pipeline.mode;
+  pt_par : int;  (** #par-loops (original-program loops only) *)
+  pt_loss : int;  (** baseline loops lost by this configuration *)
+  pt_extra : int;  (** loops gained over the baseline *)
+  pt_size : int;  (** non-comment lines of the optimized output *)
+  pt_wall_ms : float;  (** whole-task wall clock, monotonic *)
+  pt_pass_ms : (string * float) list;  (** per-pass milliseconds *)
+  pt_counters : Prof.counters;
+  pt_diags : Diag.t list;  (** salvage record; [[]] on a healthy run *)
+  pt_crashed : bool;
+      (** the task died beyond salvage (e.g. unparseable source); the
+          numeric fields are zero and [pt_diags] holds the cause *)
+}
+
+let configs = [ Pipeline.No_inlining; Pipeline.Conventional; Pipeline.Annotation_based ]
+
+(** Reset every domain-local gensym the compilation pipeline draws from.
+    Called once per task; makes ids deterministic per benchmark source
+    independent of task order and domain placement. *)
+let reset_gensyms () =
+  Frontend.Ast.reset_ids ();
+  Analysis.Sections.reset_gensym ();
+  Inliner.Inline.reset_gensym ();
+  Annot_inline.reset_gensym ()
+
+(* Intermediate per-task record, before baseline-relative accounting. *)
+type task_result = {
+  tr_result : Pipeline.result option;  (** [None] = crashed beyond salvage *)
+  tr_wall_ms : float;
+  tr_prof : Prof.t;
+  tr_diags : Diag.t list;
+}
+
+let run_task ?par_config (b : Bench_def.t) (mode : Pipeline.mode) :
+    task_result =
+  let prof = Prof.create () in
+  let dg = Diag.collector () in
+  let t0 = Prof.monotonic_ns () in
+  let result, crash =
+    match
+      Prof.with_profiling prof (fun () ->
+          reset_gensyms ();
+          let program = Prof.time "parse" (fun () -> Bench_def.parse b) in
+          let annots = Prof.time "parse" (fun () -> Bench_def.annots b) in
+          Pipeline.run_robust ?par_config ~annots ~dg ~mode program)
+    with
+    | r -> (Some r, [])
+    | exception e ->
+        (* the whole-task fault barrier: anything the robust pipeline
+           could not absorb (unparseable source, error-limit overflow)
+           becomes a diagnostic on this point *)
+        let d = Diag.of_exn Diag.Exec e in
+        let d =
+          {
+            d with
+            Diag.d_message =
+              Printf.sprintf "benchmark %s (%s) crashed: %s" b.name
+                (Pipeline.mode_name mode) d.Diag.d_message;
+          }
+        in
+        (None, [ d ])
+  in
+  let wall_ms =
+    Int64.to_float (Int64.sub (Prof.monotonic_ns ()) t0) /. 1e6
+  in
+  let diags =
+    match result with
+    | Some r -> r.Pipeline.res_diags
+    | None -> Diag.to_list dg @ crash
+  in
+  { tr_result = result; tr_wall_ms = wall_ms; tr_prof = prof; tr_diags = diags }
+
+(** Run the suite matrix.  [jobs] is the domain count ([<= 1] runs
+    everything on the caller — the same code path, minus the workers).
+    Points come back in deterministic order: benchmark-major, then
+    no-inlining / conventional / annotation-based. *)
+let run_suite ?(jobs = 1) ?par_config ?(benches = Suite.all) () : point list =
+  let tasks =
+    Array.of_list
+      (List.concat_map (fun b -> List.map (fun m -> (b, m)) configs) benches)
+  in
+  let n = Array.length tasks in
+  let out : task_result option array = Array.make n None in
+  let pool = Runtime.Pool.create jobs in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.shutdown pool)
+    (fun () ->
+      Runtime.Pool.parallel_for ~label:"suite-driver" pool ~chunks:n (fun i ->
+          let b, m = tasks.(i) in
+          out.(i) <- Some (run_task ?par_config b m)));
+  (* Baseline-relative accounting: group the three per-bench tasks and
+     count against the no-inlining result.  A crashed baseline degrades
+     loss/extra to 0 (each result is counted against itself). *)
+  List.concat
+    (List.mapi
+       (fun bi (b : Bench_def.t) ->
+         let tr m =
+           match out.((bi * List.length configs) + m) with
+           | Some r -> r
+           | None ->
+               (* unreachable: parallel_for ran every chunk *)
+               { tr_result = None; tr_wall_ms = 0.0; tr_prof = Prof.create ();
+                 tr_diags = [] }
+         in
+         let base = (tr 0).tr_result in
+         List.mapi
+           (fun m mode ->
+             let t = tr m in
+             let par, loss, extra, size =
+               match t.tr_result with
+               | None -> (0, 0, 0, 0)
+               | Some r ->
+                   let baseline = match base with Some b -> b | None -> r in
+                   let par, loss, extra =
+                     Pipeline.table2_counts ~baseline r
+                   in
+                   (par, loss, extra, r.Pipeline.res_code_size)
+             in
+             {
+               pt_bench = b.name;
+               pt_config = mode;
+               pt_par = par;
+               pt_loss = loss;
+               pt_extra = extra;
+               pt_size = size;
+               pt_wall_ms = t.tr_wall_ms;
+               pt_pass_ms = Prof.pass_ms t.tr_prof;
+               pt_counters = Prof.snapshot t.tr_prof;
+               pt_diags = t.tr_diags;
+               pt_crashed = t.tr_result = None;
+             })
+           configs)
+       benches)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled JSON: the container has no JSON library and the schema is
+   small and flat.  Floats print as %.3f (finite by construction). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_num f = Printf.sprintf "%.3f" f
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let json_of_point (p : point) =
+  let c = p.pt_counters in
+  json_obj
+    [
+      ("bench", json_str p.pt_bench);
+      ("config", json_str (Pipeline.mode_name p.pt_config));
+      ("par_loops", string_of_int p.pt_par);
+      ("loss", string_of_int p.pt_loss);
+      ("extra", string_of_int p.pt_extra);
+      ("code_size", string_of_int p.pt_size);
+      ("wall_ms", json_num p.pt_wall_ms);
+      ( "pass_ms",
+        json_obj (List.map (fun (k, ms) -> (k, json_num ms)) p.pt_pass_ms) );
+      ( "counters",
+        json_obj
+          [
+            ("dep_tests_run", string_of_int c.Prof.dep_tests_run);
+            ("dep_tests_independent", string_of_int c.Prof.dep_tests_independent);
+            ("annot_sites_inlined", string_of_int c.Prof.annot_sites_inlined);
+            ("reverse_sites_matched", string_of_int c.Prof.reverse_sites_matched);
+            ("stmts_normalized", string_of_int c.Prof.stmts_normalized);
+          ] );
+      ( "salvage",
+        json_obj
+          [
+            ("errors", string_of_int (Diag.errors_in p.pt_diags));
+            ("warnings", string_of_int (Diag.warnings_in p.pt_diags));
+            ("crashed", if p.pt_crashed then "true" else "false");
+            ( "messages",
+              "["
+              ^ String.concat ","
+                  (List.map (fun d -> json_str (Diag.render d)) p.pt_diags)
+              ^ "]" );
+          ] );
+    ]
+
+(** The stable bench schema, one JSON document per suite run.  CI
+    archives this as [BENCH_*.json]; consumers key on [schema_version]. *)
+let to_json (points : point list) : string =
+  json_obj
+    [
+      ("schema_version", "1");
+      ("suite", json_str "perfect");
+      ("jobs_deterministic", "true");
+      ( "points",
+        "[" ^ String.concat "," (List.map json_of_point points) ^ "]" );
+    ]
+  ^ "\n"
+
+(** Worst exit status over the points, per the 0/1/2 contract: 0 clean,
+    1 when any point salvaged errors or crashed (the suite as a whole is
+    still usable), callers map whole-run fatals to 2 themselves. *)
+let exit_status (points : point list) =
+  if
+    List.exists
+      (fun p -> p.pt_crashed || Diag.errors_in p.pt_diags > 0)
+      points
+  then 1
+  else 0

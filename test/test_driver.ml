@@ -1,0 +1,169 @@
+(** Tests for the profiled parallel suite driver and the pass profiler:
+    parallel/sequential agreement on the full matrix, per-benchmark fault
+    isolation, Prof counter semantics, and JSON schema sanity. *)
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+
+(* Comparable fingerprint of a point: everything deterministic (timings
+   excluded).  Order-insensitivity comes from sorting the fingerprints. *)
+let fingerprint (p : Perfect.Driver.point) =
+  let c = p.pt_counters in
+  ( (p.pt_bench, Core.Pipeline.mode_name p.pt_config),
+    (p.pt_par, p.pt_loss, p.pt_extra, p.pt_size, p.pt_crashed),
+    ( c.Core.Prof.dep_tests_run,
+      c.Core.Prof.dep_tests_independent,
+      c.Core.Prof.annot_sites_inlined,
+      c.Core.Prof.reverse_sites_matched,
+      c.Core.Prof.stmts_normalized ) )
+
+let fingerprints points = List.sort compare (List.map fingerprint points)
+
+(* ---------------- parallel = sequential ---------------- *)
+
+let test_parallel_matches_sequential () =
+  let seq = Perfect.Driver.run_suite ~jobs:1 () in
+  let par = Perfect.Driver.run_suite ~jobs:4 () in
+  ci "12 benchmarks x 3 configs" 36 (List.length seq);
+  ci "same cardinality" (List.length seq) (List.length par);
+  cb "identical results (counts, sizes, counters)" true
+    (fingerprints seq = fingerprints par)
+
+(* ---------------- fault isolation ---------------- *)
+
+let poison : Perfect.Bench_def.t =
+  {
+    name = "POISON";
+    description = "deliberately unparseable benchmark";
+    source = "THIS IS NOT (( FORTRAN\n";
+    annotations = "";
+  }
+
+let test_poisoned_bench_is_salvaged () =
+  let clean = Perfect.Driver.run_suite ~jobs:4 () in
+  let dirty =
+    Perfect.Driver.run_suite ~jobs:4
+      ~benches:(poison :: Perfect.Suite.all) ()
+  in
+  ci "13 benchmarks x 3 configs" 39 (List.length dirty);
+  let poisoned, rest =
+    List.partition
+      (fun (p : Perfect.Driver.point) -> p.pt_bench = "POISON")
+      dirty
+  in
+  ci "three poisoned points" 3 (List.length poisoned);
+  List.iter
+    (fun (p : Perfect.Driver.point) ->
+      cb "poisoned point crashed" true p.pt_crashed;
+      cb "poisoned point carries diagnostics" true
+        (Core.Diag.errors_in p.pt_diags > 0))
+    poisoned;
+  cb "the other 12 benchmarks are untouched" true
+    (fingerprints rest = fingerprints clean);
+  ci "suite exit degrades to 1" 1 (Perfect.Driver.exit_status dirty);
+  ci "clean suite exits 0" 0 (Perfect.Driver.exit_status clean)
+
+(* ---------------- Prof counters ---------------- *)
+
+let counters_tuple (c : Core.Prof.counters) =
+  ( c.Core.Prof.dep_tests_run,
+    c.Core.Prof.dep_tests_independent,
+    c.Core.Prof.annot_sites_inlined,
+    c.Core.Prof.reverse_sites_matched,
+    c.Core.Prof.stmts_normalized )
+
+let run_mdg ?prof () =
+  let b = Perfect.Mdg.bench in
+  ignore
+    (Core.Pipeline.run ?prof
+       ~annots:(Perfect.Bench_def.annots b)
+       ~mode:Core.Pipeline.Annotation_based
+       (Perfect.Bench_def.parse b))
+
+let test_prof_counters_zero_when_disabled () =
+  let prof = Core.Prof.create () in
+  (* pipeline runs without the profile installed: nothing may leak in *)
+  run_mdg ();
+  cb "all counters zero" true
+    (counters_tuple (Core.Prof.snapshot prof) = (0, 0, 0, 0, 0));
+  ci "no pass timings" 0 (List.length (Core.Prof.pass_ms prof));
+  (* ticks outside any installed profile are inert no-ops *)
+  Core.Prof.tick_dep_test ~independent:true;
+  Core.Prof.tick_annot_site ();
+  Core.Prof.tick_reverse_match ();
+  Core.Prof.add_stmts_normalized 7;
+  cb "still zero" true
+    (counters_tuple (Core.Prof.snapshot prof) = (0, 0, 0, 0, 0))
+
+let test_prof_counters_monotone () =
+  let prof = Core.Prof.create () in
+  run_mdg ~prof ();
+  let (r1, i1, a1, m1, s1) = counters_tuple (Core.Prof.snapshot prof) in
+  cb "dep tests ran" true (r1 > 0);
+  cb "independence decided" true (i1 > 0 && i1 <= r1);
+  cb "annotation sites inlined" true (a1 > 0);
+  (* matched can exceed inlined sites: tagged regions may be duplicated
+     by later passes before the matcher runs *)
+  cb "reverse sites matched" true (m1 > 0);
+  cb "statements normalized" true (s1 > 0);
+  (* a second profiled run only accumulates: counters are monotone *)
+  run_mdg ~prof ();
+  let (r2, i2, a2, m2, s2) = counters_tuple (Core.Prof.snapshot prof) in
+  cb "monotone" true (r2 > r1 && i2 >= i1 && a2 > a1 && m2 >= m1 && s2 > s1)
+
+let test_prof_pass_timings () =
+  let prof = Core.Prof.create () in
+  run_mdg ~prof ();
+  let passes = Core.Prof.pass_ms prof in
+  List.iter
+    (fun key ->
+      cb (key ^ " pass recorded") true (List.mem_assoc key passes);
+      cb (key ^ " non-negative") true (List.assoc key passes >= 0.0))
+    [ "inline"; "normalize"; "parallelize"; "reverse" ];
+  cb "total covers the passes" true
+    (Core.Prof.total_ms prof
+    >= List.fold_left (fun a (_, ms) -> a +. ms) 0.0 passes -. 1e-9)
+
+(* ---------------- JSON output ---------------- *)
+
+(* Minimal structural checks without a JSON library: balanced braces,
+   every benchmark and config mentioned, the schema fields present. *)
+let test_json_schema () =
+  let points = Perfect.Driver.run_suite ~jobs:2 () in
+  let json = Perfect.Driver.to_json points in
+  let count_char c =
+    String.fold_left (fun n x -> if x = c then n + 1 else n) 0 json
+  in
+  ci "balanced braces" (count_char '{') (count_char '}');
+  ci "balanced brackets" (count_char '[') (count_char ']');
+  let mentions sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (b : Perfect.Bench_def.t) ->
+      cb (b.name ^ " present") true (mentions ("\"" ^ b.name ^ "\"")))
+    Perfect.Suite.all;
+  List.iter
+    (fun key -> cb (key ^ " present") true (mentions ("\"" ^ key ^ "\"")))
+    [
+      "schema_version"; "points"; "bench"; "config"; "par_loops"; "loss";
+      "extra"; "code_size"; "wall_ms"; "pass_ms"; "counters"; "salvage";
+      "no-inlining"; "conventional"; "annotation-based";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "parallel driver = sequential driver" `Slow
+      test_parallel_matches_sequential;
+    Alcotest.test_case "poisoned benchmark salvaged, others intact" `Slow
+      test_poisoned_bench_is_salvaged;
+    Alcotest.test_case "prof counters zero when disabled" `Quick
+      test_prof_counters_zero_when_disabled;
+    Alcotest.test_case "prof counters monotone" `Quick
+      test_prof_counters_monotone;
+    Alcotest.test_case "prof pass timings recorded" `Quick
+      test_prof_pass_timings;
+    Alcotest.test_case "bench JSON schema" `Slow test_json_schema;
+  ]

@@ -15,4 +15,5 @@ let () =
       ("soundness", Test_soundness.suite);
       ("state", Test_state.suite);
       ("experiment", Test_experiment.suite);
+      ("driver", Test_driver.suite);
     ]
