@@ -3,13 +3,18 @@
 
    Usage:
      bench/main.exe [table1] [table2] [fig20] [micro] [ablate] [all]
-                    [--jobs N] [--json FILE]
+                    [--jobs N] [--json FILE] [--validate]
    With no task argument everything runs (the paper's artifacts plus the
    microbenchmarks and ablations).
 
    --jobs N     shard the table2 suite matrix across N domains (driver)
    --json FILE  write the table2 run as machine-readable bench points
-                (stable schema, see DESIGN.md "Benchmark schema")
+                (stable schema, see DESIGN.md "Benchmark schema"); the
+                file is written atomically (fsync + rename)
+   --validate   run every optimized benchmark under the validation
+                oracle (clause-aware race detection + serial/parallel
+                differential); any race or divergence degrades the exit
+                status to 1 and lands in the JSON verdicts
 
    Exit codes follow the 0/1/2 contract from the CLI: 0 clean, 1 when
    any benchmark salvaged error diagnostics or crashed (results still
@@ -40,7 +45,7 @@ let table1 () =
 (* Table II                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table2 ?(jobs = 1) ?json_out () =
+let table2 ?(jobs = 1) ?json_out ?(validate = false) () =
   rule ();
   say
     "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE THREE INLINING\n\
@@ -50,7 +55,7 @@ let table2 ?(jobs = 1) ?json_out () =
     "annotation-based";
   say "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n" "bench" "par"
     "size" "par" "loss" "extra" "size" "par" "loss" "extra" "size";
-  let points = Perfect.Driver.run_suite ~jobs () in
+  let points = Perfect.Driver.run_suite ~jobs ~validate () in
   let tot = Array.make 10 0 in
   let add i v = tot.(i) <- tot.(i) + v in
   let rec rows = function
@@ -74,13 +79,22 @@ let table2 ?(jobs = 1) ?json_out () =
   rows points;
   say "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d\n" "TOTAL" tot.(0)
     tot.(1) tot.(2) tot.(3) tot.(4) tot.(5) tot.(6) tot.(7) tot.(8) tot.(9);
+  if validate then begin
+    say "\nvalidation oracle (race detector + serial/parallel differential):\n";
+    List.iter
+      (fun (p : Perfect.Driver.point) ->
+        match p.pt_validation with
+        | None -> ()
+        | Some v ->
+            say "  %-8s %-16s %s\n" p.pt_bench
+              (Core.Pipeline.mode_name p.pt_config)
+              (Checker.Oracle.verdict_summary v))
+      points
+  end;
   (match json_out with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (Perfect.Driver.to_json points));
+      Perfect.Driver.write_file_atomic path (Perfect.Driver.to_json points);
       Printf.eprintf "bench: wrote %d points to %s\n"
         (List.length points) path);
   degrade (Perfect.Driver.exit_status points);
@@ -258,13 +272,14 @@ let ablate () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
-     [--json FILE]\n";
+     [--json FILE] [--validate]\n";
   exit 2
 
 let () =
   (* split options from task names *)
   let jobs = ref 1 in
   let json_out = ref None in
+  let validate = ref false in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest -> (
@@ -276,6 +291,9 @@ let () =
     | "--json" :: path :: rest ->
         json_out := Some path;
         parse_args acc rest
+    | "--validate" :: rest ->
+        validate := true;
+        parse_args acc rest
     | ("--jobs" | "--json") :: [] -> usage ()
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -285,13 +303,14 @@ let () =
      List.iter
        (function
          | "table1" -> table1 ()
-         | "table2" -> table2 ~jobs:!jobs ?json_out:!json_out ()
+         | "table2" ->
+             table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate ()
          | "fig20" -> fig20 ()
          | "micro" -> micro ()
          | "ablate" -> ablate ()
          | "all" ->
              table1 ();
-             table2 ~jobs:!jobs ?json_out:!json_out ();
+             table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate ();
              fig20 ();
              micro ();
              ablate ()

@@ -4,8 +4,15 @@
      parinline compile  FILE.f [--annot FILE.annot] [--mode MODE] [-o OUT]
      parinline report   FILE.f [--annot FILE.annot]
      parinline run      FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
+     parinline check    FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
 
    MODE is one of: none | conventional | annotation (default: annotation).
+
+   check optimizes the program, replays it serially under the access
+   tracer to detect cross-iteration races not excused by the emitted
+   PRIVATE/REDUCTION clauses, then runs it in parallel and compares the
+   final observable state against the serial run (exit 1 on any race or
+   divergence).
 
    Robustness flags (all commands taking FILE.f):
      --keep-going     salvage what parses/optimizes, accumulating diagnostics
@@ -214,6 +221,42 @@ let exec_run source_file annot_file mode threads keep_going max_errors fuel
       prerr_endline (Core.Diag.render (Core.Diag.make Core.Diag.Exec m));
       exit 2
 
+let check_run source_file annot_file mode threads keep_going max_errors fuel
+    profile =
+  let mode = mode_of_string mode in
+  let source, annot_source = load source_file annot_file in
+  let prof = make_prof profile in
+  let r =
+    if keep_going then
+      robust (fun () ->
+          Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
+            ~annot_source source)
+    else
+      strict (fun () ->
+          Core.Pipeline.run_source ?prof ~mode ~annot_source source)
+  in
+  print_diags r.res_diags;
+  let fuel = if fuel <= 0 then None else Some fuel in
+  let v =
+    Core.Prof.with_opt prof (fun () ->
+        Core.Prof.time "validate" (fun () ->
+            Checker.Oracle.validate ~threads ?fuel r.res_program))
+  in
+  print_diags v.Checker.Oracle.v_diags;
+  Printf.eprintf
+    "check (%s, threads=%d): %s — %d directive loop(s), %d iterations \
+     traced, %d conflict(s) (%d excused)\n"
+    (Core.Pipeline.mode_name mode)
+    threads
+    (Checker.Oracle.verdict_summary v)
+    (List.length r.res_marked)
+    v.Checker.Oracle.v_iterations
+    (v.Checker.Oracle.v_unexcused + v.Checker.Oracle.v_excused)
+    v.Checker.Oracle.v_excused;
+  dump_prof prof;
+  if not v.Checker.Oracle.v_ok then exit 1;
+  finish_with r.res_diags
+
 (* ---- cmdliner plumbing ---- *)
 
 (* positional FILE argument as a plain string: existence is checked by
@@ -279,6 +322,17 @@ let run_cmd =
       const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
       $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg)
 
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate the emitted PARALLEL DO directives: clause-aware race \
+          detection over a traced serial replay, then a serial/parallel \
+          differential run")
+    Term.(
+      const check_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
+      $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg)
+
 let bench_run name threads =
   match Perfect.Suite.find name with
   | None -> fail_cli "unknown benchmark %s" name
@@ -316,4 +370,7 @@ let bench_cmd =
 
 let () =
   let info = Cmd.info "parinline" ~doc:"Annotation-based inlining for interprocedural parallelization" in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; report_cmd; run_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; report_cmd; run_cmd; check_cmd; bench_cmd ]))

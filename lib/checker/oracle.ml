@@ -1,0 +1,208 @@
+(** The validation oracle for emitted [PARALLEL DO] directives.
+
+    Two independent checks over an optimized program:
+
+    - {b race detection}: replay the program serially under the
+      {!Runtime.Trace} sink and classify every cross-iteration conflict
+      against the loop's declared clauses ({!Race.classify}).  Any
+      unexcused conflict is a hard error carrying a witness iteration
+      pair.
+    - {b differential execution}: run the same program under
+      {!Runtime.Pool} with the directives honored and compare the final
+      observable state — printed output plus every COMMON block, element
+      by element — against the serial run.  Divergence is a hard error.
+
+    The serial traced replay doubles as the serial half of the
+    differential, so a verdict costs exactly two executions.  Comparisons
+    use a small relative tolerance: parallel reductions legally
+    reassociate floating-point sums, so the last digits may differ.
+
+    Failures surface as structured {!Frontend.Diag} records (codes
+    [Race], [Verify], [Exec], [Trap]); the oracle never raises on a
+    bad program.  When a {!Frontend.Prof} profile is installed the
+    oracle ticks the [iterations_traced] / [race_conflicts] /
+    [race_excused] counters. *)
+
+open Frontend
+open Runtime
+
+(** Numeric output comparison: identical text, or line-by-line numeric
+    equality within a small relative tolerance. *)
+let outputs_equal a b =
+  String.equal a b
+  ||
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  List.length la = List.length lb
+  && List.for_all2
+       (fun x y ->
+         String.equal x y
+         ||
+         let tx = String.split_on_char ' ' (String.trim x) in
+         let ty = String.split_on_char ' ' (String.trim y) in
+         List.length tx = List.length ty
+         && List.for_all2
+              (fun u v ->
+                String.equal u v
+                ||
+                match (float_of_string_opt u, float_of_string_opt v) with
+                | Some fu, Some fv ->
+                    Float.abs (fu -. fv)
+                    <= 1e-5
+                       *. Float.max 1.0 (Float.max (Float.abs fu) (Float.abs fv))
+                | _ -> false)
+              tx ty)
+       la lb
+
+(** Element-wise COMMON-state comparison with relative tolerance
+    (see {!Runtime.Interp.run_program_state} for the representation).
+    Keys in [ignore] are skipped: COMMON members named in a PRIVATE
+    clause have unspecified contents after the loop (each worker wrote
+    only its own copy), so serial and parallel runs may legitimately
+    disagree on them. *)
+let states_agree ?(tol = 1e-6) ?(ignore = []) (s1 : (string * float array) list)
+    (s2 : (string * float array) list) =
+  List.length s1 = List.length s2
+  && List.for_all2
+       (fun (k1, (a1 : float array)) (k2, a2) ->
+         String.equal k1 k2
+         && Array.length a1 = Array.length a2
+         && (List.mem k1 ignore
+            ||
+         let ok = ref true in
+         Array.iteri
+           (fun i x ->
+             let y = a2.(i) in
+             if
+               not
+                 (Float.abs (x -. y)
+                 <= tol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+                 )
+             then ok := false)
+           a1;
+         !ok))
+       s1 s2
+
+(** The oracle's verdict on one program. *)
+type verdict = {
+  v_ok : bool;  (** no unexcused race, no divergence, both runs completed *)
+  v_races : Race.race list;  (** every classified conflict, excused or not *)
+  v_unexcused : int;
+  v_excused : int;
+  v_iterations : int;  (** directive-loop iterations traced *)
+  v_diverged : bool;  (** serial and parallel observable state disagree *)
+  v_crashed : bool;  (** a run died (trap / runtime error) before comparing *)
+  v_diags : Diag.t list;
+}
+
+let clean_verdict =
+  {
+    v_ok = true;
+    v_races = [];
+    v_unexcused = 0;
+    v_excused = 0;
+    v_iterations = 0;
+    v_diverged = false;
+    v_crashed = false;
+    v_diags = [];
+  }
+
+let default_threads = 3
+
+(** Validate [program]'s directives: serial traced replay, clause-aware
+    race classification, then a differential run at [threads] domains.
+    [fuel]/[max_depth] bound both executions like any other run. *)
+let validate ?(threads = default_threads) ?fuel ?max_depth
+    (program : Ast.program) : verdict =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let run_guarded label f =
+    match f () with
+    | r -> Some r
+    | exception Value.Runtime_error m ->
+        add
+          (Diag.make Diag.Exec
+             (Printf.sprintf "validation %s run failed: %s" label m));
+        None
+    | exception Interp.Trap d ->
+        add
+          { d with Diag.d_message = Printf.sprintf
+              "validation %s run trapped: %s" label d.Diag.d_message };
+        None
+  in
+  let sink = Trace.create () in
+  let serial =
+    run_guarded "serial" (fun () ->
+        Trace.with_tracing sink (fun () ->
+            Interp.run_program_state ~threads:1 ?fuel ?max_depth program))
+  in
+  let races = Race.classify program (Trace.conflicts sink) in
+  let unexcused, excused =
+    List.partition (fun (r : Race.race) -> not r.Race.r_excused) races
+  in
+  Prof.add_iterations_traced (Trace.iterations sink);
+  List.iter
+    (fun (r : Race.race) -> Prof.tick_race_conflict ~excused:r.Race.r_excused)
+    races;
+  List.iter (fun r -> add (Race.diag_of_race r)) unexcused;
+  if excused <> [] then
+    add
+      (Diag.make ~severity:Diag.Note Diag.Race
+         (Printf.sprintf
+            "%d conflict(s) excused by PRIVATE/REDUCTION clauses"
+            (List.length excused)));
+  let diverged, par_crashed =
+    match serial with
+    | None -> (false, false)
+    | Some (out_seq, state_seq) -> (
+        match
+          run_guarded "parallel" (fun () ->
+              Interp.run_program_state ~threads ?fuel ?max_depth program)
+        with
+        | None -> (false, true)
+        | Some (out_par, state_par) ->
+            let out_ok = outputs_equal out_seq out_par in
+            let state_ok =
+              states_agree
+                ~ignore:(Interp.private_state_keys program)
+                state_seq state_par
+            in
+            if out_ok && state_ok then (false, false)
+            else begin
+              add
+                (Diag.make Diag.Verify
+                   (Printf.sprintf
+                      "serial/parallel divergence at %d threads: %s"
+                      threads
+                      (match (out_ok, state_ok) with
+                      | false, false -> "printed output and COMMON state disagree"
+                      | false, true -> "printed output disagrees"
+                      | _ -> "final COMMON state disagrees")));
+              (true, false)
+            end)
+  in
+  let crashed = serial = None || par_crashed in
+  {
+    v_ok = unexcused = [] && (not diverged) && not crashed;
+    v_races = races;
+    v_unexcused = List.length unexcused;
+    v_excused = List.length excused;
+    v_iterations = Trace.iterations sink;
+    v_diverged = diverged;
+    v_crashed = crashed;
+    v_diags = List.rev !diags;
+  }
+
+(** One-line verdict for table/report rendering, e.g.
+    ["ok (842 iterations, 3 excused)"] or ["RACE x2, DIVERGED"]. *)
+let verdict_summary (v : verdict) =
+  if v.v_ok then
+    Printf.sprintf "ok (%d iterations%s)" v.v_iterations
+      (if v.v_excused > 0 then Printf.sprintf ", %d excused" v.v_excused
+       else "")
+  else
+    String.concat ", "
+      ((if v.v_unexcused > 0 then
+          [ Printf.sprintf "RACE x%d" v.v_unexcused ]
+        else [])
+      @ (if v.v_diverged then [ "DIVERGED" ] else [])
+      @ if v.v_crashed then [ "CRASHED" ] else [])

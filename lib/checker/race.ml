@@ -1,0 +1,119 @@
+(** Clause-aware classification of traced conflicts.
+
+    The access tracer ({!Runtime.Trace}) reports every cross-iteration
+    write-write / read-write conflict a serial replay witnesses inside a
+    [PARALLEL DO] loop.  Not every conflict is a race: accesses covered by
+    the loop's [PRIVATE] and [REDUCTION] clauses are *exempt* — each
+    worker gets its own storage (or an identity-seeded accumulator merged
+    under a lock), so the serial replay's apparent reuse of one location
+    is an artifact of replaying without privatization.  The loop index
+    itself is always private, and lastprivate semantics are realized
+    upstream by last-iteration peeling (the peeled iteration runs outside
+    the directive loop and is therefore never traced as part of it).
+
+    A conflict is excused iff {e either} endpoint access was made under
+    an exempt name.  Both endpoints of a conflict are by construction the
+    same storage location, and the runtime privatizes by {e storage}, not
+    by name ({!Runtime.Interp} remaps privatized COMMON storage across
+    call boundaries by physical identity): once one access proves the
+    location belongs to an exempt variable, every access to it — through
+    a callee formal bound by reference, or a COMMON re-declaration under
+    another name — hits the worker's private copy too. *)
+
+open Frontend
+
+module S = Set.Make (String)
+
+(** Declared-clause summary of one directive loop id.  Inlining may copy
+    a loop; copies share the id, and their clause sets are unioned. *)
+type clause_info = {
+  cl_unit : string;  (** unit owning (a copy of) the loop *)
+  cl_exempt : S.t;  (** index + PRIVATE + REDUCTION names *)
+}
+
+let clauses_of_program (p : Ast.program) : (int, clause_info) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      List.iter
+        (fun (l : Ast.do_loop) ->
+          match l.parallel with
+          | None -> ()
+          | Some omp ->
+              let names =
+                S.of_list
+                  ((l.index :: omp.omp_private)
+                  @ List.map snd omp.omp_reductions)
+              in
+              let info =
+                match Hashtbl.find_opt tbl l.loop_id with
+                | Some prev ->
+                    { prev with cl_exempt = S.union prev.cl_exempt names }
+                | None -> { cl_unit = u.Ast.u_name; cl_exempt = names }
+              in
+              Hashtbl.replace tbl l.loop_id info)
+        (Ast.collect_loops u.Ast.u_body))
+    p.Ast.p_units;
+  tbl
+
+(** One classified conflict: a {!Runtime.Trace.conflict} joined with the
+    owning loop's clauses.  [r_iter]/[r_iter'] are the witness iteration
+    pair (values of the loop index; [r_iter] happened first in the serial
+    replay). *)
+type race = {
+  r_loop : int;
+  r_unit : string;
+  r_kind : Runtime.Trace.kind;
+  r_var : string;
+  r_var' : string;
+  r_iter : int;
+  r_iter' : int;
+  r_off : int;  (** flattened element offset; [-1] = whole object *)
+  r_excused : bool;
+}
+
+let classify (p : Ast.program) (cs : Runtime.Trace.conflict list) : race list =
+  let tbl = clauses_of_program p in
+  List.map
+    (fun (c : Runtime.Trace.conflict) ->
+      let info = Hashtbl.find_opt tbl c.Runtime.Trace.c_loop in
+      let exempt name =
+        match info with Some i -> S.mem name i.cl_exempt | None -> false
+      in
+      {
+        r_loop = c.Runtime.Trace.c_loop;
+        r_unit = (match info with Some i -> i.cl_unit | None -> "?");
+        r_kind = c.Runtime.Trace.c_kind;
+        r_var = c.Runtime.Trace.c_var;
+        r_var' = c.Runtime.Trace.c_var';
+        r_iter = c.Runtime.Trace.c_iter;
+        r_iter' = c.Runtime.Trace.c_iter';
+        r_off = c.Runtime.Trace.c_off;
+        r_excused =
+          exempt c.Runtime.Trace.c_var || exempt c.Runtime.Trace.c_var';
+      })
+    cs
+
+let describe (r : race) =
+  let target =
+    if String.equal r.r_var r.r_var' then r.r_var
+    else Printf.sprintf "%s aka %s" r.r_var r.r_var'
+  in
+  let where =
+    if r.r_off < 0 then "" else Printf.sprintf " (element %d)" (r.r_off + 1)
+  in
+  Printf.sprintf
+    "loop %d in %s: cross-iteration %s conflict on %s%s, witness iterations \
+     %d and %d"
+    r.r_loop r.r_unit
+    (Runtime.Trace.kind_name r.r_kind)
+    target where r.r_iter r.r_iter'
+
+(** Unexcused races are errors; excused conflicts render as notes (they
+    are the clause-covered accesses the detector deliberately forgives). *)
+let diag_of_race (r : race) : Diag.t =
+  let severity = if r.r_excused then Diag.Note else Diag.Error in
+  let suffix =
+    if r.r_excused then " [excused by PRIVATE/REDUCTION clause]" else ""
+  in
+  Diag.make ~severity Diag.Race (describe r ^ suffix)

@@ -1,20 +1,9 @@
-(** Pipeline-level view of the structured diagnostics subsystem.
+(** Pipeline-level name for the structured diagnostics subsystem.
 
-    The representation lives in {!Frontend.Diag} (the lexer and parser,
-    which [core] depends on, must be able to raise located diagnostics);
-    this module re-exports it under [Core.Diag] — the name the pipeline,
-    experiment drivers and CLI use — and adds pipeline-level summaries. *)
+    The single source of truth is {!Frontend.Diag} (the lexer and parser,
+    which [core] depends on, must be able to raise located diagnostics,
+    and the checker renders race reports without depending on [core]);
+    this module is a pure re-export shim so the pipeline, experiment
+    drivers and CLI can keep saying [Core.Diag]. *)
 
 include Frontend.Diag
-
-(** One-line salvage summary for per-benchmark reporting, e.g.
-    ["3 errors, 1 warning salvaged"]; [""] when the run was clean. *)
-let summary (ds : t list) =
-  let e = errors_in ds and w = warnings_in ds in
-  if e = 0 && w = 0 then ""
-  else
-    let part n what =
-      if n = 0 then []
-      else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ]
-    in
-    String.concat ", " (part e "error" @ part w "warning") ^ " salvaged"

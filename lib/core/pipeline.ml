@@ -30,6 +30,8 @@ type result = {
   res_reverse_stats : Reverse.stats option;
   res_diags : Diag.t list;
       (** diagnostics accumulated by {!run_robust}; [[]] from {!run} *)
+  res_validation : Checker.Oracle.verdict option;
+      (** oracle verdict when {!run_robust} ran with [~validate:true] *)
 }
 
 let stmt_count (p : Ast.program) =
@@ -133,6 +135,7 @@ let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     res_annot_stats = annot_stats;
     res_reverse_stats = reverse_stats;
     res_diags = [];
+    res_validation = None;
   }
 
 (** Parse + resolve source and annotations, then run. *)
@@ -197,8 +200,9 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     ?(inline_config = Inliner.Inline.default_config)
     ?(annot_config = Annot_inline.default_config)
     ?(annots : Annot_ast.annotation list = [])
-    ?(dg = Diag.collector ()) ~(mode : mode) (program : Ast.program) :
-    result =
+    ?(dg = Diag.collector ()) ?(validate = false)
+    ?(validate_threads = Checker.Oracle.default_threads) ~(mode : mode)
+    (program : Ast.program) : result =
   Prof.with_opt prof @@ fun () ->
   let original_loops = original_loop_ids program in
   let conventional p =
@@ -299,6 +303,21 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
               (Printexc.to_string e);
             (program, None))
   in
+  (* Validation oracle: serial traced replay + differential parallel run
+     over the optimized program.  The verdict's diagnostics join the
+     salvage record; the oracle itself never raises on a bad program. *)
+  let validation =
+    if not validate then None
+    else
+      Some
+        (Prof.time "validate" (fun () ->
+             Checker.Oracle.validate ~threads:validate_threads program))
+  in
+  let validation_diags =
+    match validation with
+    | None -> []
+    | Some v -> v.Checker.Oracle.v_diags
+  in
   {
     res_mode = mode;
     res_program = program;
@@ -309,14 +328,16 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     res_inline_stats = inline_stats;
     res_annot_stats = annot_stats;
     res_reverse_stats = reverse_stats;
-    res_diags = Diag.to_list dg;
+    res_diags = Diag.to_list dg @ validation_diags;
+    res_validation = validation;
   }
 
 (** Robust end-to-end entry: salvaging parse (units that fail to parse
     are dropped with located diagnostics), annotation-file faults degrade
     to no annotations, then {!run_robust}. *)
 let run_source_robust ?prof ?par_config ?inline_config ?annot_config
-    ?max_errors ~mode ?(annot_source = "") (source : string) : result =
+    ?max_errors ?validate ?validate_threads ~mode ?(annot_source = "")
+    (source : string) : result =
   Prof.with_opt prof @@ fun () ->
   let dg = Diag.collector ?max_errors () in
   let program, parse_diags =
@@ -337,7 +358,7 @@ let run_source_robust ?prof ?par_config ?inline_config ?annot_config
           []
   in
   let r = run_robust ?par_config ?inline_config ?annot_config ~annots ~dg
-      ~mode program
+      ?validate ?validate_threads ~mode program
   in
   { r with res_diags = parse_diags @ r.res_diags }
 

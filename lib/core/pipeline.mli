@@ -23,6 +23,10 @@ type result = {
   res_diags : Diag.t list;
       (** diagnostics accumulated by the robust entry points; [[]] from
           {!run} / {!run_source} *)
+  res_validation : Checker.Oracle.verdict option;
+      (** validation-oracle verdict (race detection + serial/parallel
+          differential) when {!run_robust} ran with [~validate:true];
+          [None] otherwise *)
 }
 
 (** The normalization sequence applied before dependence analysis (and,
@@ -68,7 +72,13 @@ val run_source :
     parallelizer leaves the unit serial; a reverse-inline failure keeps
     the inlined regions.  Salvage events land in [res_diags] as warnings.
     Pass [dg] to accumulate into an existing collector; its
-    [Error_limit] is not caught. *)
+    [Error_limit] is not caught.
+
+    With [~validate:true] the optimized program additionally runs under
+    the validation oracle (serial traced replay for clause-aware race
+    detection, then a differential parallel run at [validate_threads]
+    domains); the verdict lands in [res_validation] and its diagnostics
+    join [res_diags]. *)
 val run_robust :
   ?prof:Prof.t ->
   ?par_config:Parallelizer.Parallelize.config ->
@@ -76,6 +86,8 @@ val run_robust :
   ?annot_config:Annot_inline.config ->
   ?annots:Annot_ast.annotation list ->
   ?dg:Diag.collector ->
+  ?validate:bool ->
+  ?validate_threads:int ->
   mode:mode ->
   Ast.program ->
   result
@@ -90,6 +102,8 @@ val run_source_robust :
   ?inline_config:Inliner.Inline.config ->
   ?annot_config:Annot_inline.config ->
   ?max_errors:int ->
+  ?validate:bool ->
+  ?validate_threads:int ->
   mode:mode ->
   ?annot_source:string ->
   string ->

@@ -1,26 +1,8 @@
-(** Pipeline-level view of the pass profiler.
+(** Pipeline-level name for the pass profiler.
 
-    The representation lives in {!Frontend.Prof} (the dependence tester
-    and the inliners, which [core] depends on, tick its counters); this
-    module re-exports it under [Core.Prof] — the name the pipeline, the
-    suite driver and the CLI use — and adds human-readable rendering. *)
+    The single source of truth is {!Frontend.Prof} (the dependence tester,
+    the inliners and the validation oracle tick its counters from below
+    [core]); this module is a pure re-export shim so the pipeline, the
+    suite driver and the CLI can keep saying [Core.Prof]. *)
 
 include Frontend.Prof
-
-(** Multi-line report: pass timings in pipeline order plus the work
-    counters, e.g. for [parinline --profile]. *)
-let render (p : t) =
-  let b = Buffer.create 256 in
-  Buffer.add_string b "profile: pass timings (ms)\n";
-  List.iter
-    (fun (name, ms) -> Buffer.add_string b (Printf.sprintf "  %-14s %9.3f\n" name ms))
-    (pass_ms p);
-  Buffer.add_string b (Printf.sprintf "  %-14s %9.3f\n" "total" (total_ms p));
-  let c = snapshot p in
-  Buffer.add_string b
-    (Printf.sprintf
-       "counters: dep-tests %d run / %d independent; annot-sites %d \
-        inlined; reverse %d matched; stmts %d normalized\n"
-       c.dep_tests_run c.dep_tests_independent c.annot_sites_inlined
-       c.reverse_sites_matched c.stmts_normalized);
-  Buffer.contents b

@@ -21,7 +21,8 @@ type code =
   | Parallel  (** parallelizer *)
   | Trap  (** runtime guard: fuel, call depth *)
   | Exec  (** interpreter / worker-pool failure *)
-  | Verify  (** output-comparison harness *)
+  | Race  (** validation oracle: unexcused cross-iteration conflict *)
+  | Verify  (** output-comparison harness / differential checker *)
   | Io  (** file system *)
   | Cli  (** command-line usage *)
 
@@ -48,6 +49,7 @@ let code_name = function
   | Parallel -> "parallel"
   | Trap -> "trap"
   | Exec -> "exec"
+  | Race -> "race"
   | Verify -> "verify"
   | Io -> "io"
   | Cli -> "cli"
@@ -141,3 +143,15 @@ let errors_in (ds : t list) =
 
 let warnings_in (ds : t list) =
   List.length (List.filter (fun d -> d.d_severity = Warning) ds)
+
+(** One-line salvage summary for per-benchmark reporting, e.g.
+    ["3 errors, 1 warning salvaged"]; [""] when the run was clean. *)
+let summary (ds : t list) =
+  let e = errors_in ds and w = warnings_in ds in
+  if e = 0 && w = 0 then ""
+  else
+    let part n what =
+      if n = 0 then []
+      else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ]
+    in
+    String.concat ", " (part e "error" @ part w "warning") ^ " salvaged"

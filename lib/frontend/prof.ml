@@ -29,6 +29,12 @@ type counters = {
       (** tagged regions pattern-matched back into CALLs *)
   mutable stmts_normalized : int;
       (** statements swept by the normalization passes *)
+  mutable iterations_traced : int;
+      (** directive-loop iterations replayed under the access tracer *)
+  mutable race_conflicts : int;
+      (** cross-iteration conflicts the race detector witnessed *)
+  mutable race_excused : int;
+      (** of those, conflicts excused by PRIVATE/REDUCTION clauses *)
 }
 
 type t = {
@@ -46,6 +52,9 @@ let create () =
         annot_sites_inlined = 0;
         reverse_sites_matched = 0;
         stmts_normalized = 0;
+        iterations_traced = 0;
+        race_conflicts = 0;
+        race_excused = 0;
       };
     passes = [];
   }
@@ -117,6 +126,20 @@ let add_stmts_normalized n =
   | None -> ()
   | Some p -> p.c.stmts_normalized <- p.c.stmts_normalized + n
 
+let add_iterations_traced n =
+  match current () with
+  | None -> ()
+  | Some p -> p.c.iterations_traced <- p.c.iterations_traced + n
+
+(** One conflict witnessed by the race detector; [excused] when a
+    PRIVATE/REDUCTION clause exempts it. *)
+let tick_race_conflict ~excused =
+  match current () with
+  | None -> ()
+  | Some p ->
+      p.c.race_conflicts <- p.c.race_conflicts + 1;
+      if excused then p.c.race_excused <- p.c.race_excused + 1
+
 (* ---- readers ---- *)
 
 (** Accumulated pass timings in milliseconds, pipeline order. *)
@@ -126,3 +149,27 @@ let total_ms (p : t) = List.fold_left (fun a (_, ms) -> a +. ms) 0.0 p.passes
 
 (** Copy of the counters, detached from further mutation. *)
 let snapshot (p : t) : counters = { p.c with dep_tests_run = p.c.dep_tests_run }
+
+(** Multi-line report: pass timings in pipeline order plus the work
+    counters, e.g. for [parinline --profile]. *)
+let render (p : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "profile: pass timings (ms)\n";
+  List.iter
+    (fun (name, ms) ->
+      Buffer.add_string b (Printf.sprintf "  %-14s %9.3f\n" name ms))
+    (pass_ms p);
+  Buffer.add_string b (Printf.sprintf "  %-14s %9.3f\n" "total" (total_ms p));
+  let c = snapshot p in
+  Buffer.add_string b
+    (Printf.sprintf
+       "counters: dep-tests %d run / %d independent; annot-sites %d \
+        inlined; reverse %d matched; stmts %d normalized\n"
+       c.dep_tests_run c.dep_tests_independent c.annot_sites_inlined
+       c.reverse_sites_matched c.stmts_normalized);
+  if c.iterations_traced > 0 || c.race_conflicts > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "oracle: %d iterations traced; %d conflicts (%d excused by clause)\n"
+         c.iterations_traced c.race_conflicts c.race_excused);
+  Buffer.contents b

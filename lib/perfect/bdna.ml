@@ -174,7 +174,7 @@ let source =
       CALL PAIRGEO(IW)
       WSUM = 0.0
       DO K = 1, NRES
-        WSUM = WSUM + EW(K) * QW(K)
+        WSUM = WSUM + EW(K) * RW(K)
       ENDDO
       QW(IW) = QW(IW) * 0.999 + WSUM * 0.0001
       END

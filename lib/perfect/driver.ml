@@ -37,6 +37,8 @@ type point = {
   pt_crashed : bool;
       (** the task died beyond salvage (e.g. unparseable source); the
           numeric fields are zero and [pt_diags] holds the cause *)
+  pt_validation : Checker.Oracle.verdict option;
+      (** oracle verdict when the suite ran with [~validate:true] *)
 }
 
 let configs = [ Pipeline.No_inlining; Pipeline.Conventional; Pipeline.Annotation_based ]
@@ -58,8 +60,8 @@ type task_result = {
   tr_diags : Diag.t list;
 }
 
-let run_task ?par_config (b : Bench_def.t) (mode : Pipeline.mode) :
-    task_result =
+let run_task ?par_config ?validate ?validate_threads (b : Bench_def.t)
+    (mode : Pipeline.mode) : task_result =
   let prof = Prof.create () in
   let dg = Diag.collector () in
   let t0 = Prof.monotonic_ns () in
@@ -69,7 +71,8 @@ let run_task ?par_config (b : Bench_def.t) (mode : Pipeline.mode) :
           reset_gensyms ();
           let program = Prof.time "parse" (fun () -> Bench_def.parse b) in
           let annots = Prof.time "parse" (fun () -> Bench_def.annots b) in
-          Pipeline.run_robust ?par_config ~annots ~dg ~mode program)
+          Pipeline.run_robust ?par_config ?validate ?validate_threads ~annots
+            ~dg ~mode program)
     with
     | r -> (Some r, [])
     | exception e ->
@@ -100,8 +103,12 @@ let run_task ?par_config (b : Bench_def.t) (mode : Pipeline.mode) :
 (** Run the suite matrix.  [jobs] is the domain count ([<= 1] runs
     everything on the caller — the same code path, minus the workers).
     Points come back in deterministic order: benchmark-major, then
-    no-inlining / conventional / annotation-based. *)
-let run_suite ?(jobs = 1) ?par_config ?(benches = Suite.all) () : point list =
+    no-inlining / conventional / annotation-based.  With
+    [~validate:true] every optimized program additionally runs under the
+    validation oracle and the per-point verdict lands in
+    [pt_validation]. *)
+let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads
+    ?(benches = Suite.all) () : point list =
   let tasks =
     Array.of_list
       (List.concat_map (fun b -> List.map (fun m -> (b, m)) configs) benches)
@@ -114,7 +121,7 @@ let run_suite ?(jobs = 1) ?par_config ?(benches = Suite.all) () : point list =
     (fun () ->
       Runtime.Pool.parallel_for ~label:"suite-driver" pool ~chunks:n (fun i ->
           let b, m = tasks.(i) in
-          out.(i) <- Some (run_task ?par_config b m)));
+          out.(i) <- Some (run_task ?par_config ?validate ?validate_threads b m)));
   (* Baseline-relative accounting: group the three per-bench tasks and
      count against the no-inlining result.  A crashed baseline degrades
      loss/extra to 0 (each result is counted against itself). *)
@@ -155,6 +162,9 @@ let run_suite ?(jobs = 1) ?par_config ?(benches = Suite.all) () : point list =
                pt_counters = Prof.snapshot t.tr_prof;
                pt_diags = t.tr_diags;
                pt_crashed = t.tr_result = None;
+               pt_validation =
+                 Option.bind t.tr_result (fun r ->
+                     r.Pipeline.res_validation);
              })
            configs)
        benches)
@@ -210,7 +220,26 @@ let json_of_point (p : point) =
             ("annot_sites_inlined", string_of_int c.Prof.annot_sites_inlined);
             ("reverse_sites_matched", string_of_int c.Prof.reverse_sites_matched);
             ("stmts_normalized", string_of_int c.Prof.stmts_normalized);
+            ("iterations_traced", string_of_int c.Prof.iterations_traced);
+            ("race_conflicts", string_of_int c.Prof.race_conflicts);
+            ("race_excused", string_of_int c.Prof.race_excused);
           ] );
+      ( "validation",
+        match p.pt_validation with
+        | None -> "null"
+        | Some v ->
+            json_obj
+              [
+                ("ok", if v.Checker.Oracle.v_ok then "true" else "false");
+                ("races", string_of_int v.Checker.Oracle.v_unexcused);
+                ("excused", string_of_int v.Checker.Oracle.v_excused);
+                ("iterations", string_of_int v.Checker.Oracle.v_iterations);
+                ( "diverged",
+                  if v.Checker.Oracle.v_diverged then "true" else "false" );
+                ( "crashed",
+                  if v.Checker.Oracle.v_crashed then "true" else "false" );
+                ("verdict", json_str (Checker.Oracle.verdict_summary v));
+              ] );
       ( "salvage",
         json_obj
           [
@@ -226,11 +255,13 @@ let json_of_point (p : point) =
     ]
 
 (** The stable bench schema, one JSON document per suite run.  CI
-    archives this as [BENCH_*.json]; consumers key on [schema_version]. *)
+    archives this as [BENCH_*.json]; consumers key on [schema_version].
+    Version 2 adds the per-point ["validation"] object ([null] when the
+    suite ran without [--validate]) and the oracle counters. *)
 let to_json (points : point list) : string =
   json_obj
     [
-      ("schema_version", "1");
+      ("schema_version", "2");
       ("suite", json_str "perfect");
       ("jobs_deterministic", "true");
       ( "points",
@@ -238,13 +269,37 @@ let to_json (points : point list) : string =
     ]
   ^ "\n"
 
+(** Write [content] to [path] atomically: temp file in the same
+    directory, fsync, rename.  A crashed run can leave a stale temp file
+    behind but never a truncated [path] for CI to ingest. *)
+let write_file_atomic (path : string) (content : string) =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  Fun.protect
+    ~finally:(fun () -> try close_out oc with _ -> ())
+    (fun () ->
+      output_string oc content;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
 (** Worst exit status over the points, per the 0/1/2 contract: 0 clean,
-    1 when any point salvaged errors or crashed (the suite as a whole is
-    still usable), callers map whole-run fatals to 2 themselves. *)
+    1 when any point salvaged errors, crashed, or failed validation (the
+    suite as a whole is still usable), callers map whole-run fatals to 2
+    themselves. *)
 let exit_status (points : point list) =
   if
     List.exists
-      (fun p -> p.pt_crashed || Diag.errors_in p.pt_diags > 0)
+      (fun p ->
+        p.pt_crashed
+        || Diag.errors_in p.pt_diags > 0
+        || match p.pt_validation with
+           | Some v -> not v.Checker.Oracle.v_ok
+           | None -> false)
       points
   then 1
   else 0

@@ -67,33 +67,11 @@ type fig20_row = {
   f_annotation : float;
 }
 
-(* Numeric output comparison: identical text, or line-by-line numeric
-   equality within a small relative tolerance.  Parallel reductions
+(* Numeric output comparison with a small relative tolerance; the single
+   definition lives with the validation oracle (parallel reductions
    legally reassociate floating-point sums, so the last printed digit may
-   differ from the sequential run. *)
-let outputs_equal a b =
-  String.equal a b
-  ||
-  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
-  List.length la = List.length lb
-  && List.for_all2
-       (fun x y ->
-         String.equal x y
-         ||
-         let tx = String.split_on_char ' ' (String.trim x) in
-         let ty = String.split_on_char ' ' (String.trim y) in
-         List.length tx = List.length ty
-         && List.for_all2
-              (fun u v ->
-                String.equal u v
-                ||
-                match (float_of_string_opt u, float_of_string_opt v) with
-                | Some fu, Some fv ->
-                    Float.abs (fu -. fv)
-                    <= 1e-5 *. Float.max 1.0 (Float.max (Float.abs fu) (Float.abs fv))
-                | _ -> false)
-              tx ty)
-       la lb
+   differ from the sequential run). *)
+let outputs_equal = Checker.Oracle.outputs_equal
 
 let time_run ?(repeat = 1) ~threads program =
   (* best-of-N wall clock; also checks output stability *)

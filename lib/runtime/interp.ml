@@ -11,10 +11,13 @@
 
     - iterations are block-partitioned over a persistent {!Pool} of worker
       domains;
-    - PRIVATE names get fresh per-worker storage, installed as *dynamic*
-      overrides so that subroutines called from the loop body resolve
-      COMMON variables to the worker's copy (the paper's treatment of
-      global temporary arrays like [XY] in FSMP);
+    - PRIVATE names get fresh per-worker storage.  Inside the directive's
+      own unit the override is name-keyed; across call boundaries it is
+      keyed by *physical storage* instead, so subroutines called from the
+      loop body resolve privatized COMMON variables to the worker's copy
+      (the paper's treatment of global temporary arrays like [XY] in
+      FSMP) while their own locals and formals that merely share a name
+      with a privatized variable stay untouched;
     - REDUCTION names accumulate per worker from the identity element and
       merge under a lock at the join;
     - nested parallel regions execute sequentially (one level, like the
@@ -71,7 +74,15 @@ and frame = {
   vars : (string, view) Hashtbl.t;
   consts : (string, value) Hashtbl.t;
   overrides : (string, view) Hashtbl.t list;
-      (** dynamic privatization stack, innermost first *)
+      (** dynamic privatization stack, innermost first; consulted only in
+          the unit that lexically contains the directive — it stops at
+          the call boundary *)
+  st_overrides : (storage * view) list;
+      (** storage-keyed privatization, innermost first: shared COMMON
+          storage -> private per-worker copy.  Callee frames re-map
+          COMMON members through this by physical identity, so a callee
+          local or formal that shares a *name* with a privatized
+          variable is never captured *)
   in_parallel : bool;
   depth : int;  (** call nesting depth, checked against [glb.max_depth] *)
   fstk : float array;
@@ -222,6 +233,16 @@ let lookup_slow (fr : frame) name : view =
           match List.assoc_opt name layout with
           | Some (blk, pos) ->
               let base = (Hashtbl.find fr.glb.commons blk).(pos) in
+              let base =
+                (* privatized COMMON member: follow the storage to this
+                   worker's private copy, whatever this unit calls it *)
+                let rec remap = function
+                  | [] -> base
+                  | (s, p) :: tl ->
+                      if same_storage s base.st then p else remap tl
+                in
+                remap fr.st_overrides
+              in
               let dims =
                 match Ast.find_decl fr.unit_ name with
                 | Some d -> eval_dims fr d
@@ -377,11 +398,15 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
             (fun fr ->
               match Hashtbl.find_opt fr.consts v with
               | Some c -> to_int c
-              | None -> scalar_get_i (lookup fr v))
+              | None ->
+                  let w = lookup fr v in
+                  if Trace.on () then Trace.read v w 0;
+                  scalar_get_i w)
       | Ast.Logical ->
           CB
             (fun fr ->
               let w = lookup fr v in
+              if Trace.on () then Trace.read v w 0;
               match w.st with
               | Bs a -> a.(w.off)
               | _ -> rerror "logical variable %s has numeric storage" v)
@@ -391,19 +416,26 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
               Array.unsafe_set fr.fstk i
                 (match Hashtbl.find_opt fr.consts v with
                 | Some c -> to_float c
-                | None -> scalar_get_f (lookup fr v))))
+                | None ->
+                    let w = lookup fr v in
+                    if Trace.on () then Trace.read v w 0;
+                    scalar_get_f w)))
   | Ast.Array_ref (a, idx) ->
       let off = compile_offset u a idx in
       if Ast.type_of_var u a = Ast.Integer then
         CI
           (fun fr ->
             let v = lookup fr a in
-            elem_get_i v (off fr v))
+            let o = off fr v in
+            if Trace.on () then Trace.read a v o;
+            elem_get_i v o)
       else
         CF
           (fun fr i ->
             let v = lookup fr a in
-            Array.unsafe_set fr.fstk i (elem_get_f v (off fr v)))
+            let o = off fr v in
+            if Trace.on () then Trace.read a v o;
+            Array.unsafe_set fr.fstk i (elem_get_f v o))
   | Ast.Func_call (f, args) when Intrinsics.is_intrinsic f ->
       compile_intrinsic u f args
   | Ast.Func_call (f, args) ->
@@ -750,36 +782,55 @@ and compile_stmt program u (s : Ast.stmt) : cstmt =
   | Ast.Assign (Ast.Lvar v, e) -> (
       match Ast.find_decl u v with
       | Some d when d.d_dims <> [] ->
-          (* whole-array broadcast *)
+          (* whole-array broadcast: one write of the entire object *)
           let f = eval_boxed u e in
-          fun fr -> fill (lookup fr v) (f fr)
+          fun fr ->
+            let x = f fr in
+            let w = lookup fr v in
+            if Trace.on () then Trace.write v w (-1);
+            fill w x
       | _ -> (
           match Ast.type_of_var u v with
           | Ast.Integer ->
               let f = compile_int u e in
-              fun fr -> elem_set_i (lookup fr v) 0 (f fr)
+              fun fr ->
+                let x = f fr in
+                let w = lookup fr v in
+                if Trace.on () then Trace.write v w 0;
+                elem_set_i w 0 x
           | Ast.Logical ->
               let f = compile_bool u e in
-              fun fr -> set (lookup fr v) [] (VBool (f fr))
+              fun fr ->
+                let x = f fr in
+                let w = lookup fr v in
+                if Trace.on () then Trace.write v w 0;
+                set w [] (VBool x)
           | Ast.Real | Ast.Double | Ast.Character ->
               let f = compile_float u e in
               fun fr ->
                 f fr 0;
-                elem_set_f (lookup fr v) 0 (Array.unsafe_get fr.fstk 0)))
+                let w = lookup fr v in
+                if Trace.on () then Trace.write v w 0;
+                elem_set_f w 0 (Array.unsafe_get fr.fstk 0)))
   | Ast.Assign (Ast.Larray (a, idx), e) ->
       let off = compile_offset u a idx in
       if Ast.type_of_var u a = Ast.Integer then
         let f = compile_int u e in
         fun fr ->
+          let x = f fr in
           let v = lookup fr a in
-          elem_set_i v (off fr v) (f fr)
+          let o = off fr v in
+          if Trace.on () then Trace.write a v o;
+          elem_set_i v o x
       else
         let f = compile_float u e in
         fun fr ->
           f fr 0;
           let x = Array.unsafe_get fr.fstk 0 in
           let v = lookup fr a in
-          elem_set_f v (off fr v) x
+          let o = off fr v in
+          if Trace.on () then Trace.write a v o;
+          elem_set_f v o x
   | Ast.Assign (Ast.Lsection (a, _), _) ->
       fun _ -> rerror "array section %s reached execution" a
   | Ast.If (c, t, e) ->
@@ -800,13 +851,27 @@ and compile_loop program u (l : Ast.do_loop) : cstmt =
   let touches = lazy (touch_names program l.body) in
   let run_seq fr lo hi step =
     let idx = lookup fr l.index in
-    let i = ref lo in
-    while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
-      elem_set_i idx 0 !i;
-      run_code fbody fr;
-      i := !i + step
-    done;
-    elem_set_i idx 0 !i
+    let tron = Trace.on () in
+    (* directive loops open a conflict frame; plain loops only record
+       their index writes (an un-privatized inner index is a real shared
+       write the enclosing directive loop must answer for) *)
+    let tracing = tron && l.parallel <> None in
+    if tracing then Trace.loop_begin l.loop_id;
+    (try
+       let i = ref lo in
+       while (step > 0 && !i <= hi) || (step < 0 && !i >= hi) do
+         if tracing then Trace.loop_iter l.loop_id !i;
+         elem_set_i idx 0 !i;
+         if tron then Trace.write l.index idx 0;
+         run_code fbody fr;
+         i := !i + step
+       done;
+       elem_set_i idx 0 !i;
+       if tron then Trace.write l.index idx 0
+     with e ->
+       if tracing then Trace.loop_end l.loop_id;
+       raise e);
+    if tracing then Trace.loop_end l.loop_id
   in
   fun fr ->
     let lo = flo fr and hi = fhi fr and step = fstep fr in
@@ -866,8 +931,12 @@ and exec_parallel fr (l : Ast.do_loop) (omp : Ast.omp) fbody touches ~lo ~hi
       if first >= last then ()
       else begin
         let priv_tbl = Hashtbl.create 8 in
+        let st_over = ref fr.st_overrides in
         let mk_private name =
-          Hashtbl.replace priv_tbl name (fresh_like (lookup fr name))
+          let orig = lookup fr name in
+          let p = fresh_like orig in
+          Hashtbl.replace priv_tbl name p;
+          st_over := (orig.st, p) :: !st_over
         in
         List.iter mk_private omp.omp_private;
         mk_private l.index;
@@ -886,12 +955,14 @@ and exec_parallel fr (l : Ast.do_loop) (omp : Ast.omp) fbody touches ~lo ~hi
               | Ast.Rmin, _ -> VInt max_int
             in
             set p [] ident;
-            Hashtbl.replace priv_tbl name p)
+            Hashtbl.replace priv_tbl name p;
+            st_over := (view.st, p) :: !st_over)
           red_base;
         let wfr =
           {
             fr with
             overrides = priv_tbl :: fr.overrides;
+            st_overrides = !st_over;
             in_parallel = true;
             vars = Hashtbl.copy fr.vars;
             fstk = Array.make fstk_size 0.0;
@@ -976,7 +1047,11 @@ and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
       unit_ = callee;
       vars = Hashtbl.create 16;
       consts = Hashtbl.create 4;
-      overrides = fr.overrides;
+      (* name-keyed overrides stop here: the callee's locals and formals
+         are distinct variables even when they share a privatized name.
+         Privatized COMMON follows the storage via [st_overrides]. *)
+      overrides = [];
+      st_overrides = fr.st_overrides;
       in_parallel = fr.in_parallel;
       depth;
       fstk = fr.fstk;
@@ -1068,6 +1143,38 @@ let storage_floats = function
   | Is a -> Array.map float_of_int a
   | Bs a -> Array.map (fun b -> if b then 1.0 else 0.0) a
 
+(** State keys (as produced by {!run_program_state}) of COMMON members
+    named in some PRIVATE clause.  Their contents after the loop are
+    unspecified — each worker wrote only its own copy while a serial run
+    writes the shared storage — so a differential state comparison must
+    ignore them.  REDUCTION names are {e not} included: they merge back
+    into shared storage at the join and stay comparable. *)
+let private_state_keys (program : Ast.program) : string list =
+  let _, layouts = build_commons program in
+  let keys = Hashtbl.create 8 in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      let layout =
+        Option.value ~default:[] (Hashtbl.find_opt layouts u.Ast.u_name)
+      in
+      List.iter
+        (fun (l : Ast.do_loop) ->
+          match l.Ast.parallel with
+          | Some omp ->
+              List.iter
+                (fun n ->
+                  match List.assoc_opt n layout with
+                  | Some (blk, pos) ->
+                      Hashtbl.replace keys
+                        (Printf.sprintf "%s/%d" blk pos)
+                        ()
+                  | None -> ())
+                omp.Ast.omp_private
+          | None -> ())
+        (Ast.collect_loops u.Ast.u_body))
+    program.p_units;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) keys [])
+
 (** Execute a program's MAIN unit; returns everything it printed plus the
     final contents of every COMMON block (member by member, as floats) --
     the strongest observable state two runs can be compared on. *)
@@ -1106,6 +1213,7 @@ let run_program_state ?(threads = 1) ?profile ?fuel
       vars = Hashtbl.create 16;
       consts = Hashtbl.create 4;
       overrides = [];
+      st_overrides = [];
       in_parallel = false;
       depth = 0;
       fstk = Array.make fstk_size 0.0;

@@ -52,3 +52,11 @@ val run_program_state :
   ?max_depth:int ->
   Frontend.Ast.program ->
   string * (string * float array) list
+
+(** State keys (as in {!run_program_state}) of COMMON members named in
+    some PRIVATE clause.  Their post-loop contents are unspecified — a
+    parallel run leaves the shared storage untouched while a serial run
+    writes it — so differential state comparison must skip them.
+    REDUCTION names merge back into shared storage and are not
+    included. *)
+val private_state_keys : Frontend.Ast.program -> string list

@@ -1,0 +1,298 @@
+(** Dynamic access tracing for the validation oracle.
+
+    The interpreter's compiled closures report every scalar/array read and
+    write here; while a sink is installed (via {!with_tracing}, same
+    domain-local discipline as [Frontend.Prof]) and at least one
+    directive-carrying loop is active, each access is folded into a
+    per-loop conflict map.  The checker replays a program *serially* under
+    a sink and then asks which [PARALLEL DO] loops performed
+    cross-iteration conflicting accesses — the raw material for the race
+    detector in [lib/checker].
+
+    Zero-cost when off: instrumentation sites first test {!on}, a single
+    uncontended atomic load; only when some domain has armed tracing do
+    they consult the domain-local slot.  Worker domains of a parallel run
+    never see the main domain's sink, so tracing is meaningful only for
+    sequential replays — exactly how the oracle uses it.
+
+    Conflict detection is online and bounded: per (loop execution,
+    location) we keep one small mutable cell and report at most one
+    write-write and one read-write witness pair, so memory is proportional
+    to the touched footprint, not to the access count.  Locations are
+    (physical storage, element offset) pairs — COMMON aliasing through
+    different names or reshaped views lands on the same location. *)
+
+open Value
+
+type kind = Ww  (** write-write *) | Rw  (** read-write *)
+
+let kind_name = function Ww -> "write-write" | Rw -> "read-write"
+
+(** One witness of a cross-iteration conflict inside a directive loop.
+    [c_var]/[c_var'] are the names the two endpoint accesses used (they
+    can differ under aliasing); [c_iter]/[c_iter'] are the two iteration
+    values of the loop's index ([c_iter <> c_iter']).  [c_off] is the
+    0-based flattened element offset within the variable's storage, [-1]
+    for a whole-object access (array broadcast). *)
+type conflict = {
+  c_loop : int;  (** loop id of the directive loop *)
+  c_var : string;
+  c_var' : string;
+  c_kind : kind;
+  c_iter : int;
+  c_iter' : int;
+  c_off : int;
+}
+
+(* Per-location state within one execution of one directive loop.
+   [min_int] means "no such access yet". *)
+type cell = {
+  mutable w_iter : int;
+  mutable w_name : string;
+  mutable r_iter : int;
+  mutable r_name : string;
+  mutable ww_done : bool;  (** a WW witness was already reported here *)
+  mutable rw_done : bool;
+}
+
+(* One active execution of a directive loop (innermost first on the
+   stack).  Cells are keyed by [store_id * 2^32 + (off + 1)]; offset -1
+   (whole-object) packs to low bits 0 and doubles as the store-level
+   cell consulted by every element access. *)
+type lframe = {
+  f_loop : int;
+  mutable f_iter : int;
+  mutable f_iters : int;  (** iterations begun in this execution *)
+  f_cells : (int, cell) Hashtbl.t;
+}
+
+type sink = {
+  mutable stores : storage array;  (** physical-identity table *)
+  mutable n_stores : int;
+  mutable last_store : int;  (** MRU index into [stores]; -1 when empty *)
+  mutable frames : lframe list;
+  mutable conflicts : conflict list;  (** newest first *)
+  mutable iterations : int;  (** directive-loop iterations traced *)
+  mutable events : int;  (** accesses recorded under some frame *)
+}
+
+let create () =
+  {
+    stores = [||];
+    n_stores = 0;
+    last_store = -1;
+    frames = [];
+    conflicts = [];
+    iterations = 0;
+    events = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Installation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Count of domains with an installed sink: the single-load fast path. *)
+let armed = Atomic.make 0
+
+let on () = Atomic.get armed > 0
+
+let slot : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get slot
+
+(** Install [s] as the calling domain's sink for the duration of [f]. *)
+let with_tracing (s : sink) (f : unit -> 'a) : 'a =
+  let prev = Domain.DLS.get slot in
+  Domain.DLS.set slot (Some s);
+  Atomic.incr armed;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr armed;
+      Domain.DLS.set slot prev)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Storage identity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Index of [st] in the sink's physical-identity table, interning on
+   first sight.  MRU cache first (loop bodies hammer a handful of
+   storages), then a backward scan (fresh storages sit at the end).
+   Inside directive loops the table stays small: the parallelizer admits
+   no calls there, so no per-call storage is allocated mid-trace. *)
+let store_id (s : sink) (st : storage) : int =
+  if s.last_store >= 0 && s.stores.(s.last_store) == st then s.last_store
+  else begin
+    let rec scan i =
+      if i < 0 then begin
+        if s.n_stores = Array.length s.stores then begin
+          let bigger =
+            Array.make (max 16 (2 * Array.length s.stores)) st
+          in
+          Array.blit s.stores 0 bigger 0 s.n_stores;
+          s.stores <- bigger
+        end;
+        s.stores.(s.n_stores) <- st;
+        s.n_stores <- s.n_stores + 1;
+        s.n_stores - 1
+      end
+      else if s.stores.(i) == st then i
+      else scan (i - 1)
+    in
+    let id = scan (s.n_stores - 1) in
+    s.last_store <- id;
+    id
+  end
+
+let key_of sid off = (sid lsl 32) lor (off + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Online conflict detection                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_cell () =
+  {
+    w_iter = min_int;
+    w_name = "";
+    r_iter = min_int;
+    r_name = "";
+    ww_done = false;
+    rw_done = false;
+  }
+
+let cell_of (fr : lframe) key =
+  match Hashtbl.find_opt fr.f_cells key with
+  | Some c -> c
+  | None ->
+      let c = fresh_cell () in
+      Hashtbl.replace fr.f_cells key c;
+      c
+
+(* Fold one access into one frame's map, appending any fresh witness to
+   the sink's conflict list. *)
+let touch (s : sink) (fr : lframe) ~write name off key =
+  let c = cell_of fr key in
+  let iter = fr.f_iter in
+  let report kind var var' iter' =
+    s.conflicts <-
+      {
+        c_loop = fr.f_loop;
+        c_var = var;
+        c_var' = var';
+        c_kind = kind;
+        c_iter = iter';
+        c_iter' = iter;
+        c_off = off;
+      }
+      :: s.conflicts
+  in
+  if write then begin
+    if c.w_iter <> min_int && c.w_iter <> iter && not c.ww_done then begin
+      c.ww_done <- true;
+      report Ww c.w_name name c.w_iter
+    end;
+    if c.r_iter <> min_int && c.r_iter <> iter && not c.rw_done then begin
+      c.rw_done <- true;
+      report Rw c.r_name name c.r_iter
+    end;
+    c.w_iter <- iter;
+    c.w_name <- name
+  end
+  else begin
+    if c.w_iter <> min_int && c.w_iter <> iter && not c.rw_done then begin
+      c.rw_done <- true;
+      report Rw c.w_name name c.w_iter
+    end;
+    c.r_iter <- iter;
+    c.r_name <- name
+  end
+
+let record (s : sink) ~write name (v : view) off =
+  match s.frames with
+  | [] -> ()
+  | frames ->
+      s.events <- s.events + 1;
+      let sid = store_id s v.st in
+      let abs = if off < 0 then -1 else v.off + off in
+      let key = key_of sid abs in
+      let whole_key = key_of sid (-1) in
+      List.iter
+        (fun fr ->
+          (* a prior whole-object write conflicts with any element access *)
+          (if abs >= 0 then
+             match Hashtbl.find_opt fr.f_cells whole_key with
+             | Some wc
+               when wc.w_iter <> min_int && wc.w_iter <> fr.f_iter
+                    && not wc.rw_done ->
+                 wc.rw_done <- true;
+                 s.conflicts <-
+                   {
+                     c_loop = fr.f_loop;
+                     c_var = wc.w_name;
+                     c_var' = name;
+                     c_kind = (if write then Ww else Rw);
+                     c_iter = wc.w_iter;
+                     c_iter' = fr.f_iter;
+                     c_off = -1;
+                   }
+                   :: s.conflicts
+             | _ -> ());
+          touch s fr ~write name abs key)
+        frames
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation entry points (no-ops without an installed sink)     *)
+(* ------------------------------------------------------------------ *)
+
+let read name v off =
+  match current () with
+  | None -> ()
+  | Some s -> record s ~write:false name v off
+
+let write name v off =
+  match current () with
+  | None -> ()
+  | Some s -> record s ~write:true name v off
+
+(** The interpreter is entering an execution of directive loop [loop_id]. *)
+let loop_begin loop_id =
+  match current () with
+  | None -> ()
+  | Some s ->
+      s.frames <-
+        { f_loop = loop_id; f_iter = min_int; f_iters = 0;
+          f_cells = Hashtbl.create 64 }
+        :: s.frames
+
+(** The loop's index takes the value [i] for the next iteration. *)
+let loop_iter loop_id i =
+  match current () with
+  | None -> ()
+  | Some s -> (
+      match s.frames with
+      | fr :: _ when fr.f_loop = loop_id ->
+          fr.f_iter <- i;
+          fr.f_iters <- fr.f_iters + 1;
+          s.iterations <- s.iterations + 1
+      | _ -> ())
+
+(** The execution of directive loop [loop_id] completed (or was abandoned
+    by an exception); drops its frame and anything stacked above it. *)
+let loop_end loop_id =
+  match current () with
+  | None -> ()
+  | Some s ->
+      let rec drop = function
+        | [] -> s.frames (* unmatched end: leave the stack untouched *)
+        | fr :: rest when fr.f_loop = loop_id -> rest
+        | _ :: rest -> drop rest
+      in
+      s.frames <- drop s.frames
+
+(* ---- readers ---- *)
+
+(** All witnesses, in discovery order. *)
+let conflicts (s : sink) = List.rev s.conflicts
+
+let iterations (s : sink) = s.iterations
+let events (s : sink) = s.events

@@ -29,6 +29,16 @@ let storage_len = function
   | Is a -> Array.length a
   | Bs a -> Array.length a
 
+(** Physical identity of the underlying array — the notion of "same
+    variable" that survives re-declaration of a COMMON member under a
+    different name (or shape) in another program unit. *)
+let same_storage (a : storage) (b : storage) =
+  match (a, b) with
+  | Fs x, Fs y -> x == y
+  | Is x, Is y -> x == y
+  | Bs x, Bs y -> x == y
+  | _ -> false
+
 let alloc_storage (ty : Frontend.Ast.dtype) n : storage =
   match ty with
   | Frontend.Ast.Integer -> Is (Array.make (max 1 n) 0)

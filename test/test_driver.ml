@@ -150,6 +150,7 @@ let test_json_schema () =
     [
       "schema_version"; "points"; "bench"; "config"; "par_loops"; "loss";
       "extra"; "code_size"; "wall_ms"; "pass_ms"; "counters"; "salvage";
+      "validation"; "iterations_traced"; "race_conflicts"; "race_excused";
       "no-inlining"; "conventional"; "annotation-based";
     ]
 

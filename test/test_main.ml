@@ -16,4 +16,5 @@ let () =
       ("state", Test_state.suite);
       ("experiment", Test_experiment.suite);
       ("driver", Test_driver.suite);
+      ("checker", Test_checker.suite);
     ]
