@@ -45,7 +45,8 @@ let table1 () =
 (* Table II                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table2 ?(jobs = 1) ?json_out ?(validate = false) () =
+let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
+    ?trace_out () =
   rule ();
   say
     "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE THREE INLINING\n\
@@ -55,7 +56,8 @@ let table2 ?(jobs = 1) ?json_out ?(validate = false) () =
     "annotation-based";
   say "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n" "bench" "par"
     "size" "par" "loss" "extra" "size" "par" "loss" "extra" "size";
-  let points = Perfect.Driver.run_suite ~jobs ~validate () in
+  let span = Option.map (fun _ -> Core.Span.create ()) trace_out in
+  let points = Perfect.Driver.run_suite ~jobs ~validate ?span () in
   let tot = Array.make 10 0 in
   let add i v = tot.(i) <- tot.(i) + v in
   let rec rows = function
@@ -91,12 +93,27 @@ let table2 ?(jobs = 1) ?json_out ?(validate = false) () =
               (Checker.Oracle.verdict_summary v))
       points
   end;
+  let explain =
+    if explain_diff || json_out <> None then Some (Perfect.Driver.explain points)
+    else None
+  in
+  (match explain with
+  | Some e when explain_diff ->
+      say "\n%s" (Perfect.Explain.render e)
+  | _ -> ());
   (match json_out with
   | None -> ()
   | Some path ->
-      Perfect.Driver.write_file_atomic path (Perfect.Driver.to_json points);
+      Perfect.Driver.write_file_atomic path
+        (Perfect.Driver.to_json ?explain points);
       Printf.eprintf "bench: wrote %d points to %s\n"
         (List.length points) path);
+  (match (trace_out, span) with
+  | Some path, Some s ->
+      Perfect.Driver.write_file_atomic path (Core.Span.to_chrome_json s);
+      Printf.eprintf "bench: wrote %d trace events to %s\n"
+        (List.length (Core.Span.events s)) path
+  | _ -> ());
   degrade (Perfect.Driver.exit_status points);
   say
     "\npaper's aggregate shape: conventional loses ~90 loops and gains only\n\
@@ -272,7 +289,7 @@ let ablate () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
-     [--json FILE] [--validate]\n";
+     [--json FILE] [--validate] [--explain-diff] [--trace-out FILE]\n";
   exit 2
 
 let () =
@@ -280,6 +297,8 @@ let () =
   let jobs = ref 1 in
   let json_out = ref None in
   let validate = ref false in
+  let explain_diff = ref false in
+  let trace_out = ref None in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest -> (
@@ -294,7 +313,13 @@ let () =
     | "--validate" :: rest ->
         validate := true;
         parse_args acc rest
-    | ("--jobs" | "--json") :: [] -> usage ()
+    | "--explain-diff" :: rest ->
+        explain_diff := true;
+        parse_args acc rest
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        parse_args acc rest
+    | ("--jobs" | "--json" | "--trace-out") :: [] -> usage ()
     | a :: rest -> parse_args (a :: acc) rest
   in
   let args = parse_args [] (List.tl (Array.to_list Sys.argv)) in
@@ -304,13 +329,15 @@ let () =
        (function
          | "table1" -> table1 ()
          | "table2" ->
-             table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate ()
+             table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
+               ~explain_diff:!explain_diff ?trace_out:!trace_out ()
          | "fig20" -> fig20 ()
          | "micro" -> micro ()
          | "ablate" -> ablate ()
          | "all" ->
              table1 ();
-             table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate ();
+             table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
+               ~explain_diff:!explain_diff ?trace_out:!trace_out ();
              fig20 ();
              micro ();
              ablate ()

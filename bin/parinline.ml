@@ -3,10 +3,20 @@
    Usage:
      parinline compile  FILE.f [--annot FILE.annot] [--mode MODE] [-o OUT]
      parinline report   FILE.f [--annot FILE.annot]
+     parinline explain  FILE.f [--annot FILE.annot] [--mode MODE]
+                               [--loop ID] [--json]
      parinline run      FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
      parinline check    FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
 
    MODE is one of: none | conventional | annotation (default: annotation).
+
+   explain prints the structured verdict of every analyzed loop — stable
+   identity (unit, nesting path, source line), outcome, clauses, and the
+   complete blocker list for serial loops; --json round-trips.
+
+   Tracing (compile, explain, run, check): --trace-out FILE records
+   begin/end spans of every instrumented region and writes Chrome
+   trace_event JSON for chrome://tracing / Perfetto.
 
    check optimizes the program, replays it serially under the access
    tracer to detect cross-iteration races not excused by the emitted
@@ -90,9 +100,39 @@ let dump_prof = function
   | None -> ()
   | Some p -> prerr_string (Core.Prof.render p)
 
-let compile_run source_file annot_file mode out keep_going max_errors profile =
+(* --trace-out support: arm a span sink for the duration of [f] and
+   export the stream as Chrome trace_event JSON (atomically — a killed
+   run never leaves a truncated trace for tooling to choke on). *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      let s = Core.Span.create () in
+      let written = ref false in
+      let write () =
+        if not !written then begin
+          written := true;
+          Perfect.Driver.write_file_atomic path (Core.Span.to_chrome_json s);
+          Printf.eprintf "trace: wrote %d events to %s%s\n"
+            (List.length (Core.Span.events s))
+            path
+            (match Core.Span.dropped s with
+            | 0 -> ""
+            | n -> Printf.sprintf " (%d spans dropped)" n)
+        end
+      in
+      (* the commands exit from inside [f] on diagnostics (1) and fatals
+         (2); at_exit still gets the trace out on those paths *)
+      at_exit write;
+      let r = Core.Span.with_tracing s f in
+      write ();
+      r
+
+let compile_run source_file annot_file mode out keep_going max_errors profile
+    trace_out =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
   let r =
     if keep_going then
@@ -186,9 +226,10 @@ let report_run source_file annot_file keep_going max_errors =
   finish_with !all_diags
 
 let exec_run source_file annot_file mode threads keep_going max_errors fuel
-    profile =
+    profile trace_out =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
   let r =
     if keep_going then
@@ -222,9 +263,10 @@ let exec_run source_file annot_file mode threads keep_going max_errors fuel
       exit 2
 
 let check_run source_file annot_file mode threads keep_going max_errors fuel
-    profile =
+    profile trace_out =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
   let r =
     if keep_going then
@@ -255,6 +297,58 @@ let check_run source_file annot_file mode threads keep_going max_errors fuel
     v.Checker.Oracle.v_excused;
   dump_prof prof;
   if not v.Checker.Oracle.v_ok then exit 1;
+  finish_with r.res_diags
+
+(* The explain subcommand: structured per-loop verdicts (the provenance
+   layer behind Table II).  Every analyzed loop prints its stable id,
+   outcome, clauses, and — for serial loops — the complete blocker list
+   (the parallelizer no longer stops at the first obstacle).  [--loop]
+   filters by gensym id or by the structural "UNIT:PATH@LINE" key;
+   [--json] emits the round-trippable verdict objects instead. *)
+let explain_run source_file annot_file mode loop_filter json keep_going
+    max_errors trace_out =
+  let mode = mode_of_string mode in
+  let source, annot_source = load source_file annot_file in
+  with_trace trace_out @@ fun () ->
+  let r =
+    if keep_going then
+      robust (fun () ->
+          Core.Pipeline.run_source_robust ~max_errors ~mode ~annot_source
+            source)
+    else
+      strict (fun () -> Core.Pipeline.run_source ~mode ~annot_source source)
+  in
+  let verdicts =
+    List.map
+      (fun (rep : Parallelizer.Parallelize.loop_report) -> rep.rep_verdict)
+      r.res_reports
+  in
+  let verdicts =
+    match loop_filter with
+    | None -> verdicts
+    | Some want ->
+        List.filter
+          (fun (v : Parallelizer.Verdict.t) ->
+            let l = v.Parallelizer.Verdict.v_loop in
+            String.equal (string_of_int l.lid_loop) want
+            || String.equal (Parallelizer.Verdict.key l) want)
+          verdicts
+  in
+  if json then
+    print_string
+      (Frontend.Json.to_string
+         (Frontend.Json.List
+            (List.map Parallelizer.Verdict.to_json verdicts))
+      ^ "\n")
+  else begin
+    Printf.printf "%s: %d loop verdict(s)\n"
+      (Core.Pipeline.mode_name mode)
+      (List.length verdicts);
+    List.iter
+      (fun v -> print_endline (Parallelizer.Verdict.render v))
+      verdicts
+  end;
+  print_diags r.res_diags;
   finish_with r.res_diags
 
 (* ---- cmdliner plumbing ---- *)
@@ -303,11 +397,37 @@ let profile_arg =
           "Dump the per-pass timing breakdown and analysis counters on \
            stderr (the bench driver's schema).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record begin/end spans of every instrumented region (pipeline \
+           phases, per-loop analysis, dependence tests, inline sites, \
+           reverse matches) and write them to $(docv) as Chrome \
+           trace_event JSON (load in chrome://tracing or Perfetto).")
+
+let loop_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "loop" ] ~docv:"ID"
+        ~doc:
+          "Only the verdict(s) of this loop: a numeric loop id or a \
+           structural UNIT:PATH@LINE key as printed by explain.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit verdicts as JSON (round-trippable) instead of text.")
+
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Optimize a program and print the result")
     Term.(
       const compile_run $ source_arg $ annot_arg $ mode_arg $ out_arg
-      $ keep_going_arg $ max_errors_arg $ profile_arg)
+      $ keep_going_arg $ max_errors_arg $ profile_arg $ trace_out_arg)
 
 let report_cmd =
   Cmd.v
@@ -316,11 +436,23 @@ let report_cmd =
       const report_run $ source_arg $ annot_arg $ keep_going_arg
       $ max_errors_arg)
 
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Print the structured parallelization verdict of every analyzed \
+          loop: stable loop identity, outcome, PRIVATE/REDUCTION clauses, \
+          and the complete blocker list for serial loops")
+    Term.(
+      const explain_run $ source_arg $ annot_arg $ mode_arg $ loop_arg
+      $ json_arg $ keep_going_arg $ max_errors_arg $ trace_out_arg)
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize then execute a program")
     Term.(
       const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
-      $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg)
+      $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg
+      $ trace_out_arg)
 
 let check_cmd =
   Cmd.v
@@ -331,7 +463,8 @@ let check_cmd =
           differential run")
     Term.(
       const check_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
-      $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg)
+      $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg
+      $ trace_out_arg)
 
 let bench_run name threads =
   match Perfect.Suite.find name with
@@ -373,4 +506,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; report_cmd; run_cmd; check_cmd; bench_cmd ]))
+          [ compile_cmd; report_cmd; explain_cmd; run_cmd; check_cmd;
+            bench_cmd ]))

@@ -302,6 +302,7 @@ let rec tr_assign env (targets : atarget list) (rhs : aexpr) : Ast.stmt list =
               do_label = None;
               parallel = None;
               loop_id = Ast.fresh_loop_id ();
+              do_line = 0;
             }
           in
           [ Ast.mk (Ast.Do_loop l) ])
@@ -380,6 +381,7 @@ let rec tr_stmt env (s : astmt) : Ast.stmt list =
                  do_label = None;
                  parallel = None;
                  loop_id;
+                 do_line = 0;
                });
         ]
 
@@ -609,8 +611,10 @@ let run ?(config = default_config) ?(robust = false)
               let annot = Option.get (find_annot name) in
               try
                 let body, decls =
-                  instantiate ~cfg:config ~program ~caller:u ~annot
-                    ~mode:(`Inline args)
+                  Span.span ~cat:"inline" ~unit_:u.u_name
+                    ("annot-site:" ^ name) (fun () ->
+                      instantiate ~cfg:config ~program ~caller:u ~annot
+                        ~mode:(`Inline args))
                 in
                 let cdecls, cblocks = import_commons program u body in
                 extra_decls := !extra_decls @ decls @ cdecls;

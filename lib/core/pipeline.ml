@@ -39,11 +39,16 @@ let stmt_count (p : Ast.program) =
     (fun n u -> Ast.fold_stmts (fun n _ -> n + 1) n u.Ast.u_body)
     0 p.Ast.p_units
 
+(* One pipeline phase: wall time lands in the [name] pass bucket and,
+   when a span sink is armed, the phase emits a begin/end span pair.
+   Both instruments are inert (a load and a branch each) when off. *)
+let phase name f = Prof.time name (fun () -> Span.span ~cat:"pipeline" name f)
+
 let normalize (p : Ast.program) : Ast.program =
   (* the count is gathered only under an installed profile; the sweep
      itself stays untouched when profiling is off *)
   if Prof.enabled () then Prof.add_stmts_normalized (stmt_count p);
-  Prof.time "normalize" (fun () ->
+  phase "normalize" (fun () ->
       p |> Analysis.Constprop.run |> Analysis.Induction.run
       |> Analysis.Forward_subst.run |> Analysis.Constprop.run)
 
@@ -101,7 +106,7 @@ let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
   Prof.with_opt prof @@ fun () ->
   let original_loops = original_loop_ids program in
   let program, inline_stats, annot_stats =
-    Prof.time "inline" (fun () ->
+    phase "inline" (fun () ->
         match mode with
         | No_inlining -> (program, None, None)
         | Conventional ->
@@ -113,11 +118,11 @@ let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
   in
   let program = normalize program in
   let program, reports =
-    Prof.time "parallelize" (fun () ->
+    phase "parallelize" (fun () ->
         Parallelizer.Parallelize.run ~config:par_config program)
   in
   let program, reverse_stats =
-    Prof.time "reverse" (fun () ->
+    phase "reverse" (fun () ->
         match mode with
         | Annotation_based ->
             let p, st = Reverse.run ~cfg:annot_config ~annots program in
@@ -142,7 +147,7 @@ let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
 let run_source ?prof ?par_config ?inline_config ?annot_config ~mode
     ?(annot_source = "") (source : string) : result =
   Prof.with_opt prof @@ fun () ->
-  let program = Prof.time "parse" (fun () -> Resolve.parse source) in
+  let program = phase "parse" (fun () -> Resolve.parse source) in
   let annots =
     Prof.time "parse" (fun () ->
         if String.trim annot_source = "" then []
@@ -162,8 +167,9 @@ let guard_unit dg ~code ~pass (u : Ast.program_unit)
   try f u with
   | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
   | e ->
-      Diag.warn dg code "%s crashed on unit %s (%s); pass skipped for this unit"
-        pass u.Ast.u_name (Printexc.to_string e);
+      Diag.warn dg ~unit_:u.Ast.u_name code
+        "%s crashed on unit %s (%s); pass skipped for this unit" pass
+        u.Ast.u_name (Printexc.to_string e);
       u
 
 (* Same normalization sequence as {!normalize}, but each pass is guarded
@@ -171,7 +177,7 @@ let guard_unit dg ~code ~pass (u : Ast.program_unit)
    moves on. *)
 let normalize_robust dg (p : Ast.program) : Ast.program =
   if Prof.enabled () then Prof.add_stmts_normalized (stmt_count p);
-  Prof.time "normalize" @@ fun () ->
+  phase "normalize" @@ fun () ->
   let passes =
     [
       ("constant propagation", Analysis.Constprop.run_unit);
@@ -218,7 +224,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
         (p, None)
   in
   let program, inline_stats, annot_stats =
-    Prof.time "inline" @@ fun () ->
+    phase "inline" @@ fun () ->
     match mode with
     | No_inlining -> (program, None, None)
     | Conventional ->
@@ -231,7 +237,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
         | p, st ->
             List.iter
               (fun (caller, callee, why) ->
-                Diag.warn dg Diag.Annot
+                Diag.warn dg ~unit_:caller Diag.Annot
                   "annotation for %s failed to instantiate in %s (%s); \
                    call site left un-inlined"
                   callee caller why)
@@ -248,7 +254,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
   in
   let program = normalize_robust dg program in
   let program, reports =
-    Prof.time "parallelize" @@ fun () ->
+    phase "parallelize" @@ fun () ->
     let pure =
       if not par_config.Parallelizer.Parallelize.allow_pure_functions then
         Parallelizer.Parallelize.S.empty
@@ -269,7 +275,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
           | u', r -> (u' :: us, rs @ r)
           | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
           | exception e ->
-              Diag.warn dg Diag.Parallel
+              Diag.warn dg ~unit_:u.Ast.u_name Diag.Parallel
                 "parallelizer crashed on unit %s (%s); unit left serial"
                 u.Ast.u_name (Printexc.to_string e);
               (u :: us, rs))
@@ -278,7 +284,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     ({ Ast.p_units = List.rev units }, reports)
   in
   let program, reverse_stats =
-    Prof.time "reverse" @@ fun () ->
+    phase "reverse" @@ fun () ->
     match mode with
     | No_inlining | Conventional -> (program, None)
     | Annotation_based -> (
@@ -310,7 +316,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     if not validate then None
     else
       Some
-        (Prof.time "validate" (fun () ->
+        (phase "validate" (fun () ->
              Checker.Oracle.validate ~threads:validate_threads program))
   in
   let validation_diags =
@@ -341,7 +347,7 @@ let run_source_robust ?prof ?par_config ?inline_config ?annot_config
   Prof.with_opt prof @@ fun () ->
   let dg = Diag.collector ?max_errors () in
   let program, parse_diags =
-    Prof.time "parse" (fun () -> Resolve.parse_robust ?max_errors source)
+    phase "parse" (fun () -> Resolve.parse_robust ?max_errors source)
   in
   let annots =
     Prof.time "parse" @@ fun () ->

@@ -401,7 +401,11 @@ let run ~(cfg : Annot_inline.config) ~(annots : annotation list)
                       ~mode:`Match
                   in
                   let template = normalize_template u template in
-                  match match_body u empty_binding template region with
+                  match
+                    Span.span ~cat:"reverse" ~unit_:u.u_name
+                      ("reverse-match:" ^ tag.tag_callee) (fun () ->
+                        match_body u empty_binding template region)
+                  with
                   | b ->
                       stats.matched <- stats.matched + 1;
                       Prof.tick_reverse_match ();

@@ -1,0 +1,9 @@
+(** Pipeline-level name for the span tracer.
+
+    The single source of truth is {!Frontend.Span} (the dependence
+    tester, the inliners and the reverse matcher emit spans from below
+    [core]); this module is a pure re-export shim, symmetric with
+    {!Core.Prof} and {!Core.Diag}, so the pipeline, the suite driver
+    and the CLI can keep saying [Core.Span]. *)
+
+include Frontend.Span

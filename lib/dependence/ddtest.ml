@@ -48,8 +48,11 @@ let trip_count u (l : Ast.do_loop) =
       Some (max 0 n)
   | _ -> None
 
+(* Test one subscript dimension.  [Some test] = independence proven, with
+   the name of the deciding test (the provenance layer reports it in
+   [Dep_cycle] blockers and the explain output); [None] = inconclusive. *)
 let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
-    sub_b : bool =
+    sub_b : string option =
   let u = ctx.cunit in
   let index = ctx.candidate.index in
   let pa = Poly.of_expr (Simplify.simplify u sub_a) in
@@ -66,7 +69,7 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
         | a -> List.mem index (Ast.expr_vars a))
       (Poly.atoms p)
   in
-  if has_varying_atom pa || has_varying_atom pb0 then false
+  if has_varying_atom pa || has_varying_atom pb0 then None
   else
   (* rename candidate index and inner indices on the B side *)
   let pb =
@@ -97,9 +100,9 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
     | Some (coeffs, rest) -> (
         match Poly.to_const rest with
         | Some c0 ->
-            if coeffs = [] then Some (c0 <> 0) (* ZIV *)
+            if coeffs = [] then (if c0 <> 0 then Some "ziv" else None)
             else if Affine_tests.gcd_test ~coeffs:(List.map snd coeffs) ~c0
-            then Some true
+            then Some "gcd"
             else
               (* Banerjee *)
               let bound_for v =
@@ -124,7 +127,7 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
               let terms =
                 List.map (fun (v, c) -> (c, bound_for v)) coeffs
               in
-              if Affine_tests.banerjee_test ~terms ~c0 then Some true
+              if Affine_tests.banerjee_test ~terms ~c0 then Some "banerjee"
               else
                 (* Generalized GCD on the iteration distance: writing the
                    equation as cD*D + sum(ci*xi) + c0 = 0, a solution needs
@@ -168,7 +171,7 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
                       in
                       not solvable
                 in
-                if gen_gcd_independent then Some true
+                if gen_gcd_independent then Some "gen-gcd"
                 else begin
                   (* last exact resort: Fourier-Motzkin on the full
                      conjunction of the equation and every known bound *)
@@ -204,18 +207,18 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
                   match
                     Fourier_motzkin.equation_feasible ~coeffs ~c0 ~bounds
                   with
-                  | Fourier_motzkin.Infeasible -> Some true
-                  | Fourier_motzkin.Maybe_feasible -> Some false
+                  | Fourier_motzkin.Infeasible -> Some "fourier-motzkin"
+                  | Fourier_motzkin.Maybe_feasible -> None
                 end
         | None ->
             if coeffs = [] then
               (* symbolic ZIV: constant-per-iteration-pair difference *)
-              Some (Ctx.prove_nonzero ctx rest)
+              if Ctx.prove_nonzero ctx rest then Some "symbolic-ziv" else None
             else None)
   in
   match affine_result with
-  | Some true -> true
-  | Some false | None ->
+  | Some test -> Some test
+  | None ->
       (* affine tests inconclusive (or inapplicable): try the range test.
          A [Some false] only means the affine machinery could not exclude
          a solution -- e.g. when inner-loop bounds are symbolic functions
@@ -229,46 +232,66 @@ let test_dimension (ctx : Ctx.t) ~(step : int) (ra : aref) (rb : aref) sub_a
           (fun (iv, lo, hi) -> { Range_test.iv; ilo = lo; ihi = hi })
           l
       in
-      Range_test.disjoint_ranges ctx ~index ~step
-        ~inners_a:(mk_inners ra.ar_inner) ~inners_b:(mk_inners rb.ar_inner)
-        pa pb0
+      if
+        Range_test.disjoint_ranges ctx ~index ~step
+          ~inners_a:(mk_inners ra.ar_inner) ~inners_b:(mk_inners rb.ar_inner)
+          pa pb0
+      then Some "range"
+      else None
 
 (** May a dependence between references [ra] and [rb] (same base array) be
-    carried by the candidate loop? *)
-let may_carry_impl (ctx : Ctx.t) (ra : aref) (rb : aref) : bool =
+    carried by the candidate loop?  The second component names the
+    deciding test on a [false] (proven-independent) answer, and the
+    reason the pair is conservatively assumed dependent on [true]. *)
+let may_carry_why_impl (ctx : Ctx.t) (ra : aref) (rb : aref) : bool * string =
   let u = ctx.cunit in
   match trip_count u ctx.candidate with
-  | Some n when n <= 1 -> false (* at most one iteration: nothing carried *)
+  | Some n when n <= 1 ->
+      (false, "trip-count") (* at most one iteration: nothing carried *)
   | _ -> (
       match const_of u ctx.candidate.step with
-      | None | Some 0 -> true (* symbolic step: give up *)
+      | None | Some 0 -> (true, "symbolic-step") (* symbolic step: give up *)
       | Some step ->
           if
             ra.ar_index = [] || rb.ar_index = []
             || List.length ra.ar_index <> List.length rb.ar_index
-          then true
+          then (true, "subscript-shape")
           else
             (* A dimension proves independence only when the collision
                equation is infeasible in BOTH directions: [ra] at the
                earlier iteration with [rb] later, and vice versa (the
                classic source-sink asymmetry: WK1(I-1) reading what a
                previous iteration wrote is only visible with rb earlier). *)
-            let proven_independent =
-              List.exists2
-                (fun sa sb ->
-                  test_dimension ctx ~step ra rb sa sb
-                  && test_dimension ctx ~step rb ra sb sa)
-                ra.ar_index rb.ar_index
+            let rec find_dim sas sbs =
+              match (sas, sbs) with
+              | [], _ | _, [] -> None
+              | sa :: sas', sb :: sbs' -> (
+                  match
+                    ( test_dimension ctx ~step ra rb sa sb,
+                      test_dimension ctx ~step rb ra sb sa )
+                  with
+                  | Some ta, Some tb ->
+                      Some (if String.equal ta tb then ta else ta ^ "+" ^ tb)
+                  | _ -> find_dim sas' sbs')
             in
-            not proven_independent)
+            (match find_dim ra.ar_index rb.ar_index with
+            | Some test -> (false, test)
+            | None -> (true, "inconclusive")))
 
-(* Profiling chokepoint: every pair test ticks the run counter, and a
-   [false] answer (independence proven, the test decided) ticks the
-   decided counter.  No-ops unless a profile is installed. *)
-let may_carry ctx ra rb =
-  let r = may_carry_impl ctx ra rb in
+(* Profiling + tracing chokepoint: every pair test emits a span (when a
+   sink is armed), ticks the run counter, and a [false] answer
+   (independence proven, the test decided) ticks the decided counter.
+   No-ops unless a profile/sink is installed. *)
+let may_carry_why ctx ra rb =
+  let r, why =
+    Span.span ~cat:"ddtest" ~unit_:ctx.Ctx.cunit.Ast.u_name
+      ~loop:ctx.Ctx.candidate.Ast.loop_id "dep-test" (fun () ->
+        may_carry_why_impl ctx ra rb)
+  in
   Prof.tick_dep_test ~independent:(not r);
-  r
+  (r, why)
+
+let may_carry ctx ra rb = fst (may_carry_why ctx ra rb)
 
 (** Convenience wrapper returning [true] when the pair is PROVEN free of
     carried dependence. *)

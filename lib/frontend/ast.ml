@@ -97,6 +97,9 @@ and do_loop = {
   do_label : int option;
   parallel : omp option;
   loop_id : int;  (** stable across inlining copies; used for Table II *)
+  do_line : int;
+      (** source line of the DO statement (0 = synthesized); inlined
+          copies keep the callee's line — provenance, not position *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -158,7 +161,8 @@ let reset_ids () =
 
 let mk node = { sid = fresh_sid (); node }
 
-let mk_loop ?(label = None) ?(parallel = None) index lo hi step body =
+let mk_loop ?(label = None) ?(parallel = None) ?(line = 0) index lo hi step
+    body =
   mk
     (Do_loop
        {
@@ -170,6 +174,7 @@ let mk_loop ?(label = None) ?(parallel = None) index lo hi step body =
          do_label = label;
          parallel;
          loop_id = fresh_loop_id ();
+         do_line = line;
        })
 
 let int_ n = Int_const n

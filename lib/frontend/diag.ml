@@ -32,6 +32,9 @@ type t = {
   d_severity : severity;
   d_code : code;
   d_loc : loc option;
+  d_unit : string option;
+      (** owning program unit / routine (drivers may prefix the
+          benchmark, e.g. ["MDG:INTERF"]); rendered before the location *)
   d_message : string;
 }
 
@@ -61,23 +64,36 @@ let severity_name = function
 
 let loc ?(col = 0) line = { l_line = line; l_col = col }
 
-let make ?(severity = Error) ?loc code message =
-  { d_severity = severity; d_code = code; d_loc = loc; d_message = message }
+let make ?(severity = Error) ?loc ?unit_ code message =
+  {
+    d_severity = severity;
+    d_code = code;
+    d_loc = loc;
+    d_unit = unit_;
+    d_message = message;
+  }
 
 (** [fatal ?loc code fmt ...] raises {!Fatal} with a formatted message. *)
-let fatal ?loc code fmt =
-  Printf.ksprintf (fun s -> raise (Fatal (make ?loc code s))) fmt
+let fatal ?loc ?unit_ code fmt =
+  Printf.ksprintf (fun s -> raise (Fatal (make ?loc ?unit_ code s))) fmt
+
+(** Attach (or replace) the owning unit, e.g. a driver prefixing its
+    benchmark name onto diagnostics salvaged from a deeper layer. *)
+let with_unit unit_ (d : t) = { d with d_unit = Some unit_ }
 
 let render (d : t) =
+  let owner =
+    match d.d_unit with None -> "" | Some u -> Printf.sprintf " %s" u
+  in
   let where =
     match d.d_loc with
-    | None -> ""
+    | None -> (if owner = "" then "" else ":")
     | Some { l_line; l_col = 0 } -> Printf.sprintf " line %d:" l_line
     | Some { l_line; l_col } -> Printf.sprintf " line %d, col %d:" l_line l_col
   in
-  Printf.sprintf "%s[%s]%s %s"
+  Printf.sprintf "%s[%s]%s%s %s"
     (severity_name d.d_severity)
-    (code_name d.d_code) where d.d_message
+    (code_name d.d_code) owner where d.d_message
 
 (* ------------------------------------------------------------------ *)
 (* Collector                                                            *)
@@ -108,16 +124,18 @@ let emit dg (d : t) =
   if d.d_severity = Error && dg.n_errors >= dg.max_errors then
     raise (Error_limit dg.n_errors)
 
-let error dg ?loc code fmt =
-  Printf.ksprintf (fun s -> emit dg (make ?loc code s)) fmt
+let error dg ?loc ?unit_ code fmt =
+  Printf.ksprintf (fun s -> emit dg (make ?loc ?unit_ code s)) fmt
 
-let warn dg ?loc code fmt =
+let warn dg ?loc ?unit_ code fmt =
   Printf.ksprintf
-    (fun s -> emit dg (make ~severity:Warning ?loc code s))
+    (fun s -> emit dg (make ~severity:Warning ?loc ?unit_ code s))
     fmt
 
-let note dg ?loc code fmt =
-  Printf.ksprintf (fun s -> emit dg (make ~severity:Note ?loc code s)) fmt
+let note dg ?loc ?unit_ code fmt =
+  Printf.ksprintf
+    (fun s -> emit dg (make ~severity:Note ?loc ?unit_ code s))
+    fmt
 
 let to_list dg = List.rev dg.items
 let error_count dg = dg.n_errors

@@ -476,7 +476,7 @@ and parse_do ps line label rest =
     | Some l -> parse_block_until_label ps l
     | None -> parse_block_until_enddo ps
   in
-  Ast.mk_loop ~label index lo hi step body
+  Ast.mk_loop ~label ~line:line.lineno index lo hi step body
 
 and parse_block_until_enddo ps =
   let rec loop acc =

@@ -1,0 +1,182 @@
+(** Span tracing: begin/end events over the compilation phases.
+
+    Where {!Prof} answers "how much time did each pass take in total",
+    the span tracer answers "what happened, when, on which domain":
+    every instrumented region (pipeline phase, per-loop analysis,
+    dependence test, annotation site, reverse match, driver task) emits
+    a begin/end event pair carrying a monotonic-ns timestamp and the
+    emitting domain id.  The event stream exports as Chrome
+    [trace_event] JSON ([--trace-out FILE]) for flame-graph inspection
+    in [chrome://tracing] / Perfetto.
+
+    Discipline mirrors {!Prof}: a sink is installed into domain-local
+    storage for the duration of a run, and every instrumentation site
+    first checks the domain-local slot — when no sink is installed a
+    span is a load and a branch around the traced function.  Unlike a
+    profile, one sink may be installed on several domains at once (the
+    suite driver's workers all feed the run's single sink), so the
+    event buffer is mutex-protected; contention is irrelevant at phase
+    granularity and acceptable at dependence-test granularity.
+
+    The buffer is bounded ([max_events], default 1M): a span that would
+    overflow emits nothing (neither B nor E — the pair is reserved at
+    begin time, keeping the stream balanced) and is counted in
+    [dropped]. *)
+
+type ph = B  (** span begin *) | E  (** span end *) | I  (** instant *)
+
+type event = {
+  e_name : string;  (** region name, e.g. ["parallelize"], ["dep-test"] *)
+  e_cat : string;  (** category: pipeline | parallelize | ddtest | inline | reverse | driver *)
+  e_unit : string;  (** owning program unit / benchmark; [""] when n/a *)
+  e_loop : int;  (** owning loop id; [-1] when n/a *)
+  e_ph : ph;
+  e_ns : int64;  (** monotonic timestamp *)
+  e_dom : int;  (** emitting domain id *)
+}
+
+type sink = {
+  mutable events : event list;  (** newest first *)
+  mutable count : int;
+  mutable dropped : int;  (** spans (not events) dropped on overflow *)
+  max_events : int;
+  m : Mutex.t;
+}
+
+let default_max_events = 1_000_000
+
+let create ?(max_events = default_max_events) () =
+  { events = []; count = 0; dropped = 0; max_events = max 2 max_events; m = Mutex.create () }
+
+(* The installed sink of the current domain, if any.  Same slot
+   discipline as [Prof]; the sink itself may be shared across domains. *)
+let slot : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get slot
+let on () = current () <> None
+
+(** Install [s] as the calling domain's sink for the duration of [f],
+    restoring the previous sink afterwards (exceptions included). *)
+let with_tracing (s : sink) (f : unit -> 'a) : 'a =
+  let prev = Domain.DLS.get slot in
+  Domain.DLS.set slot (Some s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set slot prev) f
+
+(** [with_opt sink f]: trace under [Some s], plain call under [None]. *)
+let with_opt (sink : sink option) (f : unit -> 'a) : 'a =
+  match sink with None -> f () | Some s -> with_tracing s f
+
+let domain_id () = (Domain.self () :> int)
+
+let push s ev =
+  Mutex.lock s.m;
+  s.events <- ev :: s.events;
+  Mutex.unlock s.m
+
+(* Reserve room for a B/E pair; [false] = dropped (emit neither). *)
+let reserve_pair s =
+  Mutex.lock s.m;
+  let ok = s.count + 2 <= s.max_events in
+  if ok then s.count <- s.count + 2 else s.dropped <- s.dropped + 1;
+  Mutex.unlock s.m;
+  ok
+
+(** Trace [f] as a span named [name].  The end event is emitted even
+    when [f] raises: a fault-isolated pass that crashes still closes its
+    span, so exported traces stay balanced. *)
+let span ?(cat = "pipeline") ?(unit_ = "") ?(loop = -1) (name : string)
+    (f : unit -> 'a) : 'a =
+  match current () with
+  | None -> f ()
+  | Some s ->
+      if not (reserve_pair s) then f ()
+      else begin
+        let dom = domain_id () in
+        let mk ph =
+          {
+            e_name = name;
+            e_cat = cat;
+            e_unit = unit_;
+            e_loop = loop;
+            e_ph = ph;
+            e_ns = Prof.monotonic_ns ();
+            e_dom = dom;
+          }
+        in
+        push s (mk B);
+        Fun.protect ~finally:(fun () -> push s (mk E)) f
+      end
+
+(** One-off marker (verdict emission, salvage events, ...). *)
+let instant ?(cat = "pipeline") ?(unit_ = "") ?(loop = -1) (name : string) =
+  match current () with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.m;
+      if s.count + 1 <= s.max_events then begin
+        s.count <- s.count + 1;
+        s.events <-
+          {
+            e_name = name;
+            e_cat = cat;
+            e_unit = unit_;
+            e_loop = loop;
+            e_ph = I;
+            e_ns = Prof.monotonic_ns ();
+            e_dom = domain_id ();
+          }
+          :: s.events
+      end
+      else s.dropped <- s.dropped + 1;
+      Mutex.unlock s.m
+
+(* ---- readers ---- *)
+
+(** Events in chronological (emission) order. *)
+let events (s : sink) : event list =
+  Mutex.lock s.m;
+  let evs = List.rev s.events in
+  Mutex.unlock s.m;
+  evs
+
+let dropped (s : sink) = s.dropped
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ph_name = function B -> "B" | E -> "E" | I -> "i"
+
+(** Export as Chrome [trace_event] JSON (the ["traceEvents"] envelope
+    understood by chrome://tracing and Perfetto).  Timestamps are
+    microseconds relative to the first event; [tid] is the emitting
+    domain, so driver workers render as parallel tracks. *)
+let to_chrome_json (s : sink) : string =
+  let evs = events s in
+  let t0 = match evs with [] -> 0L | e :: _ -> e.e_ns in
+  let json_of_event (e : event) =
+    let args =
+      (if e.e_unit = "" then [] else [ ("unit", Json.Str e.e_unit) ])
+      @ if e.e_loop < 0 then [] else [ ("loop", Json.Int e.e_loop) ]
+    in
+    Json.Obj
+      ([
+         ("name", Json.Str e.e_name);
+         ("cat", Json.Str e.e_cat);
+         ("ph", Json.Str (ph_name e.e_ph));
+         ( "ts",
+           Json.Float (Int64.to_float (Int64.sub e.e_ns t0) /. 1e3) );
+         ("pid", Json.Int 1);
+         ("tid", Json.Int e.e_dom);
+       ]
+      @ (if e.e_ph = I then [ ("s", Json.Str "t") ] else [])
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map json_of_event evs));
+         ("displayTimeUnit", Json.Str "ms");
+         ("droppedSpans", Json.Int s.dropped);
+       ])
+  ^ "\n"

@@ -359,7 +359,9 @@ let run ?(config = default_config) (program : Ast.program) :
                   | None -> (
                       try
                         let body, decls, commons, lins =
-                          inline_call config stats u callee args
+                          Span.span ~cat:"inline" ~unit_:u.u_name
+                            ("inline-site:" ^ name) (fun () ->
+                              inline_call config stats u callee args)
                         in
                         stats.inlined_calls <-
                           (u.u_name, name) :: stats.inlined_calls;

@@ -35,10 +35,15 @@ type loop_report = {
   rep_index : string;
   rep_safe : bool;
   rep_marked : bool;
-  rep_reason : string;  (** blocker description when unsafe *)
+  rep_reason : string;
+      (** first blocker, legacy rendering, when unsafe (see {!Verdict}) *)
   rep_private : string list;
   rep_reductions : (Ast.red_op * string) list;
   rep_peeled : bool;
+  rep_verdict : Verdict.t;
+      (** the structured decision: stable loop id + outcome with the
+          complete blocker list (the analysis no longer bails at the
+          first obstacle) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -66,112 +71,151 @@ let inner_loops body =
        (fun acc s -> match s.Ast.node with Ast.Do_loop l -> l :: acc | _ -> acc)
        [] body)
 
-exception Unsafe of string
-
 type decision = {
   dec_private : string list;
   dec_reductions : (Ast.red_op * string) list;
   dec_peel : bool;
 }
 
+(* Rendered array reference for the deciding pair of a [Dep_cycle]
+   blocker, e.g. "XDT(I-1)"; a subscript-free access is the bare name. *)
+let render_ref (a : Access.t) =
+  if a.ca_index = [] then a.ca_name
+  else
+    a.ca_name ^ "("
+    ^ String.concat "," (List.map Pretty.expr_str a.ca_index)
+    ^ ")"
+
+(** Analyze one candidate loop.  Unlike the historical version, which
+    raised at the first obstacle, this collects *every* blocker — a
+    multi-cause loop reports all its causes, in the same detection order
+    the first-bail analysis used (so the head of the list is exactly the
+    blocker the old code reported). *)
 let analyze_loop ?(pure = S.empty) cfg (u : Ast.program_unit)
-    (outer : Ast.do_loop list) (l : Ast.do_loop) : (decision, string) result =
-  try
-    (* structural blockers *)
-    if Usedef.has_side_exit l.body then raise (Unsafe "I/O, STOP or RETURN");
-    if Usedef.calls l.body <> [] then raise (Unsafe "subroutine call");
-    let impure_calls =
-      List.filter
-        (fun f -> not (cfg.allow_pure_functions && S.mem f pure))
-        (Usedef.func_calls l.body)
-    in
-    if impure_calls <> [] then raise (Unsafe "function call");
-    let ctx = Ctx.make ~cunit:u ~outer ~candidate:l ~inner_loops:(inner_loops l.body) in
-    let accesses = Access.collect l.body in
-    (if
-       List.exists
-         (fun (a : Access.t) ->
-           a.ca_write && String.equal a.ca_name l.index)
-         accesses
-     then raise (Unsafe "loop index modified in body"));
-    let groups = Access.by_name accesses in
-    let privates = ref [] in
-    let reductions = ref [] in
-    let peel = ref false in
-    List.iter
-      (fun (name, accs) ->
-        if String.equal name l.index then ()
-        else
-          let is_scalar_like =
-            (not (Ast.is_array u name))
-            || List.for_all (fun (a : Access.t) -> a.ca_index = []) accs
+    (outer : Ast.do_loop list) (l : Ast.do_loop) :
+    (decision, Verdict.blocker list) result =
+  let blockers = ref [] in
+  let block b = blockers := b :: !blockers in
+  (* first-occurrence-order dedup: a callee invoked five times is one
+     blocker, reported where it first appears *)
+  let dedup names =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, seen) n ->
+              if S.mem n seen then (acc, seen) else (n :: acc, S.add n seen))
+            ([], S.empty) names))
+  in
+  (* structural blockers *)
+  if Usedef.has_side_exit l.body then block Verdict.Io_stmt;
+  List.iter
+    (fun callee -> block (Verdict.Unknown_call callee))
+    (dedup (List.map fst (Usedef.calls l.body)));
+  List.iter
+    (fun f ->
+      if not (cfg.allow_pure_functions && S.mem f pure) then
+        block (Verdict.Unknown_func f))
+    (dedup (Usedef.func_calls l.body));
+  let ctx =
+    Ctx.make ~cunit:u ~outer ~candidate:l ~inner_loops:(inner_loops l.body)
+  in
+  let accesses = Access.collect l.body in
+  if
+    List.exists
+      (fun (a : Access.t) -> a.ca_write && String.equal a.ca_name l.index)
+      accesses
+  then block Verdict.Index_write;
+  let groups = Access.by_name accesses in
+  let privates = ref [] in
+  let reductions = ref [] in
+  let peel = ref false in
+  List.iter
+    (fun (name, accs) ->
+      if String.equal name l.index then ()
+      else
+        let is_scalar_like =
+          (not (Ast.is_array u name))
+          || List.for_all (fun (a : Access.t) -> a.ca_index = []) accs
+        in
+        let writes = List.filter (fun (a : Access.t) -> a.ca_write) accs in
+        let is_inner_index =
+          List.exists
+            (fun (il : Ast.do_loop) -> String.equal il.index name)
+            (inner_loops l.body)
+        in
+        if writes = [] then ()
+        else if is_scalar_like then begin
+          match Scalars.classify u l.body name with
+          | Scalars.Read_only -> ()
+          | Scalars.Reduction op -> reductions := (op, name) :: !reductions
+          | Scalars.Private ->
+              privates := name :: !privates;
+              (* F77 leaves a DO index undefined after loop completion,
+                 so inner indices never need their last value *)
+              if (not is_inner_index) && live_outside u l name then
+                peel := true
+          | Scalars.Blocker why ->
+              block (Verdict.Scalar_blocker { sb_name = name; sb_why = why })
+        end
+        else begin
+          (* array: pairwise dependence tests *)
+          let aref (a : Access.t) =
+            { Ddtest.ar_index = a.ca_index; ar_inner = a.ca_inner }
           in
-          let writes = List.filter (fun (a : Access.t) -> a.ca_write) accs in
-          let is_inner_index =
-            List.exists
-              (fun (il : Ast.do_loop) -> String.equal il.index name)
-              (inner_loops l.body)
+          let indexed = List.mapi (fun i a -> (i, a)) accs in
+          let pairs =
+            List.concat_map
+              (fun (i, (a : Access.t)) ->
+                List.filter_map
+                  (fun (j, (b : Access.t)) ->
+                    if j < i then None
+                    else if a.ca_write || b.ca_write then Some (a, b)
+                    else None)
+                  indexed)
+              indexed
           in
-          if writes = [] then ()
-          else if is_scalar_like then begin
-            match Scalars.classify u l.body name with
-            | Scalars.Read_only -> ()
-            | Scalars.Reduction op -> reductions := (op, name) :: !reductions
-            | Scalars.Private ->
-                privates := name :: !privates;
-                (* F77 leaves a DO index undefined after loop completion,
-                   so inner indices never need their last value *)
-                if (not is_inner_index) && live_outside u l name then
-                  peel := true
-            | Scalars.Blocker why ->
-                raise
-                  (Unsafe (Printf.sprintf "scalar %s: %s" name why))
-          end
-          else begin
-            (* array: pairwise dependence tests *)
-            let aref (a : Access.t) =
-              { Ddtest.ar_index = a.ca_index; ar_inner = a.ca_inner }
-            in
-            let indexed = List.mapi (fun i a -> (i, a)) accs in
-            let pairs =
-              List.concat_map
-                (fun (i, (a : Access.t)) ->
-                  List.filter_map
-                    (fun (j, (b : Access.t)) ->
-                      if j < i then None
-                      else if a.ca_write || b.ca_write then Some (a, b)
-                      else None)
-                    indexed)
-                indexed
-            in
-            let dependent =
-              (not cfg.trust_nonlinear)
-              && List.exists
-                   (fun (a, b) -> Ddtest.may_carry ctx (aref a) (aref b))
-                   pairs
-            in
-            if dependent then begin
+          (* first pair the tester cannot disprove, with the reason the
+             conservative answer stood (which test chain gave up) *)
+          let witness =
+            if cfg.trust_nonlinear then None
+            else
+              List.find_map
+                (fun (a, b) ->
+                  let carry, why = Ddtest.may_carry_why ctx (aref a) (aref b) in
+                  if carry then Some (a, b, why) else None)
+                pairs
+          in
+          match witness with
+          | None -> ()
+          | Some (a, b, why) ->
               let live = live_outside u l name in
               if Array_private.privatizable ctx ~live_out:live accs then begin
                 privates := name :: !privates;
                 if live then peel := true
               end
-              else
-                raise
-                  (Unsafe
-                     (Printf.sprintf "carried dependence on array %s" name))
-            end
-          end)
-      groups;
-    (if !peel && l.step <> Ast.Int_const 1 then
-       raise (Unsafe "live-out privatization in non-unit-step loop"));
-    Ok
-      {
-        dec_private = List.sort_uniq compare !privates;
-        dec_reductions = List.sort_uniq compare !reductions;
-        dec_peel = !peel;
-      }
-  with Unsafe why -> Error why
+              else begin
+                block
+                  (Verdict.Dep_cycle
+                     {
+                       dc_array = name;
+                       dc_ref_a = render_ref a;
+                       dc_ref_b = render_ref b;
+                       dc_test = why;
+                     });
+                block (Verdict.Array_not_private name)
+              end
+        end)
+    groups;
+  if !peel && l.step <> Ast.Int_const 1 then block Verdict.Nonunit_peel;
+  match List.rev !blockers with
+  | [] ->
+      Ok
+        {
+          dec_private = List.sort_uniq compare !privates;
+          dec_reductions = List.sort_uniq compare !reductions;
+          dec_peel = !peel;
+        }
+  | bs -> Error bs
 
 (* Profitability: known-constant trip counts below the threshold are not
    worth a fork/join. *)
@@ -203,8 +247,21 @@ and process_loop ~pure cfg u outer reports s (l : Ast.do_loop) =
   (* inner loops first *)
   let body = process_stmts ~pure cfg u (outer @ [ l ]) reports l.body in
   let l = { l with body } in
-  match analyze_loop ~pure cfg u outer l with
-  | Error why ->
+  let lid =
+    {
+      Verdict.lid_unit = u.Ast.u_name;
+      lid_line = l.do_line;
+      lid_index = l.index;
+      lid_path = List.map (fun (o : Ast.do_loop) -> o.Ast.index) outer;
+      lid_loop = l.loop_id;
+    }
+  in
+  let analysis =
+    Span.span ~cat:"parallelize" ~unit_:u.u_name ~loop:l.loop_id
+      "analyze-loop" (fun () -> analyze_loop ~pure cfg u outer l)
+  in
+  match analysis with
+  | Error bs ->
       reports :=
         {
           rep_unit = u.u_name;
@@ -212,10 +269,11 @@ and process_loop ~pure cfg u outer reports s (l : Ast.do_loop) =
           rep_index = l.index;
           rep_safe = false;
           rep_marked = false;
-          rep_reason = why;
+          rep_reason = Verdict.render_blocker (List.hd bs);
           rep_private = [];
           rep_reductions = [];
           rep_peeled = false;
+          rep_verdict = { Verdict.v_loop = lid; v_outcome = Verdict.Serial bs };
         }
         :: !reports;
       [ { s with node = Ast.Do_loop l } ]
@@ -235,6 +293,18 @@ and process_loop ~pure cfg u outer reports s (l : Ast.do_loop) =
           rep_private = dec.dec_private;
           rep_reductions = dec.dec_reductions;
           rep_peeled = mark && dec.dec_peel;
+          rep_verdict =
+            {
+              Verdict.v_loop = lid;
+              v_outcome =
+                Verdict.Parallel
+                  {
+                    Verdict.par_private = dec.dec_private;
+                    par_reductions = dec.dec_reductions;
+                    par_peeled = mark && dec.dec_peel;
+                    par_marked = mark;
+                  };
+            };
         }
         :: !reports;
       if not mark then [ { s with node = Ast.Do_loop l } ]

@@ -1,0 +1,329 @@
+(** Structured parallelization verdicts: every DO-loop decision as a
+    first-class, queryable artifact.
+
+    The paper's headline results are *attributions* — which parallel
+    loops are lost under conventional inlining, which extra loops are
+    gained by annotation-based inlining, and why.  A free-form reason
+    string cannot be joined across configurations; a {!t} can.  Each
+    analyzed loop gets a stable {!loop_id} (owning unit, source line,
+    index variable, nesting path, plus the Table-II gensym id used to
+    join copies and configurations) and an {!outcome}: [Parallel] with
+    its PRIVATE/REDUCTION clauses, or [Serial] with the *complete* list
+    of {!blocker}s — the parallelizer collects every obstacle instead
+    of bailing at the first.
+
+    Rendering contract: {!render_blocker} reproduces verbatim the
+    legacy [rep_reason] strings ("subroutine call", "carried dependence
+    on array X", ...), so the first blocker's rendering is exactly what
+    the pre-verdict pipeline reported.  {!describe_blocker} is the rich
+    human-readable form used by [parinline explain].  JSON round-trips
+    through {!to_json}/{!of_json} for the bench schema and the tests. *)
+
+open Frontend
+
+(* ------------------------------------------------------------------ *)
+(* Stable loop identity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Identity of an analyzed loop.  The structural fields ([lid_unit],
+    [lid_line], [lid_index], [lid_path]) are a pure function of the
+    source text — stable across gensym resets and across processes; the
+    [lid_loop] gensym is the within-run join key shared by inlining
+    copies (Table II identity).  An inlined copy keeps the callee's
+    [lid_line] but reports the *host* unit in [lid_unit]. *)
+type loop_id = {
+  lid_unit : string;  (** owning program unit (routine) at analysis time *)
+  lid_line : int;  (** source line of the DO statement; 0 = synthesized *)
+  lid_index : string;  (** DO index variable *)
+  lid_path : string list;
+      (** index variables of the enclosing DO loops, outermost first *)
+  lid_loop : int;  (** gensym loop id, shared by copies of this loop *)
+}
+
+(** Stable textual key, e.g. ["INTERF:I.J@42"]: unit, dotted nesting
+    path ending in the loop's own index, source line.  Gensym-free. *)
+let key (l : loop_id) =
+  Printf.sprintf "%s:%s@%d" l.lid_unit
+    (String.concat "." (l.lid_path @ [ l.lid_index ]))
+    l.lid_line
+
+(* ------------------------------------------------------------------ *)
+(* Blockers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Why a loop stayed serial.  Every constructor carries enough to
+    reproduce the paper's loop-level attribution mechanically. *)
+type blocker =
+  | Io_stmt  (** I/O, STOP or RETURN in the body *)
+  | Unknown_call of string  (** CALL to an un-inlined subroutine *)
+  | Unknown_func of string  (** reference to an impure/opaque function *)
+  | Index_write  (** the loop index is assigned in the body *)
+  | Scalar_blocker of { sb_name : string; sb_why : string }
+      (** scalar neither private nor a recognized reduction *)
+  | Dep_cycle of {
+      dc_array : string;  (** array carrying the dependence *)
+      dc_ref_a : string;  (** deciding pair, rendered, e.g. ["XDT(I)"] *)
+      dc_ref_b : string;
+      dc_test : string;
+          (** which dependence test fired / why the pair was assumed
+              dependent: ["inconclusive"], ["symbolic-step"],
+              ["subscript-shape"], ... *)
+    }
+  | Array_not_private of string
+      (** the dependent array also resisted privatization *)
+  | Nonunit_peel
+      (** live-out privatization needs last-iteration peeling, which
+          requires a unit step *)
+  | Not_analyzed of string
+      (** no verdict reached this loop in this configuration (crashed
+          unit, unreachable copy); the payload says why *)
+
+let blocker_kind = function
+  | Io_stmt -> "io-stmt"
+  | Unknown_call _ -> "unknown-call"
+  | Unknown_func _ -> "unknown-func"
+  | Index_write -> "index-write"
+  | Scalar_blocker _ -> "scalar-blocker"
+  | Dep_cycle _ -> "dep-cycle"
+  | Array_not_private _ -> "array-not-private"
+  | Nonunit_peel -> "nonunit-peel"
+  | Not_analyzed _ -> "not-analyzed"
+
+(** Legacy rendering: byte-identical to the pre-verdict [rep_reason]
+    strings.  [rep_reason] is defined as the first blocker under this
+    rendering, so no test-visible text changes. *)
+let render_blocker = function
+  | Io_stmt -> "I/O, STOP or RETURN"
+  | Unknown_call _ -> "subroutine call"
+  | Unknown_func _ -> "function call"
+  | Index_write -> "loop index modified in body"
+  | Scalar_blocker { sb_name; sb_why } ->
+      Printf.sprintf "scalar %s: %s" sb_name sb_why
+  | Dep_cycle { dc_array; _ } ->
+      Printf.sprintf "carried dependence on array %s" dc_array
+  | Array_not_private a -> Printf.sprintf "array %s not privatizable" a
+  | Nonunit_peel -> "live-out privatization in non-unit-step loop"
+  | Not_analyzed why -> Printf.sprintf "not analyzed (%s)" why
+
+(** Rich rendering for [parinline explain] and the diff reports. *)
+let describe_blocker = function
+  | Io_stmt -> "I/O, STOP or RETURN in loop body"
+  | Unknown_call c -> Printf.sprintf "opaque subroutine call CALL %s" c
+  | Unknown_func f -> Printf.sprintf "opaque function reference %s()" f
+  | Index_write -> "loop index modified in body"
+  | Scalar_blocker { sb_name; sb_why } ->
+      Printf.sprintf "scalar %s: %s" sb_name sb_why
+  | Dep_cycle { dc_array; dc_ref_a; dc_ref_b; dc_test } ->
+      Printf.sprintf "carried dependence on array %s (%s vs %s; %s)" dc_array
+        dc_ref_a dc_ref_b dc_test
+  | Array_not_private a ->
+      Printf.sprintf "array %s resists privatization (no covering write)" a
+  | Nonunit_peel -> "live-out privatization in non-unit-step loop"
+  | Not_analyzed why -> Printf.sprintf "not analyzed (%s)" why
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Parallel-outcome payload: the emitted clauses plus whether the
+    directive was actually attached ([par_marked = false] means safe but
+    under the profitability threshold). *)
+type par_info = {
+  par_private : string list;
+  par_reductions : (Ast.red_op * string) list;
+  par_peeled : bool;  (** last iteration peeled for live-out privates *)
+  par_marked : bool;  (** directive attached (profitable) *)
+}
+
+type outcome = Parallel of par_info | Serial of blocker list
+
+type t = { v_loop : loop_id; v_outcome : outcome }
+
+let is_parallel v =
+  match v.v_outcome with Parallel _ -> true | Serial _ -> false
+
+let is_marked v =
+  match v.v_outcome with Parallel p -> p.par_marked | Serial _ -> false
+
+let blockers v = match v.v_outcome with Parallel _ -> [] | Serial bs -> bs
+
+(** One-line report, the [explain] table row. *)
+let render (v : t) =
+  let l = v.v_loop in
+  match v.v_outcome with
+  | Parallel p ->
+      let clause =
+        (if p.par_private = [] then ""
+         else " private(" ^ String.concat "," p.par_private ^ ")")
+        ^ (if p.par_reductions = [] then ""
+           else
+             " reduction("
+             ^ String.concat ","
+                 (List.map
+                    (fun (op, n) ->
+                      (match op with
+                      | Ast.Rsum -> "+"
+                      | Ast.Rprod -> "*"
+                      | Ast.Rmax -> "max"
+                      | Ast.Rmin -> "min")
+                      ^ ":" ^ n)
+                    p.par_reductions)
+             ^ ")")
+        ^ if p.par_peeled then " [peeled]" else ""
+      in
+      Printf.sprintf "%-24s [id %d] %s%s" (key l) l.lid_loop
+        (if p.par_marked then "PARALLEL" else "safe (not profitable)")
+        clause
+  | Serial bs ->
+      Printf.sprintf "%-24s [id %d] SERIAL\n%s" (key l) l.lid_loop
+        (String.concat "\n"
+           (List.map
+              (fun b ->
+                Printf.sprintf "    blocker %-18s %s" (blocker_kind b)
+                  (describe_blocker b))
+              bs))
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let red_op_name = function
+  | Ast.Rsum -> "sum"
+  | Ast.Rprod -> "prod"
+  | Ast.Rmax -> "max"
+  | Ast.Rmin -> "min"
+
+let red_op_of_name = function
+  | "sum" -> Some Ast.Rsum
+  | "prod" -> Some Ast.Rprod
+  | "max" -> Some Ast.Rmax
+  | "min" -> Some Ast.Rmin
+  | _ -> None
+
+let blocker_to_json (b : blocker) : Json.t =
+  let base = [ ("kind", Json.Str (blocker_kind b)) ] in
+  Json.Obj
+    (base
+    @
+    match b with
+    | Io_stmt | Index_write | Nonunit_peel -> []
+    | Unknown_call c -> [ ("callee", Json.Str c) ]
+    | Unknown_func f -> [ ("callee", Json.Str f) ]
+    | Scalar_blocker { sb_name; sb_why } ->
+        [ ("name", Json.Str sb_name); ("why", Json.Str sb_why) ]
+    | Dep_cycle { dc_array; dc_ref_a; dc_ref_b; dc_test } ->
+        [
+          ("array", Json.Str dc_array);
+          ("ref_a", Json.Str dc_ref_a);
+          ("ref_b", Json.Str dc_ref_b);
+          ("test", Json.Str dc_test);
+        ]
+    | Array_not_private a -> [ ("array", Json.Str a) ]
+    | Not_analyzed why -> [ ("why", Json.Str why) ])
+
+let blocker_of_json (j : Json.t) : blocker option =
+  let str k = Json.to_str (Json.member k j) in
+  match str "kind" with
+  | "io-stmt" -> Some Io_stmt
+  | "unknown-call" -> Some (Unknown_call (str "callee"))
+  | "unknown-func" -> Some (Unknown_func (str "callee"))
+  | "index-write" -> Some Index_write
+  | "scalar-blocker" ->
+      Some (Scalar_blocker { sb_name = str "name"; sb_why = str "why" })
+  | "dep-cycle" ->
+      Some
+        (Dep_cycle
+           {
+             dc_array = str "array";
+             dc_ref_a = str "ref_a";
+             dc_ref_b = str "ref_b";
+             dc_test = str "test";
+           })
+  | "array-not-private" -> Some (Array_not_private (str "array"))
+  | "nonunit-peel" -> Some Nonunit_peel
+  | "not-analyzed" -> Some (Not_analyzed (str "why"))
+  | _ -> None
+
+let loop_id_to_json (l : loop_id) : Json.t =
+  Json.Obj
+    [
+      ("key", Json.Str (key l));
+      ("unit", Json.Str l.lid_unit);
+      ("line", Json.Int l.lid_line);
+      ("index", Json.Str l.lid_index);
+      ("path", Json.List (List.map (fun p -> Json.Str p) l.lid_path));
+      ("loop", Json.Int l.lid_loop);
+    ]
+
+let loop_id_of_json (j : Json.t) : loop_id =
+  {
+    lid_unit = Json.to_str (Json.member "unit" j);
+    lid_line = Json.to_int (Json.member "line" j);
+    lid_index = Json.to_str (Json.member "index" j);
+    lid_path = List.map (fun p -> Json.to_str p) (Json.to_list (Json.member "path" j));
+    lid_loop = Json.to_int (Json.member "loop" j);
+  }
+
+let to_json (v : t) : Json.t =
+  let outcome_fields =
+    match v.v_outcome with
+    | Parallel p ->
+        [
+          ("outcome", Json.Str "parallel");
+          ("marked", Json.Bool p.par_marked);
+          ("peeled", Json.Bool p.par_peeled);
+          ( "private",
+            Json.List (List.map (fun n -> Json.Str n) p.par_private) );
+          ( "reductions",
+            Json.List
+              (List.map
+                 (fun (op, n) ->
+                   Json.Obj
+                     [ ("op", Json.Str (red_op_name op)); ("var", Json.Str n) ])
+                 p.par_reductions) );
+        ]
+    | Serial bs ->
+        [
+          ("outcome", Json.Str "serial");
+          ("blockers", Json.List (List.map blocker_to_json bs));
+        ]
+  in
+  Json.Obj (("loop_id", loop_id_to_json v.v_loop) :: outcome_fields)
+
+let of_json (j : Json.t) : t option =
+  let lid = loop_id_of_json (Json.member "loop_id" j) in
+  match Json.to_str (Json.member "outcome" j) with
+  | "parallel" ->
+      Some
+        {
+          v_loop = lid;
+          v_outcome =
+            Parallel
+              {
+                par_marked = Json.to_bool (Json.member "marked" j);
+                par_peeled = Json.to_bool (Json.member "peeled" j);
+                par_private =
+                  List.map
+                    (fun n -> Json.to_str n)
+                    (Json.to_list (Json.member "private" j));
+                par_reductions =
+                  List.filter_map
+                    (fun r ->
+                      match
+                        red_op_of_name (Json.to_str (Json.member "op" r))
+                      with
+                      | Some op -> Some (op, Json.to_str (Json.member "var" r))
+                      | None -> None)
+                    (Json.to_list (Json.member "reductions" j));
+              };
+        }
+  | "serial" ->
+      Some
+        {
+          v_loop = lid;
+          v_outcome =
+            Serial
+              (List.filter_map blocker_of_json
+                 (Json.to_list (Json.member "blockers" j)));
+        }
+  | _ -> None

@@ -21,6 +21,8 @@
     resulting points in the stable schema CI archives on every run. *)
 
 open Core
+module Verdict = Parallelizer.Verdict
+module Json = Frontend.Json
 
 (** One (benchmark, configuration) measurement. *)
 type point = {
@@ -39,6 +41,12 @@ type point = {
           numeric fields are zero and [pt_diags] holds the cause *)
   pt_validation : Checker.Oracle.verdict option;
       (** oracle verdict when the suite ran with [~validate:true] *)
+  pt_verdicts : (int * Verdict.t) list;
+      (** representative verdict per analyzed loop id, restricted to
+          units reachable from MAIN; a marked copy wins over a serial
+          copy (a loop parallel *anywhere live* counts as parallel,
+          matching the Table II accounting).  [[]] on a crashed point *)
+  pt_original : int list;  (** loop ids of the benchmark's input program *)
 }
 
 let configs = [ Pipeline.No_inlining; Pipeline.Conventional; Pipeline.Annotation_based ]
@@ -60,19 +68,23 @@ type task_result = {
   tr_diags : Diag.t list;
 }
 
-let run_task ?par_config ?validate ?validate_threads (b : Bench_def.t)
+let run_task ?par_config ?validate ?validate_threads ?span (b : Bench_def.t)
     (mode : Pipeline.mode) : task_result =
   let prof = Prof.create () in
   let dg = Diag.collector () in
   let t0 = Prof.monotonic_ns () in
   let result, crash =
     match
-      Prof.with_profiling prof (fun () ->
-          reset_gensyms ();
-          let program = Prof.time "parse" (fun () -> Bench_def.parse b) in
-          let annots = Prof.time "parse" (fun () -> Bench_def.annots b) in
-          Pipeline.run_robust ?par_config ?validate ?validate_threads ~annots
-            ~dg ~mode program)
+      Prof.with_profiling prof @@ fun () ->
+      Span.with_opt span @@ fun () ->
+      Span.span ~cat:"driver" ~unit_:b.name
+        ("task:" ^ Pipeline.mode_name mode)
+      @@ fun () ->
+      reset_gensyms ();
+      let program = Prof.time "parse" (fun () -> Bench_def.parse b) in
+      let annots = Prof.time "parse" (fun () -> Bench_def.annots b) in
+      Pipeline.run_robust ?par_config ?validate ?validate_threads ~annots ~dg
+        ~mode program
     with
     | r -> (Some r, [])
     | exception e ->
@@ -98,7 +110,39 @@ let run_task ?par_config ?validate ?validate_threads (b : Bench_def.t)
     | Some r -> r.Pipeline.res_diags
     | None -> Diag.to_list dg @ crash
   in
+  (* qualify the owning unit with the benchmark, so a suite-wide salvage
+     log renders e.g. [warning[parallel] MDG:INTERF line 42: ...] *)
+  let diags =
+    List.map
+      (fun (d : Diag.t) ->
+        match d.Diag.d_unit with
+        | Some u -> Diag.with_unit (b.name ^ ":" ^ u) d
+        | None -> Diag.with_unit b.name d)
+      diags
+  in
   { tr_result = result; tr_wall_ms = wall_ms; tr_prof = prof; tr_diags = diags }
+
+(* Representative verdict per loop id over the units reachable from
+   MAIN: a marked copy wins over any serial copy, otherwise the first
+   report in analysis order stands — the same "parallel anywhere live"
+   rule as {!Pipeline.marked_ids}. *)
+let verdict_map (r : Pipeline.result) : (int * Verdict.t) list =
+  let module SS = Set.Make (String) in
+  let live = Pipeline.reachable_units r.Pipeline.res_program in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (rep : Parallelizer.Parallelize.loop_report) ->
+      if SS.mem rep.rep_unit live then
+        match Hashtbl.find_opt tbl rep.rep_loop_id with
+        | None ->
+            Hashtbl.add tbl rep.rep_loop_id rep.rep_verdict;
+            order := rep.rep_loop_id :: !order
+        | Some old ->
+            if (not (Verdict.is_marked old)) && Verdict.is_marked rep.rep_verdict
+            then Hashtbl.replace tbl rep.rep_loop_id rep.rep_verdict)
+    r.Pipeline.res_reports;
+  List.rev_map (fun id -> (id, Hashtbl.find tbl id)) !order
 
 (** Run the suite matrix.  [jobs] is the domain count ([<= 1] runs
     everything on the caller — the same code path, minus the workers).
@@ -107,7 +151,7 @@ let run_task ?par_config ?validate ?validate_threads (b : Bench_def.t)
     [~validate:true] every optimized program additionally runs under the
     validation oracle and the per-point verdict lands in
     [pt_validation]. *)
-let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads
+let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
     ?(benches = Suite.all) () : point list =
   let tasks =
     Array.of_list
@@ -121,7 +165,8 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads
     (fun () ->
       Runtime.Pool.parallel_for ~label:"suite-driver" pool ~chunks:n (fun i ->
           let b, m = tasks.(i) in
-          out.(i) <- Some (run_task ?par_config ?validate ?validate_threads b m)));
+          out.(i) <-
+            Some (run_task ?par_config ?validate ?validate_threads ?span b m)));
   (* Baseline-relative accounting: group the three per-bench tasks and
      count against the no-inlining result.  A crashed baseline degrades
      loss/extra to 0 (each result is counted against itself). *)
@@ -165,9 +210,46 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads
                pt_validation =
                  Option.bind t.tr_result (fun r ->
                      r.Pipeline.res_validation);
+               pt_verdicts =
+                 (match t.tr_result with
+                 | None -> []
+                 | Some r -> verdict_map r);
+               pt_original =
+                 (match t.tr_result with
+                 | None -> []
+                 | Some r -> r.Pipeline.res_original_loops);
              })
            configs)
        benches)
+
+(** Join the suite's points into the explain-diff attribution: per
+    benchmark, each inlined configuration's original-program loops
+    classified kept / lost / gained / serial against the no-inlining
+    baseline, with the blocker deltas (see {!Explain}). *)
+let explain (points : point list) : Explain.t =
+  let benches =
+    List.fold_left
+      (fun acc p -> if List.mem p.pt_bench acc then acc else p.pt_bench :: acc)
+      [] points
+  in
+  let rows =
+    List.concat_map
+      (fun bench ->
+        let mine = List.filter (fun p -> String.equal p.pt_bench bench) points in
+        let find m = List.find_opt (fun p -> p.pt_config = m) mine in
+        match find Pipeline.No_inlining with
+        | None -> []
+        | Some base ->
+            let others =
+              List.filter_map
+                (fun m -> Option.map (fun p -> (m, p.pt_verdicts)) (find m))
+                [ Pipeline.Conventional; Pipeline.Annotation_based ]
+            in
+            Explain.diff_bench ~bench ~original:base.pt_original
+              ~baseline:base.pt_verdicts others)
+      (List.rev benches)
+  in
+  Explain.make rows
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output                                             *)
@@ -252,22 +334,113 @@ let json_of_point (p : point) =
                   (List.map (fun d -> json_str (Diag.render d)) p.pt_diags)
               ^ "]" );
           ] );
+      ( "verdicts",
+        let vs = List.map snd p.pt_verdicts in
+        let parallel = List.filter Verdict.is_parallel vs in
+        let serial = List.filter (fun v -> not (Verdict.is_parallel v)) vs in
+        let hist = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            List.iter
+              (fun b ->
+                let k = Verdict.blocker_kind b in
+                Hashtbl.replace hist k
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt hist k)))
+              (Verdict.blockers v))
+          serial;
+        json_obj
+          [
+            ("parallel", string_of_int (List.length parallel));
+            ( "marked",
+              string_of_int (List.length (List.filter Verdict.is_marked vs)) );
+            ("serial", string_of_int (List.length serial));
+            ( "blockers",
+              json_obj
+                (List.sort compare
+                   (Hashtbl.fold
+                      (fun k n acc -> (k, string_of_int n) :: acc)
+                      hist [])) );
+          ] );
     ]
 
 (** The stable bench schema, one JSON document per suite run.  CI
     archives this as [BENCH_*.json]; consumers key on [schema_version].
-    Version 2 adds the per-point ["validation"] object ([null] when the
-    suite ran without [--validate]) and the oracle counters. *)
-let to_json (points : point list) : string =
+    Version 2 added the per-point ["validation"] object ([null] when the
+    suite ran without [--validate]) and the oracle counters.  Version 3
+    adds per-point ["verdicts"] counts (parallel / marked / serial plus
+    a blocker-kind histogram) and, with [?explain], the top-level
+    ["explain_diff"] attribution object. *)
+let to_json ?(explain : Explain.t option) (points : point list) : string =
   json_obj
-    [
-      ("schema_version", "2");
-      ("suite", json_str "perfect");
-      ("jobs_deterministic", "true");
-      ( "points",
-        "[" ^ String.concat "," (List.map json_of_point points) ^ "]" );
-    ]
+    ([
+       ("schema_version", "3");
+       ("suite", json_str "perfect");
+       ("jobs_deterministic", "true");
+       ( "points",
+         "[" ^ String.concat "," (List.map json_of_point points) ^ "]" );
+     ]
+    @
+    match explain with
+    | None -> []
+    | Some e -> [ ("explain_diff", Json.to_string (Explain.to_json e)) ])
   ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Backward-compatible reader                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Minimal parsed view of an archived bench document — the fields CI
+    consumers actually key on.  [rd_verdicts] is the (parallel, serial)
+    pair of the version-3 ["verdicts"] object; [None] for version-2
+    documents, which predate it. *)
+type read_point = {
+  rd_bench : string;
+  rd_config : string;
+  rd_par : int;
+  rd_loss : int;
+  rd_extra : int;
+  rd_verdicts : (int * int) option;
+}
+
+type read_doc = { rd_version : int; rd_points : read_point list }
+
+(** Parse a bench JSON document produced by this driver — the current
+    version 3 or the archived version 2 — into a {!read_doc}.  Unknown
+    fields are ignored, so the reader keeps working as the schema
+    grows. *)
+let read_json (s : string) : (read_doc, string) result =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+      match Json.member "schema_version" j with
+      | Json.Null -> Error "missing schema_version"
+      | v ->
+          let version = Json.to_int ~default:0 v in
+          if version < 2 || version > 3 then
+            Error (Printf.sprintf "unsupported schema_version %d" version)
+          else
+            Ok
+              {
+                rd_version = version;
+                rd_points =
+                  List.map
+                    (fun p ->
+                      {
+                        rd_bench = Json.to_str (Json.member "bench" p);
+                        rd_config = Json.to_str (Json.member "config" p);
+                        rd_par = Json.to_int (Json.member "par_loops" p);
+                        rd_loss = Json.to_int (Json.member "loss" p);
+                        rd_extra = Json.to_int (Json.member "extra" p);
+                        rd_verdicts =
+                          (match Json.member "verdicts" p with
+                          | Json.Null -> None
+                          | v ->
+                              Some
+                                ( Json.to_int (Json.member "parallel" v),
+                                  Json.to_int (Json.member "serial" v) ));
+                      })
+                    (Json.to_list (Json.member "points" j));
+              })
 
 (** Write [content] to [path] atomically: temp file in the same
     directory, fsync, rename.  A crashed run can leave a stale temp file

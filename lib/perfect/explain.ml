@@ -1,0 +1,260 @@
+(** Explain-diff: loop-level attribution across inlining configurations.
+
+    The paper's Table II reports *counts* (par / loss / extra); this
+    module reports the *loops* behind the counts.  For one benchmark the
+    three configurations' verdicts are joined by loop id (deterministic
+    thanks to the driver's per-task gensym reset — copies of a loop made
+    by inlining share the id) and every original-program loop is
+    classified against the no-inlining baseline:
+
+    - [Kept]   : parallel in the baseline and in this configuration;
+    - [Lost]   : parallel in the baseline, serial here (the conventional
+                 -inlining damage of Section II-A);
+    - [Gained] : serial in the baseline, parallel here (the loops
+                 annotation-based inlining exists to win);
+    - [Serial] : serial in both.
+
+    Each row carries both blocker lists, so the delta is mechanical:
+    a [Gained] row's baseline blockers are the obstacles inlining
+    removed; a [Lost] row's own blockers are the obstacles inlining
+    introduced. *)
+
+open Core
+module Verdict = Parallelizer.Verdict
+module Json = Frontend.Json
+
+type cls = Kept | Lost | Gained | Serial
+
+let cls_name = function
+  | Kept -> "kept"
+  | Lost -> "lost"
+  | Gained -> "gained"
+  | Serial -> "serial"
+
+type row = {
+  row_bench : string;
+  row_config : Pipeline.mode;  (** never [No_inlining] (it is the baseline) *)
+  row_loop : Verdict.loop_id;  (** baseline identity when available *)
+  row_class : cls;
+  row_blockers : Verdict.blocker list;  (** this configuration's blockers *)
+  row_base_blockers : Verdict.blocker list;  (** baseline blockers *)
+}
+
+(** Per-configuration totals.  [sum_resolved] histograms the baseline
+    blocker kinds of [Gained] rows (what inlining removed);
+    [sum_introduced] histograms the own blocker kinds of [Lost] rows
+    (what inlining broke). *)
+type summary = {
+  sum_config : Pipeline.mode;
+  sum_kept : int;
+  sum_lost : int;
+  sum_gained : int;
+  sum_serial : int;
+  sum_resolved : (string * int) list;
+  sum_introduced : (string * int) list;
+}
+
+type t = { rows : row list; summaries : summary list }
+
+(* ------------------------------------------------------------------ *)
+
+(* Histogram of blocker kinds, sorted by kind for determinism. *)
+let histogram blockers =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let k = Verdict.blocker_kind b in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    blockers;
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+let not_analyzed = [ Verdict.Not_analyzed "no verdict in this configuration" ]
+
+(** Join one benchmark.  [original] are the loop ids of the input
+    program; [baseline] and each [(mode, verdicts)] map loop id to the
+    representative verdict of that configuration (marked copy preferred
+    — see {!Driver}).  Rows come out in loop-id order, configurations in
+    the order given. *)
+let diff_bench ~(bench : string) ~(original : int list)
+    ~(baseline : (int * Verdict.t) list)
+    (others : (Pipeline.mode * (int * Verdict.t) list) list) : row list =
+  let ids =
+    List.sort_uniq compare
+      (List.filter
+         (fun id ->
+           List.mem_assoc id baseline
+           || List.exists (fun (_, vs) -> List.mem_assoc id vs) others)
+         original)
+  in
+  List.concat_map
+    (fun (mode, verdicts) ->
+      List.map
+        (fun id ->
+          let bv = List.assoc_opt id baseline in
+          let mv = List.assoc_opt id verdicts in
+          let marked = function Some v -> Verdict.is_marked v | None -> false in
+          let cls =
+            match (marked bv, marked mv) with
+            | true, true -> Kept
+            | true, false -> Lost
+            | false, true -> Gained
+            | false, false -> Serial
+          in
+          let blockers_of = function
+            | Some v -> Verdict.blockers v
+            | None -> not_analyzed
+          in
+          let loop =
+            match (bv, mv) with
+            | Some v, _ | None, Some v -> v.Verdict.v_loop
+            | None, None ->
+                (* unreachable: id came from one of the two maps *)
+                {
+                  Verdict.lid_unit = "?";
+                  lid_line = 0;
+                  lid_index = "?";
+                  lid_path = [];
+                  lid_loop = id;
+                }
+          in
+          {
+            row_bench = bench;
+            row_config = mode;
+            row_loop = loop;
+            row_class = cls;
+            (* a parallel verdict has no blockers, so these are [] on the
+               parallel side of every class automatically *)
+            row_blockers = blockers_of mv;
+            row_base_blockers = blockers_of bv;
+          })
+        ids)
+    others
+
+let summarize (rows : row list) : summary list =
+  let modes =
+    List.fold_left
+      (fun acc r -> if List.mem r.row_config acc then acc else r.row_config :: acc)
+      [] rows
+  in
+  List.map
+    (fun mode ->
+      let mine = List.filter (fun r -> r.row_config = mode) rows in
+      let count c = List.length (List.filter (fun r -> r.row_class = c) mine) in
+      let gained_base =
+        List.concat_map
+          (fun r -> if r.row_class = Gained then r.row_base_blockers else [])
+          mine
+      in
+      let lost_own =
+        List.concat_map
+          (fun r -> if r.row_class = Lost then r.row_blockers else [])
+          mine
+      in
+      {
+        sum_config = mode;
+        sum_kept = count Kept;
+        sum_lost = count Lost;
+        sum_gained = count Gained;
+        sum_serial = count Serial;
+        sum_resolved = histogram gained_base;
+        sum_introduced = histogram lost_own;
+      })
+    (List.rev modes)
+
+let make rows = { rows; summaries = summarize rows }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_blockers = function
+  | [] -> "-"
+  | bs -> String.concat "; " (List.map Verdict.describe_blocker bs)
+
+(** Human-readable diff table (``bench table2 --explain-diff``).  Kept
+    and always-serial rows are summarized in the footer; the table body
+    shows only the loops that *moved* (lost or gained), which is the
+    attribution the paper cares about. *)
+let render (t : t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "explain-diff vs no-inlining (moved loops only)\n\
+     bench      config          loop                        class   detail\n";
+  List.iter
+    (fun r ->
+      match r.row_class with
+      | Kept | Serial -> ()
+      | Lost ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s %-15s %-27s lost    now blocked: %s\n"
+               r.row_bench
+               (Pipeline.mode_name r.row_config)
+               (Verdict.key r.row_loop)
+               (render_blockers r.row_blockers))
+      | Gained ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-10s %-15s %-27s gained  was blocked: %s\n"
+               r.row_bench
+               (Pipeline.mode_name r.row_config)
+               (Verdict.key r.row_loop)
+               (render_blockers r.row_base_blockers)))
+    t.rows;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-15s kept %d  lost %d  gained %d  serial %d%s%s\n"
+           (Pipeline.mode_name s.sum_config)
+           s.sum_kept s.sum_lost s.sum_gained s.sum_serial
+           (if s.sum_resolved = [] then ""
+            else
+              "  resolved: "
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+                     s.sum_resolved))
+           (if s.sum_introduced = [] then ""
+            else
+              "  introduced: "
+              ^ String.concat ","
+                  (List.map
+                     (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+                     s.sum_introduced))))
+    t.summaries;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let row_to_json (r : row) : Json.t =
+  Json.Obj
+    [
+      ("bench", Json.Str r.row_bench);
+      ("config", Json.Str (Pipeline.mode_name r.row_config));
+      ("loop_id", Verdict.loop_id_to_json r.row_loop);
+      ("class", Json.Str (cls_name r.row_class));
+      ("blockers", Json.List (List.map Verdict.blocker_to_json r.row_blockers));
+      ( "baseline_blockers",
+        Json.List (List.map Verdict.blocker_to_json r.row_base_blockers) );
+    ]
+
+let summary_to_json (s : summary) : Json.t =
+  let hist h = Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) h) in
+  Json.Obj
+    [
+      ("config", Json.Str (Pipeline.mode_name s.sum_config));
+      ("kept", Json.Int s.sum_kept);
+      ("lost", Json.Int s.sum_lost);
+      ("gained", Json.Int s.sum_gained);
+      ("serial", Json.Int s.sum_serial);
+      ("resolved_blockers", hist s.sum_resolved);
+      ("introduced_blockers", hist s.sum_introduced);
+    ]
+
+let to_json (t : t) : Json.t =
+  Json.Obj
+    [
+      ("rows", Json.List (List.map row_to_json t.rows));
+      ("summaries", Json.List (List.map summary_to_json t.summaries));
+    ]

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Validate a Chrome trace_event JSON file produced by --trace-out.
+#
+# A well-formed trace (DESIGN.md, "Provenance & tracing") is a JSON
+# object whose "traceEvents" array interleaves duration events; the
+# span sink reserves the B/E pair at begin time, so even a truncated
+# (bounded-buffer) trace must keep the stream balanced per thread.
+# chrome://tracing and Perfetto silently drop unbalanced tails — this
+# script makes that a loud CI failure instead.
+#
+# Checks:
+#   1. the file exists, is non-empty, and parses as JSON;
+#   2. it has a "traceEvents" array with at least MIN_EVENTS entries;
+#   3. begin ("B") and end ("E") counts match, overall and per tid;
+#   4. "droppedSpans" is present (the sink always reports it).
+#
+# Usage: scripts/check_trace.sh TRACE.json [MIN_EVENTS]
+#   MIN_EVENTS defaults to 2 (one complete span).
+#
+# Exit: 0 valid, 1 invalid (with a reason), 2 usage.
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 TRACE.json [MIN_EVENTS]" >&2
+  exit 2
+fi
+
+trace="$1"
+min_events="${2:-2}"
+
+if [ ! -s "$trace" ]; then
+  echo "FAIL: $trace missing or empty"
+  exit 1
+fi
+
+# python3 ships on the CI runners and in the dev container; jq does not.
+python3 - "$trace" "$min_events" <<'EOF'
+import json, sys
+from collections import Counter
+
+path, min_events = sys.argv[1], int(sys.argv[2])
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except ValueError as e:
+    print(f"FAIL: {path} is not valid JSON: {e}")
+    sys.exit(1)
+
+events = doc.get("traceEvents")
+if not isinstance(events, list):
+    print(f"FAIL: {path} has no traceEvents array")
+    sys.exit(1)
+if len(events) < min_events:
+    print(f"FAIL: only {len(events)} trace events (expected >= {min_events})")
+    sys.exit(1)
+if "droppedSpans" not in doc:
+    print(f"FAIL: {path} does not report droppedSpans")
+    sys.exit(1)
+
+per_tid = Counter()
+for ev in events:
+    ph, tid = ev.get("ph"), ev.get("tid", 0)
+    if ph == "B":
+        per_tid[tid] += 1
+    elif ph == "E":
+        per_tid[tid] -= 1
+
+bad = {tid: n for tid, n in per_tid.items() if n != 0}
+if bad:
+    print(f"FAIL: unbalanced B/E events per tid: {bad}")
+    sys.exit(1)
+
+b = sum(1 for ev in events if ev.get("ph") == "B")
+print(f"trace OK: {len(events)} events, {b} spans balanced across "
+      f"{len(per_tid)} thread(s), dropped {doc['droppedSpans']}")
+EOF

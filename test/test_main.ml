@@ -16,5 +16,6 @@ let () =
       ("state", Test_state.suite);
       ("experiment", Test_experiment.suite);
       ("driver", Test_driver.suite);
+      ("explain", Test_explain.suite);
       ("checker", Test_checker.suite);
     ]
