@@ -11,7 +11,11 @@ FAILWITH_BUDGET := 15
 BENCH_JOBS ?= 2
 BENCH_JSON ?= BENCH_table2.json
 
-.PHONY: all test failwith-budget check bench
+.PHONY: all test failwith-budget check bench bench-compare perf-gate
+
+# Two bench JSON documents to diff with `make bench-compare`.
+BENCH_OLD ?= bench/baseline_counters.json
+BENCH_NEW ?= $(BENCH_JSON)
 
 all:
 	dune build @all
@@ -26,5 +30,15 @@ failwith-budget:
 # machine-readable point set CI archives as an artifact.
 bench:
 	dune exec bench/main.exe -- table2 --jobs $(BENCH_JOBS) --json $(BENCH_JSON)
+
+# Side-by-side wall-clock / cache-miss / exec-time diff of two bench
+# JSON documents (schema v2-v4).  Informational, never fails.
+bench-compare:
+	dune exec bench/main.exe -- compare $(BENCH_OLD) $(BENCH_NEW)
+
+# Pin verdicts, dep_tests_run, and cache-miss counts against the
+# committed baseline (single-job for deterministic counters).
+perf-gate:
+	sh scripts/check_perf_counters.sh
 
 check: all test failwith-budget

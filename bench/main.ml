@@ -3,7 +3,9 @@
 
    Usage:
      bench/main.exe [table1] [table2] [fig20] [micro] [ablate] [all]
-                    [--jobs N] [--json FILE] [--validate]
+                    [--jobs N] [--json FILE] [--validate] [--time-exec]
+     bench/main.exe compare OLD.json NEW.json
+     bench/main.exe check-counters NEW.json BASELINE.json
    With no task argument everything runs (the paper's artifacts plus the
    microbenchmarks and ablations).
 
@@ -15,6 +17,13 @@
                 oracle (clause-aware race detection + serial/parallel
                 differential); any race or divergence degrades the exit
                 status to 1 and lands in the JSON verdicts
+   --time-exec  additionally run each optimized benchmark serially once
+                and record per-point exec_ms in the schema-v4 JSON
+
+   compare         render a wall-clock / cache-counter diff of two bench
+                   JSON documents (schema versions 2-4 both sides)
+   check-counters  deterministic CI gate: fail if verdicts or dependence
+                   counters drift from the committed baseline
 
    Exit codes follow the 0/1/2 contract from the CLI: 0 clean, 1 when
    any benchmark salvaged error diagnostics or crashed (results still
@@ -46,7 +55,7 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 
 let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
-    ?trace_out () =
+    ?trace_out ?(time_exec = false) () =
   rule ();
   say
     "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE THREE INLINING\n\
@@ -57,7 +66,7 @@ let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
   say "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n" "bench" "par"
     "size" "par" "loss" "extra" "size" "par" "loss" "extra" "size";
   let span = Option.map (fun _ -> Core.Span.create ()) trace_out in
-  let points = Perfect.Driver.run_suite ~jobs ~validate ?span () in
+  let points = Perfect.Driver.run_suite ~jobs ~validate ?span ~time_exec () in
   let tot = Array.make 10 0 in
   let add i v = tot.(i) <- tot.(i) + v in
   let rec rows = function
@@ -286,10 +295,133 @@ let ablate () =
     [ 1; 4; 32 ];
   say "\n"
 
+(* ------------------------------------------------------------------ *)
+(* Bench-JSON tooling: compare + counter gate                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_bench_json path : Perfect.Driver.read_doc =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "bench: cannot read %s: %s\n" path e;
+      exit 2
+  in
+  match Perfect.Driver.read_json contents with
+  | Ok doc -> doc
+  | Error e ->
+      Printf.eprintf "bench: %s: %s\n" path e;
+      exit 2
+
+let point_key (p : Perfect.Driver.read_point) = (p.rd_bench, p.rd_config)
+
+let find_point points key =
+  List.find_opt (fun p -> point_key p = key) points
+
+(* [compare OLD NEW]: per-point wall-clock / exec / dependence-cache
+   diff between two bench JSON documents (any mix of schema versions
+   2-4; fields a version lacks render as "-").  Purely informational:
+   always exits 0 unless a file is unreadable. *)
+let cmd_compare old_path new_path =
+  let old_doc = read_bench_json old_path in
+  let new_doc = read_bench_json new_path in
+  rule ();
+  say "BENCH COMPARE: %s (v%d) -> %s (v%d)\n" old_path old_doc.rd_version
+    new_path new_doc.rd_version;
+  rule ();
+  say "%-8s %-16s | %9s %9s %7s | %8s %8s | %9s %9s\n" "bench" "config"
+    "wall-old" "wall-new" "speedup" "miss-old" "miss-new" "exec-old"
+    "exec-new";
+  let t_wo = ref 0.0 and t_wn = ref 0.0 in
+  let t_mo = ref 0 and t_mn = ref 0 in
+  let fmt_exec = function None -> "-" | Some ms -> Printf.sprintf "%.1f" ms in
+  List.iter
+    (fun (n : Perfect.Driver.read_point) ->
+      match find_point old_doc.rd_points (point_key n) with
+      | None -> say "%-8s %-16s | (only in new file)\n" n.rd_bench n.rd_config
+      | Some o ->
+          t_wo := !t_wo +. o.rd_wall_ms;
+          t_wn := !t_wn +. n.rd_wall_ms;
+          t_mo := !t_mo + o.rd_dep_cache_misses;
+          t_mn := !t_mn + n.rd_dep_cache_misses;
+          say "%-8s %-16s | %9.1f %9.1f %6.2fx | %8d %8d | %9s %9s\n"
+            n.rd_bench n.rd_config o.rd_wall_ms n.rd_wall_ms
+            (if n.rd_wall_ms > 0.0 then o.rd_wall_ms /. n.rd_wall_ms else 0.0)
+            o.rd_dep_cache_misses n.rd_dep_cache_misses
+            (fmt_exec o.rd_exec_ms) (fmt_exec n.rd_exec_ms))
+    new_doc.rd_points;
+  List.iter
+    (fun (o : Perfect.Driver.read_point) ->
+      if find_point new_doc.rd_points (point_key o) = None then
+        say "%-8s %-16s | (only in old file)\n" o.rd_bench o.rd_config)
+    old_doc.rd_points;
+  rule ();
+  say "%-8s %-16s | %9.1f %9.1f %6.2fx | %8d %8d |\n" "TOTAL" ""
+    !t_wo !t_wn
+    (if !t_wn > 0.0 then !t_wo /. !t_wn else 0.0)
+    !t_mo !t_mn
+
+(* [check-counters NEW BASELINE]: the deterministic perf gate.  The
+   analysis counters (verdicts, dep-test totals, cache misses) are
+   machine-independent, so CI pins them exactly: any point whose
+   verdict counts or dep_tests_run drift, or whose dep_cache_misses
+   exceed the committed baseline, fails the gate (misses below baseline
+   -- an improvement -- only prints a note inviting a baseline
+   refresh). *)
+let cmd_check_counters new_path baseline_path =
+  let doc = read_bench_json new_path in
+  let base = read_bench_json baseline_path in
+  let failures = ref 0 in
+  let improvements = ref 0 in
+  let complain fmt =
+    incr failures;
+    Printf.eprintf fmt
+  in
+  List.iter
+    (fun (b : Perfect.Driver.read_point) ->
+      match find_point doc.rd_points (point_key b) with
+      | None ->
+          complain "check-counters: %s/%s missing from %s\n" b.rd_bench
+            b.rd_config new_path
+      | Some n ->
+          if (n.rd_par, n.rd_loss, n.rd_extra) <> (b.rd_par, b.rd_loss, b.rd_extra)
+          then
+            complain
+              "check-counters: %s/%s verdict drift: par/loss/extra \
+               %d/%d/%d, baseline %d/%d/%d\n"
+              b.rd_bench b.rd_config n.rd_par n.rd_loss n.rd_extra b.rd_par
+              b.rd_loss b.rd_extra;
+          if n.rd_dep_tests_run <> b.rd_dep_tests_run then
+            complain
+              "check-counters: %s/%s dep_tests_run %d, baseline %d\n"
+              b.rd_bench b.rd_config n.rd_dep_tests_run b.rd_dep_tests_run;
+          if n.rd_dep_cache_misses > b.rd_dep_cache_misses then
+            complain
+              "check-counters: %s/%s dep_cache_misses regressed: %d > \
+               baseline %d\n"
+              b.rd_bench b.rd_config n.rd_dep_cache_misses
+              b.rd_dep_cache_misses
+          else if n.rd_dep_cache_misses < b.rd_dep_cache_misses then
+            incr improvements)
+    base.rd_points;
+  if !improvements > 0 then
+    Printf.eprintf
+      "check-counters: %d point(s) beat the baseline miss counts -- \
+       consider refreshing %s\n"
+      !improvements baseline_path;
+  if !failures > 0 then begin
+    Printf.eprintf "check-counters: FAILED (%d violation(s))\n" !failures;
+    exit 1
+  end;
+  say "check-counters: OK (%d points pinned against %s)\n"
+    (List.length base.rd_points) baseline_path
+
 let usage () =
   Printf.eprintf
     "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
-     [--json FILE] [--validate] [--explain-diff] [--trace-out FILE]\n";
+     [--json FILE] [--validate] [--explain-diff] [--trace-out FILE] \
+     [--time-exec]\n\
+    \       main.exe compare OLD.json NEW.json\n\
+    \       main.exe check-counters NEW.json BASELINE.json\n";
   exit 2
 
 let () =
@@ -299,6 +431,22 @@ let () =
   let validate = ref false in
   let explain_diff = ref false in
   let trace_out = ref None in
+  let time_exec = ref false in
+  (* file-argument subcommands dispatch before the task loop *)
+  (match Array.to_list Sys.argv with
+  | _ :: "compare" :: rest -> (
+      match rest with
+      | [ old_path; new_path ] ->
+          cmd_compare old_path new_path;
+          exit 0
+      | _ -> usage ())
+  | _ :: "check-counters" :: rest -> (
+      match rest with
+      | [ new_path; baseline_path ] ->
+          cmd_check_counters new_path baseline_path;
+          exit 0
+      | _ -> usage ())
+  | _ -> ());
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest -> (
@@ -319,6 +467,9 @@ let () =
     | "--trace-out" :: path :: rest ->
         trace_out := Some path;
         parse_args acc rest
+    | "--time-exec" :: rest ->
+        time_exec := true;
+        parse_args acc rest
     | ("--jobs" | "--json" | "--trace-out") :: [] -> usage ()
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -330,14 +481,16 @@ let () =
          | "table1" -> table1 ()
          | "table2" ->
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
-               ~explain_diff:!explain_diff ?trace_out:!trace_out ()
+               ~explain_diff:!explain_diff ?trace_out:!trace_out
+               ~time_exec:!time_exec ()
          | "fig20" -> fig20 ()
          | "micro" -> micro ()
          | "ablate" -> ablate ()
          | "all" ->
              table1 ();
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
-               ~explain_diff:!explain_diff ?trace_out:!trace_out ();
+               ~explain_diff:!explain_diff ?trace_out:!trace_out
+               ~time_exec:!time_exec ();
              fig20 ();
              micro ();
              ablate ()

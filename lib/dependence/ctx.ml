@@ -14,6 +14,13 @@ type t = {
           formal parameters used as sizes, and loop indices with constant
           lower bound >= 1.  Polaris makes the analogous assumptions when
           its range test compares symbolic bounds. *)
+  fp : int;
+      (** interned fingerprint of everything the dependence tester reads
+          from this context besides the unit (candidate index, bounds,
+          step, positivity set) — the memo key half contributed by the
+          context; see {!Memo}.  Contexts with equal [fp] are
+          interchangeable for [Ddtest.may_carry_why] within one
+          [Parallelize.run_unit] generation. *)
 }
 
 (* Integer scalars appearing in array dimension declarations. *)
@@ -45,11 +52,15 @@ let positive_set (u : Ast.program_unit) loops =
   S.union dims (S.union (S.of_list formals) (S.of_list indices))
 
 let make ~cunit ~outer ~candidate ~inner_loops =
+  let positive = positive_set cunit ((candidate :: outer) @ inner_loops) in
   {
     cunit;
     outer;
     candidate;
-    positive = positive_set cunit ((candidate :: outer) @ inner_loops);
+    positive;
+    fp =
+      Memo.intern_ctx ~u:cunit ~index:candidate.index ~lo:candidate.lo
+        ~hi:candidate.hi ~step:candidate.step ~positive:(S.elements positive);
   }
 
 (** Prove [p >= k] under the context's positivity assumptions: every

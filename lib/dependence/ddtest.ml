@@ -22,7 +22,17 @@ type aref = {
   ar_index : Ast.expr list;  (** subscripts, [] = unknown/whole array *)
   ar_inner : (string * Ast.expr * Ast.expr) list;
       (** inner loops enclosing the ref, as (index, lo, hi), outermost first *)
+  ar_id : int;
+      (** interned id ({!Memo.intern_aref}): equal ids iff structurally
+          equal subscripts + inner context + identifier typing *)
 }
+
+(** The only way to build an {!aref}: interning at construction is what
+    gives every reference a memo-key id consistent with its structure.
+    [u] is the enclosing unit — its declarations type the identifiers in
+    the subscripts, and that typing is folded into the interned key. *)
+let mk_aref u ~index ~inner =
+  { ar_index = index; ar_inner = inner; ar_id = Memo.intern_aref u index inner }
 
 let const_of u e = Poly.to_const (Poly.of_expr (Simplify.simplify u e))
 
@@ -278,18 +288,30 @@ let may_carry_why_impl (ctx : Ctx.t) (ra : aref) (rb : aref) : bool * string =
             | Some test -> (false, test)
             | None -> (true, "inconclusive")))
 
-(* Profiling + tracing chokepoint: every pair test emits a span (when a
-   sink is armed), ticks the run counter, and a [false] answer
-   (independence proven, the test decided) ticks the decided counter.
-   No-ops unless a profile/sink is installed. *)
+(* Memoization + profiling + tracing chokepoint.  The memo key is the
+   context fingerprint plus both interned aref ids *in request order*:
+   the why-string of a two-sided decision ("ta+tb") is
+   direction-sensitive, so the symmetric entry is not reused — a hit is
+   byte-identical to a recomputation by construction.  Only a miss runs
+   the tester and emits a span (a hit costs one table probe, so tracing
+   it would drown real work in noise); both tick the run counter, split
+   into hits/misses, and independence still ticks the decided counter on
+   either path.  All no-ops unless a profile/sink is installed. *)
 let may_carry_why ctx ra rb =
-  let r, why =
-    Span.span ~cat:"ddtest" ~unit_:ctx.Ctx.cunit.Ast.u_name
-      ~loop:ctx.Ctx.candidate.Ast.loop_id "dep-test" (fun () ->
-        may_carry_why_impl ctx ra rb)
-  in
-  Prof.tick_dep_test ~independent:(not r);
-  (r, why)
+  let fp = ctx.Ctx.fp in
+  match Memo.find ~fp ~a:ra.ar_id ~b:rb.ar_id with
+  | Some ((r, _) as cached) ->
+      Prof.tick_dep_test ~independent:(not r) ~cached:true;
+      cached
+  | None ->
+      let ((r, _) as result) =
+        Span.span ~cat:"ddtest" ~unit_:ctx.Ctx.cunit.Ast.u_name
+          ~loop:ctx.Ctx.candidate.Ast.loop_id "dep-test" (fun () ->
+            may_carry_why_impl ctx ra rb)
+      in
+      Memo.add ~fp ~a:ra.ar_id ~b:rb.ar_id result;
+      Prof.tick_dep_test ~independent:(not r) ~cached:false;
+      result
 
 let may_carry ctx ra rb = fst (may_carry_why ctx ra rb)
 

@@ -23,6 +23,10 @@ type counters = {
       (** dependence pair tests attempted ([Ddtest.may_carry]) *)
   mutable dep_tests_independent : int;
       (** of those, pairs proven independent (the test decided) *)
+  mutable dep_cache_hits : int;
+      (** dependence tests answered from the memo table ([Dependence.Memo]) *)
+  mutable dep_cache_misses : int;
+      (** dependence tests actually computed (hits + misses = run) *)
   mutable annot_sites_inlined : int;
       (** annotation call sites successfully instantiated *)
   mutable reverse_sites_matched : int;
@@ -49,6 +53,8 @@ let create () =
       {
         dep_tests_run = 0;
         dep_tests_independent = 0;
+        dep_cache_hits = 0;
+        dep_cache_misses = 0;
         annot_sites_inlined = 0;
         reverse_sites_matched = 0;
         stmts_normalized = 0;
@@ -103,11 +109,16 @@ let time (name : string) (f : unit -> 'a) : 'a =
 
 (* ---- ticks (no-ops when no profile is installed) ---- *)
 
-let tick_dep_test ~independent =
+(** One dependence-pair request.  [cached] distinguishes memo-table hits
+    from tests actually computed, so [hits + misses = run] always holds
+    and the deterministic perf gate can bound the expensive half. *)
+let tick_dep_test ~independent ~cached =
   match current () with
   | None -> ()
   | Some p ->
       p.c.dep_tests_run <- p.c.dep_tests_run + 1;
+      if cached then p.c.dep_cache_hits <- p.c.dep_cache_hits + 1
+      else p.c.dep_cache_misses <- p.c.dep_cache_misses + 1;
       if independent then
         p.c.dep_tests_independent <- p.c.dep_tests_independent + 1
 
@@ -147,8 +158,24 @@ let pass_ms (p : t) = p.passes
 
 let total_ms (p : t) = List.fold_left (fun a (_, ms) -> a +. ms) 0.0 p.passes
 
-(** Copy of the counters, detached from further mutation. *)
-let snapshot (p : t) : counters = { p.c with dep_tests_run = p.c.dep_tests_run }
+(** Copy of the counters, detached from further mutation.  Every field is
+    copied explicitly: the previous [{ p.c with f = p.c.f }] spelling read
+    as an update but relied on record-copy syntax for the freshness of the
+    other seven fields, and silently kept "copying" if a field was added
+    — this shape fails to compile instead when the record grows. *)
+let snapshot (p : t) : counters =
+  {
+    dep_tests_run = p.c.dep_tests_run;
+    dep_tests_independent = p.c.dep_tests_independent;
+    dep_cache_hits = p.c.dep_cache_hits;
+    dep_cache_misses = p.c.dep_cache_misses;
+    annot_sites_inlined = p.c.annot_sites_inlined;
+    reverse_sites_matched = p.c.reverse_sites_matched;
+    stmts_normalized = p.c.stmts_normalized;
+    iterations_traced = p.c.iterations_traced;
+    race_conflicts = p.c.race_conflicts;
+    race_excused = p.c.race_excused;
+  }
 
 (** Multi-line report: pass timings in pipeline order plus the work
     counters, e.g. for [parinline --profile]. *)
@@ -163,10 +190,12 @@ let render (p : t) =
   let c = snapshot p in
   Buffer.add_string b
     (Printf.sprintf
-       "counters: dep-tests %d run / %d independent; annot-sites %d \
-        inlined; reverse %d matched; stmts %d normalized\n"
-       c.dep_tests_run c.dep_tests_independent c.annot_sites_inlined
-       c.reverse_sites_matched c.stmts_normalized);
+       "counters: dep-tests %d run / %d independent (%d cached, %d \
+        computed); annot-sites %d inlined; reverse %d matched; stmts %d \
+        normalized\n"
+       c.dep_tests_run c.dep_tests_independent c.dep_cache_hits
+       c.dep_cache_misses c.annot_sites_inlined c.reverse_sites_matched
+       c.stmts_normalized);
   if c.iterations_traced > 0 || c.race_conflicts > 0 then
     Buffer.add_string b
       (Printf.sprintf

@@ -158,33 +158,35 @@ let analyze_loop ?(pure = S.empty) cfg (u : Ast.program_unit)
               block (Verdict.Scalar_blocker { sb_name = name; sb_why = why })
         end
         else begin
-          (* array: pairwise dependence tests *)
-          let aref (a : Access.t) =
-            { Ddtest.ar_index = a.ca_index; ar_inner = a.ca_inner }
+          (* array: pairwise dependence tests.  Each access is interned
+             exactly once ([Ddtest.mk_aref]) so the many duplicate
+             references inlining produces share one memo key, and the
+             pair walk is lazy in the original (i, j>=i) order: the
+             witness — the first pair the tester cannot disprove, with
+             the reason the conservative answer stood — is unchanged,
+             but no quadratic pair list is materialized and the walk
+             stops at the first carried pair. *)
+          let arr = Array.of_list accs in
+          let arefs =
+            Array.map
+              (fun (a : Access.t) ->
+                Ddtest.mk_aref u ~index:a.ca_index ~inner:a.ca_inner)
+              arr
           in
-          let indexed = List.mapi (fun i a -> (i, a)) accs in
-          let pairs =
-            List.concat_map
-              (fun (i, (a : Access.t)) ->
-                List.filter_map
-                  (fun (j, (b : Access.t)) ->
-                    if j < i then None
-                    else if a.ca_write || b.ca_write then Some (a, b)
-                    else None)
-                  indexed)
-              indexed
-          in
-          (* first pair the tester cannot disprove, with the reason the
-             conservative answer stood (which test chain gave up) *)
-          let witness =
-            if cfg.trust_nonlinear then None
+          let n = Array.length arr in
+          let rec scan i j =
+            if i >= n then None
+            else if j >= n then scan (i + 1) (i + 1)
             else
-              List.find_map
-                (fun (a, b) ->
-                  let carry, why = Ddtest.may_carry_why ctx (aref a) (aref b) in
-                  if carry then Some (a, b, why) else None)
-                pairs
+              let a = arr.(i) and b = arr.(j) in
+              if a.ca_write || b.ca_write then
+                let carry, why =
+                  Ddtest.may_carry_why ctx arefs.(i) arefs.(j)
+                in
+                if carry then Some (a, b, why) else scan i (j + 1)
+              else scan i (j + 1)
           in
+          let witness = if cfg.trust_nonlinear then None else scan 0 0 in
           match witness with
           | None -> ()
           | Some (a, b, why) ->
@@ -333,6 +335,13 @@ let rec strip_nested ?(inside = false) stmts =
 
 let run_unit ?(config = default_config) ?(pure = S.empty)
     (u : Ast.program_unit) : Ast.program_unit * loop_report list =
+  (* No cache reset here: memo keys carry the type signature of every
+     identifier they mention (see [Dependence.Memo]), so entries are
+     unit-independent and legally persist across units and inlining
+     configurations — that cross-config reuse is where most of the
+     cache's value lies.  Verdicts stay deterministic; only the
+     per-unit hit/miss split depends on what this domain analyzed
+     before (hence the bench suite pins counters single-job). *)
   let reports = ref [] in
   let body = process_stmts ~pure config u [] reports u.u_body in
   let body = if config.mark_nested then body else strip_nested body in

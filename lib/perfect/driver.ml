@@ -33,6 +33,10 @@ type point = {
   pt_extra : int;  (** loops gained over the baseline *)
   pt_size : int;  (** non-comment lines of the optimized output *)
   pt_wall_ms : float;  (** whole-task wall clock, monotonic *)
+  pt_exec_ms : float option;
+      (** serial execution wall clock of the optimized program, measured
+          when the suite ran with [~time_exec:true]; [None] otherwise or
+          when execution failed *)
   pt_pass_ms : (string * float) list;  (** per-pass milliseconds *)
   pt_counters : Prof.counters;
   pt_diags : Diag.t list;  (** salvage record; [[]] on a healthy run *)
@@ -64,12 +68,13 @@ let reset_gensyms () =
 type task_result = {
   tr_result : Pipeline.result option;  (** [None] = crashed beyond salvage *)
   tr_wall_ms : float;
+  tr_exec_ms : float option;
   tr_prof : Prof.t;
   tr_diags : Diag.t list;
 }
 
-let run_task ?par_config ?validate ?validate_threads ?span (b : Bench_def.t)
-    (mode : Pipeline.mode) : task_result =
+let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
+    (b : Bench_def.t) (mode : Pipeline.mode) : task_result =
   let prof = Prof.create () in
   let dg = Diag.collector () in
   let t0 = Prof.monotonic_ns () in
@@ -105,6 +110,24 @@ let run_task ?par_config ?validate ?validate_threads ?span (b : Bench_def.t)
   let wall_ms =
     Int64.to_float (Int64.sub (Prof.monotonic_ns ()) t0) /. 1e6
   in
+  (* Serial execution timing of the optimized program (schema v4): a
+     single-threaded interpreter run, so the number measures the
+     compiled-statement hot path without pool scheduling noise.  An
+     execution failure degrades to [None] — timing is reporting, never a
+     fault source. *)
+  let exec_ms =
+    if not time_exec then None
+    else
+      match result with
+      | None -> None
+      | Some r -> (
+          let e0 = Prof.monotonic_ns () in
+          match Runtime.Interp.run_program ~threads:1 r.Pipeline.res_program with
+          | (_ : string) ->
+              Some
+                (Int64.to_float (Int64.sub (Prof.monotonic_ns ()) e0) /. 1e6)
+          | exception _ -> None)
+  in
   let diags =
     match result with
     | Some r -> r.Pipeline.res_diags
@@ -120,7 +143,13 @@ let run_task ?par_config ?validate ?validate_threads ?span (b : Bench_def.t)
         | None -> Diag.with_unit b.name d)
       diags
   in
-  { tr_result = result; tr_wall_ms = wall_ms; tr_prof = prof; tr_diags = diags }
+  {
+    tr_result = result;
+    tr_wall_ms = wall_ms;
+    tr_exec_ms = exec_ms;
+    tr_prof = prof;
+    tr_diags = diags;
+  }
 
 (* Representative verdict per loop id over the units reachable from
    MAIN: a marked copy wins over any serial copy, otherwise the first
@@ -152,7 +181,7 @@ let verdict_map (r : Pipeline.result) : (int * Verdict.t) list =
     validation oracle and the per-point verdict lands in
     [pt_validation]. *)
 let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
-    ?(benches = Suite.all) () : point list =
+    ?time_exec ?(benches = Suite.all) () : point list =
   let tasks =
     Array.of_list
       (List.concat_map (fun b -> List.map (fun m -> (b, m)) configs) benches)
@@ -166,7 +195,9 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
       Runtime.Pool.parallel_for ~label:"suite-driver" pool ~chunks:n (fun i ->
           let b, m = tasks.(i) in
           out.(i) <-
-            Some (run_task ?par_config ?validate ?validate_threads ?span b m)));
+            Some
+              (run_task ?par_config ?validate ?validate_threads ?span
+                 ?time_exec b m)));
   (* Baseline-relative accounting: group the three per-bench tasks and
      count against the no-inlining result.  A crashed baseline degrades
      loss/extra to 0 (each result is counted against itself). *)
@@ -178,8 +209,8 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
            | Some r -> r
            | None ->
                (* unreachable: parallel_for ran every chunk *)
-               { tr_result = None; tr_wall_ms = 0.0; tr_prof = Prof.create ();
-                 tr_diags = [] }
+               { tr_result = None; tr_wall_ms = 0.0; tr_exec_ms = None;
+                 tr_prof = Prof.create (); tr_diags = [] }
          in
          let base = (tr 0).tr_result in
          List.mapi
@@ -203,6 +234,7 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
                pt_extra = extra;
                pt_size = size;
                pt_wall_ms = t.tr_wall_ms;
+               pt_exec_ms = t.tr_exec_ms;
                pt_pass_ms = Prof.pass_ms t.tr_prof;
                pt_counters = Prof.snapshot t.tr_prof;
                pt_diags = t.tr_diags;
@@ -292,6 +324,14 @@ let json_of_point (p : point) =
       ("extra", string_of_int p.pt_extra);
       ("code_size", string_of_int p.pt_size);
       ("wall_ms", json_num p.pt_wall_ms);
+      ( "exec_ms",
+        match p.pt_exec_ms with None -> "null" | Some ms -> json_num ms );
+      ( "cache_hit_ratio",
+        if c.Prof.dep_tests_run = 0 then "null"
+        else
+          json_num
+            (float_of_int c.Prof.dep_cache_hits
+            /. float_of_int c.Prof.dep_tests_run) );
       ( "pass_ms",
         json_obj (List.map (fun (k, ms) -> (k, json_num ms)) p.pt_pass_ms) );
       ( "counters",
@@ -299,6 +339,8 @@ let json_of_point (p : point) =
           [
             ("dep_tests_run", string_of_int c.Prof.dep_tests_run);
             ("dep_tests_independent", string_of_int c.Prof.dep_tests_independent);
+            ("dep_cache_hits", string_of_int c.Prof.dep_cache_hits);
+            ("dep_cache_misses", string_of_int c.Prof.dep_cache_misses);
             ("annot_sites_inlined", string_of_int c.Prof.annot_sites_inlined);
             ("reverse_sites_matched", string_of_int c.Prof.reverse_sites_matched);
             ("stmts_normalized", string_of_int c.Prof.stmts_normalized);
@@ -369,11 +411,15 @@ let json_of_point (p : point) =
     suite ran without [--validate]) and the oracle counters.  Version 3
     adds per-point ["verdicts"] counts (parallel / marked / serial plus
     a blocker-kind histogram) and, with [?explain], the top-level
-    ["explain_diff"] attribution object. *)
+    ["explain_diff"] attribution object.  Version 4 adds per-point
+    ["exec_ms"] (serial execution wall clock, [null] unless the suite
+    ran with [--time-exec]), ["cache_hit_ratio"], and the
+    ["dep_cache_hits"]/["dep_cache_misses"] counters — the dependence
+    memo trajectory CI gates on. *)
 let to_json ?(explain : Explain.t option) (points : point list) : string =
   json_obj
     ([
-       ("schema_version", "3");
+       ("schema_version", "4");
        ("suite", json_str "perfect");
        ("jobs_deterministic", "true");
        ( "points",
@@ -392,7 +438,9 @@ let to_json ?(explain : Explain.t option) (points : point list) : string =
 (** Minimal parsed view of an archived bench document — the fields CI
     consumers actually key on.  [rd_verdicts] is the (parallel, serial)
     pair of the version-3 ["verdicts"] object; [None] for version-2
-    documents, which predate it. *)
+    documents, which predate it.  The wall-clock and dependence-cache
+    fields are version-4; on older documents they read as their zero /
+    [None] defaults so the compare tooling degrades gracefully. *)
 type read_point = {
   rd_bench : string;
   rd_config : string;
@@ -400,14 +448,19 @@ type read_point = {
   rd_loss : int;
   rd_extra : int;
   rd_verdicts : (int * int) option;
+  rd_wall_ms : float;
+  rd_exec_ms : float option;
+  rd_dep_tests_run : int;
+  rd_dep_cache_hits : int;
+  rd_dep_cache_misses : int;
 }
 
 type read_doc = { rd_version : int; rd_points : read_point list }
 
 (** Parse a bench JSON document produced by this driver — the current
-    version 3 or the archived version 2 — into a {!read_doc}.  Unknown
-    fields are ignored, so the reader keeps working as the schema
-    grows. *)
+    version 4 or the archived versions 2 and 3 — into a {!read_doc}.
+    Unknown fields are ignored, so the reader keeps working as the
+    schema grows. *)
 let read_json (s : string) : (read_doc, string) result =
   match Json.parse s with
   | Error e -> Error e
@@ -416,7 +469,7 @@ let read_json (s : string) : (read_doc, string) result =
       | Json.Null -> Error "missing schema_version"
       | v ->
           let version = Json.to_int ~default:0 v in
-          if version < 2 || version > 3 then
+          if version < 2 || version > 4 then
             Error (Printf.sprintf "unsupported schema_version %d" version)
           else
             Ok
@@ -425,6 +478,7 @@ let read_json (s : string) : (read_doc, string) result =
                 rd_points =
                   List.map
                     (fun p ->
+                      let counters = Json.member "counters" p in
                       {
                         rd_bench = Json.to_str (Json.member "bench" p);
                         rd_config = Json.to_str (Json.member "config" p);
@@ -438,6 +492,18 @@ let read_json (s : string) : (read_doc, string) result =
                               Some
                                 ( Json.to_int (Json.member "parallel" v),
                                   Json.to_int (Json.member "serial" v) ));
+                        rd_wall_ms = Json.to_float (Json.member "wall_ms" p);
+                        rd_exec_ms =
+                          (match Json.member "exec_ms" p with
+                          | Json.Null -> None
+                          | v -> Some (Json.to_float v));
+                        rd_dep_tests_run =
+                          Json.to_int (Json.member "dep_tests_run" counters);
+                        rd_dep_cache_hits =
+                          Json.to_int (Json.member "dep_cache_hits" counters);
+                        rd_dep_cache_misses =
+                          Json.to_int
+                            (Json.member "dep_cache_misses" counters);
                       })
                     (Json.to_list (Json.member "points" j));
               })

@@ -50,6 +50,22 @@ let default_max_depth = 1000
 (* Global state and frames                                              *)
 (* ------------------------------------------------------------------ *)
 
+type cenv = {
+  ce_program : Ast.program;
+  ce_unit : Ast.program_unit;
+  ce_slots : (string, int) Hashtbl.t;
+      (** variable name -> dense per-unit slot index, assigned at compile
+          time; every frame of the unit carries a [slots] array indexed by
+          these, so the per-access hot path is an array load instead of a
+          string-hashing [Hashtbl.find] *)
+  mutable ce_nslots : int;
+  mutable ce_frozen : bool;
+      (** set once the unit's body is compiled: post-freeze compilations
+          (dynamic [eval_dims] / argument snapshots, possibly from worker
+          domains) must not mutate the slot table, so unknown names get
+          slot [-1] and fall back to name lookup *)
+}
+
 type global = {
   program : Ast.program;
   commons : (string, view array) Hashtbl.t;  (** block -> member views *)
@@ -60,6 +76,12 @@ type global = {
   threads : int;
   pool : Pool.t;
   code_cache : (string, cstmt array) Hashtbl.t;  (** compiled unit bodies *)
+  cenvs : (string, cenv) Hashtbl.t;
+      (** per-unit compile environments; populated during the up-front
+          precompile and frozen before execution starts *)
+  params_const_cache : (string, (string * pconst) list) Hashtbl.t;
+      (** per-unit precompiled PARAMETER evaluators, so binding a frame
+          does not recompile the constant expressions on every call *)
   profile : (int, prof_cell) Hashtbl.t option;
   fuel : fuel_cell option;  (** step budget; [None] = unlimited *)
   max_depth : int;  (** call-depth limit *)
@@ -72,6 +94,15 @@ and frame = {
   glb : global;
   unit_ : Ast.program_unit;
   vars : (string, view) Hashtbl.t;
+  slots : view array;
+      (** slot-resolved name cache, indexed by the unit's [cenv] slot
+          numbers.  Entries start as the shared {!unresolved} sentinel and
+          are filled by the first access through {!resolver} with whatever
+          [lookup] returns for this frame — so per-frame semantics
+          (privatization overrides, lazily allocated locals, COMMON
+          remapping) are untouched; only the repeated string-keyed lookups
+          are.  Worker frames get a fresh array: their privatized names
+          resolve differently from the parent's. *)
   consts : (string, value) Hashtbl.t;
   overrides : (string, view) Hashtbl.t list;
       (** dynamic privatization stack, innermost first; consulted only in
@@ -92,8 +123,54 @@ and frame = {
 }
 
 and cstmt = frame -> unit
+and pconst = frame -> value
 
 let fstk_size = 512
+
+(* Distinguished "not yet resolved" slot entry, recognized by physical
+   equality.  Never read or written as storage. *)
+let unresolved : view = { st = Bs [||]; off = -1; dims = [||] }
+
+(* The compile environment of [u] under [glb].  Environments are created
+   (and registered) during the up-front precompile; a miss afterwards
+   returns a frozen throwaway so dynamic compilation still works, just
+   without slot resolution. *)
+let cenv_of (glb : global) (u : Ast.program_unit) : cenv =
+  match Hashtbl.find_opt glb.cenvs u.Ast.u_name with
+  | Some env when env.ce_unit == u -> env
+  | _ ->
+      {
+        ce_program = glb.program;
+        ce_unit = u;
+        ce_slots = Hashtbl.create 1;
+        ce_nslots = 0;
+        ce_frozen = true;
+      }
+
+let make_cenv (glb : global) (u : Ast.program_unit) : cenv =
+  let env =
+    {
+      ce_program = glb.program;
+      ce_unit = u;
+      ce_slots = Hashtbl.create 32;
+      ce_nslots = 0;
+      ce_frozen = false;
+    }
+  in
+  Hashtbl.replace glb.cenvs u.Ast.u_name env;
+  env
+
+let slot_of (env : cenv) name : int =
+  match Hashtbl.find_opt env.ce_slots name with
+  | Some s -> s
+  | None ->
+      if env.ce_frozen then -1
+      else begin
+        let s = env.ce_nslots in
+        env.ce_nslots <- s + 1;
+        Hashtbl.replace env.ce_slots name s;
+        s
+      end
 
 (* Charge [n] steps against the run's fuel.  The subset has only counted
    DO loops (no GOTO), so charging each loop's trip count once at entry —
@@ -273,6 +350,28 @@ let lookup_slow (fr : frame) name : view =
 let lookup (fr : frame) name : view =
   try Hashtbl.find fr.vars name with Not_found -> lookup_slow fr name
 
+(* Compile-time name resolution: bind [name] to its per-unit slot and
+   return a [frame -> view] that reads the frame's slot cache, resolving
+   through [lookup] once per frame on first touch.  Frames whose slot
+   array predates this slot (or names compiled post-freeze, slot -1)
+   fall back to plain lookup — slower, never wrong. *)
+let resolver (env : cenv) name : frame -> view =
+  let s = slot_of env name in
+  if s < 0 then fun fr -> lookup fr name
+  else
+    fun fr ->
+      let slots = fr.slots in
+      if s < Array.length slots then begin
+        let v = Array.unsafe_get slots s in
+        if v != unresolved then v
+        else begin
+          let w = lookup fr name in
+          Array.unsafe_set slots s w;
+          w
+        end
+      end
+      else lookup fr name
+
 (* ------------------------------------------------------------------ *)
 (* Unboxed element access                                               *)
 (* ------------------------------------------------------------------ *)
@@ -384,14 +483,20 @@ let cerror fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
 let call_function_ref : (frame -> string -> Ast.expr list -> value) ref =
   ref (fun _ _ _ -> assert false)
 
-let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
+let rec compile_expr (env : cenv) (e : Ast.expr) : comp =
+  let u = env.ce_unit in
   let is_int = Analysis.Typing.is_int u in
   match e with
   | Ast.Int_const n -> CI (fun _ -> n)
   | Ast.Real_const r -> CF (fun fr i -> Array.unsafe_set fr.fstk i r)
   | Ast.Logical_const b -> CB (fun _ -> b)
   | Ast.Str_const _ -> cerror "string literal in numeric expression"
-  | Ast.Var v -> (
+  | Ast.Var v
+    when List.mem_assoc v u.Ast.u_params_const
+         && Ast.type_of_var u v <> Ast.Logical -> (
+      (* PARAMETER name: keep the dynamic consts probe — while the frame's
+         constants are being bound in order, an earlier one may be read
+         before later ones exist, falling through to lookup as before *)
       match Ast.type_of_var u v with
       | Ast.Integer ->
           CI
@@ -402,15 +507,7 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
                   let w = lookup fr v in
                   if Trace.on () then Trace.read v w 0;
                   scalar_get_i w)
-      | Ast.Logical ->
-          CB
-            (fun fr ->
-              let w = lookup fr v in
-              if Trace.on () then Trace.read v w 0;
-              match w.st with
-              | Bs a -> a.(w.off)
-              | _ -> rerror "logical variable %s has numeric storage" v)
-      | Ast.Real | Ast.Double | Ast.Character ->
+      | _ ->
           CF
             (fun fr i ->
               Array.unsafe_set fr.fstk i
@@ -420,24 +517,50 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
                     let w = lookup fr v in
                     if Trace.on () then Trace.read v w 0;
                     scalar_get_f w)))
+  | Ast.Var v -> (
+      (* not a PARAMETER of this unit (the consts table can never hold
+         it), so the probe is compiled away and the view is slot-cached *)
+      let res = resolver env v in
+      match Ast.type_of_var u v with
+      | Ast.Integer ->
+          CI
+            (fun fr ->
+              let w = res fr in
+              if Trace.on () then Trace.read v w 0;
+              scalar_get_i w)
+      | Ast.Logical ->
+          CB
+            (fun fr ->
+              let w = res fr in
+              if Trace.on () then Trace.read v w 0;
+              match w.st with
+              | Bs a -> a.(w.off)
+              | _ -> rerror "logical variable %s has numeric storage" v)
+      | Ast.Real | Ast.Double | Ast.Character ->
+          CF
+            (fun fr i ->
+              let w = res fr in
+              if Trace.on () then Trace.read v w 0;
+              Array.unsafe_set fr.fstk i (scalar_get_f w)))
   | Ast.Array_ref (a, idx) ->
-      let off = compile_offset u a idx in
+      let off = compile_offset env a idx in
+      let res = resolver env a in
       if Ast.type_of_var u a = Ast.Integer then
         CI
           (fun fr ->
-            let v = lookup fr a in
+            let v = res fr in
             let o = off fr v in
             if Trace.on () then Trace.read a v o;
             elem_get_i v o)
       else
         CF
           (fun fr i ->
-            let v = lookup fr a in
+            let v = res fr in
             let o = off fr v in
             if Trace.on () then Trace.read a v o;
             Array.unsafe_set fr.fstk i (elem_get_f v o))
   | Ast.Func_call (f, args) when Intrinsics.is_intrinsic f ->
-      compile_intrinsic u f args
+      compile_intrinsic env f args
   | Ast.Func_call (f, args) ->
       if is_int e then CI (fun fr -> to_int (!call_function_ref fr f args))
       else
@@ -448,7 +571,7 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
   | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow) as op, a, b)
     ->
       if is_int e then
-        let fa = compile_int u a and fb = compile_int u b in
+        let fa = compile_int env a and fb = compile_int env b in
         CI
           (match op with
           | Ast.Add -> fun fr -> fa fr + fb fr
@@ -461,7 +584,7 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
           | Ast.Pow -> fun fr -> int_pow (fa fr) (fb fr)
           | _ -> assert false)
       else
-        let fa = compile_float u a and fb = compile_float u b in
+        let fa = compile_float env a and fb = compile_float env b in
         CF
           (match op with
           | Ast.Add ->
@@ -499,7 +622,7 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
   | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
     ->
       if is_int a && is_int b then
-        let fa = compile_int u a and fb = compile_int u b in
+        let fa = compile_int env a and fb = compile_int env b in
         CB
           (match op with
           | Ast.Eq -> fun fr -> fa fr = fb fr
@@ -510,7 +633,7 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
           | Ast.Ge -> fun fr -> fa fr >= fb fr
           | _ -> assert false)
       else
-        let fa = compile_float u a and fb = compile_float u b in
+        let fa = compile_float env a and fb = compile_float env b in
         let cmp2 rel =
           fun fr ->
             fa fr 0;
@@ -527,30 +650,30 @@ let rec compile_expr (u : Ast.program_unit) (e : Ast.expr) : comp =
           | Ast.Ge -> cmp2 (fun x y -> x >= y)
           | _ -> assert false)
   | Ast.Binop (Ast.And, a, b) ->
-      let fa = compile_bool u a and fb = compile_bool u b in
+      let fa = compile_bool env a and fb = compile_bool env b in
       CB (fun fr -> fa fr && fb fr)
   | Ast.Binop (Ast.Or, a, b) ->
-      let fa = compile_bool u a and fb = compile_bool u b in
+      let fa = compile_bool env a and fb = compile_bool env b in
       CB (fun fr -> fa fr || fb fr)
   | Ast.Unop (Ast.Neg, a) ->
       if is_int e then
-        let fa = compile_int u a in
+        let fa = compile_int env a in
         CI (fun fr -> -fa fr)
       else
-        let fa = compile_float u a in
+        let fa = compile_float env a in
         CF
           (fun fr i ->
             fa fr i;
             Array.unsafe_set fr.fstk i (-.Array.unsafe_get fr.fstk i))
   | Ast.Unop (Ast.Not, a) ->
-      let fa = compile_bool u a in
+      let fa = compile_bool env a in
       CB (fun fr -> not (fa fr))
   | Ast.Section (a, _) -> cerror "array section %s reached execution" a
 
 (* Rank-specialized subscript->offset computation; avoids per-access
    buffer allocation for the common ranks. *)
-and compile_offset u a idx : frame -> view -> int =
-  match List.map (compile_int u) idx with
+and compile_offset env a idx : frame -> view -> int =
+  match List.map (compile_int env) idx with
   | [] -> fun _ _ -> 0
   | [ i1 ] -> fun fr _ -> i1 fr - 1
   | [ i1; i2 ] ->
@@ -587,8 +710,8 @@ and compile_offset u a idx : frame -> view -> int =
         done;
         offset_of v buf n
 
-and compile_int u e : frame -> int =
-  match compile_expr u e with
+and compile_int env e : frame -> int =
+  match compile_expr env e with
   | CI f -> f
   | CF f ->
       fun fr ->
@@ -596,24 +719,24 @@ and compile_int u e : frame -> int =
         int_of_float (Array.unsafe_get fr.fstk 0)
   | CB _ -> cerror "logical value where integer expected"
 
-and compile_float u e : fexp =
-  match compile_expr u e with
+and compile_float env e : fexp =
+  match compile_expr env e with
   | CF f -> f
   | CI f -> fun fr i -> Array.unsafe_set fr.fstk i (float_of_int (f fr))
   | CB _ -> cerror "logical value where number expected"
 
-and compile_bool u e : frame -> bool =
-  match compile_expr u e with
+and compile_bool env e : frame -> bool =
+  match compile_expr env e with
   | CB f -> f
   | CI f -> fun fr -> f fr <> 0
   | CF _ -> cerror "numeric value where logical expected"
 
-and compile_intrinsic u f args : comp =
-  let all_int = List.for_all (Analysis.Typing.is_int u) args in
+and compile_intrinsic (env : cenv) f args : comp =
+  let all_int = List.for_all (Analysis.Typing.is_int env.ce_unit) args in
   let unary_f g =
     match args with
     | [ a ] ->
-        let fa = compile_float u a in
+        let fa = compile_float env a in
         CF
           (fun fr i ->
             fa fr i;
@@ -623,23 +746,23 @@ and compile_intrinsic u f args : comp =
   match (f, args) with
   | ("ABS" | "DABS"), [ a ] ->
       if all_int then
-        let fa = compile_int u a in
+        let fa = compile_int env a in
         CI (fun fr -> abs (fa fr))
       else
-        let fa = compile_float u a in
+        let fa = compile_float env a in
         CF
           (fun fr i ->
             fa fr i;
             Array.unsafe_set fr.fstk i (Float.abs (Array.unsafe_get fr.fstk i)))
   | "IABS", [ a ] ->
-      let fa = compile_int u a in
+      let fa = compile_int env a in
       CI (fun fr -> abs (fa fr))
   | ("MAX" | "MAX0" | "AMAX1" | "DMAX1"), _ :: _ ->
       if all_int && (f = "MAX" || f = "MAX0") then
-        let fs = List.map (compile_int u) args in
+        let fs = List.map (compile_int env) args in
         CI (fun fr -> List.fold_left (fun acc g -> max acc (g fr)) min_int fs)
       else
-        let fs = List.map (compile_float u) args in
+        let fs = List.map (compile_float env) args in
         CF
           (fun fr i ->
             Array.unsafe_set fr.fstk i neg_infinity;
@@ -652,10 +775,10 @@ and compile_intrinsic u f args : comp =
               fs)
   | ("MIN" | "MIN0" | "AMIN1" | "DMIN1"), _ :: _ ->
       if all_int && (f = "MIN" || f = "MIN0") then
-        let fs = List.map (compile_int u) args in
+        let fs = List.map (compile_int env) args in
         CI (fun fr -> List.fold_left (fun acc g -> min acc (g fr)) max_int fs)
       else
-        let fs = List.map (compile_float u) args in
+        let fs = List.map (compile_float env) args in
         CF
           (fun fr i ->
             Array.unsafe_set fr.fstk i infinity;
@@ -668,13 +791,13 @@ and compile_intrinsic u f args : comp =
               fs)
   | ("MOD" | "DMOD"), [ a; b ] ->
       if all_int then
-        let fa = compile_int u a and fb = compile_int u b in
+        let fa = compile_int env a and fb = compile_int env b in
         CI
           (fun fr ->
             let d = fb fr in
             if d = 0 then rerror "MOD by zero" else fa fr mod d)
       else
-        let fa = compile_float u a and fb = compile_float u b in
+        let fa = compile_float env a and fb = compile_float env b in
         CF
           (fun fr i ->
             fa fr i;
@@ -690,7 +813,7 @@ and compile_intrinsic u f args : comp =
   | ("LOG" | "DLOG" | "ALOG"), _ -> unary_f log
   | ("ATAN" | "DATAN"), _ -> unary_f atan
   | "ATAN2", [ a; b ] ->
-      let fa = compile_float u a and fb = compile_float u b in
+      let fa = compile_float env a and fb = compile_float env b in
       CF
         (fun fr i ->
           fa fr i;
@@ -698,26 +821,26 @@ and compile_intrinsic u f args : comp =
           Array.unsafe_set fr.fstk i
             (atan2 (Array.unsafe_get fr.fstk i) (Array.unsafe_get fr.fstk (i + 1))))
   | "INT", [ a ] ->
-      let fa = compile_float u a in
+      let fa = compile_float env a in
       CI
         (fun fr ->
           fa fr 0;
           int_of_float (Array.unsafe_get fr.fstk 0))
   | "NINT", [ a ] ->
-      let fa = compile_float u a in
+      let fa = compile_float env a in
       CI
         (fun fr ->
           fa fr 0;
           int_of_float (Float.round (Array.unsafe_get fr.fstk 0)))
   | ("DBLE" | "REAL" | "FLOAT"), [ a ] ->
-      let fa = compile_float u a in
+      let fa = compile_float env a in
       CF fa
   | ("SIGN" | "ISIGN"), [ a; b ] ->
       if all_int then
-        let fa = compile_int u a and fb = compile_int u b in
+        let fa = compile_int env a and fb = compile_int env b in
         CI (fun fr -> if fb fr >= 0 then abs (fa fr) else -abs (fa fr))
       else
-        let fa = compile_float u a and fb = compile_float u b in
+        let fa = compile_float env a and fb = compile_float env b in
         CF
           (fun fr i ->
             fa fr i;
@@ -729,11 +852,11 @@ and compile_intrinsic u f args : comp =
 
 (* Boxed evaluation: slow boundaries only (PRINT, PARAMETER values,
    by-value argument snapshots). *)
-let eval_boxed (u : Ast.program_unit) (e : Ast.expr) : frame -> value =
+let eval_boxed (env : cenv) (e : Ast.expr) : frame -> value =
   match e with
   | Ast.Str_const s -> fun _ -> VStr s
   | _ -> (
-      match compile_expr u e with
+      match compile_expr env e with
       | CF f ->
           fun fr ->
             f fr 0;
@@ -741,7 +864,10 @@ let eval_boxed (u : Ast.program_unit) (e : Ast.expr) : frame -> value =
       | CI f -> fun fr -> VInt (f fr)
       | CB f -> fun fr -> VBool (f fr))
 
-let dyn_eval_int fr e = (compile_int fr.unit_ e) fr
+(* Dynamic (post-freeze) compilation: adjustable dims, argument
+   snapshots.  The unit's frozen cenv assigns no new slots, so these
+   compile to plain lookup-based closures — slow path, never racy. *)
+let dyn_eval_int fr e = (compile_int (cenv_of fr.glb fr.unit_) e) fr
 let () = eval_int_ref := dyn_eval_int
 
 (* ------------------------------------------------------------------ *)
@@ -760,17 +886,17 @@ let touch_names program body =
     (Analysis.Usedef.accesses_of_stmts body)
   |> List.sort_uniq compare
 
-let rec compile_stmts (program : Ast.program) (u : Ast.program_unit)
-    (stmts : Ast.stmt list) : cstmt array =
-  Array.of_list (List.map (compile_stmt program u) stmts)
+let rec compile_stmts (env : cenv) (stmts : Ast.stmt list) : cstmt array =
+  Array.of_list (List.map (compile_stmt env) stmts)
 
-and compile_stmt program u (s : Ast.stmt) : cstmt =
+and compile_stmt (env : cenv) (s : Ast.stmt) : cstmt =
+  let u = env.ce_unit in
   match s.node with
   | Ast.Continue -> fun _ -> ()
   | Ast.Return -> fun _ -> raise Return_exn
   | Ast.Stop msg -> fun _ -> raise (Stop_program msg)
   | Ast.Print es ->
-      let fs = List.map (eval_boxed u) es in
+      let fs = List.map (eval_boxed env) es in
       fun fr ->
         let line =
           String.concat " " (List.map (fun f -> string_of_value (f fr)) fs)
@@ -778,79 +904,97 @@ and compile_stmt program u (s : Ast.stmt) : cstmt =
         Mutex.lock fr.glb.out_mutex;
         Buffer.add_string fr.glb.out (line ^ "\n");
         Mutex.unlock fr.glb.out_mutex
-  | Ast.Call (name, args) -> fun fr -> call_subroutine fr name args
+  | Ast.Call (name, args) -> (
+      (* resolve the callee and compile the argument binders now; the
+         per-call work left is frame construction.  Anything irregular
+         (undefined, non-subroutine, arity mismatch) keeps the dynamic
+         path, which raises the same runtime errors as before. *)
+      match Ast.find_unit env.ce_program name with
+      | Some callee
+        when callee.Ast.u_kind = Ast.Subroutine
+             && List.length args = List.length callee.Ast.u_params ->
+          let binders = List.map (compile_binder env) args in
+          fun fr ->
+            let nfr = bind_frame ~binders fr callee args in
+            let code = unit_code fr callee in
+            (try run_code code nfr with Return_exn -> ())
+      | _ -> fun fr -> call_subroutine fr name args)
   | Ast.Assign (Ast.Lvar v, e) -> (
       match Ast.find_decl u v with
       | Some d when d.d_dims <> [] ->
           (* whole-array broadcast: one write of the entire object *)
-          let f = eval_boxed u e in
+          let f = eval_boxed env e in
+          let res = resolver env v in
           fun fr ->
             let x = f fr in
-            let w = lookup fr v in
+            let w = res fr in
             if Trace.on () then Trace.write v w (-1);
             fill w x
       | _ -> (
+          let res = resolver env v in
           match Ast.type_of_var u v with
           | Ast.Integer ->
-              let f = compile_int u e in
+              let f = compile_int env e in
               fun fr ->
                 let x = f fr in
-                let w = lookup fr v in
+                let w = res fr in
                 if Trace.on () then Trace.write v w 0;
                 elem_set_i w 0 x
           | Ast.Logical ->
-              let f = compile_bool u e in
+              let f = compile_bool env e in
               fun fr ->
                 let x = f fr in
-                let w = lookup fr v in
+                let w = res fr in
                 if Trace.on () then Trace.write v w 0;
                 set w [] (VBool x)
           | Ast.Real | Ast.Double | Ast.Character ->
-              let f = compile_float u e in
+              let f = compile_float env e in
               fun fr ->
                 f fr 0;
-                let w = lookup fr v in
+                let w = res fr in
                 if Trace.on () then Trace.write v w 0;
                 elem_set_f w 0 (Array.unsafe_get fr.fstk 0)))
   | Ast.Assign (Ast.Larray (a, idx), e) ->
-      let off = compile_offset u a idx in
+      let off = compile_offset env a idx in
+      let res = resolver env a in
       if Ast.type_of_var u a = Ast.Integer then
-        let f = compile_int u e in
+        let f = compile_int env e in
         fun fr ->
           let x = f fr in
-          let v = lookup fr a in
+          let v = res fr in
           let o = off fr v in
           if Trace.on () then Trace.write a v o;
           elem_set_i v o x
       else
-        let f = compile_float u e in
+        let f = compile_float env e in
         fun fr ->
           f fr 0;
           let x = Array.unsafe_get fr.fstk 0 in
-          let v = lookup fr a in
+          let v = res fr in
           let o = off fr v in
           if Trace.on () then Trace.write a v o;
           elem_set_f v o x
   | Ast.Assign (Ast.Lsection (a, _), _) ->
       fun _ -> rerror "array section %s reached execution" a
   | Ast.If (c, t, e) ->
-      let fc = compile_bool u c in
-      let ft = compile_stmts program u t in
-      let fe = compile_stmts program u e in
+      let fc = compile_bool env c in
+      let ft = compile_stmts env t in
+      let fe = compile_stmts env e in
       fun fr -> if fc fr then run_code ft fr else run_code fe fr
   | Ast.Tagged (_, body) ->
-      let fb = compile_stmts program u body in
+      let fb = compile_stmts env body in
       fun fr -> run_code fb fr
-  | Ast.Do_loop l -> compile_loop program u l
+  | Ast.Do_loop l -> compile_loop env l
 
-and compile_loop program u (l : Ast.do_loop) : cstmt =
-  let flo = compile_int u l.lo in
-  let fhi = compile_int u l.hi in
-  let fstep = compile_int u l.step in
-  let fbody = compile_stmts program u l.body in
-  let touches = lazy (touch_names program l.body) in
+and compile_loop (env : cenv) (l : Ast.do_loop) : cstmt =
+  let flo = compile_int env l.lo in
+  let fhi = compile_int env l.hi in
+  let fstep = compile_int env l.step in
+  let fbody = compile_stmts env l.body in
+  let touches = lazy (touch_names env.ce_program l.body) in
+  let res_idx = resolver env l.index in
   let run_seq fr lo hi step =
-    let idx = lookup fr l.index in
+    let idx = res_idx fr in
     let tron = Trace.on () in
     (* directive loops open a conflict frame; plain loops only record
        their index writes (an un-privatized inner index is a real shared
@@ -965,6 +1109,10 @@ and exec_parallel fr (l : Ast.do_loop) (omp : Ast.omp) fbody touches ~lo ~hi
             st_overrides = !st_over;
             in_parallel = true;
             vars = Hashtbl.copy fr.vars;
+            (* fresh, all-unresolved: privatized names must re-resolve
+               through the override stack, not reuse the parent's cached
+               shared views *)
+            slots = Array.make (Array.length fr.slots) unresolved;
             fstk = Array.make fstk_size 0.0;
           }
         in
@@ -1020,11 +1168,54 @@ and exec_parallel fr (l : Ast.do_loop) (omp : Ast.omp) fbody touches ~lo ~hi
 (* Calls                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* By-value argument snapshot: a fresh scalar view holding the value. *)
+and snapshot_view (value : value) : view =
+  let ty =
+    match value with
+    | VInt _ -> Ast.Integer
+    | VReal _ -> Ast.Double
+    | VBool _ -> Ast.Logical
+    | VStr _ -> Ast.Character
+  in
+  let view = scalar_view ty in
+  set view [] value;
+  view
+
+(* Compile one actual argument of a CALL into a [caller frame -> view]
+   binder, mirroring [bind_frame]'s dynamic dispatch: by-reference for
+   variables and array elements the caller knows, by-value snapshot
+   otherwise.  The subscript evaluators and the by-value expression are
+   compiled once here instead of on every call. *)
+and compile_binder (env : cenv) (actual : Ast.expr) : frame -> view =
+  let u = env.ce_unit in
+  match actual with
+  | Ast.Var name when not (List.mem_assoc name u.Ast.u_params_const) ->
+      resolver env name
+  | Ast.Array_ref (name, idx) ->
+      let static_array = Ast.is_array u name in
+      let res = resolver env name in
+      let idxc = Array.of_list (List.map (compile_int env) idx) in
+      let n = Array.length idxc in
+      let boxed = eval_boxed env actual in
+      fun fr ->
+        if static_array || Hashtbl.mem fr.vars name then begin
+          let base = res fr in
+          let buf = Array.make n 0 in
+          for k = 0 to n - 1 do
+            buf.(k) <- (Array.unsafe_get idxc k) fr
+          done;
+          { base with off = base.off + offset_of base buf n; dims = [||] }
+        end
+        else snapshot_view (boxed fr)
+  | e ->
+      let boxed = eval_boxed env e in
+      fun fr -> snapshot_view (boxed fr)
+
 and unit_code (fr : frame) (callee : Ast.program_unit) : cstmt array =
   match Hashtbl.find_opt fr.glb.code_cache callee.u_name with
   | Some c -> c
   | None ->
-      let c = compile_stmts fr.glb.program callee callee.u_body in
+      let c = compile_stmts (cenv_of fr.glb callee) callee.u_body in
       Hashtbl.replace fr.glb.code_cache callee.u_name c;
       c
 
@@ -1032,7 +1223,19 @@ and unit_code (fr : frame) (callee : Ast.program_unit) : cstmt array =
    statements it is the caller itself (statement position: scratch slots
    are free); for function invocations it must carry a fresh scratch so
    that argument evaluation cannot clobber the caller's live slots. *)
-and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
+(* Per-unit PARAMETER evaluators, compiled once per run during the
+   up-front precompile.  A cache miss (possible only for units outside
+   [program.p_units]) compiles without touching the shared table, which
+   worker domains must not mutate. *)
+and params_const_code (glb : global) (callee : Ast.program_unit) :
+    (string * pconst) list =
+  match Hashtbl.find_opt glb.params_const_cache callee.u_name with
+  | Some l -> l
+  | None ->
+      let env = cenv_of glb callee in
+      List.map (fun (n, e) -> (n, eval_boxed env e)) callee.u_params_const
+
+and bind_frame ?eval_fr ?binders (fr : frame) (callee : Ast.program_unit)
     (args : Ast.expr list) : frame =
   let efr = match eval_fr with Some f -> f | None -> fr in
   let depth = fr.depth + 1 in
@@ -1047,6 +1250,7 @@ and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
       unit_ = callee;
       vars = Hashtbl.create 16;
       consts = Hashtbl.create 4;
+      slots = Array.make (cenv_of fr.glb callee).ce_nslots unresolved;
       (* name-keyed overrides stop here: the callee's locals and formals
          are distinct variables even when they share a privatized name.
          Privatized COMMON follows the storage via [st_overrides]. *)
@@ -1058,39 +1262,36 @@ and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
     }
   in
   List.iter
-    (fun (n, e) -> Hashtbl.replace nfr.consts n (eval_boxed callee e nfr))
-    callee.u_params_const;
+    (fun (n, f) -> Hashtbl.replace nfr.consts n (f nfr))
+    (params_const_code fr.glb callee);
   if List.length args <> List.length callee.u_params then
     rerror "call to %s: arity mismatch" callee.u_name;
-  List.iter2
-    (fun formal actual ->
-      let v =
-        match actual with
-        | Ast.Var name when Hashtbl.find_opt fr.consts name = None ->
-            lookup fr name
-        | Ast.Array_ref (name, idx)
-          when Ast.is_array fr.unit_ name
-               || Hashtbl.find_opt fr.vars name <> None ->
-            let base = lookup fr name in
-            let n = List.length idx in
-            let buf = Array.make n 0 in
-            List.iteri (fun k e -> buf.(k) <- dyn_eval_int efr e) idx;
-            { base with off = base.off + offset_of base buf n; dims = [||] }
-        | e ->
-            let value = (eval_boxed fr.unit_ e) efr in
-            let ty =
-              match value with
-              | VInt _ -> Ast.Integer
-              | VReal _ -> Ast.Double
-              | VBool _ -> Ast.Logical
-              | VStr _ -> Ast.Character
-            in
-            let view = scalar_view ty in
-            set view [] value;
-            view
-      in
-      Hashtbl.replace nfr.vars formal v)
-    callee.u_params args;
+  (match binders with
+  | Some bs ->
+      (* precompiled CALL path: each binder already encodes the
+         by-reference / by-value dispatch against the caller's frame *)
+      List.iter2
+        (fun formal b -> Hashtbl.replace nfr.vars formal (b fr))
+        callee.u_params bs
+  | None ->
+      List.iter2
+        (fun formal actual ->
+          let v =
+            match actual with
+            | Ast.Var name when Hashtbl.find_opt fr.consts name = None ->
+                lookup fr name
+            | Ast.Array_ref (name, idx)
+              when Ast.is_array fr.unit_ name
+                   || Hashtbl.find_opt fr.vars name <> None ->
+                let base = lookup fr name in
+                let n = List.length idx in
+                let buf = Array.make n 0 in
+                List.iteri (fun k e -> buf.(k) <- dyn_eval_int efr e) idx;
+                { base with off = base.off + offset_of base buf n; dims = [||] }
+            | e -> snapshot_view ((eval_boxed (cenv_of fr.glb fr.unit_) e) efr)
+          in
+          Hashtbl.replace nfr.vars formal v)
+        callee.u_params args);
   (* reshape formal arrays per the callee's declarations (adjustable dims
      evaluated now, with scalar formals already bound) *)
   List.iter
@@ -1102,6 +1303,10 @@ and bind_frame ?eval_fr (fr : frame) (callee : Ast.program_unit)
           Hashtbl.replace nfr.vars formal { base with dims }
       | _ -> ())
     callee.u_params;
+  (* constant evaluation or reshaping above may have resolved slots to
+     views that were since rebound in [vars]; drop any cached entries so
+     the body's first access re-resolves against the final bindings *)
+  Array.fill nfr.slots 0 (Array.length nfr.slots) unresolved;
   nfr
 
 and call_subroutine fr name args =
@@ -1183,75 +1388,92 @@ let run_program_state ?(threads = 1) ?profile ?fuel
     string * (string * float array) list =
   let commons, common_layout = build_commons program in
   let pool = Pool.create threads in
-  let glb =
-    {
-      program;
-      commons;
-      common_layout;
-      out = Buffer.create 1024;
-      out_mutex = Mutex.create ();
-      threads;
-      pool;
-      code_cache = Hashtbl.create 16;
-      profile;
-      fuel =
-        Option.map
-          (fun n -> { remaining = Atomic.make n; budget = n })
-          fuel;
-      max_depth;
-    }
-  in
-  let main =
-    match List.find_opt (fun u -> u.Ast.u_kind = Ast.Main) program.p_units with
-    | Some u -> u
-    | None -> rerror "program has no MAIN unit"
-  in
-  let fr =
-    {
-      glb;
-      unit_ = main;
-      vars = Hashtbl.create 16;
-      consts = Hashtbl.create 4;
-      overrides = [];
-      st_overrides = [];
-      in_parallel = false;
-      depth = 0;
-      fstk = Array.make fstk_size 0.0;
-    }
-  in
-  List.iter
-    (fun (n, e) -> Hashtbl.replace fr.consts n (eval_boxed main e fr))
-    main.u_params_const;
-  (* precompile every unit up front: the cache is then read-only, so
-     worker domains may safely invoke (pure) functions concurrently *)
-  List.iter
-    (fun u ->
-      if u.Ast.u_kind <> Ast.Main then
-        Hashtbl.replace glb.code_cache u.Ast.u_name
-          (compile_stmts program u u.Ast.u_body))
-    program.p_units;
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
     (fun () ->
-      let code = compile_stmts program main main.u_body in
-      try run_code code fr with
+      let glb =
+        {
+          program;
+          commons;
+          common_layout;
+          out = Buffer.create 1024;
+          out_mutex = Mutex.create ();
+          threads;
+          pool;
+          code_cache = Hashtbl.create 16;
+          cenvs = Hashtbl.create 16;
+          params_const_cache = Hashtbl.create 16;
+          profile;
+          fuel =
+            Option.map
+              (fun n -> { remaining = Atomic.make n; budget = n })
+              fuel;
+          max_depth;
+        }
+      in
+      let main =
+        match
+          List.find_opt (fun u -> u.Ast.u_kind = Ast.Main) program.p_units
+        with
+        | Some u -> u
+        | None -> rerror "program has no MAIN unit"
+      in
+      (* precompile every unit up front (MAIN included): code cache, slot
+         tables and PARAMETER evaluators are then read-only, so worker
+         domains may safely invoke (pure) functions concurrently and slot
+         resolution never mutates a shared table mid-run *)
+      List.iter
+        (fun (u : Ast.program_unit) ->
+          let env = make_cenv glb u in
+          Hashtbl.replace glb.code_cache u.Ast.u_name
+            (compile_stmts env u.Ast.u_body);
+          Hashtbl.replace glb.params_const_cache u.Ast.u_name
+            (List.map
+               (fun (n, e) -> (n, eval_boxed env e))
+               u.Ast.u_params_const))
+        program.p_units;
+      Hashtbl.iter (fun _ env -> env.ce_frozen <- true) glb.cenvs;
+      let fr =
+        {
+          glb;
+          unit_ = main;
+          vars = Hashtbl.create 16;
+          consts = Hashtbl.create 4;
+          slots = Array.make (cenv_of glb main).ce_nslots unresolved;
+          overrides = [];
+          st_overrides = [];
+          in_parallel = false;
+          depth = 0;
+          fstk = Array.make fstk_size 0.0;
+        }
+      in
+      List.iter
+        (fun (n, f) -> Hashtbl.replace fr.consts n (f fr))
+        (params_const_code glb main);
+      Array.fill fr.slots 0 (Array.length fr.slots) unresolved;
+      let code =
+        match Hashtbl.find_opt glb.code_cache main.u_name with
+        | Some c -> c
+        | None -> compile_stmts (cenv_of glb main) main.u_body
+      in
+      (try run_code code fr with
       | Return_exn -> ()
       | Stop_program (Some msg) ->
           Buffer.add_string glb.out ("STOP: " ^ msg ^ "\n")
       | Stop_program None -> ());
-  let state =
-    Hashtbl.fold
-      (fun blk views acc ->
-        Array.to_list
-          (Array.mapi
-             (fun i (v : view) ->
-               (Printf.sprintf "%s/%d" blk i, storage_floats v.st))
-             views)
-        @ acc)
-      commons []
-    |> List.sort compare
-  in
-  (Buffer.contents glb.out, state)
+      let state =
+        Hashtbl.fold
+          (fun blk views acc ->
+            Array.to_list
+              (Array.mapi
+                 (fun i (v : view) ->
+                   (Printf.sprintf "%s/%d" blk i, storage_floats v.st))
+                 views)
+            @ acc)
+          commons []
+        |> List.sort compare
+      in
+      (Buffer.contents glb.out, state))
 
 (** Execute a program's MAIN unit; returns everything it printed.
     [profile], when given, accumulates per-loop-id wall time of top-level

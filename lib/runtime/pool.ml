@@ -19,12 +19,42 @@ type t = {
   mutable generation : int;
   mutable next_chunk : int;
   mutable total_chunks : int;
+  mutable batch : int;
+      (** chunks grabbed per lock acquisition, set per job: large enough
+          to cut lock traffic on many-small-chunk jobs, small enough
+          (total/(4*size)) that stragglers still rebalance *)
   mutable finished_chunks : int;
   mutable failure : exn option;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   size : int;  (** number of workers + 1 (the caller participates) *)
 }
+
+(* Drain the current job's chunks, [p.batch] per lock acquisition.
+   Called (and returns) with [p.m] held.  Each chunk keeps its own
+   failure capture — a dead chunk never prevents the rest of its batch
+   (or the job) from running, so every chunk executes exactly once. *)
+let drain (p : t) (job : int -> unit) =
+  let rec go () =
+    if p.next_chunk < p.total_chunks then begin
+      let first = p.next_chunk in
+      let last = min p.total_chunks (first + p.batch) in
+      p.next_chunk <- last;
+      Mutex.unlock p.m;
+      for c = first to last - 1 do
+        try job c
+        with e ->
+          Mutex.lock p.m;
+          if p.failure = None then p.failure <- Some e;
+          Mutex.unlock p.m
+      done;
+      Mutex.lock p.m;
+      p.finished_chunks <- p.finished_chunks + (last - first);
+      if p.finished_chunks = p.total_chunks then Condition.broadcast p.cv_done;
+      go ()
+    end
+  in
+  go ()
 
 let worker_loop (p : t) () =
   let my_generation = ref 0 in
@@ -41,25 +71,7 @@ let worker_loop (p : t) () =
     else begin
       my_generation := p.generation;
       let job = Option.get p.job in
-      (* drain chunks *)
-      let rec drain () =
-        if p.next_chunk < p.total_chunks then begin
-          let c = p.next_chunk in
-          p.next_chunk <- p.next_chunk + 1;
-          Mutex.unlock p.m;
-          (try job c
-           with e ->
-             Mutex.lock p.m;
-             if p.failure = None then p.failure <- Some e;
-             Mutex.unlock p.m);
-          Mutex.lock p.m;
-          p.finished_chunks <- p.finished_chunks + 1;
-          if p.finished_chunks = p.total_chunks then
-            Condition.broadcast p.cv_done;
-          drain ()
-        end
-      in
-      drain ();
+      drain p job;
       Mutex.unlock p.m
     end
   done
@@ -74,6 +86,7 @@ let create n_threads : t =
       generation = 0;
       next_chunk = 0;
       total_chunks = 0;
+      batch = 1;
       finished_chunks = 0;
       failure = None;
       stop = false;
@@ -108,28 +121,12 @@ let parallel_for ?label (p : t) ~(chunks : int) (f : int -> unit) =
     p.generation <- p.generation + 1;
     p.next_chunk <- 0;
     p.total_chunks <- chunks;
+    p.batch <- max 1 (chunks / (4 * p.size));
     p.finished_chunks <- 0;
     p.failure <- None;
     Condition.broadcast p.cv_job;
     (* participate *)
-    let rec drain () =
-      if p.next_chunk < p.total_chunks then begin
-        let c = p.next_chunk in
-        p.next_chunk <- p.next_chunk + 1;
-        Mutex.unlock p.m;
-        (try f c
-         with e ->
-           Mutex.lock p.m;
-           if p.failure = None then p.failure <- Some e;
-           Mutex.unlock p.m);
-        Mutex.lock p.m;
-        p.finished_chunks <- p.finished_chunks + 1;
-        if p.finished_chunks = p.total_chunks then
-          Condition.broadcast p.cv_done;
-        drain ()
-      end
-    in
-    drain ();
+    drain p f;
     while p.finished_chunks < p.total_chunks do
       Condition.wait p.cv_done p.m
     done;

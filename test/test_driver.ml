@@ -88,7 +88,7 @@ let test_prof_counters_zero_when_disabled () =
     (counters_tuple (Core.Prof.snapshot prof) = (0, 0, 0, 0, 0));
   ci "no pass timings" 0 (List.length (Core.Prof.pass_ms prof));
   (* ticks outside any installed profile are inert no-ops *)
-  Core.Prof.tick_dep_test ~independent:true;
+  Core.Prof.tick_dep_test ~independent:true ~cached:false;
   Core.Prof.tick_annot_site ();
   Core.Prof.tick_reverse_match ();
   Core.Prof.add_stmts_normalized 7;

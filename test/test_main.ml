@@ -18,4 +18,5 @@ let () =
       ("driver", Test_driver.suite);
       ("explain", Test_explain.suite);
       ("checker", Test_checker.suite);
+      ("perf", Test_perf.suite);
     ]
