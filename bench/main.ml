@@ -4,6 +4,7 @@
    Usage:
      bench/main.exe [table1] [table2] [fig20] [micro] [ablate] [all]
                     [--jobs N] [--json FILE] [--validate] [--time-exec]
+                    [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N]
      bench/main.exe compare OLD.json NEW.json
      bench/main.exe check-counters NEW.json BASELINE.json
    With no task argument everything runs (the paper's artifacts plus the
@@ -18,7 +19,17 @@
                 differential); any race or divergence degrades the exit
                 status to 1 and lands in the JSON verdicts
    --time-exec  additionally run each optimized benchmark serially once
-                and record per-point exec_ms in the schema-v4 JSON
+                and record per-point exec_ms in the JSON
+   --chaos SEED[:SPEC]
+                arm the deterministic fault-injection registry for the
+                table2 run; injected crashes degrade single matrix points
+                (never the whole run) and the firing summary lands on
+                stderr.  Exit stays within the 0/1 contract.
+   --deadline-ms N  per-benchmark-chunk deadline under --jobs > 1; a
+                stalled chunk is abandoned by the pool watchdog and its
+                point reports a structured timeout diagnostic
+   --retries N  re-run a crashed benchmark chunk up to N times (transient
+                faults only, exponential backoff)
 
    compare         render a wall-clock / cache-counter diff of two bench
                    JSON documents (schema versions 2-4 both sides)
@@ -55,7 +66,7 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 
 let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
-    ?trace_out ?(time_exec = false) () =
+    ?trace_out ?(time_exec = false) ?chaos ?deadline_s ?(retries = 0) () =
   rule ();
   say
     "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE THREE INLINING\n\
@@ -66,7 +77,23 @@ let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
   say "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n" "bench" "par"
     "size" "par" "loss" "extra" "size" "par" "loss" "extra" "size";
   let span = Option.map (fun _ -> Core.Span.create ()) trace_out in
-  let points = Perfect.Driver.run_suite ~jobs ~validate ?span ~time_exec () in
+  let run () =
+    Perfect.Driver.run_suite ~jobs ~validate ?span ~time_exec ?deadline_s
+      ~retries ()
+  in
+  let points =
+    match chaos with
+    | None -> run ()
+    | Some spec -> (
+        match Core.Fault.parse_spec spec with
+        | Error m ->
+            Printf.eprintf "bench: bad --chaos spec: %s\n" m;
+            exit 2
+        | Ok pl ->
+            let pts = Core.Fault.with_plan pl run in
+            Printf.eprintf "bench: %s\n" (Core.Fault.summary pl);
+            pts)
+  in
   let tot = Array.make 10 0 in
   let add i v = tot.(i) <- tot.(i) + v in
   let rec rows = function
@@ -343,11 +370,27 @@ let cmd_compare old_path new_path =
           t_wn := !t_wn +. n.rd_wall_ms;
           t_mo := !t_mo + o.rd_dep_cache_misses;
           t_mn := !t_mn + n.rd_dep_cache_misses;
-          say "%-8s %-16s | %9.1f %9.1f %6.2fx | %8d %8d | %9s %9s\n"
+          let chaos_note =
+            (* v5 resilience counters; only worth a column when nonzero *)
+            let parts =
+              List.filter_map
+                (fun (label, ov, nv) ->
+                  if ov = 0 && nv = 0 then None
+                  else Some (Printf.sprintf "%s %d->%d" label ov nv))
+                [
+                  ("faults", o.rd_faults_injected, n.rd_faults_injected);
+                  ("retries", o.rd_retries, n.rd_retries);
+                  ("dmiss", o.rd_deadline_misses, n.rd_deadline_misses);
+                ]
+            in
+            if parts = [] then ""
+            else "  [" ^ String.concat ", " parts ^ "]"
+          in
+          say "%-8s %-16s | %9.1f %9.1f %6.2fx | %8d %8d | %9s %9s%s\n"
             n.rd_bench n.rd_config o.rd_wall_ms n.rd_wall_ms
             (if n.rd_wall_ms > 0.0 then o.rd_wall_ms /. n.rd_wall_ms else 0.0)
             o.rd_dep_cache_misses n.rd_dep_cache_misses
-            (fmt_exec o.rd_exec_ms) (fmt_exec n.rd_exec_ms))
+            (fmt_exec o.rd_exec_ms) (fmt_exec n.rd_exec_ms) chaos_note)
     new_doc.rd_points;
   List.iter
     (fun (o : Perfect.Driver.read_point) ->
@@ -394,6 +437,11 @@ let cmd_check_counters new_path baseline_path =
             complain
               "check-counters: %s/%s dep_tests_run %d, baseline %d\n"
               b.rd_bench b.rd_config n.rd_dep_tests_run b.rd_dep_tests_run;
+          if n.rd_faults_injected <> b.rd_faults_injected then
+            complain
+              "check-counters: %s/%s faults_injected %d, baseline %d (the \
+               gate runs chaos-off; any drift means the registry fired)\n"
+              b.rd_bench b.rd_config n.rd_faults_injected b.rd_faults_injected;
           if n.rd_dep_cache_misses > b.rd_dep_cache_misses then
             complain
               "check-counters: %s/%s dep_cache_misses regressed: %d > \
@@ -420,6 +468,7 @@ let usage () =
     "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
      [--json FILE] [--validate] [--explain-diff] [--trace-out FILE] \
      [--time-exec]\n\
+    \                [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N]\n\
     \       main.exe compare OLD.json NEW.json\n\
     \       main.exe check-counters NEW.json BASELINE.json\n";
   exit 2
@@ -432,6 +481,9 @@ let () =
   let explain_diff = ref false in
   let trace_out = ref None in
   let time_exec = ref false in
+  let chaos = ref None in
+  let deadline_s = ref None in
+  let retries = ref 0 in
   (* file-argument subcommands dispatch before the task loop *)
   (match Array.to_list Sys.argv with
   | _ :: "compare" :: rest -> (
@@ -470,7 +522,25 @@ let () =
     | "--time-exec" :: rest ->
         time_exec := true;
         parse_args acc rest
-    | ("--jobs" | "--json" | "--trace-out") :: [] -> usage ()
+    | "--chaos" :: spec :: rest ->
+        chaos := Some spec;
+        parse_args acc rest
+    | "--deadline-ms" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some ms when ms > 0.0 ->
+            deadline_s := Some (ms /. 1000.0);
+            parse_args acc rest
+        | _ -> usage ())
+    | "--retries" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            retries := n;
+            parse_args acc rest
+        | _ -> usage ())
+    | ("--jobs" | "--json" | "--trace-out" | "--chaos" | "--deadline-ms"
+      | "--retries")
+      :: [] ->
+        usage ()
     | a :: rest -> parse_args (a :: acc) rest
   in
   let args = parse_args [] (List.tl (Array.to_list Sys.argv)) in
@@ -482,7 +552,8 @@ let () =
          | "table2" ->
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
                ~explain_diff:!explain_diff ?trace_out:!trace_out
-               ~time_exec:!time_exec ()
+               ~time_exec:!time_exec ?chaos:!chaos ?deadline_s:!deadline_s
+               ~retries:!retries ()
          | "fig20" -> fig20 ()
          | "micro" -> micro ()
          | "ablate" -> ablate ()
@@ -490,7 +561,8 @@ let () =
              table1 ();
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
                ~explain_diff:!explain_diff ?trace_out:!trace_out
-               ~time_exec:!time_exec ();
+               ~time_exec:!time_exec ?chaos:!chaos ?deadline_s:!deadline_s
+               ~retries:!retries ();
              fig20 ();
              micro ();
              ablate ()

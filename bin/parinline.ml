@@ -28,6 +28,23 @@
      --keep-going     salvage what parses/optimizes, accumulating diagnostics
      --max-errors N   stop after N errors in --keep-going mode (default 20)
      --fuel N         (run) trap execution after ~N loop iterations + calls
+     --chaos SEED[:SPEC]
+                      arm the deterministic fault-injection registry for the
+                      duration of the command; a firing summary lands on
+                      stderr at exit.  SPEC rules look like
+                      dependence.ddtest=3 (third arrival), inliner.*=*2
+                      (every 2nd), *=0.5% (probability), or
+                      runtime.pool.stall=1~50 (stall 50ms).  Bare SEED uses
+                      the default 0.5%-everywhere schedule.
+
+   Fuzzing:
+     parinline fuzz --seed S --count N [--mutate] [--dump-dir DIR]
+   generates N deterministic F77 programs (seeds S..S+N-1), runs each
+   through the salvaging pipeline with the validation oracle armed, and
+   fails (exit 1) if any exception escapes the structured diagnostic
+   channel or any emitted PARALLEL DO races/diverges.  --mutate applies
+   token-level damage to exercise parser recovery (runtime crashes of
+   salvaged programs are tolerated there; races never are).
 
    Profiling (compile, run):
      --profile        dump the per-pass timing breakdown and analysis
@@ -37,6 +54,8 @@
    2 = fatal (nothing usable produced). *)
 
 open Cmdliner
+
+let () = Printexc.record_backtrace true
 
 let fail_cli fmt =
   Printf.ksprintf
@@ -75,7 +94,8 @@ let print_diags ds =
 let finish_with ds = if Core.Diag.errors_in ds > 0 then exit 1
 
 (* Run [f ()] under the strict pipeline, converting the first fault into a
-   rendered diagnostic and exit 2. *)
+   rendered diagnostic and exit 2.  An injected chaos fault reaching this
+   barrier (strict mode has no salvage) follows the same contract. *)
 let strict f =
   match f () with
   | r -> r
@@ -84,6 +104,12 @@ let strict f =
       exit 2
   | exception Core.Annot_parser.Annot_parse_error m ->
       fail_cli "annotation file rejected: %s" m
+  | exception Core.Fault.Injected (site, n) ->
+      prerr_endline
+        (Core.Diag.render
+           (Core.Diag.make Core.Diag.Exec
+              (Printf.sprintf "injected fault at %s (arrival %d)" site n)));
+      exit 2
 
 (* Run [f ()] under the salvaging pipeline; the error cap aborts. *)
 let robust f =
@@ -91,6 +117,20 @@ let robust f =
   | r -> r
   | exception Core.Diag.Error_limit n ->
       fail_cli "error limit (%d) reached; giving up" n
+
+(* --chaos support: parse the schedule spec, arm the registry for the
+   duration of [f], and report what fired on stderr at exit (the
+   commands exit from inside [f] on diagnostics; at_exit still gets the
+   summary out on those paths). *)
+let with_chaos chaos f =
+  match chaos with
+  | None -> f ()
+  | Some spec -> (
+      match Core.Fault.parse_spec spec with
+      | Error m -> fail_cli "bad --chaos spec: %s" m
+      | Ok pl ->
+          at_exit (fun () -> prerr_endline (Core.Fault.summary pl));
+          Core.Fault.with_plan pl f)
 
 (* --profile support: build a profile when asked, render it on stderr
    once the work is done. *)
@@ -129,9 +169,10 @@ let with_trace trace_out f =
       r
 
 let compile_run source_file annot_file mode out keep_going max_errors profile
-    trace_out =
+    trace_out chaos =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
   let r =
@@ -160,8 +201,9 @@ let compile_run source_file annot_file mode out keep_going max_errors profile
   dump_prof prof;
   finish_with r.res_diags
 
-let report_run source_file annot_file keep_going max_errors =
+let report_run source_file annot_file keep_going max_errors chaos =
   let source, annot_source = load source_file annot_file in
+  with_chaos chaos @@ fun () ->
   (* parse once so loop ids are comparable across configurations *)
   let program, annots, parse_diags =
     if keep_going then
@@ -226,9 +268,10 @@ let report_run source_file annot_file keep_going max_errors =
   finish_with !all_diags
 
 let exec_run source_file annot_file mode threads keep_going max_errors fuel
-    profile trace_out =
+    profile trace_out chaos =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
   let r =
@@ -261,11 +304,34 @@ let exec_run source_file annot_file mode threads keep_going max_errors fuel
   | exception Runtime.Value.Runtime_error m ->
       prerr_endline (Core.Diag.render (Core.Diag.make Core.Diag.Exec m));
       exit 2
+  | exception Core.Fault.Injected (site, n) ->
+      print_diags
+        (r.res_diags
+        @ [
+            Core.Diag.make Core.Diag.Exec
+              (Printf.sprintf "execution hit injected fault at %s (arrival %d)"
+                 site n);
+          ]);
+      dump_prof prof;
+      exit 1
+  | exception Runtime.Pool.Worker_failure (l, e) ->
+      print_diags
+        (r.res_diags
+        @ [
+            Core.Diag.make
+              ~backtrace:(Printexc.get_backtrace ())
+              Core.Diag.Exec
+              (Printf.sprintf "execution lost worker (%s): %s" l
+                 (Printexc.to_string e));
+          ]);
+      dump_prof prof;
+      exit 1
 
 let check_run source_file annot_file mode threads keep_going max_errors fuel
-    profile trace_out =
+    profile trace_out chaos =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
   let r =
@@ -306,9 +372,10 @@ let check_run source_file annot_file mode threads keep_going max_errors fuel
    filters by gensym id or by the structural "UNIT:PATH@LINE" key;
    [--json] emits the round-trippable verdict objects instead. *)
 let explain_run source_file annot_file mode loop_filter json keep_going
-    max_errors trace_out =
+    max_errors trace_out chaos =
   let mode = mode_of_string mode in
   let source, annot_source = load source_file annot_file in
+  with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let r =
     if keep_going then
@@ -408,6 +475,18 @@ let trace_out_arg =
            reverse matches) and write them to $(docv) as Chrome \
            trace_event JSON (load in chrome://tracing or Perfetto).")
 
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED[:SPEC]"
+        ~doc:
+          "Arm the deterministic fault-injection registry for the duration \
+           of the command.  $(docv) is a seed optionally followed by \
+           colon-separated rules (SITE=TRIGGER[~MILLIS]); a bare seed uses \
+           the default 0.5%-everywhere schedule.  The firing summary is \
+           printed on stderr at exit.")
+
 let loop_arg =
   Arg.(
     value
@@ -427,14 +506,15 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Optimize a program and print the result")
     Term.(
       const compile_run $ source_arg $ annot_arg $ mode_arg $ out_arg
-      $ keep_going_arg $ max_errors_arg $ profile_arg $ trace_out_arg)
+      $ keep_going_arg $ max_errors_arg $ profile_arg $ trace_out_arg
+      $ chaos_arg)
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Compare the three inlining configurations")
     Term.(
       const report_run $ source_arg $ annot_arg $ keep_going_arg
-      $ max_errors_arg)
+      $ max_errors_arg $ chaos_arg)
 
 let explain_cmd =
   Cmd.v
@@ -445,14 +525,15 @@ let explain_cmd =
           and the complete blocker list for serial loops")
     Term.(
       const explain_run $ source_arg $ annot_arg $ mode_arg $ loop_arg
-      $ json_arg $ keep_going_arg $ max_errors_arg $ trace_out_arg)
+      $ json_arg $ keep_going_arg $ max_errors_arg $ trace_out_arg
+      $ chaos_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize then execute a program")
     Term.(
       const exec_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
       $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ chaos_arg)
 
 let check_cmd =
   Cmd.v
@@ -464,13 +545,14 @@ let check_cmd =
     Term.(
       const check_run $ source_arg $ annot_arg $ mode_arg $ threads_arg
       $ keep_going_arg $ max_errors_arg $ fuel_arg $ profile_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ chaos_arg)
 
-let bench_run name threads =
+let bench_run name threads chaos =
   match Perfect.Suite.find name with
   | None -> fail_cli "unknown benchmark %s" name
   | Some b -> (
       match
+        with_chaos chaos @@ fun () ->
         let row = Perfect.Experiment.table2_row b in
         Printf.printf "%s: %s\n" b.name b.description;
         let show label (c : Perfect.Experiment.mode_cells) =
@@ -494,12 +576,86 @@ let bench_run name threads =
           prerr_endline (Core.Diag.render d);
           exit 2)
 
+(* The fuzz gate: generate a deterministic corpus, push every program
+   through the salvaging pipeline with the oracle armed, and fail loudly
+   on any invariant violation.  Violating programs are dumped to
+   --dump-dir (when given) for CI artifact upload. *)
+let fuzz_run seed count mutate dump_dir =
+  if count <= 0 then fail_cli "--count must be positive";
+  let progress n =
+    if n mod 100 = 0 then Printf.eprintf "fuzz: %d/%d\n%!" n count
+  in
+  let s = Fuzz.Harness.run_corpus ~mutate ~progress ~seed ~count () in
+  Printf.printf
+    "fuzz: %d program(s) from seed %d%s: %d directive(s) validated, %d \
+     violation(s), corpus md5 %s\n"
+    s.s_total seed
+    (if mutate then " (mutated)" else "")
+    s.s_marked_total
+    (List.length s.s_violations)
+    s.s_digest;
+  match s.s_violations with
+  | [] -> ()
+  | vs ->
+      (match dump_dir with
+      | None -> ()
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          List.iter
+            (fun (sd, _) ->
+              let o = Fuzz.Harness.run_one ~mutate ~seed:sd () in
+              let path = Filename.concat dir (Printf.sprintf "seed-%d.f" sd) in
+              Perfect.Driver.write_file_atomic path o.Fuzz.Harness.o_source)
+            vs);
+      List.iter
+        (fun (sd, why) -> Printf.eprintf "fuzz: seed %d: %s\n" sd why)
+        vs;
+      exit 1
+
+let fuzz_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"S" ~doc:"First seed of the corpus.")
+
+let fuzz_count_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+
+let fuzz_mutate_arg =
+  Arg.(
+    value & flag
+    & info [ "mutate" ]
+        ~doc:
+          "Apply deterministic token-level damage to each program to \
+           exercise parser recovery (runtime crashes of salvaged programs \
+           are tolerated; races and divergence never are).")
+
+let fuzz_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-dir" ] ~docv:"DIR"
+        ~doc:"Write every violating program to $(docv)/seed-N.f.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate a deterministic corpus of F77 programs and enforce the \
+          crash-free gate: no exception escapes the structured diagnostic \
+          channel, and every emitted PARALLEL DO passes the race detector \
+          and the serial/parallel differential oracle")
+    Term.(
+      const fuzz_run $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_mutate_arg
+      $ fuzz_dump_arg)
+
 let bench_name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
 
 let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Run one PERFECT benchmark's experiments")
-    Term.(const bench_run $ bench_name_arg $ threads_arg)
+    Term.(const bench_run $ bench_name_arg $ threads_arg $ chaos_arg)
 
 let () =
   let info = Cmd.info "parinline" ~doc:"Annotation-based inlining for interprocedural parallelization" in
@@ -507,4 +663,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; report_cmd; explain_cmd; run_cmd; check_cmd;
-            bench_cmd ]))
+            bench_cmd; fuzz_cmd ]))

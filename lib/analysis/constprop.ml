@@ -92,6 +92,7 @@ let parameter_env (u : Ast.program_unit) =
 
 (** Run constant propagation over one unit. *)
 let run_unit (u : Ast.program_unit) =
+  Fault.point "analysis.constprop";
   let env0 = parameter_env u in
   { u with u_body = propagate_stmts u env0 u.u_body }
 

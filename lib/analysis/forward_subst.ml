@@ -127,6 +127,7 @@ and process_stmt u defs (s : Ast.stmt) : Ast.stmt * def list =
   | Ast.Return | Ast.Stop _ | Ast.Continue -> (s, defs)
 
 let run_unit (u : Ast.program_unit) =
+  Fault.point "analysis.forward_subst";
   { u with u_body = process_block u [] u.u_body }
 
 let run (p : Ast.program) = { Ast.p_units = List.map run_unit p.p_units }

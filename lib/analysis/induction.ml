@@ -149,5 +149,7 @@ let rec run_stmts u stmts =
       | _ -> [ s ])
     stmts
 
-let run_unit (u : Ast.program_unit) = { u with u_body = run_stmts u u.u_body }
+let run_unit (u : Ast.program_unit) =
+  Fault.point "analysis.induction";
+  { u with u_body = run_stmts u u.u_body }
 let run (p : Ast.program) = { Ast.p_units = List.map run_unit p.p_units }

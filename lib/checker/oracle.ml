@@ -116,7 +116,10 @@ let validate ?(threads = default_threads) ?fuel ?max_depth
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let run_guarded label f =
-    match f () with
+    match
+      Fault.point ("checker.oracle." ^ label);
+      f ()
+    with
     | r -> Some r
     | exception Value.Runtime_error m ->
         add
@@ -127,6 +130,22 @@ let validate ?(threads = default_threads) ?fuel ?max_depth
         add
           { d with Diag.d_message = Printf.sprintf
               "validation %s run trapped: %s" label d.Diag.d_message };
+        None
+    | exception Fault.Injected (site, n) ->
+        add
+          (Diag.make Diag.Exec
+             (Printf.sprintf
+                "validation %s run hit injected fault at %s (arrival %d)"
+                label site n));
+        None
+    | exception Pool.Worker_failure (l, e) ->
+        let bt = Printexc.get_raw_backtrace () in
+        add
+          (Diag.make
+             ~backtrace:(Printexc.raw_backtrace_to_string bt)
+             Diag.Exec
+             (Printf.sprintf "validation %s run lost worker (%s): %s" label l
+                (Printexc.to_string e)));
         None
   in
   let sink = Trace.create () in

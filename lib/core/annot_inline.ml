@@ -585,6 +585,7 @@ let import_commons program (caller : Ast.program_unit) stmts :
 let run ?(config = default_config) ?(robust = false)
     ~(annots : annotation list) (program : Ast.program) :
     Ast.program * stats =
+  Fault.point "inliner.annot";
   let stats = new_stats () in
   let find_annot name =
     List.find_opt (fun a -> String.equal a.an_name name) annots
@@ -610,6 +611,7 @@ let run ?(config = default_config) ?(robust = false)
                  && find_annot name <> None -> (
               let annot = Option.get (find_annot name) in
               try
+                Fault.point "inliner.annot.site";
                 let body, decls =
                   Span.span ~cat:"inline" ~unit_:u.u_name
                     ("annot-site:" ^ name) (fun () ->

@@ -1,0 +1,8 @@
+(** Pipeline-level name for the fault-injection registry.
+
+    The single source of truth is {!Frontend.Fault} (the lexer, the
+    analysis passes and the dependence tester host fault points from
+    below [core]); this module is a pure re-export shim so the pipeline,
+    the suite driver and the CLI can keep saying [Core.Fault]. *)
+
+include Frontend.Fault

@@ -159,15 +159,25 @@ let run_source ?prof ?par_config ?inline_config ?annot_config ~mode
 (* Fault-isolated pipeline: every pass runs behind a per-unit barrier
    so one sick unit degrades locally instead of killing the program. *)
 
+(* Every salvage barrier captures the raw backtrace first thing in its
+   handler (before any allocation can clobber it): collector control
+   flow is re-raised with the original trace preserved, and salvage
+   diagnostics carry the rendered trace in their payload. *)
+let reraise e = Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
+
+let bt_string () =
+  Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+
 (* Run [f] on [u]; on an unexpected exception keep the pre-pass unit and
    record a warning attributed to [pass].  [Error_limit] is the
    collector's own control flow and must not be swallowed. *)
 let guard_unit dg ~code ~pass (u : Ast.program_unit)
     (f : Ast.program_unit -> Ast.program_unit) : Ast.program_unit =
   try f u with
-  | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+  | (Diag.Error_limit _ | Diag.Fatal _) as e -> reraise e
   | e ->
-      Diag.warn dg ~unit_:u.Ast.u_name code
+      let backtrace = bt_string () in
+      Diag.warn dg ~unit_:u.Ast.u_name ~backtrace code
         "%s crashed on unit %s (%s); pass skipped for this unit" pass
         u.Ast.u_name (Printexc.to_string e);
       u
@@ -216,9 +226,10 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
       let p', st = Inliner.Inline.run ~config:inline_config p in
       (p', Some st)
     with
-    | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+    | (Diag.Error_limit _ | Diag.Fatal _) as e -> reraise e
     | e ->
-        Diag.warn dg Diag.Inline
+        let backtrace = bt_string () in
+        Diag.warn dg ~backtrace Diag.Inline
           "conventional inlining failed (%s); continuing without inlining"
           (Printexc.to_string e);
         (p, None)
@@ -243,9 +254,10 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
                   callee caller why)
               st.Annot_inline.failed;
             (p, None, Some st)
-        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> reraise e
         | exception e ->
-            Diag.warn dg Diag.Annot
+            let backtrace = bt_string () in
+            Diag.warn dg ~backtrace Diag.Annot
               "annotation-based inlining failed (%s); falling back to \
                conventional inlining"
               (Printexc.to_string e);
@@ -260,9 +272,10 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
         Parallelizer.Parallelize.S.empty
       else
         try Parallelizer.Purity.pure_functions program with
-        | (Diag.Error_limit _ | Diag.Fatal _) as e -> raise e
+        | (Diag.Error_limit _ | Diag.Fatal _) as e -> reraise e
         | e ->
-            Diag.warn dg Diag.Parallel
+            let backtrace = bt_string () in
+            Diag.warn dg ~backtrace Diag.Parallel
               "purity analysis failed (%s); treating all functions as impure"
               (Printexc.to_string e);
             Parallelizer.Parallelize.S.empty
@@ -273,9 +286,10 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
           match Parallelizer.Parallelize.run_unit ~config:par_config ~pure u
           with
           | u', r -> (u' :: us, rs @ r)
-          | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+          | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> reraise e
           | exception e ->
-              Diag.warn dg ~unit_:u.Ast.u_name Diag.Parallel
+              let backtrace = bt_string () in
+              Diag.warn dg ~unit_:u.Ast.u_name ~backtrace Diag.Parallel
                 "parallelizer crashed on unit %s (%s); unit left serial"
                 u.Ast.u_name (Printexc.to_string e);
               (u :: us, rs))
@@ -302,9 +316,10 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
                 "%d unified actual(s) disagree with recorded actuals"
                 st.Reverse.extracted_mismatch;
             (p, Some st)
-        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> raise e
+        | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> reraise e
         | exception e ->
-            Diag.warn dg Diag.Reverse
+            let backtrace = bt_string () in
+            Diag.warn dg ~backtrace Diag.Reverse
               "reverse inlining failed (%s); inlined regions kept"
               (Printexc.to_string e);
             (program, None))

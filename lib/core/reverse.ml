@@ -371,6 +371,7 @@ let normalize_template (u : Ast.program_unit) (stmts : Ast.stmt list) :
 (** Reverse all tagged regions in the program. *)
 let run ~(cfg : Annot_inline.config) ~(annots : annotation list)
     (program : Ast.program) : Ast.program * stats =
+  Fault.point "core.reverse";
   let stats = new_stats () in
   let process_unit (u : Ast.program_unit) =
     let rec walk stmts =

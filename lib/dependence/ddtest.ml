@@ -304,6 +304,9 @@ let may_carry_why ctx ra rb =
       Prof.tick_dep_test ~independent:(not r) ~cached:true;
       cached
   | None ->
+      (* fault point on the miss path only, and before [Memo.add]: an
+         injected failure must never pollute the (cross-config) cache *)
+      Fault.point "dependence.ddtest";
       let ((r, _) as result) =
         Span.span ~cat:"ddtest" ~unit_:ctx.Ctx.cunit.Ast.u_name
           ~loop:ctx.Ctx.candidate.Ast.loop_id "dep-test" (fun () ->

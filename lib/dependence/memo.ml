@@ -150,6 +150,7 @@ let intern tbl key =
     same identifier typing) map to the same id. *)
 let intern_aref (u : Ast.program_unit) (index : Ast.expr list)
     (inner : (string * Ast.expr * Ast.expr) list) : int =
+  Fault.point "dependence.memo.intern";
   let bounds =
     List.concat_map (fun (_, lo, hi) -> [ lo; hi ]) inner
   in

@@ -21,6 +21,7 @@ type code =
   | Parallel  (** parallelizer *)
   | Trap  (** runtime guard: fuel, call depth *)
   | Exec  (** interpreter / worker-pool failure *)
+  | Timeout  (** pool watchdog: a job exceeded its deadline *)
   | Race  (** validation oracle: unexcused cross-iteration conflict *)
   | Verify  (** output-comparison harness / differential checker *)
   | Io  (** file system *)
@@ -36,6 +37,9 @@ type t = {
       (** owning program unit / routine (drivers may prefix the
           benchmark, e.g. ["MDG:INTERF"]); rendered before the location *)
   d_message : string;
+  d_backtrace : string option;
+      (** raw backtrace captured where the underlying exception was
+          caught (salvage barriers); rendered only on request *)
 }
 
 exception Fatal of t
@@ -52,6 +56,7 @@ let code_name = function
   | Parallel -> "parallel"
   | Trap -> "trap"
   | Exec -> "exec"
+  | Timeout -> "timeout"
   | Race -> "race"
   | Verify -> "verify"
   | Io -> "io"
@@ -64,13 +69,14 @@ let severity_name = function
 
 let loc ?(col = 0) line = { l_line = line; l_col = col }
 
-let make ?(severity = Error) ?loc ?unit_ code message =
+let make ?(severity = Error) ?loc ?unit_ ?backtrace code message =
   {
     d_severity = severity;
     d_code = code;
     d_loc = loc;
     d_unit = unit_;
     d_message = message;
+    d_backtrace = backtrace;
   }
 
 (** [fatal ?loc code fmt ...] raises {!Fatal} with a formatted message. *)
@@ -124,12 +130,12 @@ let emit dg (d : t) =
   if d.d_severity = Error && dg.n_errors >= dg.max_errors then
     raise (Error_limit dg.n_errors)
 
-let error dg ?loc ?unit_ code fmt =
-  Printf.ksprintf (fun s -> emit dg (make ?loc ?unit_ code s)) fmt
+let error dg ?loc ?unit_ ?backtrace code fmt =
+  Printf.ksprintf (fun s -> emit dg (make ?loc ?unit_ ?backtrace code s)) fmt
 
-let warn dg ?loc ?unit_ code fmt =
+let warn dg ?loc ?unit_ ?backtrace code fmt =
   Printf.ksprintf
-    (fun s -> emit dg (make ~severity:Warning ?loc ?unit_ code s))
+    (fun s -> emit dg (make ~severity:Warning ?loc ?unit_ ?backtrace code s))
     fmt
 
 let note dg ?loc ?unit_ code fmt =
@@ -142,11 +148,14 @@ let error_count dg = dg.n_errors
 let warning_count dg = dg.n_warnings
 
 (** Convert an arbitrary exception into a diagnostic (fault barriers wrap
-    passes whose failure modes we cannot enumerate). *)
-let of_exn ?(severity = Error) code (e : exn) : t =
+    passes whose failure modes we cannot enumerate).  [backtrace], when
+    given, is the raw backtrace captured at the same catch. *)
+let of_exn ?(severity = Error) ?backtrace code (e : exn) : t =
   match e with
-  | Fatal d -> { d with d_severity = severity }
-  | e -> make ~severity code (Printexc.to_string e)
+  | Fatal d ->
+      let d = { d with d_severity = severity } in
+      if d.d_backtrace = None then { d with d_backtrace = backtrace } else d
+  | e -> make ~severity ?backtrace code (Printexc.to_string e)
 
 let render_all (ds : t list) =
   String.concat "" (List.map (fun d -> render d ^ "\n") ds)

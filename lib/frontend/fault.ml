@@ -1,0 +1,358 @@
+(** Deterministic fault injection for chaos testing.
+
+    Every layer that can fail exposes a named *fault point* — a call to
+    {!point}, {!check} or {!stall} with a stable dotted site name
+    ([layer.component\[.detail\]], e.g. ["dependence.ddtest"],
+    ["runtime.pool.chunk"]).  With no plan armed these calls are a single
+    uncontended atomic load and a branch, the same zero-cost-when-off
+    contract as {!Prof}, {!Span} and the runtime tracer, so production
+    paths pay nothing.
+
+    A {!plan} is parsed from a seeded schedule spec ([SEED\[:RULES\]],
+    see {!parse_spec}) and armed with {!with_plan} for a dynamic extent.
+    Rules are deterministic: "trip the Nth arrival at site X", "trip
+    every Kth arrival", or a per-arrival probability decided by a
+    splitmix64 hash of (seed, site, arrival) — no hidden RNG state, so
+    the same spec over the same work trips the same faults, regardless
+    of domain interleaving (arrival counters are shared across domains
+    under a mutex; probability draws depend only on the arrival number).
+
+    Faults surface as {!Injected} (registered with a readable printer)
+    or, at sites with their own structured failure channel, via {!check}
+    — the parser converts a tripped check into [Diag.Fatal] so its
+    recovery loop exercises the real salvage path, and the interpreter
+    converts one into a fuel-style trap. *)
+
+type trigger =
+  | Nth of int  (** fire on exactly the [n]th arrival (1-based) *)
+  | Every of int  (** fire on every [k]th arrival *)
+  | Prob of float  (** fire each arrival with probability [p] *)
+
+type action =
+  | Raise  (** raise {!Injected} (or make {!check} return [true]) *)
+  | Stall of float  (** report a stall of this many seconds at {!stall} *)
+
+type rule = { r_site : string; r_trigger : trigger; r_action : action }
+(** [r_site] is an exact site name, or a prefix when it ends in [*]
+    (["dependence.*"], or bare ["*"] for every site). *)
+
+(** One fault that actually fired, for post-run reporting. *)
+type fired = { f_site : string; f_arrival : int; f_stalled : bool }
+
+type plan = {
+  p_seed : int;
+  p_rules : rule list;
+  p_spec : string;  (** the spec string the plan was parsed from *)
+  p_m : Mutex.t;
+  p_arrivals : (string, int ref) Hashtbl.t;
+  mutable p_fired : fired list;  (** newest first *)
+}
+
+exception Injected of string * int
+(** [Injected (site, arrival)]: the fault tripped at [site] on its
+    [arrival]th visit.  Classified transient by the pool's retry logic. *)
+
+let () =
+  Printexc.register_printer (function
+    | Injected (site, n) ->
+        Some (Printf.sprintf "injected fault at site %s (arrival %d)" site n)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The armed plan, if any.  A single global slot (not domain-local): the
+   suite driver's worker domains must see the plan armed by the caller,
+   and fault points are rare enough under chaos that the plan mutex is
+   uncontended in practice. *)
+let installed : plan option Atomic.t = Atomic.make None
+
+let on () = Atomic.get installed <> None
+
+(** Arm [pl] for the duration of [f], restoring the previous plan
+    afterwards (exceptions included).  Not reentrant across domains:
+    arm from the control domain only. *)
+let with_plan (pl : plan) (f : unit -> 'a) : 'a =
+  let prev = Atomic.get installed in
+  Atomic.set installed (Some pl);
+  Fun.protect ~finally:(fun () -> Atomic.set installed prev) f
+
+let with_opt (pl : plan option) (f : unit -> 'a) : 'a =
+  match pl with None -> f () | Some pl -> with_plan pl f
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic probability draws                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64 finalizer: a well-mixed 64-bit hash, self-contained so
+   draws are stable across OCaml versions (no Hashtbl.hash). *)
+let mix64 (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let fnv1a (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001b3L)
+    s;
+  !h
+
+(* Uniform draw in [0,1) from (seed, site, arrival), order-independent. *)
+let u01 ~seed ~site ~arrival =
+  let z =
+    Int64.add
+      (Int64.logxor (fnv1a site) (Int64.of_int (seed * 0x9e3779b9)))
+      (Int64.of_int (arrival * 0x85ebca6b))
+  in
+  Int64.to_float (Int64.shift_right_logical (mix64 z) 11) /. 9007199254740992.0
+
+(* ------------------------------------------------------------------ *)
+(* Firing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let site_matches pattern site =
+  if String.equal pattern "*" then true
+  else if String.length pattern > 0
+          && pattern.[String.length pattern - 1] = '*' then
+    let prefix = String.sub pattern 0 (String.length pattern - 1) in
+    String.length site >= String.length prefix
+    && String.equal (String.sub site 0 (String.length prefix)) prefix
+  else String.equal pattern site
+
+let trigger_fires trig ~seed ~site ~arrival =
+  match trig with
+  | Nth k -> arrival = k
+  | Every k -> k > 0 && arrival mod k = 0
+  | Prob p -> u01 ~seed ~site ~arrival < p
+
+(* Count the arrival and return the first matching rule's action, if the
+   rule's action kind is admissible for this query ([stall_ok] selects
+   Stall rules, its negation Raise rules — a stall-only site ignores
+   Raise rules and vice versa, so one global rule cannot demand a sleep
+   from a layer that cannot sleep). *)
+let decide pl site ~stall_ok =
+  Mutex.lock pl.p_m;
+  let r =
+    match Hashtbl.find_opt pl.p_arrivals site with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace pl.p_arrivals site r;
+        r
+  in
+  incr r;
+  let arrival = !r in
+  let admissible ru =
+    match ru.r_action with Stall _ -> stall_ok | Raise -> not stall_ok
+  in
+  let rec scan = function
+    | [] -> None
+    | ru :: tl ->
+        if admissible ru
+           && site_matches ru.r_site site
+           && trigger_fires ru.r_trigger ~seed:pl.p_seed ~site ~arrival
+        then Some ru.r_action
+        else scan tl
+  in
+  let act = scan pl.p_rules in
+  (match act with
+  | Some a ->
+      pl.p_fired <-
+        { f_site = site; f_arrival = arrival; f_stalled = a <> Raise }
+        :: pl.p_fired
+  | None -> ());
+  Mutex.unlock pl.p_m;
+  (act, arrival)
+
+(** Fault point: raises {!Injected} when the armed plan trips here. *)
+let point (site : string) : unit =
+  match Atomic.get installed with
+  | None -> ()
+  | Some pl -> (
+      match decide pl site ~stall_ok:false with
+      | Some Raise, n ->
+          Prof.tick_fault_injected ();
+          raise (Injected (site, n))
+      | _ -> ())
+
+(** Fault point for sites with their own structured failure channel:
+    returns [true] when tripped; the caller raises its native error
+    (e.g. [Diag.Fatal] in the parser, a trap in the interpreter). *)
+let check (site : string) : bool =
+  match Atomic.get installed with
+  | None -> false
+  | Some pl -> (
+      match decide pl site ~stall_ok:false with
+      | Some Raise, _ ->
+          Prof.tick_fault_injected ();
+          true
+      | _ -> false)
+
+(** Stall point: seconds the caller should sleep to simulate a hung
+    worker ([0.] when not tripped).  The sleep itself happens in the
+    caller — this layer has no [Unix]. *)
+let stall (site : string) : float =
+  match Atomic.get installed with
+  | None -> 0.0
+  | Some pl -> (
+      match decide pl site ~stall_ok:true with
+      | Some (Stall s), _ ->
+          Prof.tick_fault_injected ();
+          s
+      | _ -> 0.0)
+
+(* ---- readers ---- *)
+
+(** Faults that fired, in firing order. *)
+let fired (pl : plan) = List.rev pl.p_fired
+
+let fired_count (pl : plan) = List.length pl.p_fired
+let spec (pl : plan) = pl.p_spec
+let seed (pl : plan) = pl.p_seed
+
+(** One-line post-run summary, e.g.
+    ["chaos seed 7: 3 faults fired (dependence.ddtest x2, inliner.annot x1)"]. *)
+let summary (pl : plan) =
+  let by_site = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt by_site f.f_site with
+      | Some r -> incr r
+      | None ->
+          Hashtbl.replace by_site f.f_site (ref 1);
+          order := f.f_site :: !order)
+    (fired pl);
+  let parts =
+    List.rev_map
+      (fun s -> Printf.sprintf "%s x%d" s !(Hashtbl.find by_site s))
+      !order
+  in
+  let n = fired_count pl in
+  Printf.sprintf "chaos seed %d: %d fault%s fired%s" pl.p_seed n
+    (if n = 1 then "" else "s")
+    (if parts = [] then "" else " (" ^ String.concat ", " parts ^ ")")
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Grammar (documented in DESIGN.md):
+
+     SPEC  := SEED [':' RULE (',' RULE)*]
+     RULE  := SITE '=' TRIG ['~' MILLIS]
+     TRIG  := INT            exactly the INTth arrival
+            | '*' INT        every INTth arrival
+            | FLOAT '%'      probability per arrival
+
+   A bare SEED means the default background schedule: 0.5% probability
+   at every site.  '~MILLIS' turns the rule into a stall (honored only
+   at stall-capable sites). *)
+
+let default_rules = [ { r_site = "*"; r_trigger = Prob 0.005; r_action = Raise } ]
+
+let parse_rule (s : string) : (rule, string) result =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "rule %S: expected SITE=TRIGGER" s)
+  | Some i -> (
+      let site = String.sub s 0 i in
+      let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+      if site = "" then Error (Printf.sprintf "rule %S: empty site" s)
+      else
+        let trig_s, stall_ms =
+          match String.index_opt rhs '~' with
+          | None -> (rhs, None)
+          | Some j ->
+              ( String.sub rhs 0 j,
+                Some (String.sub rhs (j + 1) (String.length rhs - j - 1)) )
+        in
+        let trigger =
+          if trig_s = "" then Error (Printf.sprintf "rule %S: empty trigger" s)
+          else if trig_s.[0] = '*' then
+            match
+              int_of_string_opt (String.sub trig_s 1 (String.length trig_s - 1))
+            with
+            | Some k when k > 0 -> Ok (Every k)
+            | _ -> Error (Printf.sprintf "rule %S: bad period" s)
+          else if trig_s.[String.length trig_s - 1] = '%' then
+            match
+              float_of_string_opt
+                (String.sub trig_s 0 (String.length trig_s - 1))
+            with
+            | Some p when p >= 0.0 && p <= 100.0 -> Ok (Prob (p /. 100.0))
+            | _ -> Error (Printf.sprintf "rule %S: bad probability" s)
+          else
+            match int_of_string_opt trig_s with
+            | Some n when n > 0 -> Ok (Nth n)
+            | _ -> Error (Printf.sprintf "rule %S: bad arrival number" s)
+        in
+        match trigger with
+        | Error e -> Error e
+        | Ok trig -> (
+            match stall_ms with
+            | None -> Ok { r_site = site; r_trigger = trig; r_action = Raise }
+            | Some ms -> (
+                match float_of_string_opt ms with
+                | Some v when v >= 0.0 ->
+                    Ok
+                      {
+                        r_site = site;
+                        r_trigger = trig;
+                        r_action = Stall (v /. 1000.0);
+                      }
+                | _ -> Error (Printf.sprintf "rule %S: bad stall millis" s))))
+
+(** Parse [SEED\[:RULES\]] into a plan.  [Error] carries a usage
+    message; the CLI renders it as a [Diag.Cli] diagnostic. *)
+let parse_spec (s : string) : (plan, string) result =
+  let seed_s, rules_s =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  match int_of_string_opt (String.trim seed_s) with
+  | None -> Error (Printf.sprintf "chaos spec %S: expected SEED[:RULES]" s)
+  | Some seed -> (
+      let rules =
+        match rules_s with
+        | None | Some "" -> Ok default_rules
+        | Some rs ->
+            List.fold_left
+              (fun acc r ->
+                match (acc, parse_rule (String.trim r)) with
+                | Error e, _ -> Error e
+                | _, Error e -> Error e
+                | Ok acc, Ok ru -> Ok (ru :: acc))
+              (Ok [])
+              (String.split_on_char ',' rs)
+            |> Result.map List.rev
+      in
+      match rules with
+      | Error e -> Error e
+      | Ok p_rules ->
+          Ok
+            {
+              p_seed = seed;
+              p_rules;
+              p_spec = s;
+              p_m = Mutex.create ();
+              p_arrivals = Hashtbl.create 32;
+              p_fired = [];
+            })
+
+(** A plan built directly from rules (tests). *)
+let plan_of_rules ?(seed = 0) rules =
+  {
+    p_seed = seed;
+    p_rules = rules;
+    p_spec = Printf.sprintf "%d:<rules>" seed;
+    p_m = Mutex.create ();
+    p_arrivals = Hashtbl.create 32;
+    p_fired = [];
+  }

@@ -281,7 +281,11 @@ let logical_lines ?(dg : Diag.collector option) source =
     (fun (lineno, text) ->
       if String.trim text = "" then None
       else
-        match tokenize_line lineno text with
+        match
+          if Fault.check "frontend.lexer.line" then
+            error ~line:lineno ~col:0 "injected fault at frontend.lexer.line";
+          tokenize_line lineno text
+        with
         | [] -> None
         | TINT label :: rest when rest <> [] ->
             Some { label = Some label; tokens = rest; lineno }

@@ -358,6 +358,10 @@ let pending_labels () = Domain.DLS.get pending_labels_slot
 (* Parse a statement from the tokens of one line; block constructs continue
    consuming lines from [ps]. *)
 let rec parse_stmt ps (line : Lexer.line) : Ast.stmt =
+  (* chaos: a tripped statement fault takes the native [Diag.Fatal]
+     channel so the recovery loops exercise the real salvage path *)
+  if Fault.check "frontend.parser.stmt" then
+    perr ~line:line.lineno "injected fault at frontend.parser.stmt";
   match line.tokens with
   | TID "DO" :: TINT label :: rest -> parse_do ps line (Some label) rest
   | TID "DO" :: rest -> parse_do ps line None rest
@@ -603,6 +607,10 @@ let parse_param_names (line : Lexer.line) st =
 
 let parse_unit ps : Ast.program_unit =
   let header = next_line ps in
+  (* after the header is consumed, so unit-level recovery resyncs
+     forward instead of retrying the same header *)
+  if Fault.check "frontend.parser.unit" then
+    perr ~line:header.lineno "injected fault at frontend.parser.unit";
   let kind, name, params =
     match header.tokens with
     | TID "PROGRAM" :: TID n :: [] -> (Ast.Main, n, [])

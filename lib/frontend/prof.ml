@@ -39,6 +39,8 @@ type counters = {
       (** cross-iteration conflicts the race detector witnessed *)
   mutable race_excused : int;
       (** of those, conflicts excused by PRIVATE/REDUCTION clauses *)
+  mutable faults_injected : int;
+      (** chaos faults fired ([Fault]); 0 whenever no plan is armed *)
 }
 
 type t = {
@@ -61,6 +63,7 @@ let create () =
         iterations_traced = 0;
         race_conflicts = 0;
         race_excused = 0;
+        faults_injected = 0;
       };
     passes = [];
   }
@@ -151,6 +154,12 @@ let tick_race_conflict ~excused =
       p.c.race_conflicts <- p.c.race_conflicts + 1;
       if excused then p.c.race_excused <- p.c.race_excused + 1
 
+(** One chaos fault fired by [Fault] under the calling domain's profile. *)
+let tick_fault_injected () =
+  match current () with
+  | None -> ()
+  | Some p -> p.c.faults_injected <- p.c.faults_injected + 1
+
 (* ---- readers ---- *)
 
 (** Accumulated pass timings in milliseconds, pipeline order. *)
@@ -175,6 +184,7 @@ let snapshot (p : t) : counters =
     iterations_traced = p.c.iterations_traced;
     race_conflicts = p.c.race_conflicts;
     race_excused = p.c.race_excused;
+    faults_injected = p.c.faults_injected;
   }
 
 (** Multi-line report: pass timings in pipeline order plus the work
@@ -201,4 +211,8 @@ let render (p : t) =
       (Printf.sprintf
          "oracle: %d iterations traced; %d conflicts (%d excused by clause)\n"
          c.iterations_traced c.race_conflicts c.race_excused);
+  if c.faults_injected > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "chaos: %d fault%s injected\n" c.faults_injected
+         (if c.faults_injected = 1 then "" else "s"));
   Buffer.contents b

@@ -1,0 +1,341 @@
+(** Grammar-driven F77 program generator for the crash-free fuzz gate.
+
+    Emits programs over exactly the subset the frontend supports (counted
+    [DO]/[ENDDO] loops, block [IF], [CALL]/[FUNCTION], [COMMON],
+    [PRINT]), drawn from a small grammar of loop-nest shapes the
+    parallelizer and the inliners care about: maps, carried dependences,
+    reductions, privatizable temporaries, guarded updates, 2-D nests,
+    and calls-inside-loops (the paper's inlining fodder).
+
+    Two invariants make every *valid* program safe to execute under the
+    oracle: all subscripts stay inside the declared bounds by
+    construction (loops run over [2 .. hi <= 11] with offsets of at most
+    one against arrays of size {!dim}), and every read location is
+    initialized by the fixed prologue.  So a generated program that
+    parses must run to completion — any interpreter crash or oracle
+    violation is a real bug, not fuzz noise.
+
+    Generation is a pure function of the seed: the PRNG is a
+    self-contained splitmix64 (no [Stdlib.Random], whose sequence may
+    change across OCaml releases), so the same seed reproduces the same
+    corpus byte-for-byte on any build.  {!source_mutated} additionally
+    applies token-level damage to exercise the parser's recovery. *)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic PRNG (splitmix64)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let golden = 0x9e3779b97f4a7c15L
+
+  let mix64 (z : int64) : int64 =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+
+  let create seed = { s = mix64 (Int64.of_int (seed * 2 + 1)) }
+
+  let next r =
+    r.s <- Int64.add r.s golden;
+    mix64 r.s
+
+  (** Uniform in [0, n). *)
+  let int r n =
+    if n <= 1 then 0 else Int64.to_int (next r) land max_int mod n
+
+  let pick r l = List.nth l (int r (List.length l))
+  let chance r percent = int r 100 < percent
+end
+
+(* ------------------------------------------------------------------ *)
+(* Program shapes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dim = 16
+
+(* Loop header over [2 .. hi]: lo of 2 keeps an [i-1] subscript at >= 1,
+   hi of at most 11 keeps [i+1] at <= 12 < dim; trips of 4..9 clear the
+   parallelizer's min_trip threshold. *)
+let loop_bounds rng =
+  let trip = 4 + Rng.int rng 6 in
+  (2, 2 + trip - 1)
+
+let arrays = [ "A"; "B"; "C" ]
+
+(* A safe element reference of [arr] around index var [iv]. *)
+let elem rng arr iv =
+  match Rng.int rng 4 with
+  | 0 -> Printf.sprintf "%s(%s-1)" arr iv
+  | 1 -> Printf.sprintf "%s(%s+1)" arr iv
+  | _ -> Printf.sprintf "%s(%s)" arr iv
+
+let coef rng = Rng.pick rng [ "0.5"; "2.0"; "0.25"; "1.5"; "3.0" ]
+
+(* A side-effect-free real-valued expression reading arrays/scalars. *)
+let rec expr rng depth iv =
+  if depth <= 0 then atom rng iv
+  else
+    match Rng.int rng 5 with
+    | 0 -> Printf.sprintf "%s + %s" (expr rng (depth - 1) iv) (atom rng iv)
+    | 1 -> Printf.sprintf "%s - %s" (atom rng iv) (expr rng (depth - 1) iv)
+    | 2 -> Printf.sprintf "%s * %s" (atom rng iv) (coef rng)
+    | 3 -> Printf.sprintf "ABS(%s)" (expr rng (depth - 1) iv)
+    | _ ->
+        Printf.sprintf "MAX(%s, %s)" (atom rng iv) (expr rng (depth - 1) iv)
+
+and atom rng iv =
+  match Rng.int rng 4 with
+  | 0 -> coef rng
+  | 1 -> Printf.sprintf "FLOAT(%s)" iv
+  | _ -> elem rng (Rng.pick rng arrays) iv
+
+(* One compute block.  Returns the lines (6-space indented) and a flag
+   set when the block contains a CALL that wants the callee emitted. *)
+type block_out = { lines : string list; wants_sub : bool; wants_fn : bool }
+
+let map_block rng =
+  let lo, hi = loop_bounds rng in
+  let dst = Rng.pick rng arrays in
+  let body = Printf.sprintf "        %s(I) = %s" dst (expr rng 2 "I") in
+  {
+    lines =
+      [ Printf.sprintf "      DO I = %d, %d" lo hi; body; "      ENDDO" ];
+    wants_sub = false;
+    wants_fn = false;
+  }
+
+let carried_block rng =
+  let lo, hi = loop_bounds rng in
+  let dst = Rng.pick rng arrays in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        %s(I) = %s(I-1) + %s" dst dst (atom rng "I");
+        "      ENDDO";
+      ];
+    wants_sub = false;
+    wants_fn = false;
+  }
+
+let reduction_block rng =
+  let lo, hi = loop_bounds rng in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        S = S + %s" (expr rng 1 "I");
+        "      ENDDO";
+      ];
+    wants_sub = false;
+    wants_fn = false;
+  }
+
+let private_block rng =
+  let lo, hi = loop_bounds rng in
+  let dst = Rng.pick rng arrays in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        T = %s" (expr rng 1 "I");
+        Printf.sprintf "        %s(I) = T + %s" dst (coef rng);
+        "      ENDDO";
+      ];
+    wants_sub = false;
+    wants_fn = false;
+  }
+
+let guarded_block rng =
+  let lo, hi = loop_bounds rng in
+  let dst = Rng.pick rng arrays in
+  let src = Rng.pick rng arrays in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        IF (%s(I) .GT. %s) THEN" src (coef rng);
+        Printf.sprintf "          %s(I) = %s(I) * 0.5" dst src;
+        "        ELSE";
+        Printf.sprintf "          %s(I) = %s" dst (coef rng);
+        "        ENDIF";
+        "      ENDDO";
+      ];
+    wants_sub = false;
+    wants_fn = false;
+  }
+
+let nest2d_block rng =
+  let lo, hi = loop_bounds rng in
+  let lo2, hi2 = loop_bounds rng in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        DO J = %d, %d" lo2 hi2;
+        Printf.sprintf "          M(I,J) = M(I,J) + %s * %s"
+          (elem rng (Rng.pick rng arrays) "I")
+          (elem rng (Rng.pick rng arrays) "J");
+        "        ENDDO";
+        "      ENDDO";
+      ];
+    wants_sub = false;
+    wants_fn = false;
+  }
+
+(* CALL inside a loop: the conventional inliner's target shape.  The
+   callee writes X(I) from Y(I), so post-inlining the loop is a map. *)
+let call_block rng =
+  let lo, hi = loop_bounds rng in
+  let x = Rng.pick rng arrays in
+  let y = Rng.pick rng (List.filter (fun a -> a <> x) arrays) in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        CALL SFILL(%s, %s, I)" x y;
+        "      ENDDO";
+      ];
+    wants_sub = true;
+    wants_fn = false;
+  }
+
+let fn_block rng =
+  let lo, hi = loop_bounds rng in
+  let dst = Rng.pick rng arrays in
+  let src = Rng.pick rng (List.filter (fun a -> a <> dst) arrays) in
+  {
+    lines =
+      [
+        Printf.sprintf "      DO I = %d, %d" lo hi;
+        Printf.sprintf "        %s(I) = FMA1(%s(I), %s)" dst src (coef rng);
+        "      ENDDO";
+      ];
+    wants_sub = false;
+    wants_fn = true;
+  }
+
+let block_kinds =
+  [
+    map_block;
+    map_block;
+    carried_block;
+    reduction_block;
+    private_block;
+    guarded_block;
+    nest2d_block;
+    call_block;
+    fn_block;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prologue =
+  [
+    Printf.sprintf "      REAL A(%d), B(%d), C(%d)" dim dim dim;
+    Printf.sprintf "      REAL M(%d,%d)" dim dim;
+    "      REAL S, T";
+    "      INTEGER I, J";
+    "      S = 0.0";
+    "      T = 0.0";
+    Printf.sprintf "      DO I = 1, %d" dim;
+    "        A(I) = FLOAT(I) * 0.5";
+    "        B(I) = 8.0 - FLOAT(I) * 0.25";
+    "        C(I) = 1.0";
+    Printf.sprintf "        DO J = 1, %d" dim;
+    "          M(I,J) = FLOAT(I) + FLOAT(J)";
+    "        ENDDO";
+    "      ENDDO";
+  ]
+
+let epilogue =
+  [
+    "      PRINT *, S";
+    "      PRINT *, A(3), B(7), C(11)";
+    "      PRINT *, M(2,5)";
+  ]
+
+let sfill_unit =
+  [
+    "      SUBROUTINE SFILL(X, Y, I)";
+    Printf.sprintf "      REAL X(%d), Y(%d)" dim dim;
+    "      INTEGER I";
+    "      X(I) = Y(I) * 2.0 + 1.0";
+    "      END";
+  ]
+
+let fma1_unit =
+  [
+    "      REAL FUNCTION FMA1(U, V)";
+    "      REAL U, V";
+    "      FMA1 = U * V + 1.0";
+    "      END";
+  ]
+
+(** The program for [seed], as source text.  Pure in the seed. *)
+let source ~seed : string =
+  let rng = Rng.create seed in
+  let n_blocks = 2 + Rng.int rng 3 in
+  let blocks = List.init n_blocks (fun _ -> (Rng.pick rng block_kinds) rng) in
+  let wants_sub = List.exists (fun b -> b.wants_sub) blocks in
+  let wants_fn = List.exists (fun b -> b.wants_fn) blocks in
+  let main =
+    ("      PROGRAM FZMAIN" :: prologue)
+    @ List.concat_map (fun b -> b.lines) blocks
+    @ epilogue @ [ "      END" ]
+  in
+  let units =
+    [ main ]
+    @ (if wants_sub then [ sfill_unit ] else [])
+    @ if wants_fn then [ fma1_unit ] else []
+  in
+  String.concat "\n" (List.concat units) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Mutations (parser-recovery fuzzing)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Token-level damage over the rendered text: the salvaged program may
+   compute anything, so callers tolerate oracle "crashed" outcomes in
+   this mode; the contract under test is crash-free parsing/recovery
+   plus race/divergence-free directives on whatever survives. *)
+let mutate_once rng lines =
+  let n = List.length lines in
+  if n = 0 then lines
+  else
+    let victim = Rng.int rng n in
+    List.concat
+      (List.mapi
+         (fun i l ->
+           if i <> victim then [ l ]
+           else
+             match Rng.int rng 5 with
+             | 0 -> [] (* drop the line *)
+             | 1 -> [ l; l ] (* duplicate it *)
+             | 2 ->
+                 (* truncate at a random column *)
+                 [ String.sub l 0 (Rng.int rng (max 1 (String.length l))) ]
+             | 3 -> [ l ^ " ((" ] (* trailing garbage *)
+             | _ ->
+                 (* smash one character *)
+                 if String.length l = 0 then [ l ]
+                 else
+                   let b = Bytes.of_string l in
+                   Bytes.set b
+                     (Rng.int rng (Bytes.length b))
+                     (Rng.pick rng [ '('; ')'; ','; '='; 'Q' ]);
+                   [ Bytes.to_string b ])
+         lines)
+
+(** [source ~seed] with 1-3 deterministic token-level mutations. *)
+let source_mutated ~seed : string =
+  let rng = Rng.create (seed lxor 0x5eed) in
+  let lines = String.split_on_char '\n' (source ~seed) in
+  let n_mut = 1 + Rng.int rng 3 in
+  let rec go k lines = if k = 0 then lines else go (k - 1) (mutate_once rng lines) in
+  String.concat "\n" (go n_mut lines)

@@ -335,6 +335,7 @@ let inline_call cfg stats (caller : Ast.program_unit)
 
 let run ?(config = default_config) (program : Ast.program) :
     Ast.program * stats =
+  Fault.point "inliner.inline";
   let stats = new_stats () in
   let process_unit (u : Ast.program_unit) =
     let extra_decls = ref [] in

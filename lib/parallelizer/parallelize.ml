@@ -94,6 +94,7 @@ let render_ref (a : Access.t) =
 let analyze_loop ?(pure = S.empty) cfg (u : Ast.program_unit)
     (outer : Ast.do_loop list) (l : Ast.do_loop) :
     (decision, Verdict.blocker list) result =
+  Fault.point "parallelizer.loop";
   let blockers = ref [] in
   let block b = blockers := b :: !blockers in
   (* first-occurrence-order dedup: a callee invoked five times is one
@@ -342,6 +343,7 @@ let run_unit ?(config = default_config) ?(pure = S.empty)
      cache's value lies.  Verdicts stay deterministic; only the
      per-unit hit/miss split depends on what this domain analyzed
      before (hence the bench suite pins counters single-job). *)
+  Fault.point "parallelizer.unit";
   let reports = ref [] in
   let body = process_stmts ~pure config u [] reports u.u_body in
   let body = if config.mark_nested then body else strip_nested body in

@@ -43,6 +43,12 @@ type point = {
   pt_crashed : bool;
       (** the task died beyond salvage (e.g. unparseable source); the
           numeric fields are zero and [pt_diags] holds the cause *)
+  pt_retries : int;
+      (** pool-level chunk re-executions this task needed (transient
+          failures, e.g. injected chaos faults); 0 on a clean run *)
+  pt_deadline_misses : int;
+      (** 1 when the pool watchdog abandoned this task past its
+          deadline (the point is then also crashed); 0 otherwise *)
   pt_validation : Checker.Oracle.verdict option;
       (** oracle verdict when the suite ran with [~validate:true] *)
   pt_verdicts : (int * Verdict.t) list;
@@ -96,7 +102,10 @@ let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
         (* the whole-task fault barrier: anything the robust pipeline
            could not absorb (unparseable source, error-limit overflow)
            becomes a diagnostic on this point *)
-        let d = Diag.of_exn Diag.Exec e in
+        let backtrace =
+          Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+        in
+        let d = Diag.of_exn ~backtrace Diag.Exec e in
         let d =
           {
             d with
@@ -181,23 +190,76 @@ let verdict_map (r : Pipeline.result) : (int * Verdict.t) list =
     validation oracle and the per-point verdict lands in
     [pt_validation]. *)
 let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
-    ?time_exec ?(benches = Suite.all) () : point list =
+    ?time_exec ?deadline_s ?(retries = 0) ?(benches = Suite.all) () :
+    point list =
   let tasks =
     Array.of_list
       (List.concat_map (fun b -> List.map (fun m -> (b, m)) configs) benches)
   in
   let n = Array.length tasks in
   let out : task_result option array = Array.make n None in
+  let retries_arr = Array.make n 0 in
+  let dmiss_arr = Array.make n 0 in
+  (* A failed or abandoned chunk degrades to a crashed point carrying
+     the cause; the remaining 35 tasks are untouched.  Tasks are
+     idempotent ([out.(i) <- ...]), so pool-level retries are safe. *)
+  let degrade chunk (d : Diag.t) =
+    out.(chunk) <-
+      Some
+        {
+          tr_result = None;
+          tr_wall_ms = 0.0;
+          tr_exec_ms = None;
+          tr_prof = Prof.create ();
+          tr_diags = [ d ];
+        }
+  in
+  let absorb (ev : Runtime.Pool.event) =
+    match ev with
+    | Runtime.Pool.Chunk_retried { chunk; _ } ->
+        retries_arr.(chunk) <- retries_arr.(chunk) + 1
+    | Runtime.Pool.Chunk_failed { chunk; error; backtrace } ->
+        let b, m = tasks.(chunk) in
+        let d = Diag.of_exn ~backtrace Diag.Exec error in
+        degrade chunk
+          (Diag.with_unit b.Bench_def.name
+             {
+               d with
+               Diag.d_message =
+                 Printf.sprintf "benchmark %s (%s) crashed in pool: %s"
+                   b.Bench_def.name (Pipeline.mode_name m) d.Diag.d_message;
+             })
+    | Runtime.Pool.Deadline_missed { chunk; waited_s } ->
+        let b, m = tasks.(chunk) in
+        dmiss_arr.(chunk) <- dmiss_arr.(chunk) + 1;
+        degrade chunk
+          (Diag.make ~unit_:b.Bench_def.name Diag.Timeout
+             (Printf.sprintf
+                "benchmark %s (%s) abandoned by the pool watchdog after %.0f \
+                 ms"
+                b.Bench_def.name (Pipeline.mode_name m) (waited_s *. 1000.0)))
+    | Runtime.Pool.Worker_died _ ->
+        (* the pool respawns the domain before the next job; the failed
+           chunks it owned (if any) arrive as their own events *)
+        ()
+  in
   let pool = Runtime.Pool.create jobs in
+  let events = ref [] in
   Fun.protect
     ~finally:(fun () -> Runtime.Pool.shutdown pool)
     (fun () ->
-      Runtime.Pool.parallel_for ~label:"suite-driver" pool ~chunks:n (fun i ->
+      Runtime.Pool.parallel_for ~label:"suite-driver" ?deadline_s ~retries
+        ~report:(fun evs -> events := evs)
+        pool ~chunks:n (fun i ->
           let b, m = tasks.(i) in
           out.(i) <-
             Some
               (run_task ?par_config ?validate ?validate_threads ?span
                  ?time_exec b m)));
+  (* Absorb events only after shutdown joined every worker: a worker
+     stalled past the deadline may still have been writing its (now
+     abandoned) slot, and the degraded point must win deterministically. *)
+  List.iter absorb !events;
   (* Baseline-relative accounting: group the three per-bench tasks and
      count against the no-inlining result.  A crashed baseline degrades
      loss/extra to 0 (each result is counted against itself). *)
@@ -216,6 +278,7 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
          List.mapi
            (fun m mode ->
              let t = tr m in
+             let chunk = (bi * List.length configs) + m in
              let par, loss, extra, size =
                match t.tr_result with
                | None -> (0, 0, 0, 0)
@@ -239,6 +302,8 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
                pt_counters = Prof.snapshot t.tr_prof;
                pt_diags = t.tr_diags;
                pt_crashed = t.tr_result = None;
+               pt_retries = retries_arr.(chunk);
+               pt_deadline_misses = dmiss_arr.(chunk);
                pt_validation =
                  Option.bind t.tr_result (fun r ->
                      r.Pipeline.res_validation);
@@ -326,6 +391,8 @@ let json_of_point (p : point) =
       ("wall_ms", json_num p.pt_wall_ms);
       ( "exec_ms",
         match p.pt_exec_ms with None -> "null" | Some ms -> json_num ms );
+      ("retries", string_of_int p.pt_retries);
+      ("deadline_misses", string_of_int p.pt_deadline_misses);
       ( "cache_hit_ratio",
         if c.Prof.dep_tests_run = 0 then "null"
         else
@@ -347,6 +414,7 @@ let json_of_point (p : point) =
             ("iterations_traced", string_of_int c.Prof.iterations_traced);
             ("race_conflicts", string_of_int c.Prof.race_conflicts);
             ("race_excused", string_of_int c.Prof.race_excused);
+            ("faults_injected", string_of_int c.Prof.faults_injected);
           ] );
       ( "validation",
         match p.pt_validation with
@@ -415,11 +483,15 @@ let json_of_point (p : point) =
     ["exec_ms"] (serial execution wall clock, [null] unless the suite
     ran with [--time-exec]), ["cache_hit_ratio"], and the
     ["dep_cache_hits"]/["dep_cache_misses"] counters — the dependence
-    memo trajectory CI gates on. *)
+    memo trajectory CI gates on.  Version 5 adds per-point ["retries"]
+    and ["deadline_misses"] (pool-level recovery accounting) and the
+    ["faults_injected"] counter (chaos faults fired inside the task);
+    all three are zero whenever no [--chaos] plan is armed, so a
+    faults-off v5 document differs from v4 only by the new fields. *)
 let to_json ?(explain : Explain.t option) (points : point list) : string =
   json_obj
     ([
-       ("schema_version", "4");
+       ("schema_version", "5");
        ("suite", json_str "perfect");
        ("jobs_deterministic", "true");
        ( "points",
@@ -453,12 +525,15 @@ type read_point = {
   rd_dep_tests_run : int;
   rd_dep_cache_hits : int;
   rd_dep_cache_misses : int;
+  rd_retries : int;  (** v5; 0 on older documents *)
+  rd_deadline_misses : int;  (** v5; 0 on older documents *)
+  rd_faults_injected : int;  (** v5; 0 on older documents *)
 }
 
 type read_doc = { rd_version : int; rd_points : read_point list }
 
 (** Parse a bench JSON document produced by this driver — the current
-    version 4 or the archived versions 2 and 3 — into a {!read_doc}.
+    version 5 or the archived versions 2 through 4 — into a {!read_doc}.
     Unknown fields are ignored, so the reader keeps working as the
     schema grows. *)
 let read_json (s : string) : (read_doc, string) result =
@@ -469,7 +544,7 @@ let read_json (s : string) : (read_doc, string) result =
       | Json.Null -> Error "missing schema_version"
       | v ->
           let version = Json.to_int ~default:0 v in
-          if version < 2 || version > 4 then
+          if version < 2 || version > 5 then
             Error (Printf.sprintf "unsupported schema_version %d" version)
           else
             Ok
@@ -504,6 +579,14 @@ let read_json (s : string) : (read_doc, string) result =
                         rd_dep_cache_misses =
                           Json.to_int
                             (Json.member "dep_cache_misses" counters);
+                        rd_retries =
+                          Json.to_int ~default:0 (Json.member "retries" p);
+                        rd_deadline_misses =
+                          Json.to_int ~default:0
+                            (Json.member "deadline_misses" p);
+                        rd_faults_injected =
+                          Json.to_int ~default:0
+                            (Json.member "faults_injected" counters);
                       })
                     (Json.to_list (Json.member "points" j));
               })

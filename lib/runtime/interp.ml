@@ -177,6 +177,10 @@ let slot_of (env : cenv) name : int =
    plus one step per call — bounds total work at O(1) bookkeeping per
    loop execution, leaving the per-iteration hot path untouched. *)
 let charge (fr : frame) (n : int) =
+  (* chaos: a tripped fuel fault takes the native trap channel, so it is
+     indistinguishable from a genuine budget exhaustion downstream *)
+  if Fault.check "runtime.interp.fuel" then
+    trap "injected fault at runtime.interp.fuel; execution trapped";
   match fr.glb.fuel with
   | None -> ()
   | Some f ->
@@ -376,16 +380,31 @@ let resolver (env : cenv) name : frame -> view =
 (* Unboxed element access                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The offset of a scalar view is normally 0, but an array element passed
+   by reference binds a dummy scalar to an arbitrary element — including
+   one past the end when the caller's subscript was out of range (only
+   interior dimensions are checked at the call site).  So scalar access
+   is bounds-checked like element access. *)
 let scalar_get_f (v : view) =
+  let i = v.off in
   match v.st with
-  | Fs a -> a.(v.off)
-  | Is a -> float_of_int a.(v.off)
+  | Fs a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      Array.unsafe_get a i
+  | Is a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      float_of_int (Array.unsafe_get a i)
   | Bs _ -> rerror "logical used as number"
 
 let scalar_get_i (v : view) =
+  let i = v.off in
   match v.st with
-  | Is a -> a.(v.off)
-  | Fs a -> int_of_float a.(v.off)
+  | Is a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      Array.unsafe_get a i
+  | Fs a ->
+      if i < 0 || i >= Array.length a then rerror "load outside storage";
+      int_of_float (Array.unsafe_get a i)
   | Bs _ -> rerror "logical used as integer"
 
 (* 0-based linear offset of [n] subscripts (in [buf]) within view [v];
@@ -534,7 +553,10 @@ let rec compile_expr (env : cenv) (e : Ast.expr) : comp =
               let w = res fr in
               if Trace.on () then Trace.read v w 0;
               match w.st with
-              | Bs a -> a.(w.off)
+              | Bs a ->
+                  if w.off < 0 || w.off >= Array.length a then
+                    rerror "load outside storage";
+                  Array.unsafe_get a w.off
               | _ -> rerror "logical variable %s has numeric storage" v)
       | Ast.Real | Ast.Double | Ast.Character ->
           CF

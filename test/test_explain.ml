@@ -281,7 +281,7 @@ let test_schema_reader_v2_compat () =
       ci "par" 21 p.rd_par;
       cb "v2 has no verdict counts" true (p.rd_verdicts = None)
 
-let test_schema_reader_v4_current () =
+let test_schema_reader_v5_current () =
   let points =
     Perfect.Driver.run_suite ~jobs:1 ~benches:[ Perfect.Mdg.bench ] ()
   in
@@ -289,17 +289,21 @@ let test_schema_reader_v4_current () =
   match Perfect.Driver.read_json (Perfect.Driver.to_json ~explain points) with
   | Error e -> Alcotest.failf "current document rejected: %s" e
   | Ok doc ->
-      ci "version 4" 4 doc.Perfect.Driver.rd_version;
+      ci "version 5" 5 doc.Perfect.Driver.rd_version;
       ci "three points" 3 (List.length doc.rd_points);
       List.iter
         (fun (p : Perfect.Driver.read_point) ->
           (match p.rd_verdicts with
-          | None -> Alcotest.fail "v4 point lost its verdict counts"
+          | None -> Alcotest.fail "v5 point lost its verdict counts"
           | Some (par, ser) ->
               cb "counts sane" true (par >= 0 && ser >= 0 && par + ser > 0));
           cb "exec_ms null without --time-exec" true (p.rd_exec_ms = None);
           ci "hits + misses = run" p.rd_dep_tests_run
-            (p.rd_dep_cache_hits + p.rd_dep_cache_misses))
+            (p.rd_dep_cache_hits + p.rd_dep_cache_misses);
+          (* chaos-off run: resilience counters are present but zero *)
+          ci "no retries" 0 p.rd_retries;
+          ci "no deadline misses" 0 p.rd_deadline_misses;
+          ci "no faults" 0 p.rd_faults_injected)
         doc.rd_points
 
 let test_schema_reader_rejects_garbage () =
@@ -346,8 +350,8 @@ let suite =
     Alcotest.test_case "tracing off is inert" `Quick test_tracing_off_is_inert;
     Alcotest.test_case "schema reader: v2 compatibility" `Quick
       test_schema_reader_v2_compat;
-    Alcotest.test_case "schema reader: current v4" `Quick
-      test_schema_reader_v4_current;
+    Alcotest.test_case "schema reader: current v5" `Quick
+      test_schema_reader_v5_current;
     Alcotest.test_case "schema reader rejects garbage" `Quick
       test_schema_reader_rejects_garbage;
     Alcotest.test_case "diagnostics render owning unit" `Quick

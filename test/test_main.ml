@@ -19,4 +19,6 @@ let () =
       ("explain", Test_explain.suite);
       ("checker", Test_checker.suite);
       ("perf", Test_perf.suite);
+      ("chaos", Test_chaos.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
