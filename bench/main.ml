@@ -5,6 +5,7 @@
      bench/main.exe [table1] [table2] [fig20] [micro] [ablate] [all]
                     [--jobs N] [--json FILE] [--validate] [--time-exec]
                     [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N]
+                    [--growth-budget F] [--stable-json]
      bench/main.exe compare OLD.json NEW.json
      bench/main.exe check-counters NEW.json BASELINE.json
    With no task argument everything runs (the paper's artifacts plus the
@@ -30,9 +31,17 @@
                 point reports a structured timeout diagnostic
    --retries N  re-run a crashed benchmark chunk up to N times (transient
                 faults only, exponential backoff)
+   --growth-budget F
+                cap the demand configuration's planner at F x the
+                original AST statement count (default 2.0)
+   --stable-json
+                zero the timing fields and cache-traffic counters in the
+                --json document so that runs at different --jobs settings
+                (or on different machines) are byte-identical; the CI
+                plan-determinism gate diffs two such documents with cmp
 
    compare         render a wall-clock / cache-counter diff of two bench
-                   JSON documents (schema versions 2-4 both sides)
+                   JSON documents (schema versions 2-6 both sides)
    check-counters  deterministic CI gate: fail if verdicts or dependence
                    counters drift from the committed baseline
 
@@ -66,20 +75,23 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 
 let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
-    ?trace_out ?(time_exec = false) ?chaos ?deadline_s ?(retries = 0) () =
+    ?trace_out ?(time_exec = false) ?chaos ?deadline_s ?(retries = 0)
+    ?growth_budget ?(stable_json = false) () =
   rule ();
   say
-    "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE THREE INLINING\n\
+    "TABLE II: AUTOMATICALLY PARALLELIZED LOOPS UNDER THE FOUR INLINING\n\
     \          CONFIGURATIONS (par-loops / par-loss / par-extra / code size)\n";
   rule ();
-  say "%-8s | %-14s | %-27s | %-27s\n" "" "no inlining" "conventional"
-    "annotation-based";
-  say "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n" "bench" "par"
-    "size" "par" "loss" "extra" "size" "par" "loss" "extra" "size";
+  say "%-8s | %-14s | %-27s | %-27s | %-27s\n" "" "no inlining" "conventional"
+    "annotation-based" "demand";
+  say
+    "%-8s | %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s | %5s %5s %6s %7s\n"
+    "bench" "par" "size" "par" "loss" "extra" "size" "par" "loss" "extra"
+    "size" "par" "loss" "extra" "size";
   let span = Option.map (fun _ -> Core.Span.create ()) trace_out in
   let run () =
-    Perfect.Driver.run_suite ~jobs ~validate ?span ~time_exec ?deadline_s
-      ~retries ()
+    Perfect.Driver.run_suite ~jobs ?growth_budget ~validate ?span ~time_exec
+      ?deadline_s ~retries ()
   in
   let points =
     match chaos with
@@ -94,29 +106,57 @@ let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
             Printf.eprintf "bench: %s\n" (Core.Fault.summary pl);
             pts)
   in
-  let tot = Array.make 10 0 in
+  let tot = Array.make 14 0 in
   let add i v = tot.(i) <- tot.(i) + v in
   let rec rows = function
-    | (n : Perfect.Driver.point) :: c :: a :: rest ->
-        say "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d%s\n"
+    | (n : Perfect.Driver.point) :: c :: a :: d :: rest ->
+        say
+          "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d | %5d %5d %6d \
+           %7d%s\n"
           n.pt_bench n.pt_par n.pt_size c.pt_par c.pt_loss c.pt_extra
-          c.pt_size a.pt_par a.pt_loss a.pt_extra a.pt_size
+          c.pt_size a.pt_par a.pt_loss a.pt_extra a.pt_size d.pt_par
+          d.pt_loss d.pt_extra d.pt_size
           (match
-             Core.Diag.summary (n.pt_diags @ c.pt_diags @ a.pt_diags)
+             Core.Diag.summary
+               (n.pt_diags @ c.pt_diags @ a.pt_diags @ d.pt_diags)
            with
           | "" -> ""
           | s -> "  [" ^ s ^ "]");
         List.iteri add
           [
             n.pt_par; n.pt_size; c.pt_par; c.pt_loss; c.pt_extra; c.pt_size;
-            a.pt_par; a.pt_loss; a.pt_extra; a.pt_size;
+            a.pt_par; a.pt_loss; a.pt_extra; a.pt_size; d.pt_par; d.pt_loss;
+            d.pt_extra; d.pt_size;
           ];
         rows rest
     | _ -> ()
   in
   rows points;
-  say "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d\n" "TOTAL" tot.(0)
-    tot.(1) tot.(2) tot.(3) tot.(4) tot.(5) tot.(6) tot.(7) tot.(8) tot.(9);
+  say
+    "%-8s | %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d | %5d %5d %6d %7d\n"
+    "TOTAL" tot.(0) tot.(1) tot.(2) tot.(3) tot.(4) tot.(5) tot.(6) tot.(7)
+    tot.(8) tot.(9) tot.(10) tot.(11) tot.(12) tot.(13);
+  (let planned =
+     List.filter
+       (fun (p : Perfect.Driver.point) -> p.pt_plan <> None)
+       points
+   in
+   if planned <> [] then begin
+     say "\ndemand planner (rounds / sites inlined / growth / resolved):\n";
+     List.iter
+       (fun (p : Perfect.Driver.point) ->
+         match p.pt_plan with
+         | None -> ()
+         | Some pl ->
+             say "  %-8s %d round(s), %d site(s), %.2fx, %d loop(s) resolved%s\n"
+               p.pt_bench
+               (List.length pl.Planner.pl_rounds)
+               pl.Planner.pl_sites pl.Planner.pl_growth
+               (List.length pl.Planner.pl_resolved)
+               (if pl.Planner.pl_budget_exhausted then " [budget exhausted]"
+                else ""))
+       planned
+   end);
   if validate then begin
     say "\nvalidation oracle (race detector + serial/parallel differential):\n";
     List.iter
@@ -140,6 +180,25 @@ let table2 ?(jobs = 1) ?json_out ?(validate = false) ?(explain_diff = false)
   (match json_out with
   | None -> ()
   | Some path ->
+      (* --stable-json: drop everything a different --jobs setting (or
+         host) legitimately changes — wall clocks, exec timings, and the
+         domain-local dependence-cache traffic split — so the CI
+         determinism gate can byte-compare two documents.  The verdicts
+         and planner decisions are jobs-invariant and stay. *)
+      let points =
+        if not stable_json then points
+        else
+          List.map
+            (fun (p : Perfect.Driver.point) ->
+              {
+                p with
+                Perfect.Driver.pt_wall_ms = 0.0;
+                pt_exec_ms = None;
+                pt_pass_ms = [];
+                pt_counters = Core.Prof.snapshot (Core.Prof.create ());
+              })
+            points
+      in
       Perfect.Driver.write_file_atomic path
         (Perfect.Driver.to_json ?explain points);
       Printf.eprintf "bench: wrote %d points to %s\n"
@@ -346,7 +405,7 @@ let find_point points key =
 
 (* [compare OLD NEW]: per-point wall-clock / exec / dependence-cache
    diff between two bench JSON documents (any mix of schema versions
-   2-4; fields a version lacks render as "-").  Purely informational:
+   2-6; fields a version lacks render as "-").  Purely informational:
    always exits 0 unless a file is unreadable. *)
 let cmd_compare old_path new_path =
   let old_doc = read_bench_json old_path in
@@ -409,15 +468,32 @@ let cmd_compare old_path new_path =
    verdict counts or dep_tests_run drift, or whose dep_cache_misses
    exceed the committed baseline, fails the gate (misses below baseline
    -- an improvement -- only prints a note inviting a baseline
-   refresh). *)
+   refresh).
+
+   A counter key a point does not carry -- either side -- is *skipped*
+   with a warning instead of failing the gate, so a baseline captured
+   by an older (or newer) schema still gates everything both versions
+   agree on.  The skipped key names are reported once at the end.
+
+   The v6 addition: the demand configuration's planner probes replay
+   the earlier configurations' dependence questions through the same
+   domain-local memo cache, so suite-wide its cache-hit ratio must not
+   fall below annotation's.  The gate runs single-job (one domain,
+   configurations in order), which is what makes the comparison
+   meaningful. *)
 let cmd_check_counters new_path baseline_path =
   let doc = read_bench_json new_path in
   let base = read_bench_json baseline_path in
   let failures = ref 0 in
   let improvements = ref 0 in
+  let skipped = ref [] in
+  let skip key = if not (List.mem key !skipped) then skipped := key :: !skipped in
   let complain fmt =
     incr failures;
     Printf.eprintf fmt
+  in
+  let have (p : Perfect.Driver.read_point) key =
+    List.mem key p.rd_counter_keys
   in
   List.iter
     (fun (b : Perfect.Driver.read_point) ->
@@ -426,6 +502,7 @@ let cmd_check_counters new_path baseline_path =
           complain "check-counters: %s/%s missing from %s\n" b.rd_bench
             b.rd_config new_path
       | Some n ->
+          let pinned key f = if have b key && have n key then f () else skip key in
           if (n.rd_par, n.rd_loss, n.rd_extra) <> (b.rd_par, b.rd_loss, b.rd_extra)
           then
             complain
@@ -433,24 +510,62 @@ let cmd_check_counters new_path baseline_path =
                %d/%d/%d, baseline %d/%d/%d\n"
               b.rd_bench b.rd_config n.rd_par n.rd_loss n.rd_extra b.rd_par
               b.rd_loss b.rd_extra;
-          if n.rd_dep_tests_run <> b.rd_dep_tests_run then
-            complain
-              "check-counters: %s/%s dep_tests_run %d, baseline %d\n"
-              b.rd_bench b.rd_config n.rd_dep_tests_run b.rd_dep_tests_run;
-          if n.rd_faults_injected <> b.rd_faults_injected then
-            complain
-              "check-counters: %s/%s faults_injected %d, baseline %d (the \
-               gate runs chaos-off; any drift means the registry fired)\n"
-              b.rd_bench b.rd_config n.rd_faults_injected b.rd_faults_injected;
-          if n.rd_dep_cache_misses > b.rd_dep_cache_misses then
-            complain
-              "check-counters: %s/%s dep_cache_misses regressed: %d > \
-               baseline %d\n"
-              b.rd_bench b.rd_config n.rd_dep_cache_misses
-              b.rd_dep_cache_misses
-          else if n.rd_dep_cache_misses < b.rd_dep_cache_misses then
-            incr improvements)
+          pinned "dep_tests_run" (fun () ->
+              if n.rd_dep_tests_run <> b.rd_dep_tests_run then
+                complain
+                  "check-counters: %s/%s dep_tests_run %d, baseline %d\n"
+                  b.rd_bench b.rd_config n.rd_dep_tests_run b.rd_dep_tests_run);
+          pinned "faults_injected" (fun () ->
+              if n.rd_faults_injected <> b.rd_faults_injected then
+                complain
+                  "check-counters: %s/%s faults_injected %d, baseline %d (the \
+                   gate runs chaos-off; any drift means the registry fired)\n"
+                  b.rd_bench b.rd_config n.rd_faults_injected
+                  b.rd_faults_injected);
+          pinned "dep_cache_misses" (fun () ->
+              if n.rd_dep_cache_misses > b.rd_dep_cache_misses then
+                complain
+                  "check-counters: %s/%s dep_cache_misses regressed: %d > \
+                   baseline %d\n"
+                  b.rd_bench b.rd_config n.rd_dep_cache_misses
+                  b.rd_dep_cache_misses
+              else if n.rd_dep_cache_misses < b.rd_dep_cache_misses then
+                incr improvements))
     base.rd_points;
+  (* demand-vs-annotation cache-hit-ratio gate, over the NEW doc's
+     suite totals.  Per bench the comparison is unfair — a benchmark
+     whose annotation config instantiates nothing replays the earlier
+     configs' questions perfectly (ratio 1.0) while demand legitimately
+     pays misses for its conventional-site probes — but aggregated the
+     planner's probes overwhelmingly replay memoized questions, so the
+     suite-wide demand ratio must stay at or above annotation's.
+     Undefined ratios (zero dep tests, missing config, keys absent from
+     this schema) skip the gate. *)
+  let totals cfg =
+    List.fold_left
+      (fun (h, r) (p : Perfect.Driver.read_point) ->
+        if
+          String.equal p.rd_config cfg
+          && have p "dep_cache_hits" && have p "dep_tests_run"
+        then (h + p.rd_dep_cache_hits, r + p.rd_dep_tests_run)
+        else (h, r))
+      (0, 0) doc.rd_points
+  in
+  (match (totals "demand", totals "annotation-based") with
+  | (dh, dr), (ah, ar) when dr > 0 && ar > 0 ->
+      let rd = float_of_int dh /. float_of_int dr in
+      let ra = float_of_int ah /. float_of_int ar in
+      if rd +. 1e-9 < ra then
+        complain
+          "check-counters: suite demand dep-cache hit ratio %.4f below \
+           annotation's %.4f (planner re-analysis should replay memoized \
+           dependence questions)\n"
+          rd ra
+  | _ -> ());
+  if !skipped <> [] then
+    Printf.eprintf
+      "check-counters: skipped counter key(s) absent from one side: %s\n"
+      (String.concat ", " (List.sort compare !skipped));
   if !improvements > 0 then
     Printf.eprintf
       "check-counters: %d point(s) beat the baseline miss counts -- \
@@ -468,7 +583,8 @@ let usage () =
     "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
      [--json FILE] [--validate] [--explain-diff] [--trace-out FILE] \
      [--time-exec]\n\
-    \                [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N]\n\
+    \                [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N] \
+     [--growth-budget F] [--stable-json]\n\
     \       main.exe compare OLD.json NEW.json\n\
     \       main.exe check-counters NEW.json BASELINE.json\n";
   exit 2
@@ -484,6 +600,8 @@ let () =
   let chaos = ref None in
   let deadline_s = ref None in
   let retries = ref 0 in
+  let growth_budget = ref None in
+  let stable_json = ref false in
   (* file-argument subcommands dispatch before the task loop *)
   (match Array.to_list Sys.argv with
   | _ :: "compare" :: rest -> (
@@ -537,8 +655,17 @@ let () =
             retries := n;
             parse_args acc rest
         | _ -> usage ())
+    | "--growth-budget" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some f when f > 0.0 ->
+            growth_budget := Some f;
+            parse_args acc rest
+        | _ -> usage ())
+    | "--stable-json" :: rest ->
+        stable_json := true;
+        parse_args acc rest
     | ("--jobs" | "--json" | "--trace-out" | "--chaos" | "--deadline-ms"
-      | "--retries")
+      | "--retries" | "--growth-budget")
       :: [] ->
         usage ()
     | a :: rest -> parse_args (a :: acc) rest
@@ -553,7 +680,8 @@ let () =
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
                ~explain_diff:!explain_diff ?trace_out:!trace_out
                ~time_exec:!time_exec ?chaos:!chaos ?deadline_s:!deadline_s
-               ~retries:!retries ()
+               ~retries:!retries ?growth_budget:!growth_budget
+               ~stable_json:!stable_json ()
          | "fig20" -> fig20 ()
          | "micro" -> micro ()
          | "ablate" -> ablate ()
@@ -562,7 +690,8 @@ let () =
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate
                ~explain_diff:!explain_diff ?trace_out:!trace_out
                ~time_exec:!time_exec ?chaos:!chaos ?deadline_s:!deadline_s
-               ~retries:!retries ();
+               ~retries:!retries ?growth_budget:!growth_budget
+               ~stable_json:!stable_json ();
              fig20 ();
              micro ();
              ablate ()

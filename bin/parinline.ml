@@ -7,12 +7,23 @@
                                [--loop ID] [--json]
      parinline run      FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
      parinline check    FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
+     parinline plan     FILE.f [--annot FILE.annot] [--growth-budget F]
+                               [--max-rounds N] [--json]
 
-   MODE is one of: none | conventional | annotation (default: annotation).
+   MODE is one of: none | conventional | annotation | demand
+   (default: annotation).  demand runs the verdict-guided planner: only
+   the callees whose opaque-call blockers actually serialize a loop are
+   inlined, one fixpoint round at a time, until nothing more resolves
+   or the --growth-budget (x the original statement count) is spent.
 
    explain prints the structured verdict of every analyzed loop — stable
    identity (unit, nesting path, source line), outcome, clauses, and the
    complete blocker list for serial loops; --json round-trips.
+
+   plan prints the planner's decision trace without emitting code: per
+   round, the callees inlined (and by which method), the callees
+   refused (and why), and the loops each round's inlining unlocked;
+   --json emits the machine-readable plan document instead.
 
    Tracing (compile, explain, run, check): --trace-out FILE records
    begin/end spans of every instrumented region and writes Chrome
@@ -77,7 +88,11 @@ let mode_of_string = function
   | "none" | "no-inlining" -> Core.Pipeline.No_inlining
   | "conventional" -> Core.Pipeline.Conventional
   | "annotation" | "annotation-based" -> Core.Pipeline.Annotation_based
-  | m -> fail_cli "unknown mode %S (expected none | conventional | annotation)" m
+  | "demand" | "demand-driven" -> Core.Pipeline.Demand
+  | m ->
+      fail_cli
+        "unknown mode %S (expected none | conventional | annotation | demand)"
+        m
 
 let load source_file annot_file =
   let source = read_file source_file in
@@ -168,6 +183,70 @@ let with_trace trace_out f =
       write ();
       r
 
+(* Parse the source and annotation text under the chosen robustness —
+   the commands that plan on the pristine program (demand mode, the
+   plan subcommand) need the AST before any inlining touches it. *)
+let parse_program ~keep_going ~max_errors source annot_source =
+  if keep_going then
+    robust (fun () ->
+        let p, ds = Frontend.Resolve.parse_robust ~max_errors source in
+        let annots, ads =
+          if String.trim annot_source = "" then ([], [])
+          else
+            match Core.Annot_parser.parse_annotations annot_source with
+            | a -> (a, [])
+            | exception Core.Annot_parser.Annot_parse_error m ->
+                ( [],
+                  [
+                    Core.Diag.make Core.Diag.Annot
+                      ("annotation file rejected ("
+                      ^ m
+                      ^ "); continuing without annotations");
+                  ] )
+        in
+        (p, annots, ds @ ads))
+  else
+    strict (fun () ->
+        let p = Frontend.Resolve.parse source in
+        let annots =
+          if String.trim annot_source = "" then []
+          else Core.Annot_parser.parse_annotations annot_source
+        in
+        (p, annots, []))
+
+(* One pipeline entry for the FILE.f commands.  Demand must route
+   through the verdict-guided planner — a plain [run_source] would
+   silently skip the planning fixpoint and behave like no-inlining.
+   The planner drives the salvaging pipeline internally (structured
+   diagnostics, never a bare exception); without --keep-going an error
+   diagnostic still degrades the exit status per the 0/1 contract. *)
+let run_pipeline ?prof ~keep_going ~max_errors ~mode ~annot_source source =
+  match mode with
+  | Core.Pipeline.Demand ->
+      let program, annots, parse_diags =
+        parse_program ~keep_going ~max_errors source annot_source
+      in
+      let dg = Core.Diag.collector ~max_errors () in
+      List.iter (Core.Diag.emit dg) parse_diags;
+      let r, plan =
+        robust (fun () ->
+            strict (fun () ->
+                Core.Prof.with_opt prof (fun () ->
+                    Planner.run ~annots ~dg program)))
+      in
+      (r, Some plan)
+  | _ ->
+      let r =
+        if keep_going then
+          robust (fun () ->
+              Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
+                ~annot_source source)
+        else
+          strict (fun () ->
+              Core.Pipeline.run_source ?prof ~mode ~annot_source source)
+      in
+      (r, None)
+
 let compile_run source_file annot_file mode out keep_going max_errors profile
     trace_out chaos =
   let mode = mode_of_string mode in
@@ -175,14 +254,8 @@ let compile_run source_file annot_file mode out keep_going max_errors profile
   with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
-  let r =
-    if keep_going then
-      robust (fun () ->
-          Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
-            ~annot_source source)
-    else
-      strict (fun () ->
-          Core.Pipeline.run_source ?prof ~mode ~annot_source source)
+  let r, _plan =
+    run_pipeline ?prof ~keep_going ~max_errors ~mode ~annot_source source
   in
   let text = Frontend.Pretty.program_to_string r.res_program in
   (match out with
@@ -206,36 +279,18 @@ let report_run source_file annot_file keep_going max_errors chaos =
   with_chaos chaos @@ fun () ->
   (* parse once so loop ids are comparable across configurations *)
   let program, annots, parse_diags =
-    if keep_going then
-      robust (fun () ->
-          let p, ds = Frontend.Resolve.parse_robust ~max_errors source in
-          let annots, ads =
-            if String.trim annot_source = "" then ([], [])
-            else
-              match Core.Annot_parser.parse_annotations annot_source with
-              | a -> (a, [])
-              | exception Core.Annot_parser.Annot_parse_error m ->
-                  ( [],
-                    [
-                      Core.Diag.make Core.Diag.Annot
-                        ("annotation file rejected ("
-                        ^ m
-                        ^ "); continuing without annotations");
-                    ] )
-          in
-          (p, annots, ds @ ads))
-    else
-      strict (fun () ->
-          let p = Frontend.Resolve.parse source in
-          let annots =
-            if String.trim annot_source = "" then []
-            else Core.Annot_parser.parse_annotations annot_source
-          in
-          (p, annots, []))
+    parse_program ~keep_going ~max_errors source annot_source
   in
   let run_mode mode =
-    if keep_going then Core.Pipeline.run_robust ~annots ~mode program
-    else strict (fun () -> Core.Pipeline.run ~annots ~mode program)
+    match mode with
+    | Core.Pipeline.Demand ->
+        let dg = Core.Diag.collector ~max_errors () in
+        fst
+          (robust (fun () ->
+               strict (fun () -> Planner.run ~annots ~dg program)))
+    | _ ->
+        if keep_going then Core.Pipeline.run_robust ~annots ~mode program
+        else strict (fun () -> Core.Pipeline.run ~annots ~mode program)
   in
   let all_diags = ref parse_diags in
   let base = run_mode Core.Pipeline.No_inlining in
@@ -263,7 +318,7 @@ let report_run source_file annot_file keep_going max_errors chaos =
              else ""))
         r.res_reports)
     [ Core.Pipeline.No_inlining; Core.Pipeline.Conventional;
-      Core.Pipeline.Annotation_based ];
+      Core.Pipeline.Annotation_based; Core.Pipeline.Demand ];
   print_diags parse_diags;
   finish_with !all_diags
 
@@ -274,14 +329,8 @@ let exec_run source_file annot_file mode threads keep_going max_errors fuel
   with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
-  let r =
-    if keep_going then
-      robust (fun () ->
-          Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
-            ~annot_source source)
-    else
-      strict (fun () ->
-          Core.Pipeline.run_source ?prof ~mode ~annot_source source)
+  let r, _plan =
+    run_pipeline ?prof ~keep_going ~max_errors ~mode ~annot_source source
   in
   print_diags r.res_diags;
   let fuel = if fuel <= 0 then None else Some fuel in
@@ -334,14 +383,8 @@ let check_run source_file annot_file mode threads keep_going max_errors fuel
   with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
   let prof = make_prof profile in
-  let r =
-    if keep_going then
-      robust (fun () ->
-          Core.Pipeline.run_source_robust ?prof ~max_errors ~mode
-            ~annot_source source)
-    else
-      strict (fun () ->
-          Core.Pipeline.run_source ?prof ~mode ~annot_source source)
+  let r, _plan =
+    run_pipeline ?prof ~keep_going ~max_errors ~mode ~annot_source source
   in
   print_diags r.res_diags;
   let fuel = if fuel <= 0 then None else Some fuel in
@@ -377,13 +420,8 @@ let explain_run source_file annot_file mode loop_filter json keep_going
   let source, annot_source = load source_file annot_file in
   with_chaos chaos @@ fun () ->
   with_trace trace_out @@ fun () ->
-  let r =
-    if keep_going then
-      robust (fun () ->
-          Core.Pipeline.run_source_robust ~max_errors ~mode ~annot_source
-            source)
-    else
-      strict (fun () -> Core.Pipeline.run_source ~mode ~annot_source source)
+  let r, _plan =
+    run_pipeline ~keep_going ~max_errors ~mode ~annot_source source
   in
   let verdicts =
     List.map
@@ -415,6 +453,35 @@ let explain_run source_file annot_file mode loop_filter json keep_going
       (fun v -> print_endline (Parallelizer.Verdict.render v))
       verdicts
   end;
+  print_diags r.res_diags;
+  finish_with r.res_diags
+
+(* The plan subcommand: run the demand-driven planner and print its
+   decision trace — which callees were inlined in which round (and by
+   which method), which were refused and why, and which loops each
+   round unlocked — without emitting the optimized program.  [--json]
+   emits the machine-readable plan document (the same object the bench
+   driver embeds per demand point). *)
+let plan_run source_file annot_file growth_budget max_rounds json keep_going
+    max_errors trace_out chaos =
+  let source, annot_source = load source_file annot_file in
+  with_chaos chaos @@ fun () ->
+  with_trace trace_out @@ fun () ->
+  if growth_budget <= 0.0 then fail_cli "--growth-budget must be positive";
+  if max_rounds < 1 then fail_cli "--max-rounds must be at least 1";
+  let program, annots, parse_diags =
+    parse_program ~keep_going ~max_errors source annot_source
+  in
+  let dg = Core.Diag.collector ~max_errors () in
+  List.iter (Core.Diag.emit dg) parse_diags;
+  let r, plan =
+    robust (fun () ->
+        strict (fun () ->
+            Planner.run ~growth_budget ~max_rounds ~annots ~dg program))
+  in
+  if json then
+    print_string (Frontend.Json.to_string (Planner.to_json plan) ^ "\n")
+  else print_string (Planner.render plan);
   print_diags r.res_diags;
   finish_with r.res_diags
 
@@ -511,10 +578,39 @@ let compile_cmd =
 
 let report_cmd =
   Cmd.v
-    (Cmd.info "report" ~doc:"Compare the three inlining configurations")
+    (Cmd.info "report" ~doc:"Compare the four inlining configurations")
     Term.(
       const report_run $ source_arg $ annot_arg $ keep_going_arg
       $ max_errors_arg $ chaos_arg)
+
+let growth_budget_arg =
+  Arg.(
+    value
+    & opt float Planner.default_growth_budget
+    & info [ "growth-budget" ] ~docv:"F"
+        ~doc:
+          "Refuse any inlining step that would grow the program past \
+           $(docv) times its original statement count.")
+
+let max_rounds_arg =
+  Arg.(
+    value
+    & opt int Planner.default_max_rounds
+    & info [ "max-rounds" ] ~docv:"N"
+        ~doc:"Stop the planning fixpoint after $(docv) rounds.")
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Run the verdict-guided demand-driven inlining planner and print \
+          its decision trace: per round, the callees inlined (and by which \
+          method), the callees refused (and why), and the loops the round \
+          unlocked")
+    Term.(
+      const plan_run $ source_arg $ annot_arg $ growth_budget_arg
+      $ max_rounds_arg $ json_arg $ keep_going_arg $ max_errors_arg
+      $ trace_out_arg $ chaos_arg)
 
 let explain_cmd =
   Cmd.v
@@ -662,5 +758,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; report_cmd; explain_cmd; run_cmd; check_cmd;
-            bench_cmd; fuzz_cmd ]))
+          [ compile_cmd; report_cmd; explain_cmd; plan_cmd; run_cmd;
+            check_cmd; bench_cmd; fuzz_cmd ]))

@@ -1,9 +1,16 @@
-(** The three compilation pipelines compared in the paper's evaluation:
+(** The compilation pipelines compared in the paper's evaluation:
 
     - [No_inlining]      : normalize, parallelize.
     - [Conventional]     : Polaris-default inlining, normalize, parallelize.
     - [Annotation_based] : annotation-based inlining, normalize,
                            parallelize, reverse inlining (Fig. 15).
+    - [Demand]           : analysis leg of the demand-driven planner
+                           ([Planner.run]).  The planner materializes its
+                           current callee selection *before* calling the
+                           pipeline, so the inline phase is a no-op here;
+                           the reverse phase restores the selected
+                           annotation regions exactly as [Annotation_based]
+                           does (pass only the selected annotations).
 
     Normalization = constant propagation, induction-variable substitution,
     forward substitution, and a final constant-propagation sweep -- the
@@ -11,12 +18,13 @@
 
 open Frontend
 
-type mode = No_inlining | Conventional | Annotation_based
+type mode = No_inlining | Conventional | Annotation_based | Demand
 
 let mode_name = function
   | No_inlining -> "no-inlining"
   | Conventional -> "conventional"
   | Annotation_based -> "annotation-based"
+  | Demand -> "demand"
 
 type result = {
   res_mode : mode;
@@ -95,6 +103,30 @@ let marked_ids program reports =
          else None)
        reports)
 
+(* Representative verdict per loop id over the units reachable from
+   MAIN: a marked copy wins over any serial copy, otherwise the first
+   report in analysis order stands — the same "parallel anywhere live"
+   rule as {!marked_ids}. *)
+let verdict_map (r : result) : (int * Parallelizer.Verdict.t) list =
+  let module SS = Set.Make (String) in
+  let live = reachable_units r.res_program in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (rep : Parallelizer.Parallelize.loop_report) ->
+      if SS.mem rep.rep_unit live then
+        match Hashtbl.find_opt tbl rep.rep_loop_id with
+        | None ->
+            Hashtbl.add tbl rep.rep_loop_id rep.rep_verdict;
+            order := rep.rep_loop_id :: !order
+        | Some old ->
+            if
+              (not (Parallelizer.Verdict.is_marked old))
+              && Parallelizer.Verdict.is_marked rep.rep_verdict
+            then Hashtbl.replace tbl rep.rep_loop_id rep.rep_verdict)
+    r.res_reports;
+  List.rev_map (fun id -> (id, Hashtbl.find tbl id)) !order
+
 (** Run one pipeline configuration.  With [?prof], the profile is
     installed for the duration of the run: each phase's wall time lands in
     its pass bucket and the analysis counters accumulate. *)
@@ -108,7 +140,7 @@ let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
   let program, inline_stats, annot_stats =
     phase "inline" (fun () ->
         match mode with
-        | No_inlining -> (program, None, None)
+        | No_inlining | Demand -> (program, None, None)
         | Conventional ->
             let p, st = Inliner.Inline.run ~config:inline_config program in
             (p, Some st, None)
@@ -124,7 +156,7 @@ let run ?prof ?(par_config = Parallelizer.Parallelize.default_config)
   let program, reverse_stats =
     phase "reverse" (fun () ->
         match mode with
-        | Annotation_based ->
+        | Annotation_based | Demand ->
             let p, st = Reverse.run ~cfg:annot_config ~annots program in
             (p, Some st)
         | No_inlining | Conventional -> (program, None))
@@ -237,7 +269,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
   let program, inline_stats, annot_stats =
     phase "inline" @@ fun () ->
     match mode with
-    | No_inlining -> (program, None, None)
+    | No_inlining | Demand -> (program, None, None)
     | Conventional ->
         let p, st = conventional program in
         (p, st, None)
@@ -301,7 +333,7 @@ let run_robust ?prof ?(par_config = Parallelizer.Parallelize.default_config)
     phase "reverse" @@ fun () ->
     match mode with
     | No_inlining | Conventional -> (program, None)
-    | Annotation_based -> (
+    | Annotation_based | Demand -> (
         match Reverse.run ~cfg:annot_config ~annots program with
         | p, st ->
             List.iter

@@ -2,9 +2,13 @@
 
 open Frontend
 
-(** Inlining configuration: none, Polaris-default conventional inlining, or
-    the paper's annotation-based inlining (with reverse inlining). *)
-type mode = No_inlining | Conventional | Annotation_based
+(** Inlining configuration: none, Polaris-default conventional inlining,
+    the paper's annotation-based inlining (with reverse inlining), or the
+    analysis leg of the demand-driven planner.  [Demand] expects the
+    planner to have materialized its callee selection already, so the
+    inline phase is a no-op; the reverse phase restores the *selected*
+    annotation regions exactly as [Annotation_based] does. *)
+type mode = No_inlining | Conventional | Annotation_based | Demand
 
 val mode_name : mode -> string
 
@@ -37,6 +41,16 @@ val normalize : Ast.program -> Ast.program
 
 (** Units reachable from MAIN through calls and function references. *)
 val reachable_units : Ast.program -> Set.Make(String).t
+
+(** Total statement count of a program — the planner's code-growth
+    currency. *)
+val stmt_count : Ast.program -> int
+
+(** Representative verdict per analyzed loop id, restricted to units
+    reachable from MAIN; a marked copy wins over a serial copy (a loop
+    parallel *anywhere live* counts as parallel, matching the Table II
+    accounting). *)
+val verdict_map : result -> (int * Parallelizer.Verdict.t) list
 
 (** Run one pipeline configuration over a parsed program.  With
     [?prof], the profile is installed (domain-locally) for the duration:

@@ -26,6 +26,7 @@ type code =
   | Verify  (** output-comparison harness / differential checker *)
   | Io  (** file system *)
   | Cli  (** command-line usage *)
+  | Plan  (** demand-driven inlining planner *)
 
 type loc = { l_line : int; l_col : int  (** 0 when unknown *) }
 
@@ -61,6 +62,7 @@ let code_name = function
   | Verify -> "verify"
   | Io -> "io"
   | Cli -> "cli"
+  | Plan -> "plan"
 
 let severity_name = function
   | Error -> "error"

@@ -333,9 +333,17 @@ let inline_call cfg stats (caller : Ast.program_unit)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(config = default_config) (program : Ast.program) :
-    Ast.program * stats =
+(** [run ?only program] inlines eligible calls inside loop nests.  With
+    [?only], inlining is restricted to the named callees (the
+    demand-driven planner's selection); calls to any other subroutine
+    are left untouched without being recorded as skipped — they were
+    never candidates. *)
+let run ?(config = default_config) ?(only : S.t option) (program : Ast.program)
+    : Ast.program * stats =
   Fault.point "inliner.inline";
+  let selected name =
+    match only with None -> true | Some s -> S.mem name s
+  in
   let stats = new_stats () in
   let process_unit (u : Ast.program_unit) =
     let extra_decls = ref [] in
@@ -349,7 +357,7 @@ let run ?(config = default_config) (program : Ast.program) :
               [ { s with node = Ast.Do_loop { l with body = walk (depth + 1) l.body } } ]
           | Ast.If (c, t, e) ->
               [ { s with node = Ast.If (c, walk depth t, walk depth e) } ]
-          | Ast.Call (name, args) when depth > 0 -> (
+          | Ast.Call (name, args) when depth > 0 && selected name -> (
               match Ast.find_unit program name with
               | None -> [ s ]
               | Some callee -> (

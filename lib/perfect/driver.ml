@@ -1,6 +1,6 @@
 (** Profiled parallel suite driver.
 
-    Shards the 12-benchmark × 3-configuration experiment matrix across
+    Shards the 12-benchmark × 4-configuration experiment matrix across
     the {!Runtime.Pool} domain pool — the same pool (and the same
     fault-isolation semantics, PR 1) the interpreter uses for parallel
     loops.  One task = one (benchmark, configuration) compilation; a task
@@ -57,9 +57,17 @@ type point = {
           copy (a loop parallel *anywhere live* counts as parallel,
           matching the Table II accounting).  [[]] on a crashed point *)
   pt_original : int list;  (** loop ids of the benchmark's input program *)
+  pt_plan : Planner.plan option;
+      (** the demand configuration's plan trace; [None] elsewhere *)
 }
 
-let configs = [ Pipeline.No_inlining; Pipeline.Conventional; Pipeline.Annotation_based ]
+let configs =
+  [
+    Pipeline.No_inlining;
+    Pipeline.Conventional;
+    Pipeline.Annotation_based;
+    Pipeline.Demand;
+  ]
 
 (** Reset every domain-local gensym the compilation pipeline draws from.
     Called once per task; makes ids deterministic per benchmark source
@@ -77,10 +85,12 @@ type task_result = {
   tr_exec_ms : float option;
   tr_prof : Prof.t;
   tr_diags : Diag.t list;
+  tr_plan : Planner.plan option;  (** [Demand] tasks only *)
 }
 
-let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
-    (b : Bench_def.t) (mode : Pipeline.mode) : task_result =
+let run_task ?par_config ?growth_budget ?validate ?validate_threads ?span
+    ?(time_exec = false) (b : Bench_def.t) (mode : Pipeline.mode) :
+    task_result =
   let prof = Prof.create () in
   let dg = Diag.collector () in
   let t0 = Prof.monotonic_ns () in
@@ -94,10 +104,19 @@ let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
       reset_gensyms ();
       let program = Prof.time "parse" (fun () -> Bench_def.parse b) in
       let annots = Prof.time "parse" (fun () -> Bench_def.annots b) in
-      Pipeline.run_robust ?par_config ?validate ?validate_threads ~annots ~dg
-        ~mode program
+      match mode with
+      | Pipeline.Demand ->
+          let r, pl =
+            Planner.run ?growth_budget ?par_config ?validate ?validate_threads
+              ~annots ~dg program
+          in
+          (r, Some pl)
+      | _ ->
+          ( Pipeline.run_robust ?par_config ?validate ?validate_threads ~annots
+              ~dg ~mode program,
+            None )
     with
-    | r -> (Some r, [])
+    | r, pl -> (Some (r, pl), [])
     | exception e ->
         (* the whole-task fault barrier: anything the robust pipeline
            could not absorb (unparseable source, error-limit overflow)
@@ -129,7 +148,7 @@ let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
     else
       match result with
       | None -> None
-      | Some r -> (
+      | Some (r, _) -> (
           let e0 = Prof.monotonic_ns () in
           match Runtime.Interp.run_program ~threads:1 r.Pipeline.res_program with
           | (_ : string) ->
@@ -139,7 +158,7 @@ let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
   in
   let diags =
     match result with
-    | Some r -> r.Pipeline.res_diags
+    | Some (r, _) -> r.Pipeline.res_diags
     | None -> Diag.to_list dg @ crash
   in
   (* qualify the owning unit with the benchmark, so a suite-wide salvage
@@ -153,45 +172,25 @@ let run_task ?par_config ?validate ?validate_threads ?span ?(time_exec = false)
       diags
   in
   {
-    tr_result = result;
+    tr_result = Option.map fst result;
     tr_wall_ms = wall_ms;
     tr_exec_ms = exec_ms;
     tr_prof = prof;
     tr_diags = diags;
+    tr_plan = Option.bind result snd;
   }
-
-(* Representative verdict per loop id over the units reachable from
-   MAIN: a marked copy wins over any serial copy, otherwise the first
-   report in analysis order stands — the same "parallel anywhere live"
-   rule as {!Pipeline.marked_ids}. *)
-let verdict_map (r : Pipeline.result) : (int * Verdict.t) list =
-  let module SS = Set.Make (String) in
-  let live = Pipeline.reachable_units r.Pipeline.res_program in
-  let tbl = Hashtbl.create 64 in
-  let order = ref [] in
-  List.iter
-    (fun (rep : Parallelizer.Parallelize.loop_report) ->
-      if SS.mem rep.rep_unit live then
-        match Hashtbl.find_opt tbl rep.rep_loop_id with
-        | None ->
-            Hashtbl.add tbl rep.rep_loop_id rep.rep_verdict;
-            order := rep.rep_loop_id :: !order
-        | Some old ->
-            if (not (Verdict.is_marked old)) && Verdict.is_marked rep.rep_verdict
-            then Hashtbl.replace tbl rep.rep_loop_id rep.rep_verdict)
-    r.Pipeline.res_reports;
-  List.rev_map (fun id -> (id, Hashtbl.find tbl id)) !order
 
 (** Run the suite matrix.  [jobs] is the domain count ([<= 1] runs
     everything on the caller — the same code path, minus the workers).
     Points come back in deterministic order: benchmark-major, then
-    no-inlining / conventional / annotation-based.  With
+    no-inlining / conventional / annotation-based / demand.  With
     [~validate:true] every optimized program additionally runs under the
     validation oracle and the per-point verdict lands in
-    [pt_validation]. *)
-let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
-    ?time_exec ?deadline_s ?(retries = 0) ?(benches = Suite.all) () :
-    point list =
+    [pt_validation].  [growth_budget] caps the demand planner's code
+    growth (default {!Planner.default_growth_budget}). *)
+let run_suite ?(jobs = 1) ?par_config ?growth_budget ?validate
+    ?validate_threads ?span ?time_exec ?deadline_s ?(retries = 0)
+    ?(benches = Suite.all) () : point list =
   let tasks =
     Array.of_list
       (List.concat_map (fun b -> List.map (fun m -> (b, m)) configs) benches)
@@ -201,7 +200,7 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
   let retries_arr = Array.make n 0 in
   let dmiss_arr = Array.make n 0 in
   (* A failed or abandoned chunk degrades to a crashed point carrying
-     the cause; the remaining 35 tasks are untouched.  Tasks are
+     the cause; the remaining 47 tasks are untouched.  Tasks are
      idempotent ([out.(i) <- ...]), so pool-level retries are safe. *)
   let degrade chunk (d : Diag.t) =
     out.(chunk) <-
@@ -212,6 +211,7 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
           tr_exec_ms = None;
           tr_prof = Prof.create ();
           tr_diags = [ d ];
+          tr_plan = None;
         }
   in
   let absorb (ev : Runtime.Pool.event) =
@@ -254,14 +254,14 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
           let b, m = tasks.(i) in
           out.(i) <-
             Some
-              (run_task ?par_config ?validate ?validate_threads ?span
-                 ?time_exec b m)));
+              (run_task ?par_config ?growth_budget ?validate ?validate_threads
+                 ?span ?time_exec b m)));
   (* Absorb events only after shutdown joined every worker: a worker
      stalled past the deadline may still have been writing its (now
      abandoned) slot, and the degraded point must win deterministically. *)
   List.iter absorb !events;
-  (* Baseline-relative accounting: group the three per-bench tasks and
-     count against the no-inlining result.  A crashed baseline degrades
+  (* Baseline-relative accounting: group the per-bench tasks and count
+     against the no-inlining result.  A crashed baseline degrades
      loss/extra to 0 (each result is counted against itself). *)
   List.concat
     (List.mapi
@@ -272,7 +272,7 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
            | None ->
                (* unreachable: parallel_for ran every chunk *)
                { tr_result = None; tr_wall_ms = 0.0; tr_exec_ms = None;
-                 tr_prof = Prof.create (); tr_diags = [] }
+                 tr_prof = Prof.create (); tr_diags = []; tr_plan = None }
          in
          let base = (tr 0).tr_result in
          List.mapi
@@ -310,11 +310,12 @@ let run_suite ?(jobs = 1) ?par_config ?validate ?validate_threads ?span
                pt_verdicts =
                  (match t.tr_result with
                  | None -> []
-                 | Some r -> verdict_map r);
+                 | Some r -> Pipeline.verdict_map r);
                pt_original =
                  (match t.tr_result with
                  | None -> []
                  | Some r -> r.Pipeline.res_original_loops);
+               pt_plan = t.tr_plan;
              })
            configs)
        benches)
@@ -340,9 +341,27 @@ let explain (points : point list) : Explain.t =
             let others =
               List.filter_map
                 (fun m -> Option.map (fun p -> (m, p.pt_verdicts)) (find m))
-                [ Pipeline.Conventional; Pipeline.Annotation_based ]
+                [
+                  Pipeline.Conventional;
+                  Pipeline.Annotation_based;
+                  Pipeline.Demand;
+                ]
             in
-            Explain.diff_bench ~bench ~original:base.pt_original
+            (* demand's gained loops attribute to the planning round and
+               inlined callee that unlocked them (from the plan trace) *)
+            let attrs =
+              match find Pipeline.Demand with
+              | Some { pt_plan = Some pl; _ } ->
+                  [
+                    ( Pipeline.Demand,
+                      List.map
+                        (fun (a : Planner.attribution) ->
+                          (a.at_loop, (a.at_round, a.at_callee)))
+                        pl.Planner.pl_resolved );
+                  ]
+              | _ -> []
+            in
+            Explain.diff_bench ~bench ~attrs ~original:base.pt_original
               ~baseline:base.pt_verdicts others)
       (List.rev benches)
   in
@@ -444,6 +463,23 @@ let json_of_point (p : point) =
                   (List.map (fun d -> json_str (Diag.render d)) p.pt_diags)
               ^ "]" );
           ] );
+      ( "planner",
+        match p.pt_plan with
+        | None -> "null"
+        | Some pl ->
+            json_obj
+              [
+                ("rounds", string_of_int (List.length pl.Planner.pl_rounds));
+                ("sites_inlined", string_of_int pl.Planner.pl_sites);
+                ("growth_ratio", json_num pl.Planner.pl_growth);
+                ( "blockers_resolved",
+                  string_of_int (List.length pl.Planner.pl_resolved) );
+                ( "blockers_remaining",
+                  string_of_int (List.length pl.Planner.pl_remaining) );
+                ( "budget_exhausted",
+                  if pl.Planner.pl_budget_exhausted then "true" else "false"
+                );
+              ] );
       ( "verdicts",
         let vs = List.map snd p.pt_verdicts in
         let parallel = List.filter Verdict.is_parallel vs in
@@ -487,11 +523,15 @@ let json_of_point (p : point) =
     and ["deadline_misses"] (pool-level recovery accounting) and the
     ["faults_injected"] counter (chaos faults fired inside the task);
     all three are zero whenever no [--chaos] plan is armed, so a
-    faults-off v5 document differs from v4 only by the new fields. *)
+    faults-off v5 document differs from v4 only by the new fields.
+    Version 6 adds the fourth ["demand"] configuration and its per-point
+    ["planner"] object (rounds, sites inlined, growth ratio, blockers
+    resolved/remaining, budget exhaustion); ["planner"] is [null] on the
+    other three configurations. *)
 let to_json ?(explain : Explain.t option) (points : point list) : string =
   json_obj
     ([
-       ("schema_version", "5");
+       ("schema_version", "6");
        ("suite", json_str "perfect");
        ("jobs_deterministic", "true");
        ( "points",
@@ -513,6 +553,13 @@ let to_json ?(explain : Explain.t option) (points : point list) : string =
     documents, which predate it.  The wall-clock and dependence-cache
     fields are version-4; on older documents they read as their zero /
     [None] defaults so the compare tooling degrades gracefully. *)
+type read_planner = {
+  rp_rounds : int;
+  rp_sites : int;
+  rp_growth : float;
+  rp_resolved : int;
+}
+
 type read_point = {
   rd_bench : string;
   rd_config : string;
@@ -528,12 +575,16 @@ type read_point = {
   rd_retries : int;  (** v5; 0 on older documents *)
   rd_deadline_misses : int;  (** v5; 0 on older documents *)
   rd_faults_injected : int;  (** v5; 0 on older documents *)
+  rd_planner : read_planner option;  (** v6 demand points; [None] elsewhere *)
+  rd_counter_keys : string list;
+      (** the counter keys this point actually carries — lets consumers
+          distinguish "absent in this schema version" from "zero" *)
 }
 
 type read_doc = { rd_version : int; rd_points : read_point list }
 
 (** Parse a bench JSON document produced by this driver — the current
-    version 5 or the archived versions 2 through 4 — into a {!read_doc}.
+    version 6 or the archived versions 2 through 5 — into a {!read_doc}.
     Unknown fields are ignored, so the reader keeps working as the
     schema grows. *)
 let read_json (s : string) : (read_doc, string) result =
@@ -544,7 +595,7 @@ let read_json (s : string) : (read_doc, string) result =
       | Json.Null -> Error "missing schema_version"
       | v ->
           let version = Json.to_int ~default:0 v in
-          if version < 2 || version > 5 then
+          if version < 2 || version > 6 then
             Error (Printf.sprintf "unsupported schema_version %d" version)
           else
             Ok
@@ -587,6 +638,28 @@ let read_json (s : string) : (read_doc, string) result =
                         rd_faults_injected =
                           Json.to_int ~default:0
                             (Json.member "faults_injected" counters);
+                        rd_planner =
+                          (match Json.member "planner" p with
+                          | Json.Null -> None
+                          | pl ->
+                              Some
+                                {
+                                  rp_rounds =
+                                    Json.to_int (Json.member "rounds" pl);
+                                  rp_sites =
+                                    Json.to_int
+                                      (Json.member "sites_inlined" pl);
+                                  rp_growth =
+                                    Json.to_float
+                                      (Json.member "growth_ratio" pl);
+                                  rp_resolved =
+                                    Json.to_int
+                                      (Json.member "blockers_resolved" pl);
+                                });
+                        rd_counter_keys =
+                          (match counters with
+                          | Json.Obj kvs -> List.map fst kvs
+                          | _ -> []);
                       })
                     (Json.to_list (Json.member "points" j));
               })

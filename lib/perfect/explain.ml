@@ -38,6 +38,9 @@ type row = {
   row_class : cls;
   row_blockers : Verdict.blocker list;  (** this configuration's blockers *)
   row_base_blockers : Verdict.blocker list;  (** baseline blockers *)
+  row_attr : (int * string) option;
+      (** demand-planner attribution of a [Gained] row: the planning
+          round and the inlined callee that unlocked the loop *)
 }
 
 (** Per-configuration totals.  [sum_resolved] histograms the baseline
@@ -74,9 +77,12 @@ let not_analyzed = [ Verdict.Not_analyzed "no verdict in this configuration" ]
     program; [baseline] and each [(mode, verdicts)] map loop id to the
     representative verdict of that configuration (marked copy preferred
     — see {!Driver}).  Rows come out in loop-id order, configurations in
-    the order given. *)
-let diff_bench ~(bench : string) ~(original : int list)
-    ~(baseline : (int * Verdict.t) list)
+    the order given.  [attrs] maps a mode's loop ids to the planner's
+    [(round, callee)] attribution; a [Gained] row of that mode carries
+    it in [row_attr]. *)
+let diff_bench ~(bench : string)
+    ?(attrs : (Pipeline.mode * (int * (int * string)) list) list = [])
+    ~(original : int list) ~(baseline : (int * Verdict.t) list)
     (others : (Pipeline.mode * (int * Verdict.t) list) list) : row list =
   let ids =
     List.sort_uniq compare
@@ -126,6 +132,10 @@ let diff_bench ~(bench : string) ~(original : int list)
                parallel side of every class automatically *)
             row_blockers = blockers_of mv;
             row_base_blockers = blockers_of bv;
+            row_attr =
+              (if cls = Gained then
+                 Option.bind (List.assoc_opt mode attrs) (List.assoc_opt id)
+               else None);
           })
         ids)
     others
@@ -193,11 +203,15 @@ let render (t : t) : string =
                (render_blockers r.row_blockers))
       | Gained ->
           Buffer.add_string buf
-            (Printf.sprintf "%-10s %-15s %-27s gained  was blocked: %s\n"
+            (Printf.sprintf "%-10s %-15s %-27s gained  was blocked: %s%s\n"
                r.row_bench
                (Pipeline.mode_name r.row_config)
                (Verdict.key r.row_loop)
-               (render_blockers r.row_base_blockers)))
+               (render_blockers r.row_base_blockers)
+               (match r.row_attr with
+               | None -> ""
+               | Some (round, callee) ->
+                   Printf.sprintf "  [round %d via %s]" round callee)))
     t.rows;
   List.iter
     (fun s ->
@@ -237,6 +251,12 @@ let row_to_json (r : row) : Json.t =
       ("blockers", Json.List (List.map Verdict.blocker_to_json r.row_blockers));
       ( "baseline_blockers",
         Json.List (List.map Verdict.blocker_to_json r.row_base_blockers) );
+      ( "attribution",
+        match r.row_attr with
+        | None -> Json.Null
+        | Some (round, callee) ->
+            Json.Obj
+              [ ("round", Json.Int round); ("callee", Json.Str callee) ] );
     ]
 
 let summary_to_json (s : summary) : Json.t =

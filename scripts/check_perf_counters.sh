@@ -10,7 +10,12 @@
 #   - verdicts (par/loss/extra) must not drift,
 #   - dep_tests_run must match exactly (the tester asks the same
 #     questions; caching only changes who answers),
-#   - dep_cache_misses must not regress above the baseline.
+#   - dep_cache_misses must not regress above the baseline,
+#   - suite-wide, the demand configuration's dep-cache hit ratio must
+#     be >= annotation's (the planner's probe re-analyses replay
+#     memoized dependence questions; a drop means recomputation),
+#   - counter keys absent from either side (older/newer schema) are
+#     skipped with a warning, never failed.
 #
 # A drop in misses is reported as a note: refresh the baseline with
 #   dune exec bench/main.exe -- table2 --json bench/baseline_counters.json

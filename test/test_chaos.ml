@@ -356,7 +356,7 @@ let test_driver_degrades_one_point () =
     Fault.with_plan pl (fun () ->
         Perfect.Driver.run_suite ~benches:small_benches ())
   in
-  Alcotest.(check int) "full matrix" 6 (List.length points);
+  Alcotest.(check int) "full matrix" 8 (List.length points);
   let crashed =
     List.filter (fun (p : Perfect.Driver.point) -> p.pt_crashed) points
   in
@@ -379,7 +379,7 @@ let test_driver_pool_retry_heals_chunk () =
     Fault.with_plan pl (fun () ->
         Perfect.Driver.run_suite ~jobs:2 ~retries:2 ~benches:small_benches ())
   in
-  Alcotest.(check int) "full matrix" 6 (List.length points);
+  Alcotest.(check int) "full matrix" 8 (List.length points);
   Alcotest.(check bool) "no point crashed" true
     (List.for_all (fun (p : Perfect.Driver.point) -> not p.pt_crashed) points);
   Alcotest.(check int) "one retry recorded" 1

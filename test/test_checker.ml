@@ -280,9 +280,9 @@ let test_pipeline_validate_field () =
 
 let test_matrix_validates () =
   (* the acceptance bar: zero unexcused races and zero divergences over
-     the whole 12-benchmark x 3-configuration matrix *)
+     the whole 12-benchmark x 4-configuration matrix *)
   let points = Perfect.Driver.run_suite ~jobs:2 ~validate:true () in
-  ci "12 benchmarks x 3 configs" 36 (List.length points);
+  ci "12 benchmarks x 4 configs" 48 (List.length points);
   List.iter
     (fun (p : Perfect.Driver.point) ->
       let label =
@@ -317,7 +317,7 @@ let test_validation_failure_degrades_exit () =
         ]
       ()
   in
-  ci "three points" 3 (List.length points);
+  ci "four points" 4 (List.length points);
   cb "some verdict failed" true
     (List.exists
        (fun (p : Perfect.Driver.point) ->

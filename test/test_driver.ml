@@ -24,7 +24,7 @@ let fingerprints points = List.sort compare (List.map fingerprint points)
 let test_parallel_matches_sequential () =
   let seq = Perfect.Driver.run_suite ~jobs:1 () in
   let par = Perfect.Driver.run_suite ~jobs:4 () in
-  ci "12 benchmarks x 3 configs" 36 (List.length seq);
+  ci "12 benchmarks x 4 configs" 48 (List.length seq);
   ci "same cardinality" (List.length seq) (List.length par);
   cb "identical results (counts, sizes, counters)" true
     (fingerprints seq = fingerprints par)
@@ -45,13 +45,13 @@ let test_poisoned_bench_is_salvaged () =
     Perfect.Driver.run_suite ~jobs:4
       ~benches:(poison :: Perfect.Suite.all) ()
   in
-  ci "13 benchmarks x 3 configs" 39 (List.length dirty);
+  ci "13 benchmarks x 4 configs" 52 (List.length dirty);
   let poisoned, rest =
     List.partition
       (fun (p : Perfect.Driver.point) -> p.pt_bench = "POISON")
       dirty
   in
-  ci "three poisoned points" 3 (List.length poisoned);
+  ci "four poisoned points" 4 (List.length poisoned);
   List.iter
     (fun (p : Perfect.Driver.point) ->
       cb "poisoned point crashed" true p.pt_crashed;
@@ -151,7 +151,8 @@ let test_json_schema () =
       "schema_version"; "points"; "bench"; "config"; "par_loops"; "loss";
       "extra"; "code_size"; "wall_ms"; "pass_ms"; "counters"; "salvage";
       "validation"; "iterations_traced"; "race_conflicts"; "race_excused";
-      "no-inlining"; "conventional"; "annotation-based";
+      "no-inlining"; "conventional"; "annotation-based"; "demand"; "planner";
+      "sites_inlined"; "growth_ratio"; "blockers_resolved";
     ]
 
 let suite =

@@ -166,7 +166,7 @@ let test_collects_all_blockers () =
 
 let test_explain_diff_suite () =
   let points = Perfect.Driver.run_suite ~jobs:4 () in
-  ci "12 benchmarks x 3 configs" 36 (List.length points);
+  ci "12 benchmarks x 4 configs" 48 (List.length points);
   (* every serial verdict is structured: at least one typed blocker, and
      the legacy reason is its first blocker's rendering (no free-form
      reasons survive anywhere in the matrix) *)
@@ -281,7 +281,7 @@ let test_schema_reader_v2_compat () =
       ci "par" 21 p.rd_par;
       cb "v2 has no verdict counts" true (p.rd_verdicts = None)
 
-let test_schema_reader_v5_current () =
+let test_schema_reader_v6_current () =
   let points =
     Perfect.Driver.run_suite ~jobs:1 ~benches:[ Perfect.Mdg.bench ] ()
   in
@@ -289,12 +289,12 @@ let test_schema_reader_v5_current () =
   match Perfect.Driver.read_json (Perfect.Driver.to_json ~explain points) with
   | Error e -> Alcotest.failf "current document rejected: %s" e
   | Ok doc ->
-      ci "version 5" 5 doc.Perfect.Driver.rd_version;
-      ci "three points" 3 (List.length doc.rd_points);
+      ci "version 6" 6 doc.Perfect.Driver.rd_version;
+      ci "four points" 4 (List.length doc.rd_points);
       List.iter
         (fun (p : Perfect.Driver.read_point) ->
           (match p.rd_verdicts with
-          | None -> Alcotest.fail "v5 point lost its verdict counts"
+          | None -> Alcotest.fail "v6 point lost its verdict counts"
           | Some (par, ser) ->
               cb "counts sane" true (par >= 0 && ser >= 0 && par + ser > 0));
           cb "exec_ms null without --time-exec" true (p.rd_exec_ms = None);
@@ -304,6 +304,21 @@ let test_schema_reader_v5_current () =
           ci "no retries" 0 p.rd_retries;
           ci "no deadline misses" 0 p.rd_deadline_misses;
           ci "no faults" 0 p.rd_faults_injected)
+        doc.rd_points;
+      (* the demand point round-trips its planner stats; the other
+         configurations stay planner-free *)
+      List.iter
+        (fun (p : Perfect.Driver.read_point) ->
+          match (p.rd_config, p.rd_planner) with
+          | "demand", None ->
+              Alcotest.fail "demand point lost its planner stats"
+          | "demand", Some pl ->
+              cb "planner stats sane" true
+                (pl.Perfect.Driver.rp_rounds >= 1
+                && pl.rp_sites >= 0 && pl.rp_growth >= 1.0
+                && pl.rp_resolved >= 0)
+          | _, Some _ -> Alcotest.fail (p.rd_config ^ " grew planner stats")
+          | _, None -> ())
         doc.rd_points
 
 let test_schema_reader_rejects_garbage () =
@@ -350,8 +365,8 @@ let suite =
     Alcotest.test_case "tracing off is inert" `Quick test_tracing_off_is_inert;
     Alcotest.test_case "schema reader: v2 compatibility" `Quick
       test_schema_reader_v2_compat;
-    Alcotest.test_case "schema reader: current v5" `Quick
-      test_schema_reader_v5_current;
+    Alcotest.test_case "schema reader: current v6" `Quick
+      test_schema_reader_v6_current;
     Alcotest.test_case "schema reader rejects garbage" `Quick
       test_schema_reader_rejects_garbage;
     Alcotest.test_case "diagnostics render owning unit" `Quick

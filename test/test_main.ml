@@ -19,6 +19,7 @@ let () =
       ("explain", Test_explain.suite);
       ("checker", Test_checker.suite);
       ("perf", Test_perf.suite);
+      ("planner", Test_planner.suite);
       ("chaos", Test_chaos.suite);
       ("fuzz", Test_fuzz.suite);
     ]
