@@ -11,7 +11,7 @@ FAILWITH_BUDGET := 15
 BENCH_JOBS ?= 2
 BENCH_JSON ?= BENCH_table2.json
 
-.PHONY: all test failwith-budget check bench bench-compare perf-gate
+.PHONY: all test failwith-budget check bench bench-compare perf-gate serve-smoke
 
 # Two bench JSON documents to diff with `make bench-compare`.
 BENCH_OLD ?= bench/baseline_counters.json
@@ -40,5 +40,12 @@ bench-compare:
 # committed baseline (single-job for deterministic counters).
 perf-gate:
 	sh scripts/check_perf_counters.sh
+
+# End-to-end daemon gate: two passes over the examples corpus through a
+# live `parinline serve` socket (second pass 100% unit-cache hits and
+# byte-identical), then a kill + restart from the --cache-dir snapshot
+# (same bytes, zero dependence tests executed).
+serve-smoke: all
+	sh scripts/serve_smoke.sh
 
 check: all test failwith-budget

@@ -2,10 +2,11 @@
    evaluation section, plus the ablation studies called out in DESIGN.md.
 
    Usage:
-     bench/main.exe [table1] [table2] [fig20] [micro] [ablate] [all]
+     bench/main.exe [table1] [table2] [fig20] [micro] [ablate]
+                    [serve-bench] [all]
                     [--jobs N] [--json FILE] [--validate] [--time-exec]
                     [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N]
-                    [--growth-budget F] [--stable-json]
+                    [--growth-budget F] [--stable-json] [--cache-dir DIR]
      bench/main.exe compare OLD.json NEW.json
      bench/main.exe check-counters NEW.json BASELINE.json
    With no task argument everything runs (the paper's artifacts plus the
@@ -40,8 +41,17 @@
                 (or on different machines) are byte-identical; the CI
                 plan-determinism gate diffs two such documents with cmp
 
+   serve-bench  drive the 12-benchmark corpus through an in-process
+                analysis daemon twice over the NDJSON protocol and
+                report requests/sec, p50/p99 latency, and the unit-cache
+                hit ratio (schema-v7 "serve" object); the warm pass must
+                sustain >= 3x the cold pass's throughput.  --cache-dir
+                restores/saves the daemon's warm-cache snapshot.
+
    compare         render a wall-clock / cache-counter diff of two bench
-                   JSON documents (schema versions 2-6 both sides)
+                   JSON documents (schema versions 2-7 both sides; point
+                   sets may differ — added/removed points are reported,
+                   totals cover the shared ones)
    check-counters  deterministic CI gate: fail if verdicts or dependence
                    counters drift from the committed baseline
 
@@ -382,6 +392,113 @@ let ablate () =
   say "\n"
 
 (* ------------------------------------------------------------------ *)
+(* serve-bench: daemon throughput                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the whole PERFECT corpus (12 benchmarks x 4 configurations)
+   through an in-process analysis daemon twice over the NDJSON protocol
+   — a cold pass that computes everything and a warm pass the unit
+   cache must answer end-to-end — and report requests/sec, p50/p99
+   request latency, and the end-to-end hit ratio as the schema-v7
+   ["serve"] object.  The warm pass must sustain at least 3x the cold
+   pass's throughput (the point of the daemon); falling short degrades
+   the exit status to 1. *)
+let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
+  rule ();
+  say "SERVE-BENCH: analysis daemon over the PERFECT corpus (two passes)\n";
+  rule ();
+  let t, start_diags = Server.Serve.create ~jobs ?cache_dir () in
+  List.iter (fun d -> prerr_endline (Core.Diag.render d)) start_diags;
+  let lines =
+    List.concat_map
+      (fun (b : Perfect.Bench_def.t) ->
+        List.map
+          (fun mode ->
+            Frontend.Json.to_string
+              (Server.Serve.request ~op:"analyze" ~mode ~source:b.source
+                 ~annot:b.annotations ()))
+          [ "none"; "conventional"; "annotation"; "demand" ])
+      Perfect.Suite.all
+  in
+  let latencies = ref [] in
+  let drive label =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun line ->
+        let r0 = Unix.gettimeofday () in
+        let resp = Server.Serve.handle_line t line in
+        latencies := ((Unix.gettimeofday () -. r0) *. 1000.0) :: !latencies;
+        match Frontend.Json.parse resp with
+        | Ok j when Frontend.Json.to_bool (Frontend.Json.member "ok" j) -> ()
+        | _ ->
+            Printf.eprintf "serve-bench: %s pass: request failed\n" label;
+            degrade 1)
+      lines;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (List.length lines) /. (if dt > 0.0 then dt else 1e-9)
+  in
+  let cold_rps = drive "cold" in
+  let warm_rps = drive "warm" in
+  let c = Server.Serve.counters t in
+  List.iter (fun d -> prerr_endline (Core.Diag.render d)) (Server.Serve.drain t);
+  let sorted = List.sort compare !latencies in
+  let n = List.length sorted in
+  let percentile p =
+    if n = 0 then 0.0
+    else List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let hit_ratio =
+    if c.Core.Prof.requests_served = 0 then 0.0
+    else
+      float_of_int c.Core.Prof.unit_cache_hits
+      /. float_of_int c.Core.Prof.requests_served
+  in
+  let stats =
+    {
+      Perfect.Driver.sv_requests = c.Core.Prof.requests_served;
+      sv_cold_rps = cold_rps;
+      sv_warm_rps = warm_rps;
+      sv_p50_ms = percentile 0.50;
+      sv_p99_ms = percentile 0.99;
+      sv_hit_ratio = hit_ratio;
+      sv_snapshot_restores = c.Core.Prof.snapshot_restores;
+    }
+  in
+  say
+    "requests: %d  cold: %.1f req/s  warm: %.1f req/s (%.1fx)\n\
+     latency: p50 %.3f ms, p99 %.3f ms  unit-cache hit ratio: %.3f\n"
+    stats.Perfect.Driver.sv_requests cold_rps warm_rps
+    (if cold_rps > 0.0 then warm_rps /. cold_rps else 0.0)
+    stats.sv_p50_ms stats.sv_p99_ms hit_ratio;
+  if warm_rps < 3.0 *. cold_rps then begin
+    Printf.eprintf
+      "serve-bench: warm pass %.1f req/s below 3x cold %.1f req/s — the \
+       unit cache is not paying for itself\n"
+      warm_rps cold_rps;
+    degrade 1
+  end;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      (* --stable-json: timing numbers vary by host; the request count,
+         hit ratio, and restore count are deterministic and stay. *)
+      let stats =
+        if not stable_json then stats
+        else
+          {
+            stats with
+            Perfect.Driver.sv_cold_rps = 0.0;
+            sv_warm_rps = 0.0;
+            sv_p50_ms = 0.0;
+            sv_p99_ms = 0.0;
+          }
+      in
+      Perfect.Driver.write_file_atomic path
+        (Perfect.Driver.to_json ~serve:stats []);
+      Printf.eprintf "bench: wrote serve stats to %s\n" path);
+  say "\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bench-JSON tooling: compare + counter gate                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -419,12 +536,16 @@ let cmd_compare old_path new_path =
     "exec-new";
   let t_wo = ref 0.0 and t_wn = ref 0.0 in
   let t_mo = ref 0 and t_mn = ref 0 in
+  let added = ref 0 and removed = ref 0 and shared = ref 0 in
   let fmt_exec = function None -> "-" | Some ms -> Printf.sprintf "%.1f" ms in
   List.iter
     (fun (n : Perfect.Driver.read_point) ->
       match find_point old_doc.rd_points (point_key n) with
-      | None -> say "%-8s %-16s | (only in new file)\n" n.rd_bench n.rd_config
+      | None ->
+          incr added;
+          say "%-8s %-16s | (only in new file)\n" n.rd_bench n.rd_config
       | Some o ->
+          incr shared;
           t_wo := !t_wo +. o.rd_wall_ms;
           t_wn := !t_wn +. n.rd_wall_ms;
           t_mo := !t_mo + o.rd_dep_cache_misses;
@@ -453,14 +574,34 @@ let cmd_compare old_path new_path =
     new_doc.rd_points;
   List.iter
     (fun (o : Perfect.Driver.read_point) ->
-      if find_point new_doc.rd_points (point_key o) = None then
-        say "%-8s %-16s | (only in old file)\n" o.rd_bench o.rd_config)
+      if find_point new_doc.rd_points (point_key o) = None then begin
+        incr removed;
+        say "%-8s %-16s | (only in old file)\n" o.rd_bench o.rd_config
+      end)
     old_doc.rd_points;
   rule ();
   say "%-8s %-16s | %9.1f %9.1f %6.2fx | %8d %8d |\n" "TOTAL" ""
     !t_wo !t_wn
     (if !t_wn > 0.0 then !t_wo /. !t_wn else 0.0)
-    !t_mo !t_mn
+    !t_mo !t_mn;
+  if !added > 0 || !removed > 0 then
+    say
+      "points: %d added, %d removed (matrices differ; totals cover the %d \
+       shared point(s))\n"
+      !added !removed !shared;
+  (* v7 serve objects, when either side carries one *)
+  match (old_doc.rd_serve, new_doc.rd_serve) with
+  | None, None -> ()
+  | o, n ->
+      let fmt = function
+        | None -> "-"
+        | Some (s : Perfect.Driver.read_serve) ->
+            Printf.sprintf
+              "%d req, cold %.1f/s, warm %.1f/s, p99 %.3f ms, hits %.3f"
+              s.rs_requests s.rs_cold_rps s.rs_warm_rps s.rs_p99_ms
+              s.rs_hit_ratio
+      in
+      say "serve:   old: %s\n         new: %s\n" (fmt o) (fmt n)
 
 (* [check-counters NEW BASELINE]: the deterministic perf gate.  The
    analysis counters (verdicts, dep-test totals, cache misses) are
@@ -580,11 +721,11 @@ let cmd_check_counters new_path baseline_path =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [table1|table2|fig20|micro|ablate|all]... [--jobs N] \
-     [--json FILE] [--validate] [--explain-diff] [--trace-out FILE] \
-     [--time-exec]\n\
+    "usage: main.exe [table1|table2|fig20|micro|ablate|serve-bench|all]... \
+     [--jobs N] [--json FILE] [--validate] [--explain-diff] [--trace-out \
+     FILE] [--time-exec]\n\
     \                [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N] \
-     [--growth-budget F] [--stable-json]\n\
+     [--growth-budget F] [--stable-json] [--cache-dir DIR]\n\
     \       main.exe compare OLD.json NEW.json\n\
     \       main.exe check-counters NEW.json BASELINE.json\n";
   exit 2
@@ -602,6 +743,7 @@ let () =
   let retries = ref 0 in
   let growth_budget = ref None in
   let stable_json = ref false in
+  let cache_dir = ref None in
   (* file-argument subcommands dispatch before the task loop *)
   (match Array.to_list Sys.argv with
   | _ :: "compare" :: rest -> (
@@ -664,8 +806,11 @@ let () =
     | "--stable-json" :: rest ->
         stable_json := true;
         parse_args acc rest
+    | "--cache-dir" :: path :: rest ->
+        cache_dir := Some path;
+        parse_args acc rest
     | ("--jobs" | "--json" | "--trace-out" | "--chaos" | "--deadline-ms"
-      | "--retries" | "--growth-budget")
+      | "--retries" | "--growth-budget" | "--cache-dir")
       :: [] ->
         usage ()
     | a :: rest -> parse_args (a :: acc) rest
@@ -685,6 +830,9 @@ let () =
          | "fig20" -> fig20 ()
          | "micro" -> micro ()
          | "ablate" -> ablate ()
+         | "serve-bench" ->
+             serve_bench ~jobs:!jobs ?json_out:!json_out
+               ?cache_dir:!cache_dir ~stable_json:!stable_json ()
          | "all" ->
              table1 ();
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate

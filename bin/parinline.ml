@@ -9,6 +9,9 @@
      parinline check    FILE.f [--annot FILE.annot] [--mode MODE] [--threads N]
      parinline plan     FILE.f [--annot FILE.annot] [--growth-budget F]
                                [--max-rounds N] [--json]
+     parinline serve    [--socket PATH] [--cache-dir DIR] [--jobs N]
+     parinline client   --socket PATH [--op OP] [FILE.f] [--annot FILE.annot]
+                               [--mode MODE]
 
    MODE is one of: none | conventional | annotation | demand
    (default: annotation).  demand runs the verdict-guided planner: only
@@ -746,6 +749,175 @@ let fuzz_cmd =
       const fuzz_run $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_mutate_arg
       $ fuzz_dump_arg)
 
+(* ---- the analysis daemon (serve) and its protocol client ---- *)
+
+(* Run the long-lived analysis daemon: NDJSON over a Unix-domain socket
+   (--socket) or over stdin/stdout (default).  The loops own the
+   never-crash contract; this wrapper owns startup/teardown — restore
+   diagnostics on stderr, signal-triggered graceful drain, and the
+   warm-cache snapshot on the way out. *)
+let serve_run socket cache_dir jobs max_errors chaos =
+  if jobs < 1 then fail_cli "--jobs must be at least 1";
+  with_chaos chaos @@ fun () ->
+  let t, start_diags = Server.Serve.create ~jobs ?cache_dir ~max_errors () in
+  print_diags start_diags;
+  let on_signal =
+    Sys.Signal_handle
+      (fun _ ->
+        Server.Serve.stop t;
+        raise Exit)
+  in
+  (try
+     Sys.set_signal Sys.sigterm on_signal;
+     Sys.set_signal Sys.sigint on_signal
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try
+     match socket with
+     | Some path ->
+         Printf.eprintf "parinline serve: listening on %s (jobs=%d%s)\n%!"
+           path jobs
+           (match cache_dir with
+           | None -> ""
+           | Some d -> ", cache-dir=" ^ d);
+         Server.Serve.serve_socket t ~path
+     | None -> Server.Serve.serve_channels t stdin stdout
+   with Exit -> ());
+  print_diags (Server.Serve.drain t);
+  exit 0
+
+(* One protocol round-trip against a running daemon.  Work-op output is
+   printed so it is byte-identical to the one-shot commands: analyze
+   prints the verdict array exactly as [explain --json] would, compile
+   prints the optimized source, plan prints the plan document as
+   [plan --json] would.  Cache provenance goes to stderr. *)
+let client_run socket op source_file annot_file mode growth_budget max_rounds
+    =
+  let module Json = Frontend.Json in
+  let req =
+    match op with
+    | "ping" | "stats" | "snapshot" | "shutdown" -> Server.Serve.request ~op ()
+    | "analyze" | "compile" | "plan" -> (
+        match source_file with
+        | None -> fail_cli "client --op %s needs FILE.f" op
+        | Some f ->
+            if growth_budget <= 0.0 then
+              fail_cli "--growth-budget must be positive";
+            if max_rounds < 1 then fail_cli "--max-rounds must be at least 1";
+            let source, annot_source = load f annot_file in
+            Server.Serve.request ~op ~mode ~source ~annot:annot_source
+              ~growth_budget ~max_rounds ())
+    | op -> fail_cli "unknown op %S (expected ping | stats | snapshot | shutdown | analyze | compile | plan)" op
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      fail_cli "cannot connect to %s: %s" socket (Unix.error_message e));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc (Json.to_string req);
+  output_char oc '\n';
+  flush oc;
+  let line =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file -> fail_cli "server closed the connection"
+  in
+  close_out_noerr oc;
+  match Json.parse line with
+  | Error m -> fail_cli "unparseable server response: %s" m
+  | Ok j ->
+      if not (Json.to_bool (Json.member "ok" j)) then begin
+        List.iter
+          (fun d -> prerr_endline (Json.to_str d))
+          (Json.to_list (Json.member "diags" j));
+        exit 1
+      end;
+      let result = Json.member "result" j in
+      (match op with
+      | "analyze" ->
+          print_string (Json.to_string (Json.member "verdicts" result) ^ "\n")
+      | "compile" -> print_string (Json.to_str (Json.member "program" result))
+      | "plan" ->
+          print_string (Json.to_string (Json.member "plan" result) ^ "\n")
+      | _ -> print_endline line);
+      (match op with
+      | "analyze" | "compile" | "plan" ->
+          Printf.eprintf "client: %s (%s)\n"
+            (if Json.to_bool (Json.member "cached" j) then "unit-cache hit"
+             else "computed")
+            (Json.to_str (Json.member "hash" j))
+      | _ -> ())
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at $(docv) (an existing file is \
+           replaced).  Without it the daemon speaks the same \
+           newline-delimited-JSON protocol on stdin/stdout.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the warm caches (dependence memo store + content-hashed \
+           unit cache) as a versioned snapshot under $(docv), restored on \
+           the next startup.  A corrupt or version-mismatched snapshot is \
+           rejected with a warning and the daemon cold-starts.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Shard batch requests across $(docv) worker domains.")
+
+let op_arg =
+  Arg.(
+    value & opt string "analyze"
+    & info [ "op" ] ~docv:"OP"
+        ~doc:
+          "Request to send: analyze | compile | plan (need FILE.f) or ping \
+           | stats | snapshot | shutdown.")
+
+let client_source_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.f")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: batched analyze/compile/plan \
+          requests over newline-delimited JSON (stdin/stdout or a \
+          Unix-domain socket), content-hashed unit caching, the dependence \
+          memo store kept warm across requests, and optional on-disk \
+          snapshots (--cache-dir) that survive restarts")
+    Term.(
+      const serve_run $ serve_socket_arg $ cache_dir_arg $ jobs_arg
+      $ max_errors_arg $ chaos_arg)
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running analysis daemon and print the \
+          result (analyze output is byte-identical to explain --json; plan \
+          output to plan --json)")
+    Term.(
+      const client_run $ socket_arg $ op_arg $ client_source_arg $ annot_arg
+      $ mode_arg $ growth_budget_arg $ max_rounds_arg)
+
 let bench_name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
 
@@ -759,4 +931,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; report_cmd; explain_cmd; plan_cmd; run_cmd;
-            check_cmd; bench_cmd; fuzz_cmd ]))
+            check_cmd; bench_cmd; fuzz_cmd; serve_cmd; client_cmd ]))

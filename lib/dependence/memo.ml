@@ -179,3 +179,62 @@ let add ~fp ~a ~b result =
 let sizes () =
   let s = state () in
   (Hashtbl.length s.arefs, Hashtbl.length s.ctxs, Hashtbl.length s.table)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (warm-cache persistence)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_arefs : (aref_key * int) list;
+  sn_ctxs : (ctx_key * int) list;
+  sn_table : ((int * int * int) * (bool * string)) list;
+}
+(** A self-contained copy of one domain's memo store.  Entries are keyed
+    by the typed intern keys themselves (plus the id maps that resolve
+    the table's triples), so a snapshot is portable across processes:
+    the ids inside are local to the snapshot and are re-interned on
+    import.  The payload is plain algebraic data ([Ast.expr] trees,
+    strings, ints) — safe to [Marshal] with no closures or custom
+    blocks; the on-disk framing (versioning, integrity hash) belongs to
+    the persistence layer ([Server.Store]). *)
+
+(** Copy the calling domain's memo store into a portable snapshot. *)
+let export () : snapshot =
+  let s = state () in
+  {
+    sn_arefs = Hashtbl.fold (fun k id acc -> (k, id) :: acc) s.arefs [];
+    sn_ctxs = Hashtbl.fold (fun k id acc -> (k, id) :: acc) s.ctxs [];
+    sn_table = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table [];
+  }
+
+(** Merge [sn] into the calling domain's memo store.  Every key is
+    re-interned (snapshot-local ids never leak), so importing into a
+    warm table is safe: already-present questions keep their existing
+    answer — both sides computed the same pure function — and new ones
+    are added.  Returns the number of memoized pairs the table gained. *)
+let import (sn : snapshot) : int =
+  let s = state () in
+  let remap = Hashtbl.create 256 in
+  List.iter
+    (fun (k, old_id) -> Hashtbl.replace remap old_id (intern s.arefs k))
+    sn.sn_arefs;
+  List.iter
+    (fun (k, old_id) -> Hashtbl.replace remap old_id (intern s.ctxs k))
+    sn.sn_ctxs;
+  let before = Hashtbl.length s.table in
+  List.iter
+    (fun ((fp, a, b), result) ->
+      match
+        ( Hashtbl.find_opt remap fp,
+          Hashtbl.find_opt remap a,
+          Hashtbl.find_opt remap b )
+      with
+      | Some fp, Some a, Some b ->
+          if not (Hashtbl.mem s.table (fp, a, b)) then
+            Hashtbl.replace s.table (fp, a, b) result
+      | _ ->
+          (* a triple referencing an id its own snapshot never interned:
+             corrupt beyond use, drop the entry (never guess) *)
+          ())
+    sn.sn_table;
+  Hashtbl.length s.table - before

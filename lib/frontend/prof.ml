@@ -41,6 +41,13 @@ type counters = {
       (** of those, conflicts excused by PRIVATE/REDUCTION clauses *)
   mutable faults_injected : int;
       (** chaos faults fired ([Fault]); 0 whenever no plan is armed *)
+  mutable requests_served : int;
+      (** protocol requests answered by the analysis daemon ([Server]) *)
+  mutable unit_cache_hits : int;
+      (** of those, answered end-to-end from the content-hashed unit
+          cache — no re-parse, no re-analysis *)
+  mutable snapshot_restores : int;
+      (** on-disk warm-cache snapshots successfully restored at startup *)
 }
 
 type t = {
@@ -64,6 +71,9 @@ let create () =
         race_conflicts = 0;
         race_excused = 0;
         faults_injected = 0;
+        requests_served = 0;
+        unit_cache_hits = 0;
+        snapshot_restores = 0;
       };
     passes = [];
   }
@@ -160,6 +170,29 @@ let tick_fault_injected () =
   | None -> ()
   | Some p -> p.c.faults_injected <- p.c.faults_injected + 1
 
+(** Add a detached counter snapshot into [p], field by field.  The
+    analysis daemon runs every request under its own short-lived profile
+    (domain-locally, possibly on a pool worker) and folds the result into
+    one server-lifetime aggregate; like {!snapshot}, the explicit
+    field list fails to compile when the record grows. *)
+let absorb (p : t) (c : counters) =
+  p.c.dep_tests_run <- p.c.dep_tests_run + c.dep_tests_run;
+  p.c.dep_tests_independent <-
+    p.c.dep_tests_independent + c.dep_tests_independent;
+  p.c.dep_cache_hits <- p.c.dep_cache_hits + c.dep_cache_hits;
+  p.c.dep_cache_misses <- p.c.dep_cache_misses + c.dep_cache_misses;
+  p.c.annot_sites_inlined <- p.c.annot_sites_inlined + c.annot_sites_inlined;
+  p.c.reverse_sites_matched <-
+    p.c.reverse_sites_matched + c.reverse_sites_matched;
+  p.c.stmts_normalized <- p.c.stmts_normalized + c.stmts_normalized;
+  p.c.iterations_traced <- p.c.iterations_traced + c.iterations_traced;
+  p.c.race_conflicts <- p.c.race_conflicts + c.race_conflicts;
+  p.c.race_excused <- p.c.race_excused + c.race_excused;
+  p.c.faults_injected <- p.c.faults_injected + c.faults_injected;
+  p.c.requests_served <- p.c.requests_served + c.requests_served;
+  p.c.unit_cache_hits <- p.c.unit_cache_hits + c.unit_cache_hits;
+  p.c.snapshot_restores <- p.c.snapshot_restores + c.snapshot_restores
+
 (* ---- readers ---- *)
 
 (** Accumulated pass timings in milliseconds, pipeline order. *)
@@ -185,6 +218,9 @@ let snapshot (p : t) : counters =
     race_conflicts = p.c.race_conflicts;
     race_excused = p.c.race_excused;
     faults_injected = p.c.faults_injected;
+    requests_served = p.c.requests_served;
+    unit_cache_hits = p.c.unit_cache_hits;
+    snapshot_restores = p.c.snapshot_restores;
   }
 
 (** Multi-line report: pass timings in pipeline order plus the work
@@ -215,4 +251,15 @@ let render (p : t) =
     Buffer.add_string b
       (Printf.sprintf "chaos: %d fault%s injected\n" c.faults_injected
          (if c.faults_injected = 1 then "" else "s"));
+  if c.requests_served > 0 || c.snapshot_restores > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "serve: %d request%s served (%d unit-cache hit%s); %d snapshot \
+          restore%s\n"
+         c.requests_served
+         (if c.requests_served = 1 then "" else "s")
+         c.unit_cache_hits
+         (if c.unit_cache_hits = 1 then "" else "s")
+         c.snapshot_restores
+         (if c.snapshot_restores = 1 then "" else "s"));
   Buffer.contents b

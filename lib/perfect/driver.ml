@@ -434,6 +434,9 @@ let json_of_point (p : point) =
             ("race_conflicts", string_of_int c.Prof.race_conflicts);
             ("race_excused", string_of_int c.Prof.race_excused);
             ("faults_injected", string_of_int c.Prof.faults_injected);
+            ("requests_served", string_of_int c.Prof.requests_served);
+            ("unit_cache_hits", string_of_int c.Prof.unit_cache_hits);
+            ("snapshot_restores", string_of_int c.Prof.snapshot_restores);
           ] );
       ( "validation",
         match p.pt_validation with
@@ -527,20 +530,52 @@ let json_of_point (p : point) =
     Version 6 adds the fourth ["demand"] configuration and its per-point
     ["planner"] object (rounds, sites inlined, growth ratio, blockers
     resolved/remaining, budget exhaustion); ["planner"] is [null] on the
-    other three configurations. *)
-let to_json ?(explain : Explain.t option) (points : point list) : string =
+    other three configurations.  Version 7 adds the analysis-daemon
+    counters (["requests_served"], ["unit_cache_hits"],
+    ["snapshot_restores"] — all zero outside serve runs) and, with
+    [?serve], the top-level ["serve"] throughput object produced by
+    [bench serve-bench]: request count, cold/warm requests per second,
+    p50/p99 request latency, and the end-to-end unit-cache hit ratio. *)
+
+type serve_stats = {
+  sv_requests : int;  (** work requests driven through the daemon *)
+  sv_cold_rps : float;  (** first (cold) pass requests per second *)
+  sv_warm_rps : float;  (** second (warm) pass requests per second *)
+  sv_p50_ms : float;  (** median request latency, both passes *)
+  sv_p99_ms : float;  (** 99th-percentile request latency, both passes *)
+  sv_hit_ratio : float;  (** unit-cache hits / requests served *)
+  sv_snapshot_restores : int;
+}
+
+let json_of_serve (s : serve_stats) =
+  json_obj
+    [
+      ("requests", string_of_int s.sv_requests);
+      ("cold_rps", json_num s.sv_cold_rps);
+      ("warm_rps", json_num s.sv_warm_rps);
+      ("p50_ms", json_num s.sv_p50_ms);
+      ("p99_ms", json_num s.sv_p99_ms);
+      ("unit_hit_ratio", json_num s.sv_hit_ratio);
+      ("snapshot_restores", string_of_int s.sv_snapshot_restores);
+    ]
+
+let to_json ?(explain : Explain.t option) ?(serve : serve_stats option)
+    (points : point list) : string =
   json_obj
     ([
-       ("schema_version", "6");
+       ("schema_version", "7");
        ("suite", json_str "perfect");
        ("jobs_deterministic", "true");
        ( "points",
          "[" ^ String.concat "," (List.map json_of_point points) ^ "]" );
      ]
+    @ (match explain with
+      | None -> []
+      | Some e -> [ ("explain_diff", Json.to_string (Explain.to_json e)) ])
     @
-    match explain with
+    match serve with
     | None -> []
-    | Some e -> [ ("explain_diff", Json.to_string (Explain.to_json e)) ])
+    | Some s -> [ ("serve", json_of_serve s) ])
   ^ "\n"
 
 (* ------------------------------------------------------------------ *)
@@ -581,10 +616,25 @@ type read_point = {
           distinguish "absent in this schema version" from "zero" *)
 }
 
-type read_doc = { rd_version : int; rd_points : read_point list }
+type read_serve = {
+  rs_requests : int;
+  rs_cold_rps : float;
+  rs_warm_rps : float;
+  rs_p50_ms : float;
+  rs_p99_ms : float;
+  rs_hit_ratio : float;
+}
+(** The version-7 top-level ["serve"] throughput object; [None] on older
+    documents and on suite runs without [serve-bench]. *)
+
+type read_doc = {
+  rd_version : int;
+  rd_points : read_point list;
+  rd_serve : read_serve option;
+}
 
 (** Parse a bench JSON document produced by this driver — the current
-    version 6 or the archived versions 2 through 5 — into a {!read_doc}.
+    version 7 or the archived versions 2 through 6 — into a {!read_doc}.
     Unknown fields are ignored, so the reader keeps working as the
     schema grows. *)
 let read_json (s : string) : (read_doc, string) result =
@@ -595,12 +645,29 @@ let read_json (s : string) : (read_doc, string) result =
       | Json.Null -> Error "missing schema_version"
       | v ->
           let version = Json.to_int ~default:0 v in
-          if version < 2 || version > 6 then
+          if version < 2 || version > 7 then
             Error (Printf.sprintf "unsupported schema_version %d" version)
           else
             Ok
               {
                 rd_version = version;
+                rd_serve =
+                  (match Json.member "serve" j with
+                  | Json.Null -> None
+                  | sv ->
+                      Some
+                        {
+                          rs_requests =
+                            Json.to_int (Json.member "requests" sv);
+                          rs_cold_rps =
+                            Json.to_float (Json.member "cold_rps" sv);
+                          rs_warm_rps =
+                            Json.to_float (Json.member "warm_rps" sv);
+                          rs_p50_ms = Json.to_float (Json.member "p50_ms" sv);
+                          rs_p99_ms = Json.to_float (Json.member "p99_ms" sv);
+                          rs_hit_ratio =
+                            Json.to_float (Json.member "unit_hit_ratio" sv);
+                        });
                 rd_points =
                   List.map
                     (fun p ->

@@ -1,0 +1,602 @@
+(** The analysis daemon behind [parinline serve].
+
+    A long-lived server that accepts batched analysis / parallelization
+    / plan requests over a newline-delimited-JSON protocol (stdin/stdout
+    or a Unix-domain socket — the framing is identical) and keeps two
+    caches warm across requests:
+
+    - the {b unit cache}: every work request is content-hashed (source
+      digest + annotation digest + mode + options + protocol schema);
+      an unchanged unit is a pure end-to-end hit that returns the stored
+      response body without re-parsing, and
+
+    - the {b dependence memo store} ({!Dependence.Memo}): PR 5 made its
+      entries unit-independent, so they legally persist across requests,
+      units, and all four inlining configurations.
+
+    Both survive restarts through {!Store} snapshots ([--cache-dir]).
+
+    Protocol: one JSON object per line in, one per line out.
+
+    {v
+    REQUEST  := { "op": OP, "id": INT, ... }
+    OP       := "ping" | "stats" | "analyze" | "compile" | "plan"
+              | "batch" | "snapshot" | "shutdown"
+    work ops (analyze/compile/plan) add:
+                "source": STR   Fortran source text (required)
+                "annot":  STR   annotation text (default "")
+                "mode":   STR   none|conventional|annotation|demand
+                "growth_budget": FLOAT, "max_rounds": INT   (plan/demand)
+    batch adds: "requests": [ WORK-REQUEST... ]  — sharded across the
+                {!Runtime.Pool} domains, responses in request order
+    v}
+
+    Responses are [{"id":N,"ok":true,"cached":BOOL,"hash":STR,
+    "result":BODY}] for work, [{"id":N,"ok":false,"error":STR,
+    "diags":[STR...]}] on failure.  The failure contract matches the
+    pipeline's degradation ladder: a poisoned request — bad JSON, an
+    unknown op, a source that defeats even the salvaging parser, or an
+    injected [server.request] chaos fault — degrades to a per-request
+    error response carrying structured {!Core.Diag} records; the daemon
+    itself never crashes.
+
+    Determinism: every cache miss resets the domain-local gensyms before
+    compiling (exactly like the bench driver), so response bodies are a
+    pure function of (source, annot, mode, options) — byte-identical
+    across request order, domain placement, and daemon restarts, and
+    equal to what a one-shot [parinline] run prints for the same unit. *)
+
+open Core
+module Json = Frontend.Json
+module Verdict = Parallelizer.Verdict
+
+(** Version of the protocol and of the response-body shapes.  Bumped
+    whenever a body would change for the same input; snapshots carry it
+    so a stale cache can never replay an old shape (see {!Store}). *)
+let protocol_version = 1
+
+type t = {
+  srv_jobs : int;
+  srv_pool : Runtime.Pool.t;
+  srv_cache_dir : string option;
+  srv_max_errors : int;
+  srv_m : Mutex.t;  (** guards [srv_units] and [srv_prof] *)
+  srv_units : (string, string) Hashtbl.t;
+      (** content hash (hex) → serialized response body *)
+  srv_prof : Prof.t;  (** server-lifetime counter aggregate *)
+  mutable srv_stop : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mode_of_string = function
+  | "none" | "no-inlining" -> Ok Pipeline.No_inlining
+  | "conventional" -> Ok Pipeline.Conventional
+  | "" | "annotation" | "annotation-based" -> Ok Pipeline.Annotation_based
+  | "demand" | "demand-driven" -> Ok Pipeline.Demand
+  | m -> Error (Printf.sprintf "unknown mode %S" m)
+
+(** Build a work/control request object — the one true spelling, shared
+    by the CLI client and the serve-bench harness. *)
+let request ?(id = 0) ~op ?(mode = "annotation") ?(source = "")
+    ?(annot = "") ?growth_budget ?max_rounds () : Json.t =
+  Json.Obj
+    ([ ("op", Json.Str op); ("id", Json.Int id) ]
+    @ (if source = "" then [] else [ ("source", Json.Str source) ])
+    @ (if annot = "" then [] else [ ("annot", Json.Str annot) ])
+    @ (if mode = "" then [] else [ ("mode", Json.Str mode) ])
+    @ (match growth_budget with
+      | None -> []
+      | Some f -> [ ("growth_budget", Json.Float f) ])
+    @
+    match max_rounds with
+    | None -> []
+    | Some n -> [ ("max_rounds", Json.Int n) ])
+
+(** The content-hash key of a work request: an unchanged unit under the
+    same options is a pure cache hit, and any change to source text,
+    annotations, mode, planner options, or the protocol schema lands in
+    a different slot. *)
+let unit_hash ~op ~mode ~growth_budget ~max_rounds ~source ~annot =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            string_of_int protocol_version;
+            op;
+            mode;
+            Printf.sprintf "%.6f" growth_budget;
+            string_of_int max_rounds;
+            source;
+            annot;
+          ]))
+
+(* Responses.  The envelope around a cached body is assembled by string
+   concatenation so a hit replays the stored bytes verbatim. *)
+let ok_envelope ~id ~cached ~hash body =
+  Printf.sprintf "{\"id\":%d,\"ok\":true,\"cached\":%b,\"hash\":\"%s\",\"result\":%s}"
+    id cached hash body
+
+let error_response ~id (ds : Diag.t list) =
+  let rendered = List.map Diag.render ds in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Str (match rendered with [] -> "request failed" | r :: _ -> r)
+         );
+         ("diags", Json.List (List.map (fun r -> Json.Str r) rendered));
+       ])
+
+let counters_json (c : Prof.counters) : Json.t =
+  Json.Obj
+    [
+      ("dep_tests_run", Json.Int c.Prof.dep_tests_run);
+      ("dep_tests_independent", Json.Int c.Prof.dep_tests_independent);
+      ("dep_cache_hits", Json.Int c.Prof.dep_cache_hits);
+      ("dep_cache_misses", Json.Int c.Prof.dep_cache_misses);
+      ("annot_sites_inlined", Json.Int c.Prof.annot_sites_inlined);
+      ("reverse_sites_matched", Json.Int c.Prof.reverse_sites_matched);
+      ("stmts_normalized", Json.Int c.Prof.stmts_normalized);
+      ("iterations_traced", Json.Int c.Prof.iterations_traced);
+      ("race_conflicts", Json.Int c.Prof.race_conflicts);
+      ("race_excused", Json.Int c.Prof.race_excused);
+      ("faults_injected", Json.Int c.Prof.faults_injected);
+      ("requests_served", Json.Int c.Prof.requests_served);
+      ("unit_cache_hits", Json.Int c.Prof.unit_cache_hits);
+      ("snapshot_restores", Json.Int c.Prof.snapshot_restores);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let units_cached t =
+  Mutex.lock t.srv_m;
+  let n = Hashtbl.length t.srv_units in
+  Mutex.unlock t.srv_m;
+  n
+
+(** Counter snapshot of the server-lifetime aggregate. *)
+let counters t =
+  Mutex.lock t.srv_m;
+  let c = Prof.snapshot t.srv_prof in
+  Mutex.unlock t.srv_m;
+  c
+
+(** Ask the serve loops to wind down after the in-flight message (also
+    flipped by the [shutdown] op; signal handlers call this). *)
+let stop t = t.srv_stop <- true
+let stopping t = t.srv_stop
+
+(** Create a server.  [jobs] sizes the {!Runtime.Pool} batch sharding
+    ([<= 1] runs everything on the caller); with [cache_dir] the warm
+    caches are restored from the snapshot on disk (if any) and saved
+    back on {!drain}.  Returns the startup diagnostics — a rejected
+    snapshot degrades to a warning here and a cold start. *)
+let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors) ()
+    : t * Diag.t list =
+  let t =
+    {
+      srv_jobs = max 1 jobs;
+      srv_pool = Runtime.Pool.create (max 1 jobs);
+      srv_cache_dir = cache_dir;
+      srv_max_errors = max_errors;
+      srv_m = Mutex.create ();
+      srv_units = Hashtbl.create 64;
+      srv_prof = Prof.create ();
+      srv_stop = false;
+    }
+  in
+  let diags =
+    match cache_dir with
+    | None -> []
+    | Some dir -> (
+        match Store.load ~dir ~schema:protocol_version with
+        | Store.Absent -> []
+        | Store.Rejected d -> [ d ]
+        | Store.Restored p ->
+            let (_ : int) = Dependence.Memo.import p.Store.pay_memo in
+            List.iter
+              (fun (h, body) -> Hashtbl.replace t.srv_units h body)
+              p.Store.pay_units;
+            t.srv_prof.Prof.c.Prof.snapshot_restores <-
+              t.srv_prof.Prof.c.Prof.snapshot_restores + 1;
+            [])
+  in
+  (t, diags)
+
+(* Snapshot the warm state: the control domain's memo store plus the
+   unit cache, sorted by key so the payload is deterministic. *)
+let save_snapshot t : (string, Diag.t) result =
+  match t.srv_cache_dir with
+  | None -> Error (Diag.make ~severity:Diag.Warning Diag.Io "no --cache-dir")
+  | Some dir ->
+      let units =
+        Mutex.lock t.srv_m;
+        let us = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.srv_units [] in
+        Mutex.unlock t.srv_m;
+        List.sort compare us
+      in
+      Store.save ~dir ~schema:protocol_version
+        { Store.pay_memo = Dependence.Memo.export (); pay_units = units }
+
+(** Graceful drain: persist the warm caches (when [--cache-dir] was
+    given), then stop and join the pool.  Returns the snapshot
+    diagnostics; a failed write is a warning, never a crash. *)
+let drain t : Diag.t list =
+  t.srv_stop <- true;
+  let ds =
+    match t.srv_cache_dir with
+    | None -> []
+    | Some _ -> ( match save_snapshot t with Ok _ -> [] | Error d -> [ d ])
+  in
+  Runtime.Pool.shutdown t.srv_pool;
+  ds
+
+(* ------------------------------------------------------------------ *)
+(* Unit work                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Same reset as the bench driver: ids and generated names become a pure
+   function of the unit source, independent of what this domain compiled
+   before — the cache-miss path must produce the bytes a fresh one-shot
+   process would. *)
+let reset_gensyms () =
+  Frontend.Ast.reset_ids ();
+  Analysis.Sections.reset_gensym ();
+  Inliner.Inline.reset_gensym ();
+  Annot_inline.reset_gensym ()
+
+let render_diags ds = Json.List (List.map (fun d -> Json.Str (Diag.render d)) ds)
+
+(* Salvaging parse of source + annotations, demand/plan flavor: the
+   planner needs the pristine AST before any inlining touches it. *)
+let parse_program ~max_errors source annot_source =
+  let p, ds = Frontend.Resolve.parse_robust ~max_errors source in
+  let annots, ads =
+    if String.trim annot_source = "" then ([], [])
+    else
+      match Annot_parser.parse_annotations annot_source with
+      | a -> (a, [])
+      | exception Annot_parser.Annot_parse_error m ->
+          ( [],
+            [
+              Diag.make Diag.Annot
+                ("annotation file rejected (" ^ m
+               ^ "); continuing without annotations");
+            ] )
+  in
+  (p, annots, ds @ ads)
+
+(* One work request body, computed (the cache-miss path).  Runs under
+   the caller's per-request profile; raises only through the barrier in
+   [handle_work]. *)
+let compute_body ~max_errors ~op ~mode ~growth_budget ~max_rounds ~source
+    ~annot : Json.t =
+  let run_result () =
+    match mode with
+    | Pipeline.Demand ->
+        let program, annots, parse_diags =
+          parse_program ~max_errors source annot
+        in
+        let dg = Diag.collector ~max_errors () in
+        List.iter (Diag.emit dg) parse_diags;
+        let r, pl = Planner.run ~growth_budget ~max_rounds ~annots ~dg program in
+        (r, Some pl)
+    | _ ->
+        ( Pipeline.run_source_robust ~max_errors ~mode ~annot_source:annot
+            source,
+          None )
+  in
+  match op with
+  | "analyze" ->
+      let r, _ = run_result () in
+      let verdicts =
+        List.map
+          (fun (rep : Parallelizer.Parallelize.loop_report) -> rep.rep_verdict)
+          r.Pipeline.res_reports
+      in
+      let parallel = List.filter Verdict.is_parallel verdicts in
+      Json.Obj
+        [
+          ("op", Json.Str "analyze");
+          ("mode", Json.Str (Pipeline.mode_name mode));
+          ("verdicts", Json.List (List.map Verdict.to_json verdicts));
+          ("parallel", Json.Int (List.length parallel));
+          ("marked", Json.Int (List.length r.Pipeline.res_marked));
+          ( "serial",
+            Json.Int (List.length verdicts - List.length parallel) );
+          ("code_size", Json.Int r.Pipeline.res_code_size);
+          ("diags", render_diags r.Pipeline.res_diags);
+        ]
+  | "compile" ->
+      let r, _ = run_result () in
+      Json.Obj
+        [
+          ("op", Json.Str "compile");
+          ("mode", Json.Str (Pipeline.mode_name mode));
+          ( "program",
+            Json.Str (Frontend.Pretty.program_to_string r.Pipeline.res_program)
+          );
+          ("marked", Json.Int (List.length r.Pipeline.res_marked));
+          ("code_size", Json.Int r.Pipeline.res_code_size);
+          ("diags", render_diags r.Pipeline.res_diags);
+        ]
+  | "plan" ->
+      let program, annots, parse_diags =
+        parse_program ~max_errors source annot
+      in
+      let dg = Diag.collector ~max_errors () in
+      List.iter (Diag.emit dg) parse_diags;
+      let r, pl = Planner.run ~growth_budget ~max_rounds ~annots ~dg program in
+      Json.Obj
+        [
+          ("op", Json.Str "plan");
+          ("plan", Planner.to_json pl);
+          ("diags", render_diags r.Pipeline.res_diags);
+        ]
+  | op -> Diag.fatal Diag.Cli "unknown op %S" op
+
+(* The per-request fault barrier around one work request.  Everything —
+   a tripped [server.request] chaos fault, a fatal diagnostic, the
+   error-budget overflow, an unknown mode — degrades to an error
+   response for this request; the daemon and its caches are untouched
+   (failed results are never cached). *)
+let handle_work t (j : Json.t) : string =
+  let id = Json.to_int (Json.member "id" j) in
+  match
+    Fault.point "server.request";
+    let op =
+      match Json.member "op" j with
+      | Json.Null -> "analyze"
+      | v -> Json.to_str v
+    in
+    let mode_s = Json.to_str (Json.member "mode" j) in
+    let source = Json.to_str (Json.member "source" j) in
+    let annot = Json.to_str (Json.member "annot" j) in
+    let growth_budget =
+      match Json.member "growth_budget" j with
+      | Json.Null -> Planner.default_growth_budget
+      | v -> Json.to_float v
+    in
+    let max_rounds =
+      match Json.member "max_rounds" j with
+      | Json.Null -> Planner.default_max_rounds
+      | v -> Json.to_int v
+    in
+    if source = "" then Diag.fatal Diag.Cli "work request without source";
+    if growth_budget <= 0.0 then
+      Diag.fatal Diag.Cli "growth_budget must be positive";
+    if max_rounds < 1 then Diag.fatal Diag.Cli "max_rounds must be at least 1";
+    match mode_of_string mode_s with
+    | Error m -> Diag.fatal Diag.Cli "%s" m
+    | Ok mode -> (
+        let hash =
+          unit_hash ~op ~mode:(Pipeline.mode_name mode) ~growth_budget
+            ~max_rounds ~source ~annot
+        in
+        Mutex.lock t.srv_m;
+        let cached = Hashtbl.find_opt t.srv_units hash in
+        Mutex.unlock t.srv_m;
+        match cached with
+        | Some body ->
+            Mutex.lock t.srv_m;
+            t.srv_prof.Prof.c.Prof.requests_served <-
+              t.srv_prof.Prof.c.Prof.requests_served + 1;
+            t.srv_prof.Prof.c.Prof.unit_cache_hits <-
+              t.srv_prof.Prof.c.Prof.unit_cache_hits + 1;
+            Mutex.unlock t.srv_m;
+            ok_envelope ~id ~cached:true ~hash body
+        | None ->
+            let prof = Prof.create () in
+            let body =
+              Prof.with_profiling prof (fun () ->
+                  reset_gensyms ();
+                  compute_body ~max_errors:t.srv_max_errors ~op ~mode
+                    ~growth_budget ~max_rounds ~source ~annot)
+            in
+            let body = Json.to_string body in
+            Mutex.lock t.srv_m;
+            Hashtbl.replace t.srv_units hash body;
+            Prof.absorb t.srv_prof (Prof.snapshot prof);
+            t.srv_prof.Prof.c.Prof.requests_served <-
+              t.srv_prof.Prof.c.Prof.requests_served + 1;
+            Mutex.unlock t.srv_m;
+            ok_envelope ~id ~cached:false ~hash body)
+  with
+  | response -> response
+  | exception Fault.Injected (site, n) ->
+      error_response ~id
+        [
+          Diag.make Diag.Exec
+            (Printf.sprintf "request hit injected fault at %s (arrival %d)"
+               site n);
+        ]
+  | exception Diag.Error_limit n ->
+      error_response ~id
+        [ Diag.make Diag.Cli (Printf.sprintf "error limit (%d) reached" n) ]
+  | exception e ->
+      error_response ~id
+        [ Diag.of_exn ~backtrace:(Printexc.get_backtrace ()) Diag.Exec e ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch shards its work requests across the pool domains.  Chunk
+   functions are idempotent pure writes into distinct slots, and
+   [handle_work] already owns all failure modes, so a pool-level report
+   only matters for the chunks a dying worker abandoned. *)
+let handle_batch t ~id (reqs : Json.t list) : string =
+  let reqs = Array.of_list reqs in
+  let out = Array.make (Array.length reqs) "" in
+  let events = ref [] in
+  Runtime.Pool.parallel_for ~label:"server-batch"
+    ~report:(fun evs -> events := evs)
+    t.srv_pool ~chunks:(Array.length reqs)
+    (fun i -> out.(i) <- handle_work t reqs.(i));
+  List.iter
+    (fun (ev : Runtime.Pool.event) ->
+      match ev with
+      | Runtime.Pool.Chunk_failed { chunk; error; backtrace } ->
+          out.(chunk) <-
+            error_response
+              ~id:(Json.to_int (Json.member "id" reqs.(chunk)))
+              [ Diag.of_exn ~backtrace Diag.Exec error ]
+      | _ -> ())
+    !events;
+  Printf.sprintf "{\"id\":%d,\"ok\":true,\"responses\":[%s]}" id
+    (String.concat "," (Array.to_list out))
+
+(** Handle one protocol message (a parsed JSON line) and return the
+    response line. *)
+let handle_request t (j : Json.t) : string =
+  let id = Json.to_int (Json.member "id" j) in
+  let op =
+    match Json.member "op" j with Json.Null -> "analyze" | v -> Json.to_str v
+  in
+  match op with
+  | "ping" ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("ok", Json.Bool true);
+             ("op", Json.Str "ping");
+             ("protocol", Json.Int protocol_version);
+           ])
+  | "stats" ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("ok", Json.Bool true);
+             ("op", Json.Str "stats");
+             ("protocol", Json.Int protocol_version);
+             ("jobs", Json.Int t.srv_jobs);
+             ("units_cached", Json.Int (units_cached t));
+             ("counters", counters_json (counters t));
+           ])
+  | "snapshot" -> (
+      match save_snapshot t with
+      | Ok path ->
+          Json.to_string
+            (Json.Obj
+               [
+                 ("id", Json.Int id);
+                 ("ok", Json.Bool true);
+                 ("op", Json.Str "snapshot");
+                 ("path", Json.Str path);
+               ])
+      | Error d -> error_response ~id [ d ])
+  | "shutdown" ->
+      t.srv_stop <- true;
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("ok", Json.Bool true);
+             ("op", Json.Str "shutdown");
+           ])
+  | "batch" -> handle_batch t ~id (Json.to_list (Json.member "requests" j))
+  | "analyze" | "compile" | "plan" -> handle_work t j
+  | op ->
+      error_response ~id
+        [ Diag.make Diag.Cli (Printf.sprintf "unknown op %S" op) ]
+
+(** Handle one raw protocol line.  Unparseable JSON degrades to an
+    error response (id 0 — the id was unreadable), per the
+    never-crash-the-daemon contract. *)
+let handle_line t (line : string) : string =
+  match Json.parse line with
+  | Error m ->
+      error_response ~id:0
+        [ Diag.make Diag.Cli (Printf.sprintf "bad request JSON: %s" m) ]
+  | Ok j -> handle_request t j
+
+(* ------------------------------------------------------------------ *)
+(* Serve loops                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Newline-delimited-JSON loop over a channel pair; returns on EOF or
+    once a [shutdown] op has been answered.  The [server.accept] chaos
+    point guards message receipt: a tripped arrival degrades to an
+    error response for that line and the loop continues. *)
+let serve_channels t (ic : in_channel) (oc : out_channel) : unit =
+  let rec loop () =
+    if t.srv_stop then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+          let response =
+            match Fault.point "server.accept" with
+            | () -> handle_line t line
+            | exception Fault.Injected (site, n) ->
+                error_response ~id:0
+                  [
+                    Diag.make Diag.Exec
+                      (Printf.sprintf
+                         "request dropped by injected fault at %s (arrival %d)"
+                         site n);
+                  ]
+          in
+          output_string oc response;
+          output_char oc '\n';
+          flush oc;
+          loop ()
+  in
+  loop ()
+
+(** Accept loop on a Unix-domain socket at [path] (an existing file
+    there is replaced).  Connections are served sequentially; the loop
+    returns once a [shutdown] op was answered or {!stop} was called.  A
+    tripped [server.accept] fault, or any per-connection I/O error,
+    drops that connection with a warning on stderr and keeps
+    accepting. *)
+let serve_socket t ~(path : string) : unit =
+  (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        if t.srv_stop then ()
+        else
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | fd, _ ->
+              (match Fault.point "server.accept" with
+              | () -> (
+                  let ic = Unix.in_channel_of_descr fd in
+                  let oc = Unix.out_channel_of_descr fd in
+                  try serve_channels t ic oc; close_out_noerr oc
+                  with e ->
+                    close_out_noerr oc;
+                    prerr_endline
+                      (Diag.render
+                         (Diag.make ~severity:Diag.Warning Diag.Exec
+                            (Printf.sprintf "connection dropped: %s"
+                               (Printexc.to_string e)))))
+              | exception Fault.Injected (site, n) ->
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  prerr_endline
+                    (Diag.render
+                       (Diag.make ~severity:Diag.Warning Diag.Exec
+                          (Printf.sprintf
+                             "connection dropped by injected fault at %s \
+                              (arrival %d)"
+                             site n))));
+              accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,144 @@
+#!/bin/sh
+# Serve smoke: drive the examples corpus through a live daemon twice,
+# then kill it and restart from the on-disk snapshot.
+#
+#   pass 1 (cold)    every unit computed, responses captured
+#   pass 2 (warm)    100% unit-cache hits, responses byte-identical
+#   restart          snapshot restored, responses byte-identical,
+#                    zero dependence-test misses (the memo store came
+#                    back warm)
+#
+# The daemon must answer a one-shot `explain --json` byte-for-byte, so
+# pass 1 is also diffed against the ordinary CLI.  Outputs land in
+# $OUT (default serve_smoke_out/) for CI artifact upload.  Exits
+# non-zero on the first violated invariant.
+
+set -eu
+
+BIN=${BIN:-_build/default/bin/parinline.exe}
+OUT=${OUT:-serve_smoke_out}
+SRC=${SRC:-examples/cli/matmlt.f}
+ANNOT=${ANNOT:-examples/cli/matmlt.annot}
+MODES="none conventional annotation demand"
+N_MODES=4
+
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/parinline-smoke-XXXXXX.sock")
+CACHE=$(mktemp -d "${TMPDIR:-/tmp}/parinline-smoke-cache-XXXXXX")
+mkdir -p "$OUT"
+PID=
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null
+  rm -f "$SOCK"
+  rm -rf "$CACHE"
+  return 0
+}
+trap cleanup EXIT INT TERM
+
+# counter NAME FILE -- pull an integer counter out of a stats response
+counter() {
+  grep -o "\"$1\":[0-9]*" "$2" | head -n 1 | cut -d: -f2
+}
+
+start_daemon() { # start_daemon LABEL
+  "$BIN" serve --socket "$SOCK" --cache-dir "$CACHE" \
+    >"$OUT/serve-$1.out" 2>"$OUT/serve-$1.log" &
+  PID=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ $i -le 100 ] || {
+      cat "$OUT/serve-$1.log" >&2
+      fail "daemon did not come up ($1)"
+    }
+    kill -0 "$PID" 2>/dev/null || {
+      cat "$OUT/serve-$1.log" >&2
+      fail "daemon exited during startup ($1)"
+    }
+    sleep 0.1
+  done
+}
+
+stop_daemon() {
+  "$BIN" client --socket "$SOCK" --op shutdown >/dev/null 2>&1
+  wait "$PID" 2>/dev/null || true
+  PID=
+}
+
+drive() { # drive PASSNAME -- one analyze per mode, outputs captured
+  for mode in $MODES; do
+    "$BIN" client --socket "$SOCK" "$SRC" --annot "$ANNOT" --mode "$mode" \
+      >"$OUT/$1-$mode.json" 2>"$OUT/$1-$mode.err" ||
+      fail "client analyze --mode $mode failed on $1 (see $OUT/$1-$mode.err)"
+  done
+}
+
+stats() { # stats FILE
+  "$BIN" client --socket "$SOCK" --op stats >"$1" 2>/dev/null ||
+    fail "client --op stats failed"
+}
+
+identical() { # identical PASS_A PASS_B
+  for mode in $MODES; do
+    cmp -s "$OUT/$1-$mode.json" "$OUT/$2-$mode.json" ||
+      fail "$1/$2 responses differ for --mode $mode"
+  done
+}
+
+echo "serve_smoke: pass 1 (cold daemon, cache-dir $CACHE)"
+start_daemon boot
+drive pass1
+stats "$OUT/stats-pass1.json"
+served=$(counter requests_served "$OUT/stats-pass1.json")
+hits=$(counter unit_cache_hits "$OUT/stats-pass1.json")
+[ "$served" = "$N_MODES" ] || fail "pass 1 served $served, want $N_MODES"
+[ "$hits" = 0 ] || fail "pass 1 had $hits unit hits, want 0"
+
+# the daemon's annotation-mode verdicts must match the one-shot CLI
+"$BIN" explain "$SRC" --annot "$ANNOT" --mode annotation --json \
+  >"$OUT/oneshot-annotation.json" 2>/dev/null
+cmp -s "$OUT/pass1-annotation.json" "$OUT/oneshot-annotation.json" ||
+  fail "daemon response differs from one-shot explain --json"
+
+echo "serve_smoke: pass 2 (warm daemon: 100% unit hits, byte-identical)"
+drive pass2
+stats "$OUT/stats-pass2.json"
+served=$(counter requests_served "$OUT/stats-pass2.json")
+hits=$(counter unit_cache_hits "$OUT/stats-pass2.json")
+[ "$served" = $((2 * N_MODES)) ] ||
+  fail "pass 2 total served $served, want $((2 * N_MODES))"
+[ "$hits" = "$N_MODES" ] ||
+  fail "pass 2 unit hits $hits, want $N_MODES (100% of the second pass)"
+identical pass1 pass2
+grep -q "unit-cache hit" "$OUT/pass2-annotation.err" ||
+  fail "pass 2 client did not report a unit-cache hit"
+
+echo "serve_smoke: shutdown (snapshot written to cache-dir)"
+stop_daemon
+[ -f "$CACHE/warm.snapshot" ] || fail "no snapshot written to $CACHE"
+head -n 1 "$CACHE/warm.snapshot" >"$OUT/snapshot-header.txt"
+
+echo "serve_smoke: restart from snapshot (warm start, zero dep-test misses)"
+start_daemon restart
+drive pass3
+stats "$OUT/stats-pass3.json"
+restores=$(counter snapshot_restores "$OUT/stats-pass3.json")
+hits=$(counter unit_cache_hits "$OUT/stats-pass3.json")
+dep_misses=$(counter dep_cache_misses "$OUT/stats-pass3.json")
+dep_run=$(counter dep_tests_run "$OUT/stats-pass3.json")
+[ "$restores" = 1 ] || fail "snapshot_restores $restores, want 1"
+[ "$hits" = "$N_MODES" ] ||
+  fail "restarted daemon had $hits unit hits, want $N_MODES"
+[ "$dep_misses" = 0 ] ||
+  fail "restarted daemon ran $dep_misses dependence-cache misses, want 0"
+[ "$dep_run" = 0 ] ||
+  fail "restarted daemon ran $dep_run dependence tests, want 0"
+identical pass1 pass3
+stop_daemon
+
+echo "serve_smoke: OK (cold, warm, and snapshot-restored responses agree)"

@@ -153,6 +153,7 @@ let test_json_schema () =
       "validation"; "iterations_traced"; "race_conflicts"; "race_excused";
       "no-inlining"; "conventional"; "annotation-based"; "demand"; "planner";
       "sites_inlined"; "growth_ratio"; "blockers_resolved";
+      "requests_served"; "unit_cache_hits"; "snapshot_restores";
     ]
 
 let suite =

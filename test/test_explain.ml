@@ -281,7 +281,42 @@ let test_schema_reader_v2_compat () =
       ci "par" 21 p.rd_par;
       cb "v2 has no verdict counts" true (p.rd_verdicts = None)
 
-let test_schema_reader_v6_current () =
+(* a version-6 document as the previous driver wrote it: no serve
+   counters, no top-level serve object — must stay readable forever *)
+let v6_doc =
+  {|{"schema_version":6,"suite":"perfect","jobs_deterministic":true,
+     "points":[{"bench":"MDG","config":"demand","par_loops":23,
+                "loss":0,"extra":2,"code_size":260,"wall_ms":10.0,
+                "exec_ms":null,"retries":0,"deadline_misses":0,
+                "pass_ms":{},
+                "counters":{"dep_tests_run":40,"dep_cache_hits":10,
+                            "dep_cache_misses":30,"faults_injected":0},
+                "validation":null,
+                "planner":{"rounds":2,"sites_inlined":3,
+                           "growth_ratio":1.100,"blockers_resolved":4,
+                           "blockers_remaining":0,
+                           "budget_exhausted":false},
+                "verdicts":{"parallel":23,"marked":23,"serial":2,
+                            "blockers":{}},
+                "salvage":{"errors":0,"warnings":0,"crashed":false,
+                           "messages":[]}}]}|}
+
+let test_schema_reader_v6_compat () =
+  match Perfect.Driver.read_json v6_doc with
+  | Error e -> Alcotest.failf "v6 document rejected: %s" e
+  | Ok doc ->
+      ci "version 6" 6 doc.Perfect.Driver.rd_version;
+      cb "v6 has no serve object" true (doc.rd_serve = None);
+      let p = List.hd doc.rd_points in
+      cs "config" "demand" p.Perfect.Driver.rd_config;
+      ci "dep tests" 40 p.rd_dep_tests_run;
+      (match p.rd_planner with
+      | None -> Alcotest.fail "v6 demand point lost its planner stats"
+      | Some pl -> ci "rounds" 2 pl.Perfect.Driver.rp_rounds);
+      cb "serve counters absent from v6 points" true
+        (not (List.mem "requests_served" p.rd_counter_keys))
+
+let test_schema_reader_v7_current () =
   let points =
     Perfect.Driver.run_suite ~jobs:1 ~benches:[ Perfect.Mdg.bench ] ()
   in
@@ -289,7 +324,8 @@ let test_schema_reader_v6_current () =
   match Perfect.Driver.read_json (Perfect.Driver.to_json ~explain points) with
   | Error e -> Alcotest.failf "current document rejected: %s" e
   | Ok doc ->
-      ci "version 6" 6 doc.Perfect.Driver.rd_version;
+      ci "version 7" 7 doc.Perfect.Driver.rd_version;
+      cb "no serve object without serve-bench" true (doc.rd_serve = None);
       ci "four points" 4 (List.length doc.rd_points);
       List.iter
         (fun (p : Perfect.Driver.read_point) ->
@@ -319,7 +355,39 @@ let test_schema_reader_v6_current () =
                 && pl.rp_resolved >= 0)
           | _, Some _ -> Alcotest.fail (p.rd_config ^ " grew planner stats")
           | _, None -> ())
-        doc.rd_points
+        doc.rd_points;
+      (* v7 serve counters are present (and zero — this run never touched
+         the daemon), and the top-level serve object round-trips *)
+      List.iter
+        (fun (p : Perfect.Driver.read_point) ->
+          cb "serve counters present in v7 points" true
+            (List.mem "requests_served" p.rd_counter_keys
+            && List.mem "unit_cache_hits" p.rd_counter_keys
+            && List.mem "snapshot_restores" p.rd_counter_keys))
+        doc.rd_points;
+      let serve =
+        {
+          Perfect.Driver.sv_requests = 96;
+          sv_cold_rps = 120.5;
+          sv_warm_rps = 3600.25;
+          sv_p50_ms = 0.75;
+          sv_p99_ms = 80.125;
+          sv_hit_ratio = 0.5;
+          sv_snapshot_restores = 1;
+        }
+      in
+      (match Perfect.Driver.read_json (Perfect.Driver.to_json ~serve []) with
+      | Error e -> Alcotest.failf "serve document rejected: %s" e
+      | Ok doc -> (
+          match doc.Perfect.Driver.rd_serve with
+          | None -> Alcotest.fail "serve object lost in round-trip"
+          | Some s ->
+              ci "requests" 96 s.Perfect.Driver.rs_requests;
+              cb "rates round-trip" true
+                (abs_float (s.rs_cold_rps -. 120.5) < 0.001
+                && abs_float (s.rs_warm_rps -. 3600.25) < 0.001
+                && abs_float (s.rs_p99_ms -. 80.125) < 0.001
+                && abs_float (s.rs_hit_ratio -. 0.5) < 0.001)))
 
 let test_schema_reader_rejects_garbage () =
   cb "non-JSON rejected" true
@@ -365,8 +433,10 @@ let suite =
     Alcotest.test_case "tracing off is inert" `Quick test_tracing_off_is_inert;
     Alcotest.test_case "schema reader: v2 compatibility" `Quick
       test_schema_reader_v2_compat;
-    Alcotest.test_case "schema reader: current v6" `Quick
-      test_schema_reader_v6_current;
+    Alcotest.test_case "schema reader: v6 compatibility" `Quick
+      test_schema_reader_v6_compat;
+    Alcotest.test_case "schema reader: current v7" `Quick
+      test_schema_reader_v7_current;
     Alcotest.test_case "schema reader rejects garbage" `Quick
       test_schema_reader_rejects_garbage;
     Alcotest.test_case "diagnostics render owning unit" `Quick

@@ -21,5 +21,6 @@ let () =
       ("perf", Test_perf.suite);
       ("planner", Test_planner.suite);
       ("chaos", Test_chaos.suite);
+      ("server", Test_server.suite);
       ("fuzz", Test_fuzz.suite);
     ]

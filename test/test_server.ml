@@ -1,0 +1,297 @@
+(** Tests for the analysis daemon: protocol round-trips and their
+    byte-identity with the one-shot pipeline, unit-cache hits, batch
+    sharding, snapshot save/restore (including corrupted and
+    version-mismatched snapshots degrading to a warned cold start), the
+    memo-store export/import round-trip, and the per-request chaos
+    barrier ([server.request] faults poison one response, never the
+    daemon). *)
+
+module Json = Frontend.Json
+module Serve = Server.Serve
+module Store = Server.Store
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+let cs = Alcotest.(check string)
+
+let src =
+  "      PROGRAM MAIN\n\
+  \      DIMENSION A(100), B(100)\n\
+  \      DO I = 1, 100\n\
+  \        A(I) = I\n\
+  \      ENDDO\n\
+  \      DO K = 1, 10\n\
+  \        DO J = 1, 10\n\
+  \          B(J + 10*K - 10) = A(J)\n\
+  \        ENDDO\n\
+  \      ENDDO\n\
+  \      WRITE(6,*) B(5)\n\
+  \      END\n"
+
+(* a throwaway server: no pool parallelism, no cache dir *)
+let with_server ?cache_dir f =
+  let t, diags = Serve.create ?cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Serve.drain t))
+    (fun () -> f t diags)
+
+let send t (j : Json.t) : Json.t =
+  match Json.parse (Serve.handle_line t (Json.to_string j)) with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unparseable response: %s" e
+
+let ok r = Json.to_bool (Json.member "ok" r)
+let result r = Json.member "result" r
+let cached r = Json.to_bool (Json.member "cached" r)
+
+let analyze ?(mode = "annotation") ?(id = 0) t source =
+  send t (Serve.request ~id ~op:"analyze" ~mode ~source ())
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "parinline-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+    d
+
+(* ---------------- protocol basics ---------------- *)
+
+let test_protocol_basics () =
+  with_server @@ fun t _ ->
+  let r = send t (Serve.request ~id:7 ~op:"ping" ()) in
+  cb "ping ok" true (ok r);
+  ci "id echoed" 7 (Json.to_int (Json.member "id" r));
+  ci "protocol version" Serve.protocol_version
+    (Json.to_int (Json.member "protocol" r));
+  (* a poisoned line degrades to a structured error response... *)
+  let r = send t (Json.Obj [ ("op", Json.Str "frobnicate") ]) in
+  cb "unknown op refused" false (ok r);
+  (match Json.parse (Serve.handle_line t "this is not json") with
+  | Ok r -> cb "bad JSON refused" false (ok r)
+  | Error e -> Alcotest.failf "error response unparseable: %s" e);
+  let r = send t (Serve.request ~op:"analyze" ~source:"" ()) in
+  cb "missing source refused" false (ok r);
+  let r = send t (Serve.request ~op:"analyze" ~mode:"bogus" ~source:src ()) in
+  cb "unknown mode refused" false (ok r);
+  (* ...and the daemon keeps serving afterwards *)
+  let r = analyze t src in
+  cb "daemon survives poisoned requests" true (ok r)
+
+(* ---------------- byte-identity with the one-shot pipeline ---------- *)
+
+(* What [parinline explain --json] prints for the same source: the
+   server must return the same bytes in its ["verdicts"] field, for all
+   four configurations. *)
+let oneshot_verdicts ~mode source =
+  Perfect.Driver.reset_gensyms ();
+  let r =
+    match mode with
+    | Core.Pipeline.Demand ->
+        fst (Planner.run ~dg:(Core.Diag.collector ()) (
+               Frontend.Resolve.parse_robust ~max_errors:20 source |> fst))
+    | _ -> Core.Pipeline.run_source_robust ~mode ~annot_source:"" source
+  in
+  Json.to_string
+    (Json.List
+       (List.map
+          (fun (rep : Parallelizer.Parallelize.loop_report) ->
+            Parallelizer.Verdict.to_json rep.rep_verdict)
+          r.Core.Pipeline.res_reports))
+
+let test_analyze_matches_oneshot () =
+  with_server @@ fun t _ ->
+  List.iter
+    (fun (name, mode) ->
+      let r = analyze ~mode:name t src in
+      cb (name ^ " ok") true (ok r);
+      cs
+        (name ^ " verdicts byte-identical to one-shot")
+        (oneshot_verdicts ~mode src)
+        (Json.to_string (Json.member "verdicts" (result r))))
+    [
+      ("none", Core.Pipeline.No_inlining);
+      ("conventional", Core.Pipeline.Conventional);
+      ("annotation", Core.Pipeline.Annotation_based);
+      ("demand", Core.Pipeline.Demand);
+    ]
+
+(* ---------------- unit cache ---------------- *)
+
+let test_unit_cache_hit () =
+  with_server @@ fun t _ ->
+  let r1 = analyze t src in
+  let r2 = analyze t src in
+  cb "first computed" false (cached r1);
+  cb "second cached" true (cached r2);
+  cs "hit replays the stored bytes"
+    (Json.to_string (result r1))
+    (Json.to_string (result r2));
+  let c = Serve.counters t in
+  ci "two served" 2 c.Core.Prof.requests_served;
+  ci "one hit" 1 c.Core.Prof.unit_cache_hits;
+  (* a different mode is a different content hash *)
+  let r3 = analyze ~mode:"none" t src in
+  cb "mode is part of the key" false (cached r3);
+  (* control ops never count as unit work *)
+  ignore (send t (Serve.request ~op:"stats" ()));
+  ci "stats not counted" 3 (Serve.counters t).Core.Prof.requests_served
+
+let test_batch_order_and_ids () =
+  with_server @@ fun t _ ->
+  let reqs =
+    [
+      Serve.request ~id:1 ~op:"analyze" ~mode:"none" ~source:src ();
+      Serve.request ~id:2 ~op:"analyze" ~mode:"bogus" ~source:src ();
+      Serve.request ~id:3 ~op:"analyze" ~mode:"annotation" ~source:src ();
+    ]
+  in
+  let r =
+    send t (Json.Obj [ ("op", Json.Str "batch"); ("id", Json.Int 9);
+                       ("requests", Json.List reqs) ])
+  in
+  cb "batch ok" true (ok r);
+  ci "batch id echoed" 9 (Json.to_int (Json.member "id" r));
+  match Json.to_list (Json.member "responses" r) with
+  | [ a; b; c ] ->
+      ci "order preserved" 1 (Json.to_int (Json.member "id" a));
+      ci "order preserved" 2 (Json.to_int (Json.member "id" b));
+      ci "order preserved" 3 (Json.to_int (Json.member "id" c));
+      cb "good unit ok" true (ok a && ok c);
+      cb "poisoned unit degraded alone" false (ok b)
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+(* ---------------- snapshot persistence ---------------- *)
+
+let test_snapshot_roundtrip () =
+  let dir = fresh_dir () in
+  (* warm run: compute, drain (which saves the snapshot) *)
+  let warm_body =
+    with_server ~cache_dir:dir @@ fun t diags ->
+    ci "no startup diags on first run" 0 (List.length diags);
+    let r = analyze t src in
+    cb "computed" false (cached r);
+    Json.to_string (result r)
+  in
+  cb "snapshot written" true
+    (Sys.file_exists (Filename.concat dir Store.snapshot_file));
+  (* cold start from the snapshot: same request is a pure end-to-end hit
+     with zero dependence tests *)
+  with_server ~cache_dir:dir @@ fun t diags ->
+  ci "clean restore" 0 (List.length diags);
+  ci "restore counted" 1 (Serve.counters t).Core.Prof.snapshot_restores;
+  let r = analyze t src in
+  cb "restored unit cache answers" true (cached r);
+  cs "byte-identical across restart" warm_body (Json.to_string (result r));
+  let c = Serve.counters t in
+  ci "no dependence tests computed" 0 c.Core.Prof.dep_cache_misses;
+  ci "no dependence tests at all" 0 c.Core.Prof.dep_tests_run
+
+let clobber path ~f =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (f contents))
+
+let test_snapshot_rejection () =
+  let dir = fresh_dir () in
+  (with_server ~cache_dir:dir @@ fun t _ -> ignore (analyze t src));
+  let path = Filename.concat dir Store.snapshot_file in
+  (* bit-flip the body: integrity hash must catch it *)
+  clobber path ~f:(fun s ->
+      let b = Bytes.of_string s in
+      let i = Bytes.length b - 10 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      Bytes.to_string b);
+  (with_server ~cache_dir:dir @@ fun t diags ->
+   ci "corruption warned" 1 (List.length diags);
+   cb "as a warning, not an error" true
+     (match diags with
+     | [ d ] -> d.Core.Diag.d_severity = Core.Diag.Warning
+     | _ -> false);
+   ci "no restore" 0 (Serve.counters t).Core.Prof.snapshot_restores;
+   (* clean cold start: the daemon still works *)
+   let r = analyze t src in
+   cb "cold start computes" true (ok r && not (cached r)));
+  (* schema mismatch: rewrite the header's schema field *)
+  (with_server ~cache_dir:dir @@ fun t _ -> ignore (analyze t src));
+  clobber path ~f:(fun s ->
+      let nl = String.index s '\n' in
+      let header = String.sub s 0 nl in
+      let body = String.sub s nl (String.length s - nl) in
+      match String.split_on_char ' ' header with
+      | [ magic; fmt; _schema; ocaml; digest; len ] ->
+          String.concat " " [ magic; fmt; "9999"; ocaml; digest; len ] ^ body
+      | _ -> Alcotest.fail "unexpected snapshot header shape");
+  with_server ~cache_dir:dir @@ fun t diags ->
+  ci "mismatch warned" 1 (List.length diags);
+  ci "no restore from wrong schema" 0
+    (Serve.counters t).Core.Prof.snapshot_restores;
+  cb "daemon cold-starts fine" true (ok (analyze t src))
+
+let test_store_absent_is_silent () =
+  match Store.load ~dir:(fresh_dir ()) ~schema:Serve.protocol_version with
+  | Store.Absent -> ()
+  | Store.Restored _ -> Alcotest.fail "restored from an empty dir"
+  | Store.Rejected d -> Alcotest.failf "rejected: %s" (Core.Diag.render d)
+
+(* ---------------- memo export/import ---------------- *)
+
+let test_memo_export_import () =
+  (* analyze something so the domain's memo store has content *)
+  Dependence.Memo.reset ();
+  Perfect.Driver.reset_gensyms ();
+  ignore
+    (Core.Pipeline.run_source_robust ~mode:Core.Pipeline.Annotation_based
+       ~annot_source:"" src);
+  let _, _, pairs = Dependence.Memo.sizes () in
+  cb "memo has pairs to export" true (pairs > 0);
+  let sn = Dependence.Memo.export () in
+  (* import into a warm table is a no-op: every question already there *)
+  ci "idempotent import" 0 (Dependence.Memo.import sn);
+  (* import into a cold table restores every pair *)
+  Dependence.Memo.reset ();
+  ci "cold import restores all pairs" pairs (Dependence.Memo.import sn);
+  let _, _, pairs' = Dependence.Memo.sizes () in
+  ci "sizes agree" pairs pairs'
+
+(* ---------------- chaos barrier ---------------- *)
+
+let test_request_fault_degrades () =
+  match Core.Fault.parse_spec "42:server.request=1" with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok plan ->
+      Core.Fault.with_plan plan (fun () ->
+          with_server @@ fun t _ ->
+          let r1 = analyze t src in
+          cb "first request poisoned" false (ok r1);
+          cb "error carries diagnostics" true
+            (Json.to_list (Json.member "diags" r1) <> []);
+          let r2 = analyze t src in
+          cb "daemon survives, next request computes" true (ok r2);
+          cb "failed request was never cached" false (cached r2))
+
+let suite =
+  [
+    Alcotest.test_case "protocol basics and poisoned requests" `Quick
+      test_protocol_basics;
+    Alcotest.test_case "analyze byte-identical to one-shot (4 modes)" `Quick
+      test_analyze_matches_oneshot;
+    Alcotest.test_case "unit cache: hit, key scope, counters" `Quick
+      test_unit_cache_hit;
+    Alcotest.test_case "batch preserves order and isolates failures" `Quick
+      test_batch_order_and_ids;
+    Alcotest.test_case "snapshot save/restore round-trip" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "corrupt/mismatched snapshot -> warned cold start"
+      `Quick test_snapshot_rejection;
+    Alcotest.test_case "absent snapshot is a silent cold start" `Quick
+      test_store_absent_is_silent;
+    Alcotest.test_case "memo export/import round-trip" `Quick
+      test_memo_export_import;
+    Alcotest.test_case "server.request fault poisons one response only"
+      `Quick test_request_fault_degrades;
+  ]
