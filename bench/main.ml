@@ -395,15 +395,44 @@ let ablate () =
 (* serve-bench: daemon throughput                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* A latency SLO loaded from a committed JSON file (bench/slo.json in
+   CI): a ceiling on the warm pass's p99 request latency and a floor on
+   the end-to-end unit-cache hit ratio.  A field missing from the file
+   disables that half of the gate. *)
+type serve_slo = { slo_warm_p99_ms : float option; slo_hit_ratio_min : float option }
+
+let read_slo path : serve_slo =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "bench: cannot read SLO file %s: %s\n" path e;
+      exit 2
+  in
+  match Frontend.Json.parse contents with
+  | Error e ->
+      Printf.eprintf "bench: %s: %s\n" path e;
+      exit 2
+  | Ok j ->
+      let opt name =
+        match Frontend.Json.member name j with
+        | Frontend.Json.Null -> None
+        | v -> Some (Frontend.Json.to_float v)
+      in
+      {
+        slo_warm_p99_ms = opt "warm_p99_ms";
+        slo_hit_ratio_min = opt "warm_hit_ratio_min";
+      }
+
 (* Drive the whole PERFECT corpus (12 benchmarks x 4 configurations)
    through an in-process analysis daemon twice over the NDJSON protocol
    — a cold pass that computes everything and a warm pass the unit
-   cache must answer end-to-end — and report requests/sec, p50/p99
-   request latency, and the end-to-end hit ratio as the schema-v7
-   ["serve"] object.  The warm pass must sustain at least 3x the cold
-   pass's throughput (the point of the daemon); falling short degrades
-   the exit status to 1. *)
-let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
+   cache must answer end-to-end — and report requests/sec, per-pass
+   p50/p90/p99 request latency, and the end-to-end hit ratio as the
+   schema-v8 ["serve"] object.  The warm pass must sustain at least 3x
+   the cold pass's throughput (the point of the daemon); falling short
+   degrades the exit status to 1, as does busting a --slo ceiling. *)
+let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
+    () =
   rule ();
   say "SERVE-BENCH: analysis daemon over the PERFECT corpus (two passes)\n";
   rule ();
@@ -420,14 +449,17 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
           [ "none"; "conventional"; "annotation"; "demand" ])
       Perfect.Suite.all
   in
-  let latencies = ref [] in
+  (* One latency list per pass: the cold and warm distributions answer
+     different questions (full analysis vs cache replay), so pooling
+     them buries the warm tail the SLO gate watches. *)
   let drive label =
+    let lats = ref [] in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun line ->
         let r0 = Unix.gettimeofday () in
         let resp = Server.Serve.handle_line t line in
-        latencies := ((Unix.gettimeofday () -. r0) *. 1000.0) :: !latencies;
+        lats := ((Unix.gettimeofday () -. r0) *. 1000.0) :: !lats;
         match Frontend.Json.parse resp with
         | Ok j when Frontend.Json.to_bool (Frontend.Json.member "ok" j) -> ()
         | _ ->
@@ -435,18 +467,19 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
             degrade 1)
       lines;
     let dt = Unix.gettimeofday () -. t0 in
-    float_of_int (List.length lines) /. (if dt > 0.0 then dt else 1e-9)
+    (float_of_int (List.length lines) /. (if dt > 0.0 then dt else 1e-9), !lats)
   in
-  let cold_rps = drive "cold" in
-  let warm_rps = drive "warm" in
+  let cold_rps, cold_lats = drive "cold" in
+  let warm_rps, warm_lats = drive "warm" in
   let c = Server.Serve.counters t in
   List.iter (fun d -> prerr_endline (Core.Diag.render d)) (Server.Serve.drain t);
-  let sorted = List.sort compare !latencies in
-  let n = List.length sorted in
-  let percentile p =
+  let percentile lats p =
+    let sorted = List.sort compare lats in
+    let n = List.length sorted in
     if n = 0 then 0.0
     else List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int n)))
   in
+  let pooled = cold_lats @ warm_lats in
   let hit_ratio =
     if c.Core.Prof.requests_served = 0 then 0.0
     else
@@ -458,18 +491,27 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
       Perfect.Driver.sv_requests = c.Core.Prof.requests_served;
       sv_cold_rps = cold_rps;
       sv_warm_rps = warm_rps;
-      sv_p50_ms = percentile 0.50;
-      sv_p99_ms = percentile 0.99;
+      sv_p50_ms = percentile pooled 0.50;
+      sv_p99_ms = percentile pooled 0.99;
+      sv_cold_p50_ms = percentile cold_lats 0.50;
+      sv_cold_p90_ms = percentile cold_lats 0.90;
+      sv_cold_p99_ms = percentile cold_lats 0.99;
+      sv_warm_p50_ms = percentile warm_lats 0.50;
+      sv_warm_p90_ms = percentile warm_lats 0.90;
+      sv_warm_p99_ms = percentile warm_lats 0.99;
       sv_hit_ratio = hit_ratio;
       sv_snapshot_restores = c.Core.Prof.snapshot_restores;
     }
   in
   say
     "requests: %d  cold: %.1f req/s  warm: %.1f req/s (%.1fx)\n\
-     latency: p50 %.3f ms, p99 %.3f ms  unit-cache hit ratio: %.3f\n"
+     cold latency: p50 %.3f  p90 %.3f  p99 %.3f ms\n\
+     warm latency: p50 %.3f  p90 %.3f  p99 %.3f ms  unit-cache hit ratio: \
+     %.3f\n"
     stats.Perfect.Driver.sv_requests cold_rps warm_rps
     (if cold_rps > 0.0 then warm_rps /. cold_rps else 0.0)
-    stats.sv_p50_ms stats.sv_p99_ms hit_ratio;
+    stats.sv_cold_p50_ms stats.sv_cold_p90_ms stats.sv_cold_p99_ms
+    stats.sv_warm_p50_ms stats.sv_warm_p90_ms stats.sv_warm_p99_ms hit_ratio;
   if warm_rps < 3.0 *. cold_rps then begin
     Printf.eprintf
       "serve-bench: warm pass %.1f req/s below 3x cold %.1f req/s — the \
@@ -477,6 +519,31 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
       warm_rps cold_rps;
     degrade 1
   end;
+  (match slo with
+  | None -> ()
+  | Some path ->
+      let s = read_slo path in
+      (match s.slo_warm_p99_ms with
+      | Some ceiling when stats.sv_warm_p99_ms > ceiling ->
+          Printf.eprintf
+            "serve-bench: SLO VIOLATION: warm p99 %.3f ms exceeds the %.3f \
+             ms ceiling in %s\n"
+            stats.sv_warm_p99_ms ceiling path;
+          degrade 1
+      | Some ceiling ->
+          say "SLO: warm p99 %.3f ms within the %.3f ms ceiling\n"
+            stats.sv_warm_p99_ms ceiling
+      | None -> ());
+      match s.slo_hit_ratio_min with
+      | Some floor when hit_ratio < floor ->
+          Printf.eprintf
+            "serve-bench: SLO VIOLATION: unit-cache hit ratio %.3f below \
+             the %.3f floor in %s\n"
+            hit_ratio floor path;
+          degrade 1
+      | Some floor ->
+          say "SLO: hit ratio %.3f above the %.3f floor\n" hit_ratio floor
+      | None -> ());
   (match json_out with
   | None -> ()
   | Some path ->
@@ -491,6 +558,12 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?(stable_json = false) () =
             sv_warm_rps = 0.0;
             sv_p50_ms = 0.0;
             sv_p99_ms = 0.0;
+            sv_cold_p50_ms = 0.0;
+            sv_cold_p90_ms = 0.0;
+            sv_cold_p99_ms = 0.0;
+            sv_warm_p50_ms = 0.0;
+            sv_warm_p90_ms = 0.0;
+            sv_warm_p99_ms = 0.0;
           }
       in
       Perfect.Driver.write_file_atomic path
@@ -589,7 +662,7 @@ let cmd_compare old_path new_path =
       "points: %d added, %d removed (matrices differ; totals cover the %d \
        shared point(s))\n"
       !added !removed !shared;
-  (* v7 serve objects, when either side carries one *)
+  (* v7+ serve objects, when either side carries one *)
   match (old_doc.rd_serve, new_doc.rd_serve) with
   | None, None -> ()
   | o, n ->
@@ -601,7 +674,29 @@ let cmd_compare old_path new_path =
               s.rs_requests s.rs_cold_rps s.rs_warm_rps s.rs_p99_ms
               s.rs_hit_ratio
       in
-      say "serve:   old: %s\n         new: %s\n" (fmt o) (fmt n)
+      say "serve:   old: %s\n         new: %s\n" (fmt o) (fmt n);
+      (* v8 per-pass quantiles, diffed quantile by quantile when both
+         sides carry them (all-zero means a v7 doc or --stable-json). *)
+      let quantiles (s : Perfect.Driver.read_serve) =
+        [
+          ("cold p50", s.rs_cold_p50_ms);
+          ("cold p90", s.rs_cold_p90_ms);
+          ("cold p99", s.rs_cold_p99_ms);
+          ("warm p50", s.rs_warm_p50_ms);
+          ("warm p90", s.rs_warm_p90_ms);
+          ("warm p99", s.rs_warm_p99_ms);
+        ]
+      in
+      (match (o, n) with
+      | Some os, Some ns
+        when List.exists (fun (_, v) -> v > 0.0) (quantiles os)
+             && List.exists (fun (_, v) -> v > 0.0) (quantiles ns) ->
+          List.iter2
+            (fun (label, ov) (_, nv) ->
+              say "  %-8s | %9.3f %9.3f ms | %6.2fx\n" label ov nv
+                (if nv > 0.0 then ov /. nv else 0.0))
+            (quantiles os) (quantiles ns)
+      | _ -> ())
 
 (* [check-counters NEW BASELINE]: the deterministic perf gate.  The
    analysis counters (verdicts, dep-test totals, cache misses) are
@@ -725,7 +820,7 @@ let usage () =
      [--jobs N] [--json FILE] [--validate] [--explain-diff] [--trace-out \
      FILE] [--time-exec]\n\
     \                [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N] \
-     [--growth-budget F] [--stable-json] [--cache-dir DIR]\n\
+     [--growth-budget F] [--stable-json] [--cache-dir DIR] [--slo FILE]\n\
     \       main.exe compare OLD.json NEW.json\n\
     \       main.exe check-counters NEW.json BASELINE.json\n";
   exit 2
@@ -744,6 +839,7 @@ let () =
   let growth_budget = ref None in
   let stable_json = ref false in
   let cache_dir = ref None in
+  let slo = ref None in
   (* file-argument subcommands dispatch before the task loop *)
   (match Array.to_list Sys.argv with
   | _ :: "compare" :: rest -> (
@@ -809,8 +905,11 @@ let () =
     | "--cache-dir" :: path :: rest ->
         cache_dir := Some path;
         parse_args acc rest
+    | "--slo" :: path :: rest ->
+        slo := Some path;
+        parse_args acc rest
     | ("--jobs" | "--json" | "--trace-out" | "--chaos" | "--deadline-ms"
-      | "--retries" | "--growth-budget" | "--cache-dir")
+      | "--retries" | "--growth-budget" | "--cache-dir" | "--slo")
       :: [] ->
         usage ()
     | a :: rest -> parse_args (a :: acc) rest
@@ -832,7 +931,7 @@ let () =
          | "ablate" -> ablate ()
          | "serve-bench" ->
              serve_bench ~jobs:!jobs ?json_out:!json_out
-               ?cache_dir:!cache_dir ~stable_json:!stable_json ()
+               ?cache_dir:!cache_dir ?slo:!slo ~stable_json:!stable_json ()
          | "all" ->
              table1 ();
              table2 ~jobs:!jobs ?json_out:!json_out ~validate:!validate

@@ -756,10 +756,17 @@ let fuzz_cmd =
    never-crash contract; this wrapper owns startup/teardown — restore
    diagnostics on stderr, signal-triggered graceful drain, and the
    warm-cache snapshot on the way out. *)
-let serve_run socket cache_dir jobs max_errors chaos =
+let serve_run socket cache_dir jobs max_errors chaos log_file log_level =
   if jobs < 1 then fail_cli "--jobs must be at least 1";
+  let log_level =
+    match Server.Serve.log_level_of_string log_level with
+    | Ok l -> l
+    | Error m -> fail_cli "%s" m
+  in
   with_chaos chaos @@ fun () ->
-  let t, start_diags = Server.Serve.create ~jobs ?cache_dir ~max_errors () in
+  let t, start_diags =
+    Server.Serve.create ~jobs ?cache_dir ~max_errors ?log_file ~log_level ()
+  in
   print_diags start_diags;
   let on_signal =
     Sys.Signal_handle
@@ -791,11 +798,12 @@ let serve_run socket cache_dir jobs max_errors chaos =
    prints the optimized source, plan prints the plan document as
    [plan --json] would.  Cache provenance goes to stderr. *)
 let client_run socket op source_file annot_file mode growth_budget max_rounds
-    =
+    json =
   let module Json = Frontend.Json in
   let req =
     match op with
-    | "ping" | "stats" | "snapshot" | "shutdown" -> Server.Serve.request ~op ()
+    | "ping" | "stats" | "metrics" | "snapshot" | "shutdown" ->
+        Server.Serve.request ~op ()
     | "analyze" | "compile" | "plan" -> (
         match source_file with
         | None -> fail_cli "client --op %s needs FILE.f" op
@@ -806,7 +814,7 @@ let client_run socket op source_file annot_file mode growth_budget max_rounds
             let source, annot_source = load f annot_file in
             Server.Serve.request ~op ~mode ~source ~annot:annot_source
               ~growth_budget ~max_rounds ())
-    | op -> fail_cli "unknown op %S (expected ping | stats | snapshot | shutdown | analyze | compile | plan)" op
+    | op -> fail_cli "unknown op %S (expected ping | stats | metrics | snapshot | shutdown | analyze | compile | plan)" op
   in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (match Unix.connect fd (Unix.ADDR_UNIX socket) with
@@ -840,6 +848,11 @@ let client_run socket op source_file annot_file mode growth_budget max_rounds
       | "compile" -> print_string (Json.to_str (Json.member "program" result))
       | "plan" ->
           print_string (Json.to_string (Json.member "plan" result) ^ "\n")
+      | "metrics" ->
+          (* text exposition by default, the JSON form with --json *)
+          if json then
+            print_string (Json.to_string (Json.member "metrics" j) ^ "\n")
+          else print_string (Json.to_str (Json.member "exposition" j))
       | _ -> print_endline line);
       (match op with
       | "analyze" | "compile" | "plan" ->
@@ -889,7 +902,34 @@ let op_arg =
     & info [ "op" ] ~docv:"OP"
         ~doc:
           "Request to send: analyze | compile | plan (need FILE.f) or ping \
-           | stats | snapshot | shutdown.")
+           | stats | metrics | snapshot | shutdown.")
+
+let client_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "With --op metrics, print the JSON snapshot instead of the \
+           Prometheus-style text exposition.")
+
+let serve_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured NDJSON request log to $(docv): one line per \
+           request with request_id, op, unit hash, cache outcome, latency \
+           and the chaos fault sites that fired.")
+
+let serve_log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Request-log threshold: debug (control ops included) | info \
+           (work requests and lifecycle) | warn (degraded requests) | \
+           error (dropped connections).")
 
 let client_source_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.f")
@@ -905,7 +945,7 @@ let serve_cmd =
           snapshots (--cache-dir) that survive restarts")
     Term.(
       const serve_run $ serve_socket_arg $ cache_dir_arg $ jobs_arg
-      $ max_errors_arg $ chaos_arg)
+      $ max_errors_arg $ chaos_arg $ serve_log_arg $ serve_log_level_arg)
 
 let client_cmd =
   Cmd.v
@@ -916,7 +956,7 @@ let client_cmd =
           output to plan --json)")
     Term.(
       const client_run $ socket_arg $ op_arg $ client_source_arg $ annot_arg
-      $ mode_arg $ growth_budget_arg $ max_rounds_arg)
+      $ mode_arg $ growth_budget_arg $ max_rounds_arg $ client_json_arg)
 
 let bench_name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")

@@ -1,0 +1,9 @@
+(** Pipeline-level name for the live telemetry registry.
+
+    The single source of truth is {!Frontend.Metrics} (the dependence
+    tester, the inliners, the pool and the daemon all tick it from their
+    own layers); this module is a pure re-export shim so pipeline-level
+    code can keep saying [Core.Metrics], matching {!Core.Prof} and
+    {!Core.Fault}. *)
+
+include Frontend.Metrics

@@ -215,6 +215,35 @@ let fired_count (pl : plan) = List.length pl.p_fired
 let spec (pl : plan) = pl.p_spec
 let seed (pl : plan) = pl.p_seed
 
+(** Fired count of the globally armed plan ([0] when none is armed).
+    The daemon reads this before and after each request to attribute
+    fired sites to log lines. *)
+let armed_fired_count () : int =
+  match Atomic.get installed with
+  | None -> 0
+  | Some pl ->
+      Mutex.lock pl.p_m;
+      let n = List.length pl.p_fired in
+      Mutex.unlock pl.p_m;
+      n
+
+(** Site names of faults fired on the armed plan beyond the first [n0],
+    oldest first.  Concurrent requests may attribute each other's faults
+    (the fired list is global); that imprecision is acceptable for a
+    request log. *)
+let armed_fired_since (n0 : int) : string list =
+  match Atomic.get installed with
+  | None -> []
+  | Some pl ->
+      Mutex.lock pl.p_m;
+      let l = pl.p_fired in
+      Mutex.unlock pl.p_m;
+      let extra = List.length l - n0 in
+      if extra <= 0 then []
+      else
+        List.rev
+          (List.filteri (fun i _ -> i < extra) l |> List.map (fun f -> f.f_site))
+
 (** One-line post-run summary, e.g.
     ["chaos seed 7: 3 faults fired (dependence.ddtest x2, inliner.annot x1)"]. *)
 let summary (pl : plan) =

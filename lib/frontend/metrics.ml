@@ -1,0 +1,549 @@
+(** Live telemetry: a process-wide metrics registry with counters,
+    gauges, and log-bucketed latency histograms.
+
+    {!Prof} answers "where did this one run spend its time" — it is
+    per-run, domain-local, and post-hoc.  This module answers the
+    service-shaped questions a long-lived [parinline serve] daemon gets
+    asked while it is running: request latency distributions (p50 / p90 /
+    p99), cache hit counters per operation, pool queue-wait vs execute
+    time, live gauges (requests in flight, uptime).  It is the data
+    source for the daemon's [metrics] protocol op and the Prometheus-style
+    text exposition behind [parinline client --op metrics].
+
+    The contract matches {!Fault} and {!Prof}:
+
+    - {b Zero-cost when off.}  A registry is armed in a single global
+      [Atomic] slot (not domain-local — pool worker domains must feed the
+      same registry as the control domain).  Every [incr] / [observe]
+      first loads that slot; with no registry armed the instrumentation
+      is one uncontended atomic load and a branch.  Arming a registry
+      never changes analysis output — only observation.
+
+    - {b Per-domain shards.}  Each domain lazily registers a private
+      shard (cached in [Domain.DLS]) and ticks it without locks; a
+      {!snapshot} merges all shards.  Histogram merge is an elementwise
+      bucket sum, so it is associative and commutative — shard order
+      cannot change the report.  Snapshot reads of other domains' shards
+      are deliberately unsynchronized: counters are immediate ints (no
+      tearing), and metrics tolerate being a tick stale.
+
+    - {b Log-spaced buckets.}  Latencies are recorded in nanoseconds
+      into buckets with 8 sub-buckets per power of two (values 0–7 ns
+      are exact).  Bucket width is at most 12.5% of its lower bound, so
+      a quantile estimated by linear interpolation inside one bucket is
+      within ~12.5% of the true order statistic — accurate enough for an
+      SLO gate, in a few hundred ints of memory per histogram. *)
+
+external monotonic_ns : unit -> int64 = "parinline_monotonic_ns"
+
+(* ------------------------------------------------------------------ *)
+(* Bucket scheme                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Values 0..7 ns map to buckets 0..7 exactly.  For v >= 8 with
+   k = floor(log2 v), the three bits below the leading bit select one of
+   8 sub-buckets: index = 8k + ((v >> (k-3)) land 7) - 16.  Index 8 is
+   [8,9), index 15 is [15,16), index 16 is [16,18), ... — contiguous,
+   monotone, and every bucket spans at most 1/8 of its lower bound. *)
+
+let n_buckets = 488 (* covers k up to 62: the full positive int63 range *)
+
+let log2i n =
+  (* floor(log2 n) for n >= 1 *)
+  let k = ref 0 and v = ref n in
+  while !v > 1 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
+
+let bucket_of_ns (ns : int) : int =
+  if ns < 8 then if ns < 0 then 0 else ns
+  else
+    let k = log2i ns in
+    let idx = (8 * k) + ((ns lsr (k - 3)) land 7) - 16 in
+    if idx >= n_buckets then n_buckets - 1 else idx
+
+(** Inclusive-lower / exclusive-upper bounds of a bucket, in ns (floats:
+    the topmost octaves overflow a tagged int). *)
+let bucket_bounds (idx : int) : float * float =
+  if idx < 8 then (float_of_int idx, float_of_int (idx + 1))
+  else
+    let k = (idx + 16) / 8 and sub = (idx + 16) mod 8 in
+    let step = Float.of_int (1 lsl (k - 3)) in
+    let lo = Float.of_int (1 lsl k) +. (float_of_int sub *. step) in
+    (lo, lo +. step)
+
+(* ------------------------------------------------------------------ *)
+(* Metric identity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Counter | Gauge | Histogram
+
+type meta = {
+  m_id : int;
+  m_family : string;
+  m_labels : (string * string) list;  (** sorted by label key *)
+  m_kind : kind;
+}
+
+type counter = int
+type gauge = int
+type histogram = int
+
+(* Handles are interned process-wide (independent of which registry is
+   armed): the same (family, labels, kind) always yields the same id, so
+   a handle may be created statically at module init or dynamically per
+   request — the dynamic path is one mutex + hashtable probe. *)
+let names_m = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let metas : (int, meta) Hashtbl.t = Hashtbl.create 64
+let helps : (string, string) Hashtbl.t = Hashtbl.create 64
+let n_metas = ref 0
+
+let intern (kind : kind) ?help ?(labels = []) (family : string) : int =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let key =
+    family ^ "\000"
+    ^ String.concat "\000" (List.map (fun (k, v) -> k ^ "\001" ^ v) labels)
+  in
+  Mutex.lock names_m;
+  let id =
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+        let id = !n_metas in
+        incr n_metas;
+        Hashtbl.replace ids key id;
+        Hashtbl.replace metas id { m_id = id; m_family = family; m_labels = labels; m_kind = kind };
+        id
+  in
+  (match help with
+  | Some h when not (Hashtbl.mem helps family) -> Hashtbl.replace helps family h
+  | _ -> ());
+  Mutex.unlock names_m;
+  id
+
+let counter ?help ?labels family : counter = intern Counter ?help ?labels family
+let gauge ?help ?labels family : gauge = intern Gauge ?help ?labels family
+
+let histogram ?help ?labels family : histogram =
+  intern Histogram ?help ?labels family
+
+(* ------------------------------------------------------------------ *)
+(* Registry and shards                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type hist_cell = {
+  mutable h_count : int;
+  mutable h_sum_ns : int;
+  mutable h_min_ns : int;  (** [max_int] while empty *)
+  mutable h_max_ns : int;
+  h_buckets : int array;
+}
+
+type cell = C_counter of int ref | C_hist of hist_cell
+
+type shard = { mutable s_cells : cell option array }
+
+type t = {
+  r_m : Mutex.t;
+  mutable r_shards : shard list;
+  r_gauges : (int, float) Hashtbl.t;  (** gauges are global, mutex-set *)
+}
+
+let create () =
+  { r_m = Mutex.create (); r_shards = []; r_gauges = Hashtbl.create 16 }
+
+(* The armed registry, if any.  A global slot for the same reason as
+   {!Fault.installed}: worker domains must see it. *)
+let armed : t option Atomic.t = Atomic.make None
+
+let on () = Atomic.get armed <> None
+
+(** Arm [r] for the duration of [f], restoring the previous registry
+    afterwards (exceptions included).  Arm from the control domain only. *)
+let with_metrics (r : t) (f : unit -> 'a) : 'a =
+  let prev = Atomic.get armed in
+  Atomic.set armed (Some r);
+  Fun.protect ~finally:(fun () -> Atomic.set armed prev) f
+
+(** Arm [r] open-endedly (the daemon arms at startup, disarms at drain). *)
+let install (r : t) = Atomic.set armed (Some r)
+
+let uninstall (r : t) =
+  match Atomic.get armed with
+  | Some r' when r' == r -> Atomic.set armed None
+  | _ -> ()
+
+let shard_slot : (t * shard) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let my_shard (r : t) : shard =
+  match Domain.DLS.get shard_slot with
+  | Some (r', s) when r' == r -> s
+  | _ ->
+      let s = { s_cells = Array.make 64 None } in
+      Mutex.lock r.r_m;
+      r.r_shards <- s :: r.r_shards;
+      Mutex.unlock r.r_m;
+      Domain.DLS.set shard_slot (Some (r, s));
+      s
+
+let cell (s : shard) (id : int) (make : unit -> cell) : cell =
+  if id >= Array.length s.s_cells then begin
+    let n = ref (Array.length s.s_cells) in
+    while id >= !n do
+      n := !n * 2
+    done;
+    let a = Array.make !n None in
+    Array.blit s.s_cells 0 a 0 (Array.length s.s_cells);
+    s.s_cells <- a
+  end;
+  match s.s_cells.(id) with
+  | Some c -> c
+  | None ->
+      let c = make () in
+      s.s_cells.(id) <- Some c;
+      c
+
+(* ------------------------------------------------------------------ *)
+(* Ticks (one atomic load + branch when no registry is armed)          *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(by = 1) (c : counter) : unit =
+  match Atomic.get armed with
+  | None -> ()
+  | Some r -> (
+      match cell (my_shard r) c (fun () -> C_counter (ref 0)) with
+      | C_counter n -> n := !n + by
+      | C_hist _ -> ())
+
+let fresh_hist () =
+  C_hist
+    {
+      h_count = 0;
+      h_sum_ns = 0;
+      h_min_ns = max_int;
+      h_max_ns = 0;
+      h_buckets = Array.make n_buckets 0;
+    }
+
+let observe_ns (h : histogram) (ns : int) : unit =
+  match Atomic.get armed with
+  | None -> ()
+  | Some r -> (
+      let ns = if ns < 0 then 0 else ns in
+      match cell (my_shard r) h fresh_hist with
+      | C_hist hc ->
+          hc.h_count <- hc.h_count + 1;
+          hc.h_sum_ns <- hc.h_sum_ns + ns;
+          if ns < hc.h_min_ns then hc.h_min_ns <- ns;
+          if ns > hc.h_max_ns then hc.h_max_ns <- ns;
+          let b = bucket_of_ns ns in
+          hc.h_buckets.(b) <- hc.h_buckets.(b) + 1
+      | C_counter _ -> ())
+
+(** Time [f] into histogram [h] when a registry is armed; otherwise just
+    run it.  Faulting work still records its time. *)
+let time (h : histogram) (f : unit -> 'a) : 'a =
+  if Atomic.get armed = None then f ()
+  else
+    let t0 = monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        observe_ns h (Int64.to_int (Int64.sub (monotonic_ns ()) t0)))
+      f
+
+let set_gauge (g : gauge) (v : float) : unit =
+  match Atomic.get armed with
+  | None -> ()
+  | Some r ->
+      Mutex.lock r.r_m;
+      Hashtbl.replace r.r_gauges g v;
+      Mutex.unlock r.r_m
+
+let add_gauge (g : gauge) (dv : float) : unit =
+  match Atomic.get armed with
+  | None -> ()
+  | Some r ->
+      Mutex.lock r.r_m;
+      let v = match Hashtbl.find_opt r.r_gauges g with Some v -> v | None -> 0.0 in
+      Hashtbl.replace r.r_gauges g (v +. dv);
+      Mutex.unlock r.r_m
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hsnap = {
+  hs_count : int;
+  hs_sum_ns : int;
+  hs_min_ns : int;  (** 0 when empty *)
+  hs_max_ns : int;
+  hs_buckets : (int * int) list;
+      (** (bucket index, count), index-ascending, non-zero entries only *)
+}
+
+let empty_hsnap =
+  { hs_count = 0; hs_sum_ns = 0; hs_min_ns = 0; hs_max_ns = 0; hs_buckets = [] }
+
+(** Merge two histogram snapshots.  Elementwise bucket sum with min/max
+    union; the empty snapshot is the identity, so the merge is
+    associative and commutative — shard order cannot change totals. *)
+let merge_hist (a : hsnap) (b : hsnap) : hsnap =
+  if a.hs_count = 0 then b
+  else if b.hs_count = 0 then a
+  else
+    let rec zip xs ys =
+      match (xs, ys) with
+      | [], rest | rest, [] -> rest
+      | (i, n) :: xt, (j, m) :: yt ->
+          if i < j then (i, n) :: zip xt ys
+          else if j < i then (j, m) :: zip xs yt
+          else (i, n + m) :: zip xt yt
+    in
+    {
+      hs_count = a.hs_count + b.hs_count;
+      hs_sum_ns = a.hs_sum_ns + b.hs_sum_ns;
+      hs_min_ns = min a.hs_min_ns b.hs_min_ns;
+      hs_max_ns = max a.hs_max_ns b.hs_max_ns;
+      hs_buckets = zip a.hs_buckets b.hs_buckets;
+    }
+
+(** Quantile estimate in nanoseconds for [q] in [0,1]: walk the
+    cumulative bucket counts to the target rank and interpolate linearly
+    inside the bucket, clamped to the observed min/max.  Monotone in [q]
+    by construction (cumulative walk + linear interpolation). *)
+let quantile (h : hsnap) (q : float) : float =
+  if h.hs_count = 0 then 0.0
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.hs_count in
+    let rec walk cum = function
+      | [] -> float_of_int h.hs_max_ns
+      | (idx, n) :: tl ->
+          let cum' = cum + n in
+          if float_of_int cum' >= target then
+            let lo, hi = bucket_bounds idx in
+            let inside =
+              if n = 0 then 0.0
+              else (target -. float_of_int cum) /. float_of_int n
+            in
+            lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 inside))
+          else walk cum' tl
+    in
+    let est = walk 0 h.hs_buckets in
+    Float.max (float_of_int h.hs_min_ns) (Float.min (float_of_int h.hs_max_ns) est)
+
+type sample = S_counter of int | S_gauge of float | S_hist of hsnap
+
+type snapshot = (meta * sample) list
+(** Sorted by (family, labels) for deterministic rendering. *)
+
+let hsnap_of_cell (hc : hist_cell) : hsnap =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if hc.h_buckets.(i) > 0 then buckets := (i, hc.h_buckets.(i)) :: !buckets
+  done;
+  let count = hc.h_count in
+  {
+    hs_count = count;
+    hs_sum_ns = hc.h_sum_ns;
+    hs_min_ns = (if count = 0 then 0 else hc.h_min_ns);
+    hs_max_ns = hc.h_max_ns;
+    hs_buckets = !buckets;
+  }
+
+(** Merge all shards (and gauges) into one sorted sample list. *)
+let snapshot (r : t) : snapshot =
+  Mutex.lock r.r_m;
+  let shards = r.r_shards in
+  let gauges = Hashtbl.fold (fun id v acc -> (id, v) :: acc) r.r_gauges [] in
+  Mutex.unlock r.r_m;
+  let acc : (int, sample) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let cells = s.s_cells in
+      Array.iteri
+        (fun id c ->
+          match c with
+          | None -> ()
+          | Some (C_counter n) ->
+              let prev =
+                match Hashtbl.find_opt acc id with
+                | Some (S_counter p) -> p
+                | _ -> 0
+              in
+              Hashtbl.replace acc id (S_counter (prev + !n))
+          | Some (C_hist hc) ->
+              let prev =
+                match Hashtbl.find_opt acc id with
+                | Some (S_hist p) -> p
+                | _ -> empty_hsnap
+              in
+              Hashtbl.replace acc id (S_hist (merge_hist prev (hsnap_of_cell hc))))
+        cells)
+    shards;
+  List.iter (fun (id, v) -> Hashtbl.replace acc id (S_gauge v)) gauges;
+  Mutex.lock names_m;
+  let metas_of id = Hashtbl.find_opt metas id in
+  let samples =
+    Hashtbl.fold
+      (fun id s acc ->
+        match metas_of id with Some m -> (m, s) :: acc | None -> acc)
+      acc []
+  in
+  Mutex.unlock names_m;
+  List.sort
+    (fun (a, _) (b, _) ->
+      match compare a.m_family b.m_family with
+      | 0 -> compare a.m_labels b.m_labels
+      | c -> c)
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_label_value (v : string) =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels ?extra (labels : (string * string) list) : string =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let fmt_f (v : float) = Printf.sprintf "%.9g" v
+let ns_to_s (ns : float) = ns /. 1e9
+
+let quantiles = [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ]
+
+(** Prometheus-style text exposition.  One [# TYPE] comment per family;
+    histograms render cumulative [_bucket{le="..."}] lines (bounds in
+    seconds), [_sum] / [_count], and a companion [<family>_quantile]
+    gauge family carrying the p50/p90/p99 estimates. *)
+let to_prometheus (snap : snapshot) : string =
+  let b = Buffer.create 4096 in
+  let families : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let header fam kind =
+    if not (Hashtbl.mem families fam) then begin
+      Hashtbl.replace families fam ();
+      (match Hashtbl.find_opt helps fam with
+      | Some h -> Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" fam h)
+      | None -> ());
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" fam kind)
+    end
+  in
+  (* counters and gauges first, then histograms (each histogram family is
+     contiguous anyway because the snapshot is family-sorted) *)
+  List.iter
+    (fun (m, s) ->
+      match s with
+      | S_counter n ->
+          header m.m_family "counter";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" m.m_family (render_labels m.m_labels) n)
+      | S_gauge v ->
+          header m.m_family "gauge";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" m.m_family (render_labels m.m_labels)
+               (fmt_f v))
+      | S_hist _ -> ())
+    snap;
+  List.iter
+    (fun (m, s) ->
+      match s with
+      | S_hist h ->
+          header m.m_family "histogram";
+          let cum = ref 0 in
+          List.iter
+            (fun (idx, n) ->
+              cum := !cum + n;
+              let _, hi = bucket_bounds idx in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" m.m_family
+                   (render_labels m.m_labels ~extra:("le", fmt_f (ns_to_s hi)))
+                   !cum))
+            h.hs_buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" m.m_family
+               (render_labels m.m_labels ~extra:("le", "+Inf"))
+               h.hs_count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" m.m_family
+               (render_labels m.m_labels)
+               (fmt_f (ns_to_s (float_of_int h.hs_sum_ns))));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" m.m_family
+               (render_labels m.m_labels) h.hs_count)
+      | _ -> ())
+    snap;
+  List.iter
+    (fun (m, s) ->
+      match s with
+      | S_hist h ->
+          let fam = m.m_family ^ "_quantile" in
+          header fam "gauge";
+          List.iter
+            (fun (qs, q) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" fam
+                   (render_labels m.m_labels ~extra:("quantile", qs))
+                   (fmt_f (ns_to_s (quantile h q)))))
+            quantiles
+      | _ -> ())
+    snap;
+  Buffer.contents b
+
+let name_with_labels (m : meta) =
+  m.m_family ^ render_labels m.m_labels
+
+let ns_to_ms (ns : float) = ns /. 1e6
+
+(** JSON form of a snapshot (histograms carry count / sum / min / max /
+    p50 / p90 / p99, all times in milliseconds). *)
+let to_json (snap : snapshot) : Json.t =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (m, s) ->
+      let key = name_with_labels m in
+      match s with
+      | S_counter n -> counters := (key, Json.Int n) :: !counters
+      | S_gauge v -> gauges := (key, Json.Float v) :: !gauges
+      | S_hist h ->
+          hists :=
+            ( key,
+              Json.Obj
+                [
+                  ("count", Json.Int h.hs_count);
+                  ("sum_ms", Json.Float (ns_to_ms (float_of_int h.hs_sum_ns)));
+                  ("min_ms", Json.Float (ns_to_ms (float_of_int h.hs_min_ns)));
+                  ("max_ms", Json.Float (ns_to_ms (float_of_int h.hs_max_ns)));
+                  ("p50_ms", Json.Float (ns_to_ms (quantile h 0.5)));
+                  ("p90_ms", Json.Float (ns_to_ms (quantile h 0.9)));
+                  ("p99_ms", Json.Float (ns_to_ms (quantile h 0.99)));
+                ] )
+            :: !hists)
+    snap;
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !hists));
+    ]

@@ -106,19 +106,56 @@ let add_pass (p : t) name ms =
   in
   p.passes <- go p.passes
 
+(* ---- telemetry bridge ----
+   When a Metrics registry is armed, pass timings and the hot work
+   counters also feed the live registry, independent of whether a
+   per-run profile is installed — the daemon keeps per-request profiles
+   short-lived but wants service-lifetime distributions.  All bridges
+   are behind Metrics' own armed check (a load and a branch when off). *)
+
+let m_dep_hits =
+  Metrics.counter "parinline_dep_tests_total"
+    ~help:"dependence pair tests by memo outcome"
+    ~labels:[ ("memo", "hit") ]
+
+let m_dep_misses =
+  Metrics.counter "parinline_dep_tests_total" ~labels:[ ("memo", "miss") ]
+
+let m_annot_sites =
+  Metrics.counter "parinline_inline_sites_total"
+    ~help:"call sites inlined, by inliner"
+    ~labels:[ ("inliner", "annotation") ]
+
+let m_reverse_matches =
+  Metrics.counter "parinline_reverse_matches_total"
+    ~help:"tagged regions pattern-matched back into CALLs"
+
+let m_faults =
+  Metrics.counter "parinline_faults_injected_total"
+    ~help:"chaos faults fired by the armed plan"
+
 (** Time [f] under the pass name [name] when a profile is installed;
     otherwise just run it.  Faulting passes still record their time (the
-    robust pipeline salvages them, and the time was genuinely spent). *)
+    robust pipeline salvages them, and the time was genuinely spent).
+    When a Metrics registry is armed the duration also lands in the
+    per-pass latency histogram, profile or no profile. *)
 let time (name : string) (f : unit -> 'a) : 'a =
-  match current () with
-  | None -> f ()
-  | Some p ->
-      let t0 = monotonic_ns () in
-      Fun.protect
-        ~finally:(fun () ->
-          let ns = Int64.sub (monotonic_ns ()) t0 in
-          add_pass p name (Int64.to_float ns /. 1e6))
-        f
+  let prof = current () in
+  if prof = None && not (Metrics.on ()) then f ()
+  else
+    let t0 = monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let ns = Int64.sub (monotonic_ns ()) t0 in
+        (match prof with
+        | Some p -> add_pass p name (Int64.to_float ns /. 1e6)
+        | None -> ());
+        if Metrics.on () then
+          Metrics.observe_ns
+            (Metrics.histogram "parinline_pass_duration_seconds"
+               ~help:"pipeline pass wall time" ~labels:[ ("pass", name) ])
+            (Int64.to_int ns))
+      f
 
 (* ---- ticks (no-ops when no profile is installed) ---- *)
 
@@ -126,6 +163,7 @@ let time (name : string) (f : unit -> 'a) : 'a =
     from tests actually computed, so [hits + misses = run] always holds
     and the deterministic perf gate can bound the expensive half. *)
 let tick_dep_test ~independent ~cached =
+  Metrics.incr (if cached then m_dep_hits else m_dep_misses);
   match current () with
   | None -> ()
   | Some p ->
@@ -136,11 +174,13 @@ let tick_dep_test ~independent ~cached =
         p.c.dep_tests_independent <- p.c.dep_tests_independent + 1
 
 let tick_annot_site () =
+  Metrics.incr m_annot_sites;
   match current () with
   | None -> ()
   | Some p -> p.c.annot_sites_inlined <- p.c.annot_sites_inlined + 1
 
 let tick_reverse_match () =
+  Metrics.incr m_reverse_matches;
   match current () with
   | None -> ()
   | Some p -> p.c.reverse_sites_matched <- p.c.reverse_sites_matched + 1
@@ -164,8 +204,11 @@ let tick_race_conflict ~excused =
       p.c.race_conflicts <- p.c.race_conflicts + 1;
       if excused then p.c.race_excused <- p.c.race_excused + 1
 
-(** One chaos fault fired by [Fault] under the calling domain's profile. *)
+(** One chaos fault fired by [Fault] under the calling domain's profile.
+    Also visible through the live registry ([parinline_faults_injected_total])
+    even when no profile is installed. *)
 let tick_fault_injected () =
+  Metrics.incr m_faults;
   match current () with
   | None -> ()
   | Some p -> p.c.faults_injected <- p.c.faults_injected + 1

@@ -18,6 +18,12 @@ open Analysis
 open Parallelizer
 module S = Set.Make (String)
 
+(* Conventional-inliner half of the shared site counter; the annotation
+   half ticks from Prof.tick_annot_site (same family, different label). *)
+let m_conv_sites =
+  Metrics.counter "parinline_inline_sites_total"
+    ~labels:[ ("inliner", "conventional") ]
+
 type config = { max_stmts : int }
 
 let default_config = { max_stmts = 150 }
@@ -372,6 +378,7 @@ let run ?(config = default_config) ?(only : S.t option) (program : Ast.program)
                             ("inline-site:" ^ name) (fun () ->
                               inline_call config stats u callee args)
                         in
+                        Metrics.incr m_conv_sites;
                         stats.inlined_calls <-
                           (u.u_name, name) :: stats.inlined_calls;
                         extra_decls := !extra_decls @ decls;

@@ -535,7 +535,13 @@ let json_of_point (p : point) =
     ["snapshot_restores"] — all zero outside serve runs) and, with
     [?serve], the top-level ["serve"] throughput object produced by
     [bench serve-bench]: request count, cold/warm requests per second,
-    p50/p99 request latency, and the end-to-end unit-cache hit ratio. *)
+    p50/p99 request latency, and the end-to-end unit-cache hit ratio.
+    Version 8 splits the serve latency distribution by pass — per-pass
+    ["cold_p50_ms"/"cold_p90_ms"/"cold_p99_ms"] and
+    ["warm_p50_ms"/"warm_p90_ms"/"warm_p99_ms"] quantiles next to the
+    pooled v7 ["p50_ms"/"p99_ms"] — so the serve SLO gate
+    ([bench/slo.json], [scripts/check_serve_slo.sh]) can put a ceiling
+    on warm p99 instead of only a floor under warm throughput. *)
 
 type serve_stats = {
   sv_requests : int;  (** work requests driven through the daemon *)
@@ -543,6 +549,12 @@ type serve_stats = {
   sv_warm_rps : float;  (** second (warm) pass requests per second *)
   sv_p50_ms : float;  (** median request latency, both passes *)
   sv_p99_ms : float;  (** 99th-percentile request latency, both passes *)
+  sv_cold_p50_ms : float;  (** v8: cold-pass quantiles *)
+  sv_cold_p90_ms : float;
+  sv_cold_p99_ms : float;
+  sv_warm_p50_ms : float;  (** v8: warm-pass quantiles (the SLO surface) *)
+  sv_warm_p90_ms : float;
+  sv_warm_p99_ms : float;
   sv_hit_ratio : float;  (** unit-cache hits / requests served *)
   sv_snapshot_restores : int;
 }
@@ -555,6 +567,12 @@ let json_of_serve (s : serve_stats) =
       ("warm_rps", json_num s.sv_warm_rps);
       ("p50_ms", json_num s.sv_p50_ms);
       ("p99_ms", json_num s.sv_p99_ms);
+      ("cold_p50_ms", json_num s.sv_cold_p50_ms);
+      ("cold_p90_ms", json_num s.sv_cold_p90_ms);
+      ("cold_p99_ms", json_num s.sv_cold_p99_ms);
+      ("warm_p50_ms", json_num s.sv_warm_p50_ms);
+      ("warm_p90_ms", json_num s.sv_warm_p90_ms);
+      ("warm_p99_ms", json_num s.sv_warm_p99_ms);
       ("unit_hit_ratio", json_num s.sv_hit_ratio);
       ("snapshot_restores", string_of_int s.sv_snapshot_restores);
     ]
@@ -563,7 +581,7 @@ let to_json ?(explain : Explain.t option) ?(serve : serve_stats option)
     (points : point list) : string =
   json_obj
     ([
-       ("schema_version", "7");
+       ("schema_version", "8");
        ("suite", json_str "perfect");
        ("jobs_deterministic", "true");
        ( "points",
@@ -622,10 +640,17 @@ type read_serve = {
   rs_warm_rps : float;
   rs_p50_ms : float;
   rs_p99_ms : float;
+  rs_cold_p50_ms : float;  (** v8; 0 on v7 documents *)
+  rs_cold_p90_ms : float;
+  rs_cold_p99_ms : float;
+  rs_warm_p50_ms : float;
+  rs_warm_p90_ms : float;
+  rs_warm_p99_ms : float;
   rs_hit_ratio : float;
 }
-(** The version-7 top-level ["serve"] throughput object; [None] on older
-    documents and on suite runs without [serve-bench]. *)
+(** The version-7+ top-level ["serve"] throughput object; [None] on
+    older documents and on suite runs without [serve-bench].  The v8
+    per-pass quantiles read as [0.0] on v7 documents. *)
 
 type read_doc = {
   rd_version : int;
@@ -634,7 +659,7 @@ type read_doc = {
 }
 
 (** Parse a bench JSON document produced by this driver — the current
-    version 7 or the archived versions 2 through 6 — into a {!read_doc}.
+    version 8 or the archived versions 2 through 7 — into a {!read_doc}.
     Unknown fields are ignored, so the reader keeps working as the
     schema grows. *)
 let read_json (s : string) : (read_doc, string) result =
@@ -645,7 +670,7 @@ let read_json (s : string) : (read_doc, string) result =
       | Json.Null -> Error "missing schema_version"
       | v ->
           let version = Json.to_int ~default:0 v in
-          if version < 2 || version > 7 then
+          if version < 2 || version > 8 then
             Error (Printf.sprintf "unsupported schema_version %d" version)
           else
             Ok
@@ -665,6 +690,18 @@ let read_json (s : string) : (read_doc, string) result =
                             Json.to_float (Json.member "warm_rps" sv);
                           rs_p50_ms = Json.to_float (Json.member "p50_ms" sv);
                           rs_p99_ms = Json.to_float (Json.member "p99_ms" sv);
+                          rs_cold_p50_ms =
+                            Json.to_float (Json.member "cold_p50_ms" sv);
+                          rs_cold_p90_ms =
+                            Json.to_float (Json.member "cold_p90_ms" sv);
+                          rs_cold_p99_ms =
+                            Json.to_float (Json.member "cold_p99_ms" sv);
+                          rs_warm_p50_ms =
+                            Json.to_float (Json.member "warm_p50_ms" sv);
+                          rs_warm_p90_ms =
+                            Json.to_float (Json.member "warm_p90_ms" sv);
+                          rs_warm_p99_ms =
+                            Json.to_float (Json.member "warm_p99_ms" sv);
                           rs_hit_ratio =
                             Json.to_float (Json.member "unit_hit_ratio" sv);
                         });

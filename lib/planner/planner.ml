@@ -47,6 +47,24 @@ module S = Set.Make (String)
 module Verdict = Parallelizer.Verdict
 module Pipeline = Core.Pipeline
 
+(* Live telemetry for the fixpoint: round count/duration plus the
+   commit/refusal split (no-ops unless a Metrics registry is armed). *)
+let m_rounds =
+  Metrics.counter "parinline_planner_rounds_total"
+    ~help:"demand-driven planning rounds executed"
+
+let m_commits =
+  Metrics.counter "parinline_planner_commits_total"
+    ~help:"planner selections committed after a successful probe"
+
+let m_refusals =
+  Metrics.counter "parinline_planner_refusals_total"
+    ~help:"planner candidates refused"
+
+let m_round_seconds =
+  Metrics.histogram "parinline_planner_round_seconds"
+    ~help:"wall time per planning round"
+
 (** How a selected callee is inlined. *)
 type meth = Conventional_site | Annotation_site
 
@@ -275,6 +293,13 @@ let run ?(growth_budget = default_growth_budget)
   let round_no = ref 0 in
   while (not !stopped) && !round_no < max_rounds do
     incr round_no;
+    Metrics.incr m_rounds;
+    let round_t0 = Prof.monotonic_ns () in
+    let observe_round () =
+      if Metrics.on () then
+        Metrics.observe_ns m_round_seconds
+          (Int64.to_int (Int64.sub (Prof.monotonic_ns ()) round_t0))
+    in
     match
       Fault.point "planner.round";
       let blocked = call_blocked ~original !cur_res in
@@ -282,6 +307,7 @@ let run ?(growth_budget = default_growth_budget)
       let chosen = ref [] and refusals = ref [] in
       let commits = ref 0 in
       let refuse callee keys why =
+        Metrics.incr m_refusals;
         Hashtbl.replace refused_ever callee ();
         Diag.warn dg Diag.Plan
           "round %d: callee %s refused (%s); %d blocked loop(s) stay serial"
@@ -382,6 +408,7 @@ let run ?(growth_budget = default_growth_budget)
                 cur_sites := sites;
                 last_stmts := stmts;
                 cur_res := res;
+                Metrics.incr m_commits;
                 incr commits;
                 chosen :=
                   { ch_callee = callee; ch_method = m; ch_loops = keys }
@@ -450,9 +477,12 @@ let run ?(growth_budget = default_growth_budget)
         if remaining = 0 then stopped := true
       end
     with
-    | () -> ()
-    | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) -> reraise e
+    | () -> observe_round ()
+    | exception ((Diag.Error_limit _ | Diag.Fatal _) as e) ->
+        observe_round ();
+        reraise e
     | exception e ->
+        observe_round ();
         let backtrace = bt_string () in
         Diag.warn dg ~backtrace Diag.Plan
           "planning round %d faulted (%s); stopping with the partial plan"

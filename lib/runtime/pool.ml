@@ -61,6 +61,7 @@ type stats = {
    never corrupt a later job's progress accounting. *)
 type job = {
   j_f : int -> unit;
+  j_published_ns : int64;  (** publish time, for the queue-wait histogram *)
   j_total : int;
   j_batch : int;
       (** chunks grabbed per lock acquisition: large enough to cut lock
@@ -97,6 +98,32 @@ type t = {
 
 let now_s () = Int64.to_float (Frontend.Prof.monotonic_ns ()) /. 1e9
 
+(* Live telemetry: queue wait vs execute time plus the self-healing
+   counters, fed to the armed Metrics registry (no-ops otherwise). *)
+let m_queue_wait =
+  Frontend.Metrics.histogram "parinline_pool_queue_wait_seconds"
+    ~help:"time from job publish until a participant starts draining"
+
+let m_chunk_exec =
+  Frontend.Metrics.histogram "parinline_pool_chunk_exec_seconds"
+    ~help:"per-chunk execute wall time, retries included"
+
+let m_chunks =
+  Frontend.Metrics.counter "parinline_pool_chunks_total"
+    ~help:"pool chunks executed"
+
+let m_retries =
+  Frontend.Metrics.counter "parinline_pool_retries_total"
+    ~help:"chunk re-executions after transient failures"
+
+let m_respawns =
+  Frontend.Metrics.counter "parinline_pool_respawns_total"
+    ~help:"worker domains respawned after a death"
+
+let m_deadline_misses =
+  Frontend.Metrics.counter "parinline_pool_deadline_misses_total"
+    ~help:"chunks abandoned by the watchdog"
+
 (* Injected faults are the canonical transient failure; everything else
    is assumed real (a logic bug does not get better by rerunning). *)
 let default_transient = function
@@ -109,6 +136,10 @@ let is_transient (j : job) e = try j.j_transient e with _ -> false
 (* Drain the job's chunks, [j.j_batch] per lock acquisition.  Called
    (and returns) with [p.m] held; never lets a chunk exception escape. *)
 let drain (p : t) (j : job) =
+  if Frontend.Metrics.on () then
+    Frontend.Metrics.observe_ns m_queue_wait
+      (Int64.to_int
+         (Int64.sub (Frontend.Prof.monotonic_ns ()) j.j_published_ns));
   let rec go () =
     if (not j.j_abandoned) && j.j_next < j.j_total then begin
       let first = j.j_next in
@@ -124,6 +155,8 @@ let drain (p : t) (j : job) =
            recovery path under test *)
         let s = Frontend.Fault.stall "runtime.pool.stall" in
         if s > 0.0 then Unix.sleepf s;
+        let mon = Frontend.Metrics.on () in
+        let exec_t0 = if mon then Frontend.Prof.monotonic_ns () else 0L in
         let rec attempt tries =
           match
             Frontend.Fault.point "runtime.pool.chunk";
@@ -133,6 +166,7 @@ let drain (p : t) (j : job) =
           | exception e ->
               let bt = Printexc.get_raw_backtrace () in
               if is_transient j e && tries < j.j_retries then begin
+                Frontend.Metrics.incr m_retries;
                 Mutex.lock p.m;
                 p.n_retries <- p.n_retries + 1;
                 j.j_events <-
@@ -156,7 +190,13 @@ let drain (p : t) (j : job) =
                 Mutex.unlock p.m
               end
         in
-        attempt 0
+        attempt 0;
+        if mon then begin
+          Frontend.Metrics.observe_ns m_chunk_exec
+            (Int64.to_int
+               (Int64.sub (Frontend.Prof.monotonic_ns ()) exec_t0));
+          Frontend.Metrics.incr m_chunks
+        end
       done;
       Mutex.lock p.m;
       if j.j_track then
@@ -241,6 +281,7 @@ let heal (p : t) =
   List.iter
     (fun slot ->
       let d = Domain.spawn (worker_loop p slot) in
+      Frontend.Metrics.incr m_respawns;
       Mutex.lock p.m;
       p.workers <- (slot, d) :: p.workers;
       p.n_respawns <- p.n_respawns + 1;
@@ -288,6 +329,7 @@ let parallel_for ?label ?deadline_s ?(retries = 0) ?(backoff_s = 0.002)
     let j =
       {
         j_f = f;
+        j_published_ns = Frontend.Prof.monotonic_ns ();
         j_total = chunks;
         j_batch =
           (if use_workers then max 1 (chunks / (4 * p.size)) else chunks);
@@ -330,6 +372,7 @@ let parallel_for ?label ?deadline_s ?(retries = 0) ?(backoff_s = 0.002)
               j.j_events <-
                 Deadline_missed { chunk = c; waited_s = waited }
                 :: j.j_events;
+              Frontend.Metrics.incr m_deadline_misses;
               p.n_deadline_misses <- p.n_deadline_misses + 1
             in
             Hashtbl.iter (fun c () -> miss c) j.j_running;

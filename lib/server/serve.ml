@@ -20,8 +20,8 @@
 
     {v
     REQUEST  := { "op": OP, "id": INT, ... }
-    OP       := "ping" | "stats" | "analyze" | "compile" | "plan"
-              | "batch" | "snapshot" | "shutdown"
+    OP       := "ping" | "stats" | "metrics" | "analyze" | "compile"
+              | "plan" | "batch" | "snapshot" | "shutdown"
     work ops (analyze/compile/plan) add:
                 "source": STR   Fortran source text (required)
                 "annot":  STR   annotation text (default "")
@@ -32,8 +32,13 @@
     v}
 
     Responses are [{"id":N,"ok":true,"cached":BOOL,"hash":STR,
-    "result":BODY}] for work, [{"id":N,"ok":false,"error":STR,
-    "diags":[STR...]}] on failure.  The failure contract matches the
+    "request_id":STR,"result":BODY}] for work, [{"id":N,"ok":false,
+    "request_id":STR,"error":STR,"diags":[STR...]}] on failure.  Every
+    response (and every Diag and request-log line the daemon emits)
+    carries a daemon-unique [request_id] ([r1], [r2], ...) so failures
+    are correlatable across channels; the [request_id] lives in the
+    envelope, never in the cached [result] body, which stays a pure
+    function of the input.  The failure contract matches the
     pipeline's degradation ladder: a poisoned request — bad JSON, an
     unknown op, a source that defeats even the salvaging parser, or an
     injected [server.request] chaos fault — degrades to a per-request
@@ -55,17 +60,113 @@ module Verdict = Parallelizer.Verdict
     so a stale cache can never replay an old shape (see {!Store}). *)
 let protocol_version = 1
 
+(* ------------------------------------------------------------------ *)
+(* Request log                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Severity of one request-log line; [--log-level] filters below. *)
+type log_level = L_debug | L_info | L_warn | L_error
+
+let level_rank = function L_debug -> 0 | L_info -> 1 | L_warn -> 2 | L_error -> 3
+
+let level_name = function
+  | L_debug -> "debug"
+  | L_info -> "info"
+  | L_warn -> "warn"
+  | L_error -> "error"
+
+let log_level_of_string = function
+  | "debug" -> Ok L_debug
+  | "info" -> Ok L_info
+  | "warn" | "warning" -> Ok L_warn
+  | "error" -> Ok L_error
+  | s ->
+      Error
+        (Printf.sprintf "unknown log level %S (want debug|info|warn|error)" s)
+
+type logger = {
+  lg_oc : out_channel;
+  lg_min : log_level;
+  lg_m : Mutex.t;  (** one NDJSON line per write, never interleaved *)
+}
+
 type t = {
   srv_jobs : int;
   srv_pool : Runtime.Pool.t;
   srv_cache_dir : string option;
   srv_max_errors : int;
-  srv_m : Mutex.t;  (** guards [srv_units] and [srv_prof] *)
+  srv_m : Mutex.t;  (** guards [srv_units], [srv_prof] and [srv_rid] *)
   srv_units : (string, string) Hashtbl.t;
       (** content hash (hex) → serialized response body *)
   srv_prof : Prof.t;  (** server-lifetime counter aggregate *)
+  srv_metrics : Metrics.t;  (** live registry, armed for the daemon's life *)
+  srv_log : logger option;
+  srv_t0_ns : int64;  (** startup, for the uptime gauge *)
+  srv_inflight : int Atomic.t;
+  mutable srv_rid : int;  (** next request id *)
   mutable srv_stop : bool;
 }
+
+(* Live telemetry handles.  The per-op request families are interned on
+   demand (op and cache outcome are only known per request); interning
+   is a mutex + hashtable probe, and only happens with a registry armed. *)
+let g_uptime =
+  Metrics.gauge "parinline_uptime_seconds" ~help:"daemon uptime at scrape time"
+
+let g_inflight =
+  Metrics.gauge "parinline_requests_in_flight"
+    ~help:"requests currently being handled"
+
+let g_units_cached =
+  Metrics.gauge "parinline_units_cached" ~help:"entries in the unit cache"
+
+let m_request_hist ~op ~cache =
+  Metrics.histogram "parinline_request_duration_seconds"
+    ~help:"request wall time by op and cache outcome"
+    ~labels:[ ("op", op); ("cache", cache) ]
+
+let m_requests ~op ~status =
+  Metrics.counter "parinline_requests_total"
+    ~help:"protocol requests answered, by op and status"
+    ~labels:[ ("op", op); ("status", status) ]
+
+let next_rid t =
+  Mutex.lock t.srv_m;
+  let n = t.srv_rid in
+  t.srv_rid <- n + 1;
+  Mutex.unlock t.srv_m;
+  Printf.sprintf "r%d" n
+
+(* One NDJSON request-log line.  A poisoned write — the [server.log]
+   chaos site or a real I/O error — degrades to a Diag warning on
+   stderr; the response already on its way is never affected. *)
+let log_line t ~(level : log_level) (fields : (string * Json.t) list) : unit =
+  match t.srv_log with
+  | None -> ()
+  | Some lg when level_rank level < level_rank lg.lg_min -> ()
+  | Some lg -> (
+      let line =
+        Json.to_string
+          (Json.Obj
+             (("ts", Json.Float (Unix.gettimeofday ()))
+             :: ("level", Json.Str (level_name level))
+             :: fields))
+      in
+      Mutex.lock lg.lg_m;
+      match
+        Fault.point "server.log";
+        output_string lg.lg_oc line;
+        output_char lg.lg_oc '\n';
+        flush lg.lg_oc
+      with
+      | () -> Mutex.unlock lg.lg_m
+      | exception e ->
+          Mutex.unlock lg.lg_m;
+          prerr_endline
+            (Diag.render
+               (Diag.make ~severity:Diag.Warning Diag.Io
+                  (Printf.sprintf "request log write failed (%s); line dropped"
+                     (Printexc.to_string e)))))
 
 (* ------------------------------------------------------------------ *)
 (* Request plumbing                                                    *)
@@ -114,23 +215,31 @@ let unit_hash ~op ~mode ~growth_budget ~max_rounds ~source ~annot =
           ]))
 
 (* Responses.  The envelope around a cached body is assembled by string
-   concatenation so a hit replays the stored bytes verbatim. *)
-let ok_envelope ~id ~cached ~hash body =
-  Printf.sprintf "{\"id\":%d,\"ok\":true,\"cached\":%b,\"hash\":\"%s\",\"result\":%s}"
-    id cached hash body
+   concatenation so a hit replays the stored bytes verbatim; the
+   request_id lives only in the envelope, so the cached [result] stays
+   byte-identical across requests. *)
+let ok_envelope ~rid ~id ~cached ~hash body =
+  Printf.sprintf
+    "{\"id\":%d,\"ok\":true,\"cached\":%b,\"hash\":\"%s\",\"request_id\":\"%s\",\"result\":%s}"
+    id cached hash rid body
 
-let error_response ~id (ds : Diag.t list) =
-  let rendered = List.map Diag.render ds in
+(* Error responses thread the request id through every rendered Diag so
+   a stderr line, a log line and a response are correlatable. *)
+let error_response ?rid ~id (ds : Diag.t list) =
+  let tag r = match rid with None -> r | Some rid -> "req " ^ rid ^ ": " ^ r in
+  let rendered = List.map (fun d -> tag (Diag.render d)) ds in
   Json.to_string
     (Json.Obj
-       [
-         ("id", Json.Int id);
-         ("ok", Json.Bool false);
-         ( "error",
-           Json.Str (match rendered with [] -> "request failed" | r :: _ -> r)
-         );
-         ("diags", Json.List (List.map (fun r -> Json.Str r) rendered));
-       ])
+       ([ ("id", Json.Int id); ("ok", Json.Bool false) ]
+       @ (match rid with
+         | None -> []
+         | Some rid -> [ ("request_id", Json.Str rid) ])
+       @ [
+           ( "error",
+             Json.Str
+               (match rendered with [] -> "request failed" | r :: _ -> r) );
+           ("diags", Json.List (List.map (fun r -> Json.Str r) rendered));
+         ]))
 
 let counters_json (c : Prof.counters) : Json.t =
   Json.Obj
@@ -176,10 +285,28 @@ let stopping t = t.srv_stop
 (** Create a server.  [jobs] sizes the {!Runtime.Pool} batch sharding
     ([<= 1] runs everything on the caller); with [cache_dir] the warm
     caches are restored from the snapshot on disk (if any) and saved
-    back on {!drain}.  Returns the startup diagnostics — a rejected
-    snapshot degrades to a warning here and a cold start. *)
-let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors) ()
-    : t * Diag.t list =
+    back on {!drain}.  With [log_file] an NDJSON request log is opened
+    (truncating; [log_level] filters, default info).  Creation arms the
+    server's live {!Metrics} registry for the daemon's lifetime —
+    {!drain} disarms it.  Returns the startup diagnostics — a rejected
+    snapshot or an unopenable log file degrades to a warning here. *)
+let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors)
+    ?log_file ?(log_level = L_info) () : t * Diag.t list =
+  let log, log_diags =
+    match log_file with
+    | None -> (None, [])
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            (Some { lg_oc = oc; lg_min = log_level; lg_m = Mutex.create () }, [])
+        | exception Sys_error m ->
+            ( None,
+              [
+                Diag.make ~severity:Diag.Warning Diag.Io
+                  (Printf.sprintf
+                     "cannot open request log %s (%s); logging disabled" path m);
+              ] ))
+  in
   let t =
     {
       srv_jobs = max 1 jobs;
@@ -189,9 +316,15 @@ let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors) ()
       srv_m = Mutex.create ();
       srv_units = Hashtbl.create 64;
       srv_prof = Prof.create ();
+      srv_metrics = Metrics.create ();
+      srv_log = log;
+      srv_t0_ns = Prof.monotonic_ns ();
+      srv_inflight = Atomic.make 0;
+      srv_rid = 1;
       srv_stop = false;
     }
   in
+  Metrics.install t.srv_metrics;
   let diags =
     match cache_dir with
     | None -> []
@@ -208,7 +341,14 @@ let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors) ()
               t.srv_prof.Prof.c.Prof.snapshot_restores + 1;
             [])
   in
-  (t, diags)
+  log_line t ~level:L_info
+    [
+      ("event", Json.Str "start");
+      ("protocol", Json.Int protocol_version);
+      ("jobs", Json.Int t.srv_jobs);
+      ("units_restored", Json.Int (Hashtbl.length t.srv_units));
+    ];
+  (t, log_diags @ diags)
 
 (* Snapshot the warm state: the control domain's memo store plus the
    unit cache, sorted by key so the payload is deterministic. *)
@@ -236,6 +376,13 @@ let drain t : Diag.t list =
     | Some _ -> ( match save_snapshot t with Ok _ -> [] | Error d -> [ d ])
   in
   Runtime.Pool.shutdown t.srv_pool;
+  log_line t ~level:L_info
+    [
+      ("event", Json.Str "drain");
+      ("requests_served", Json.Int (counters t).Prof.requests_served);
+    ];
+  (match t.srv_log with Some lg -> close_out_noerr lg.lg_oc | None -> ());
+  Metrics.uninstall t.srv_metrics;
   ds
 
 (* ------------------------------------------------------------------ *)
@@ -349,80 +496,122 @@ let compute_body ~max_errors ~op ~mode ~growth_budget ~max_rounds ~source
    (failed results are never cached). *)
 let handle_work t (j : Json.t) : string =
   let id = Json.to_int (Json.member "id" j) in
-  match
-    Fault.point "server.request";
-    let op =
-      match Json.member "op" j with
-      | Json.Null -> "analyze"
-      | v -> Json.to_str v
-    in
-    let mode_s = Json.to_str (Json.member "mode" j) in
-    let source = Json.to_str (Json.member "source" j) in
-    let annot = Json.to_str (Json.member "annot" j) in
-    let growth_budget =
-      match Json.member "growth_budget" j with
-      | Json.Null -> Planner.default_growth_budget
-      | v -> Json.to_float v
-    in
-    let max_rounds =
-      match Json.member "max_rounds" j with
-      | Json.Null -> Planner.default_max_rounds
-      | v -> Json.to_int v
-    in
-    if source = "" then Diag.fatal Diag.Cli "work request without source";
-    if growth_budget <= 0.0 then
-      Diag.fatal Diag.Cli "growth_budget must be positive";
-    if max_rounds < 1 then Diag.fatal Diag.Cli "max_rounds must be at least 1";
-    match mode_of_string mode_s with
-    | Error m -> Diag.fatal Diag.Cli "%s" m
-    | Ok mode -> (
-        let hash =
-          unit_hash ~op ~mode:(Pipeline.mode_name mode) ~growth_budget
-            ~max_rounds ~source ~annot
-        in
-        Mutex.lock t.srv_m;
-        let cached = Hashtbl.find_opt t.srv_units hash in
-        Mutex.unlock t.srv_m;
-        match cached with
-        | Some body ->
-            Mutex.lock t.srv_m;
-            t.srv_prof.Prof.c.Prof.requests_served <-
-              t.srv_prof.Prof.c.Prof.requests_served + 1;
-            t.srv_prof.Prof.c.Prof.unit_cache_hits <-
-              t.srv_prof.Prof.c.Prof.unit_cache_hits + 1;
-            Mutex.unlock t.srv_m;
-            ok_envelope ~id ~cached:true ~hash body
-        | None ->
-            let prof = Prof.create () in
-            let body =
-              Prof.with_profiling prof (fun () ->
-                  reset_gensyms ();
-                  compute_body ~max_errors:t.srv_max_errors ~op ~mode
-                    ~growth_budget ~max_rounds ~source ~annot)
-            in
-            let body = Json.to_string body in
-            Mutex.lock t.srv_m;
-            Hashtbl.replace t.srv_units hash body;
-            Prof.absorb t.srv_prof (Prof.snapshot prof);
-            t.srv_prof.Prof.c.Prof.requests_served <-
-              t.srv_prof.Prof.c.Prof.requests_served + 1;
-            Mutex.unlock t.srv_m;
-            ok_envelope ~id ~cached:false ~hash body)
-  with
-  | response -> response
-  | exception Fault.Injected (site, n) ->
-      error_response ~id
-        [
-          Diag.make Diag.Exec
-            (Printf.sprintf "request hit injected fault at %s (arrival %d)"
-               site n);
-        ]
-  | exception Diag.Error_limit n ->
-      error_response ~id
-        [ Diag.make Diag.Cli (Printf.sprintf "error limit (%d) reached" n) ]
-  | exception e ->
-      error_response ~id
-        [ Diag.of_exn ~backtrace:(Printexc.get_backtrace ()) Diag.Exec e ]
+  let rid = next_rid t in
+  let op_s =
+    match Json.member "op" j with Json.Null -> "analyze" | v -> Json.to_str v
+  in
+  let t0 = Prof.monotonic_ns () in
+  let faults0 = Fault.armed_fired_count () in
+  Atomic.incr t.srv_inflight;
+  (* (response, ok, unit hash) plus the cache-outcome label for the
+     per-op latency histogram: "hit" | "miss" | "error". *)
+  let (response, ok, hash), cache =
+    match
+      Fault.point "server.request";
+      let mode_s = Json.to_str (Json.member "mode" j) in
+      let source = Json.to_str (Json.member "source" j) in
+      let annot = Json.to_str (Json.member "annot" j) in
+      let growth_budget =
+        match Json.member "growth_budget" j with
+        | Json.Null -> Planner.default_growth_budget
+        | v -> Json.to_float v
+      in
+      let max_rounds =
+        match Json.member "max_rounds" j with
+        | Json.Null -> Planner.default_max_rounds
+        | v -> Json.to_int v
+      in
+      if source = "" then Diag.fatal Diag.Cli "work request without source";
+      if growth_budget <= 0.0 then
+        Diag.fatal Diag.Cli "growth_budget must be positive";
+      if max_rounds < 1 then
+        Diag.fatal Diag.Cli "max_rounds must be at least 1";
+      match mode_of_string mode_s with
+      | Error m -> Diag.fatal Diag.Cli "%s" m
+      | Ok mode -> (
+          let hash =
+            unit_hash ~op:op_s ~mode:(Pipeline.mode_name mode) ~growth_budget
+              ~max_rounds ~source ~annot
+          in
+          Mutex.lock t.srv_m;
+          let cached = Hashtbl.find_opt t.srv_units hash in
+          Mutex.unlock t.srv_m;
+          match cached with
+          | Some body ->
+              Mutex.lock t.srv_m;
+              t.srv_prof.Prof.c.Prof.requests_served <-
+                t.srv_prof.Prof.c.Prof.requests_served + 1;
+              t.srv_prof.Prof.c.Prof.unit_cache_hits <-
+                t.srv_prof.Prof.c.Prof.unit_cache_hits + 1;
+              Mutex.unlock t.srv_m;
+              ((ok_envelope ~rid ~id ~cached:true ~hash body, true, Some hash),
+               "hit")
+          | None ->
+              let prof = Prof.create () in
+              let body =
+                Prof.with_profiling prof (fun () ->
+                    reset_gensyms ();
+                    compute_body ~max_errors:t.srv_max_errors ~op:op_s ~mode
+                      ~growth_budget ~max_rounds ~source ~annot)
+              in
+              let body = Json.to_string body in
+              Mutex.lock t.srv_m;
+              Hashtbl.replace t.srv_units hash body;
+              Prof.absorb t.srv_prof (Prof.snapshot prof);
+              t.srv_prof.Prof.c.Prof.requests_served <-
+                t.srv_prof.Prof.c.Prof.requests_served + 1;
+              Mutex.unlock t.srv_m;
+              ((ok_envelope ~rid ~id ~cached:false ~hash body, true, Some hash),
+               "miss"))
+    with
+    | result -> result
+    | exception Fault.Injected (site, n) ->
+        ( ( error_response ~rid ~id
+              [
+                Diag.make Diag.Exec
+                  (Printf.sprintf
+                     "request hit injected fault at %s (arrival %d)" site n);
+              ],
+            false,
+            None ),
+          "error" )
+    | exception Diag.Error_limit n ->
+        ( ( error_response ~rid ~id
+              [
+                Diag.make Diag.Cli (Printf.sprintf "error limit (%d) reached" n);
+              ],
+            false,
+            None ),
+          "error" )
+    | exception e ->
+        ( ( error_response ~rid ~id
+              [ Diag.of_exn ~backtrace:(Printexc.get_backtrace ()) Diag.Exec e ],
+            false,
+            None ),
+          "error" )
+  in
+  Atomic.decr t.srv_inflight;
+  let dur_ns = Int64.to_int (Int64.sub (Prof.monotonic_ns ()) t0) in
+  if Metrics.on () then begin
+    Metrics.observe_ns (m_request_hist ~op:op_s ~cache) dur_ns;
+    Metrics.incr (m_requests ~op:op_s ~status:(if ok then "ok" else "error"))
+  end;
+  let fault_sites = Fault.armed_fired_since faults0 in
+  log_line t
+    ~level:(if ok && fault_sites = [] then L_info else L_warn)
+    ([
+       ("request_id", Json.Str rid);
+       ("op", Json.Str op_s);
+       ("id", Json.Int id);
+     ]
+    @ (match hash with None -> [] | Some h -> [ ("hash", Json.Str h) ])
+    @ [
+        ("cache", Json.Str cache);
+        ("ok", Json.Bool ok);
+        ("latency_ms", Json.Float (float_of_int dur_ns /. 1e6));
+        ("faults", Json.List (List.map (fun s -> Json.Str s) fault_sites));
+      ]);
+  response
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -432,7 +621,7 @@ let handle_work t (j : Json.t) : string =
    functions are idempotent pure writes into distinct slots, and
    [handle_work] already owns all failure modes, so a pool-level report
    only matters for the chunks a dying worker abandoned. *)
-let handle_batch t ~id (reqs : Json.t list) : string =
+let handle_batch t ~rid ~id (reqs : Json.t list) : string =
   let reqs = Array.of_list reqs in
   let out = Array.make (Array.length reqs) "" in
   let events = ref [] in
@@ -445,13 +634,43 @@ let handle_batch t ~id (reqs : Json.t list) : string =
       match ev with
       | Runtime.Pool.Chunk_failed { chunk; error; backtrace } ->
           out.(chunk) <-
-            error_response
+            error_response ~rid
               ~id:(Json.to_int (Json.member "id" reqs.(chunk)))
               [ Diag.of_exn ~backtrace Diag.Exec error ]
       | _ -> ())
     !events;
-  Printf.sprintf "{\"id\":%d,\"ok\":true,\"responses\":[%s]}" id
+  Printf.sprintf
+    "{\"id\":%d,\"ok\":true,\"request_id\":\"%s\",\"responses\":[%s]}" id rid
     (String.concat "," (Array.to_list out))
+
+let uptime_s t =
+  Int64.to_float (Int64.sub (Prof.monotonic_ns ()) t.srv_t0_ns) /. 1e9
+
+(* Refresh the live gauges just before a scrape — they are sampled, not
+   event-driven. *)
+let refresh_gauges t =
+  Metrics.set_gauge g_uptime (uptime_s t);
+  Metrics.set_gauge g_inflight (float_of_int (Atomic.get t.srv_inflight));
+  Metrics.set_gauge g_units_cached (float_of_int (units_cached t))
+
+(* Histogram snapshots as a JSON object keyed by family{labels}, for the
+   extended [stats] op. *)
+let histograms_json (snap : Metrics.snapshot) : Json.t =
+  match Metrics.to_json snap with
+  | Json.Obj kvs -> (
+      match List.assoc_opt "histograms" kvs with Some h -> h | None -> Json.Obj [])
+  | _ -> Json.Obj []
+
+let log_control t ~level ~rid ~op ~id ~ok =
+  if Metrics.on () then
+    Metrics.incr (m_requests ~op ~status:(if ok then "ok" else "error"));
+  log_line t ~level
+    [
+      ("request_id", Json.Str rid);
+      ("op", Json.Str op);
+      ("id", Json.Int id);
+      ("ok", Json.Bool ok);
+    ]
 
 (** Handle one protocol message (a parsed JSON line) and return the
     response line. *)
@@ -462,51 +681,91 @@ let handle_request t (j : Json.t) : string =
   in
   match op with
   | "ping" ->
+      let rid = next_rid t in
+      log_control t ~level:L_debug ~rid ~op ~id ~ok:true;
       Json.to_string
         (Json.Obj
            [
              ("id", Json.Int id);
              ("ok", Json.Bool true);
              ("op", Json.Str "ping");
+             ("request_id", Json.Str rid);
              ("protocol", Json.Int protocol_version);
            ])
   | "stats" ->
+      let rid = next_rid t in
+      log_control t ~level:L_debug ~rid ~op ~id ~ok:true;
+      refresh_gauges t;
       Json.to_string
         (Json.Obj
            [
              ("id", Json.Int id);
              ("ok", Json.Bool true);
              ("op", Json.Str "stats");
+             ("request_id", Json.Str rid);
              ("protocol", Json.Int protocol_version);
              ("jobs", Json.Int t.srv_jobs);
              ("units_cached", Json.Int (units_cached t));
+             ("uptime_s", Json.Float (uptime_s t));
+             ("requests_in_flight", Json.Int (Atomic.get t.srv_inflight));
              ("counters", counters_json (counters t));
+             ("histograms", histograms_json (Metrics.snapshot t.srv_metrics));
+           ])
+  | "metrics" ->
+      let rid = next_rid t in
+      log_control t ~level:L_debug ~rid ~op ~id ~ok:true;
+      refresh_gauges t;
+      let snap = Metrics.snapshot t.srv_metrics in
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("ok", Json.Bool true);
+             ("op", Json.Str "metrics");
+             ("request_id", Json.Str rid);
+             ("exposition", Json.Str (Metrics.to_prometheus snap));
+             ("metrics", Metrics.to_json snap);
            ])
   | "snapshot" -> (
+      let rid = next_rid t in
       match save_snapshot t with
       | Ok path ->
+          log_control t ~level:L_info ~rid ~op ~id ~ok:true;
           Json.to_string
             (Json.Obj
                [
                  ("id", Json.Int id);
                  ("ok", Json.Bool true);
                  ("op", Json.Str "snapshot");
+                 ("request_id", Json.Str rid);
                  ("path", Json.Str path);
                ])
-      | Error d -> error_response ~id [ d ])
+      | Error d ->
+          log_control t ~level:L_warn ~rid ~op ~id ~ok:false;
+          error_response ~rid ~id [ d ])
   | "shutdown" ->
+      let rid = next_rid t in
       t.srv_stop <- true;
+      log_control t ~level:L_info ~rid ~op ~id ~ok:true;
       Json.to_string
         (Json.Obj
            [
              ("id", Json.Int id);
              ("ok", Json.Bool true);
              ("op", Json.Str "shutdown");
+             ("request_id", Json.Str rid);
            ])
-  | "batch" -> handle_batch t ~id (Json.to_list (Json.member "requests" j))
+  | "batch" ->
+      let rid = next_rid t in
+      let reqs = Json.to_list (Json.member "requests" j) in
+      let response = handle_batch t ~rid ~id reqs in
+      log_control t ~level:L_info ~rid ~op ~id ~ok:true;
+      response
   | "analyze" | "compile" | "plan" -> handle_work t j
   | op ->
-      error_response ~id
+      let rid = next_rid t in
+      log_control t ~level:L_warn ~rid ~op ~id ~ok:false;
+      error_response ~rid ~id
         [ Diag.make Diag.Cli (Printf.sprintf "unknown op %S" op) ]
 
 (** Handle one raw protocol line.  Unparseable JSON degrades to an
@@ -515,7 +774,9 @@ let handle_request t (j : Json.t) : string =
 let handle_line t (line : string) : string =
   match Json.parse line with
   | Error m ->
-      error_response ~id:0
+      let rid = next_rid t in
+      log_control t ~level:L_warn ~rid ~op:"parse" ~id:0 ~ok:false;
+      error_response ~rid ~id:0
         [ Diag.make Diag.Cli (Printf.sprintf "bad request JSON: %s" m) ]
   | Ok j -> handle_request t j
 
@@ -539,7 +800,9 @@ let serve_channels t (ic : in_channel) (oc : out_channel) : unit =
             match Fault.point "server.accept" with
             | () -> handle_line t line
             | exception Fault.Injected (site, n) ->
-                error_response ~id:0
+                let rid = next_rid t in
+                log_control t ~level:L_error ~rid ~op:"accept" ~id:0 ~ok:false;
+                error_response ~rid ~id:0
                   [
                     Diag.make Diag.Exec
                       (Printf.sprintf
@@ -583,20 +846,26 @@ let serve_socket t ~(path : string) : unit =
                   try serve_channels t ic oc; close_out_noerr oc
                   with e ->
                     close_out_noerr oc;
+                    let rid = next_rid t in
+                    log_control t ~level:L_error ~rid ~op:"connection" ~id:0
+                      ~ok:false;
                     prerr_endline
                       (Diag.render
                          (Diag.make ~severity:Diag.Warning Diag.Exec
-                            (Printf.sprintf "connection dropped: %s"
-                               (Printexc.to_string e)))))
+                            (Printf.sprintf "req %s: connection dropped: %s"
+                               rid (Printexc.to_string e)))))
               | exception Fault.Injected (site, n) ->
                   (try Unix.close fd with Unix.Unix_error _ -> ());
+                  let rid = next_rid t in
+                  log_control t ~level:L_error ~rid ~op:"connection" ~id:0
+                    ~ok:false;
                   prerr_endline
                     (Diag.render
                        (Diag.make ~severity:Diag.Warning Diag.Exec
                           (Printf.sprintf
-                             "connection dropped by injected fault at %s \
-                              (arrival %d)"
-                             site n))));
+                             "req %s: connection dropped by injected fault at \
+                              %s (arrival %d)"
+                             rid site n))));
               accept_loop ()
       in
       accept_loop ())

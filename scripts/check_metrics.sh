@@ -1,0 +1,99 @@
+#!/bin/sh
+# check_metrics.sh EXPOSITION.txt
+#
+# Validate a Prometheus-style exposition scraped from a live daemon
+# (parinline client --op metrics).  Grammar checks, all structural —
+# no dependence on which values the run happened to produce:
+#
+#   * every sample line parses as `name value` or `name{labels} value`
+#     with a finite decimal value
+#   * every sample's family is declared by a preceding # TYPE line
+#   * every `# TYPE f histogram` family carries cumulative _bucket
+#     lines ending at le="+Inf", plus _sum and _count, with the +Inf
+#     bucket count equal to _count (the cumulativity invariant)
+#   * the request families the serve gate scrapes for are present
+#
+# Portable sh + awk only.
+
+set -eu
+
+[ $# -eq 1 ] || {
+  echo "usage: $0 EXPOSITION.txt" >&2
+  exit 2
+}
+EXPO=$1
+
+[ -s "$EXPO" ] || {
+  echo "check_metrics: FAIL: $EXPO is missing or empty" >&2
+  exit 1
+}
+
+awk '
+  function fail(msg) { printf "check_metrics: FAIL: line %d: %s\n", NR, msg > "/dev/stderr"; bad = 1 }
+  function base(name,    b) {
+    b = name
+    sub(/_(bucket|sum|count)$/, "", b)
+    return b
+  }
+  /^#[ ]HELP[ ]/ { next }
+  /^#[ ]TYPE[ ]/ {
+    if (NF != 4) { fail("malformed TYPE line") ; next }
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
+      fail("unknown metric type " $4)
+    type[$3] = $4
+    next
+  }
+  /^#/ { fail("unknown comment form"); next }
+  /^$/ { next }
+  {
+    # sample line: name[{labels}] value
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("unparseable sample"); next }
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    labels = ""
+    if (substr(rest, 1, 1) == "{") {
+      close_i = index(rest, "}")
+      if (close_i == 0) { fail("unterminated label set"); next }
+      labels = substr(rest, 2, close_i - 2)
+      rest = substr(rest, close_i + 1)
+    }
+    sub(/^[ \t]+/, "", rest)
+    if (rest !~ /^[+-]?([0-9]+\.?[0-9]*([eE][+-]?[0-9]+)?|\.[0-9]+([eE][+-]?[0-9]+)?)$/)
+      { fail("non-numeric value for " name ": \"" rest "\""); next }
+    fam = base(name)
+    if (!(name in type) && !(fam in type))
+      { fail("sample " name " has no preceding # TYPE"); next }
+    seen[(name in type) ? name : fam] = 1
+    if ((fam in type) && type[fam] == "histogram") {
+      if (name == fam "_count") hist_count[fam] = rest + 0
+      else if (name == fam "_sum") hist_sum[fam] = 1
+      else if (name == fam "_bucket") {
+        if (labels !~ /(^|,)le="/) { fail("bucket of " fam " lacks an le label"); next }
+        le = labels
+        sub(/^.*le="/, "", le); sub(/".*$/, "", le)
+        if (le == "+Inf") hist_inf[fam] = rest + 0
+        nbuckets[fam]++
+      }
+    }
+  }
+  END {
+    for (f in type) {
+      if (!(f in seen)) { printf "check_metrics: FAIL: family %s declared but empty\n", f > "/dev/stderr"; bad = 1 }
+      if (type[f] == "histogram") {
+        if (!(f in hist_sum))   { printf "check_metrics: FAIL: histogram %s has no _sum\n", f > "/dev/stderr"; bad = 1 }
+        if (!(f in hist_count)) { printf "check_metrics: FAIL: histogram %s has no _count\n", f > "/dev/stderr"; bad = 1 }
+        if (!(f in hist_inf))   { printf "check_metrics: FAIL: histogram %s has no le=\"+Inf\" bucket\n", f > "/dev/stderr"; bad = 1 }
+        else if ((f in hist_count) && hist_inf[f] != hist_count[f])
+          { printf "check_metrics: FAIL: histogram %s: +Inf bucket %d != _count %d\n", f, hist_inf[f], hist_count[f] > "/dev/stderr"; bad = 1 }
+      }
+    }
+    # the families the serve gate relies on
+    split("parinline_requests_total parinline_request_duration_seconds parinline_uptime_seconds parinline_requests_in_flight", req, " ")
+    for (i in req)
+      if (!(req[i] in seen))
+        { printf "check_metrics: FAIL: required family %s absent\n", req[i] > "/dev/stderr"; bad = 1 }
+    exit bad ? 1 : 0
+  }
+' "$EXPO" || exit 1
+
+echo "check_metrics: OK ($(grep -c '^# TYPE ' "$EXPO") families, $(grep -vc '^#\|^$' "$EXPO") samples)"

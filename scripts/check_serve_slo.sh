@@ -1,0 +1,76 @@
+#!/bin/sh
+# check_serve_slo.sh BENCH_serve.json [bench/slo.json]
+#
+# The independent half of the serve latency gate: serve-bench --slo
+# enforces the SLO in-process while the numbers are being measured;
+# this script re-derives the verdict from the written schema-v8 JSON,
+# so the gate also holds for documents produced elsewhere (an artifact
+# from another runner, a locally archived baseline).
+#
+#   warm_p99_ms         ceiling on the warm pass's p99 request latency
+#   warm_hit_ratio_min  floor on the end-to-end unit-cache hit ratio
+#
+# A timing of exactly 0 means the document was written with
+# --stable-json (timings deliberately zeroed), so the latency half is
+# skipped with a note rather than trivially passed off as a win.
+# Portable sh + grep/awk only.
+
+set -eu
+
+[ $# -ge 1 ] || {
+  echo "usage: $0 BENCH_serve.json [slo.json]" >&2
+  exit 2
+}
+DOC=$1
+SLO=${2:-bench/slo.json}
+
+fail() {
+  echo "check_serve_slo: FAIL: $*" >&2
+  exit 1
+}
+
+[ -f "$DOC" ] || fail "no such document: $DOC"
+[ -f "$SLO" ] || fail "no such SLO file: $SLO"
+
+# field NAME FILE -- first numeric value of "NAME": in FILE, or empty
+# (tolerates whitespace around the colon, as in a hand-edited SLO file)
+field() {
+  grep -o "\"$1\"[[:space:]]*:[[:space:]]*[0-9.]*" "$2" | head -n 1 |
+    sed 's/^.*:[[:space:]]*//'
+}
+
+grep -q '"serve"' "$DOC" || fail "$DOC carries no serve object"
+
+warm_p99=$(field warm_p99_ms "$DOC")
+hit_ratio=$(field unit_hit_ratio "$DOC")
+ceiling=$(field warm_p99_ms "$SLO")
+floor=$(field warm_hit_ratio_min "$SLO")
+
+status=0
+
+if [ -z "$ceiling" ]; then
+  echo "check_serve_slo: note: $SLO sets no warm_p99_ms ceiling"
+elif [ -z "$warm_p99" ]; then
+  fail "$DOC has no warm_p99_ms (pre-v8 document? regenerate with serve-bench)"
+elif awk "BEGIN { exit !($warm_p99 == 0) }"; then
+  echo "check_serve_slo: note: warm_p99_ms is 0 (--stable-json document); latency check skipped"
+elif awk "BEGIN { exit !($warm_p99 > $ceiling) }"; then
+  echo "check_serve_slo: warm p99 $warm_p99 ms exceeds the $ceiling ms ceiling in $SLO" >&2
+  status=1
+else
+  echo "check_serve_slo: warm p99 $warm_p99 ms within the $ceiling ms ceiling"
+fi
+
+if [ -z "$floor" ]; then
+  echo "check_serve_slo: note: $SLO sets no warm_hit_ratio_min floor"
+elif [ -z "$hit_ratio" ]; then
+  fail "$DOC has no unit_hit_ratio"
+elif awk "BEGIN { exit !($hit_ratio < $floor) }"; then
+  echo "check_serve_slo: unit-cache hit ratio $hit_ratio below the $floor floor in $SLO" >&2
+  status=1
+else
+  echo "check_serve_slo: hit ratio $hit_ratio above the $floor floor"
+fi
+
+[ "$status" = 0 ] && echo "check_serve_slo: OK"
+exit "$status"

@@ -47,6 +47,7 @@ counter() {
 
 start_daemon() { # start_daemon LABEL
   "$BIN" serve --socket "$SOCK" --cache-dir "$CACHE" \
+    --log "$OUT/requests-$1.ndjson" --log-level debug \
     >"$OUT/serve-$1.out" 2>"$OUT/serve-$1.log" &
   PID=$!
   i=0
@@ -117,6 +118,29 @@ hits=$(counter unit_cache_hits "$OUT/stats-pass2.json")
 identical pass1 pass2
 grep -q "unit-cache hit" "$OUT/pass2-annotation.err" ||
   fail "pass 2 client did not report a unit-cache hit"
+
+echo "serve_smoke: telemetry (metrics scrape + request log, mid-run)"
+"$BIN" client --socket "$SOCK" --op metrics >"$OUT/metrics.txt" 2>/dev/null ||
+  fail "client --op metrics failed"
+"$BIN" client --socket "$SOCK" --op metrics --json >"$OUT/metrics.json" \
+  2>/dev/null || fail "client --op metrics --json failed"
+sh "$(dirname "$0")/check_metrics.sh" "$OUT/metrics.txt" ||
+  fail "metrics exposition rejected by check_metrics.sh"
+grep -q '"parinline_request_duration_seconds{' "$OUT/metrics.json" ||
+  fail "metrics --json lost the request-duration histogram"
+# the warm pass must show up as cache="hit" request samples
+grep -q 'parinline_requests_total{op="analyze",status="ok"}' "$OUT/metrics.txt" ||
+  fail "no analyze request counter in the exposition"
+grep -q 'parinline_request_duration_seconds_bucket{cache="hit",op="analyze"' \
+  "$OUT/metrics.txt" || fail "warm pass left no cache=hit latency samples"
+LOG="$OUT/requests-boot.ndjson"
+[ -s "$LOG" ] || fail "daemon wrote no request log at $LOG"
+n_analyze=$(grep -c '"op":"analyze"' "$LOG") || true
+[ "$n_analyze" = $((2 * N_MODES)) ] ||
+  fail "request log has $n_analyze analyze lines, want $((2 * N_MODES))"
+grep -q '"cache":"miss"' "$LOG" || fail "request log lost the cold-pass misses"
+grep -q '"cache":"hit"' "$LOG" || fail "request log lost the warm-pass hits"
+grep -q '"request_id":"r' "$LOG" || fail "request log lines carry no request_id"
 
 echo "serve_smoke: shutdown (snapshot written to cache-dir)"
 stop_daemon

@@ -316,7 +316,7 @@ let test_schema_reader_v6_compat () =
       cb "serve counters absent from v6 points" true
         (not (List.mem "requests_served" p.rd_counter_keys))
 
-let test_schema_reader_v7_current () =
+let test_schema_reader_v8_current () =
   let points =
     Perfect.Driver.run_suite ~jobs:1 ~benches:[ Perfect.Mdg.bench ] ()
   in
@@ -324,7 +324,7 @@ let test_schema_reader_v7_current () =
   match Perfect.Driver.read_json (Perfect.Driver.to_json ~explain points) with
   | Error e -> Alcotest.failf "current document rejected: %s" e
   | Ok doc ->
-      ci "version 7" 7 doc.Perfect.Driver.rd_version;
+      ci "version 8" 8 doc.Perfect.Driver.rd_version;
       cb "no serve object without serve-bench" true (doc.rd_serve = None);
       ci "four points" 4 (List.length doc.rd_points);
       List.iter
@@ -372,6 +372,12 @@ let test_schema_reader_v7_current () =
           sv_warm_rps = 3600.25;
           sv_p50_ms = 0.75;
           sv_p99_ms = 80.125;
+          sv_cold_p50_ms = 4.5;
+          sv_cold_p90_ms = 9.25;
+          sv_cold_p99_ms = 80.125;
+          sv_warm_p50_ms = 0.25;
+          sv_warm_p90_ms = 0.5;
+          sv_warm_p99_ms = 1.125;
           sv_hit_ratio = 0.5;
           sv_snapshot_restores = 1;
         }
@@ -387,7 +393,14 @@ let test_schema_reader_v7_current () =
                 (abs_float (s.rs_cold_rps -. 120.5) < 0.001
                 && abs_float (s.rs_warm_rps -. 3600.25) < 0.001
                 && abs_float (s.rs_p99_ms -. 80.125) < 0.001
-                && abs_float (s.rs_hit_ratio -. 0.5) < 0.001)))
+                && abs_float (s.rs_hit_ratio -. 0.5) < 0.001);
+              cb "v8 per-pass quantiles round-trip" true
+                (abs_float (s.rs_cold_p50_ms -. 4.5) < 0.001
+                && abs_float (s.rs_cold_p90_ms -. 9.25) < 0.001
+                && abs_float (s.rs_cold_p99_ms -. 80.125) < 0.001
+                && abs_float (s.rs_warm_p50_ms -. 0.25) < 0.001
+                && abs_float (s.rs_warm_p90_ms -. 0.5) < 0.001
+                && abs_float (s.rs_warm_p99_ms -. 1.125) < 0.001)))
 
 let test_schema_reader_rejects_garbage () =
   cb "non-JSON rejected" true
@@ -435,8 +448,8 @@ let suite =
       test_schema_reader_v2_compat;
     Alcotest.test_case "schema reader: v6 compatibility" `Quick
       test_schema_reader_v6_compat;
-    Alcotest.test_case "schema reader: current v7" `Quick
-      test_schema_reader_v7_current;
+    Alcotest.test_case "schema reader: current v8" `Quick
+      test_schema_reader_v8_current;
     Alcotest.test_case "schema reader rejects garbage" `Quick
       test_schema_reader_rejects_garbage;
     Alcotest.test_case "diagnostics render owning unit" `Quick

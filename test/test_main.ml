@@ -22,5 +22,6 @@ let () =
       ("planner", Test_planner.suite);
       ("chaos", Test_chaos.suite);
       ("server", Test_server.suite);
+      ("metrics", Test_metrics.suite);
       ("fuzz", Test_fuzz.suite);
     ]
