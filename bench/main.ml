@@ -7,6 +7,8 @@
                     [--jobs N] [--json FILE] [--validate] [--time-exec]
                     [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N]
                     [--growth-budget F] [--stable-json] [--cache-dir DIR]
+                    [--slo FILE] [--clients N] [--reps N]
+                    [--max-cache-units N]
      bench/main.exe compare OLD.json NEW.json
      bench/main.exe check-counters NEW.json BASELINE.json
    With no task argument everything runs (the paper's artifacts plus the
@@ -42,14 +44,24 @@
                 plan-determinism gate diffs two such documents with cmp
 
    serve-bench  drive the 12-benchmark corpus through an in-process
-                analysis daemon twice over the NDJSON protocol and
-                report requests/sec, p50/p99 latency, and the unit-cache
-                hit ratio (schema-v7 "serve" object); the warm pass must
-                sustain >= 3x the cold pass's throughput.  --cache-dir
-                restores/saves the daemon's warm-cache snapshot.
+                analysis daemon over the NDJSON protocol: a sequential
+                cold pass, then warm passes at increasing concurrent
+                client counts (--clients N, default 4; each client
+                drives the resident hot set --reps times).  Reports
+                requests/sec and p50/p99 per pass and per client count,
+                the unit-cache hit ratio, the concurrent speedup, and
+                LRU eviction stats (schema-v9 "serve" object); the warm
+                pass must sustain >= 3x the cold pass's throughput and
+                every warm response must be byte-identical to the cold
+                one.  --max-cache-units N caps the daemon's unit cache
+                (exercising eviction); --cache-dir restores/saves the
+                daemon's warm-cache snapshot; --slo FILE additionally
+                gates warm p99 / hit ratio / concurrent speedup (the
+                speedup floor is skipped on hosts with fewer cores than
+                the gate's client count).
 
    compare         render a wall-clock / cache-counter diff of two bench
-                   JSON documents (schema versions 2-7 both sides; point
+                   JSON documents (schema versions 2-9 both sides; point
                    sets may differ — added/removed points are reported,
                    totals cover the shared ones)
    check-counters  deterministic CI gate: fail if verdicts or dependence
@@ -396,10 +408,17 @@ let ablate () =
 (* ------------------------------------------------------------------ *)
 
 (* A latency SLO loaded from a committed JSON file (bench/slo.json in
-   CI): a ceiling on the warm pass's p99 request latency and a floor on
-   the end-to-end unit-cache hit ratio.  A field missing from the file
-   disables that half of the gate. *)
-type serve_slo = { slo_warm_p99_ms : float option; slo_hit_ratio_min : float option }
+   CI): a ceiling on the warm pass's p99 request latency, a floor on
+   the end-to-end unit-cache hit ratio, and a floor on the concurrent
+   speedup (warm rps at [concurrent_clients] over single-client warm
+   rps).  A field missing from the file disables that part of the
+   gate. *)
+type serve_slo = {
+  slo_warm_p99_ms : float option;
+  slo_hit_ratio_min : float option;
+  slo_speedup_min : float option;
+  slo_clients : int option;  (** client count the speedup floor applies at *)
+}
 
 let read_slo path : serve_slo =
   let contents =
@@ -418,25 +437,64 @@ let read_slo path : serve_slo =
         | Frontend.Json.Null -> None
         | v -> Some (Frontend.Json.to_float v)
       in
+      let opt_int name =
+        match Frontend.Json.member name j with
+        | Frontend.Json.Null -> None
+        | v -> Some (Frontend.Json.to_int v)
+      in
       {
         slo_warm_p99_ms = opt "warm_p99_ms";
         slo_hit_ratio_min = opt "warm_hit_ratio_min";
+        slo_speedup_min = opt "concurrent_speedup_min";
+        slo_clients = opt_int "concurrent_clients";
       }
 
+(* The envelope is assembled by sprintf as
+   {...,"request_id":"rN","result":BODY} — BODY is the cached bytes
+   verbatim, so slicing from after "result": to the closing brace
+   recovers them exactly.  Byte-level comparison here is the point:
+   parsing and re-printing could mask a real determinism break. *)
+let result_bytes (resp : string) : string option =
+  let needle = "\"result\":" in
+  let nlen = String.length needle and rlen = String.length resp in
+  let rec find i =
+    if i + nlen > rlen then None
+    else if String.sub resp i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some pos when rlen > pos -> Some (String.sub resp pos (rlen - pos - 1))
+  | _ -> None
+
 (* Drive the whole PERFECT corpus (12 benchmarks x 4 configurations)
-   through an in-process analysis daemon twice over the NDJSON protocol
-   — a cold pass that computes everything and a warm pass the unit
-   cache must answer end-to-end — and report requests/sec, per-pass
-   p50/p90/p99 request latency, and the end-to-end hit ratio as the
-   schema-v8 ["serve"] object.  The warm pass must sustain at least 3x
-   the cold pass's throughput (the point of the daemon); falling short
-   degrades the exit status to 1, as does busting a --slo ceiling. *)
-let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
-    () =
+   through an in-process analysis daemon over the NDJSON protocol: a
+   sequential cold pass that computes everything, then warm passes at
+   increasing concurrent-client counts (each client is a domain driving
+   the resident "hot set" [reps] times) that the unit cache must answer
+   end-to-end, byte-identical to the cold bodies.  Reports requests/sec
+   and p50/p90/p99 per pass and per client count, the end-to-end hit
+   ratio, and the LRU eviction stats as the schema-v9 ["serve"] object.
+   The warm pass must sustain at least 3x the cold pass's throughput
+   (the point of the daemon); falling short degrades the exit status to
+   1, as does any byte mismatch or busting a --slo ceiling.  The
+   concurrent-speedup floor is enforced only when the host has at least
+   [clients] cores — on a smaller machine the measurement is still
+   reported, with a note, but cannot gate.
+
+   With --max-cache-units below the corpus size the warm passes drive
+   the last [cap] request lines — exactly the resident set a
+   sequential cold pass leaves behind under LRU — so the warm phase
+   measures cache replay, not scan-thrash, and the cold pass's
+   evictions are still visible in the stats. *)
+let serve_bench ?(jobs = 1) ?(clients = 4) ?(reps = 3) ?(max_cache_units = 0)
+    ?json_out ?cache_dir ?slo ?(stable_json = false) () =
   rule ();
-  say "SERVE-BENCH: analysis daemon over the PERFECT corpus (two passes)\n";
+  say "SERVE-BENCH: analysis daemon over the PERFECT corpus\n";
   rule ();
-  let t, start_diags = Server.Serve.create ~jobs ?cache_dir () in
+  let clients = max 1 clients and reps = max 1 reps in
+  let t, start_diags =
+    Server.Serve.create ~jobs ~max_cache_units ?cache_dir ()
+  in
   List.iter (fun d -> prerr_endline (Core.Diag.render d)) start_diags;
   let lines =
     List.concat_map
@@ -449,10 +507,30 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
           [ "none"; "conventional"; "annotation"; "demand" ])
       Perfect.Suite.all
   in
+  let n_lines = List.length lines in
+  (* expected bytes per request line, recorded on the cold pass *)
+  let expected : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let check_line ~label line resp =
+    match Frontend.Json.parse resp with
+    | Ok j when Frontend.Json.to_bool (Frontend.Json.member "ok" j) -> (
+        match (result_bytes resp, Hashtbl.find_opt expected line) with
+        | Some body, Some want when body <> want ->
+            Printf.eprintf
+              "serve-bench: %s: response bytes differ from the cold pass\n"
+              label;
+            degrade 1
+        | Some _, _ -> ()
+        | None, _ ->
+            Printf.eprintf "serve-bench: %s: malformed envelope\n" label;
+            degrade 1)
+    | _ ->
+        Printf.eprintf "serve-bench: %s: request failed\n" label;
+        degrade 1
+  in
   (* One latency list per pass: the cold and warm distributions answer
      different questions (full analysis vs cache replay), so pooling
      them buries the warm tail the SLO gate watches. *)
-  let drive label =
+  let drive_cold () =
     let lats = ref [] in
     let t0 = Unix.gettimeofday () in
     List.iter
@@ -460,25 +538,103 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
         let r0 = Unix.gettimeofday () in
         let resp = Server.Serve.handle_line t line in
         lats := ((Unix.gettimeofday () -. r0) *. 1000.0) :: !lats;
-        match Frontend.Json.parse resp with
-        | Ok j when Frontend.Json.to_bool (Frontend.Json.member "ok" j) -> ()
-        | _ ->
-            Printf.eprintf "serve-bench: %s pass: request failed\n" label;
-            degrade 1)
+        (match result_bytes resp with
+        | Some body -> Hashtbl.replace expected line body
+        | None -> ());
+        check_line ~label:"cold pass" line resp)
       lines;
     let dt = Unix.gettimeofday () -. t0 in
-    (float_of_int (List.length lines) /. (if dt > 0.0 then dt else 1e-9), !lats)
+    (float_of_int n_lines /. (if dt > 0.0 then dt else 1e-9), !lats)
   in
-  let cold_rps, cold_lats = drive "cold" in
-  let warm_rps, warm_lats = drive "warm" in
-  let c = Server.Serve.counters t in
-  List.iter (fun d -> prerr_endline (Core.Diag.render d)) (Server.Serve.drain t);
+  (* the hot set: what a sequential cold pass leaves resident under an
+     LRU cap — the last min(cap, corpus) request lines *)
+  let hot =
+    if max_cache_units <= 0 || max_cache_units >= n_lines then lines
+    else
+      List.filteri (fun i _ -> i >= n_lines - max_cache_units) lines
+  in
+  let n_hot = List.length hot in
+  (* k concurrent clients, each a domain driving the hot set reps
+     times; every response is verified against the cold-pass bytes *)
+  let drive_warm k =
+    let t0 = Unix.gettimeofday () in
+    let body () =
+      let lats = ref [] in
+      let bad = ref 0 in
+      for _ = 1 to reps do
+        List.iter
+          (fun line ->
+            let r0 = Unix.gettimeofday () in
+            let resp = Server.Serve.handle_line t line in
+            lats := ((Unix.gettimeofday () -. r0) *. 1000.0) :: !lats;
+            match (Frontend.Json.parse resp, result_bytes resp) with
+            | Ok j, Some got
+              when Frontend.Json.to_bool (Frontend.Json.member "ok" j)
+                   && Some got = Hashtbl.find_opt expected line ->
+                ()
+            | _ -> incr bad)
+          hot
+      done;
+      (!lats, !bad)
+    in
+    let results =
+      if k = 1 then [ body () ]
+      else List.map Domain.join (List.init k (fun _ -> Domain.spawn body))
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let lats = List.concat_map fst results in
+    let bad = List.fold_left (fun a (_, b) -> a + b) 0 results in
+    if bad > 0 then begin
+      Printf.eprintf
+        "serve-bench: warm pass (%d clients): %d responses failed or \
+         differed from the cold bytes\n"
+        k bad;
+      degrade 1
+    end;
+    ( float_of_int (k * reps * n_hot) /. (if dt > 0.0 then dt else 1e-9),
+      lats )
+  in
+  let cold_rps, cold_lats = drive_cold () in
+  (* client counts driven: 1 (the sequential baseline), a midpoint, and
+     the requested concurrency *)
+  let counts =
+    List.sort_uniq compare
+      (1 :: (if clients >= 4 then [ clients / 2 ] else []) @ [ clients ])
+  in
   let percentile lats p =
     let sorted = List.sort compare lats in
     let n = List.length sorted in
     if n = 0 then 0.0
     else List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int n)))
   in
+  let per_client =
+    List.map
+      (fun k ->
+        let rps, lats = drive_warm k in
+        {
+          Perfect.Driver.cp_clients = k;
+          cp_rps = rps;
+          cp_p50_ms = percentile lats 0.50;
+          cp_p99_ms = percentile lats 0.99;
+        })
+      counts
+  in
+  let seq = List.hd per_client in
+  let warm_rps = seq.Perfect.Driver.cp_rps in
+  (* the single-client warm latencies feed the v8 warm quantiles (the
+     existing SLO surface); rerun is cheap and keeps them comparable
+     with pre-v9 documents *)
+  let _, warm_lats = drive_warm 1 in
+  let top =
+    List.nth per_client (List.length per_client - 1)
+  in
+  let speedup =
+    if warm_rps > 0.0 then top.Perfect.Driver.cp_rps /. warm_rps else 0.0
+  in
+  let cores = Domain.recommended_domain_count () in
+  let cs = Server.Serve.cache_stats t in
+  let c = Server.Serve.counters t in
+  List.iter (fun d -> prerr_endline (Core.Diag.render d)) (Server.Serve.drain t);
   let pooled = cold_lats @ warm_lats in
   let hit_ratio =
     if c.Core.Prof.requests_served = 0 then 0.0
@@ -501,17 +657,35 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
       sv_warm_p99_ms = percentile warm_lats 0.99;
       sv_hit_ratio = hit_ratio;
       sv_snapshot_restores = c.Core.Prof.snapshot_restores;
+      sv_clients = per_client;
+      sv_speedup = speedup;
+      sv_cores = cores;
+      sv_evictions = cs.Server.Lru.evictions;
+      sv_cache_units = cs.Server.Lru.units;
+      sv_max_cache_units = max_cache_units;
     }
   in
   say
     "requests: %d  cold: %.1f req/s  warm: %.1f req/s (%.1fx)\n\
      cold latency: p50 %.3f  p90 %.3f  p99 %.3f ms\n\
      warm latency: p50 %.3f  p90 %.3f  p99 %.3f ms  unit-cache hit ratio: \
-     %.3f\n"
+     %.3f\n\
+     cache: %d resident / cap %d, %d evictions (hot set %d of %d lines)\n"
     stats.Perfect.Driver.sv_requests cold_rps warm_rps
     (if cold_rps > 0.0 then warm_rps /. cold_rps else 0.0)
     stats.sv_cold_p50_ms stats.sv_cold_p90_ms stats.sv_cold_p99_ms
-    stats.sv_warm_p50_ms stats.sv_warm_p90_ms stats.sv_warm_p99_ms hit_ratio;
+    stats.sv_warm_p50_ms stats.sv_warm_p90_ms stats.sv_warm_p99_ms hit_ratio
+    cs.Server.Lru.units max_cache_units cs.Server.Lru.evictions n_hot n_lines;
+  List.iter
+    (fun cp ->
+      say "  %d client%s: %.1f req/s  p50 %.3f ms  p99 %.3f ms\n"
+        cp.Perfect.Driver.cp_clients
+        (if cp.Perfect.Driver.cp_clients = 1 then " " else "s")
+        cp.Perfect.Driver.cp_rps cp.Perfect.Driver.cp_p50_ms
+        cp.Perfect.Driver.cp_p99_ms)
+    per_client;
+  say "  concurrent speedup at %d clients: %.2fx (%d cores)\n"
+    top.Perfect.Driver.cp_clients speedup cores;
   if warm_rps < 3.0 *. cold_rps then begin
     Printf.eprintf
       "serve-bench: warm pass %.1f req/s below 3x cold %.1f req/s — the \
@@ -534,7 +708,7 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
           say "SLO: warm p99 %.3f ms within the %.3f ms ceiling\n"
             stats.sv_warm_p99_ms ceiling
       | None -> ());
-      match s.slo_hit_ratio_min with
+      (match s.slo_hit_ratio_min with
       | Some floor when hit_ratio < floor ->
           Printf.eprintf
             "serve-bench: SLO VIOLATION: unit-cache hit ratio %.3f below \
@@ -544,11 +718,39 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
       | Some floor ->
           say "SLO: hit ratio %.3f above the %.3f floor\n" hit_ratio floor
       | None -> ());
+      match s.slo_speedup_min with
+      | None -> ()
+      | Some floor ->
+          let gate_clients =
+            match s.slo_clients with Some k -> k | None -> clients
+          in
+          if top.Perfect.Driver.cp_clients < gate_clients then
+            say
+              "SLO: concurrent-speedup floor needs --clients %d (drove %d); \
+               skipped\n"
+              gate_clients top.Perfect.Driver.cp_clients
+          else if cores < gate_clients then
+            say
+              "SLO: concurrent-speedup floor skipped: host has %d cores, \
+               gate needs %d clients running in parallel\n"
+              cores gate_clients
+          else if speedup < floor then begin
+            Printf.eprintf
+              "serve-bench: SLO VIOLATION: concurrent speedup %.2fx at %d \
+               clients below the %.2fx floor in %s\n"
+              speedup top.Perfect.Driver.cp_clients floor path;
+            degrade 1
+          end
+          else
+            say "SLO: concurrent speedup %.2fx above the %.2fx floor\n"
+              speedup floor);
   (match json_out with
   | None -> ()
   | Some path ->
       (* --stable-json: timing numbers vary by host; the request count,
-         hit ratio, and restore count are deterministic and stay. *)
+         hit ratio, eviction counts, and restore count are
+         deterministic and stay.  [cores] is a host property, zeroed
+         too. *)
       let stats =
         if not stable_json then stats
         else
@@ -564,6 +766,18 @@ let serve_bench ?(jobs = 1) ?json_out ?cache_dir ?slo ?(stable_json = false)
             sv_warm_p50_ms = 0.0;
             sv_warm_p90_ms = 0.0;
             sv_warm_p99_ms = 0.0;
+            sv_clients =
+              List.map
+                (fun cp ->
+                  {
+                    cp with
+                    Perfect.Driver.cp_rps = 0.0;
+                    cp_p50_ms = 0.0;
+                    cp_p99_ms = 0.0;
+                  })
+                stats.Perfect.Driver.sv_clients;
+            sv_speedup = 0.0;
+            sv_cores = 0;
           }
       in
       Perfect.Driver.write_file_atomic path
@@ -696,7 +910,42 @@ let cmd_compare old_path new_path =
               say "  %-8s | %9.3f %9.3f ms | %6.2fx\n" label ov nv
                 (if nv > 0.0 then ov /. nv else 0.0))
             (quantiles os) (quantiles ns)
-      | _ -> ())
+      | _ -> ());
+      (* v9 concurrency fields: per-client-count warm throughput,
+         matched by client count; a new-side drop below 75% of the old
+         throughput is flagged as a regression (informational — timing
+         is host-dependent, so compare never fails the exit status).
+         All-zero rps means a pre-v9 doc or --stable-json. *)
+      (match (o, n) with
+      | Some os, Some ns
+        when List.exists (fun (_, rps, _, _) -> rps > 0.0) os.rs_clients
+             && List.exists (fun (_, rps, _, _) -> rps > 0.0) ns.rs_clients ->
+          List.iter
+            (fun (k, nrps, np50, np99) ->
+              match
+                List.find_opt (fun (ok_, _, _, _) -> ok_ = k) os.rs_clients
+              with
+              | None ->
+                  say "  %2d clients | %40s | new: %.1f req/s\n" k
+                    "(no old measurement)" nrps
+              | Some (_, orps, _, _) ->
+                  say "  %2d clients | %9.1f %9.1f req/s | %6.2fx  p50 %.3f \
+                       p99 %.3f ms%s\n"
+                    k orps nrps
+                    (if orps > 0.0 then nrps /. orps else 0.0)
+                    np50 np99
+                    (if orps > 0.0 && nrps < 0.75 *. orps then
+                       "  REGRESSION"
+                     else ""))
+            ns.rs_clients;
+          if os.rs_speedup > 0.0 || ns.rs_speedup > 0.0 then
+            say "  concurrent speedup: %.2fx -> %.2fx\n" os.rs_speedup
+              ns.rs_speedup
+      | _ -> ());
+      match (o, n) with
+      | Some os, Some ns when os.rs_evictions > 0 || ns.rs_evictions > 0 ->
+          say "  cache evictions: %d -> %d\n" os.rs_evictions ns.rs_evictions
+      | _ -> ()
 
 (* [check-counters NEW BASELINE]: the deterministic perf gate.  The
    analysis counters (verdicts, dep-test totals, cache misses) are
@@ -821,6 +1070,7 @@ let usage () =
      FILE] [--time-exec]\n\
     \                [--chaos SEED[:SPEC]] [--deadline-ms N] [--retries N] \
      [--growth-budget F] [--stable-json] [--cache-dir DIR] [--slo FILE]\n\
+    \                [--clients N] [--reps N] [--max-cache-units N]\n\
     \       main.exe compare OLD.json NEW.json\n\
     \       main.exe check-counters NEW.json BASELINE.json\n";
   exit 2
@@ -840,6 +1090,9 @@ let () =
   let stable_json = ref false in
   let cache_dir = ref None in
   let slo = ref None in
+  let clients = ref 4 in
+  let reps = ref 3 in
+  let max_cache_units = ref 0 in
   (* file-argument subcommands dispatch before the task loop *)
   (match Array.to_list Sys.argv with
   | _ :: "compare" :: rest -> (
@@ -908,8 +1161,27 @@ let () =
     | "--slo" :: path :: rest ->
         slo := Some path;
         parse_args acc rest
+    | "--clients" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            clients := n;
+            parse_args acc rest
+        | _ -> usage ())
+    | "--reps" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            reps := n;
+            parse_args acc rest
+        | _ -> usage ())
+    | "--max-cache-units" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            max_cache_units := n;
+            parse_args acc rest
+        | _ -> usage ())
     | ("--jobs" | "--json" | "--trace-out" | "--chaos" | "--deadline-ms"
-      | "--retries" | "--growth-budget" | "--cache-dir" | "--slo")
+      | "--retries" | "--growth-budget" | "--cache-dir" | "--slo"
+      | "--clients" | "--reps" | "--max-cache-units")
       :: [] ->
         usage ()
     | a :: rest -> parse_args (a :: acc) rest
@@ -930,7 +1202,8 @@ let () =
          | "micro" -> micro ()
          | "ablate" -> ablate ()
          | "serve-bench" ->
-             serve_bench ~jobs:!jobs ?json_out:!json_out
+             serve_bench ~jobs:!jobs ~clients:!clients ~reps:!reps
+               ~max_cache_units:!max_cache_units ?json_out:!json_out
                ?cache_dir:!cache_dir ?slo:!slo ~stable_json:!stable_json ()
          | "all" ->
              table1 ();

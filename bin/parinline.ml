@@ -756,8 +756,14 @@ let fuzz_cmd =
    never-crash contract; this wrapper owns startup/teardown — restore
    diagnostics on stderr, signal-triggered graceful drain, and the
    warm-cache snapshot on the way out. *)
-let serve_run socket cache_dir jobs max_errors chaos log_file log_level =
+let serve_run socket cache_dir jobs conn_jobs backlog max_inflight
+    max_cache_units max_cache_bytes max_errors chaos log_file log_level =
   if jobs < 1 then fail_cli "--jobs must be at least 1";
+  if conn_jobs < 0 then fail_cli "--conn-jobs must be at least 0";
+  if backlog < 1 then fail_cli "--backlog must be at least 1";
+  if max_inflight < 1 then fail_cli "--max-inflight must be at least 1";
+  if max_cache_units < 0 then fail_cli "--max-cache-units must be at least 0";
+  if max_cache_bytes < 0 then fail_cli "--max-cache-bytes must be at least 0";
   let log_level =
     match Server.Serve.log_level_of_string log_level with
     | Ok l -> l
@@ -765,7 +771,9 @@ let serve_run socket cache_dir jobs max_errors chaos log_file log_level =
   in
   with_chaos chaos @@ fun () ->
   let t, start_diags =
-    Server.Serve.create ~jobs ?cache_dir ~max_errors ?log_file ~log_level ()
+    Server.Serve.create ~jobs ~conn_jobs ~backlog ~max_inflight
+      ~max_cache_units ~max_cache_bytes ?cache_dir ~max_errors ?log_file
+      ~log_level ()
   in
   print_diags start_diags;
   let on_signal =
@@ -781,8 +789,11 @@ let serve_run socket cache_dir jobs max_errors chaos log_file log_level =
   (try
      match socket with
      | Some path ->
-         Printf.eprintf "parinline serve: listening on %s (jobs=%d%s)\n%!"
-           path jobs
+         Printf.eprintf
+           "parinline serve: listening on %s (jobs=%d, conn-jobs=%d, \
+            backlog=%d%s)\n\
+            %!"
+           path jobs conn_jobs backlog
            (match cache_dir with
            | None -> ""
            | Some d -> ", cache-dir=" ^ d);
@@ -896,6 +907,50 @@ let jobs_arg =
     & info [ "jobs" ] ~docv:"N"
         ~doc:"Shard batch requests across $(docv) worker domains.")
 
+let conn_jobs_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "conn-jobs" ] ~docv:"N"
+        ~doc:
+          "Serve up to $(docv) connections concurrently on a fixed pool of \
+           worker domains (socket mode only).  0 serves each connection \
+           synchronously on the accept loop.")
+
+let backlog_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "backlog" ] ~docv:"N"
+        ~doc:
+          "Kernel listen(2) backlog for the daemon socket: connections \
+           queued by the OS before accept, beyond which connects fail.")
+
+let max_inflight_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admission control: with $(docv) accepted connections already \
+           queued or being served, new connections are shed with a \
+           structured overload error instead of waiting.")
+
+let max_cache_units_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-cache-units" ] ~docv:"N"
+        ~doc:
+          "Bound the content-hashed unit cache to $(docv) entries; the \
+           least-recently-used entry is evicted when the bound is \
+           exceeded.  0 means unbounded.")
+
+let max_cache_bytes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-cache-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the unit cache's resident body bytes to $(docv); \
+           least-recently-used entries are evicted until the cache fits.  \
+           0 means unbounded.")
+
 let op_arg =
   Arg.(
     value & opt string "analyze"
@@ -945,7 +1000,9 @@ let serve_cmd =
           snapshots (--cache-dir) that survive restarts")
     Term.(
       const serve_run $ serve_socket_arg $ cache_dir_arg $ jobs_arg
-      $ max_errors_arg $ chaos_arg $ serve_log_arg $ serve_log_level_arg)
+      $ conn_jobs_arg $ backlog_arg $ max_inflight_arg $ max_cache_units_arg
+      $ max_cache_bytes_arg $ max_errors_arg $ chaos_arg $ serve_log_arg
+      $ serve_log_level_arg)
 
 let client_cmd =
   Cmd.v

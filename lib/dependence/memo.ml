@@ -135,8 +135,7 @@ let enabled () = (state ()).enabled
 (* Ids are drawn from one counter across both intern tables, so an aref
    id can never collide with a ctx fingerprint even if a key were ever
    used in the wrong position. *)
-let intern tbl key =
-  let s = state () in
+let intern_in (s : state) tbl key =
   match Hashtbl.find_opt tbl key with
   | Some id -> id
   | None ->
@@ -144,6 +143,8 @@ let intern tbl key =
       s.next_id <- id + 1;
       Hashtbl.replace tbl key id;
       id
+
+let intern tbl key = intern_in (state ()) tbl key
 
 (** Intern one array reference of unit [u]; structurally equal
     references (same subscript expressions, same inner-loop context,
@@ -198,28 +199,29 @@ type snapshot = {
     blocks; the on-disk framing (versioning, integrity hash) belongs to
     the persistence layer ([Server.Store]). *)
 
-(** Copy the calling domain's memo store into a portable snapshot. *)
-let export () : snapshot =
-  let s = state () in
+(** Copy [s]'s memo store into a portable snapshot. *)
+let export_of (s : state) : snapshot =
   {
     sn_arefs = Hashtbl.fold (fun k id acc -> (k, id) :: acc) s.arefs [];
     sn_ctxs = Hashtbl.fold (fun k id acc -> (k, id) :: acc) s.ctxs [];
     sn_table = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table [];
   }
 
-(** Merge [sn] into the calling domain's memo store.  Every key is
-    re-interned (snapshot-local ids never leak), so importing into a
-    warm table is safe: already-present questions keep their existing
-    answer — both sides computed the same pure function — and new ones
-    are added.  Returns the number of memoized pairs the table gained. *)
-let import (sn : snapshot) : int =
-  let s = state () in
+(** Copy the calling domain's memo store into a portable snapshot. *)
+let export () : snapshot = export_of (state ())
+
+(** Merge [sn] into [s].  Every key is re-interned (snapshot-local ids
+    never leak), so importing into a warm table is safe:
+    already-present questions keep their existing answer — both sides
+    computed the same pure function — and new ones are added.  Returns
+    the number of memoized pairs the table gained. *)
+let import_into (s : state) (sn : snapshot) : int =
   let remap = Hashtbl.create 256 in
   List.iter
-    (fun (k, old_id) -> Hashtbl.replace remap old_id (intern s.arefs k))
+    (fun (k, old_id) -> Hashtbl.replace remap old_id (intern_in s s.arefs k))
     sn.sn_arefs;
   List.iter
-    (fun (k, old_id) -> Hashtbl.replace remap old_id (intern s.ctxs k))
+    (fun (k, old_id) -> Hashtbl.replace remap old_id (intern_in s s.ctxs k))
     sn.sn_ctxs;
   let before = Hashtbl.length s.table in
   List.iter
@@ -238,3 +240,67 @@ let import (sn : snapshot) : int =
           ())
     sn.sn_table;
   Hashtbl.length s.table - before
+
+(** Merge [sn] into the calling domain's memo store. *)
+let import (sn : snapshot) : int = import_into (state ()) sn
+
+(* ------------------------------------------------------------------ *)
+(* The shared hub (cross-domain warm cache for the daemon)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each connection-worker domain still answers dependence queries out
+   of its own DLS store — the hot path stays lock-free and the ids stay
+   domain-local.  What the daemon needs on top is for domain A's cold
+   miss to warm domain B, so a mutex-guarded hub store accumulates
+   every domain's discoveries and hands them back on demand.  Exchange
+   is snapshot-merged (the issue's sanctioned alternative to lock
+   striping): [sync] publishes the local store into the hub and, when
+   the hub has moved past what this domain last saw, imports the hub
+   back.  Both directions re-intern structural keys, so merging is
+   idempotent and order-insensitive; answers are pure functions of
+   their keys, so concurrent discoveries of the same pair agree.  A
+   version counter makes the steady state (nobody learned anything) one
+   export + no import.  Only the daemon calls [sync]; one-shot runs and
+   the bench suite never touch the hub. *)
+
+let hub_m = Mutex.create ()
+let hub : state = fresh ()
+let hub_version = ref 0
+
+(* Last hub version this domain has fully imported; -1 = never. *)
+let seen_slot : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref (-1))
+
+(** Publish the calling domain's memo store into the hub and pull back
+    anything other domains have contributed since this domain last
+    synced.  Returns [(published, imported)] pair counts. *)
+let sync () : int * int =
+  let local = state () in
+  let seen = Domain.DLS.get seen_slot in
+  Mutex.lock hub_m;
+  let was_current = !seen = !hub_version in
+  let published = import_into hub (export_of local) in
+  if published > 0 then incr hub_version;
+  let imported =
+    if was_current then begin
+      (* local ⊇ hub already held, and we just pushed the difference *)
+      seen := !hub_version;
+      0
+    end
+    else begin
+      let gained = import_into local (export_of hub) in
+      seen := !hub_version;
+      gained
+    end
+  in
+  Mutex.unlock hub_m;
+  (published, imported)
+
+(** Hub table sizes (arefs, ctxs, memoized pairs), for stats/tests. *)
+let hub_sizes () =
+  Mutex.lock hub_m;
+  let r =
+    (Hashtbl.length hub.arefs, Hashtbl.length hub.ctxs,
+     Hashtbl.length hub.table)
+  in
+  Mutex.unlock hub_m;
+  r

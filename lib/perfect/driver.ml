@@ -541,7 +541,21 @@ let json_of_point (p : point) =
     ["warm_p50_ms"/"warm_p90_ms"/"warm_p99_ms"] quantiles next to the
     pooled v7 ["p50_ms"/"p99_ms"] — so the serve SLO gate
     ([bench/slo.json], [scripts/check_serve_slo.sh]) can put a ceiling
-    on warm p99 instead of only a floor under warm throughput. *)
+    on warm p99 instead of only a floor under warm throughput.
+    Version 9 adds the concurrency and eviction surface of the
+    multi-connection daemon: a serve ["clients"] array with warm
+    rps/p50/p99 per concurrent-client count, ["concurrent_speedup"]
+    (warm rps at the highest client count over single-client),
+    ["cores"] (the machine's recommended domain count, so a gate can
+    tell "no speedup" from "no cores to speed up on"), and the unit
+    cache's ["evictions"], ["cache_units"], ["max_cache_units"]. *)
+
+type client_point = {
+  cp_clients : int;  (** concurrent client connections driven *)
+  cp_rps : float;  (** aggregate warm requests per second *)
+  cp_p50_ms : float;
+  cp_p99_ms : float;
+}
 
 type serve_stats = {
   sv_requests : int;  (** work requests driven through the daemon *)
@@ -557,6 +571,12 @@ type serve_stats = {
   sv_warm_p99_ms : float;
   sv_hit_ratio : float;  (** unit-cache hits / requests served *)
   sv_snapshot_restores : int;
+  sv_clients : client_point list;  (** v9: warm throughput per client count *)
+  sv_speedup : float;  (** v9: rps at max clients / rps at 1 client *)
+  sv_cores : int;  (** v9: recommended domain count of the bench host *)
+  sv_evictions : int;  (** v9: unit-cache LRU evictions over the run *)
+  sv_cache_units : int;  (** v9: resident unit-cache entries at the end *)
+  sv_max_cache_units : int;  (** v9: the cap driven (0 = unbounded) *)
 }
 
 let json_of_serve (s : serve_stats) =
@@ -575,13 +595,32 @@ let json_of_serve (s : serve_stats) =
       ("warm_p99_ms", json_num s.sv_warm_p99_ms);
       ("unit_hit_ratio", json_num s.sv_hit_ratio);
       ("snapshot_restores", string_of_int s.sv_snapshot_restores);
+      ( "clients",
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun cp ->
+                 json_obj
+                   [
+                     ("clients", string_of_int cp.cp_clients);
+                     ("rps", json_num cp.cp_rps);
+                     ("p50_ms", json_num cp.cp_p50_ms);
+                     ("p99_ms", json_num cp.cp_p99_ms);
+                   ])
+               s.sv_clients)
+        ^ "]" );
+      ("concurrent_speedup", json_num s.sv_speedup);
+      ("cores", string_of_int s.sv_cores);
+      ("evictions", string_of_int s.sv_evictions);
+      ("cache_units", string_of_int s.sv_cache_units);
+      ("max_cache_units", string_of_int s.sv_max_cache_units);
     ]
 
 let to_json ?(explain : Explain.t option) ?(serve : serve_stats option)
     (points : point list) : string =
   json_obj
     ([
-       ("schema_version", "8");
+       ("schema_version", "9");
        ("suite", json_str "perfect");
        ("jobs_deterministic", "true");
        ( "points",
@@ -647,10 +686,15 @@ type read_serve = {
   rs_warm_p90_ms : float;
   rs_warm_p99_ms : float;
   rs_hit_ratio : float;
+  rs_clients : (int * float * float * float) list;
+      (** v9 [(clients, rps, p50_ms, p99_ms)]; empty on older documents *)
+  rs_speedup : float;  (** v9; 0 on older documents *)
+  rs_evictions : int;  (** v9; 0 on older documents *)
 }
 (** The version-7+ top-level ["serve"] throughput object; [None] on
     older documents and on suite runs without [serve-bench].  The v8
-    per-pass quantiles read as [0.0] on v7 documents. *)
+    per-pass quantiles read as [0.0] on v7 documents; the v9
+    concurrency fields read as empty/zero on v7–v8 documents. *)
 
 type read_doc = {
   rd_version : int;
@@ -659,7 +703,7 @@ type read_doc = {
 }
 
 (** Parse a bench JSON document produced by this driver — the current
-    version 8 or the archived versions 2 through 7 — into a {!read_doc}.
+    version 9 or the archived versions 2 through 8 — into a {!read_doc}.
     Unknown fields are ignored, so the reader keeps working as the
     schema grows. *)
 let read_json (s : string) : (read_doc, string) result =
@@ -670,7 +714,7 @@ let read_json (s : string) : (read_doc, string) result =
       | Json.Null -> Error "missing schema_version"
       | v ->
           let version = Json.to_int ~default:0 v in
-          if version < 2 || version > 8 then
+          if version < 2 || version > 9 then
             Error (Printf.sprintf "unsupported schema_version %d" version)
           else
             Ok
@@ -704,6 +748,24 @@ let read_json (s : string) : (read_doc, string) result =
                             Json.to_float (Json.member "warm_p99_ms" sv);
                           rs_hit_ratio =
                             Json.to_float (Json.member "unit_hit_ratio" sv);
+                          rs_clients =
+                            (match Json.member "clients" sv with
+                            | Json.List cps ->
+                                List.map
+                                  (fun cp ->
+                                    ( Json.to_int (Json.member "clients" cp),
+                                      Json.to_float (Json.member "rps" cp),
+                                      Json.to_float (Json.member "p50_ms" cp),
+                                      Json.to_float (Json.member "p99_ms" cp)
+                                    ))
+                                  cps
+                            | _ -> []);
+                          rs_speedup =
+                            Json.to_float ~default:0.0
+                              (Json.member "concurrent_speedup" sv);
+                          rs_evictions =
+                            Json.to_int ~default:0
+                              (Json.member "evictions" sv);
                         });
                 rd_points =
                   List.map

@@ -1,0 +1,236 @@
+(** Persistent task-queue worker pool — {!Pool}'s long-lived sibling.
+
+    {!Pool} is fork-join: a caller publishes a fixed chunk range, every
+    participant drains it, the caller blocks until the last chunk
+    lands.  That shape fits a parallel loop but not a server: the
+    analysis daemon accepts connections forever, each connection has
+    its own lifetime, and the acceptor must never block on a slow
+    client.  This module provides the missing shape — a fixed set of
+    worker domains pulling items off a bounded queue:
+
+    - {b Bounded admission}: {!submit} enqueues up to [max_pending]
+      in-flight items (queued plus executing) and {e sheds} beyond
+      that, returning {!Shed} so the caller can answer with a
+      structured overload error instead of queuing forever.  The bound
+      is the daemon's [--max-inflight] admission control.
+    - {b Failure containment}, layered exactly like {!Pool}: the
+      handler runs under a per-item barrier (an escaping exception
+      discards that item and is counted, the worker survives), and a
+      worker whose loop itself dies — possible only at the injected
+      ["runtime.workers.worker"] fault point — is recorded and lazily
+      respawned by the next {!submit}, so a killed domain degrades one
+      item, not the pool.
+    - {b Idempotent shutdown}: {!shutdown} stops the workers after
+      their current item, discards anything still queued (via the
+      caller's [discard] cleanup, e.g. closing a connection so the
+      peer sees EOF), and joins the domains.  {!submit} afterwards
+      sheds.
+
+    With [size = 0] no domains are spawned and {!submit} runs the
+    handler synchronously on the caller — the sequential-serving
+    escape hatch, useful for tests and single-core hosts. *)
+
+type verdict =
+  | Accepted  (** queued (or, with [size = 0], already handled) *)
+  | Shed  (** at [max_pending] in-flight items, or shut down *)
+
+(** Lifetime counters, for the daemon's [stats] op and tests. *)
+type stats = {
+  accepted : int;  (** items admitted by {!submit} *)
+  shed : int;  (** items refused at the admission bound *)
+  handler_errors : int;  (** items whose handler raised *)
+  deaths : int;  (** worker domains whose loop died *)
+  respawns : int;  (** replacement domains spawned *)
+  inflight : int;  (** currently queued + executing *)
+  workers : int;  (** live worker domains *)
+}
+
+type 'a t = {
+  m : Mutex.t;
+  cv : Condition.t;  (** signaled on submit and on shutdown *)
+  queue : 'a Queue.t;
+  handler : 'a -> unit;
+  discard : 'a -> unit;  (** cleanup for shed / abandoned items *)
+  max_pending : int;
+  size : int;
+  mutable inflight : int;
+  mutable stop : bool;
+  mutable workers : (int * unit Domain.t) list;  (** slot, domain *)
+  mutable dead : int list;  (** slots awaiting respawn *)
+  mutable n_accepted : int;
+  mutable n_shed : int;
+  mutable n_handler_errors : int;
+  mutable n_deaths : int;
+  mutable n_respawns : int;
+}
+
+let m_deaths =
+  Frontend.Metrics.counter "parinline_conn_worker_deaths_total"
+    ~help:"connection-worker domains whose loop died"
+
+let m_respawns_total =
+  Frontend.Metrics.counter "parinline_conn_worker_respawns_total"
+    ~help:"connection-worker domains respawned after a death"
+
+(* Never let an item's cleanup take the pool down. *)
+let discard_quiet (p : 'a t) item = try p.discard item with _ -> ()
+
+(* The per-item barrier: a handler exception is counted and the worker
+   keeps serving; only the injected worker fault kills the loop. *)
+let worker_loop (p : 'a t) (slot : int) () =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock p.m;
+    while Queue.is_empty p.queue && not p.stop do
+      Condition.wait p.cv p.m
+    done;
+    if p.stop then begin
+      Mutex.unlock p.m;
+      continue_ := false
+    end
+    else begin
+      let item = Queue.pop p.queue in
+      Mutex.unlock p.m;
+      (* the death site is checked outside the handler barrier, so a
+         fault injected inside the handler (e.g. server.conn) degrades
+         the item, not the domain *)
+      (match Frontend.Fault.point "runtime.workers.worker" with
+      | exception _ ->
+          discard_quiet p item;
+          Frontend.Metrics.incr m_deaths;
+          Mutex.lock p.m;
+          p.inflight <- p.inflight - 1;
+          p.n_deaths <- p.n_deaths + 1;
+          p.dead <- slot :: p.dead;
+          Mutex.unlock p.m;
+          continue_ := false
+      | () -> (
+          match p.handler item with
+          | () ->
+              Mutex.lock p.m;
+              p.inflight <- p.inflight - 1;
+              Mutex.unlock p.m
+          | exception _ ->
+              discard_quiet p item;
+              Mutex.lock p.m;
+              p.inflight <- p.inflight - 1;
+              p.n_handler_errors <- p.n_handler_errors + 1;
+              Mutex.unlock p.m))
+    end
+  done
+
+let create ?(max_pending = 64) ~size ~handler ~discard () : 'a t =
+  let p =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      queue = Queue.create ();
+      handler;
+      discard;
+      max_pending = max 1 max_pending;
+      size = max 0 size;
+      inflight = 0;
+      stop = false;
+      workers = [];
+      dead = [];
+      n_accepted = 0;
+      n_shed = 0;
+      n_handler_errors = 0;
+      n_deaths = 0;
+      n_respawns = 0;
+    }
+  in
+  p.workers <-
+    List.init (max 0 size) (fun i -> (i, Domain.spawn (worker_loop p i)));
+  p
+
+(* Lazily replace workers that died since the last submit; the dead
+   domain's loop has exited, so the join is immediate. *)
+let heal (p : 'a t) =
+  Mutex.lock p.m;
+  let dead = p.dead in
+  p.dead <- [];
+  let gone, kept = List.partition (fun (s, _) -> List.mem s dead) p.workers in
+  p.workers <- kept;
+  Mutex.unlock p.m;
+  List.iter (fun (_, d) -> Domain.join d) gone;
+  List.iter
+    (fun slot ->
+      let d = Domain.spawn (worker_loop p slot) in
+      Frontend.Metrics.incr m_respawns_total;
+      Mutex.lock p.m;
+      p.workers <- (slot, d) :: p.workers;
+      p.n_respawns <- p.n_respawns + 1;
+      Mutex.unlock p.m)
+    dead
+
+(** Offer [item] to the pool.  {!Accepted} means a worker will run the
+    handler on it (synchronously, with [size = 0]); {!Shed} means the
+    in-flight bound (or shutdown) refused it — the item is NOT
+    discarded, the caller still owns it and answers the overload. *)
+let submit (p : 'a t) (item : 'a) : verdict =
+  if p.size > 0 then heal p;
+  Mutex.lock p.m;
+  if p.stop || p.inflight >= p.max_pending then begin
+    p.n_shed <- p.n_shed + 1;
+    Mutex.unlock p.m;
+    Shed
+  end
+  else begin
+    p.inflight <- p.inflight + 1;
+    p.n_accepted <- p.n_accepted + 1;
+    if p.size = 0 then begin
+      Mutex.unlock p.m;
+      (* sequential mode: the caller is the worker *)
+      (match p.handler item with
+      | () -> ()
+      | exception _ ->
+          discard_quiet p item;
+          Mutex.lock p.m;
+          p.n_handler_errors <- p.n_handler_errors + 1;
+          Mutex.unlock p.m);
+      Mutex.lock p.m;
+      p.inflight <- p.inflight - 1;
+      Mutex.unlock p.m;
+      Accepted
+    end
+    else begin
+      Queue.push item p.queue;
+      Condition.signal p.cv;
+      Mutex.unlock p.m;
+      Accepted
+    end
+  end
+
+let stats (p : 'a t) : stats =
+  Mutex.lock p.m;
+  let s =
+    {
+      accepted = p.n_accepted;
+      shed = p.n_shed;
+      handler_errors = p.n_handler_errors;
+      deaths = p.n_deaths;
+      respawns = p.n_respawns;
+      inflight = p.inflight;
+      workers = List.length p.workers;
+    }
+  in
+  Mutex.unlock p.m;
+  s
+
+(** Stop the workers after their current item, discard whatever is
+    still queued, and join the domains.  Idempotent. *)
+let shutdown (p : 'a t) =
+  Mutex.lock p.m;
+  if p.stop then Mutex.unlock p.m
+  else begin
+    p.stop <- true;
+    let abandoned = Queue.fold (fun acc it -> it :: acc) [] p.queue in
+    Queue.clear p.queue;
+    p.inflight <- p.inflight - List.length abandoned;
+    Condition.broadcast p.cv;
+    Mutex.unlock p.m;
+    List.iter (discard_quiet p) abandoned;
+    List.iter (fun (_, d) -> Domain.join d) p.workers;
+    p.workers <- []
+  end

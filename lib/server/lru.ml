@@ -1,0 +1,168 @@
+(** Bounded unit-body cache with intrusive LRU eviction.
+
+    PR 8's unit cache was a bare [(hash, body) Hashtbl.t] that only
+    grew; this replaces it with a recency-ordered store so a long-lived
+    daemon can cap its memory.  Two independent caps (0 = unbounded):
+
+    - [max_units] — resident entry count ([--max-cache-units]);
+    - [max_bytes] — resident key+body bytes ([--max-cache-bytes]).
+
+    An {!add} that pushes the cache over either cap evicts from the
+    cold end of an intrusive doubly-linked list until both hold,
+    ticking [parinline_unit_cache_evictions_total].  Eviction is safe,
+    never wrong: bodies are pure functions of their content hash, so an
+    evicted unit re-requested later recomputes byte-identical output —
+    the cap trades recompute time for memory, not correctness.
+
+    All operations take the internal mutex; connection workers on
+    different domains share one instance.  {!find} promotes the entry
+    to the hot end, so {!to_alist}'s cold→hot order is the daemon's
+    live recency order — snapshots persist that order and restore
+    replays it, meaning the hot tail survives a restart into a
+    {e smaller} cap (the cold head is evicted on insert). *)
+
+type node = {
+  n_key : string;
+  n_body : string;
+  mutable n_prev : node option;  (** toward the cold (LRU) end *)
+  mutable n_next : node option;  (** toward the hot (MRU) end *)
+}
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, node) Hashtbl.t;
+  mutable cold : node option;  (** eviction end *)
+  mutable hot : node option;  (** promotion end *)
+  mutable bytes : int;  (** resident key+body bytes *)
+  mutable evictions : int;
+  max_units : int;  (** 0 = unbounded *)
+  max_bytes : int;  (** 0 = unbounded *)
+}
+
+type stats = {
+  units : int;  (** resident entries *)
+  bytes : int;  (** resident key+body bytes *)
+  evictions : int;  (** lifetime evictions *)
+  max_units : int;
+  max_bytes : int;
+}
+
+let m_evictions =
+  Frontend.Metrics.counter "parinline_unit_cache_evictions_total"
+    ~help:"unit-cache entries evicted by the LRU bound"
+
+let create ?(max_units = 0) ?(max_bytes = 0) () : t =
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    cold = None;
+    hot = None;
+    bytes = 0;
+    evictions = 0;
+    max_units = max 0 max_units;
+    max_bytes = max 0 max_bytes;
+  }
+
+let node_cost n = String.length n.n_key + String.length n.n_body
+
+(* -- intrusive list surgery; caller holds [c.m] ------------------- *)
+
+let unlink (c : t) (n : node) =
+  (match n.n_prev with
+  | Some p -> p.n_next <- n.n_next
+  | None -> c.cold <- n.n_next);
+  (match n.n_next with
+  | Some nx -> nx.n_prev <- n.n_prev
+  | None -> c.hot <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_hot (c : t) (n : node) =
+  n.n_prev <- c.hot;
+  n.n_next <- None;
+  (match c.hot with Some h -> h.n_next <- Some n | None -> c.cold <- Some n);
+  c.hot <- Some n
+
+let evict_cold (c : t) =
+  match c.cold with
+  | None -> ()
+  | Some n ->
+      unlink c n;
+      Hashtbl.remove c.tbl n.n_key;
+      c.bytes <- c.bytes - node_cost n;
+      c.evictions <- c.evictions + 1;
+      Frontend.Metrics.incr m_evictions
+
+let over_cap (c : t) =
+  (c.max_units > 0 && Hashtbl.length c.tbl > c.max_units)
+  || (c.max_bytes > 0 && c.bytes > c.max_bytes)
+
+(* -- public surface ----------------------------------------------- *)
+
+(** Look up [key]; a hit promotes the entry to the hot end. *)
+let find (c : t) (key : string) : string option =
+  Mutex.lock c.m;
+  let r =
+    match Hashtbl.find_opt c.tbl key with
+    | None -> None
+    | Some n ->
+        unlink c n;
+        push_hot c n;
+        Some n.n_body
+  in
+  Mutex.unlock c.m;
+  r
+
+(** Insert (or refresh) [key → body] at the hot end, then evict from
+    the cold end until both caps hold.  Re-adding an existing key is a
+    promotion: bodies are content-addressed, so concurrent misses on
+    the same unit insert identical bytes. *)
+let add (c : t) (key : string) (body : string) : unit =
+  Mutex.lock c.m;
+  (match Hashtbl.find_opt c.tbl key with
+  | Some n ->
+      unlink c n;
+      c.bytes <- c.bytes - node_cost n;
+      Hashtbl.remove c.tbl n.n_key
+  | None -> ());
+  let n = { n_key = key; n_body = body; n_prev = None; n_next = None } in
+  Hashtbl.replace c.tbl key n;
+  c.bytes <- c.bytes + node_cost n;
+  push_hot c n;
+  while over_cap c do
+    evict_cold c
+  done;
+  Mutex.unlock c.m
+
+let length (c : t) : int =
+  Mutex.lock c.m;
+  let n = Hashtbl.length c.tbl in
+  Mutex.unlock c.m;
+  n
+
+let stats (c : t) : stats =
+  Mutex.lock c.m;
+  let s =
+    {
+      units = Hashtbl.length c.tbl;
+      bytes = c.bytes;
+      evictions = c.evictions;
+      max_units = c.max_units;
+      max_bytes = c.max_bytes;
+    }
+  in
+  Mutex.unlock c.m;
+  s
+
+(** Entries in cold→hot recency order — the snapshot format.  Restoring
+    with in-order {!add} replays the recency, so the hot tail is what
+    survives if the new cap is smaller. *)
+let to_alist (c : t) : (string * string) list =
+  Mutex.lock c.m;
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk ((n.n_key, n.n_body) :: acc) n.n_next
+  in
+  let l = walk [] c.cold in
+  Mutex.unlock c.m;
+  l

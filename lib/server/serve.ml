@@ -14,7 +14,15 @@
       entries unit-independent, so they legally persist across requests,
       units, and all four inlining configurations.
 
-    Both survive restarts through {!Store} snapshots ([--cache-dir]).
+    Both survive restarts through {!Store} snapshots ([--cache-dir]),
+    and both are shared across the daemon's connection workers: the
+    unit cache is an LRU-bounded {!Lru} store with its own lock
+    ([--max-cache-units] / [--max-cache-bytes]), and each worker
+    domain's memo store exchanges entries with a process-wide hub via
+    {!Dependence.Memo.sync} around every cache miss.  Socket serving is
+    concurrent ([--conn-jobs] worker domains, [--backlog] listen depth,
+    [--max-inflight] admission bound — excess connections get a
+    structured overload envelope, never a silent close).
 
     Protocol: one JSON object per line in, one per line out.
 
@@ -93,17 +101,27 @@ type logger = {
 type t = {
   srv_jobs : int;
   srv_pool : Runtime.Pool.t;
+  srv_batch_m : Mutex.t;
+      (** serializes batch sharding: {!Runtime.Pool} runs one job at a
+          time, so concurrent connection workers take turns *)
   srv_cache_dir : string option;
   srv_max_errors : int;
-  srv_m : Mutex.t;  (** guards [srv_units], [srv_prof] and [srv_rid] *)
-  srv_units : (string, string) Hashtbl.t;
-      (** content hash (hex) → serialized response body *)
+  srv_m : Mutex.t;  (** guards [srv_prof] *)
+  srv_units : Lru.t;
+      (** content hash (hex) → serialized response body, LRU-bounded;
+          has its own lock — shared by all connection workers *)
   srv_prof : Prof.t;  (** server-lifetime counter aggregate *)
   srv_metrics : Metrics.t;  (** live registry, armed for the daemon's life *)
   srv_log : logger option;
   srv_t0_ns : int64;  (** startup, for the uptime gauge *)
-  srv_inflight : int Atomic.t;
-  mutable srv_rid : int;  (** next request id *)
+  srv_inflight : int Atomic.t;  (** requests being handled right now *)
+  srv_rid : int Atomic.t;  (** next request id *)
+  srv_cid : int Atomic.t;  (** next connection id *)
+  srv_backlog : int;  (** [Unix.listen] queue depth *)
+  srv_max_inflight : int;  (** connection admission bound *)
+  srv_conn_jobs : int;  (** connection-worker domains (0 = sequential) *)
+  mutable srv_workers : Unix.file_descr Runtime.Workers.t option;
+      (** live while {!serve_socket} runs; its stats feed the stats op *)
   mutable srv_stop : bool;
 }
 
@@ -120,6 +138,19 @@ let g_inflight =
 let g_units_cached =
   Metrics.gauge "parinline_units_cached" ~help:"entries in the unit cache"
 
+let g_cache_bytes =
+  Metrics.gauge "parinline_unit_cache_bytes"
+    ~help:"resident key+body bytes in the unit cache"
+
+let g_connections =
+  Metrics.gauge "parinline_connections_active"
+    ~help:"socket connections currently open"
+
+let m_connections ~outcome =
+  Metrics.counter "parinline_connections_total"
+    ~help:"socket connections by outcome"
+    ~labels:[ ("outcome", outcome) ]
+
 let m_request_hist ~op ~cache =
   Metrics.histogram "parinline_request_duration_seconds"
     ~help:"request wall time by op and cache outcome"
@@ -130,12 +161,10 @@ let m_requests ~op ~status =
     ~help:"protocol requests answered, by op and status"
     ~labels:[ ("op", op); ("status", status) ]
 
-let next_rid t =
-  Mutex.lock t.srv_m;
-  let n = t.srv_rid in
-  t.srv_rid <- n + 1;
-  Mutex.unlock t.srv_m;
-  Printf.sprintf "r%d" n
+(* Request/connection ids are fetch-and-add so concurrent workers never
+   mint the same id (and never contend on a lock to avoid it). *)
+let next_rid t = Printf.sprintf "r%d" (Atomic.fetch_and_add t.srv_rid 1)
+let next_cid t = Printf.sprintf "c%d" (Atomic.fetch_and_add t.srv_cid 1)
 
 (* One NDJSON request-log line.  A poisoned write — the [server.log]
    chaos site or a real I/O error — degrades to a Diag warning on
@@ -264,11 +293,25 @@ let counters_json (c : Prof.counters) : Json.t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let units_cached t =
-  Mutex.lock t.srv_m;
-  let n = Hashtbl.length t.srv_units in
-  Mutex.unlock t.srv_m;
-  n
+let units_cached t = Lru.length t.srv_units
+
+(** Resident size / byte / eviction stats of the unit cache. *)
+let cache_stats t = Lru.stats t.srv_units
+
+(** Connection-pool stats while {!serve_socket} runs (zeros otherwise). *)
+let conn_stats t : Runtime.Workers.stats =
+  match t.srv_workers with
+  | Some w -> Runtime.Workers.stats w
+  | None ->
+      {
+        Runtime.Workers.accepted = 0;
+        shed = 0;
+        handler_errors = 0;
+        deaths = 0;
+        respawns = 0;
+        inflight = 0;
+        workers = 0;
+      }
 
 (** Counter snapshot of the server-lifetime aggregate. *)
 let counters t =
@@ -283,15 +326,24 @@ let stop t = t.srv_stop <- true
 let stopping t = t.srv_stop
 
 (** Create a server.  [jobs] sizes the {!Runtime.Pool} batch sharding
-    ([<= 1] runs everything on the caller); with [cache_dir] the warm
-    caches are restored from the snapshot on disk (if any) and saved
-    back on {!drain}.  With [log_file] an NDJSON request log is opened
+    ([<= 1] runs everything on the caller); [conn_jobs] sizes the
+    {!Runtime.Workers} connection pool ([0] serves connections
+    sequentially on the acceptor); [backlog] is the [Unix.listen] queue
+    depth and [max_inflight] the admission bound beyond which new
+    connections are shed with an overload envelope.  [max_cache_units]
+    / [max_cache_bytes] bound the unit cache (0 = unbounded) with LRU
+    eviction.  With [cache_dir] the warm caches are restored from the
+    snapshot on disk (if any) and saved back on {!drain}; restore
+    replays the snapshot's recency order, so the hot tail survives into
+    a smaller cap.  With [log_file] an NDJSON request log is opened
     (truncating; [log_level] filters, default info).  Creation arms the
     server's live {!Metrics} registry for the daemon's lifetime —
     {!drain} disarms it.  Returns the startup diagnostics — a rejected
     snapshot or an unopenable log file degrades to a warning here. *)
-let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors)
-    ?log_file ?(log_level = L_info) () : t * Diag.t list =
+let create ?(jobs = 1) ?(conn_jobs = 0) ?(backlog = 16) ?(max_inflight = 64)
+    ?(max_cache_units = 0) ?(max_cache_bytes = 0) ?cache_dir
+    ?(max_errors = Diag.default_max_errors) ?log_file ?(log_level = L_info) ()
+    : t * Diag.t list =
   let log, log_diags =
     match log_file with
     | None -> (None, [])
@@ -311,20 +363,31 @@ let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors)
     {
       srv_jobs = max 1 jobs;
       srv_pool = Runtime.Pool.create (max 1 jobs);
+      srv_batch_m = Mutex.create ();
       srv_cache_dir = cache_dir;
       srv_max_errors = max_errors;
       srv_m = Mutex.create ();
-      srv_units = Hashtbl.create 64;
+      srv_units = Lru.create ~max_units:max_cache_units
+          ~max_bytes:max_cache_bytes ();
       srv_prof = Prof.create ();
       srv_metrics = Metrics.create ();
       srv_log = log;
       srv_t0_ns = Prof.monotonic_ns ();
       srv_inflight = Atomic.make 0;
-      srv_rid = 1;
+      srv_rid = Atomic.make 1;
+      srv_cid = Atomic.make 1;
+      srv_backlog = max 1 backlog;
+      srv_max_inflight = max 1 max_inflight;
+      srv_conn_jobs = max 0 conn_jobs;
+      srv_workers = None;
       srv_stop = false;
     }
   in
   Metrics.install t.srv_metrics;
+  (* seed the event-driven gauges so a scrape before any traffic still
+     exposes the families *)
+  Metrics.set_gauge g_inflight 0.0;
+  Metrics.set_gauge g_connections 0.0;
   let diags =
     match cache_dir with
     | None -> []
@@ -334,8 +397,13 @@ let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors)
         | Store.Rejected d -> [ d ]
         | Store.Restored p ->
             let (_ : int) = Dependence.Memo.import p.Store.pay_memo in
+            (* publish the restored memo to the hub so every connection
+               worker starts warm, not just the control domain *)
+            let (_ : int * int) = Dependence.Memo.sync () in
+            (* pay_units is in cold→hot recency order: in-order adds
+               replay it, so under a smaller cap the hot tail wins *)
             List.iter
-              (fun (h, body) -> Hashtbl.replace t.srv_units h body)
+              (fun (h, body) -> Lru.add t.srv_units h body)
               p.Store.pay_units;
             t.srv_prof.Prof.c.Prof.snapshot_restores <-
               t.srv_prof.Prof.c.Prof.snapshot_restores + 1;
@@ -346,24 +414,28 @@ let create ?(jobs = 1) ?cache_dir ?(max_errors = Diag.default_max_errors)
       ("event", Json.Str "start");
       ("protocol", Json.Int protocol_version);
       ("jobs", Json.Int t.srv_jobs);
-      ("units_restored", Json.Int (Hashtbl.length t.srv_units));
+      ("conn_jobs", Json.Int t.srv_conn_jobs);
+      ("units_restored", Json.Int (units_cached t));
     ];
   (t, log_diags @ diags)
 
-(* Snapshot the warm state: the control domain's memo store plus the
-   unit cache, sorted by key so the payload is deterministic. *)
+(* Snapshot the warm state: the merged memo store (hub + this domain)
+   plus the unit cache in cold→hot recency order, so a restart re-warms
+   hot entries first.  The payload is deterministic given the request
+   history: recency order is a pure function of the (deterministic)
+   request order. *)
 let save_snapshot t : (string, Diag.t) result =
   match t.srv_cache_dir with
   | None -> Error (Diag.make ~severity:Diag.Warning Diag.Io "no --cache-dir")
   | Some dir ->
-      let units =
-        Mutex.lock t.srv_m;
-        let us = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.srv_units [] in
-        Mutex.unlock t.srv_m;
-        List.sort compare us
-      in
+      (* fold every domain's discoveries into the calling domain before
+         exporting — the snapshot must not depend on which domain saves *)
+      let (_ : int * int) = Dependence.Memo.sync () in
       Store.save ~dir ~schema:protocol_version
-        { Store.pay_memo = Dependence.Memo.export (); pay_units = units }
+        {
+          Store.pay_memo = Dependence.Memo.export ();
+          pay_units = Lru.to_alist t.srv_units;
+        }
 
 (** Graceful drain: persist the warm caches (when [--cache-dir] was
     given), then stop and join the pool.  Returns the snapshot
@@ -502,7 +574,11 @@ let handle_work t (j : Json.t) : string =
   in
   let t0 = Prof.monotonic_ns () in
   let faults0 = Fault.armed_fired_count () in
+  (* event-driven in-flight accounting: refresh-at-scrape was racy once
+     workers run in parallel — inc here, dec after the barrier, so a
+     scrape from another connection observes the true concurrent count *)
   Atomic.incr t.srv_inflight;
+  Metrics.add_gauge g_inflight 1.0;
   (* (response, ok, unit hash) plus the cache-outcome label for the
      per-op latency histogram: "hit" | "miss" | "error". *)
   let (response, ok, hash), cache =
@@ -533,10 +609,7 @@ let handle_work t (j : Json.t) : string =
             unit_hash ~op:op_s ~mode:(Pipeline.mode_name mode) ~growth_budget
               ~max_rounds ~source ~annot
           in
-          Mutex.lock t.srv_m;
-          let cached = Hashtbl.find_opt t.srv_units hash in
-          Mutex.unlock t.srv_m;
-          match cached with
+          match Lru.find t.srv_units hash with
           | Some body ->
               Mutex.lock t.srv_m;
               t.srv_prof.Prof.c.Prof.requests_served <-
@@ -547,6 +620,12 @@ let handle_work t (j : Json.t) : string =
               ((ok_envelope ~rid ~id ~cached:true ~hash body, true, Some hash),
                "hit")
           | None ->
+              (* warm this domain's memo store from the hub before the
+                 compute, publish what the compute learned after: domain
+                 A's cold miss becomes domain B's warm hit.  Both are
+                 no-ops for the stdio/sequential daemon beyond one
+                 mutex round-trip. *)
+              let (_ : int * int) = Dependence.Memo.sync () in
               let prof = Prof.create () in
               let body =
                 Prof.with_profiling prof (fun () ->
@@ -555,8 +634,9 @@ let handle_work t (j : Json.t) : string =
                       ~growth_budget ~max_rounds ~source ~annot)
               in
               let body = Json.to_string body in
+              let (_ : int * int) = Dependence.Memo.sync () in
+              Lru.add t.srv_units hash body;
               Mutex.lock t.srv_m;
-              Hashtbl.replace t.srv_units hash body;
               Prof.absorb t.srv_prof (Prof.snapshot prof);
               t.srv_prof.Prof.c.Prof.requests_served <-
                 t.srv_prof.Prof.c.Prof.requests_served + 1;
@@ -591,6 +671,7 @@ let handle_work t (j : Json.t) : string =
           "error" )
   in
   Atomic.decr t.srv_inflight;
+  Metrics.add_gauge g_inflight (-1.0);
   let dur_ns = Int64.to_int (Int64.sub (Prof.monotonic_ns ()) t0) in
   if Metrics.on () then begin
     Metrics.observe_ns (m_request_hist ~op:op_s ~cache) dur_ns;
@@ -620,15 +701,21 @@ let handle_work t (j : Json.t) : string =
 (* A batch shards its work requests across the pool domains.  Chunk
    functions are idempotent pure writes into distinct slots, and
    [handle_work] already owns all failure modes, so a pool-level report
-   only matters for the chunks a dying worker abandoned. *)
+   only matters for the chunks a dying worker abandoned.  The pool runs
+   one job at a time, so concurrent connection workers queue on
+   [srv_batch_m] for their turn. *)
 let handle_batch t ~rid ~id (reqs : Json.t list) : string =
   let reqs = Array.of_list reqs in
   let out = Array.make (Array.length reqs) "" in
   let events = ref [] in
-  Runtime.Pool.parallel_for ~label:"server-batch"
-    ~report:(fun evs -> events := evs)
-    t.srv_pool ~chunks:(Array.length reqs)
-    (fun i -> out.(i) <- handle_work t reqs.(i));
+  Mutex.lock t.srv_batch_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.srv_batch_m)
+    (fun () ->
+      Runtime.Pool.parallel_for ~label:"server-batch"
+        ~report:(fun evs -> events := evs)
+        t.srv_pool ~chunks:(Array.length reqs)
+        (fun i -> out.(i) <- handle_work t reqs.(i)));
   List.iter
     (fun (ev : Runtime.Pool.event) ->
       match ev with
@@ -646,12 +733,15 @@ let handle_batch t ~rid ~id (reqs : Json.t list) : string =
 let uptime_s t =
   Int64.to_float (Int64.sub (Prof.monotonic_ns ()) t.srv_t0_ns) /. 1e9
 
-(* Refresh the live gauges just before a scrape — they are sampled, not
-   event-driven. *)
+(* Refresh the sampled gauges just before a scrape.  The in-flight
+   gauge is NOT here: it is event-driven (inc/dec around each request),
+   because a refresh-at-scrape value is stale the instant a concurrent
+   worker starts or finishes a request. *)
 let refresh_gauges t =
+  let cs = cache_stats t in
   Metrics.set_gauge g_uptime (uptime_s t);
-  Metrics.set_gauge g_inflight (float_of_int (Atomic.get t.srv_inflight));
-  Metrics.set_gauge g_units_cached (float_of_int (units_cached t))
+  Metrics.set_gauge g_units_cached (float_of_int cs.Lru.units);
+  Metrics.set_gauge g_cache_bytes (float_of_int cs.Lru.bytes)
 
 (* Histogram snapshots as a JSON object keyed by family{labels}, for the
    extended [stats] op. *)
@@ -705,9 +795,35 @@ let handle_request t (j : Json.t) : string =
              ("request_id", Json.Str rid);
              ("protocol", Json.Int protocol_version);
              ("jobs", Json.Int t.srv_jobs);
+             ("conn_jobs", Json.Int t.srv_conn_jobs);
+             ("backlog", Json.Int t.srv_backlog);
+             ("max_inflight", Json.Int t.srv_max_inflight);
              ("units_cached", Json.Int (units_cached t));
              ("uptime_s", Json.Float (uptime_s t));
              ("requests_in_flight", Json.Int (Atomic.get t.srv_inflight));
+             ( "cache",
+               let cs = cache_stats t in
+               Json.Obj
+                 [
+                   ("units", Json.Int cs.Lru.units);
+                   ("bytes", Json.Int cs.Lru.bytes);
+                   ("evictions", Json.Int cs.Lru.evictions);
+                   ("max_units", Json.Int cs.Lru.max_units);
+                   ("max_bytes", Json.Int cs.Lru.max_bytes);
+                 ] );
+             ( "connections",
+               let ws = conn_stats t in
+               Json.Obj
+                 [
+                   ("accepted", Json.Int ws.Runtime.Workers.accepted);
+                   ("shed", Json.Int ws.Runtime.Workers.shed);
+                   ("handler_errors",
+                    Json.Int ws.Runtime.Workers.handler_errors);
+                   ("worker_deaths", Json.Int ws.Runtime.Workers.deaths);
+                   ("worker_respawns", Json.Int ws.Runtime.Workers.respawns);
+                   ("inflight", Json.Int ws.Runtime.Workers.inflight);
+                   ("workers", Json.Int ws.Runtime.Workers.workers);
+                 ] );
              ("counters", counters_json (counters t));
              ("histograms", histograms_json (Metrics.snapshot t.srv_metrics));
            ])
@@ -817,55 +933,156 @@ let serve_channels t (ic : in_channel) (oc : out_channel) : unit =
   in
   loop ()
 
+(* The structured overload envelope an admission-shed connection gets
+   before being closed: machine-readable ([overloaded]:true) so a
+   client can back off and retry, never a silent close. *)
+let overload_response t ~rid : string =
+  let msg =
+    Printf.sprintf "server overloaded: %d connections in flight (max %d)"
+      (conn_stats t).Runtime.Workers.inflight t.srv_max_inflight
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int 0);
+         ("ok", Json.Bool false);
+         ("overloaded", Json.Bool true);
+         ("request_id", Json.Str rid);
+         ("error", Json.Str msg);
+         ("diags", Json.List [ Json.Str (Diag.render (Diag.make Diag.Exec msg)) ]);
+       ])
+
+(** Serve one accepted connection to completion — the connection-pool
+    handler.  Every exit path closes [fd].  The [server.conn] chaos
+    site guards the whole connection: a tripped arrival (or any
+    per-connection I/O error) drops {e this} connection with a warning,
+    never the acceptor or a sibling worker. *)
+let handle_conn t (fd : Unix.file_descr) : unit =
+  let cid = next_cid t in
+  Metrics.add_gauge g_connections 1.0;
+  let finish outcome =
+    Metrics.add_gauge g_connections (-1.0);
+    Metrics.incr (m_connections ~outcome)
+  in
+  match Fault.point "server.conn" with
+  | exception Fault.Injected (site, n) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      finish "dropped";
+      log_line t ~level:L_error
+        [
+          ("conn_id", Json.Str cid);
+          ("event", Json.Str "conn_dropped");
+          ("fault", Json.Str site);
+        ];
+      prerr_endline
+        (Diag.render
+           (Diag.make ~severity:Diag.Warning Diag.Exec
+              (Printf.sprintf
+                 "conn %s: connection dropped by injected fault at %s \
+                  (arrival %d)"
+                 cid site n)))
+  | () -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      match serve_channels t ic oc with
+      | () ->
+          close_out_noerr oc;
+          finish "served";
+          log_line t ~level:L_debug
+            [ ("conn_id", Json.Str cid); ("event", Json.Str "conn_closed") ]
+      | exception e ->
+          close_out_noerr oc;
+          finish "dropped";
+          log_line t ~level:L_error
+            [
+              ("conn_id", Json.Str cid);
+              ("event", Json.Str "conn_dropped");
+              ("error", Json.Str (Printexc.to_string e));
+            ];
+          prerr_endline
+            (Diag.render
+               (Diag.make ~severity:Diag.Warning Diag.Exec
+                  (Printf.sprintf "conn %s: connection dropped: %s" cid
+                     (Printexc.to_string e)))))
+
+(* Admission refusal: answer with the overload envelope, then close.
+   Best-effort — a client that already went away loses nothing. *)
+let shed_conn t (fd : Unix.file_descr) : unit =
+  let rid = next_rid t in
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     output_string oc (overload_response t ~rid);
+     output_char oc '\n';
+     flush oc
+   with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Metrics.incr (m_connections ~outcome:"shed");
+  log_line t ~level:L_warn
+    [ ("request_id", Json.Str rid); ("event", Json.Str "conn_shed") ]
+
 (** Accept loop on a Unix-domain socket at [path] (an existing file
-    there is replaced).  Connections are served sequentially; the loop
-    returns once a [shutdown] op was answered or {!stop} was called.  A
-    tripped [server.accept] fault, or any per-connection I/O error,
-    drops that connection with a warning on stderr and keeps
-    accepting. *)
+    there is replaced).  Accepted connections are handed to a
+    fixed-size {!Runtime.Workers} pool of [conn_jobs] domains
+    ([conn_jobs = 0] serves them sequentially on the acceptor, the
+    pre-concurrency behavior); admission is bounded by the [backlog]
+    passed to [Unix.listen] plus the [max_inflight] shed, which answers
+    a structured overload envelope instead of queuing forever.  The
+    loop returns once a [shutdown] op was answered or {!stop} was
+    called (the acceptor polls the flag, so a shutdown handled on a
+    worker domain is noticed promptly).  A tripped [server.accept]
+    fault drops the connection before admission; [server.conn] and
+    per-connection I/O errors drop only their own connection — the
+    acceptor and the other workers keep going. *)
 let serve_socket t ~(path : string) : unit =
   (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let workers =
+    Runtime.Workers.create ~max_pending:t.srv_max_inflight
+      ~size:t.srv_conn_jobs
+      ~handler:(fun fd -> handle_conn t fd)
+      ~discard:(fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      ()
+  in
+  t.srv_workers <- Some workers;
   Fun.protect
     ~finally:(fun () ->
+      Runtime.Workers.shutdown workers;
+      t.srv_workers <- None;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 16;
+      Unix.listen sock t.srv_backlog;
       let rec accept_loop () =
         if t.srv_stop then ()
         else
-          match Unix.accept sock with
+          (* poll-accept so a stop flag flipped on a worker domain (the
+             shutdown op) stops the acceptor within one tick *)
+          match Unix.select [ sock ] [] [] 0.2 with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | fd, _ ->
-              (match Fault.point "server.accept" with
-              | () -> (
-                  let ic = Unix.in_channel_of_descr fd in
-                  let oc = Unix.out_channel_of_descr fd in
-                  try serve_channels t ic oc; close_out_noerr oc
-                  with e ->
-                    close_out_noerr oc;
-                    let rid = next_rid t in
-                    log_control t ~level:L_error ~rid ~op:"connection" ~id:0
-                      ~ok:false;
-                    prerr_endline
-                      (Diag.render
-                         (Diag.make ~severity:Diag.Warning Diag.Exec
-                            (Printf.sprintf "req %s: connection dropped: %s"
-                               rid (Printexc.to_string e)))))
-              | exception Fault.Injected (site, n) ->
-                  (try Unix.close fd with Unix.Unix_error _ -> ());
-                  let rid = next_rid t in
-                  log_control t ~level:L_error ~rid ~op:"connection" ~id:0
-                    ~ok:false;
-                  prerr_endline
-                    (Diag.render
-                       (Diag.make ~severity:Diag.Warning Diag.Exec
-                          (Printf.sprintf
-                             "req %s: connection dropped by injected fault at \
-                              %s (arrival %d)"
-                             rid site n))));
+          | [], _, _ -> accept_loop ()
+          | _ ->
+              (match Unix.accept sock with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | fd, _ -> (
+                  match Fault.point "server.accept" with
+                  | () -> (
+                      match Runtime.Workers.submit workers fd with
+                      | Runtime.Workers.Accepted -> ()
+                      | Runtime.Workers.Shed -> shed_conn t fd)
+                  | exception Fault.Injected (site, n) ->
+                      (try Unix.close fd with Unix.Unix_error _ -> ());
+                      Metrics.incr (m_connections ~outcome:"dropped");
+                      let rid = next_rid t in
+                      log_control t ~level:L_error ~rid ~op:"connection" ~id:0
+                        ~ok:false;
+                      prerr_endline
+                        (Diag.render
+                           (Diag.make ~severity:Diag.Warning Diag.Exec
+                              (Printf.sprintf
+                                 "req %s: connection dropped by injected \
+                                  fault at %s (arrival %d)"
+                                 rid site n)))));
               accept_loop ()
       in
       accept_loop ())

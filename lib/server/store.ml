@@ -32,9 +32,11 @@ let snapshot_file = "warm.snapshot"
 
 type payload = {
   pay_memo : Dependence.Memo.snapshot;
-      (** the control domain's dependence memo store *)
+      (** the merged dependence memo store (hub + saving domain) *)
   pay_units : (string * string) list;
-      (** unit cache: content-hash hex → stored response body *)
+      (** unit cache: content-hash hex → stored response body, in
+          cold→hot LRU recency order — restore replays it with in-order
+          inserts, so the hot tail survives into a smaller cap *)
 }
 
 type load_result =

@@ -3,17 +3,21 @@
 #
 # The independent half of the serve latency gate: serve-bench --slo
 # enforces the SLO in-process while the numbers are being measured;
-# this script re-derives the verdict from the written schema-v8 JSON,
+# this script re-derives the verdict from the written schema-v9 JSON,
 # so the gate also holds for documents produced elsewhere (an artifact
 # from another runner, a locally archived baseline).
 #
-#   warm_p99_ms         ceiling on the warm pass's p99 request latency
-#   warm_hit_ratio_min  floor on the end-to-end unit-cache hit ratio
+#   warm_p99_ms             ceiling on the warm pass's p99 request latency
+#   warm_hit_ratio_min      floor on the end-to-end unit-cache hit ratio
+#   concurrent_speedup_min  floor on warm rps at concurrent_clients
+#                           clients over single-client warm rps, only
+#                           enforced when the document's recorded core
+#                           count covers concurrent_clients
 #
 # A timing of exactly 0 means the document was written with
-# --stable-json (timings deliberately zeroed), so the latency half is
-# skipped with a note rather than trivially passed off as a win.
-# Portable sh + grep/awk only.
+# --stable-json (timings deliberately zeroed), so the latency and
+# speedup halves are skipped with a note rather than trivially passed
+# off as a win.  Portable sh + grep/awk only.
 
 set -eu
 
@@ -70,6 +74,27 @@ elif awk "BEGIN { exit !($hit_ratio < $floor) }"; then
   status=1
 else
   echo "check_serve_slo: hit ratio $hit_ratio above the $floor floor"
+fi
+
+speedup=$(field concurrent_speedup "$DOC")
+cores=$(field cores "$DOC")
+speedup_min=$(field concurrent_speedup_min "$SLO")
+gate_clients=$(field concurrent_clients "$SLO")
+
+if [ -z "$speedup_min" ]; then
+  echo "check_serve_slo: note: $SLO sets no concurrent_speedup_min floor"
+elif [ -z "$speedup" ]; then
+  echo "check_serve_slo: note: $DOC has no concurrent_speedup (pre-v9 document); speedup check skipped"
+elif awk "BEGIN { exit !($speedup == 0) }"; then
+  echo "check_serve_slo: note: concurrent_speedup is 0 (--stable-json document); speedup check skipped"
+elif [ -n "$gate_clients" ] &&
+  awk "BEGIN { exit !(${cores:-0} < $gate_clients) }"; then
+  echo "check_serve_slo: note: document measured on ${cores:-0} cores, gate needs $gate_clients; speedup check skipped"
+elif awk "BEGIN { exit !($speedup < $speedup_min) }"; then
+  echo "check_serve_slo: concurrent speedup ${speedup}x below the ${speedup_min}x floor in $SLO" >&2
+  status=1
+else
+  echo "check_serve_slo: concurrent speedup ${speedup}x above the ${speedup_min}x floor"
 fi
 
 [ "$status" = 0 ] && echo "check_serve_slo: OK"

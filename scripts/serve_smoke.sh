@@ -4,9 +4,14 @@
 #
 #   pass 1 (cold)    every unit computed, responses captured
 #   pass 2 (warm)    100% unit-cache hits, responses byte-identical
+#   concurrent       4 parallel clients, responses byte-identical to
+#                    the sequential passes
 #   restart          snapshot restored, responses byte-identical,
 #                    zero dependence-test misses (the memo store came
 #                    back warm)
+#   chaos            restart with seeded server.conn/server.request
+#                    faults: dropped connections kill only their own
+#                    connection, the daemon stays up and sheds clean
 #
 # The daemon must answer a one-shot `explain --json` byte-for-byte, so
 # pass 1 is also diffed against the ordinary CLI.  Outputs land in
@@ -45,21 +50,25 @@ counter() {
   grep -o "\"$1\":[0-9]*" "$2" | head -n 1 | cut -d: -f2
 }
 
-start_daemon() { # start_daemon LABEL
+start_daemon() { # start_daemon LABEL [EXTRA_SERVE_ARGS...]
+  label=$1
+  shift
   "$BIN" serve --socket "$SOCK" --cache-dir "$CACHE" \
-    --log "$OUT/requests-$1.ndjson" --log-level debug \
-    >"$OUT/serve-$1.out" 2>"$OUT/serve-$1.log" &
+    --conn-jobs 4 --backlog 32 \
+    --log "$OUT/requests-$label.ndjson" --log-level debug \
+    "$@" \
+    >"$OUT/serve-$label.out" 2>"$OUT/serve-$label.log" &
   PID=$!
   i=0
   while [ ! -S "$SOCK" ]; do
     i=$((i + 1))
     [ $i -le 100 ] || {
-      cat "$OUT/serve-$1.log" >&2
-      fail "daemon did not come up ($1)"
+      cat "$OUT/serve-$label.log" >&2
+      fail "daemon did not come up ($label)"
     }
     kill -0 "$PID" 2>/dev/null || {
-      cat "$OUT/serve-$1.log" >&2
-      fail "daemon exited during startup ($1)"
+      cat "$OUT/serve-$label.log" >&2
+      fail "daemon exited during startup ($label)"
     }
     sleep 0.1
   done
@@ -99,6 +108,10 @@ served=$(counter requests_served "$OUT/stats-pass1.json")
 hits=$(counter unit_cache_hits "$OUT/stats-pass1.json")
 [ "$served" = "$N_MODES" ] || fail "pass 1 served $served, want $N_MODES"
 [ "$hits" = 0 ] || fail "pass 1 had $hits unit hits, want 0"
+grep -q '"conn_jobs":4' "$OUT/stats-pass1.json" ||
+  fail "stats does not surface conn_jobs=4"
+grep -q '"backlog":32' "$OUT/stats-pass1.json" ||
+  fail "stats does not surface backlog=32"
 
 # the daemon's annotation-mode verdicts must match the one-shot CLI
 "$BIN" explain "$SRC" --annot "$ANNOT" --mode annotation --json \
@@ -142,6 +155,25 @@ grep -q '"cache":"miss"' "$LOG" || fail "request log lost the cold-pass misses"
 grep -q '"cache":"hit"' "$LOG" || fail "request log lost the warm-pass hits"
 grep -q '"request_id":"r' "$LOG" || fail "request log lines carry no request_id"
 
+echo "serve_smoke: concurrent pass (4 parallel clients, byte-identical)"
+client_pids=
+for mode in $MODES; do
+  "$BIN" client --socket "$SOCK" "$SRC" --annot "$ANNOT" --mode "$mode" \
+    >"$OUT/conc-$mode.json" 2>"$OUT/conc-$mode.err" &
+  client_pids="$client_pids $!"
+done
+for p in $client_pids; do
+  wait "$p" || fail "a concurrent client exited non-zero"
+done
+identical pass1 conc
+stats "$OUT/stats-conc.json"
+served=$(counter requests_served "$OUT/stats-conc.json")
+hits=$(counter unit_cache_hits "$OUT/stats-conc.json")
+[ "$served" = $((3 * N_MODES)) ] ||
+  fail "after concurrent pass served $served, want $((3 * N_MODES))"
+[ "$hits" = $((2 * N_MODES)) ] ||
+  fail "after concurrent pass unit hits $hits, want $((2 * N_MODES))"
+
 echo "serve_smoke: shutdown (snapshot written to cache-dir)"
 stop_daemon
 [ -f "$CACHE/warm.snapshot" ] || fail "no snapshot written to $CACHE"
@@ -165,4 +197,33 @@ dep_run=$(counter dep_tests_run "$OUT/stats-pass3.json")
 identical pass1 pass3
 stop_daemon
 
-echo "serve_smoke: OK (cold, warm, and snapshot-restored responses agree)"
+echo "serve_smoke: chaos pass (seeded server.conn + server.request faults)"
+start_daemon chaos --chaos "7:server.conn=2,server.request=5"
+# drive enough requests that both seeded faults fire: connection #2 is
+# dropped pre-protocol, request #5 degrades.  Individual clients may
+# fail; the daemon itself must survive all of it.
+chaos_failures=0
+for round in 1 2; do
+  for mode in $MODES; do
+    "$BIN" client --socket "$SOCK" "$SRC" --annot "$ANNOT" --mode "$mode" \
+      >"$OUT/chaos-$round-$mode.json" 2>"$OUT/chaos-$round-$mode.err" ||
+      chaos_failures=$((chaos_failures + 1))
+  done
+done
+[ "$chaos_failures" -ge 1 ] ||
+  fail "chaos pass: seeded faults fired no client-visible failure"
+[ "$chaos_failures" -le 2 ] ||
+  fail "chaos pass: $chaos_failures client failures, want at most 2 (one dropped connection, one degraded request)"
+"$BIN" client --socket "$SOCK" --op ping >"$OUT/chaos-ping.json" 2>/dev/null ||
+  fail "daemon did not survive the chaos pass (ping failed)"
+grep -q '"ok":true' "$OUT/chaos-ping.json" ||
+  fail "post-chaos ping not ok"
+"$BIN" client --socket "$SOCK" --op shutdown >/dev/null 2>&1 ||
+  fail "post-chaos shutdown request failed"
+chaos_exit=0
+wait "$PID" || chaos_exit=$?
+PID=
+[ "$chaos_exit" = 0 ] ||
+  fail "chaos daemon exited $chaos_exit, want a clean 0"
+
+echo "serve_smoke: OK (cold, warm, concurrent, snapshot-restored and chaos passes agree)"

@@ -316,7 +316,7 @@ let test_schema_reader_v6_compat () =
       cb "serve counters absent from v6 points" true
         (not (List.mem "requests_served" p.rd_counter_keys))
 
-let test_schema_reader_v8_current () =
+let test_schema_reader_v9_current () =
   let points =
     Perfect.Driver.run_suite ~jobs:1 ~benches:[ Perfect.Mdg.bench ] ()
   in
@@ -324,7 +324,7 @@ let test_schema_reader_v8_current () =
   match Perfect.Driver.read_json (Perfect.Driver.to_json ~explain points) with
   | Error e -> Alcotest.failf "current document rejected: %s" e
   | Ok doc ->
-      ci "version 8" 8 doc.Perfect.Driver.rd_version;
+      ci "version 9" 9 doc.Perfect.Driver.rd_version;
       cb "no serve object without serve-bench" true (doc.rd_serve = None);
       ci "four points" 4 (List.length doc.rd_points);
       List.iter
@@ -380,6 +380,26 @@ let test_schema_reader_v8_current () =
           sv_warm_p99_ms = 1.125;
           sv_hit_ratio = 0.5;
           sv_snapshot_restores = 1;
+          sv_clients =
+            [
+              {
+                Perfect.Driver.cp_clients = 1;
+                cp_rps = 900.5;
+                cp_p50_ms = 0.25;
+                cp_p99_ms = 1.125;
+              };
+              {
+                Perfect.Driver.cp_clients = 4;
+                cp_rps = 2700.75;
+                cp_p50_ms = 0.375;
+                cp_p99_ms = 2.25;
+              };
+            ];
+          sv_speedup = 3.0;
+          sv_cores = 4;
+          sv_evictions = 24;
+          sv_cache_units = 24;
+          sv_max_cache_units = 24;
         }
       in
       (match Perfect.Driver.read_json (Perfect.Driver.to_json ~serve []) with
@@ -400,7 +420,20 @@ let test_schema_reader_v8_current () =
                 && abs_float (s.rs_cold_p99_ms -. 80.125) < 0.001
                 && abs_float (s.rs_warm_p50_ms -. 0.25) < 0.001
                 && abs_float (s.rs_warm_p90_ms -. 0.5) < 0.001
-                && abs_float (s.rs_warm_p99_ms -. 1.125) < 0.001)))
+                && abs_float (s.rs_warm_p99_ms -. 1.125) < 0.001);
+              ci "v9 clients array round-trips" 2 (List.length s.rs_clients);
+              (match s.rs_clients with
+              | [ (k1, r1, _, _); (k4, r4, _, p99) ] ->
+                  ci "client counts" 1 k1;
+                  ci "client counts" 4 k4;
+                  cb "client rates round-trip" true
+                    (abs_float (r1 -. 900.5) < 0.001
+                    && abs_float (r4 -. 2700.75) < 0.001
+                    && abs_float (p99 -. 2.25) < 0.001)
+              | _ -> Alcotest.fail "clients array shape");
+              cb "v9 speedup round-trips" true
+                (abs_float (s.rs_speedup -. 3.0) < 0.001);
+              ci "v9 evictions round-trip" 24 s.rs_evictions))
 
 let test_schema_reader_rejects_garbage () =
   cb "non-JSON rejected" true
@@ -448,8 +481,8 @@ let suite =
       test_schema_reader_v2_compat;
     Alcotest.test_case "schema reader: v6 compatibility" `Quick
       test_schema_reader_v6_compat;
-    Alcotest.test_case "schema reader: current v8" `Quick
-      test_schema_reader_v8_current;
+    Alcotest.test_case "schema reader: current v9" `Quick
+      test_schema_reader_v9_current;
     Alcotest.test_case "schema reader rejects garbage" `Quick
       test_schema_reader_rejects_garbage;
     Alcotest.test_case "diagnostics render owning unit" `Quick

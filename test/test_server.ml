@@ -4,11 +4,23 @@
     version-mismatched snapshots degrading to a warned cold start), the
     memo-store export/import round-trip, and the per-request chaos
     barrier ([server.request] faults poison one response, never the
-    daemon). *)
+    daemon).
+
+    Concurrency and eviction (PR 10): the bounded LRU unit cache
+    (recency-ordered eviction, byte cap, capped servers recomputing
+    evicted units byte-identically, snapshots preserving recency across
+    a restart into a smaller cap), the {!Runtime.Workers} connection
+    pool (admission shed, handler-error containment, worker
+    death/respawn), parallel clients observing byte-identical responses
+    with exactly-summing hit counters, the cross-domain memo hub, and
+    the [server.conn] chaos site killing one connection, never the
+    daemon. *)
 
 module Json = Frontend.Json
 module Serve = Server.Serve
 module Store = Server.Store
+module Lru = Server.Lru
+module Workers = Runtime.Workers
 
 let cb = Alcotest.(check bool)
 let ci = Alcotest.(check int)
@@ -28,9 +40,19 @@ let src =
   \      WRITE(6,*) B(5)\n\
   \      END\n"
 
+(* a second unit, distinct content hash from [src] *)
+let src2 =
+  "      PROGRAM OTHER\n\
+  \      DIMENSION C(50)\n\
+  \      DO I = 1, 50\n\
+  \        C(I) = 2*I\n\
+  \      ENDDO\n\
+  \      WRITE(6,*) C(7)\n\
+  \      END\n"
+
 (* a throwaway server: no pool parallelism, no cache dir *)
-let with_server ?cache_dir f =
-  let t, diags = Serve.create ?cache_dir () in
+let with_server ?cache_dir ?(max_cache_units = 0) f =
+  let t, diags = Serve.create ?cache_dir ~max_cache_units () in
   Fun.protect
     ~finally:(fun () -> ignore (Serve.drain t))
     (fun () -> f t diags)
@@ -274,6 +296,363 @@ let test_request_fault_degrades () =
           cb "daemon survives, next request computes" true (ok r2);
           cb "failed request was never cached" false (cached r2))
 
+(* ---------------- bounded LRU unit cache ---------------- *)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~max_units:2 () in
+  Lru.add c "a" "body-a";
+  Lru.add c "b" "body-b";
+  (* touching [a] leaves [b] as the coldest entry *)
+  cb "a resident" true (Lru.find c "a" <> None);
+  Lru.add c "c" "body-c";
+  cb "LRU victim is the cold entry b" true (Lru.find c "b" = None);
+  cb "promoted a survives" true (Lru.find c "a" <> None);
+  cb "newest c resident" true (Lru.find c "c" <> None);
+  ci "one eviction counted" 1 (Lru.stats c).Lru.evictions;
+  ci "two resident" 2 (Lru.length c);
+  (* to_alist is cold->hot: the find of c above promoted it past a *)
+  (match Lru.to_alist c with
+  | [ ("a", _); ("c", _) ] -> ()
+  | l ->
+      Alcotest.failf "unexpected recency order: %s"
+        (String.concat ", " (List.map fst l)))
+
+let test_lru_byte_cap () =
+  let c = Lru.create ~max_bytes:20 () in
+  Lru.add c "k1" (String.make 8 'x');
+  Lru.add c "k2" (String.make 8 'y');
+  ci "20 resident bytes fit the 20-byte cap" 20 (Lru.stats c).Lru.bytes;
+  Lru.add c "k3" (String.make 8 'z');
+  cb "overflow evicted the cold entry" true (Lru.find c "k1" = None);
+  let s = Lru.stats c in
+  ci "one eviction" 1 s.Lru.evictions;
+  ci "bytes back under the cap" 20 s.Lru.bytes;
+  (* an entry that cannot fit at all evicts through itself: nothing
+     resident, rather than a cache permanently over budget *)
+  Lru.add c "huge" (String.make 64 'w');
+  ci "oversized body is not cached" 0
+    (match Lru.find c "huge" with Some _ -> 1 | None -> 0)
+
+let test_capped_server_recomputes () =
+  with_server ~max_cache_units:1 @@ fun t _ ->
+  let r1 = analyze t src in
+  let b1 = Json.to_string (result r1) in
+  let r2 = analyze t src2 in
+  cb "second unit computed" false (cached r2);
+  ci "cap holds one resident unit" 1 (Serve.cache_stats t).Lru.units;
+  cb "eviction counted" true ((Serve.cache_stats t).Lru.evictions >= 1);
+  (* the evicted unit recomputes — byte-identical, eviction is never
+     observable in the payload *)
+  let r3 = analyze t src in
+  cb "evicted unit is a miss again" false (cached r3);
+  cs "recompute is byte-identical" b1 (Json.to_string (result r3));
+  (* and having just been recomputed it is resident (and hot) again *)
+  cb "recomputed unit cached anew" true (cached (analyze t src))
+
+let test_snapshot_preserves_recency () =
+  let dir = fresh_dir () in
+  let body_a =
+    with_server ~cache_dir:dir @@ fun t _ ->
+    let ra = analyze t src in
+    ignore (analyze t src2);
+    (* promote the first unit: recency order is now [src2; src] *)
+    ignore (analyze t src);
+    Json.to_string (result ra)
+  in
+  (* restart into a cap of 1: restore replays the snapshot cold->hot,
+     so the promoted unit survives and the cold one is evicted *)
+  with_server ~cache_dir:dir ~max_cache_units:1 @@ fun t diags ->
+  ci "clean restore" 0 (List.length diags);
+  ci "capped restore keeps one unit" 1 (Serve.cache_stats t).Lru.units;
+  cb "restore evicted the cold entry" true
+    ((Serve.cache_stats t).Lru.evictions >= 1);
+  let ra = analyze t src in
+  cb "hot unit survived the capped restore" true (cached ra);
+  cs "and replays identical bytes" body_a (Json.to_string (result ra));
+  cb "cold unit was the eviction victim" false (cached (analyze t src2))
+
+(* ---------------- the connection-worker pool ---------------- *)
+
+let spin_until ?(tries = 1000) ~what pred =
+  let rec go n =
+    if pred () then ()
+    else if n = 0 then Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.01;
+      go (n - 1)
+    end
+  in
+  go tries
+
+let test_workers_shed_at_bound () =
+  let gate_m = Mutex.create () in
+  let gate_cv = Condition.create () in
+  let gate_open = ref false in
+  let handled = Atomic.make 0 in
+  let handler _ =
+    Mutex.lock gate_m;
+    while not !gate_open do
+      Condition.wait gate_cv gate_m
+    done;
+    Mutex.unlock gate_m;
+    Atomic.incr handled
+  in
+  let p =
+    Workers.create ~max_pending:2 ~size:1 ~handler ~discard:(fun _ -> ()) ()
+  in
+  (* the single worker blocks on the gate, so admission is deterministic:
+     two in-flight items fill the bound, the third sheds *)
+  cb "first admitted" true (Workers.submit p 1 = Workers.Accepted);
+  cb "second admitted" true (Workers.submit p 2 = Workers.Accepted);
+  cb "third shed at the bound" true (Workers.submit p 3 = Workers.Shed);
+  let s = Workers.stats p in
+  ci "accepted" 2 s.Workers.accepted;
+  ci "shed" 1 s.Workers.shed;
+  ci "inflight" 2 s.Workers.inflight;
+  Mutex.lock gate_m;
+  gate_open := true;
+  Condition.broadcast gate_cv;
+  Mutex.unlock gate_m;
+  spin_until ~what:"the pool to drain" (fun () -> Atomic.get handled >= 2);
+  Workers.shutdown p;
+  cb "post-shutdown submits shed" true (Workers.submit p 4 = Workers.Shed)
+
+let test_workers_error_containment_and_sync_mode () =
+  (* size = 0: the caller is the worker *)
+  let ran = ref 0 in
+  let p0 =
+    Workers.create ~size:0 ~handler:(fun _ -> incr ran) ~discard:(fun _ -> ())
+      ()
+  in
+  cb "sync submit accepted" true (Workers.submit p0 () = Workers.Accepted);
+  ci "handler ran synchronously on the caller" 1 !ran;
+  Workers.shutdown p0;
+  (* a raising handler degrades its item; the worker survives *)
+  let discarded = Atomic.make 0 in
+  let served = Atomic.make 0 in
+  let p =
+    Workers.create ~size:1
+      ~handler:(fun n -> if n = 1 then failwith "boom" else Atomic.incr served)
+      ~discard:(fun _ -> Atomic.incr discarded)
+      ()
+  in
+  ignore (Workers.submit p 1);
+  spin_until ~what:"the handler error" (fun () ->
+      (Workers.stats p).Workers.handler_errors >= 1);
+  ci "poisoned item discarded" 1 (Atomic.get discarded);
+  cb "pool still accepts" true (Workers.submit p 2 = Workers.Accepted);
+  spin_until ~what:"the good item" (fun () -> Atomic.get served >= 1);
+  let s = Workers.stats p in
+  ci "one handler error" 1 s.Workers.handler_errors;
+  ci "no worker deaths" 0 s.Workers.deaths;
+  ci "worker still alive" 1 s.Workers.workers;
+  Workers.shutdown p
+
+let test_workers_death_respawn () =
+  match Core.Fault.parse_spec "3:runtime.workers.worker=1" with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok plan ->
+      Core.Fault.with_plan plan @@ fun () ->
+      let discarded = Atomic.make 0 in
+      let served = Atomic.make 0 in
+      let p =
+        Workers.create ~size:1
+          ~handler:(fun _ -> Atomic.incr served)
+          ~discard:(fun _ -> Atomic.incr discarded)
+          ()
+      in
+      (* arrival 1 at the worker fault site kills the domain's loop;
+         the item is discarded, not half-handled *)
+      ignore (Workers.submit p 1);
+      spin_until ~what:"the worker death" (fun () ->
+          (Workers.stats p).Workers.deaths >= 1);
+      ci "victim item discarded" 1 (Atomic.get discarded);
+      ci "nothing served yet" 0 (Atomic.get served);
+      (* the next submit heals the pool: a fresh domain takes the slot *)
+      cb "submit after death accepted" true
+        (Workers.submit p 2 = Workers.Accepted);
+      spin_until ~what:"the respawned worker" (fun () ->
+          Atomic.get served >= 1);
+      let s = Workers.stats p in
+      ci "one death" 1 s.Workers.deaths;
+      ci "one respawn" 1 s.Workers.respawns;
+      ci "pool back to size" 1 s.Workers.workers;
+      Workers.shutdown p
+
+(* ---------------- concurrent clients ---------------- *)
+
+let all_modes = [ "none"; "conventional"; "annotation"; "demand" ]
+
+let test_concurrent_clients_byte_identical () =
+  with_server @@ fun t _ ->
+  (* pre-warm sequentially and record the expected bytes per mode *)
+  let expected =
+    List.map
+      (fun m -> (m, Json.to_string (result (analyze ~mode:m t src))))
+      all_modes
+  in
+  let c0 = Serve.counters t in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.map
+              (fun m ->
+                let r = analyze ~mode:m t src in
+                (m, ok r, cached r, Json.to_string (result r)))
+              all_modes))
+  in
+  let results = List.concat_map Domain.join doms in
+  ci "16 responses collected" 16 (List.length results);
+  List.iter
+    (fun (m, okd, hit, body) ->
+      cb (m ^ " ok under concurrency") true okd;
+      cb (m ^ " served from the warm cache") true hit;
+      cs (m ^ " byte-identical to sequential") (List.assoc m expected) body)
+    results;
+  (* the shared counters sum exactly: no lost or double-counted hits *)
+  let c1 = Serve.counters t in
+  ci "exactly 16 more served" 16
+    (c1.Core.Prof.requests_served - c0.Core.Prof.requests_served);
+  ci "all 16 were unit-cache hits" 16
+    (c1.Core.Prof.unit_cache_hits - c0.Core.Prof.unit_cache_hits)
+
+let test_concurrent_miss_race () =
+  with_server @@ fun t _ ->
+  (* two domains race on the same cold unit: whoever computes, the
+     bytes agree — bodies are pure functions of the content hash *)
+  let doms =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let r = analyze t src in
+            (ok r, Json.to_string (result r))))
+  in
+  let rs = List.map Domain.join doms in
+  (match rs with
+  | [ (ok_a, body_a); (ok_b, body_b) ] ->
+      cb "both racers ok" true (ok_a && ok_b);
+      cs "racing computes agree byte-for-byte" body_a body_b;
+      (* and the resident entry replays those same bytes *)
+      let r = analyze t src in
+      cb "unit resident after the race" true (cached r);
+      cs "cached bytes match the race winners" body_a
+        (Json.to_string (result r))
+  | _ -> Alcotest.fail "expected 2 results");
+  let c = Serve.counters t in
+  ci "three requests served" 3 c.Core.Prof.requests_served;
+  cb "at most one racer hit, the final request always did" true
+    (c.Core.Prof.unit_cache_hits >= 1 && c.Core.Prof.unit_cache_hits <= 2)
+
+(* ---------------- the memo hub ---------------- *)
+
+let test_memo_hub_sync () =
+  (* domain A discovers dependence pairs and publishes them *)
+  let pairs_a =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Perfect.Driver.reset_gensyms ();
+           ignore
+             (Core.Pipeline.run_source_robust
+                ~mode:Core.Pipeline.Annotation_based ~annot_source:"" src);
+           let _, _, pairs = Dependence.Memo.sizes () in
+           let (_ : int * int) = Dependence.Memo.sync () in
+           pairs))
+  in
+  cb "domain A discovered pairs" true (pairs_a > 0);
+  let _, _, hub_pairs = Dependence.Memo.hub_sizes () in
+  cb "hub holds at least A's pairs" true (hub_pairs >= pairs_a);
+  (* a fresh domain starts cold and the hub warms it in one sync *)
+  let before, imported, after, imported_again =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let _, _, before = Dependence.Memo.sizes () in
+           let _, imported = Dependence.Memo.sync () in
+           let _, _, after = Dependence.Memo.sizes () in
+           let _, imported_again = Dependence.Memo.sync () in
+           (before, imported, after, imported_again)))
+  in
+  ci "fresh domain starts cold" 0 before;
+  cb "hub warmed the fresh domain" true (imported >= pairs_a);
+  cb "local store now covers the hub" true (after >= pairs_a);
+  ci "steady-state sync imports nothing" 0 imported_again
+
+(* ---------------- connection chaos and the live socket ---------------- *)
+
+let test_conn_fault_drops_one_connection () =
+  match Core.Fault.parse_spec "9:server.conn=1" with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok plan ->
+      Core.Fault.with_plan plan @@ fun () ->
+      with_server @@ fun t _ ->
+      (* connection 1: the fault trips pre-protocol — the peer sees a
+         bare EOF, no bytes, and only this connection dies *)
+      let c1, s1 = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Serve.handle_conn t s1;
+      ci "dropped connection sees EOF" 0 (Unix.read c1 (Bytes.create 1) 0 1);
+      Unix.close c1;
+      (* connection 2 (arrival 2, fault quiet): same server still serves *)
+      let c2, s2 = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let oc = Unix.out_channel_of_descr c2 in
+      output_string oc (Json.to_string (Serve.request ~op:"ping" ()));
+      output_char oc '\n';
+      flush oc;
+      Unix.shutdown c2 Unix.SHUTDOWN_SEND;
+      Serve.handle_conn t s2;
+      let ic = Unix.in_channel_of_descr c2 in
+      (match Json.parse (input_line ic) with
+      | Ok r -> cb "daemon survives the dropped connection" true (ok r)
+      | Error e -> Alcotest.failf "bad post-chaos response: %s" e);
+      close_in_noerr ic
+
+let test_serve_socket_concurrent_clients () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "parinline-test-%d.sock" (Unix.getpid ()))
+  in
+  let t, _ = Serve.create ~conn_jobs:2 () in
+  Fun.protect ~finally:(fun () -> ignore (Serve.drain t)) @@ fun () ->
+  (* the expected bytes, via the in-process path *)
+  let expected = Json.to_string (result (analyze t src)) in
+  let server = Domain.spawn (fun () -> Serve.serve_socket t ~path) in
+  spin_until ~what:"the socket" (fun () -> Sys.file_exists path);
+  let roundtrip req =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc (Json.to_string req);
+    output_char oc '\n';
+    flush oc;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let line = input_line ic in
+    close_in_noerr ic;
+    match Json.parse line with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "unparseable response: %s" e
+  in
+  let clients =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let r =
+              roundtrip
+                (Serve.request ~op:"analyze" ~mode:"annotation" ~source:src ())
+            in
+            (ok r, Json.to_string (result r))))
+  in
+  let rs = List.map Domain.join clients in
+  List.iter
+    (fun (okd, body) ->
+      cb "socket client ok" true okd;
+      cs "socket bytes identical to in-process" expected body)
+    rs;
+  (* the shutdown op stops the acceptor even when a worker handled it *)
+  cb "shutdown acknowledged" true
+    (ok (roundtrip (Serve.request ~op:"shutdown" ())));
+  Domain.join server;
+  cb "socket file removed on the way out" false (Sys.file_exists path);
+  ci "all five work requests served" 5
+    (Serve.counters t).Core.Prof.requests_served
+
 let suite =
   [
     Alcotest.test_case "protocol basics and poisoned requests" `Quick
@@ -294,4 +673,28 @@ let suite =
       test_memo_export_import;
     Alcotest.test_case "server.request fault poisons one response only"
       `Quick test_request_fault_degrades;
+    Alcotest.test_case "LRU evicts in recency order" `Quick
+      test_lru_eviction_order;
+    Alcotest.test_case "LRU byte cap evicts cold entries" `Quick
+      test_lru_byte_cap;
+    Alcotest.test_case "capped server recomputes evicted units identically"
+      `Quick test_capped_server_recomputes;
+    Alcotest.test_case "snapshot preserves recency into a smaller cap"
+      `Quick test_snapshot_preserves_recency;
+    Alcotest.test_case "workers shed deterministically at the bound" `Quick
+      test_workers_shed_at_bound;
+    Alcotest.test_case "workers contain handler errors; size 0 is synchronous"
+      `Quick test_workers_error_containment_and_sync_mode;
+    Alcotest.test_case "worker death discards one item, pool respawns" `Quick
+      test_workers_death_respawn;
+    Alcotest.test_case "4 concurrent clients: byte-identity + exact counters"
+      `Quick test_concurrent_clients_byte_identical;
+    Alcotest.test_case "concurrent misses on one unit agree byte-for-byte"
+      `Quick test_concurrent_miss_race;
+    Alcotest.test_case "memo hub warms a fresh domain in one sync" `Quick
+      test_memo_hub_sync;
+    Alcotest.test_case "server.conn fault kills one connection, not the daemon"
+      `Quick test_conn_fault_drops_one_connection;
+    Alcotest.test_case "live socket serves concurrent clients identically"
+      `Quick test_serve_socket_concurrent_clients;
   ]
